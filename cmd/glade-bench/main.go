@@ -1,0 +1,165 @@
+// Command glade-bench regenerates every table and figure of the paper's
+// evaluation (§8). Each figure prints as a text table; see EXPERIMENTS.md
+// for the expected shapes.
+//
+// Usage:
+//
+//	glade-bench [-fig 4a|4b|4c|5|6|7a|7b|7c|8|ablations|all] [flags]
+//
+// The default flags match the paper's scale (50 seeds, 1000 evaluation
+// samples, 50,000 fuzzing samples, 300 s learner timeout); use -quick for a
+// reduced run that finishes in well under a minute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"glade/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 4a 4b 4c 5 6 7a 7b 7c 8 ablations all")
+	seeds := flag.Int("seeds", 50, "seed inputs per target (Figure 4)")
+	eval := flag.Int("eval", 1000, "samples per precision/recall estimate")
+	fuzzN := flag.Int("samples", 50000, "samples per fuzzer (Figure 7)")
+	timeout := flag.Duration("timeout", 300*time.Second, "per-learner timeout")
+	quick := flag.Bool("quick", false, "reduced-scale run (seeds=10 eval=200 samples=4000)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	c := bench.Config{Seeds: *seeds, EvalSamples: *eval, FuzzSamples: *fuzzN, Timeout: *timeout, RandSeed: *seed}
+	if *quick {
+		c.Seeds, c.EvalSamples, c.FuzzSamples = 10, 200, 4000
+	}
+
+	run := func(name string, f func(bench.Config)) {
+		if *fig == name || *fig == "all" {
+			f(c)
+		}
+	}
+	run("4a", fig4a)
+	run("4b", fig4b)
+	run("4c", fig4c)
+	run("5", fig5)
+	run("6", fig6)
+	run("7a", fig7a)
+	run("7b", fig7b)
+	run("7c", fig7c)
+	run("8", fig8)
+	run("ablations", ablations)
+}
+
+var fig4Cache []bench.LearnerRow
+
+func fig4Rows(c bench.Config) []bench.LearnerRow {
+	if fig4Cache == nil {
+		fig4Cache = bench.Fig4(c)
+	}
+	return fig4Cache
+}
+
+func fig4a(c bench.Config) {
+	fmt.Println("== Figure 4(a): F1 score per target and learner ==")
+	fmt.Printf("%-6s %-9s %6s %6s %6s\n", "target", "learner", "P", "R", "F1")
+	for _, r := range fig4Rows(c) {
+		fmt.Printf("%-6s %-9s %6.3f %6.3f %6.3f\n", r.Target, r.Learner, r.Precision, r.Recall, r.F1)
+	}
+	fmt.Println()
+}
+
+func fig4b(c bench.Config) {
+	fmt.Println("== Figure 4(b): running time (seconds) ==")
+	fmt.Printf("%-6s %-9s %8s %s\n", "target", "learner", "time", "timeout")
+	for _, r := range fig4Rows(c) {
+		fmt.Printf("%-6s %-9s %8.2f %v\n", r.Target, r.Learner, r.Seconds, r.TimedOut)
+	}
+	fmt.Println()
+}
+
+func fig4c(c bench.Config) {
+	fmt.Println("== Figure 4(c): GLADE on XML vs number of seed inputs ==")
+	fmt.Printf("%6s %9s %7s %8s\n", "seeds", "precision", "recall", "time(s)")
+	for _, r := range bench.Fig4c(c, nil) {
+		fmt.Printf("%6d %9.3f %7.3f %8.2f\n", r.Seeds, r.Precision, r.Recall, r.Seconds)
+	}
+	fmt.Println()
+}
+
+func fig5(c bench.Config) {
+	fmt.Println("== Figure 5: synthesized grammars from documentation seeds ==")
+	out := bench.Fig5(c)
+	for _, name := range []string{"url", "grep", "lisp", "xml"} {
+		fmt.Printf("--- %s ---\n%s\n", name, out[name])
+	}
+}
+
+func fig6(c bench.Config) {
+	fmt.Println("== Figure 6: programs, seeds, and synthesis time ==")
+	rows, err := bench.Fig6(c)
+	fail(err)
+	fmt.Printf("%-11s %8s %10s %9s %9s %8s\n", "program", "points", "seed-lines", "time(s)", "queries", "gsize")
+	for _, r := range rows {
+		fmt.Printf("%-11s %8d %10d %9.2f %9d %8d\n", r.Program, r.Points, r.SeedLines, r.Seconds, r.Queries, r.GrammarSize)
+	}
+	fmt.Println()
+}
+
+func fig7a(c bench.Config) {
+	fmt.Println("== Figure 7(a): valid normalized incremental coverage ==")
+	rows, err := bench.Fig7a(c, nil)
+	fail(err)
+	printCoverage(rows)
+}
+
+func fig7b(c bench.Config) {
+	fmt.Println("== Figure 7(b): versus proxy upper bound ==")
+	rows, err := bench.Fig7b(c)
+	fail(err)
+	printCoverage(rows)
+}
+
+func printCoverage(rows []bench.CoverageRow) {
+	fmt.Printf("%-11s %-12s %7s %6s %10s\n", "program", "fuzzer", "valid", "incr", "normalized")
+	for _, r := range rows {
+		fmt.Printf("%-11s %-12s %7d %6d %10.2f\n", r.Program, r.Fuzzer, r.Valid, r.IncrCover, r.Normalized)
+	}
+	fmt.Println()
+}
+
+func fig7c(c bench.Config) {
+	fmt.Println("== Figure 7(c): coverage over samples (python) ==")
+	rows, err := bench.Fig7c(c, 0)
+	fail(err)
+	fmt.Printf("%-8s %9s %7s\n", "fuzzer", "samples", "value")
+	for _, r := range rows {
+		fmt.Printf("%-8s %9d %7.2f\n", r.Fuzzer, r.Samples, r.Value)
+	}
+	fmt.Println()
+}
+
+func fig8(c bench.Config) {
+	fmt.Println("== Figure 8: a valid sample from the synthesized XML grammar ==")
+	s, err := bench.Fig8(c)
+	fail(err)
+	fmt.Printf("%q\n\n", s)
+}
+
+func ablations(c bench.Config) {
+	fmt.Println("== Ablations: design-choice variants ==")
+	fmt.Printf("%-6s %-17s %6s %6s %6s %9s %8s\n", "target", "variant", "P", "R", "F1", "queries", "time(s)")
+	for _, r := range bench.Ablations(c) {
+		fmt.Printf("%-6s %-17s %6.3f %6.3f %6.3f %9d %8.2f\n",
+			r.Target, r.Variant, r.Precision, r.Recall, r.F1, r.Queries, r.Seconds)
+	}
+	fmt.Println()
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "glade-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,154 @@
+// Command glade synthesizes a context-free grammar for a program's input
+// language from seed inputs and blackbox membership access, then optionally
+// samples new inputs from it.
+//
+// Oracles (choose one):
+//
+//	-target url|grep|lisp|xml      a built-in §8.2 evaluation language
+//	-program sed|flex|grep|...     a built-in §8.3 simulated program
+//	-cmd 'prog args'               run an external command per query;
+//	                               input on stdin, valid iff exit status 0
+//
+// Seeds come from -seed flags (repeatable) and/or files named as positional
+// arguments; with a built-in oracle, its bundled seeds are the default.
+//
+// Example:
+//
+//	glade -target xml -samples 3
+//	glade -cmd 'python3 -c "import sys,json;json.load(sys.stdin)"' seeds/*.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"glade/internal/bytesets"
+	"glade/internal/cfg"
+	"glade/internal/core"
+	"glade/internal/oracle"
+	"glade/internal/programs"
+	"glade/internal/targets"
+)
+
+type seedList []string
+
+func (s *seedList) String() string     { return strings.Join(*s, ",") }
+func (s *seedList) Set(v string) error { *s = append(*s, v); return nil }
+
+func main() {
+	var seeds seedList
+	targetName := flag.String("target", "", "built-in target language (url grep lisp xml)")
+	programName := flag.String("program", "", "built-in simulated program (sed flex grep bison xml ruby python javascript)")
+	cmd := flag.String("cmd", "", "external oracle command (input on stdin, exit 0 = valid)")
+	flag.Var(&seeds, "seed", "seed input (repeatable)")
+	samples := flag.Int("samples", 0, "print this many samples from the synthesized grammar")
+	out := flag.String("o", "", "also write the grammar in cfg.Marshal format to this file")
+	timeout := flag.Duration("timeout", 60*time.Second, "learning timeout")
+	noPhase2 := flag.Bool("no-phase2", false, "disable recursive merging (phase 2)")
+	noCharGen := flag.Bool("no-chargen", false, "disable character generalization")
+	trace := flag.Bool("trace", false, "print every generalization step")
+	flag.Parse()
+
+	o, defaults, err := pickOracle(*targetName, *programName, *cmd)
+	if err != nil {
+		fatal(err)
+	}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		seeds = append(seeds, string(data))
+	}
+	if len(seeds) == 0 {
+		seeds = defaults
+	}
+	if len(seeds) == 0 {
+		fatal(fmt.Errorf("no seed inputs: pass -seed or seed files"))
+	}
+
+	opts := core.DefaultOptions()
+	opts.Timeout = *timeout
+	opts.Phase2 = !*noPhase2
+	opts.CharGen = !*noCharGen
+	if *cmd != "" {
+		// External processes are expensive; restrict character
+		// generalization to bytes seen in the seeds plus common structure.
+		opts.GenAlphabet = bytesets.OfString(strings.Join(seeds, "")).
+			Union(bytesets.OfString(" \t\nabcxyz012<>()[]{}/\\\"'"))
+	}
+	if *trace {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	res, err := core.Learn(seeds, o, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(res.Grammar.Trim().String())
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(cfg.Marshal(res.Grammar)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "# grammar written to %s (load with -grammar in glade-fuzz)\n", *out)
+	}
+	s := res.Stats
+	fmt.Fprintf(os.Stderr,
+		"\n# %d seeds (%d skipped), %d candidates, %d checks, %d oracle queries, %d merges, %.2fs%s\n",
+		s.Seeds, s.SeedsSkipped, s.Candidates, s.Checks, s.OracleQueries, s.Merged,
+		s.Duration.Seconds(), timedOut(s.TimedOut))
+	if *samples > 0 {
+		sm := cfg.NewSampler(res.Grammar, 24)
+		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+		for i := 0; i < *samples; i++ {
+			fmt.Printf("sample %d: %q\n", i+1, sm.Sample(rng))
+		}
+	}
+}
+
+func pickOracle(target, program, cmd string) (oracle.Oracle, []string, error) {
+	n := 0
+	for _, s := range []string{target, program, cmd} {
+		if s != "" {
+			n++
+		}
+	}
+	if n != 1 {
+		return nil, nil, fmt.Errorf("choose exactly one of -target, -program, -cmd")
+	}
+	switch {
+	case target != "":
+		t := targets.ByName(target)
+		if t == nil {
+			return nil, nil, fmt.Errorf("unknown target %q", target)
+		}
+		return t.Oracle, t.DocSeeds, nil
+	case program != "":
+		p := programs.ByName(program)
+		if p == nil {
+			return nil, nil, fmt.Errorf("unknown program %q", program)
+		}
+		return oracle.Func(func(s string) bool { return p.Run(s).OK }), p.Seeds(), nil
+	default:
+		argv := strings.Fields(cmd)
+		return oracle.NewCached(&oracle.Exec{Argv: argv}), nil, nil
+	}
+}
+
+func timedOut(b bool) string {
+	if b {
+		return " (timed out)"
+	}
+	return ""
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "glade:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Package glade is a Go implementation of GLADE, the program-input-grammar
+// synthesis algorithm of Bastani, Sharma, Aiken & Liang, "Synthesizing
+// Program Input Grammars" (PLDI 2017).
+//
+// Given a handful of valid example inputs and blackbox membership access to
+// a program (run it; valid iff it does not report an error), Learn
+// synthesizes a context-free grammar approximating the program's input
+// language. The grammar can then drive a grammar-based fuzzer
+// (NewGrammarFuzzer) that generates mostly-valid, structurally diverse
+// inputs.
+//
+// The package is a facade over the implementation packages:
+//
+//	internal/core     the synthesis algorithm (phases 1, 2, char-gen)
+//	internal/cfg      grammars, Earley parsing, sampling
+//	internal/oracle   membership oracles (functions, caching, exec)
+//	internal/fuzz     naive / afl-style / grammar-based fuzzers
+//
+// A minimal session:
+//
+//	o := glade.OracleFunc(isValidInput)
+//	res, err := glade.Learn([]string{"<a>hi</a>"}, o, glade.DefaultOptions())
+//	fmt.Println(res.Grammar)
+//	fz := glade.NewGrammarFuzzer(res.Grammar, seeds)
+//	input := fz.Next(rng)
+package glade
+
+import (
+	"math/rand"
+
+	"glade/internal/cfg"
+	"glade/internal/core"
+	"glade/internal/fuzz"
+	"glade/internal/oracle"
+)
+
+// Oracle answers membership queries: does the program accept this input?
+type Oracle = oracle.Oracle
+
+// OracleFunc adapts a plain predicate to an Oracle.
+func OracleFunc(f func(string) bool) Oracle { return oracle.Func(f) }
+
+// ExecOracle runs a command per query, feeding the input on stdin; the
+// input is valid when the command exits zero. This treats a real program
+// binary exactly as the paper does.
+func ExecOracle(argv ...string) Oracle { return &oracle.Exec{Argv: argv} }
+
+// Grammar is a context-free grammar with byte-class terminals. Its String
+// method renders BNF-like productions.
+type Grammar = cfg.Grammar
+
+// Options configures learning; start from DefaultOptions.
+type Options = core.Options
+
+// DefaultOptions returns the paper's configuration: both phases enabled and
+// character generalization over printable ASCII.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Stats reports learner effort (queries, candidates, merges, time).
+type Stats = core.Stats
+
+// Result is the outcome of Learn: the synthesized grammar, the intermediate
+// regular expression, and statistics.
+type Result = core.Result
+
+// Learn synthesizes a grammar for the oracle's language from seed inputs.
+// Every seed must be accepted by the oracle.
+func Learn(seeds []string, o Oracle, opts Options) (*Result, error) {
+	return core.Learn(seeds, o, opts)
+}
+
+// Parser recognizes and parses strings against a Grammar (Earley).
+type Parser = cfg.Parser
+
+// NewParser compiles g for repeated membership queries and parsing.
+func NewParser(g *Grammar) *Parser { return cfg.NewParser(g) }
+
+// Sampler draws random strings from a Grammar (uniform PCFG, §8.1).
+type Sampler = cfg.Sampler
+
+// NewSampler builds a sampler with the given derivation-depth budget;
+// 24–32 suits the grammars in this repository.
+func NewSampler(g *Grammar, maxDepth int) *Sampler { return cfg.NewSampler(g, maxDepth) }
+
+// Fuzzer generates test inputs, optionally steering on coverage feedback.
+type Fuzzer = fuzz.Fuzzer
+
+// NewGrammarFuzzer builds the paper's grammar-based fuzzer: parse a random
+// seed, apply up to 50 random subtree resamplings, render.
+func NewGrammarFuzzer(g *Grammar, seeds []string) *fuzz.Grammar {
+	return fuzz.NewGrammar(g, seeds)
+}
+
+// NewNaiveFuzzer builds the paper's baseline fuzzer: random single-byte
+// insertions and deletions on a random seed.
+func NewNaiveFuzzer(seeds []string, alphabet []byte) *fuzz.Naive {
+	return fuzz.NewNaive(seeds, alphabet)
+}
+
+// Sample draws one string from the grammar — a convenience for quick use.
+func Sample(g *Grammar, rng *rand.Rand) string {
+	return cfg.NewSampler(g, 24).Sample(rng)
+}

@@ -1,0 +1,258 @@
+package automata
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"glade/internal/bytesets"
+	"glade/internal/rex"
+)
+
+var abc = []byte("abc")
+
+func mustDFA(t *testing.T, e rex.Expr, alphabet []byte) *DFA {
+	t.Helper()
+	d := FromRex(e, alphabet)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("invalid DFA for %s: %v", rex.String(e), err)
+	}
+	return d
+}
+
+func TestFromRexLiteral(t *testing.T) {
+	d := mustDFA(t, rex.Literal("ab"), abc)
+	if !d.Accepts("ab") {
+		t.Fatal("does not accept ab")
+	}
+	for _, s := range []string{"", "a", "b", "abc", "ba"} {
+		if d.Accepts(s) {
+			t.Fatalf("accepts %q", s)
+		}
+	}
+}
+
+func TestFromRexStar(t *testing.T) {
+	d := mustDFA(t, rex.Rep(rex.Union(rex.Literal("ab"), rex.Literal("c"))), abc)
+	for _, s := range []string{"", "ab", "c", "abc", "cab", "ababcc"} {
+		if !d.Accepts(s) {
+			t.Fatalf("does not accept %q", s)
+		}
+	}
+	for _, s := range []string{"a", "b", "ba", "abca"} {
+		if d.Accepts(s) {
+			t.Fatalf("accepts %q", s)
+		}
+	}
+}
+
+func TestOutOfAlphabetRejected(t *testing.T) {
+	d := mustDFA(t, rex.Rep(rex.OneOf(bytesets.OfString("abc"))), abc)
+	if d.Accepts("abd") {
+		t.Fatal("accepted input containing byte outside the alphabet")
+	}
+}
+
+func TestMinimizeCollapsesStates(t *testing.T) {
+	// (a+b)(a+b) has a minimal DFA with 4 states over {a,b}:
+	// start, after-1, accept, dead.
+	e := rex.Concat(
+		rex.Union(rex.Literal("a"), rex.Literal("b")),
+		rex.Union(rex.Literal("a"), rex.Literal("b")),
+	)
+	d := mustDFA(t, e, []byte("ab"))
+	if d.NumStates() != 4 {
+		t.Fatalf("NumStates = %d, want 4", d.NumStates())
+	}
+}
+
+func TestMinimizePreservesLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 200; iter++ {
+		e := randomExpr(rng, 4)
+		d := FromRex(e, abc)
+		m := rex.Compile(e)
+		for k := 0; k < 30; k++ {
+			s := randomString(rng, 8)
+			if d.Accepts(s) != m.Match(s) {
+				t.Fatalf("DFA disagrees with matcher on %q for %s", s, rex.String(e))
+			}
+		}
+	}
+}
+
+func TestProductOps(t *testing.T) {
+	a := mustDFA(t, rex.Rep(rex.Literal("a")), abc)  // a*
+	b := mustDFA(t, rex.Rep(rex.Literal("aa")), abc) // (aa)*
+	inter := Intersect(a, b)                         // (aa)*
+	uni := Union(a, b)                               // a*
+	diff := Difference(a, b)                         // odd-length a-strings
+	for n := 0; n <= 7; n++ {
+		s := strings.Repeat("a", n)
+		if got, want := inter.Accepts(s), n%2 == 0; got != want {
+			t.Fatalf("Intersect(%q) = %v", s, got)
+		}
+		if !uni.Accepts(s) {
+			t.Fatalf("Union does not accept %q", s)
+		}
+		if got, want := diff.Accepts(s), n%2 == 1; got != want {
+			t.Fatalf("Difference(%q) = %v", s, got)
+		}
+	}
+	if inter.Accepts("b") || uni.Accepts("ba") {
+		t.Fatal("product accepted strings outside both languages")
+	}
+}
+
+func TestComplement(t *testing.T) {
+	d := mustDFA(t, rex.Literal("ab"), abc)
+	c := Complement(d)
+	for _, s := range []string{"", "a", "ab", "abc", "ba"} {
+		if c.Accepts(s) == d.Accepts(s) {
+			t.Fatalf("complement agrees with original on %q", s)
+		}
+	}
+}
+
+func TestShortestAccepted(t *testing.T) {
+	d := mustDFA(t, rex.Concat(rex.Rep(rex.Literal("c")), rex.Literal("ab")), abc)
+	w, ok := ShortestAccepted(d)
+	if !ok || w != "ab" {
+		t.Fatalf("ShortestAccepted = %q,%v want ab,true", w, ok)
+	}
+	empty := mustDFA(t, rex.Union(), abc)
+	if _, ok := ShortestAccepted(empty); ok {
+		t.Fatal("ShortestAccepted found string in empty language")
+	}
+	if !Empty(empty) {
+		t.Fatal("Empty(∅ DFA) = false")
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	// a(a)* vs (a)*a — same language.
+	x := mustDFA(t, rex.Concat(rex.Literal("a"), rex.Rep(rex.Literal("a"))), abc)
+	y := mustDFA(t, rex.Concat(rex.Rep(rex.Literal("a")), rex.Literal("a")), abc)
+	if eq, w := Equivalent(x, y); !eq {
+		t.Fatalf("equivalent automata reported different with witness %q", w)
+	}
+	z := mustDFA(t, rex.Rep(rex.Literal("a")), abc)
+	eq, w := Equivalent(x, z)
+	if eq {
+		t.Fatal("different automata reported equivalent")
+	}
+	if w != "" {
+		t.Fatalf("witness = %q, want empty string (shortest difference)", w)
+	}
+}
+
+func TestSampleAccepted(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 100; iter++ {
+		e := randomExpr(rng, 4)
+		d := FromRex(e, abc)
+		for k := 0; k < 20; k++ {
+			s, ok := Sample(d, rng, 12, 0.3)
+			if !ok {
+				break
+			}
+			if !d.Accepts(s) {
+				t.Fatalf("sampled %q not accepted by DFA of %s", s, rex.String(e))
+			}
+			if len(s) > 12 {
+				t.Fatalf("sample %q exceeds maxLen", s)
+			}
+		}
+	}
+}
+
+func TestSampleEmptyLanguage(t *testing.T) {
+	d := FromRex(rex.Union(), abc)
+	if _, ok := Sample(d, rand.New(rand.NewSource(1)), 10, 0.5); ok {
+		t.Fatal("sampled from empty language")
+	}
+}
+
+func TestAlphabetOf(t *testing.T) {
+	got := AlphabetOf("cab", "bd")
+	want := "abcd"
+	if string(got) != want {
+		t.Fatalf("AlphabetOf = %q, want %q", got, want)
+	}
+}
+
+// Property: minimization is idempotent and preserves equivalence.
+func TestMinimizeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 100; iter++ {
+		e := randomExpr(rng, 4)
+		d := FromRex(e, abc)
+		m := Minimize(d)
+		if m.NumStates() != d.NumStates() {
+			t.Fatalf("Minimize not idempotent: %d -> %d states", d.NumStates(), m.NumStates())
+		}
+		if eq, w := Equivalent(d, m); !eq {
+			t.Fatalf("minimized DFA differs, witness %q", w)
+		}
+	}
+}
+
+// Property: union/intersection via products agree with pointwise boolean
+// combination of Accepts.
+func TestProductPointwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 60; iter++ {
+		a := FromRex(randomExpr(rng, 3), abc)
+		b := FromRex(randomExpr(rng, 3), abc)
+		u, n := Union(a, b), Intersect(a, b)
+		for k := 0; k < 25; k++ {
+			s := randomString(rng, 6)
+			if u.Accepts(s) != (a.Accepts(s) || b.Accepts(s)) {
+				t.Fatalf("Union pointwise mismatch on %q", s)
+			}
+			if n.Accepts(s) != (a.Accepts(s) && b.Accepts(s)) {
+				t.Fatalf("Intersect pointwise mismatch on %q", s)
+			}
+		}
+	}
+}
+
+func randomExpr(rng *rand.Rand, depth int) rex.Expr {
+	if depth == 0 {
+		return rex.Literal(string(rune('a' + rng.Intn(3))))
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return rex.Literal(randomString(rng, 3))
+	case 1:
+		return rex.Concat(randomExpr(rng, depth-1), randomExpr(rng, depth-1))
+	case 2:
+		return rex.Union(randomExpr(rng, depth-1), randomExpr(rng, depth-1))
+	case 3:
+		return rex.Rep(randomExpr(rng, depth-1))
+	default:
+		return rex.OneOf(bytesets.OfString(randomString(rng, 2)))
+	}
+}
+
+func randomString(rng *rand.Rand, maxLen int) string {
+	n := rng.Intn(maxLen + 1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(3))
+	}
+	return string(b)
+}
+
+func BenchmarkDeterminizeMinimize(b *testing.B) {
+	e := rex.Rep(rex.Concat(
+		rex.Literal("<a>"),
+		rex.Rep(rex.Union(rex.Literal("h"), rex.Literal("i"))),
+		rex.Literal("</a>"),
+	))
+	alphabet := []byte("<a>/hi")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromRex(e, alphabet)
+	}
+}

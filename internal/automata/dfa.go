@@ -1,0 +1,297 @@
+// Package automata implements deterministic finite automata and the
+// constructions needed by the L-Star and RPNI baseline learners: subset
+// construction from regular expressions, minimization, boolean products,
+// equivalence checking with counterexamples, and bounded random sampling.
+//
+// Automata operate over an explicit alphabet (a slice of bytes). Restricting
+// the alphabet keeps observation tables small for L-Star, matching how the
+// paper's evaluation instantiates libalf over the bytes occurring in the
+// problem instance.
+package automata
+
+import (
+	"fmt"
+	"sort"
+
+	"glade/internal/bytesets"
+	"glade/internal/rex"
+)
+
+// DFA is a complete deterministic finite automaton. State 0 is the start
+// state. Delta[s][a] is the successor of state s on Alphabet[a]; every state
+// has a transition for every alphabet index (completeness), so a dead/sink
+// state is explicit when needed. Accept[s] reports whether s is accepting.
+type DFA struct {
+	Alphabet []byte
+	Delta    [][]int
+	Accept   []bool
+}
+
+// NumStates returns the number of states.
+func (d *DFA) NumStates() int { return len(d.Delta) }
+
+// index returns the alphabet index of byte c, or -1 if c is outside the
+// alphabet.
+func (d *DFA) index(c byte) int {
+	for i, a := range d.Alphabet {
+		if a == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// Accepts reports whether the DFA accepts input. Inputs containing bytes
+// outside the alphabet are rejected.
+func (d *DFA) Accepts(input string) bool {
+	s := 0
+	for i := 0; i < len(input); i++ {
+		a := d.index(input[i])
+		if a < 0 {
+			return false
+		}
+		s = d.Delta[s][a]
+	}
+	return d.Accept[s]
+}
+
+// Validate checks structural invariants and returns an error describing the
+// first violation found.
+func (d *DFA) Validate() error {
+	if len(d.Delta) == 0 {
+		return fmt.Errorf("automata: DFA has no states")
+	}
+	if len(d.Accept) != len(d.Delta) {
+		return fmt.Errorf("automata: Accept length %d != %d states", len(d.Accept), len(d.Delta))
+	}
+	for s, row := range d.Delta {
+		if len(row) != len(d.Alphabet) {
+			return fmt.Errorf("automata: state %d has %d transitions, want %d", s, len(row), len(d.Alphabet))
+		}
+		for a, t := range row {
+			if t < 0 || t >= len(d.Delta) {
+				return fmt.Errorf("automata: state %d on %q goes to invalid state %d", s, d.Alphabet[a], t)
+			}
+		}
+	}
+	return nil
+}
+
+// FromRex compiles a regular expression to a minimal complete DFA over the
+// given alphabet via Thompson NFA + subset construction + minimization.
+func FromRex(e rex.Expr, alphabet []byte) *DFA {
+	n := buildNFA(e)
+	d := n.determinize(alphabet)
+	return Minimize(d)
+}
+
+// nfa is a private epsilon-NFA used only as a stepping stone to DFAs.
+type nfa struct {
+	// trans[s] lists (byte-set, target) edges; eps[s] lists ε-targets.
+	trans  [][]nEdge
+	eps    [][]int
+	start  int
+	accept int
+}
+
+type nEdge struct {
+	set bytesets.Set
+	to  int
+}
+
+func buildNFA(e rex.Expr) *nfa {
+	n := &nfa{}
+	n.accept = n.newState()
+	n.start = n.compile(e, n.accept)
+	return n
+}
+
+func (n *nfa) newState() int {
+	n.trans = append(n.trans, nil)
+	n.eps = append(n.eps, nil)
+	return len(n.trans) - 1
+}
+
+func (n *nfa) compile(e rex.Expr, next int) int {
+	switch e := e.(type) {
+	case *rex.Lit:
+		entry := next
+		for i := len(e.S) - 1; i >= 0; i-- {
+			s := n.newState()
+			n.trans[s] = append(n.trans[s], nEdge{bytesets.Of(e.S[i]), entry})
+			entry = s
+		}
+		return entry
+	case *rex.Class:
+		s := n.newState()
+		n.trans[s] = append(n.trans[s], nEdge{e.Set, next})
+		return s
+	case *rex.Seq:
+		entry := next
+		for i := len(e.Kids) - 1; i >= 0; i-- {
+			entry = n.compile(e.Kids[i], entry)
+		}
+		return entry
+	case *rex.Alt:
+		s := n.newState()
+		for _, k := range e.Kids {
+			n.eps[s] = append(n.eps[s], n.compile(k, next))
+		}
+		return s
+	case *rex.Star:
+		loop := n.newState()
+		body := n.compile(e.Kid, loop)
+		n.eps[loop] = append(n.eps[loop], body, next)
+		return loop
+	default:
+		panic("automata: unknown rex.Expr")
+	}
+}
+
+func (n *nfa) closure(states map[int]bool) {
+	var stack []int
+	for s := range states {
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.eps[s] {
+			if !states[t] {
+				states[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+}
+
+func setKey(states map[int]bool) string {
+	ids := make([]int, 0, len(states))
+	for s := range states {
+		ids = append(ids, s)
+	}
+	sort.Ints(ids)
+	return fmt.Sprint(ids)
+}
+
+func (n *nfa) determinize(alphabet []byte) *DFA {
+	d := &DFA{Alphabet: append([]byte(nil), alphabet...)}
+	type pending struct {
+		id  int
+		set map[int]bool
+	}
+	startSet := map[int]bool{n.start: true}
+	n.closure(startSet)
+	ids := map[string]int{setKey(startSet): 0}
+	d.Delta = append(d.Delta, make([]int, len(alphabet)))
+	d.Accept = append(d.Accept, startSet[n.accept])
+	work := []pending{{0, startSet}}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		for ai, c := range alphabet {
+			next := map[int]bool{}
+			for s := range cur.set {
+				for _, e := range n.trans[s] {
+					if e.set.Has(c) {
+						next[e.to] = true
+					}
+				}
+			}
+			n.closure(next)
+			key := setKey(next)
+			id, ok := ids[key]
+			if !ok {
+				id = len(d.Delta)
+				ids[key] = id
+				d.Delta = append(d.Delta, make([]int, len(alphabet)))
+				d.Accept = append(d.Accept, next[n.accept])
+				work = append(work, pending{id, next})
+			}
+			d.Delta[cur.id][ai] = id
+		}
+	}
+	return d
+}
+
+// Minimize returns an equivalent DFA with the minimum number of states
+// (Moore's partition-refinement algorithm), with unreachable states removed.
+func Minimize(d *DFA) *DFA {
+	// Restrict to reachable states first.
+	reach := make([]int, d.NumStates())
+	for i := range reach {
+		reach[i] = -1
+	}
+	order := []int{0}
+	reach[0] = 0
+	for qi := 0; qi < len(order); qi++ {
+		s := order[qi]
+		for _, t := range d.Delta[s] {
+			if reach[t] < 0 {
+				reach[t] = len(order)
+				order = append(order, t)
+			}
+		}
+	}
+	// Initial partition: accepting vs non-accepting.
+	class := make([]int, len(order))
+	for i, s := range order {
+		if d.Accept[s] {
+			class[i] = 1
+		}
+	}
+	numClasses := 2
+	for {
+		// Signature of a state: (class, class of successor per letter).
+		sig := make(map[string]int)
+		newClass := make([]int, len(order))
+		next := 0
+		for i, s := range order {
+			key := fmt.Sprint(class[i], ":")
+			for _, t := range d.Delta[s] {
+				key += fmt.Sprint(class[reach[t]], ",")
+			}
+			id, ok := sig[key]
+			if !ok {
+				id = next
+				next++
+				sig[key] = id
+			}
+			newClass[i] = id
+		}
+		if next == numClasses {
+			break
+		}
+		class, numClasses = newClass, next
+	}
+	// Renumber so the start state's class is 0.
+	remap := make([]int, numClasses)
+	for i := range remap {
+		remap[i] = -1
+	}
+	nextID := 0
+	assign := func(c int) int {
+		if remap[c] < 0 {
+			remap[c] = nextID
+			nextID++
+		}
+		return remap[c]
+	}
+	assign(class[0])
+	out := &DFA{Alphabet: append([]byte(nil), d.Alphabet...)}
+	out.Delta = make([][]int, numClasses)
+	out.Accept = make([]bool, numClasses)
+	for i, s := range order {
+		c := assign(class[i])
+		if out.Delta[c] != nil {
+			continue
+		}
+		row := make([]int, len(d.Alphabet))
+		for a, t := range d.Delta[s] {
+			row[a] = assign(class[reach[t]])
+		}
+		out.Delta[c] = row
+		out.Accept[c] = d.Accept[s]
+	}
+	return out
+}

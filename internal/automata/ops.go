@@ -1,0 +1,212 @@
+package automata
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Product returns the product automaton of a and b with acceptance
+// determined by combine(acceptA, acceptB). Both automata must share the same
+// alphabet (same bytes in the same order).
+func Product(a, b *DFA, combine func(bool, bool) bool) *DFA {
+	if len(a.Alphabet) != len(b.Alphabet) {
+		panic("automata: Product over mismatched alphabets")
+	}
+	for i := range a.Alphabet {
+		if a.Alphabet[i] != b.Alphabet[i] {
+			panic("automata: Product over mismatched alphabets")
+		}
+	}
+	type pair struct{ x, y int }
+	ids := map[pair]int{{0, 0}: 0}
+	out := &DFA{Alphabet: append([]byte(nil), a.Alphabet...)}
+	out.Delta = append(out.Delta, make([]int, len(a.Alphabet)))
+	out.Accept = append(out.Accept, combine(a.Accept[0], b.Accept[0]))
+	work := []pair{{0, 0}}
+	for len(work) > 0 {
+		p := work[len(work)-1]
+		work = work[:len(work)-1]
+		id := ids[p]
+		for ai := range a.Alphabet {
+			np := pair{a.Delta[p.x][ai], b.Delta[p.y][ai]}
+			nid, ok := ids[np]
+			if !ok {
+				nid = len(out.Delta)
+				ids[np] = nid
+				out.Delta = append(out.Delta, make([]int, len(a.Alphabet)))
+				out.Accept = append(out.Accept, combine(a.Accept[np.x], b.Accept[np.y]))
+				work = append(work, np)
+			}
+			out.Delta[id][ai] = nid
+		}
+	}
+	return out
+}
+
+// Intersect returns a DFA for L(a) ∩ L(b).
+func Intersect(a, b *DFA) *DFA {
+	return Product(a, b, func(x, y bool) bool { return x && y })
+}
+
+// Union returns a DFA for L(a) ∪ L(b).
+func Union(a, b *DFA) *DFA {
+	return Product(a, b, func(x, y bool) bool { return x || y })
+}
+
+// Difference returns a DFA for L(a) \ L(b).
+func Difference(a, b *DFA) *DFA {
+	return Product(a, b, func(x, y bool) bool { return x && !y })
+}
+
+// Complement returns a DFA for the complement of L(d) relative to
+// Alphabet*.
+func Complement(d *DFA) *DFA {
+	out := &DFA{Alphabet: append([]byte(nil), d.Alphabet...)}
+	out.Delta = make([][]int, d.NumStates())
+	out.Accept = make([]bool, d.NumStates())
+	for s := range d.Delta {
+		out.Delta[s] = append([]int(nil), d.Delta[s]...)
+		out.Accept[s] = !d.Accept[s]
+	}
+	return out
+}
+
+// ShortestAccepted returns a shortest accepted string via BFS, and false if
+// the language is empty.
+func ShortestAccepted(d *DFA) (string, bool) {
+	type node struct {
+		state int
+		prev  int // index into visitOrder, -1 for start
+		via   byte
+	}
+	visited := make([]bool, d.NumStates())
+	visitOrder := []node{{0, -1, 0}}
+	visited[0] = true
+	for qi := 0; qi < len(visitOrder); qi++ {
+		cur := visitOrder[qi]
+		if d.Accept[cur.state] {
+			// Reconstruct the path.
+			var rev []byte
+			for i := qi; visitOrder[i].prev >= 0; i = visitOrder[i].prev {
+				rev = append(rev, visitOrder[i].via)
+			}
+			for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+				rev[l], rev[r] = rev[r], rev[l]
+			}
+			return string(rev), true
+		}
+		for ai, t := range d.Delta[cur.state] {
+			if !visited[t] {
+				visited[t] = true
+				visitOrder = append(visitOrder, node{t, qi, d.Alphabet[ai]})
+			}
+		}
+	}
+	return "", false
+}
+
+// Equivalent reports whether L(a) = L(b); when not, it also returns a
+// shortest string witnessing the difference.
+func Equivalent(a, b *DFA) (bool, string) {
+	sym := Union(Difference(a, b), Difference(b, a))
+	w, found := ShortestAccepted(sym)
+	if found {
+		return false, w
+	}
+	return true, ""
+}
+
+// Empty reports whether L(d) = ∅.
+func Empty(d *DFA) bool {
+	_, found := ShortestAccepted(d)
+	return !found
+}
+
+// Sample draws a random accepted string of length at most maxLen, and false
+// if no accepted string of length ≤ maxLen exists. Sampling walks the DFA
+// choosing uniformly among (letter, successor) moves that can still reach an
+// accepting state within the remaining budget, stopping at accepting states
+// with probability stopP.
+func Sample(d *DFA, rng *rand.Rand, maxLen int, stopP float64) (string, bool) {
+	// dist[s] = length of shortest accepted suffix from s (or -1).
+	dist := shortestAcceptDistances(d)
+	if dist[0] < 0 || dist[0] > maxLen {
+		return "", false
+	}
+	var out []byte
+	s := 0
+	for len(out) <= maxLen {
+		if d.Accept[s] && (rng.Float64() < stopP || len(out) == maxLen) {
+			return string(out), true
+		}
+		// Candidate moves that keep an accepting state reachable in budget.
+		budget := maxLen - len(out) - 1
+		var moves []int
+		for ai, t := range d.Delta[s] {
+			if dist[t] >= 0 && dist[t] <= budget {
+				moves = append(moves, ai)
+			}
+		}
+		if len(moves) == 0 {
+			if d.Accept[s] {
+				return string(out), true
+			}
+			return "", false
+		}
+		ai := moves[rng.Intn(len(moves))]
+		out = append(out, d.Alphabet[ai])
+		s = d.Delta[s][ai]
+	}
+	if d.Accept[s] {
+		return string(out), true
+	}
+	return "", false
+}
+
+func shortestAcceptDistances(d *DFA) []int {
+	dist := make([]int, d.NumStates())
+	for i := range dist {
+		dist[i] = -1
+	}
+	// Multi-source BFS on reversed edges from accepting states.
+	rev := make([][]int, d.NumStates())
+	for s, row := range d.Delta {
+		for _, t := range row {
+			rev[t] = append(rev[t], s)
+		}
+	}
+	var queue []int
+	for s, acc := range d.Accept {
+		if acc {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		s := queue[qi]
+		for _, p := range rev[s] {
+			if dist[p] < 0 {
+				dist[p] = dist[s] + 1
+				queue = append(queue, p)
+			}
+		}
+	}
+	return dist
+}
+
+// AlphabetOf returns the sorted union of the bytes in the given strings —
+// the alphabet a learner is run over when only examples are available.
+func AlphabetOf(examples ...string) []byte {
+	seen := map[byte]bool{}
+	for _, e := range examples {
+		for i := 0; i < len(e); i++ {
+			seen[e[i]] = true
+		}
+	}
+	out := make([]byte, 0, len(seen))
+	for b := range seen {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

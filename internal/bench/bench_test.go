@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func smallConfig() Config {
+	return Config{Seeds: 6, EvalSamples: 120, Timeout: 30 * time.Second, FuzzSamples: 1500, RandSeed: 1}
+}
+
+func TestFig4Shape(t *testing.T) {
+	rows := Fig4(smallConfig())
+	if len(rows) != 16 {
+		t.Fatalf("expected 16 rows, got %d", len(rows))
+	}
+	f1 := map[string]map[string]float64{}
+	for _, r := range rows {
+		if f1[r.Target] == nil {
+			f1[r.Target] = map[string]float64{}
+		}
+		f1[r.Target][r.Learner] = r.F1
+	}
+	// The paper's headline shape: GLADE beats both baselines on every
+	// target; L-Star's only real showing is grep; RPNI fails everywhere.
+	for _, tgt := range []string{"url", "grep", "lisp", "xml"} {
+		if f1[tgt]["glade"] < f1[tgt]["rpni"] {
+			t.Errorf("%s: glade F1 %.2f < rpni %.2f", tgt, f1[tgt]["glade"], f1[tgt]["rpni"])
+		}
+	}
+	for _, tgt := range []string{"grep", "lisp", "xml"} {
+		if f1[tgt]["glade"] < f1[tgt]["lstar"] {
+			t.Errorf("%s: glade F1 %.2f < lstar %.2f", tgt, f1[tgt]["glade"], f1[tgt]["lstar"])
+		}
+	}
+	if f1["xml"]["glade"] < 0.4 || f1["grep"]["glade"] < 0.7 {
+		t.Errorf("glade F1 too low: xml %.2f grep %.2f", f1["xml"]["glade"], f1["grep"]["glade"])
+	}
+}
+
+func TestFig4c(t *testing.T) {
+	rows := Fig4c(smallConfig(), []int{2, 5})
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Recall == 0 {
+			t.Errorf("seeds=%d: zero recall", r.Seeds)
+		}
+	}
+}
+
+func TestFig5(t *testing.T) {
+	out := Fig5(smallConfig())
+	for _, tgt := range []string{"url", "grep", "lisp", "xml"} {
+		if !strings.Contains(out[tgt], "::=") {
+			t.Errorf("%s: no grammar rendered: %s", tgt, out[tgt])
+		}
+	}
+}
+
+func TestFig6And7(t *testing.T) {
+	ResetCache()
+	c := smallConfig()
+	rows, err := Fig6(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("Fig6 rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Points == 0 || r.SeedLines == 0 || r.GrammarSize == 0 {
+			t.Errorf("incomplete row %+v", r)
+		}
+	}
+	cov, err := Fig7a(c, []string{"xml", "sed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byProg := map[string]map[string]CoverageRow{}
+	for _, r := range cov {
+		if byProg[r.Program] == nil {
+			byProg[r.Program] = map[string]CoverageRow{}
+		}
+		byProg[r.Program][r.Fuzzer] = r
+	}
+	// Shape: on the structured XML format the grammar fuzzer beats naive.
+	if byProg["xml"]["glade"].Normalized < 1.0 {
+		t.Errorf("xml: glade normalized %.2f < 1", byProg["xml"]["glade"].Normalized)
+	}
+	for _, r := range cov {
+		if r.Fuzzer == "naive" && r.Normalized != 1.0 {
+			t.Errorf("naive normalization broken: %+v", r)
+		}
+	}
+	curve, err := Fig7c(c, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 9 {
+		t.Errorf("Fig7c rows = %d, want 9", len(curve))
+	}
+	sample, err := Fig8(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sample == "" {
+		t.Error("Fig8 produced no sample")
+	}
+}
+
+func TestFig7b(t *testing.T) {
+	ResetCache()
+	c := smallConfig()
+	c.FuzzSamples = 800
+	rows, err := Fig7b(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.Fuzzer] = true
+	}
+	if !seen["handwritten"] || !seen["testsuite"] {
+		t.Fatalf("missing upper-bound rows: %+v", seen)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	c := smallConfig()
+	c.Seeds = 4
+	c.EvalSamples = 80
+	rows := Ablations(c)
+	if len(rows) != 4*len(AblationVariants) {
+		t.Fatalf("ablation rows = %d", len(rows))
+	}
+	byKey := map[string]AblationRow{}
+	for _, r := range rows {
+		byKey[r.Target+"/"+r.Variant] = r
+	}
+	// Reversed candidate ordering must hurt recall on xml (the §4.2 claim).
+	if byKey["xml/reverse-ordering"].Recall > byKey["xml/full"].Recall {
+		t.Errorf("reverse ordering did not reduce xml recall: %.2f vs %.2f",
+			byKey["xml/reverse-ordering"].Recall, byKey["xml/full"].Recall)
+	}
+}
+
+func TestTestSuitesAreValid(t *testing.T) {
+	for _, name := range []string{"python", "ruby", "javascript"} {
+		suite := TestSuite(name)
+		if len(suite) < 30 {
+			t.Fatalf("%s suite too small: %d", name, len(suite))
+		}
+	}
+	if TestSuite("nope") != nil {
+		t.Fatal("unknown suite non-nil")
+	}
+}

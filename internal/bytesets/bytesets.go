@@ -1,0 +1,206 @@
+// Package bytesets provides a dense bitmap set over byte values.
+//
+// Byte sets are the terminal alphabet representation used throughout the
+// repository: regular-expression character classes, grammar terminals, and
+// the character-generalization phase of the GLADE learner all operate on
+// sets of bytes. The zero value is the empty set and is ready to use.
+package bytesets
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Set is a set of byte values represented as a 256-bit bitmap.
+// The zero value is the empty set. Set is a value type: assignment copies.
+type Set struct {
+	w [4]uint64
+}
+
+// Of returns the set containing exactly the given bytes.
+func Of(bs ...byte) Set {
+	var s Set
+	for _, b := range bs {
+		s.Add(b)
+	}
+	return s
+}
+
+// OfString returns the set of bytes appearing in str.
+func OfString(str string) Set {
+	var s Set
+	for i := 0; i < len(str); i++ {
+		s.Add(str[i])
+	}
+	return s
+}
+
+// Range returns the set {lo, lo+1, ..., hi}. It is empty if lo > hi.
+func Range(lo, hi byte) Set {
+	var s Set
+	for b := int(lo); b <= int(hi); b++ {
+		s.Add(byte(b))
+	}
+	return s
+}
+
+// Add inserts b into the set.
+func (s *Set) Add(b byte) { s.w[b>>6] |= 1 << (b & 63) }
+
+// Remove deletes b from the set.
+func (s *Set) Remove(b byte) { s.w[b>>6] &^= 1 << (b & 63) }
+
+// Has reports whether b is in the set.
+func (s Set) Has(b byte) bool { return s.w[b>>6]&(1<<(b&63)) != 0 }
+
+// Len returns the number of bytes in the set.
+func (s Set) Len() int {
+	n := 0
+	for _, w := range s.w {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IsEmpty reports whether the set contains no bytes.
+func (s Set) IsEmpty() bool { return s.w == [4]uint64{} }
+
+// Equal reports whether s and t contain the same bytes.
+func (s Set) Equal(t Set) bool { return s.w == t.w }
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set {
+	var r Set
+	for i := range r.w {
+		r.w[i] = s.w[i] | t.w[i]
+	}
+	return r
+}
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set {
+	var r Set
+	for i := range r.w {
+		r.w[i] = s.w[i] & t.w[i]
+	}
+	return r
+}
+
+// Diff returns s \ t.
+func (s Set) Diff(t Set) Set {
+	var r Set
+	for i := range r.w {
+		r.w[i] = s.w[i] &^ t.w[i]
+	}
+	return r
+}
+
+// Complement returns the set of all bytes not in s.
+func (s Set) Complement() Set {
+	var r Set
+	for i := range r.w {
+		r.w[i] = ^s.w[i]
+	}
+	return r
+}
+
+// Bytes returns the members of the set in ascending order.
+func (s Set) Bytes() []byte {
+	out := make([]byte, 0, s.Len())
+	for i, w := range s.w {
+		for w != 0 {
+			b := byte(i<<6 + bits.TrailingZeros64(w))
+			out = append(out, b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Min returns the smallest byte in the set. It panics on the empty set.
+func (s Set) Min() byte {
+	for i, w := range s.w {
+		if w != 0 {
+			return byte(i<<6 + bits.TrailingZeros64(w))
+		}
+	}
+	panic("bytesets: Min of empty set")
+}
+
+// Pick returns the i-th smallest member (0-based). It panics if i is out of
+// range. It is used for uniform sampling from character classes.
+func (s Set) Pick(i int) byte {
+	for wi, w := range s.w {
+		c := bits.OnesCount64(w)
+		if i < c {
+			for ; ; i-- {
+				b := bits.TrailingZeros64(w)
+				if i == 0 {
+					return byte(wi<<6 + b)
+				}
+				w &= w - 1
+			}
+		}
+		i -= c
+	}
+	panic("bytesets: Pick out of range")
+}
+
+// String renders the set in a compact character-class notation such as
+// [a-z0-9_] with non-printable bytes escaped as \xNN.
+func (s Set) String() string {
+	if s.IsEmpty() {
+		return "[]"
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	members := s.Bytes()
+	for i := 0; i < len(members); {
+		j := i
+		for j+1 < len(members) && members[j+1] == members[j]+1 {
+			j++
+		}
+		if j-i >= 2 {
+			b.WriteString(escapeByte(members[i]))
+			b.WriteByte('-')
+			b.WriteString(escapeByte(members[j]))
+		} else {
+			for k := i; k <= j; k++ {
+				b.WriteString(escapeByte(members[k]))
+			}
+		}
+		i = j + 1
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+func escapeByte(c byte) string {
+	switch c {
+	case '\n':
+		return `\n`
+	case '\t':
+		return `\t`
+	case '\r':
+		return `\r`
+	case '\\', ']', '[', '-', '^':
+		return `\` + string(c)
+	}
+	if c < 32 || c > 126 {
+		return fmt.Sprintf(`\x%02x`, c)
+	}
+	return string(c)
+}
+
+// Printable is the set of printable ASCII characters (0x20..0x7e).
+func Printable() Set { return Range(0x20, 0x7e) }
+
+// PrintableWS is Printable plus tab and newline; this is the default
+// character-generalization alphabet used by the learner.
+func PrintableWS() Set {
+	s := Printable()
+	s.Add('\t')
+	s.Add('\n')
+	return s
+}

@@ -1,0 +1,211 @@
+package bytesets
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	var s Set
+	if !s.IsEmpty() || s.Len() != 0 {
+		t.Fatalf("zero Set not empty: %v", s)
+	}
+	if s.Has(0) || s.Has(255) {
+		t.Fatal("empty set Has returned true")
+	}
+	if got := s.String(); got != "[]" {
+		t.Fatalf("String() = %q, want []", got)
+	}
+}
+
+func TestAddRemoveHas(t *testing.T) {
+	var s Set
+	for _, b := range []byte{0, 1, 63, 64, 127, 128, 200, 255} {
+		s.Add(b)
+		if !s.Has(b) {
+			t.Fatalf("Has(%d) = false after Add", b)
+		}
+	}
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", s.Len())
+	}
+	s.Remove(64)
+	if s.Has(64) {
+		t.Fatal("Has(64) after Remove")
+	}
+	if s.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", s.Len())
+	}
+}
+
+func TestOfString(t *testing.T) {
+	s := OfString("abca")
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	for _, b := range []byte("abc") {
+		if !s.Has(b) {
+			t.Fatalf("missing %q", b)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := Range('a', 'f')
+	if s.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", s.Len())
+	}
+	if s.Min() != 'a' {
+		t.Fatalf("Min = %q", s.Min())
+	}
+	if !Range('z', 'a').IsEmpty() {
+		t.Fatal("inverted Range not empty")
+	}
+	full := Range(0, 255)
+	if full.Len() != 256 {
+		t.Fatalf("full Len = %d", full.Len())
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := OfString("abcd")
+	b := OfString("cdef")
+	if got := a.Union(b); got.Len() != 6 {
+		t.Fatalf("Union len = %d", got.Len())
+	}
+	if got := a.Intersect(b); !got.Equal(OfString("cd")) {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if got := a.Diff(b); !got.Equal(OfString("ab")) {
+		t.Fatalf("Diff = %v", got)
+	}
+	if got := a.Complement().Complement(); !got.Equal(a) {
+		t.Fatal("double Complement != identity")
+	}
+}
+
+func TestBytesSorted(t *testing.T) {
+	s := Of(9, 3, 200, 3, 0)
+	bs := s.Bytes()
+	want := []byte{0, 3, 9, 200}
+	if len(bs) != len(want) {
+		t.Fatalf("Bytes = %v", bs)
+	}
+	for i := range bs {
+		if bs[i] != want[i] {
+			t.Fatalf("Bytes = %v, want %v", bs, want)
+		}
+	}
+}
+
+func TestPick(t *testing.T) {
+	s := Of(5, 70, 130, 255)
+	want := []byte{5, 70, 130, 255}
+	for i, w := range want {
+		if got := s.Pick(i); got != w {
+			t.Fatalf("Pick(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestPickPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pick out of range did not panic")
+		}
+	}()
+	Of(1).Pick(1)
+}
+
+func TestMinPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min of empty did not panic")
+		}
+	}()
+	var s Set
+	s.Min()
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		in   Set
+		want string
+	}{
+		{OfString("abc"), "[a-c]"},
+		{OfString("ab"), "[ab]"},
+		{Of('a', 'c'), "[ac]"},
+		{Of('\n'), `[\n]`},
+		{Of(0), `[\x00]`},
+		{Of('-'), `[\-]`},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%v bytes) = %q, want %q", c.in.Bytes(), got, c.want)
+		}
+	}
+}
+
+func TestPrintable(t *testing.T) {
+	p := Printable()
+	if p.Len() != 95 {
+		t.Fatalf("Printable Len = %d, want 95", p.Len())
+	}
+	pw := PrintableWS()
+	if pw.Len() != 97 || !pw.Has('\t') || !pw.Has('\n') {
+		t.Fatalf("PrintableWS wrong: len=%d", pw.Len())
+	}
+}
+
+// Property: membership after construction matches the defining predicate.
+func TestQuickOfString(t *testing.T) {
+	f := func(s string) bool {
+		set := OfString(s)
+		seen := map[byte]bool{}
+		for i := 0; i < len(s); i++ {
+			seen[s[i]] = true
+		}
+		for b := 0; b < 256; b++ {
+			if set.Has(byte(b)) != seen[byte(b)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan — complement of union equals intersection of complements.
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(a, b string) bool {
+		x, y := OfString(a), OfString(b)
+		return x.Union(y).Complement().Equal(x.Complement().Intersect(y.Complement()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Pick enumerates exactly Bytes().
+func TestQuickPickBytesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 200; iter++ {
+		var s Set
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			s.Add(byte(rng.Intn(256)))
+		}
+		bs := s.Bytes()
+		if len(bs) != s.Len() {
+			t.Fatalf("len(Bytes)=%d Len=%d", len(bs), s.Len())
+		}
+		for i, b := range bs {
+			if got := s.Pick(i); got != b {
+				t.Fatalf("Pick(%d)=%d want %d", i, got, b)
+			}
+		}
+	}
+}

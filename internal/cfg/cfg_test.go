@@ -1,0 +1,354 @@
+package cfg
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"glade/internal/bytesets"
+)
+
+// xmlLike builds the paper's Figure 1 grammar
+// A → (a..z | <a>A</a>)* over a restricted letter set.
+func xmlLike() *Grammar {
+	g := New()
+	a := g.AddNT("A")
+	item := g.AddNT("Item")
+	g.Add(a)                // A → ε
+	g.Add(a, N(item), N(a)) // A → Item A
+	g.Add(item, T(bytesets.Range('a', 'z')))
+	g.Add(item, Cat(Str("<a>"), One(N(a)), Str("</a>"))...)
+	return g
+}
+
+// balanced builds S → ε | (S)S — Dyck language of one parenthesis pair.
+func balanced() *Grammar {
+	g := New()
+	s := g.AddNT("S")
+	g.Add(s)
+	g.Add(s, Cat(Str("("), One(N(s)), Str(")"), One(N(s)))...)
+	return g
+}
+
+func TestValidate(t *testing.T) {
+	if err := xmlLike().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := New()
+	x := bad.AddNT("X")
+	bad.Add(x, N(5))
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted dangling nonterminal")
+	}
+	bad2 := New()
+	y := bad2.AddNT("Y")
+	bad2.Add(y, T(bytesets.Set{}))
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("Validate accepted empty terminal class")
+	}
+}
+
+func TestNullable(t *testing.T) {
+	g := xmlLike()
+	nl := g.Nullable()
+	if !nl[0] {
+		t.Fatal("A should be nullable")
+	}
+	if nl[1] {
+		t.Fatal("Item should not be nullable")
+	}
+}
+
+func TestEarleyXMLLike(t *testing.T) {
+	p := NewParser(xmlLike())
+	valid := []string{"", "hi", "<a>hi</a>", "<a></a>", "<a><a>x</a>y</a>z", "ab<a>c</a>"}
+	for _, s := range valid {
+		if !p.Accepts(s) {
+			t.Errorf("rejects valid %q", s)
+		}
+	}
+	invalid := []string{"<a>", "</a>", "<a>hi</a", "<b>x</b>", "<a><a>x</a>", "HI"}
+	for _, s := range invalid {
+		if p.Accepts(s) {
+			t.Errorf("accepts invalid %q", s)
+		}
+	}
+}
+
+func TestEarleyBalanced(t *testing.T) {
+	p := NewParser(balanced())
+	for _, s := range []string{"", "()", "()()", "(())", "(()())()", "((((()))))"} {
+		if !p.Accepts(s) {
+			t.Errorf("rejects balanced %q", s)
+		}
+	}
+	for _, s := range []string{"(", ")", ")(", "(()", "())"} {
+		if p.Accepts(s) {
+			t.Errorf("accepts unbalanced %q", s)
+		}
+	}
+}
+
+func TestEarleyLeftRecursion(t *testing.T) {
+	// E → E + a | a : classic left recursion Earley must handle.
+	g := New()
+	e := g.AddNT("E")
+	g.Add(e, N(e), TByte('+'), TByte('a'))
+	g.Add(e, TByte('a'))
+	p := NewParser(g)
+	for _, s := range []string{"a", "a+a", "a+a+a+a"} {
+		if !p.Accepts(s) {
+			t.Errorf("rejects %q", s)
+		}
+	}
+	for _, s := range []string{"", "+", "a+", "+a", "aa"} {
+		if p.Accepts(s) {
+			t.Errorf("accepts %q", s)
+		}
+	}
+}
+
+func TestEarleyNullableChains(t *testing.T) {
+	// S → A B 'x'; A → ε | 'a'; B → A A — deep nullable chains.
+	g := New()
+	s := g.AddNT("S")
+	a := g.AddNT("A")
+	b := g.AddNT("B")
+	g.Add(s, N(a), N(b), TByte('x'))
+	g.Add(a)
+	g.Add(a, TByte('a'))
+	g.Add(b, N(a), N(a))
+	p := NewParser(g)
+	for _, in := range []string{"x", "ax", "aax", "aaax"} {
+		if !p.Accepts(in) {
+			t.Errorf("rejects %q", in)
+		}
+	}
+	for _, in := range []string{"", "a", "aaaax", "xa"} {
+		if p.Accepts(in) {
+			t.Errorf("accepts %q", in)
+		}
+	}
+}
+
+func TestParseTree(t *testing.T) {
+	g := xmlLike()
+	p := NewParser(g)
+	input := "<a>hi</a>"
+	tree, err := p.Parse(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NT != g.Start || tree.Lo != 0 || tree.Hi != len(input) {
+		t.Fatalf("root = %+v", tree)
+	}
+	if tree.Text(input) != input {
+		t.Fatalf("root text = %q", tree.Text(input))
+	}
+	// Every node's span must equal the concatenation spans of its kids
+	// interleaved with terminals; verify node texts re-derive via spans.
+	for _, n := range tree.Nodes(nil) {
+		if n.Lo > n.Hi || n.Lo < 0 || n.Hi > len(input) {
+			t.Fatalf("bad span %d..%d", n.Lo, n.Hi)
+		}
+		prod := g.Prods[n.NT][n.Prod]
+		nNT := 0
+		for _, sym := range prod {
+			if sym.IsNT() {
+				nNT++
+			}
+		}
+		if nNT != len(n.Kids) {
+			t.Fatalf("node has %d kids, production has %d nonterminals", len(n.Kids), nNT)
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	p := NewParser(xmlLike())
+	if _, err := p.Parse("<a>"); err == nil {
+		t.Fatal("Parse accepted invalid input")
+	}
+}
+
+func TestTrim(t *testing.T) {
+	g := New()
+	s := g.AddNT("S")
+	dead := g.AddNT("Dead")       // unproductive: only self-loop
+	unreach := g.AddNT("Unreach") // productive but unreachable
+	g.Add(s, TByte('a'))
+	g.Add(s, N(dead))
+	g.Add(dead, N(dead), TByte('b'))
+	g.Add(unreach, TByte('c'))
+	trimmed := g.Trim()
+	if trimmed.NumNT() != 1 {
+		t.Fatalf("Trim kept %d nonterminals, want 1", trimmed.NumNT())
+	}
+	p := NewParser(trimmed)
+	if !p.Accepts("a") || p.Accepts("b") {
+		t.Fatal("Trim changed the language")
+	}
+}
+
+func TestTrimEmptyLanguage(t *testing.T) {
+	g := New()
+	s := g.AddNT("S")
+	g.Add(s, N(s), TByte('a'))
+	trimmed := g.Trim()
+	if NewParser(trimmed).Accepts("a") {
+		t.Fatal("empty-language grammar accepts a string after Trim")
+	}
+}
+
+func TestSamplerProducesMembers(t *testing.T) {
+	for name, g := range map[string]*Grammar{"xml": xmlLike(), "dyck": balanced()} {
+		p := NewParser(g)
+		sm := NewSampler(g, 24)
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 300; i++ {
+			s := sm.Sample(rng)
+			if len(s) > 4000 {
+				t.Fatalf("%s: sample too long (%d bytes): depth bound ineffective", name, len(s))
+			}
+			if !p.Accepts(s) {
+				t.Fatalf("%s: sampled %q not accepted by own grammar", name, s)
+			}
+		}
+	}
+}
+
+func TestSamplerUnproductivePanics(t *testing.T) {
+	g := New()
+	s := g.AddNT("S")
+	g.Add(s, N(s))
+	sm := NewSampler(g, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sampling unproductive grammar did not panic")
+		}
+	}()
+	sm.Sample(rand.New(rand.NewSource(1)))
+}
+
+func TestSamplerTerminatesOnDeepGrammar(t *testing.T) {
+	// S → ( S ) | ε with tiny budget must still terminate.
+	g := balanced()
+	sm := NewSampler(g, 2)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		s := sm.Sample(rng)
+		if len(s) > 200 {
+			t.Fatalf("runaway sample of length %d", len(s))
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	g := xmlLike()
+	out := g.String()
+	for _, want := range []string{"start: A", "A ::= ", "Item", "[a-z]", `"<a>"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// Property: parse trees reconstruct for every sampled string, and each
+// node's production is consistent with its children.
+func TestQuickSampleParseRoundTrip(t *testing.T) {
+	g := xmlLike()
+	p := NewParser(g)
+	sm := NewSampler(g, 16)
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 150; i++ {
+		s := sm.Sample(rng)
+		tree, err := p.Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		checkTree(t, g, tree, s)
+	}
+}
+
+// checkTree verifies that the parse tree is a valid derivation: children
+// cover exactly the nonterminal positions, spans tile, terminals match.
+func checkTree(t *testing.T, g *Grammar, n *Tree, input string) {
+	t.Helper()
+	prod := g.Prods[n.NT][n.Prod]
+	pos := n.Lo
+	ki := 0
+	for _, sym := range prod {
+		if sym.IsNT() {
+			kid := n.Kids[ki]
+			ki++
+			if kid.NT != sym.NT || kid.Lo != pos {
+				t.Fatalf("child mismatch at %d: got NT %d span %d..%d", pos, kid.NT, kid.Lo, kid.Hi)
+			}
+			checkTree(t, g, kid, input)
+			pos = kid.Hi
+		} else {
+			if pos >= len(input) || !sym.Set.Has(input[pos]) {
+				t.Fatalf("terminal mismatch at %d in %q", pos, input)
+			}
+			pos++
+		}
+	}
+	if pos != n.Hi {
+		t.Fatalf("span mismatch: consumed to %d, node ends %d", pos, n.Hi)
+	}
+}
+
+func BenchmarkEarleyAccepts(b *testing.B) {
+	p := NewParser(xmlLike())
+	input := strings.Repeat("<a>hi<a>deep</a>x</a>", 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !p.Accepts(input) {
+			b.Fatal("rejected")
+		}
+	}
+}
+
+func BenchmarkEarleyParse(b *testing.B) {
+	p := NewParser(xmlLike())
+	input := strings.Repeat("<a>hi<a>deep</a>x</a>", 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Parse(input); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSampler(b *testing.B) {
+	sm := NewSampler(xmlLike(), 24)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sm.Sample(rng)
+	}
+}
+
+// TestParseUnitCycle: grammars with unit-production cycles (A → B, B → A)
+// must not send the tree builder into infinite recursion.
+func TestParseUnitCycle(t *testing.T) {
+	g := New()
+	a := g.AddNT("A")
+	b := g.AddNT("B")
+	g.Add(a, N(b))
+	g.Add(b, N(a))
+	g.Add(b, TByte('x'))
+	g.Add(a, N(a), N(a)) // and a same-span binary cycle via nullables
+	g.Add(a)
+	p := NewParser(g)
+	for _, s := range []string{"", "x", "xx", "xxx"} {
+		if !p.Accepts(s) {
+			t.Fatalf("rejects %q", s)
+		}
+		tree, err := p.Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		checkTree(t, g, tree, s)
+	}
+}

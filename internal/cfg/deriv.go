@@ -1,0 +1,129 @@
+package cfg
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Deriv is a concrete derivation tree whose leaves carry the produced
+// bytes. Unlike Tree (which indexes spans of a fixed input), Deriv owns its
+// text and supports splicing — the representation the grammar-based fuzzer
+// mutates.
+type Deriv struct {
+	NT    int
+	Prod  int
+	Parts []DerivPart
+}
+
+// DerivPart is one right-hand-side position: either a child derivation (for
+// a nonterminal symbol) or a produced terminal byte.
+type DerivPart struct {
+	Child *Deriv // nil for terminal positions
+	Byte  byte
+}
+
+// Render returns the string this derivation produces.
+func (d *Deriv) Render() string {
+	var b strings.Builder
+	d.render(&b)
+	return b.String()
+}
+
+func (d *Deriv) render(b *strings.Builder) {
+	for _, p := range d.Parts {
+		if p.Child != nil {
+			p.Child.render(b)
+		} else {
+			b.WriteByte(p.Byte)
+		}
+	}
+}
+
+// Clone deep-copies the derivation.
+func (d *Deriv) Clone() *Deriv {
+	out := &Deriv{NT: d.NT, Prod: d.Prod, Parts: make([]DerivPart, len(d.Parts))}
+	for i, p := range d.Parts {
+		if p.Child != nil {
+			out.Parts[i] = DerivPart{Child: p.Child.Clone()}
+		} else {
+			out.Parts[i] = p
+		}
+	}
+	return out
+}
+
+// Nodes appends all derivation nodes (preorder) to dst and returns it.
+func (d *Deriv) Nodes(dst []*Deriv) []*Deriv {
+	dst = append(dst, d)
+	for _, p := range d.Parts {
+		if p.Child != nil {
+			dst = p.Child.Nodes(dst)
+		}
+	}
+	return dst
+}
+
+// DerivFromTree converts a parse tree of input (from Parser.Parse) into an
+// owned derivation.
+func DerivFromTree(g *Grammar, t *Tree, input string) *Deriv {
+	prod := g.Prods[t.NT][t.Prod]
+	d := &Deriv{NT: t.NT, Prod: t.Prod, Parts: make([]DerivPart, len(prod))}
+	pos := t.Lo
+	ki := 0
+	for i, sym := range prod {
+		if sym.IsNT() {
+			kid := t.Kids[ki]
+			ki++
+			d.Parts[i] = DerivPart{Child: DerivFromTree(g, kid, input)}
+			pos = kid.Hi
+		} else {
+			d.Parts[i] = DerivPart{Byte: input[pos]}
+			pos++
+		}
+	}
+	return d
+}
+
+// SampleDeriv draws a random derivation from nonterminal nt, using the same
+// uniform production choice and depth budgeting as Sample.
+func (s *Sampler) SampleDeriv(rng *rand.Rand, nt int) *Deriv {
+	if s.minDepth[nt] == unbounded {
+		panic("cfg: sampling from unproductive nonterminal " + s.g.Names[nt])
+	}
+	return s.expandDeriv(rng, nt, s.MaxDepth)
+}
+
+func (s *Sampler) expandDeriv(rng *rand.Rand, nt, budget int) *Deriv {
+	prods := s.g.Prods[nt]
+	var fits []int
+	for pi := range prods {
+		if s.minCost[nt][pi] <= budget {
+			fits = append(fits, pi)
+		}
+	}
+	if len(fits) == 0 {
+		best := unbounded
+		for pi := range prods {
+			if s.minCost[nt][pi] < best {
+				best = s.minCost[nt][pi]
+			}
+		}
+		for pi := range prods {
+			if s.minCost[nt][pi] == best {
+				fits = append(fits, pi)
+			}
+		}
+	}
+	pi := fits[rng.Intn(len(fits))]
+	prod := prods[pi]
+	d := &Deriv{NT: nt, Prod: pi, Parts: make([]DerivPart, len(prod))}
+	for i, sym := range prod {
+		if sym.IsNT() {
+			d.Parts[i] = DerivPart{Child: s.expandDeriv(rng, sym.NT, budget-1)}
+		} else {
+			n := sym.Set.Len()
+			d.Parts[i] = DerivPart{Byte: sym.Set.Pick(rng.Intn(n))}
+		}
+	}
+	return d
+}

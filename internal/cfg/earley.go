@@ -1,0 +1,287 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Parser is an Earley recognizer/parser for a fixed grammar. It is safe for
+// sequential reuse across inputs; it is not safe for concurrent use.
+type Parser struct {
+	g        *Grammar
+	nullable []bool
+}
+
+// NewParser compiles g into a Parser.
+func NewParser(g *Grammar) *Parser {
+	return &Parser{g: g, nullable: g.Nullable()}
+}
+
+// item is an Earley item: production Prods[nt][prod], dot position, origin.
+type item struct {
+	nt, prod, dot, origin int
+}
+
+// chart holds, for each input position, the item set and, for parse-tree
+// extraction, the set of completed spans.
+type chart struct {
+	sets []map[item]bool
+	// completed[nt] maps start position to the sorted list of end positions
+	// such that nt derives input[start:end].
+	completed []map[int][]int
+}
+
+// Accepts reports whether input ∈ L(g).
+func (p *Parser) Accepts(input string) bool {
+	ch := p.run(input)
+	return p.accepted(ch, input)
+}
+
+func (p *Parser) accepted(ch *chart, input string) bool {
+	for _, end := range ch.completed[p.g.Start][0] {
+		if end == len(input) {
+			return true
+		}
+	}
+	return false
+}
+
+// run executes the Earley algorithm and returns the filled chart.
+func (p *Parser) run(input string) *chart {
+	g := p.g
+	n := len(input)
+	ch := &chart{
+		sets:      make([]map[item]bool, n+1),
+		completed: make([]map[int][]int, g.NumNT()),
+	}
+	for i := range ch.sets {
+		ch.sets[i] = map[item]bool{}
+	}
+	for nt := range ch.completed {
+		ch.completed[nt] = map[int][]int{}
+	}
+	// itemsByOrigin[k] lists items waiting at position k for a completion:
+	// index of items in set k whose next symbol is a nonterminal.
+	type wait struct{ it item }
+	waiting := make([]map[int][]item, n+1) // waiting[k][nt] = items at k expecting nt
+	for i := range waiting {
+		waiting[i] = map[int][]item{}
+	}
+	recordComplete := func(nt, start, end int) {
+		ends := ch.completed[nt][start]
+		idx := sort.SearchInts(ends, end)
+		if idx < len(ends) && ends[idx] == end {
+			return
+		}
+		ends = append(ends, 0)
+		copy(ends[idx+1:], ends[idx:])
+		ends[idx] = end
+		ch.completed[nt][start] = ends
+	}
+
+	var queue []item
+	add := func(pos int, it item) {
+		if !ch.sets[pos][it] {
+			ch.sets[pos][it] = true
+			queue = append(queue, it)
+		}
+	}
+
+	process := func(pos int) {
+		for len(queue) > 0 {
+			it := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			rhs := g.Prods[it.nt][it.prod]
+			if it.dot == len(rhs) {
+				// Completion: nt derives input[origin:pos].
+				recordComplete(it.nt, it.origin, pos)
+				for _, w := range waiting[it.origin][it.nt] {
+					add(pos, item{w.nt, w.prod, w.dot + 1, w.origin})
+				}
+				continue
+			}
+			sym := rhs[it.dot]
+			if sym.IsNT() {
+				// Prediction.
+				waiting[pos][sym.NT] = append(waiting[pos][sym.NT], it)
+				for pi := range g.Prods[sym.NT] {
+					add(pos, item{sym.NT, pi, 0, pos})
+				}
+				// Aycock–Horspool nullable shortcut: if the predicted
+				// nonterminal is nullable, advance over it immediately.
+				if p.nullable[sym.NT] {
+					recordComplete(sym.NT, pos, pos)
+					add(pos, item{it.nt, it.prod, it.dot + 1, it.origin})
+				}
+			}
+			// Terminals are handled by the scan pass between positions.
+		}
+	}
+
+	// Seed with the start productions.
+	for pi := range g.Prods[g.Start] {
+		add(0, item{g.Start, pi, 0, 0})
+	}
+	process(0)
+	for pos := 0; pos < n; pos++ {
+		c := input[pos]
+		for it := range ch.sets[pos] {
+			rhs := g.Prods[it.nt][it.prod]
+			if it.dot < len(rhs) {
+				sym := rhs[it.dot]
+				if !sym.IsNT() && sym.Set.Has(c) {
+					add(pos+1, item{it.nt, it.prod, it.dot + 1, it.origin})
+				}
+			}
+		}
+		process(pos + 1)
+		if len(ch.sets[pos+1]) == 0 {
+			// Dead end: no further progress is possible; the remaining
+			// charts stay empty and the input is rejected.
+			break
+		}
+	}
+	return ch
+}
+
+// Tree is a parse-tree node for a nonterminal. Kids holds one subtree per
+// nonterminal symbol on the production's right-hand side, in order;
+// terminal symbols contribute to Text but not to Kids.
+type Tree struct {
+	NT   int
+	Prod int
+	Lo   int // span start in the input
+	Hi   int // span end in the input
+	Kids []*Tree
+}
+
+// Text returns the substring of input this node derives.
+func (t *Tree) Text(input string) string { return input[t.Lo:t.Hi] }
+
+// Nodes appends all nodes of the subtree (preorder) to dst and returns it.
+func (t *Tree) Nodes(dst []*Tree) []*Tree {
+	dst = append(dst, t)
+	for _, k := range t.Kids {
+		dst = k.Nodes(dst)
+	}
+	return dst
+}
+
+// Parse returns a parse tree for input, or an error if input ∉ L(g). When
+// the grammar is ambiguous an arbitrary derivation is returned.
+func (p *Parser) Parse(input string) (*Tree, error) {
+	ch := p.run(input)
+	if !p.accepted(ch, input) {
+		return nil, fmt.Errorf("cfg: input not in language (len %d)", len(input))
+	}
+	b := &builder{
+		p: p, ch: ch, input: input,
+		failed:      map[buildKey]bool{},
+		splitFailed: map[splitKey]bool{},
+		inProgress:  map[buildKey]bool{},
+	}
+	t := b.build(p.g.Start, 0, len(input))
+	if t == nil {
+		return nil, fmt.Errorf("cfg: internal error: accepted input has no derivation")
+	}
+	return t, nil
+}
+
+type buildKey struct{ nt, i, j int }
+
+type splitKey struct{ nt, prod, k, pos, j int }
+
+// builder reconstructs one derivation from a filled chart, memoizing
+// failures so backtracking stays polynomial.
+type builder struct {
+	p           *Parser
+	ch          *chart
+	input       string
+	failed      map[buildKey]bool
+	splitFailed map[splitKey]bool
+	// inProgress guards against unit-production cycles (A ⇒ B ⇒ A over the
+	// same span): re-entering a key already on the recursion stack returns
+	// nil, forcing the builder to pick an acyclic derivation, which must
+	// exist for any accepted input. guardHits counts guard activations so
+	// failures observed under a guard are not memoized permanently.
+	inProgress map[buildKey]bool
+	guardHits  int
+}
+
+// build reconstructs a derivation of nt over input[i:j] from the chart.
+func (b *builder) build(nt, i, j int) *Tree {
+	key := buildKey{nt, i, j}
+	if b.failed[key] {
+		return nil
+	}
+	if b.inProgress[key] {
+		b.guardHits++
+		return nil
+	}
+	b.inProgress[key] = true
+	defer delete(b.inProgress, key)
+	before := b.guardHits
+	for pi := range b.p.g.Prods[nt] {
+		if kids := b.split(nt, pi, 0, i, j); kids != nil {
+			return &Tree{NT: nt, Prod: pi, Lo: i, Hi: j, Kids: kids}
+		}
+	}
+	if b.guardHits == before {
+		b.failed[key] = true
+	}
+	return nil
+}
+
+// split tries to derive input[pos:j] from rhs[k:] of production prod of nt,
+// returning the child subtrees for the nonterminal symbols, or nil if
+// impossible. The returned slice is non-nil (possibly empty) on success.
+func (b *builder) split(nt, prod, k, pos, j int) []*Tree {
+	key := splitKey{nt, prod, k, pos, j}
+	if b.splitFailed[key] {
+		return nil
+	}
+	before := b.guardHits
+	rhs := b.p.g.Prods[nt][prod]
+	if k == len(rhs) {
+		if pos == j {
+			return []*Tree{}
+		}
+		b.splitFailed[key] = true
+		return nil
+	}
+	sym := rhs[k]
+	if !sym.IsNT() {
+		if pos < j && sym.Set.Has(b.input[pos]) {
+			if rest := b.split(nt, prod, k+1, pos+1, j); rest != nil {
+				return rest
+			}
+		}
+		if b.guardHits == before {
+			b.splitFailed[key] = true
+		}
+		return nil
+	}
+	// Try every recorded completion of sym.NT starting at pos, longest
+	// first: synthesized grammars are repetition-heavy, and preferring the
+	// longest completion first reaches the unique split quickly.
+	ends := b.ch.completed[sym.NT][pos]
+	for e := len(ends) - 1; e >= 0; e-- {
+		end := ends[e]
+		if end > j {
+			continue
+		}
+		rest := b.split(nt, prod, k+1, end, j)
+		if rest == nil {
+			continue
+		}
+		kid := b.build(sym.NT, pos, end)
+		if kid == nil {
+			continue
+		}
+		return append([]*Tree{kid}, rest...)
+	}
+	if b.guardHits == before {
+		b.splitFailed[key] = true
+	}
+	return nil
+}

@@ -1,0 +1,262 @@
+// Package cfg implements the context-free grammar substrate: grammar
+// representation with byte-class terminals, an Earley recognizer and parser,
+// the probabilistic sampler of §8.1 of the paper (uniform production choice
+// with a depth-bounded fallback), and grammar printing.
+package cfg
+
+import (
+	"fmt"
+
+	"glade/internal/bytesets"
+)
+
+// Sym is one grammar symbol: either a nonterminal (NT >= 0) or a terminal
+// byte class (NT == -1, Set holds the accepted bytes).
+type Sym struct {
+	NT  int
+	Set bytesets.Set
+}
+
+// N returns the nonterminal symbol with index i.
+func N(i int) Sym {
+	if i < 0 {
+		panic("cfg: negative nonterminal index")
+	}
+	return Sym{NT: i}
+}
+
+// T returns a terminal symbol matching any byte in set.
+func T(set bytesets.Set) Sym { return Sym{NT: -1, Set: set} }
+
+// TByte returns a terminal symbol matching exactly b.
+func TByte(b byte) Sym { return Sym{NT: -1, Set: bytesets.Of(b)} }
+
+// IsNT reports whether the symbol is a nonterminal.
+func (s Sym) IsNT() bool { return s.NT >= 0 }
+
+// Prod is one production right-hand side. An empty Prod derives ε.
+type Prod []Sym
+
+// Grammar is a context-free grammar. Nonterminals are indices into Names
+// and Prods; Start is the start nonterminal.
+type Grammar struct {
+	Names []string
+	Prods [][]Prod
+	Start int
+}
+
+// New returns an empty grammar; the first added nonterminal becomes the
+// start symbol.
+func New() *Grammar { return &Grammar{} }
+
+// AddNT adds a nonterminal with the given name and returns its index.
+func (g *Grammar) AddNT(name string) int {
+	g.Names = append(g.Names, name)
+	g.Prods = append(g.Prods, nil)
+	return len(g.Names) - 1
+}
+
+// Add appends a production nt → syms.
+func (g *Grammar) Add(nt int, syms ...Sym) {
+	g.Prods[nt] = append(g.Prods[nt], Prod(syms))
+}
+
+// AddString appends a production nt → the literal byte string s.
+func (g *Grammar) AddString(nt int, s string) {
+	g.Add(nt, Str(s)...)
+}
+
+// Str converts a literal string to a symbol sequence of single-byte
+// terminals, for use inside larger productions.
+func Str(s string) []Sym {
+	syms := make([]Sym, len(s))
+	for i := 0; i < len(s); i++ {
+		syms[i] = TByte(s[i])
+	}
+	return syms
+}
+
+// Cat concatenates symbol sequences, flattening the usual mix of Str(...)
+// and single symbols when building grammars by hand.
+func Cat(parts ...[]Sym) []Sym {
+	var out []Sym
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// One wraps a single symbol as a sequence, for use with Cat.
+func One(s Sym) []Sym { return []Sym{s} }
+
+// NumNT returns the number of nonterminals.
+func (g *Grammar) NumNT() int { return len(g.Names) }
+
+// Validate checks structural invariants.
+func (g *Grammar) Validate() error {
+	if len(g.Names) == 0 {
+		return fmt.Errorf("cfg: grammar has no nonterminals")
+	}
+	if g.Start < 0 || g.Start >= len(g.Names) {
+		return fmt.Errorf("cfg: start symbol %d out of range", g.Start)
+	}
+	for nt, prods := range g.Prods {
+		for pi, p := range prods {
+			for si, s := range p {
+				if s.IsNT() && s.NT >= len(g.Names) {
+					return fmt.Errorf("cfg: %s production %d symbol %d references unknown nonterminal %d",
+						g.Names[nt], pi, si, s.NT)
+				}
+				if !s.IsNT() && s.Set.IsEmpty() {
+					return fmt.Errorf("cfg: %s production %d symbol %d is an empty terminal class",
+						g.Names[nt], pi, si)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Nullable returns, for each nonterminal, whether it derives ε.
+func (g *Grammar) Nullable() []bool {
+	nullable := make([]bool, g.NumNT())
+	for changed := true; changed; {
+		changed = false
+		for nt, prods := range g.Prods {
+			if nullable[nt] {
+				continue
+			}
+		prodLoop:
+			for _, p := range prods {
+				for _, s := range p {
+					if !s.IsNT() || !nullable[s.NT] {
+						continue prodLoop
+					}
+				}
+				nullable[nt] = true
+				changed = true
+				break
+			}
+		}
+	}
+	return nullable
+}
+
+// Productive returns, for each nonterminal, whether it derives at least one
+// terminal string.
+func (g *Grammar) Productive() []bool {
+	prod := make([]bool, g.NumNT())
+	for changed := true; changed; {
+		changed = false
+		for nt, prods := range g.Prods {
+			if prod[nt] {
+				continue
+			}
+		prodLoop:
+			for _, p := range prods {
+				for _, s := range p {
+					if s.IsNT() && !prod[s.NT] {
+						continue prodLoop
+					}
+				}
+				prod[nt] = true
+				changed = true
+				break
+			}
+		}
+	}
+	return prod
+}
+
+// Reachable returns, for each nonterminal, whether it is reachable from the
+// start symbol.
+func (g *Grammar) Reachable() []bool {
+	reach := make([]bool, g.NumNT())
+	reach[g.Start] = true
+	stack := []int{g.Start}
+	for len(stack) > 0 {
+		nt := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range g.Prods[nt] {
+			for _, s := range p {
+				if s.IsNT() && !reach[s.NT] {
+					reach[s.NT] = true
+					stack = append(stack, s.NT)
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// Trim returns an equivalent grammar containing only reachable and
+// productive nonterminals. If the start symbol is unproductive the result
+// is a grammar with the bare start symbol and no productions (the empty
+// language).
+func (g *Grammar) Trim() *Grammar {
+	productive := g.Productive()
+	reach := g.Reachable()
+	keep := make([]int, g.NumNT())
+	out := New()
+	for nt := range g.Names {
+		keep[nt] = -1
+		if reach[nt] && productive[nt] {
+			keep[nt] = out.AddNT(g.Names[nt])
+		}
+	}
+	if keep[g.Start] < 0 {
+		s := out.AddNT(g.Names[g.Start])
+		out.Start = s
+		return out
+	}
+	out.Start = keep[g.Start]
+	for nt, prods := range g.Prods {
+		if keep[nt] < 0 {
+			continue
+		}
+	prodLoop:
+		for _, p := range prods {
+			np := make(Prod, len(p))
+			for i, s := range p {
+				if s.IsNT() {
+					if keep[s.NT] < 0 {
+						continue prodLoop
+					}
+					np[i] = N(keep[s.NT])
+				} else {
+					np[i] = s
+				}
+			}
+			out.Prods[keep[nt]] = append(out.Prods[keep[nt]], np)
+		}
+	}
+	return out
+}
+
+// Terminals returns the union of all terminal byte classes in the grammar —
+// the alphabet a baseline learner is instantiated over.
+func (g *Grammar) Terminals() bytesets.Set {
+	var s bytesets.Set
+	for _, prods := range g.Prods {
+		for _, p := range prods {
+			for _, sym := range p {
+				if !sym.IsNT() {
+					s = s.Union(sym.Set)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Size returns the total number of symbols over all productions — the usual
+// measure of grammar size.
+func (g *Grammar) Size() int {
+	n := 0
+	for _, prods := range g.Prods {
+		for _, p := range prods {
+			n += 1 + len(p)
+		}
+	}
+	return n
+}

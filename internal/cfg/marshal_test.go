@@ -1,0 +1,163 @@
+package cfg
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"glade/internal/bytesets"
+)
+
+func TestMarshalRoundTripXMLLike(t *testing.T) {
+	g := xmlLike()
+	text := Marshal(g)
+	back, err := Unmarshal(text)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v\n%s", err, text)
+	}
+	if !Equal(g, back) {
+		t.Fatalf("round trip changed the grammar:\n--- original\n%s\n--- back\n%s", Marshal(g), Marshal(back))
+	}
+	// Language preserved on concrete strings.
+	p1, p2 := NewParser(g), NewParser(back)
+	for _, s := range []string{"", "hi", "<a>hi</a>", "<a><a>x</a></a>", "<a>", "HI"} {
+		if p1.Accepts(s) != p2.Accepts(s) {
+			t.Fatalf("language changed at %q", s)
+		}
+	}
+}
+
+func TestMarshalFormat(t *testing.T) {
+	g := New()
+	s := g.AddNT("S")
+	g.Add(s, Cat(Str("ab\n"), One(T(bytesets.Range('a', 'z'))), One(N(s)))...)
+	g.Add(s)
+	out := Marshal(g)
+	for _, want := range []string{"start S", `"ab\n"`, "{a-z}", "S ->\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Marshal output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnmarshalHandWritten(t *testing.T) {
+	text := `
+# Dyck language with letters
+start S
+S ->
+S -> "(" S ")" S
+S -> {a-c} S
+`
+	g, err := Unmarshal(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewParser(g)
+	for _, s := range []string{"", "()", "(ab)c", "((a))"} {
+		if !p.Accepts(s) {
+			t.Errorf("rejects %q", s)
+		}
+	}
+	for _, s := range []string{"(", ")", "d"} {
+		if p.Accepts(s) {
+			t.Errorf("accepts %q", s)
+		}
+	}
+}
+
+func TestUnmarshalDefaultStart(t *testing.T) {
+	g, err := Unmarshal("A -> \"x\" B\nB -> \"y\"\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Names[g.Start] != "A" {
+		t.Fatalf("default start = %s", g.Names[g.Start])
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := []string{
+		"",                      // no productions
+		"S \"x\"",               // missing arrow
+		`S -> "unterminated`,    // bad literal
+		"S -> {a-",              // unterminated class
+		"S -> {z-a}",            // inverted range
+		"start T\nS -> \"x\"\n", // unknown start
+		"S -> ?",                // bad symbol
+	}
+	for _, c := range cases {
+		if _, err := Unmarshal(c); err == nil {
+			t.Errorf("Unmarshal(%q) succeeded", c)
+		}
+	}
+}
+
+func TestClassEscapes(t *testing.T) {
+	g := New()
+	s := g.AddNT("S")
+	set := bytesets.Of('-', '\\', '{', '}', '\n', 0x07)
+	g.Add(s, T(set))
+	back, err := Unmarshal(Marshal(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.Prods[back.Start][0][0].Set
+	if !got.Equal(set) {
+		t.Fatalf("class round trip: %v != %v", got.Bytes(), set.Bytes())
+	}
+}
+
+// Property: Marshal/Unmarshal round-trips random grammars and preserves
+// membership on sampled strings.
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for iter := 0; iter < 60; iter++ {
+		g := randomGrammar(rng)
+		back, err := Unmarshal(Marshal(g))
+		if err != nil {
+			t.Fatalf("Unmarshal: %v\n%s", err, Marshal(g))
+		}
+		if !Equal(g, back) {
+			t.Fatalf("not equal after round trip:\n%s\nvs\n%s", Marshal(g), Marshal(back))
+		}
+		if !g.Productive()[g.Start] {
+			continue
+		}
+		sm := NewSampler(g, 12)
+		p := NewParser(back)
+		for k := 0; k < 10; k++ {
+			s := sm.Sample(rng)
+			if !p.Accepts(s) {
+				t.Fatalf("round-tripped grammar rejects sample %q of\n%s", s, Marshal(g))
+			}
+		}
+	}
+}
+
+// randomGrammar builds a small random grammar with valid structure.
+func randomGrammar(rng *rand.Rand) *Grammar {
+	g := New()
+	n := 1 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		g.AddNT("N" + string(rune('A'+i)))
+	}
+	for nt := 0; nt < n; nt++ {
+		prods := 1 + rng.Intn(3)
+		for p := 0; p < prods; p++ {
+			var syms []Sym
+			for k := rng.Intn(4); k > 0; k-- {
+				switch rng.Intn(3) {
+				case 0:
+					syms = append(syms, N(rng.Intn(n)))
+				case 1:
+					syms = append(syms, TByte(byte('a'+rng.Intn(4))))
+				default:
+					lo := byte('a' + rng.Intn(4))
+					syms = append(syms, T(bytesets.Range(lo, lo+byte(rng.Intn(4)))))
+				}
+			}
+			g.Add(nt, syms...)
+		}
+	}
+	return g
+}

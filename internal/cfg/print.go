@@ -1,0 +1,65 @@
+package cfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the grammar in a BNF-like notation, one nonterminal per
+// line with alternatives separated by " | ". Terminal singletons print as
+// quoted characters; larger classes print in character-class notation.
+func (g *Grammar) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "start: %s\n", g.Names[g.Start])
+	for nt, prods := range g.Prods {
+		fmt.Fprintf(&b, "%s ::= ", g.Names[nt])
+		if len(prods) == 0 {
+			b.WriteString("<no productions>")
+		}
+		for pi, p := range prods {
+			if pi > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(g.prodString(p))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ProdString renders one production right-hand side.
+func (g *Grammar) ProdString(p Prod) string { return g.prodString(p) }
+
+func (g *Grammar) prodString(p Prod) string {
+	if len(p) == 0 {
+		return "ε"
+	}
+	var b strings.Builder
+	// Merge runs of singleton terminals into one quoted literal.
+	i := 0
+	first := true
+	for i < len(p) {
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		s := p[i]
+		if s.IsNT() {
+			b.WriteString(g.Names[s.NT])
+			i++
+			continue
+		}
+		if s.Set.Len() == 1 {
+			var lit []byte
+			for i < len(p) && !p[i].IsNT() && p[i].Set.Len() == 1 {
+				lit = append(lit, p[i].Set.Min())
+				i++
+			}
+			fmt.Fprintf(&b, "%q", lit)
+			continue
+		}
+		b.WriteString(s.Set.String())
+		i++
+	}
+	return b.String()
+}

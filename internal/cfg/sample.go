@@ -1,0 +1,138 @@
+package cfg
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Sampler draws random strings from a grammar using the procedure of §8.1:
+// the grammar is treated as a probabilistic CFG with the uniform
+// distribution over each nonterminal's productions, and strings are sampled
+// by top-down expansion.
+//
+// Uniform expansion of a recursive grammar diverges with positive
+// probability, so the sampler enforces a depth budget: once the budget is
+// exhausted it restricts the choice to productions of minimal derivation
+// depth, which guarantees termination without skewing shallow samples.
+type Sampler struct {
+	g *Gram
+	// minDepth[nt] is the height of the shallowest derivation tree of nt
+	// (terminal-only production = 1), or maxInt if nt is unproductive.
+	minDepth []int
+	// minCost[nt][prod] = 1 + max over nonterminal symbols of minDepth.
+	minCost  [][]int
+	MaxDepth int
+}
+
+// Gram aliases Grammar so the Sampler struct reads naturally.
+type Gram = Grammar
+
+const unbounded = int(^uint(0) >> 1)
+
+// NewSampler builds a sampler for g with the given depth budget (values
+// around 32-64 work well for the grammars in this repository).
+func NewSampler(g *Grammar, maxDepth int) *Sampler {
+	s := &Sampler{g: g, MaxDepth: maxDepth}
+	n := g.NumNT()
+	s.minDepth = make([]int, n)
+	for i := range s.minDepth {
+		s.minDepth[i] = unbounded
+	}
+	for changed := true; changed; {
+		changed = false
+		for nt, prods := range g.Prods {
+			for _, p := range prods {
+				cost := 1
+				ok := true
+				for _, sym := range p {
+					if !sym.IsNT() {
+						continue
+					}
+					d := s.minDepth[sym.NT]
+					if d == unbounded {
+						ok = false
+						break
+					}
+					if d+1 > cost {
+						cost = d + 1
+					}
+				}
+				if ok && cost < s.minDepth[nt] {
+					s.minDepth[nt] = cost
+					changed = true
+				}
+			}
+		}
+	}
+	s.minCost = make([][]int, n)
+	for nt, prods := range g.Prods {
+		s.minCost[nt] = make([]int, len(prods))
+		for pi, p := range prods {
+			cost := 1
+			for _, sym := range p {
+				if sym.IsNT() {
+					d := s.minDepth[sym.NT]
+					if d == unbounded {
+						cost = unbounded
+						break
+					}
+					if d+1 > cost {
+						cost = d + 1
+					}
+				}
+			}
+			s.minCost[nt][pi] = cost
+		}
+	}
+	return s
+}
+
+// Sample draws one string from the start symbol. It panics if the start
+// symbol is unproductive.
+func (s *Sampler) Sample(rng *rand.Rand) string {
+	return s.SampleFrom(rng, s.g.Start)
+}
+
+// SampleFrom draws one string derived from nonterminal nt.
+func (s *Sampler) SampleFrom(rng *rand.Rand, nt int) string {
+	if s.minDepth[nt] == unbounded {
+		panic("cfg: sampling from unproductive nonterminal " + s.g.Names[nt])
+	}
+	var b strings.Builder
+	s.expand(&b, rng, nt, s.MaxDepth)
+	return b.String()
+}
+
+func (s *Sampler) expand(b *strings.Builder, rng *rand.Rand, nt, budget int) {
+	prods := s.g.Prods[nt]
+	// Candidate productions: all fitting the budget; if none fit, fall back
+	// to the productions of minimal cost so expansion always terminates.
+	var fits []int
+	for pi := range prods {
+		if s.minCost[nt][pi] <= budget {
+			fits = append(fits, pi)
+		}
+	}
+	if len(fits) == 0 {
+		best := unbounded
+		for pi := range prods {
+			if s.minCost[nt][pi] < best {
+				best = s.minCost[nt][pi]
+			}
+		}
+		for pi := range prods {
+			if s.minCost[nt][pi] == best {
+				fits = append(fits, pi)
+			}
+		}
+	}
+	pi := fits[rng.Intn(len(fits))]
+	for _, sym := range prods[pi] {
+		if sym.IsNT() {
+			s.expand(b, rng, sym.NT, budget-1)
+		} else {
+			n := sym.Set.Len()
+			b.WriteByte(sym.Set.Pick(rng.Intn(n)))
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+// charGen is the character-generalization phase of §6.2: for each terminal
+// position σi of each literal in the synthesized regular expression, and
+// each other byte σ of the generalization alphabet, it proposes replacing
+// σi by (σi + σ), validated by the single check γ·σ1…σi−1·σ·σi+1…σk·δ.
+// Each (position, byte) pair is considered exactly once.
+//
+// Literals whose context was recorded during phase one are rewritten in
+// place: positions that generalized to more than one byte become character
+// classes.
+func (l *learner) charGen(root *node) {
+	if l.opts.GenAlphabet.IsEmpty() {
+		return
+	}
+	var lits []*node
+	walk(root, func(n *node) {
+		if n.kind == nLit && n.str != "" {
+			lits = append(lits, n)
+		}
+	})
+	alphabet := l.opts.GenAlphabet.Bytes()
+	for _, n := range lits {
+		if l.expired() {
+			return
+		}
+		s := n.str
+		γ, δ := n.ctx.Left, n.ctx.Right
+		sets := make([][]byte, len(s))
+		anyWidened := false
+		for i := 0; i < len(s); i++ {
+			set := []byte{s[i]}
+			for _, σ := range alphabet {
+				if σ == s[i] {
+					continue
+				}
+				l.stats.CharGenChecks++
+				if l.passes(γ + s[:i] + string(σ) + s[i+1:] + δ) {
+					set = append(set, σ)
+				}
+			}
+			sets[i] = set
+			if len(set) > 1 {
+				anyWidened = true
+			}
+			if l.expired() {
+				break
+			}
+		}
+		if !anyWidened {
+			continue
+		}
+		l.rewriteLit(n, sets)
+		l.matcherDirty = true
+	}
+}
+
+// rewriteLit replaces literal node n with a sequence mixing literal runs
+// (positions that stayed singletons) and character classes (positions that
+// widened). A literal that widened at every position with the same set
+// still becomes per-position classes; runs of singletons re-merge into
+// literal nodes to keep the tree small.
+func (l *learner) rewriteLit(n *node, sets [][]byte) {
+	s := n.str
+	var kids []*node
+	i := 0
+	for i < len(s) {
+		if len(sets[i]) == 1 {
+			j := i
+			for j < len(s) && len(sets[j]) == 1 {
+				j++
+			}
+			kids = append(kids, lit(s[i:j], Context{}))
+			i = j
+			continue
+		}
+		cls := &node{kind: nClass}
+		for _, b := range sets[i] {
+			cls.set.Add(b)
+		}
+		kids = append(kids, cls)
+		i++
+	}
+	if len(kids) == 1 {
+		*n = *kids[0]
+		return
+	}
+	n.kind = nSeq
+	n.str = ""
+	n.kids = kids
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"glade/internal/bytesets"
+	"glade/internal/cfg"
+	"glade/internal/oracle"
+	"glade/internal/rex"
+)
+
+// Options configures the learner. The zero value is not useful; start from
+// DefaultOptions.
+type Options struct {
+	// Phase2 enables the recursive-merge phase (§5). Disabling it yields
+	// the "P1" variant evaluated in Figure 4.
+	Phase2 bool
+	// CharGen enables character generalization (§6.2).
+	CharGen bool
+	// GenAlphabet is the alphabet Σ used by character generalization.
+	// Empty disables the phase regardless of CharGen.
+	GenAlphabet bytesets.Set
+	// DiscardMemberChecks discards checks already in the current language
+	// L̂i (§4.3) instead of querying the oracle about them.
+	DiscardMemberChecks bool
+	// ReverseOrdering inverts the §4.2 candidate ordering heuristic
+	// (longest α1 first, shortest α2 first) — an ablation knob showing the
+	// ordering drives generality; never useful in production.
+	ReverseOrdering bool
+	// MergeSampleChecks is the number of extra sampled residuals per
+	// direction used to validate a phase-two merge, beyond the paper's
+	// doubled-seed residual. Sampling draws from the already-generalized
+	// repetition body, so it exercises the interaction between merging and
+	// character classes that the fixed residual cannot see. Zero keeps the
+	// paper's minimal check set.
+	MergeSampleChecks int
+	// RandSeed seeds the learner's internal sampling (merge checks).
+	RandSeed int64
+	// Timeout bounds total learning time; zero means no bound. On timeout
+	// the learner finalizes the current language instead of failing.
+	Timeout time.Duration
+	// Logf, when non-nil, receives a Figure 2-style trace of every chosen
+	// generalization step.
+	Logf func(format string, args ...any)
+}
+
+// DefaultOptions returns the configuration used throughout the paper's
+// evaluation: both phases on, character generalization over printable
+// ASCII plus tab/newline, member-check discarding on.
+func DefaultOptions() Options {
+	return Options{
+		Phase2:              true,
+		CharGen:             true,
+		GenAlphabet:         bytesets.PrintableWS(),
+		DiscardMemberChecks: true,
+		MergeSampleChecks:   2,
+		RandSeed:            1,
+	}
+}
+
+// Stats reports what the learner did.
+type Stats struct {
+	Seeds           int // seeds provided
+	SeedsSkipped    int // seeds already in the language learned so far (§6.1)
+	Candidates      int // generalization candidates considered
+	Checks          int // check strings evaluated
+	DiscardedChecks int // checks discarded as members of L̂i
+	CharGenChecks   int // character-generalization checks
+	MergePairs      int // phase-two pairs examined
+	Merged          int // phase-two merges accepted
+	OracleQueries   int // de-duplicated queries reaching the oracle
+	CacheHits       int // queries answered by the cache
+	TimedOut        bool
+	Duration        time.Duration
+}
+
+// Result is the outcome of Learn.
+type Result struct {
+	// Grammar is the synthesized context-free grammar Ĉ.
+	Grammar *cfg.Grammar
+	// Regex is the phase-one/char-gen regular expression (the union over
+	// seeds), before phase-two recursion is added.
+	Regex rex.Expr
+	Stats Stats
+}
+
+// checker is the learner's view of the oracle.
+type checker struct {
+	cached *oracle.Cached
+}
+
+func (c checker) accepts(s string) bool { return c.cached.Accepts(s) }
+
+// Learn synthesizes a context-free grammar approximating the language of
+// the oracle from the given seed inputs (Algorithm 1 plus the extensions of
+// §6). Every seed must be accepted by the oracle; a rejected seed is an
+// error, since the algorithm's invariants assume Ein ⊆ L*.
+func Learn(seeds []string, o oracle.Oracle, opts Options) (*Result, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("core: no seed inputs")
+	}
+	counting := oracle.NewCounting(o)
+	cached := oracle.NewCached(counting)
+	for i, s := range seeds {
+		if !cached.Accepts(s) {
+			return nil, fmt.Errorf("core: seed %d (%q) is rejected by the oracle", i, s)
+		}
+	}
+	seed := opts.RandSeed
+	if seed == 0 {
+		seed = 1
+	}
+	l := &learner{opts: opts, check: checker{cached}, rng: rand.New(rand.NewSource(seed))}
+	if opts.Timeout > 0 {
+		l.deadline = time.Now().Add(opts.Timeout)
+	}
+	start := time.Now()
+
+	// Phase one (and character generalization) per seed, with the §6.1
+	// optimization: a seed already matched by the language learned from
+	// earlier seeds is skipped.
+	for _, seed := range seeds {
+		l.stats.Seeds++
+		if len(l.roots) > 0 && l.currentMatcher().Match(seed) {
+			l.stats.SeedsSkipped++
+			continue
+		}
+		root := l.phase1(seed)
+		if opts.CharGen {
+			l.charGen(root)
+		}
+	}
+
+	// Phase two across all seed components.
+	allStars := stars(l.roots)
+	var uf *unionFind
+	if opts.Phase2 {
+		uf = l.phase2(allStars)
+	} else {
+		uf = newUnionFind(len(allStars))
+	}
+
+	g := toCFG(l.roots, allStars, uf)
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("core: synthesized grammar invalid: %v", err)
+	}
+
+	kids := make([]rex.Expr, len(l.roots))
+	for i, r := range l.roots {
+		kids[i] = toRex(r)
+	}
+	hits, misses := cached.Stats()
+	l.stats.OracleQueries = misses
+	l.stats.CacheHits = hits
+	l.stats.Duration = time.Since(start)
+	_ = counting
+	return &Result{Grammar: g, Regex: rex.Union(kids...), Stats: l.stats}, nil
+}

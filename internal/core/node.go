@@ -1,0 +1,204 @@
+// Package core implements the GLADE grammar-synthesis algorithm of the
+// paper: phase one regular-expression generalization (§4), character
+// generalization (§6.2), the regex→CFG translation and phase two repetition
+// merging (§5), and the multi-seed driver (§6.1).
+package core
+
+import (
+	"strings"
+
+	"glade/internal/bytesets"
+	"glade/internal/rex"
+)
+
+// Context is the (γ, δ) pair of §4.3: strings such that γ α' δ ∈ L(P α' Q)
+// for every α', where P and Q are the expressions surrounding the annotated
+// node. Checks are built as γ·ρ·δ for residuals ρ.
+type Context struct {
+	Left  string // γ
+	Right string // δ
+}
+
+type nodeKind int8
+
+const (
+	nHole  nodeKind = iota // bracketed substring [α]τ awaiting generalization
+	nLit                   // terminal string
+	nClass                 // single-byte character class (from char generalization)
+	nSeq                   // concatenation
+	nAlt                   // alternation
+	nStar                  // repetition; exactly one child
+)
+
+type holeKind int8
+
+const (
+	hRep holeKind = iota // [α]rep
+	hAlt                 // [α]alt
+)
+
+// node is one vertex of the annotated regular expression the learner
+// mutates in place. The paper's bracketed substrings [α]τ are nHole nodes;
+// generalization steps replace a hole with literal/star/alternation
+// structure containing fresh holes.
+type node struct {
+	kind nodeKind
+	hole holeKind // nHole only
+
+	str  string       // nHole: the bracketed substring α; nLit: the literal
+	set  bytesets.Set // nClass
+	kids []*node      // nSeq, nAlt; nStar has exactly one child
+
+	// ctx is maintained on nHole (check construction), nLit (character
+	// generalization), and nStar (phase-two merge checks).
+	ctx Context
+	// noFullStar marks rep holes that must not propose the full-span
+	// repetition candidate α = ε·α·ε → ([α]alt)*. It is set on holes that
+	// were derived from an alternation bracket (the Talt ::= Trep fallback
+	// and the [α1]rep part of an alternation candidate): proposing the
+	// full-span star there would re-bracket the same substring occurrence,
+	// which §4.4's "each substring is considered at most once" forbids and
+	// which would otherwise loop forever ([α]alt → [α]rep → ([α]alt)* → …).
+	// Figure 2 shows the algorithm skipping the candidate at steps R3, R7,
+	// and R8.
+	noFullStar bool
+	// bodySeed is, for nStar, the seed substring α2 whose generalization
+	// became the star body; doubled, it is the phase-two merge residual.
+	bodySeed string
+}
+
+func lit(s string, ctx Context) *node { return &node{kind: nLit, str: s, ctx: ctx} }
+
+// toRex converts the (possibly still hole-containing) tree to a matchable
+// regular expression; holes are treated as their literal substring, which
+// is exactly the current language L̂i of the paper.
+func toRex(n *node) rex.Expr {
+	switch n.kind {
+	case nHole, nLit:
+		return rex.Literal(n.str)
+	case nClass:
+		return rex.OneOf(n.set)
+	case nSeq:
+		kids := make([]rex.Expr, len(n.kids))
+		for i, k := range n.kids {
+			kids[i] = toRex(k)
+		}
+		return rex.Concat(kids...)
+	case nAlt:
+		kids := make([]rex.Expr, len(n.kids))
+		for i, k := range n.kids {
+			kids[i] = toRex(k)
+		}
+		return rex.Union(kids...)
+	case nStar:
+		return rex.Rep(toRex(n.kids[0]))
+	}
+	panic("core: unknown node kind")
+}
+
+// render prints the tree in the paper's annotated notation, with holes as
+// [α]rep / [α]alt, for trace output and tests.
+func render(n *node) string {
+	var b strings.Builder
+	renderTo(&b, n, 0)
+	return b.String()
+}
+
+func renderTo(b *strings.Builder, n *node, prec int) {
+	switch n.kind {
+	case nHole:
+		b.WriteByte('[')
+		b.WriteString(escape(n.str))
+		b.WriteByte(']')
+		if n.hole == hRep {
+			b.WriteString("rep")
+		} else {
+			b.WriteString("alt")
+		}
+	case nLit:
+		if n.str == "" {
+			b.WriteString("ε")
+			return
+		}
+		b.WriteString(escape(n.str))
+	case nClass:
+		b.WriteString(n.set.String())
+	case nSeq:
+		if prec > 1 {
+			b.WriteByte('(')
+		}
+		for _, k := range n.kids {
+			renderTo(b, k, 2)
+		}
+		if prec > 1 {
+			b.WriteByte(')')
+		}
+	case nAlt:
+		if prec > 0 {
+			b.WriteByte('(')
+		}
+		for i, k := range n.kids {
+			if i > 0 {
+				b.WriteString(" + ")
+			}
+			renderTo(b, k, 1)
+		}
+		if prec > 0 {
+			b.WriteByte(')')
+		}
+	case nStar:
+		child := n.kids[0]
+		needParens := child.kind != nClass
+		if needParens {
+			b.WriteByte('(')
+		}
+		renderTo(b, child, 0)
+		if needParens {
+			b.WriteByte(')')
+		}
+		b.WriteByte('*')
+	}
+}
+
+func escape(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\n':
+			b.WriteString(`\n`)
+		case c == '\t':
+			b.WriteString(`\t`)
+		case c < 32 || c > 126:
+			const hex = "0123456789abcdef"
+			b.WriteString(`\x`)
+			b.WriteByte(hex[c>>4])
+			b.WriteByte(hex[c&15])
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// walk visits the subtree rooted at n in preorder.
+func walk(n *node, visit func(*node)) {
+	visit(n)
+	for _, k := range n.kids {
+		walk(k, visit)
+	}
+}
+
+// stars returns all star nodes under the given roots in preorder — the
+// repetition subexpressions that phase two may merge.
+func stars(roots []*node) []*node {
+	var out []*node
+	for _, r := range roots {
+		walk(r, func(n *node) {
+			if n.kind == nStar {
+				out = append(out, n)
+			}
+		})
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"glade/internal/rex"
+)
+
+// learner holds the mutable state of one Learn invocation.
+type learner struct {
+	opts  Options
+	check checker
+	stats Stats
+	rng   *rand.Rand
+
+	// roots are the per-seed trees learned so far (including the tree
+	// currently being generalized); their alternation is the current
+	// language L̂i.
+	roots []*node
+
+	matcher      *rex.Matcher
+	matcherDirty bool
+
+	deadline time.Time
+	step     int
+}
+
+// expired reports whether the learning deadline has passed; once true, the
+// learner stops proposing generalizations and finalizes what it has.
+func (l *learner) expired() bool {
+	if l.deadline.IsZero() {
+		return false
+	}
+	if time.Now().After(l.deadline) {
+		l.stats.TimedOut = true
+		return true
+	}
+	return false
+}
+
+// currentMatcher returns a matcher for L̂i (holes read as literals),
+// recompiling only after tree mutations.
+func (l *learner) currentMatcher() *rex.Matcher {
+	if l.matcher == nil || l.matcherDirty {
+		kids := make([]rex.Expr, len(l.roots))
+		for i, r := range l.roots {
+			kids[i] = toRex(r)
+		}
+		l.matcher = rex.Compile(rex.Union(kids...))
+		l.matcherDirty = false
+	}
+	return l.matcher
+}
+
+// passes implements the check discipline of §4.3: a check string passes if
+// the oracle accepts it, or — when the member-discard option is on — if it
+// already belongs to the current language L̂i (such checks are discarded
+// from S). The oracle is consulted first because it is cached and usually
+// cheaper than recompiling a matcher.
+func (l *learner) passes(check string) bool {
+	l.stats.Checks++
+	if l.check.accepts(check) {
+		return true
+	}
+	if l.opts.DiscardMemberChecks && l.currentMatcher().Match(check) {
+		l.stats.DiscardedChecks++
+		return true
+	}
+	return false
+}
+
+// logStep emits one trace line when the caller installed Options.Logf.
+func (l *learner) logStep(kind string, h *node) {
+	if l.opts.Logf == nil {
+		return
+	}
+	l.step++
+	l.opts.Logf("step %d (%s): %s", l.step, kind, render(l.roots[len(l.roots)-1]))
+	_ = h
+}
+
+// phase1 generalizes one seed input into an annotated regular-expression
+// tree (§4), returning its root. Holes are processed LIFO, which reproduces
+// the step order of Figure 2.
+func (l *learner) phase1(seed string) *node {
+	root := &node{kind: nHole, hole: hRep, str: seed}
+	l.roots = append(l.roots, root)
+	l.matcherDirty = true
+	stack := []*node{root}
+	for len(stack) > 0 {
+		h := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		var fresh []*node
+		if h.hole == hRep {
+			fresh = l.generalizeRep(h)
+		} else {
+			fresh = l.generalizeAlt(h)
+		}
+		stack = append(stack, fresh...)
+		l.matcherDirty = true
+	}
+	return root
+}
+
+// generalizeRep performs one repetition generalization step on hole
+// h = [α]rep (§4.1): candidates α1([α2]alt)*[α3]rep for every decomposition
+// α = α1·α2·α3 with α2 ≠ ε, ordered by shorter α1 then longer α2 (§4.2),
+// with the plain literal α ranked last. Residuals are α1α3 and α1α2α2α3
+// (§4.3). It mutates h into the chosen structure and returns fresh holes.
+func (l *learner) generalizeRep(h *node) []*node {
+	α := h.str
+	γ, δ := h.ctx.Left, h.ctx.Right
+	if !l.expired() {
+		for ii := 0; ii < len(α); ii++ {
+			i := ii // α1 = α[:i], shorter first (§4.2)
+			if l.opts.ReverseOrdering {
+				i = len(α) - 1 - ii
+			}
+			for jj := len(α); jj > i; jj-- {
+				j := jj // α2 = α[i:j], longer first (§4.2)
+				if l.opts.ReverseOrdering {
+					j = len(α) + i + 1 - jj
+				}
+				if h.noFullStar && i == 0 && j == len(α) {
+					continue
+				}
+				α1, α2, α3 := α[:i], α[i:j], α[j:]
+				l.stats.Candidates++
+				if !l.passes(γ+α1+α3+δ) || !l.passes(γ+α1+α2+α2+α3+δ) {
+					continue
+				}
+				return l.acceptRep(h, α1, α2, α3)
+			}
+			if l.expired() {
+				break
+			}
+		}
+	}
+	// Final candidate: the constant α (Trep ::= β). No checks needed.
+	h.kind = nLit
+	l.logStep("rep→const", h)
+	return nil
+}
+
+// acceptRep rewrites hole h (context (γ,δ)) into α1 ([α2]alt)* [α3]rep,
+// assigning the contexts of §4.3:
+//
+//	[α2]alt ↦ (γα1, α3δ)    [α3]rep ↦ (γα1α2, δ)    literal α1 ↦ (γ, α3δ)
+func (l *learner) acceptRep(h *node, α1, α2, α3 string) []*node {
+	γ, δ := h.ctx.Left, h.ctx.Right
+	starCtx := Context{γ + α1, α3 + δ}
+	body := &node{kind: nHole, hole: hAlt, str: α2, ctx: starCtx}
+	star := &node{kind: nStar, kids: []*node{body}, ctx: starCtx, bodySeed: α2}
+
+	var kids []*node
+	if α1 != "" {
+		kids = append(kids, lit(α1, Context{γ, α3 + δ}))
+	}
+	kids = append(kids, star)
+	var fresh []*node
+	fresh = append(fresh, body)
+	if α3 != "" {
+		rest := &node{kind: nHole, hole: hRep, str: α3, ctx: Context{γ + α1 + α2, δ}}
+		kids = append(kids, rest)
+		fresh = append(fresh, rest)
+	}
+	if len(kids) == 1 {
+		*h = *star
+		// The body hole's parent is now h itself; re-point the star child.
+		h.kids = []*node{body}
+	} else {
+		h.kind = nSeq
+		h.str = ""
+		h.kids = kids
+	}
+	l.matcherDirty = true
+	l.logStep("rep", h)
+	// Return in creation order; the caller's LIFO stack then processes
+	// [α3]rep before [α2]alt, matching Figure 2.
+	return fresh
+}
+
+// generalizeAlt performs one alternation generalization step on hole
+// h = [α]alt (§4.1): candidates ([α1]rep + [α2]alt) for every decomposition
+// α = α1·α2 with both parts nonempty, ordered by shorter α1 (§4.2).
+// Residuals are α1 and α2. The final candidate demotes the hole to [α]rep
+// (the production Talt ::= Trep of the meta-grammar).
+func (l *learner) generalizeAlt(h *node) []*node {
+	α := h.str
+	γ, δ := h.ctx.Left, h.ctx.Right
+	if !l.expired() {
+		for i := 1; i < len(α); i++ {
+			α1, α2 := α[:i], α[i:]
+			l.stats.Candidates++
+			if !l.passes(γ+α1+δ) || !l.passes(γ+α2+δ) {
+				continue
+			}
+			left := &node{kind: nHole, hole: hRep, str: α1, ctx: Context{γ, α2 + δ}, noFullStar: true}
+			right := &node{kind: nHole, hole: hAlt, str: α2, ctx: Context{γ + α1, δ}}
+			h.kind = nAlt
+			h.str = ""
+			h.kids = []*node{left, right}
+			l.matcherDirty = true
+			l.logStep("alt", h)
+			return []*node{left, right}
+		}
+	}
+	// Final candidate: [α]alt becomes [α]rep and is reprocessed.
+	h.hole = hRep
+	h.noFullStar = true
+	l.logStep("alt→rep", h)
+	return []*node{h}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"glade/internal/cfg"
+)
+
+// toCFG translates the learned trees into a context-free grammar following
+// §5.1, with phase-two merges applied: each union-find class of repetition
+// subexpressions becomes a single nonterminal A with productions
+//
+//	A → ε | body_m A        (one pair per member star m)
+//
+// which is the Kleene-star expansion of the paper (Ai → α1 A'i Ak with
+// A'i → ε | A'i Aj) shared across the merged stars. Alternation nodes get
+// their own nonterminals; literals and character classes inline as terminal
+// symbols.
+func toCFG(roots []*node, allStars []*node, uf *unionFind) *cfg.Grammar {
+	g := cfg.New()
+	start := g.AddNT("S")
+	g.Start = start
+
+	starIdx := make(map[*node]int, len(allStars))
+	for i, s := range allStars {
+		starIdx[s] = i
+	}
+	// One nonterminal per merge class, created on first use so numbering is
+	// stable in preorder.
+	classNT := map[int]int{}
+	altCount := 0
+
+	var translate func(n *node) []cfg.Sym
+	ntFor := func(star *node) int {
+		root := uf.find(starIdx[star])
+		if nt, ok := classNT[root]; ok {
+			return nt
+		}
+		nt := g.AddNT(fmt.Sprintf("A%d", len(classNT)+1))
+		classNT[root] = nt
+		return nt
+	}
+
+	// First pass: assign class nonterminals in preorder for stable names,
+	// and record each class's member stars in order.
+	members := map[int][]*node{}
+	for _, s := range allStars {
+		nt := ntFor(s)
+		members[nt] = append(members[nt], s)
+	}
+
+	translate = func(n *node) []cfg.Sym {
+		switch n.kind {
+		case nLit:
+			return cfg.Str(n.str)
+		case nClass:
+			return []cfg.Sym{cfg.T(n.set)}
+		case nSeq:
+			var out []cfg.Sym
+			for _, k := range n.kids {
+				out = append(out, translate(k)...)
+			}
+			return out
+		case nAlt:
+			altCount++
+			nt := g.AddNT(fmt.Sprintf("Alt%d", altCount))
+			for _, k := range n.kids {
+				g.Add(nt, translate(k)...)
+			}
+			return []cfg.Sym{cfg.N(nt)}
+		case nStar:
+			return []cfg.Sym{cfg.N(ntFor(n))}
+		case nHole:
+			// Holes only remain if learning was aborted mid-phase-1; treat
+			// them as their literal substring, the current language.
+			return cfg.Str(n.str)
+		}
+		panic("core: unknown node kind")
+	}
+
+	// Emit class productions. Order of member bodies follows star preorder.
+	// The encoding is A → ε | B A with B holding one production per member
+	// body: the same language as the paper's A'i → ε | A'i Aj expansions,
+	// but with a continuation probability of 1/2 under the uniform sampler
+	// regardless of how many repetition subexpressions were merged into the
+	// class (k continuing productions out of k+1 would make samples from
+	// heavily-merged grammars explode in length).
+	emitted := map[int]bool{}
+	for _, s := range allStars {
+		nt := ntFor(s)
+		if emitted[nt] {
+			continue
+		}
+		emitted[nt] = true
+		bodies := members[nt]
+		if len(bodies) == 1 {
+			g.Add(nt) // A → ε
+			g.Add(nt, append(translate(bodies[0].kids[0]), cfg.N(nt))...)
+			continue
+		}
+		bnt := g.AddNT(g.Names[nt] + "b")
+		g.Add(nt) // A → ε
+		g.Add(nt, cfg.N(bnt), cfg.N(nt))
+		for _, m := range bodies {
+			g.Add(bnt, translate(m.kids[0])...)
+		}
+	}
+
+	// Start productions: one per seed tree (the top-level alternation of
+	// §6.1).
+	for _, r := range roots {
+		g.Add(start, translate(r)...)
+	}
+	return g
+}

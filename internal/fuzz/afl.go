@@ -1,0 +1,131 @@
+package fuzz
+
+import (
+	"math/rand"
+
+	"glade/internal/programs"
+)
+
+// AFL is a coverage-guided mutation fuzzer modeled on afl-fuzz's havoc
+// stage: a queue of interesting inputs (seeded with Ein, fuzzed round-robin
+// as §8.3 describes), stacked random mutations, and queue growth whenever
+// an input reaches new coverage points.
+type AFL struct {
+	queue   []string
+	qi      int
+	seen    map[int]bool
+	pending string
+}
+
+// NewAFL builds the fuzzer with the given seed queue.
+func NewAFL(seeds []string) *AFL {
+	q := append([]string(nil), seeds...)
+	if len(q) == 0 {
+		q = []string{""}
+	}
+	return &AFL{queue: q, seen: map[int]bool{}}
+}
+
+// Name implements Fuzzer.
+func (f *AFL) Name() string { return "afl" }
+
+// QueueLen reports the current queue size (for stats).
+func (f *AFL) QueueLen() int { return len(f.queue) }
+
+// Next implements Fuzzer: round-robin over the queue, havoc mutations.
+func (f *AFL) Next(rng *rand.Rand) string {
+	base := f.queue[f.qi%len(f.queue)]
+	f.qi++
+	b := []byte(base)
+	// Stacked havoc: 2^(1..6) mutations, as afl does.
+	n := 1 << (1 + rng.Intn(6))
+	for k := 0; k < n; k++ {
+		b = f.havoc(rng, b)
+	}
+	f.pending = string(b)
+	return f.pending
+}
+
+// Observe implements Fuzzer: inputs discovering new coverage join the
+// queue.
+func (f *AFL) Observe(input string, res programs.Result) {
+	novel := false
+	for _, pt := range res.Points {
+		if !f.seen[pt] {
+			f.seen[pt] = true
+			novel = true
+		}
+	}
+	if novel && input != "" {
+		f.queue = append(f.queue, input)
+	}
+}
+
+// havoc applies one random afl-style mutation.
+func (f *AFL) havoc(rng *rand.Rand, b []byte) []byte {
+	switch rng.Intn(8) {
+	case 0: // single bit flip
+		if len(b) == 0 {
+			return b
+		}
+		i := rng.Intn(len(b))
+		b[i] ^= 1 << uint(rng.Intn(8))
+		return b
+	case 1: // random byte overwrite
+		if len(b) == 0 {
+			return b
+		}
+		b[rng.Intn(len(b))] = byte(rng.Intn(256))
+		return b
+	case 2: // arithmetic on a byte
+		if len(b) == 0 {
+			return b
+		}
+		i := rng.Intn(len(b))
+		b[i] = byte(int(b[i]) + rng.Intn(71) - 35)
+		return b
+	case 3: // delete a block
+		if len(b) < 2 {
+			return b
+		}
+		lo := rng.Intn(len(b))
+		l := 1 + rng.Intn(len(b)-lo)
+		return append(b[:lo], b[lo+l:]...)
+	case 4: // clone a block
+		if len(b) == 0 || len(b) > 1<<12 {
+			return b
+		}
+		lo := rng.Intn(len(b))
+		l := 1 + rng.Intn(len(b)-lo)
+		at := rng.Intn(len(b) + 1)
+		block := append([]byte(nil), b[lo:lo+l]...)
+		return append(b[:at], append(block, b[at:]...)...)
+	case 5: // overwrite with a block copied from elsewhere
+		if len(b) < 2 {
+			return b
+		}
+		src := rng.Intn(len(b))
+		dst := rng.Intn(len(b))
+		l := 1 + rng.Intn(len(b)-max(src, dst))
+		copy(b[dst:dst+l], b[src:src+l])
+		return b
+	case 6: // insert a random byte
+		i := rng.Intn(len(b) + 1)
+		return append(b[:i], append([]byte{byte(rng.Intn(256))}, b[i:]...)...)
+	default: // splice with another queue entry
+		other := f.queue[rng.Intn(len(f.queue))]
+		if len(other) == 0 || len(b) == 0 {
+			return b
+		}
+		cut1 := rng.Intn(len(b))
+		cut2 := rng.Intn(len(other))
+		return append(b[:cut1], other[cut2:]...)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

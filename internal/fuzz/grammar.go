@@ -1,0 +1,93 @@
+package fuzz
+
+import (
+	"math/rand"
+
+	"glade/internal/cfg"
+	"glade/internal/programs"
+)
+
+// Grammar is the grammar-based fuzzer of §8.3: given the synthesized
+// grammar Ĉ and the seed inputs, each generated input starts from the parse
+// tree of a random seed and undergoes n ∈ [0,50] subtree resamplings —
+// choose a random tree node labeled A and replace it with a fresh sample
+// from PL(Ĉ,A).
+type Grammar struct {
+	g       *cfg.Grammar
+	sampler *cfg.Sampler
+	trees   []*cfg.Deriv
+	// fallback seeds that did not parse under the grammar (possible when
+	// learning timed out); they are emitted unmodified occasionally.
+	unparsed []string
+}
+
+// NewGrammar builds the fuzzer. Seeds that fail to parse under g are kept
+// as unmutatable fallbacks; at least one seed must parse or be present.
+func NewGrammar(g *cfg.Grammar, seeds []string) *Grammar {
+	f := &Grammar{g: g, sampler: cfg.NewSampler(g, 24)}
+	parser := cfg.NewParser(g)
+	for _, s := range seeds {
+		if t, err := parser.Parse(s); err == nil {
+			f.trees = append(f.trees, cfg.DerivFromTree(g, t, s))
+		} else {
+			f.unparsed = append(f.unparsed, s)
+		}
+	}
+	return f
+}
+
+// Name implements Fuzzer.
+func (f *Grammar) Name() string { return "glade" }
+
+// ParsedSeeds reports how many seeds parsed under the grammar.
+func (f *Grammar) ParsedSeeds() int { return len(f.trees) }
+
+// Observe implements Fuzzer (the grammar fuzzer ignores feedback).
+func (f *Grammar) Observe(string, programs.Result) {}
+
+// Next implements Fuzzer.
+func (f *Grammar) Next(rng *rand.Rand) string {
+	if len(f.trees) == 0 {
+		if len(f.unparsed) == 0 {
+			return ""
+		}
+		return f.unparsed[rng.Intn(len(f.unparsed))]
+	}
+	d := f.trees[rng.Intn(len(f.trees))].Clone()
+	n := rng.Intn(MaxMutations + 1)
+	for k := 0; k < n; k++ {
+		d = f.mutate(rng, d)
+	}
+	return d.Render()
+}
+
+// mutate performs one §8.3 modification: replace a uniformly random node
+// with a fresh sample from its nonterminal.
+func (f *Grammar) mutate(rng *rand.Rand, root *cfg.Deriv) *cfg.Deriv {
+	nodes := root.Nodes(nil)
+	target := nodes[rng.Intn(len(nodes))]
+	fresh := f.sampler.SampleDeriv(rng, target.NT)
+	if target == root {
+		return fresh
+	}
+	// Find and replace the target in its parent.
+	var walk func(d *cfg.Deriv) bool
+	walk = func(d *cfg.Deriv) bool {
+		for i := range d.Parts {
+			c := d.Parts[i].Child
+			if c == nil {
+				continue
+			}
+			if c == target {
+				d.Parts[i].Child = fresh
+				return true
+			}
+			if walk(c) {
+				return true
+			}
+		}
+		return false
+	}
+	walk(root)
+	return root
+}

@@ -1,0 +1,77 @@
+package fuzz
+
+import (
+	"math/rand"
+
+	"glade/internal/programs"
+)
+
+// Checkpoint is one point on a coverage-vs-samples curve (Figure 7(c)).
+type Checkpoint struct {
+	Samples   int
+	Valid     int
+	IncrCover int
+}
+
+// CoverageRun is the outcome of one fuzzing campaign against one program —
+// the raw ingredients of the paper's §8.3 metrics.
+type CoverageRun struct {
+	Fuzzer  string
+	Program string
+	Samples int
+	// Valid counts generated inputs accepted by the program.
+	Valid int
+	// SeedCover is the number of coverage points hit by the seed inputs.
+	SeedCover int
+	// IncrCover is the valid incremental coverage numerator: points hit by
+	// valid generated inputs but not by the seeds.
+	IncrCover int
+	// Curve samples IncrCover over time when checkpointEvery > 0.
+	Curve []Checkpoint
+}
+
+// Normalized returns this run's valid normalized incremental coverage
+// against a baseline run (the naive fuzzer in the paper). It is 0 when the
+// baseline found nothing.
+func (r CoverageRun) Normalized(baseline CoverageRun) float64 {
+	if baseline.IncrCover == 0 {
+		if r.IncrCover == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(r.IncrCover) / float64(baseline.IncrCover)
+}
+
+// RunCoverage executes the fuzzing campaign of §8.3: generate samples
+// inputs with f against p, keep only valid ones, and measure the coverage
+// they add beyond the program's bundled seeds.
+func RunCoverage(p programs.Program, f Fuzzer, samples int, rng *rand.Rand, checkpointEvery int) CoverageRun {
+	run := CoverageRun{Fuzzer: f.Name(), Program: p.Name(), Samples: samples}
+	seedPoints := map[int]bool{}
+	for _, s := range p.Seeds() {
+		for _, pt := range p.Run(s).Points {
+			seedPoints[pt] = true
+		}
+	}
+	run.SeedCover = len(seedPoints)
+	incr := map[int]bool{}
+	for i := 0; i < samples; i++ {
+		input := f.Next(rng)
+		res := p.Run(input)
+		f.Observe(input, res)
+		if res.OK {
+			run.Valid++
+			for _, pt := range res.Points {
+				if !seedPoints[pt] {
+					incr[pt] = true
+				}
+			}
+		}
+		if checkpointEvery > 0 && (i+1)%checkpointEvery == 0 {
+			run.Curve = append(run.Curve, Checkpoint{Samples: i + 1, Valid: run.Valid, IncrCover: len(incr)})
+		}
+	}
+	run.IncrCover = len(incr)
+	return run
+}

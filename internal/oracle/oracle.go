@@ -1,0 +1,122 @@
+// Package oracle defines the membership-oracle abstraction of §2: blackbox
+// access to a program answering "is this input valid?". It also provides the
+// wrappers the learner and the evaluation need — caching, query counting —
+// and an oracle that executes an external command, which is how the CLI
+// treats a real program binary exactly as the paper does (run the program,
+// valid iff it does not report an error).
+package oracle
+
+import (
+	"os/exec"
+	"strings"
+	"sync"
+)
+
+// Oracle answers membership queries for the target language L*.
+type Oracle interface {
+	// Accepts reports whether input ∈ L*.
+	Accepts(input string) bool
+}
+
+// Func adapts a plain function to an Oracle.
+type Func func(string) bool
+
+// Accepts implements Oracle.
+func (f Func) Accepts(input string) bool { return f(input) }
+
+// Cached memoizes oracle answers. The learner issues many repeated queries
+// (identical checks recur across candidates), so callers typically wrap
+// their oracle in Cached before learning. Cached is safe for concurrent use.
+type Cached struct {
+	inner Oracle
+	mu    sync.Mutex
+	memo  map[string]bool
+	hits  int
+	miss  int
+}
+
+// NewCached wraps inner with memoization.
+func NewCached(inner Oracle) *Cached {
+	return &Cached{inner: inner, memo: map[string]bool{}}
+}
+
+// Accepts implements Oracle.
+func (c *Cached) Accepts(input string) bool {
+	c.mu.Lock()
+	if v, ok := c.memo[input]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return v
+	}
+	c.miss++
+	c.mu.Unlock()
+	v := c.inner.Accepts(input)
+	c.mu.Lock()
+	c.memo[input] = v
+	c.mu.Unlock()
+	return v
+}
+
+// Stats returns (cache hits, underlying queries issued).
+func (c *Cached) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.miss
+}
+
+// Counting counts queries to the underlying oracle; the evaluation reports
+// query budgets with it. Counting is safe for concurrent use.
+type Counting struct {
+	inner Oracle
+	mu    sync.Mutex
+	n     int
+}
+
+// NewCounting wraps inner with query counting.
+func NewCounting(inner Oracle) *Counting { return &Counting{inner: inner} }
+
+// Accepts implements Oracle.
+func (c *Counting) Accepts(input string) bool {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.inner.Accepts(input)
+}
+
+// Queries returns the number of queries issued so far.
+func (c *Counting) Queries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Exec is an oracle that runs an external command per query, feeding the
+// input on stdin. The input is considered valid when the command exits with
+// status zero and, if ErrSubstring is non-empty, stderr does not contain it.
+// This mirrors the paper's setup of observing whether the program prints an
+// error message.
+type Exec struct {
+	// Command and arguments, e.g. {"python3", "-"}.
+	Argv []string
+	// ErrSubstring, when non-empty, marks inputs invalid if stderr contains
+	// it even when the exit status is zero.
+	ErrSubstring string
+}
+
+// Accepts implements Oracle by running the command.
+func (e *Exec) Accepts(input string) bool {
+	if len(e.Argv) == 0 {
+		return false
+	}
+	cmd := exec.Command(e.Argv[0], e.Argv[1:]...)
+	cmd.Stdin = strings.NewReader(input)
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return false
+	}
+	if e.ErrSubstring != "" && strings.Contains(stderr.String(), e.ErrSubstring) {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,75 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFunc(t *testing.T) {
+	o := Func(func(s string) bool { return strings.HasPrefix(s, "ok") })
+	if !o.Accepts("ok then") || o.Accepts("nope") {
+		t.Fatal("Func adapter wrong")
+	}
+}
+
+func TestCached(t *testing.T) {
+	calls := 0
+	o := NewCached(Func(func(s string) bool {
+		calls++
+		return s == "yes"
+	}))
+	for i := 0; i < 5; i++ {
+		if !o.Accepts("yes") || o.Accepts("no") {
+			t.Fatal("cached answers wrong")
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("underlying calls = %d, want 2", calls)
+	}
+	hits, misses := o.Stats()
+	if misses != 2 || hits != 8 {
+		t.Fatalf("Stats = %d hits %d misses", hits, misses)
+	}
+}
+
+func TestCounting(t *testing.T) {
+	o := NewCounting(Func(func(s string) bool { return true }))
+	for i := 0; i < 7; i++ {
+		o.Accepts("x")
+	}
+	if o.Queries() != 7 {
+		t.Fatalf("Queries = %d", o.Queries())
+	}
+}
+
+func TestExecTrueFalse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec oracle spawns processes")
+	}
+	yes := &Exec{Argv: []string{"true"}}
+	no := &Exec{Argv: []string{"false"}}
+	if !yes.Accepts("anything") {
+		t.Fatal("true command rejected")
+	}
+	if no.Accepts("anything") {
+		t.Fatal("false command accepted")
+	}
+	empty := &Exec{}
+	if empty.Accepts("x") {
+		t.Fatal("empty argv accepted")
+	}
+}
+
+func TestExecReadsStdin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec oracle spawns processes")
+	}
+	// grep -q ok: exit 0 iff stdin contains "ok".
+	o := &Exec{Argv: []string{"grep", "-q", "ok"}}
+	if !o.Accepts("this is ok") {
+		t.Fatal("grep oracle rejected matching input")
+	}
+	if o.Accepts("nothing here") {
+		t.Fatal("grep oracle accepted non-matching input")
+	}
+}

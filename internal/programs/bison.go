@@ -1,0 +1,321 @@
+package programs
+
+// Bison returns a simulated bison/yacc front-end: it parses grammar files —
+// %token/%left/%right/%nonassoc/%start/%type declarations, %{ prologue %},
+// a %% rules section with alternatives, actions, and precedence modifiers,
+// and an optional epilogue.
+func Bison() Program {
+	return &base{
+		name: "bison",
+		reg:  newRegistry(),
+		seeds: []string{
+			"%token NUM\n%%\nexpr : NUM | expr '+' NUM ;\n%%\n",
+			"%token ID\n%left '+' '-'\n%start prog\n%%\nprog : stmt ;\nstmt : ID '=' expr { assign(); } ;\nexpr : ID | expr '+' ID ;\n",
+			"%{\nint x;\n%}\n%token A B\n%%\ns : A s B | ;\n",
+		},
+		parse: bisonParse,
+	}
+}
+
+func bisonParse(t *tracer, input string) bool {
+	c := &cursor{s: input, t: t}
+	t.hit("bison.enter")
+	if !bisonDeclarations(c) {
+		return false
+	}
+	if !c.lit("%%") {
+		t.hit("bison.err.no-rules-marker")
+		return false
+	}
+	t.hit("bison.rules-marker")
+	if !bisonRules(c) {
+		return false
+	}
+	if c.lit("%%") {
+		t.hit("bison.epilogue")
+		c.i = len(c.s)
+	}
+	bisonWS(c)
+	if !c.eof() {
+		t.hit("bison.err.trailing")
+		return false
+	}
+	t.hit("bison.accept")
+	return true
+}
+
+func bisonWS(c *cursor) {
+	for {
+		if c.skip(func(b byte) bool { return b == ' ' || b == '\t' || b == '\n' }) > 0 {
+			continue
+		}
+		// C-style comments are allowed anywhere whitespace is.
+		if c.peek() == '/' && c.peekAt(1) == '*' {
+			c.t.hit("bison.comment")
+			c.i += 2
+			for !c.eof() && !(c.peek() == '*' && c.peekAt(1) == '/') {
+				c.i++
+			}
+			if !c.eof() {
+				c.i += 2
+			}
+			continue
+		}
+		if c.peek() == '/' && c.peekAt(1) == '/' {
+			c.t.hit("bison.line-comment")
+			c.skip(func(b byte) bool { return b != '\n' })
+			continue
+		}
+		return
+	}
+}
+
+// bisonDeclarations parses the section before %%.
+func bisonDeclarations(c *cursor) bool {
+	t := c.t
+	for {
+		bisonWS(c)
+		if c.eof() {
+			t.hit("bison.err.no-sections")
+			return false
+		}
+		if c.peek() == '%' && c.peekAt(1) == '%' {
+			return true
+		}
+		switch {
+		case c.lit("%{"):
+			t.hit("bison.decl.prologue")
+			for !c.eof() && !(c.peek() == '%' && c.peekAt(1) == '}') {
+				c.i++
+			}
+			if !c.lit("%}") {
+				t.hit("bison.err.prologue-open")
+				return false
+			}
+		case c.lit("%token"):
+			t.hit("bison.decl.token")
+			if !bisonSymbolList(c) {
+				return false
+			}
+		case c.lit("%left"):
+			t.hit("bison.decl.left")
+			if !bisonSymbolList(c) {
+				return false
+			}
+		case c.lit("%right"):
+			t.hit("bison.decl.right")
+			if !bisonSymbolList(c) {
+				return false
+			}
+		case c.lit("%nonassoc"):
+			t.hit("bison.decl.nonassoc")
+			if !bisonSymbolList(c) {
+				return false
+			}
+		case c.lit("%start"):
+			t.hit("bison.decl.start")
+			bisonWS(c)
+			if !bisonIdent(c) {
+				t.hit("bison.err.start-name")
+				return false
+			}
+		case c.lit("%type"):
+			t.hit("bison.decl.type")
+			bisonWS(c)
+			if c.eat('<') {
+				if c.skip(isAlnum) == 0 || !c.eat('>') {
+					t.hit("bison.err.type-tag")
+					return false
+				}
+				t.hit("bison.decl.type-tag")
+			}
+			if !bisonSymbolList(c) {
+				return false
+			}
+		default:
+			t.hit("bison.err.decl")
+			return false
+		}
+	}
+}
+
+// bisonSymbolList parses one or more symbols (identifiers or char tokens).
+func bisonSymbolList(c *cursor) bool {
+	t := c.t
+	n := 0
+	for {
+		bisonWS(c)
+		switch {
+		case bisonIdent(c):
+			t.hit("bison.sym.ident")
+			n++
+		case bisonCharToken(c):
+			t.hit("bison.sym.char")
+			n++
+		default:
+			if n == 0 {
+				t.hit("bison.err.symbol-list")
+				return false
+			}
+			return true
+		}
+	}
+}
+
+func bisonIdent(c *cursor) bool {
+	if !isLetter(c.peek()) {
+		return false
+	}
+	c.skip(isAlnum)
+	return true
+}
+
+// bisonCharToken parses 'x' (with \ escapes).
+func bisonCharToken(c *cursor) bool {
+	if c.peek() != '\'' {
+		return false
+	}
+	c.i++
+	if c.peek() == '\\' {
+		c.i++
+	}
+	if c.eof() || c.peek() == '\n' {
+		return false
+	}
+	c.i++
+	return c.eat('\'')
+}
+
+// bisonRules parses rule : alternatives ;.
+func bisonRules(c *cursor) bool {
+	t := c.t
+	sawRule := false
+	rules := 0
+	for {
+		bisonWS(c)
+		if c.eof() || (c.peek() == '%' && c.peekAt(1) == '%') {
+			if !sawRule {
+				t.hit("bison.err.no-rules")
+				return false
+			}
+			t.bucket("bison.rules", rules)
+			return true
+		}
+		if !bisonIdent(c) {
+			t.hit("bison.err.rule-name")
+			return false
+		}
+		t.hit("bison.rule.name")
+		bisonWS(c)
+		if !c.eat(':') {
+			t.hit("bison.err.rule-colon")
+			return false
+		}
+		for {
+			if !bisonAlternative(c) {
+				return false
+			}
+			bisonWS(c)
+			if c.eat('|') {
+				t.hit("bison.rule.alt")
+				continue
+			}
+			break
+		}
+		bisonWS(c)
+		if !c.eat(';') {
+			t.hit("bison.err.rule-semi")
+			return false
+		}
+		t.hit("bison.rule.done")
+		sawRule = true
+		rules++
+	}
+}
+
+// bisonAlternative parses one possibly-empty right-hand side with optional
+// actions and %prec.
+func bisonAlternative(c *cursor) bool {
+	t := c.t
+	syms := 0
+	for {
+		bisonWS(c)
+		switch {
+		case c.peek() == '|' || c.peek() == ';' || c.eof():
+			t.hit("bison.alt.end")
+			t.bucket("bison.alt.syms", syms)
+			return true
+		case c.peek() == '{':
+			if !bisonAction(c) {
+				return false
+			}
+		case c.lit("%prec"):
+			t.hit("bison.alt.prec")
+			bisonWS(c)
+			if !bisonIdent(c) && !bisonCharToken(c) {
+				t.hit("bison.err.prec-symbol")
+				return false
+			}
+		case bisonIdent(c):
+			t.hit("bison.alt.ident")
+			syms++
+		case bisonCharToken(c):
+			t.hit("bison.alt.char")
+			syms++
+		case c.peek() == '\'':
+			t.hit("bison.err.char-token")
+			return false
+		default:
+			t.hit("bison.err.alt-symbol")
+			return false
+		}
+	}
+}
+
+// bisonAction parses a brace-balanced action block, honoring strings and
+// char literals inside.
+func bisonAction(c *cursor) bool {
+	t := c.t
+	t.hit("bison.action.open")
+	depth := 0
+	for !c.eof() {
+		switch c.peek() {
+		case '{':
+			depth++
+			c.i++
+		case '}':
+			depth--
+			c.i++
+			if depth == 0 {
+				t.hit("bison.action.close")
+				return true
+			}
+		case '"':
+			c.i++
+			for !c.eof() && c.peek() != '"' {
+				if c.peek() == '\\' {
+					c.i++
+				}
+				if !c.eof() {
+					c.i++
+				}
+			}
+			if !c.eat('"') {
+				t.hit("bison.err.action-string")
+				return false
+			}
+			t.hit("bison.action.string")
+		case '$':
+			c.i++
+			if c.eat('$') {
+				t.hit("bison.action.dollar-dollar")
+			} else if c.skip(isDigit) > 0 {
+				t.hit("bison.action.dollar-n")
+			}
+		default:
+			c.i++
+		}
+	}
+	t.hit("bison.err.action-open")
+	return false
+}

@@ -1,0 +1,335 @@
+package programs
+
+// Flex returns a simulated flex lexer-generator front-end: it parses .l
+// specifications — a definitions section (name/pattern macros, %option
+// lines, %{ literal blocks %}), a %% rules section (pattern + action), and
+// an optional user-code epilogue.
+func Flex() Program {
+	return &base{
+		name: "flex",
+		reg:  newRegistry(),
+		seeds: []string{
+			"DIGIT [0-9]\n%%\n{DIGIT}+ { count(); }\n. ;\n%%\n",
+			"%option noyywrap\n%%\nabc printf\n",
+			"%{\nint n;\n%}\nID [a-z_]\n%%\n{ID}* { n++; }\n\"+\" |\n\"-\" { op(); }\n%%\nmain\n",
+		},
+		parse: flexParse,
+	}
+}
+
+func flexParse(t *tracer, input string) bool {
+	c := &cursor{s: input, t: t}
+	t.hit("flex.enter")
+	if !flexDefinitions(c) {
+		return false
+	}
+	if !c.lit("%%") {
+		t.hit("flex.err.no-rules-marker")
+		return false
+	}
+	t.hit("flex.rules-marker")
+	if !c.eat('\n') && !c.eof() {
+		t.hit("flex.err.marker-line")
+		return false
+	}
+	if !flexRules(c) {
+		return false
+	}
+	if c.lit("%%") {
+		t.hit("flex.user-code")
+		// The epilogue is arbitrary text; always accepted.
+		c.i = len(c.s)
+	}
+	if !c.eof() {
+		t.hit("flex.err.trailing")
+		return false
+	}
+	t.hit("flex.accept")
+	return true
+}
+
+// flexDefinitions parses the section before the first %%.
+func flexDefinitions(c *cursor) bool {
+	t := c.t
+	for {
+		if c.eof() {
+			t.hit("flex.err.no-sections")
+			return false
+		}
+		if c.peek() == '%' && c.peekAt(1) == '%' {
+			return true
+		}
+		switch {
+		case c.lit("%{"):
+			t.hit("flex.def.codeblock")
+			// Literal block up to %} at line start.
+			for {
+				if c.eof() {
+					t.hit("flex.err.codeblock-open")
+					return false
+				}
+				if c.eat('\n') && c.lit("%}") {
+					t.hit("flex.def.codeblock-close")
+					break
+				}
+				if c.peek() != '\n' {
+					c.i++
+				}
+			}
+			c.skip(func(b byte) bool { return b != '\n' })
+			c.eat('\n')
+		case c.lit("%option"):
+			t.hit("flex.def.option")
+			if c.skip(isSpace) == 0 {
+				t.hit("flex.err.option-space")
+				return false
+			}
+			if c.skip(isAlnum) == 0 {
+				t.hit("flex.err.option-name")
+				return false
+			}
+			c.skip(func(b byte) bool { return b != '\n' })
+			c.eat('\n')
+		case c.peek() == '\n':
+			c.i++
+			t.hit("flex.def.blank")
+		case isSpace(c.peek()):
+			// Indented lines in the definitions section are literal code.
+			t.hit("flex.def.indented-code")
+			c.skip(func(b byte) bool { return b != '\n' })
+			c.eat('\n')
+		case isLetter(c.peek()):
+			// Macro definition: NAME pattern.
+			t.hit("flex.def.macro")
+			c.skip(isAlnum)
+			if c.skip(isSpace) == 0 {
+				t.hit("flex.err.macro-space")
+				return false
+			}
+			if !flexPattern(c, true) {
+				return false
+			}
+			c.eat('\n')
+		default:
+			t.hit("flex.err.def-line")
+			return false
+		}
+	}
+}
+
+// flexRules parses rule lines: pattern action, pattern |, or blank lines,
+// up to the optional second %%.
+func flexRules(c *cursor) bool {
+	t := c.t
+	sawRule := false
+	rules := 0
+	done := func() bool { t.bucket("flex.rules", rules); return true }
+	for {
+		if c.eof() {
+			if !sawRule {
+				t.hit("flex.warn.no-rules")
+			}
+			return done()
+		}
+		if c.peek() == '%' && c.peekAt(1) == '%' {
+			return done()
+		}
+		if c.eat('\n') {
+			t.hit("flex.rule.blank")
+			continue
+		}
+		if isSpace(c.peek()) {
+			// Indented code line inside the rules section.
+			t.hit("flex.rule.indented-code")
+			c.skip(func(b byte) bool { return b != '\n' })
+			c.eat('\n')
+			continue
+		}
+		if !flexPattern(c, false) {
+			return false
+		}
+		sawRule = true
+		rules++
+		if c.skip(isSpace) == 0 && c.peek() != '\n' && !c.eof() {
+			t.hit("flex.err.rule-space")
+			return false
+		}
+		if !flexAction(c) {
+			return false
+		}
+	}
+}
+
+// flexPattern parses a lexer regex: chars, classes, quoted literals, {name}
+// references, and repetition. inDef stops at end of line only.
+func flexPattern(c *cursor, inDef bool) bool {
+	t := c.t
+	n := 0
+	for {
+		if c.eof() || c.peek() == '\n' {
+			break
+		}
+		if !inDef && isSpace(c.peek()) {
+			break
+		}
+		b := c.peek()
+		switch {
+		case b == '"':
+			c.i++
+			t.hit("flex.pat.quote")
+			for !c.eof() && c.peek() != '"' && c.peek() != '\n' {
+				if c.peek() == '\\' {
+					c.i++
+					if c.eof() {
+						t.hit("flex.err.pat.escape")
+						return false
+					}
+				}
+				c.i++
+			}
+			if !c.eat('"') {
+				t.hit("flex.err.pat.quote-open")
+				return false
+			}
+		case b == '[':
+			c.i++
+			t.hit("flex.pat.class")
+			if c.eat('^') {
+				t.hit("flex.pat.class-negate")
+			}
+			if c.skip(func(x byte) bool { return x != ']' && x != '\n' }) == 0 {
+				t.hit("flex.err.pat.class-empty")
+				return false
+			}
+			if !c.eat(']') {
+				t.hit("flex.err.pat.class-open")
+				return false
+			}
+		case b == '{':
+			c.i++
+			if isDigit(c.peek()) {
+				t.hit("flex.pat.interval")
+				c.skip(isDigit)
+				if c.eat(',') {
+					c.skip(isDigit)
+				}
+			} else {
+				t.hit("flex.pat.macro-ref")
+				if c.skip(isAlnum) == 0 {
+					t.hit("flex.err.pat.ref-name")
+					return false
+				}
+			}
+			if !c.eat('}') {
+				t.hit("flex.err.pat.brace-open")
+				return false
+			}
+		case b == '(':
+			c.i++
+			t.hit("flex.pat.group-open")
+			if !flexPattern(c, inDef) {
+				return false
+			}
+			if !c.eat(')') {
+				t.hit("flex.err.pat.group-open")
+				return false
+			}
+		case b == ')':
+			if n == 0 {
+				t.hit("flex.err.pat.group-close")
+				return false
+			}
+			return true
+		case b == '*' || b == '+' || b == '?':
+			if n == 0 {
+				t.hit("flex.err.pat.dangling-op")
+				return false
+			}
+			c.i++
+			t.hit("flex.pat.rep." + string(b))
+			continue
+		case b == '|':
+			if n == 0 {
+				t.hit("flex.err.pat.empty-alt")
+				return false
+			}
+			c.i++
+			t.hit("flex.pat.alt")
+			continue
+		case b == '\\':
+			c.i++
+			if c.eof() || c.peek() == '\n' {
+				t.hit("flex.err.pat.escape")
+				return false
+			}
+			c.i++
+			t.hit("flex.pat.escape")
+		case b == '.':
+			c.i++
+			t.hit("flex.pat.any")
+		case b == '^' && n == 0:
+			c.i++
+			t.hit("flex.pat.anchor")
+		case b == '$':
+			c.i++
+			t.hit("flex.pat.eol")
+		default:
+			c.i++
+			t.hit("flex.pat.char")
+		}
+		n++
+	}
+	if n == 0 {
+		t.hit("flex.err.pat.empty")
+		return false
+	}
+	t.bucket("flex.pat.size", n)
+	return true
+}
+
+// flexAction parses an action: '|', a { } block with nesting, a one-line C
+// fragment, or empty (end of line).
+func flexAction(c *cursor) bool {
+	t := c.t
+	switch {
+	case c.peek() == '|':
+		c.i++
+		t.hit("flex.action.fallthrough")
+		c.skip(isSpace)
+		if !c.eat('\n') && !c.eof() {
+			t.hit("flex.err.action.bar")
+			return false
+		}
+		return true
+	case c.peek() == '{':
+		t.hit("flex.action.block")
+		depth := 0
+		for !c.eof() {
+			switch c.peek() {
+			case '{':
+				depth++
+			case '}':
+				depth--
+				if depth == 0 {
+					c.i++
+					t.hit("flex.action.block-close")
+					c.skip(isSpace)
+					c.eat('\n')
+					return true
+				}
+			}
+			c.i++
+		}
+		t.hit("flex.err.action.block-open")
+		return false
+	case c.peek() == '\n' || c.eof():
+		c.eat('\n')
+		t.hit("flex.action.empty")
+		return true
+	default:
+		t.hit("flex.action.inline")
+		c.skip(func(b byte) bool { return b != '\n' })
+		c.eat('\n')
+		return true
+	}
+}

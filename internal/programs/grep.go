@@ -1,0 +1,282 @@
+package programs
+
+// Grep returns a simulated GNU grep: it validates basic regular expressions
+// (BRE) — anchors, classes with ranges and named sets, escapes, groups,
+// alternation, back-references, and interval repetition \{n,m\}.
+func Grep() Program {
+	return &base{
+		name: "grep",
+		reg:  newRegistry(),
+		seeds: []string{
+			"^abc.*xyz$",
+			`\(foo\|bar\)\{1,3\}`,
+			`[a-z0-9_]*[[:digit:]]`,
+		},
+		parse: grepRun,
+	}
+}
+
+func grepRun(t *tracer, input string) bool {
+	c := &cursor{s: input, t: t}
+	t.hit("grep.enter")
+	if !grepAlt(c, 0) {
+		return false
+	}
+	if !c.eof() {
+		t.hit("grep.err.trailing")
+		return false
+	}
+	t.hit("grep.accept")
+	return true
+}
+
+// grepAlt parses branch ("\|" branch)*.
+func grepAlt(c *cursor, depth int) bool {
+	t := c.t
+	if !grepBranch(c, depth) {
+		return false
+	}
+	for c.peek() == '\\' && c.peekAt(1) == '|' {
+		c.i += 2
+		t.hit("grep.alt")
+		if !grepBranch(c, depth) {
+			return false
+		}
+	}
+	return true
+}
+
+// grepBranch parses a concatenation of pieces; it stops at "\|", "\)" or
+// end of input.
+func grepBranch(c *cursor, depth int) bool {
+	t := c.t
+	first := true
+	pieces := 0
+	defer func() { t.bucket("grep.pieces", pieces) }()
+	for {
+		b := c.peek()
+		switch {
+		case c.eof():
+			return true
+		case b == '\\' && (c.peekAt(1) == '|'):
+			return true
+		case b == '\\' && c.peekAt(1) == ')':
+			if depth == 0 {
+				t.hit("grep.err.unmatched-close")
+				return false
+			}
+			return true
+		case b == '^':
+			c.i++
+			if first {
+				t.hit("grep.anchor.begin")
+			} else {
+				t.hit("grep.caret.literal")
+			}
+		case b == '$':
+			c.i++
+			if c.eof() || (c.peek() == '\\' && (c.peekAt(1) == '|' || c.peekAt(1) == ')')) {
+				t.hit("grep.anchor.end")
+			} else {
+				t.hit("grep.dollar.literal")
+			}
+		default:
+			if !grepPiece(c, depth) {
+				return false
+			}
+			pieces++
+		}
+		first = false
+	}
+}
+
+// grepPiece parses atom followed by repetition operators.
+func grepPiece(c *cursor, depth int) bool {
+	t := c.t
+	if !grepAtom(c, depth) {
+		return false
+	}
+	for {
+		switch {
+		case c.peek() == '*':
+			c.i++
+			t.hit("grep.rep.star")
+		case c.peek() == '\\' && c.peekAt(1) == '{':
+			c.i += 2
+			t.hit("grep.rep.interval")
+			if !grepInterval(c) {
+				return false
+			}
+		case c.peek() == '\\' && c.peekAt(1) == '+':
+			c.i += 2
+			t.hit("grep.rep.plus")
+		case c.peek() == '\\' && c.peekAt(1) == '?':
+			c.i += 2
+			t.hit("grep.rep.question")
+		default:
+			return true
+		}
+	}
+}
+
+// grepInterval parses the body of \{n\}, \{n,\} or \{n,m\}.
+func grepInterval(c *cursor) bool {
+	t := c.t
+	lo := c.skip(isDigit)
+	if lo == 0 {
+		t.hit("grep.err.interval.lo")
+		return false
+	}
+	if c.eat(',') {
+		if c.skip(isDigit) > 0 {
+			t.hit("grep.interval.range")
+		} else {
+			t.hit("grep.interval.open")
+		}
+	} else {
+		t.hit("grep.interval.exact")
+	}
+	if !(c.peek() == '\\' && c.peekAt(1) == '}') {
+		t.hit("grep.err.interval.close")
+		return false
+	}
+	c.i += 2
+	return true
+}
+
+// grepAtom parses one atom: ordinary char, '.', class, group, escape, or
+// back-reference.
+func grepAtom(c *cursor, depth int) bool {
+	t := c.t
+	b := c.peek()
+	switch {
+	case b == '.':
+		c.i++
+		t.hit("grep.atom.any")
+		return true
+	case b == '[':
+		return grepClass(c)
+	case b == '*':
+		t.hit("grep.err.dangling-star")
+		return false
+	case b == '\\':
+		nxt := c.peekAt(1)
+		switch {
+		case nxt == '(':
+			c.i += 2
+			t.hit("grep.group.open")
+			t.bucket("grep.group.depth", depth+1)
+			if !grepAlt(c, depth+1) {
+				return false
+			}
+			if !(c.peek() == '\\' && c.peekAt(1) == ')') {
+				t.hit("grep.err.group.open")
+				return false
+			}
+			c.i += 2
+			t.hit("grep.group.close")
+			return true
+		case nxt >= '1' && nxt <= '9':
+			c.i += 2
+			t.hit("grep.backref")
+			return true
+		case nxt == '.' || nxt == '*' || nxt == '[' || nxt == ']' || nxt == '\\' ||
+			nxt == '^' || nxt == '$':
+			c.i += 2
+			t.hit("grep.escape.meta")
+			return true
+		case nxt == 'w' || nxt == 'W' || nxt == 's' || nxt == 'S' || nxt == 'b' || nxt == 'B' ||
+			nxt == '<' || nxt == '>':
+			c.i += 2
+			t.hit("grep.escape.class")
+			return true
+		case nxt == 0:
+			t.hit("grep.err.trailing-backslash")
+			return false
+		default:
+			t.hit("grep.err.bad-escape")
+			return false
+		}
+	case b == 0 && c.eof():
+		t.hit("grep.err.missing-atom")
+		return false
+	case b < 32 || b > 126:
+		t.hit("grep.err.nonprintable")
+		return false
+	default:
+		c.i++
+		t.hit("grep.atom.char")
+		return true
+	}
+}
+
+// grepClass parses [...] including negation, ranges, and POSIX named sets.
+func grepClass(c *cursor) bool {
+	t := c.t
+	c.i++ // '['
+	t.hit("grep.class.open")
+	if c.eat('^') {
+		t.hit("grep.class.negate")
+	}
+	// ']' immediately after open (or ^) is a literal member.
+	n := 0
+	if c.peek() == ']' {
+		c.i++
+		t.hit("grep.class.literal-bracket")
+		n++
+	}
+	for {
+		if c.eof() {
+			t.hit("grep.err.class.unterminated")
+			return false
+		}
+		b := c.peek()
+		if b == ']' {
+			c.i++
+			if n == 0 {
+				t.hit("grep.err.class.empty")
+				return false
+			}
+			t.hit("grep.class.close")
+			t.bucket("grep.class.size", n)
+			return true
+		}
+		if b == '[' && c.peekAt(1) == ':' {
+			c.i += 2
+			name := c.i
+			c.skip(isLower)
+			if c.i == name || !c.lit(":]") {
+				t.hit("grep.err.class.posix")
+				return false
+			}
+			switch c.s[name : c.i-2] {
+			case "alpha", "digit", "alnum", "space", "upper", "lower", "punct", "xdigit":
+				t.hit("grep.class.posix")
+			default:
+				t.hit("grep.err.class.posix-name")
+				return false
+			}
+			n++
+			continue
+		}
+		if b == '\n' {
+			t.hit("grep.err.class.newline")
+			return false
+		}
+		c.i++
+		n++
+		// Range?
+		if c.peek() == '-' && c.peekAt(1) != ']' && c.peekAt(1) != 0 {
+			lo := b
+			c.i++
+			hi := c.peek()
+			c.i++
+			if lo > hi {
+				t.hit("grep.err.class.range-order")
+				return false
+			}
+			t.hit("grep.class.range")
+			n++
+		}
+	}
+}

@@ -1,0 +1,712 @@
+package programs
+
+// JavaScript returns a simulated SpiderMonkey front-end: a parser for a
+// miniature of JavaScript's statement syntax — var/let/const declarations,
+// function declarations and expressions, if/else, while, for, return,
+// blocks, and a C-style expression grammar with ternaries, member access,
+// calls, and object/array literals.
+func JavaScript() Program {
+	return &base{
+		name: "javascript",
+		reg:  newRegistry(),
+		seeds: []string{
+			"var x = 1 + 2;\nconsole.log(x);",
+			"function add(a, b) { return a + b; }\nvar r = add(1, 2);",
+			"if (x === 1) { y = [1, 2]; } else { y = {k: 1, m: \"s\"}; }",
+			"for (i = 0; i < 10; i = i + 1) { total = total + i; }\nwhile (x > 0) { x = x - 1; }",
+		},
+		parse: jsParse,
+	}
+}
+
+func jsParse(t *tracer, input string) bool {
+	t.hit("js.enter")
+	c := &cursor{s: input, t: t}
+	for {
+		jsWS(c)
+		if c.eof() {
+			t.hit("js.accept")
+			return true
+		}
+		if !jsStatement(c) {
+			return false
+		}
+	}
+}
+
+// jsWS consumes whitespace and // and /* */ comments.
+func jsWS(c *cursor) {
+	for {
+		if c.skip(func(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }) > 0 {
+			continue
+		}
+		if c.peek() == '/' && c.peekAt(1) == '/' {
+			c.t.hit("js.comment.line")
+			c.skip(func(b byte) bool { return b != '\n' })
+			continue
+		}
+		if c.peek() == '/' && c.peekAt(1) == '*' {
+			c.t.hit("js.comment.block")
+			c.i += 2
+			for !c.eof() && !(c.peek() == '*' && c.peekAt(1) == '/') {
+				c.i++
+			}
+			c.lit("*/")
+			continue
+		}
+		return
+	}
+}
+
+func jsStatement(c *cursor) bool {
+	t := c.t
+	jsWS(c)
+	switch {
+	case c.peek() == '{':
+		return jsBlock(c)
+	case c.eat(';'):
+		t.hit("js.stmt.empty")
+		return true
+	case matchWord(c, "var"), matchWord(c, "let"), matchWord(c, "const"):
+		t.hit("js.stmt.decl")
+		for {
+			jsWS(c)
+			if !jsName(c) {
+				t.hit("js.err.decl-name")
+				return false
+			}
+			jsWS(c)
+			if c.peek() == '=' && c.peekAt(1) != '=' {
+				c.i++
+				t.hit("js.decl.init")
+				jsWS(c)
+				if !jsAssignExpr(c) {
+					return false
+				}
+				jsWS(c)
+			}
+			if c.eat(',') {
+				t.hit("js.decl.multi")
+				continue
+			}
+			break
+		}
+		return jsSemi(c)
+	case matchWord(c, "function"):
+		t.hit("js.stmt.function")
+		jsWS(c)
+		if !jsName(c) {
+			t.hit("js.err.function-name")
+			return false
+		}
+		return jsFunctionRest(c)
+	case matchWord(c, "if"):
+		t.hit("js.stmt.if")
+		if !jsParenExpr(c) {
+			return false
+		}
+		if !jsStatement(c) {
+			return false
+		}
+		save := c.i
+		jsWS(c)
+		if matchWord(c, "else") {
+			t.hit("js.stmt.else")
+			return jsStatement(c)
+		}
+		c.i = save
+		return true
+	case matchWord(c, "while"):
+		t.hit("js.stmt.while")
+		if !jsParenExpr(c) {
+			return false
+		}
+		return jsStatement(c)
+	case matchWord(c, "for"):
+		t.hit("js.stmt.for")
+		jsWS(c)
+		if !c.eat('(') {
+			t.hit("js.err.for-paren")
+			return false
+		}
+		// init ; cond ; update — each part optional.
+		jsWS(c)
+		if c.peek() != ';' {
+			if matchWord(c, "var") || matchWord(c, "let") {
+				t.hit("js.for.decl")
+				jsWS(c)
+				if !jsName(c) {
+					t.hit("js.err.for-name")
+					return false
+				}
+				jsWS(c)
+				if c.eat('=') {
+					jsWS(c)
+					if !jsAssignExpr(c) {
+						return false
+					}
+				}
+			} else if !jsExpr(c) {
+				return false
+			}
+		}
+		jsWS(c)
+		if !c.eat(';') {
+			t.hit("js.err.for-semi1")
+			return false
+		}
+		jsWS(c)
+		if c.peek() != ';' {
+			if !jsExpr(c) {
+				return false
+			}
+		}
+		jsWS(c)
+		if !c.eat(';') {
+			t.hit("js.err.for-semi2")
+			return false
+		}
+		jsWS(c)
+		if c.peek() != ')' {
+			if !jsExpr(c) {
+				return false
+			}
+		}
+		jsWS(c)
+		if !c.eat(')') {
+			t.hit("js.err.for-close")
+			return false
+		}
+		return jsStatement(c)
+	case matchWord(c, "return"):
+		t.hit("js.stmt.return")
+		jsWS(c)
+		if c.peek() != ';' && c.peek() != '}' && !c.eof() {
+			if !jsExpr(c) {
+				return false
+			}
+		}
+		return jsSemi(c)
+	case matchWord(c, "break"):
+		t.hit("js.stmt.break")
+		return jsSemi(c)
+	case matchWord(c, "continue"):
+		t.hit("js.stmt.continue")
+		return jsSemi(c)
+	default:
+		t.hit("js.stmt.expr")
+		if !jsExpr(c) {
+			return false
+		}
+		return jsSemi(c)
+	}
+}
+
+// jsSemi requires the statement terminator ';' (or a closing brace / end of
+// input, a simplified automatic-semicolon rule).
+func jsSemi(c *cursor) bool {
+	t := c.t
+	jsWS(c)
+	if c.eat(';') {
+		t.hit("js.semi")
+		return true
+	}
+	if c.peek() == '}' || c.eof() {
+		t.hit("js.semi.auto")
+		return true
+	}
+	t.hit("js.err.semi")
+	return false
+}
+
+func jsBlock(c *cursor) bool {
+	t := c.t
+	if !c.eat('{') {
+		t.hit("js.err.block-open")
+		return false
+	}
+	t.hit("js.block.open")
+	c.depth++
+	t.bucket("js.depth", c.depth)
+	defer func() { c.depth-- }()
+	stmts := 0
+	for {
+		jsWS(c)
+		if c.eat('}') {
+			t.hit("js.block.close")
+			t.bucket("js.block.stmts", stmts)
+			return true
+		}
+		if c.eof() {
+			t.hit("js.err.block-unclosed")
+			return false
+		}
+		if !jsStatement(c) {
+			return false
+		}
+		stmts++
+	}
+}
+
+func jsParenExpr(c *cursor) bool {
+	t := c.t
+	jsWS(c)
+	if !c.eat('(') {
+		t.hit("js.err.cond-open")
+		return false
+	}
+	if !jsExpr(c) {
+		return false
+	}
+	jsWS(c)
+	if !c.eat(')') {
+		t.hit("js.err.cond-close")
+		return false
+	}
+	return true
+}
+
+// jsFunctionRest parses (params) { body } after the function keyword/name.
+func jsFunctionRest(c *cursor) bool {
+	t := c.t
+	jsWS(c)
+	if !c.eat('(') {
+		t.hit("js.err.fn-paren")
+		return false
+	}
+	jsWS(c)
+	if !c.eat(')') {
+		for {
+			jsWS(c)
+			if !jsName(c) {
+				t.hit("js.err.fn-param")
+				return false
+			}
+			t.hit("js.fn.param")
+			jsWS(c)
+			if c.eat(',') {
+				continue
+			}
+			if c.eat(')') {
+				break
+			}
+			t.hit("js.err.fn-params")
+			return false
+		}
+	}
+	jsWS(c)
+	return jsBlock(c)
+}
+
+// --- expressions ---
+
+// jsExpr parses a comma-free expression (assignment level).
+func jsExpr(c *cursor) bool { return jsAssignExpr(c) }
+
+func jsAssignExpr(c *cursor) bool {
+	if !jsTernary(c) {
+		return false
+	}
+	save := c.i
+	jsWS(c)
+	if c.peek() == '=' && c.peekAt(1) != '=' {
+		c.i++
+		c.t.hit("js.expr.assign")
+		jsWS(c)
+		return jsAssignExpr(c)
+	}
+	for _, op := range []string{"+=", "-=", "*=", "/="} {
+		if c.lit(op) {
+			c.t.hit("js.expr.assign-op")
+			jsWS(c)
+			return jsAssignExpr(c)
+		}
+	}
+	c.i = save
+	return true
+}
+
+func jsTernary(c *cursor) bool {
+	if !jsOr(c) {
+		return false
+	}
+	save := c.i
+	jsWS(c)
+	if c.eat('?') {
+		c.t.hit("js.expr.ternary")
+		if !jsAssignExpr(c) {
+			return false
+		}
+		jsWS(c)
+		if !c.eat(':') {
+			c.t.hit("js.err.ternary-colon")
+			return false
+		}
+		return jsAssignExpr(c)
+	}
+	c.i = save
+	return true
+}
+
+func jsOr(c *cursor) bool {
+	if !jsAnd(c) {
+		return false
+	}
+	for {
+		save := c.i
+		jsWS(c)
+		if c.lit("||") {
+			c.t.hit("js.expr.or")
+			if !jsAnd(c) {
+				return false
+			}
+			continue
+		}
+		c.i = save
+		return true
+	}
+}
+
+func jsAnd(c *cursor) bool {
+	if !jsEquality(c) {
+		return false
+	}
+	for {
+		save := c.i
+		jsWS(c)
+		if c.lit("&&") {
+			c.t.hit("js.expr.and")
+			if !jsEquality(c) {
+				return false
+			}
+			continue
+		}
+		c.i = save
+		return true
+	}
+}
+
+func jsEquality(c *cursor) bool {
+	if !jsRelational(c) {
+		return false
+	}
+	for {
+		save := c.i
+		jsWS(c)
+		matched := false
+		for _, op := range []string{"===", "!==", "==", "!="} {
+			if c.lit(op) {
+				c.t.hit("js.expr.eq." + op)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			c.i = save
+			return true
+		}
+		if !jsRelational(c) {
+			return false
+		}
+	}
+}
+
+func jsRelational(c *cursor) bool {
+	if !jsAdditive(c) {
+		return false
+	}
+	for {
+		save := c.i
+		jsWS(c)
+		matched := false
+		for _, op := range []string{"<=", ">=", "<", ">"} {
+			if c.lit(op) {
+				c.t.hit("js.expr.rel")
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			c.i = save
+			return true
+		}
+		if !jsAdditive(c) {
+			return false
+		}
+	}
+}
+
+func jsAdditive(c *cursor) bool {
+	if !jsMultiplicative(c) {
+		return false
+	}
+	for {
+		save := c.i
+		jsWS(c)
+		if c.peek() == '+' && c.peekAt(1) != '=' && c.peekAt(1) != '+' {
+			c.i++
+			c.t.hit("js.expr.add")
+		} else if c.peek() == '-' && c.peekAt(1) != '=' && c.peekAt(1) != '-' {
+			c.i++
+			c.t.hit("js.expr.sub")
+		} else {
+			c.i = save
+			return true
+		}
+		if !jsMultiplicative(c) {
+			return false
+		}
+	}
+}
+
+func jsMultiplicative(c *cursor) bool {
+	if !jsUnary(c) {
+		return false
+	}
+	for {
+		save := c.i
+		jsWS(c)
+		if c.peek() == '*' && c.peekAt(1) != '=' {
+			c.i++
+			c.t.hit("js.expr.mul")
+		} else if c.peek() == '/' && c.peekAt(1) != '=' && c.peekAt(1) != '/' && c.peekAt(1) != '*' {
+			c.i++
+			c.t.hit("js.expr.div")
+		} else if c.peek() == '%' {
+			c.i++
+			c.t.hit("js.expr.mod")
+		} else {
+			c.i = save
+			return true
+		}
+		if !jsUnary(c) {
+			return false
+		}
+	}
+}
+
+func jsUnary(c *cursor) bool {
+	jsWS(c)
+	switch {
+	case c.peek() == '!' && c.peekAt(1) != '=':
+		c.i++
+		c.t.hit("js.expr.not")
+		return jsUnary(c)
+	case c.peek() == '-' && c.peekAt(1) != '=':
+		c.i++
+		c.t.hit("js.expr.neg")
+		return jsUnary(c)
+	case matchWord(c, "typeof"):
+		c.t.hit("js.expr.typeof")
+		return jsUnary(c)
+	case matchWord(c, "new"):
+		c.t.hit("js.expr.new")
+		return jsUnary(c)
+	}
+	return jsPostfix(c)
+}
+
+func jsPostfix(c *cursor) bool {
+	t := c.t
+	if !jsAtom(c) {
+		return false
+	}
+	for {
+		switch {
+		case c.peek() == '.':
+			c.i++
+			t.hit("js.expr.member")
+			if !jsName(c) {
+				t.hit("js.err.member-name")
+				return false
+			}
+		case c.peek() == '(':
+			c.i++
+			t.hit("js.expr.call")
+			jsWS(c)
+			if c.eat(')') {
+				t.bucket("js.call.args", 0)
+				continue
+			}
+			args := 0
+			for {
+				if !jsAssignExpr(c) {
+					return false
+				}
+				args++
+				jsWS(c)
+				if c.eat(',') {
+					jsWS(c)
+					continue
+				}
+				if c.eat(')') {
+					t.bucket("js.call.args", args)
+					break
+				}
+				t.hit("js.err.call-close")
+				return false
+			}
+		case c.peek() == '[':
+			c.i++
+			t.hit("js.expr.index")
+			if !jsExpr(c) {
+				return false
+			}
+			jsWS(c)
+			if !c.eat(']') {
+				t.hit("js.err.index-close")
+				return false
+			}
+		case c.lit("++"):
+			t.hit("js.expr.incr")
+		case c.lit("--"):
+			t.hit("js.expr.decr")
+		default:
+			return true
+		}
+	}
+}
+
+func jsAtom(c *cursor) bool {
+	t := c.t
+	jsWS(c)
+	b := c.peek()
+	switch {
+	case c.eof():
+		t.hit("js.err.missing-expr")
+		return false
+	case isDigit(b):
+		c.skip(isDigit)
+		if c.eat('.') {
+			c.skip(isDigit)
+			t.hit("js.atom.float")
+		} else {
+			t.hit("js.atom.int")
+		}
+		return true
+	case b == '"' || b == '\'':
+		c.i++
+		for !c.eof() && c.peek() != b && c.peek() != '\n' {
+			if c.peek() == '\\' {
+				c.i++
+				if c.eof() {
+					t.hit("js.err.string-escape")
+					return false
+				}
+			}
+			c.i++
+		}
+		if !c.eat(b) {
+			t.hit("js.err.string-open")
+			return false
+		}
+		t.hit("js.atom.string")
+		return true
+	case b == '(':
+		c.i++
+		t.hit("js.atom.paren")
+		if !jsExpr(c) {
+			return false
+		}
+		jsWS(c)
+		if !c.eat(')') {
+			t.hit("js.err.paren-close")
+			return false
+		}
+		return true
+	case b == '[':
+		c.i++
+		t.hit("js.atom.array")
+		jsWS(c)
+		if c.eat(']') {
+			return true
+		}
+		for {
+			if !jsAssignExpr(c) {
+				return false
+			}
+			jsWS(c)
+			if c.eat(',') {
+				jsWS(c)
+				continue
+			}
+			if c.eat(']') {
+				return true
+			}
+			t.hit("js.err.array-close")
+			return false
+		}
+	case b == '{':
+		c.i++
+		t.hit("js.atom.object")
+		jsWS(c)
+		if c.eat('}') {
+			return true
+		}
+		for {
+			jsWS(c)
+			if !jsPropertyName(c) {
+				t.hit("js.err.prop-name")
+				return false
+			}
+			jsWS(c)
+			if !c.eat(':') {
+				t.hit("js.err.prop-colon")
+				return false
+			}
+			if !jsAssignExpr(c) {
+				return false
+			}
+			jsWS(c)
+			if c.eat(',') {
+				continue
+			}
+			if c.eat('}') {
+				return true
+			}
+			t.hit("js.err.object-close")
+			return false
+		}
+	case matchWord(c, "function"):
+		t.hit("js.atom.function-expr")
+		jsWS(c)
+		jsName(c) // optional name
+		return jsFunctionRest(c)
+	case matchWord(c, "true") || matchWord(c, "false") || matchWord(c, "null") || matchWord(c, "undefined") || matchWord(c, "this"):
+		t.hit("js.atom.const")
+		return true
+	case isLetter(b):
+		jsName(c)
+		t.hit("js.atom.name")
+		return true
+	default:
+		t.hit("js.err.atom")
+		return false
+	}
+}
+
+func jsPropertyName(c *cursor) bool {
+	if isLetter(c.peek()) {
+		c.skip(isAlnum)
+		return true
+	}
+	if isDigit(c.peek()) {
+		c.skip(isDigit)
+		return true
+	}
+	if c.peek() == '"' || c.peek() == '\'' {
+		q := c.peek()
+		c.i++
+		c.skip(func(b byte) bool { return b != q && b != '\n' })
+		return c.eat(q)
+	}
+	return false
+}
+
+func jsName(c *cursor) bool {
+	if !isLetter(c.peek()) {
+		return false
+	}
+	c.skip(isAlnum)
+	return true
+}

@@ -1,0 +1,450 @@
+package programs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAllHaveSeedsAndNames(t *testing.T) {
+	all := All()
+	if len(all) != 8 {
+		t.Fatalf("All() returned %d programs", len(all))
+	}
+	for _, p := range all {
+		if p.Name() == "" {
+			t.Fatal("unnamed program")
+		}
+		if len(p.Seeds()) < 2 {
+			t.Errorf("%s: too few seeds", p.Name())
+		}
+		if ByName(p.Name()) == nil {
+			t.Errorf("ByName(%q) = nil", p.Name())
+		}
+	}
+	if ByName("nope") != nil {
+		t.Fatal("ByName of unknown program non-nil")
+	}
+}
+
+func TestSeedsAreValid(t *testing.T) {
+	for _, p := range All() {
+		for i, s := range p.Seeds() {
+			res := p.Run(s)
+			if !res.OK {
+				t.Errorf("%s: seed %d rejected: %q", p.Name(), i, s)
+			}
+			if len(res.Points) == 0 {
+				t.Errorf("%s: seed %d produced no coverage", p.Name(), i)
+			}
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	for _, p := range All() {
+		for _, s := range append(p.Seeds(), "garbage \x00 input", "") {
+			a := p.Run(s)
+			b := p.Run(s)
+			if a.OK != b.OK || len(a.Points) != len(b.Points) {
+				t.Fatalf("%s: nondeterministic run on %q", p.Name(), s)
+			}
+			for i := range a.Points {
+				if a.Points[i] != b.Points[i] {
+					t.Fatalf("%s: nondeterministic coverage on %q", p.Name(), s)
+				}
+			}
+		}
+	}
+}
+
+func TestInvalidInputsStillCover(t *testing.T) {
+	// Error paths are coverage too (real fuzzing hits them constantly).
+	for _, p := range All() {
+		res := p.Run("\x01\x02 utterly invalid \xff")
+		if res.OK {
+			t.Errorf("%s: accepted garbage", p.Name())
+		}
+		if len(res.Points) == 0 {
+			t.Errorf("%s: error path recorded no coverage", p.Name())
+		}
+	}
+}
+
+func TestCoverageGrowsWithDiversity(t *testing.T) {
+	for _, p := range All() {
+		seeds := p.Seeds()
+		first := map[int]bool{}
+		for _, pt := range p.Run(seeds[0]).Points {
+			first[pt] = true
+		}
+		union := map[int]bool{}
+		for _, s := range seeds {
+			for _, pt := range p.Run(s).Points {
+				union[pt] = true
+			}
+		}
+		if len(union) <= len(first) {
+			t.Errorf("%s: seed diversity adds no coverage (%d vs %d)", p.Name(), len(union), len(first))
+		}
+	}
+}
+
+func TestNoPanicsOnRandomInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, p := range All() {
+		for i := 0; i < 300; i++ {
+			n := rng.Intn(60)
+			b := make([]byte, n)
+			for j := range b {
+				b[j] = byte(rng.Intn(256))
+			}
+			p.Run(string(b)) // must not panic
+		}
+	}
+}
+
+func TestNoPanicsOnMutatedSeeds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, p := range All() {
+		for _, s := range p.Seeds() {
+			for i := 0; i < 100; i++ {
+				b := []byte(s)
+				for k := 0; k < 1+rng.Intn(4); k++ {
+					if len(b) == 0 {
+						break
+					}
+					b[rng.Intn(len(b))] = byte(rng.Intn(128))
+				}
+				p.Run(string(b))
+			}
+		}
+	}
+}
+
+func TestSed(t *testing.T) {
+	p := Sed()
+	valid := []string{
+		"",
+		"d",
+		"5d",
+		"$p",
+		"1,5d",
+		"/re/d",
+		"s/a/b/",
+		"s/a/b/g",
+		"s|a|b|",
+		"s/a*/b\\1/g2",
+		"y/ab/cd/",
+		"/x/,/y/p",
+		"3~2d",
+		"a hello",
+		":loop\nb loop",
+		"{p;d}",
+		"1!d",
+		"# comment",
+		"s/[a-z]/X/",
+	}
+	for _, s := range valid {
+		if !p.Run(s).OK {
+			t.Errorf("rejects valid %q", s)
+		}
+	}
+	invalid := []string{
+		"z",
+		"s/a/b",
+		"s/a",
+		"sXaXb",   // alnum delimiter
+		"y/ab/c/", // length mismatch
+		"1,d",
+		"{p",
+		"}",
+		"s/[a/b/",
+		"s/*x/y/",
+		":",
+	}
+	for _, s := range invalid {
+		if p.Run(s).OK {
+			t.Errorf("accepts invalid %q", s)
+		}
+	}
+}
+
+func TestGrepProgram(t *testing.T) {
+	p := Grep()
+	valid := []string{
+		"",
+		"abc",
+		"^a.*b$",
+		"[a-z]*",
+		"[^abc]",
+		"[]a]",
+		`\(a\|b\)c`,
+		`a\{1,3\}`,
+		`a\{2\}`,
+		`a\{2,\}`,
+		`\(x\)\1`,
+		`\.\*`,
+		"[[:digit:]]",
+		`\<word\>`,
+	}
+	for _, s := range valid {
+		if !p.Run(s).OK {
+			t.Errorf("rejects valid %q", s)
+		}
+	}
+	invalid := []string{
+		"*a",
+		"[",
+		"[]",
+		`\(a`,
+		`a\)`,
+		`a\{,3\}`,
+		`a\{1,3`,
+		`a\`,
+		"[z-a]",
+		"[[:nosuch:]]",
+		"\x01",
+	}
+	for _, s := range invalid {
+		if p.Run(s).OK {
+			t.Errorf("accepts invalid %q", s)
+		}
+	}
+}
+
+func TestFlexProgram(t *testing.T) {
+	p := Flex()
+	valid := []string{
+		"%%\n",
+		"%%\nabc ;\n",
+		"D [0-9]\n%%\n{D}+ { n(); }\n",
+		"%option yylineno\n%%\nx |\ny { f(); }\n%%\nrest is code",
+		"%{\ncode\n%}\n%%\n\"lit\" ;\n",
+		"%%\na{1,3} ;\n",
+	}
+	for _, s := range valid {
+		if !p.Run(s).OK {
+			t.Errorf("rejects valid %q", s)
+		}
+	}
+	invalid := []string{
+		"",
+		"no marker",
+		"%%\n*bad ;\n",
+		"%%\n{D ;\n",
+		"%%\nabc { unclosed\n",
+		"%option\n%%\n",
+		"D\n%%\n", // macro without pattern
+		"%{\nnever closed\n%%\n",
+	}
+	for _, s := range invalid {
+		if p.Run(s).OK {
+			t.Errorf("accepts invalid %q", s)
+		}
+	}
+}
+
+func TestBisonProgram(t *testing.T) {
+	p := Bison()
+	valid := []string{
+		"%%\ns : ;\n",
+		"%token A\n%%\ns : A | s A ;\n",
+		"%token NUM\n%left '+'\n%%\ne : e '+' e { $$ = $1; } | NUM ;\n",
+		"%start s\n%%\ns : 'x' %prec HIGH ;\n",
+		"%%\ns : /* empty */ ;\n%%\ntrailing",
+		"%type <v> e\n%%\ne : ;\n",
+	}
+	for _, s := range valid {
+		if !p.Run(s).OK {
+			t.Errorf("rejects valid %q", s)
+		}
+	}
+	invalid := []string{
+		"",
+		"%%\n",        // no rules
+		"%%\ns : \n",  // missing ;
+		"%%\n: A ;\n", // missing name
+		"%token\n%%\ns : ;\n",
+		"%%\ns A ;\n",     // missing colon
+		"%%\ns : { x ;\n", // unclosed action
+		"%bogus\n%%\ns : ;\n",
+	}
+	for _, s := range invalid {
+		if p.Run(s).OK {
+			t.Errorf("accepts invalid %q", s)
+		}
+	}
+}
+
+func TestXMLProgram(t *testing.T) {
+	p := XML()
+	valid := []string{
+		"<a/>",
+		"<a></a>",
+		"<doc><b>x</b></doc>",
+		`<a k="v"/>`,
+		`<a k='v'/>`,
+		"<a>x &amp; y</a>",
+		"<a>&#65;</a>",
+		"<a><!-- c --></a>",
+		"<a><![CDATA[<raw>]]></a>",
+		"<a><?pi data?></a>",
+		`<?xml version="1.0"?><a/>`,
+	}
+	for _, s := range valid {
+		if !p.Run(s).OK {
+			t.Errorf("rejects valid %q", s)
+		}
+	}
+	invalid := []string{
+		"",
+		"<a>",
+		"<a></b>",          // tag mismatch
+		`<a k="v" k="w"/>`, // duplicate attribute (paper's example)
+		"<a>&bogus;</a>",
+		"<a>&amp</a>",
+		"<a><!-- -- --></a>", // double dash in comment
+		"<a>x</a><b/>",       // two roots
+		`<a k=v/>`,
+		"<a>x > y</a>", // bare '>' rejected by our strict parser
+	}
+	for _, s := range invalid {
+		if p.Run(s).OK {
+			t.Errorf("accepts invalid %q", s)
+		}
+	}
+}
+
+func TestPythonProgram(t *testing.T) {
+	p := Python()
+	valid := []string{
+		"x = 1\n",
+		"x = 1 + 2 * 3\n",
+		"f(1, 2)\n",
+		"x = a.b.c[0]\n",
+		"if x == 1:\n    pass\n",
+		"if x:\n    y = 1\nelif z:\n    y = 2\nelse:\n    y = 3\n",
+		"while not done: f()\n",
+		"for i in range(10):\n    total += i\n",
+		"def f(a, b):\n    return a + b\n",
+		"def g():\n    pass\n",
+		"x = [1, 2, 'three']\n",
+		"d = {'k': 1, 'm': 2}\n",
+		"import os.path\n",
+		"x = 1; y = 2\n",
+		"# only a comment\npass\n",
+		"x = (1, 2)\n",
+		"x = -y ** 2\n",
+	}
+	for _, s := range valid {
+		if !p.Run(s).OK {
+			t.Errorf("rejects valid %q", s)
+		}
+	}
+	invalid := []string{
+		"if x\n    pass\n", // missing colon
+		"x = \n",           // missing rhs
+		"def f(:\n    pass\n",
+		"   x = 1\n",    // indent not multiple of 4
+		"if x:\npass\n", // empty suite (no indent)
+		"x = [1, 2\n",   // unclosed list
+		"for in y:\n    pass\n",
+		"x = 'unterminated\n",
+		"\tx = 1\n", // tab indent
+		"x == \n",
+	}
+	for _, s := range invalid {
+		if p.Run(s).OK {
+			t.Errorf("accepts invalid %q", s)
+		}
+	}
+}
+
+func TestRubyProgram(t *testing.T) {
+	p := Ruby()
+	valid := []string{
+		"x = 1\n",
+		"puts x\n",
+		"puts \"hello\"\n",
+		"def f(a, b)\n  a + b\nend\n",
+		"def f\n  1\nend\n",
+		"if x == 1\n  y = 2\nelsif z\n  y = 3\nelse\n  y = 4\nend\n",
+		"while x < 10\n  x = x + 1\nend\n",
+		"xs.each do |i|\n  puts i\nend\n",
+		"x = [1, 2, 3]\n",
+		"h = {:a => 1, :b => 2}\n",
+		"@count = @count + 1\n",
+		"$global = :sym\n",
+		"x = f(1, 2).size\n",
+		"# comment only\nx = 1\n",
+		"return 5\n",
+	}
+	for _, s := range valid {
+		if !p.Run(s).OK {
+			t.Errorf("rejects valid %q", s)
+		}
+	}
+	invalid := []string{
+		"def f(\nend\n",
+		"if x\n  y = 1\n", // missing end
+		"end\n",
+		"x = \n",
+		"x = 'unterminated\n",
+		"h = {:a 1}\n", // missing =>
+		"xs.each do |i\nend\n",
+		"@ = 1\n",
+		"x = [1, 2\n",
+	}
+	for _, s := range invalid {
+		if p.Run(s).OK {
+			t.Errorf("accepts invalid %q", s)
+		}
+	}
+}
+
+func TestJavaScriptProgram(t *testing.T) {
+	p := JavaScript()
+	valid := []string{
+		"var x = 1;",
+		"let y = x + 2;",
+		"const z = \"s\";",
+		"x = y === 1 ? 2 : 3;",
+		"function f(a, b) { return a + b; }",
+		"if (x) { f(); } else { g(); }",
+		"while (x > 0) { x--; }",
+		"for (i = 0; i < 10; i++) { s = s + i; }",
+		"for (;;) { break; }",
+		"var o = {a: 1, \"b\": 2};",
+		"var a = [1, 2, 3];",
+		"console.log(a[0].b);",
+		"var f = function(x) { return x; };",
+		"// comment\nx = 1;",
+		"/* block */ x = 1;",
+		"x = typeof y;",
+		"x = new Thing(1);",
+		"x = 1", // automatic semicolon at EOF
+	}
+	for _, s := range valid {
+		if !p.Run(s).OK {
+			t.Errorf("rejects valid %q", s)
+		}
+	}
+	invalid := []string{
+		"var = 1;",
+		"x = ;",
+		"if x { }",
+		"function () { }", // declaration needs a name
+		"f(1, ;",
+		"var o = {a 1};",
+		"x = 'unterminated;",
+		"while () { }",
+		"for (i = 0; i < 10) { }",
+		"x = 1 +;",
+		"{ x = 1; ",
+	}
+	for _, s := range invalid {
+		if p.Run(s).OK {
+			t.Errorf("accepts invalid %q", s)
+		}
+	}
+}

@@ -1,0 +1,694 @@
+package programs
+
+// Python returns a simulated Python front-end: a parser for a miniature of
+// Python's statement and expression syntax — assignments, expression
+// statements, control flow with colon suites and indentation, function
+// definitions, and a full expression grammar with precedence, calls,
+// attributes, subscripts, and literals. Only parsing is simulated (the
+// paper likewise fuzzes just the parser, wrapping inputs so they never
+// execute).
+func Python() Program {
+	return &base{
+		name: "python",
+		reg:  newRegistry(),
+		seeds: []string{
+			"x = 1 + 2 * f(y)\nprint(x)\n",
+			"if x == 1:\n    y = [1, 2, 3]\nelse:\n    y = {'k': v}\n",
+			"def f(a, b):\n    return a.size[0] + b\nwhile not done:\n    f(1, 2)\n",
+			"for i in range(10):\n    total = total + i\npass\n",
+		},
+		parse: pyParse,
+	}
+}
+
+// pyParse splits the input into physical lines and parses a block structure
+// driven by 4-space indentation.
+func pyParse(t *tracer, input string) bool {
+	t.hit("py.enter")
+	lines, ok := pyLines(t, input)
+	if !ok {
+		return false
+	}
+	p := &pyParser{t: t, lines: lines}
+	if !p.block(0) {
+		return false
+	}
+	if p.ln != len(p.lines) {
+		t.hit("py.err.dedent")
+		return false
+	}
+	t.hit("py.accept")
+	return true
+}
+
+type pyLine struct {
+	indent int
+	text   string
+}
+
+// pyLines computes (indent, text) per non-blank line; indentation must be
+// spaces in multiples of four.
+func pyLines(t *tracer, input string) ([]pyLine, bool) {
+	var out []pyLine
+	for len(input) > 0 {
+		nl := -1
+		for i := 0; i < len(input); i++ {
+			if input[i] == '\n' {
+				nl = i
+				break
+			}
+		}
+		var line string
+		if nl < 0 {
+			line, input = input, ""
+		} else {
+			line, input = input[:nl], input[nl+1:]
+		}
+		n := 0
+		for n < len(line) && line[n] == ' ' {
+			n++
+		}
+		if n == len(line) {
+			t.hit("py.line.blank")
+			continue
+		}
+		if line[n] == '#' {
+			t.hit("py.line.comment")
+			continue
+		}
+		if line[n] == '\t' {
+			t.hit("py.err.tab-indent")
+			return nil, false
+		}
+		if n%4 != 0 {
+			t.hit("py.err.indent-width")
+			return nil, false
+		}
+		out = append(out, pyLine{indent: n / 4, text: line[n:]})
+	}
+	return out, true
+}
+
+type pyParser struct {
+	t     *tracer
+	lines []pyLine
+	ln    int
+}
+
+// block parses statements at exactly the given indent level; it returns
+// when the indentation drops below level.
+func (p *pyParser) block(level int) bool {
+	t := p.t
+	t.bucket("py.indent", level)
+	n := 0
+	for p.ln < len(p.lines) {
+		l := p.lines[p.ln]
+		if l.indent < level {
+			break
+		}
+		if l.indent > level {
+			t.hit("py.err.unexpected-indent")
+			return false
+		}
+		if !p.statement(level, l.text) {
+			return false
+		}
+		n++
+	}
+	if n == 0 {
+		t.hit("py.err.empty-block")
+		return false
+	}
+	t.bucket("py.block.stmts", n)
+	return true
+}
+
+// statement parses one logical line (p.lines[p.ln]) and any suite it owns.
+func (p *pyParser) statement(level int, text string) bool {
+	t := p.t
+	c := &cursor{s: text, t: t}
+	switch {
+	case c.lit("if "):
+		t.hit("py.stmt.if")
+		if !p.colonSuite(c, level) {
+			return false
+		}
+		for p.ln < len(p.lines) && p.lines[p.ln].indent == level && hasPrefixWord(p.lines[p.ln].text, "elif") {
+			t.hit("py.stmt.elif")
+			ec := &cursor{s: p.lines[p.ln].text[len("elif"):], t: t}
+			if !ec.eat(' ') {
+				t.hit("py.err.elif-space")
+				return false
+			}
+			if !p.colonSuiteAt(ec, level) {
+				return false
+			}
+		}
+		if p.ln < len(p.lines) && p.lines[p.ln].indent == level && isElseLine(p.lines[p.ln].text) {
+			t.hit("py.stmt.else")
+			ec := &cursor{s: p.lines[p.ln].text[len("else"):], t: t}
+			skipPySpaces(ec)
+			if !p.suiteAfterColon(ec, level) {
+				return false
+			}
+		}
+		return true
+	case c.lit("while "):
+		t.hit("py.stmt.while")
+		return p.colonSuite(c, level)
+	case c.lit("for "):
+		t.hit("py.stmt.for")
+		if !pyName(c) {
+			t.hit("py.err.for-target")
+			return false
+		}
+		skipPySpaces(c)
+		if !c.lit("in ") && !c.lit("in") {
+			t.hit("py.err.for-in")
+			return false
+		}
+		return p.colonSuite(c, level)
+	case c.lit("def "):
+		t.hit("py.stmt.def")
+		if !pyName(c) {
+			t.hit("py.err.def-name")
+			return false
+		}
+		if !c.eat('(') {
+			t.hit("py.err.def-paren")
+			return false
+		}
+		if !pyParamList(c) {
+			return false
+		}
+		return p.suiteAfterColonExpr(c, level, false)
+	default:
+		defer func() { p.ln++ }()
+		return p.simpleLine(c)
+	}
+}
+
+// colonSuite parses "<expr>: suite" for if/while/for headers.
+func (p *pyParser) colonSuite(c *cursor, level int) bool {
+	skipPySpaces(c)
+	if !pyExpr(c) {
+		return false
+	}
+	return p.suiteAfterColon(c, level)
+}
+
+func (p *pyParser) colonSuiteAt(c *cursor, level int) bool {
+	return p.colonSuite(c, level)
+}
+
+func (p *pyParser) suiteAfterColonExpr(c *cursor, level int, needExpr bool) bool {
+	if needExpr {
+		if !pyExpr(c) {
+			return false
+		}
+	}
+	return p.suiteAfterColon(c, level)
+}
+
+// suiteAfterColon consumes ':' then either an inline suite on the same
+// line or an indented block on the following lines.
+func (p *pyParser) suiteAfterColon(c *cursor, level int) bool {
+	t := p.t
+	skipPySpaces(c)
+	if !c.eat(':') {
+		t.hit("py.err.colon")
+		return false
+	}
+	skipPySpaces(c)
+	if !c.eof() {
+		t.hit("py.suite.inline")
+		if !p.simpleLine(c) {
+			return false
+		}
+		p.ln++
+		return true
+	}
+	t.hit("py.suite.block")
+	p.ln++
+	return p.block(level + 1)
+}
+
+// simpleLine parses ';'-separated simple statements filling the rest of the
+// line.
+func (p *pyParser) simpleLine(c *cursor) bool {
+	t := p.t
+	for {
+		if !pySimpleStmt(c) {
+			return false
+		}
+		skipPySpaces(c)
+		if c.eat(';') {
+			t.hit("py.stmt.semi")
+			skipPySpaces(c)
+			if c.eof() {
+				return true
+			}
+			continue
+		}
+		if !c.eof() {
+			t.hit("py.err.trailing")
+			return false
+		}
+		return true
+	}
+}
+
+// pySimpleStmt parses return/pass/break/continue/import/assignment/expr.
+func pySimpleStmt(c *cursor) bool {
+	t := c.t
+	switch {
+	case c.lit("return"):
+		t.hit("py.stmt.return")
+		if c.eat(' ') {
+			skipPySpaces(c)
+			if !c.eof() && c.peek() != ';' {
+				return pyExpr(c)
+			}
+		}
+		return true
+	case matchWord(c, "pass"):
+		t.hit("py.stmt.pass")
+		return true
+	case matchWord(c, "break"):
+		t.hit("py.stmt.break")
+		return true
+	case matchWord(c, "continue"):
+		t.hit("py.stmt.continue")
+		return true
+	case c.lit("import "):
+		t.hit("py.stmt.import")
+		skipPySpaces(c)
+		if !pyName(c) {
+			t.hit("py.err.import-name")
+			return false
+		}
+		for {
+			save := c.i
+			skipPySpaces(c)
+			if c.eat('.') {
+				if !pyName(c) {
+					t.hit("py.err.import-dotted")
+					return false
+				}
+				continue
+			}
+			c.i = save
+			return true
+		}
+	default:
+		if !pyExpr(c) {
+			return false
+		}
+		save := c.i
+		skipPySpaces(c)
+		// Assignment (single or augmented).
+		for _, op := range []string{"+=", "-=", "*=", "/=", "="} {
+			if c.lit(op) {
+				if op == "=" && c.peek() == '=' {
+					// part of '=='; cannot happen since pyExpr consumed it
+					t.hit("py.err.assign")
+					return false
+				}
+				t.hit("py.stmt.assign." + op)
+				skipPySpaces(c)
+				return pyExpr(c)
+			}
+		}
+		c.i = save
+		t.hit("py.stmt.expr")
+		return true
+	}
+}
+
+func pyParamList(c *cursor) bool {
+	t := c.t
+	skipPySpaces(c)
+	if c.eat(')') {
+		t.hit("py.def.noparams")
+		return true
+	}
+	for {
+		skipPySpaces(c)
+		if !pyName(c) {
+			t.hit("py.err.param")
+			return false
+		}
+		t.hit("py.def.param")
+		skipPySpaces(c)
+		if c.eat(',') {
+			continue
+		}
+		if c.eat(')') {
+			return true
+		}
+		t.hit("py.err.param-list")
+		return false
+	}
+}
+
+// --- expressions ---
+
+func pyExpr(c *cursor) bool { return pyOr(c) }
+
+func pyOr(c *cursor) bool {
+	if !pyAnd(c) {
+		return false
+	}
+	for {
+		save := c.i
+		skipPySpaces(c)
+		if matchWord(c, "or") {
+			c.t.hit("py.expr.or")
+			skipPySpaces(c)
+			if !pyAnd(c) {
+				return false
+			}
+			continue
+		}
+		c.i = save
+		return true
+	}
+}
+
+func pyAnd(c *cursor) bool {
+	if !pyNot(c) {
+		return false
+	}
+	for {
+		save := c.i
+		skipPySpaces(c)
+		if matchWord(c, "and") {
+			c.t.hit("py.expr.and")
+			skipPySpaces(c)
+			if !pyNot(c) {
+				return false
+			}
+			continue
+		}
+		c.i = save
+		return true
+	}
+}
+
+func pyNot(c *cursor) bool {
+	skipPySpaces(c)
+	if matchWord(c, "not") {
+		c.t.hit("py.expr.not")
+		return pyNot(c)
+	}
+	return pyCompare(c)
+}
+
+func pyCompare(c *cursor) bool {
+	if !pyArith(c) {
+		return false
+	}
+	save := c.i
+	skipPySpaces(c)
+	for _, op := range []string{"==", "!=", "<=", ">=", "<", ">"} {
+		if c.lit(op) {
+			c.t.hit("py.expr.cmp." + op)
+			skipPySpaces(c)
+			return pyArith(c)
+		}
+	}
+	c.i = save
+	return true
+}
+
+func pyArith(c *cursor) bool {
+	if !pyTerm(c) {
+		return false
+	}
+	for {
+		save := c.i
+		skipPySpaces(c)
+		if c.peek() == '+' && c.peekAt(1) != '=' {
+			c.i++
+			c.t.hit("py.expr.add")
+		} else if c.peek() == '-' && c.peekAt(1) != '=' {
+			c.i++
+			c.t.hit("py.expr.sub")
+		} else {
+			c.i = save
+			return true
+		}
+		skipPySpaces(c)
+		if !pyTerm(c) {
+			return false
+		}
+	}
+}
+
+func pyTerm(c *cursor) bool {
+	if !pyUnary(c) {
+		return false
+	}
+	for {
+		save := c.i
+		skipPySpaces(c)
+		switch {
+		case c.lit("**"):
+			c.t.hit("py.expr.pow")
+		case c.peek() == '*' && c.peekAt(1) != '=':
+			c.i++
+			c.t.hit("py.expr.mul")
+		case c.peek() == '/' && c.peekAt(1) != '=':
+			c.i++
+			c.t.hit("py.expr.div")
+		case c.peek() == '%':
+			c.i++
+			c.t.hit("py.expr.mod")
+		default:
+			c.i = save
+			return true
+		}
+		skipPySpaces(c)
+		if !pyUnary(c) {
+			return false
+		}
+	}
+}
+
+func pyUnary(c *cursor) bool {
+	skipPySpaces(c)
+	if c.peek() == '-' && c.peekAt(1) != '=' {
+		c.i++
+		c.t.hit("py.expr.neg")
+		return pyUnary(c)
+	}
+	return pyPostfix(c)
+}
+
+// pyPostfix parses an atom followed by call/attribute/subscript suffixes.
+func pyPostfix(c *cursor) bool {
+	t := c.t
+	if !pyAtom(c) {
+		return false
+	}
+	for {
+		switch {
+		case c.peek() == '(':
+			c.i++
+			t.hit("py.expr.call")
+			if !pyExprList(c, ')') {
+				return false
+			}
+		case c.peek() == '.':
+			c.i++
+			t.hit("py.expr.attr")
+			if !pyName(c) {
+				t.hit("py.err.attr-name")
+				return false
+			}
+		case c.peek() == '[':
+			c.i++
+			t.hit("py.expr.subscript")
+			skipPySpaces(c)
+			if !pyExpr(c) {
+				return false
+			}
+			skipPySpaces(c)
+			if !c.eat(']') {
+				t.hit("py.err.subscript-close")
+				return false
+			}
+		default:
+			return true
+		}
+	}
+}
+
+// pyExprList parses comma-separated expressions up to the closer.
+func pyExprList(c *cursor, close byte) bool {
+	t := c.t
+	skipPySpaces(c)
+	if c.eat(close) {
+		t.hit("py.expr.empty-list")
+		return true
+	}
+	items := 0
+	for {
+		if !pyExpr(c) {
+			return false
+		}
+		items++
+		skipPySpaces(c)
+		if c.eat(',') {
+			skipPySpaces(c)
+			if c.eat(close) { // trailing comma
+				t.hit("py.expr.trailing-comma")
+				return true
+			}
+			continue
+		}
+		if c.eat(close) {
+			t.bucket("py.list.items", items)
+			return true
+		}
+		t.hit("py.err.list-close")
+		return false
+	}
+}
+
+func pyAtom(c *cursor) bool {
+	t := c.t
+	skipPySpaces(c)
+	b := c.peek()
+	switch {
+	case c.eof():
+		t.hit("py.err.missing-expr")
+		return false
+	case isDigit(b):
+		c.skip(isDigit)
+		if c.eat('.') {
+			c.skip(isDigit)
+			t.hit("py.atom.float")
+		} else {
+			t.hit("py.atom.int")
+		}
+		return true
+	case b == '\'' || b == '"':
+		c.i++
+		for !c.eof() && c.peek() != b {
+			if c.peek() == '\\' {
+				c.i++
+				if c.eof() {
+					t.hit("py.err.string-escape")
+					return false
+				}
+			}
+			c.i++
+		}
+		if !c.eat(b) {
+			t.hit("py.err.string-open")
+			return false
+		}
+		t.hit("py.atom.string")
+		return true
+	case b == '(':
+		c.i++
+		t.hit("py.atom.paren")
+		skipPySpaces(c)
+		if c.eat(')') {
+			t.hit("py.atom.unit")
+			return true
+		}
+		return pyExprList(c, ')')
+	case b == '[':
+		c.i++
+		t.hit("py.atom.list")
+		return pyExprList(c, ']')
+	case b == '{':
+		c.i++
+		t.hit("py.atom.dict")
+		skipPySpaces(c)
+		if c.eat('}') {
+			return true
+		}
+		for {
+			if !pyExpr(c) {
+				return false
+			}
+			skipPySpaces(c)
+			if !c.eat(':') {
+				t.hit("py.err.dict-colon")
+				return false
+			}
+			skipPySpaces(c)
+			if !pyExpr(c) {
+				return false
+			}
+			skipPySpaces(c)
+			if c.eat(',') {
+				skipPySpaces(c)
+				continue
+			}
+			if c.eat('}') {
+				return true
+			}
+			t.hit("py.err.dict-close")
+			return false
+		}
+	case matchWord(c, "True") || matchWord(c, "False") || matchWord(c, "None"):
+		t.hit("py.atom.const")
+		return true
+	case isLetter(b):
+		pyName(c)
+		t.hit("py.atom.name")
+		return true
+	default:
+		t.hit("py.err.atom")
+		return false
+	}
+}
+
+func pyName(c *cursor) bool {
+	if !isLetter(c.peek()) {
+		return false
+	}
+	c.skip(isAlnum)
+	return true
+}
+
+func skipPySpaces(c *cursor) { c.skip(isSpace) }
+
+// matchWord consumes the keyword only when not followed by an identifier
+// character.
+func matchWord(c *cursor, w string) bool {
+	if len(c.s)-c.i < len(w) || c.s[c.i:c.i+len(w)] != w {
+		return false
+	}
+	if c.i+len(w) < len(c.s) && isAlnum(c.s[c.i+len(w)]) {
+		return false
+	}
+	c.i += len(w)
+	return true
+}
+
+func hasPrefixWord(s, w string) bool {
+	if len(s) < len(w) || s[:len(w)] != w {
+		return false
+	}
+	return len(s) == len(w) || !isAlnum(s[len(w)])
+}
+
+func isElseLine(s string) bool {
+	if !hasPrefixWord(s, "else") {
+		return false
+	}
+	for i := len("else"); i < len(s); i++ {
+		if s[i] == ':' {
+			return true
+		}
+		if s[i] != ' ' {
+			return false
+		}
+	}
+	return false
+}

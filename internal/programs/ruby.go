@@ -1,0 +1,641 @@
+package programs
+
+// Ruby returns a simulated Ruby front-end: a parser for a miniature of
+// Ruby's statement syntax — def/end, if/elsif/else/end, while/end, blocks
+// with do |x| ... end, instance and global variables, symbols, string and
+// array and hash literals, and method-call chains.
+func Ruby() Program {
+	return &base{
+		name: "ruby",
+		reg:  newRegistry(),
+		seeds: []string{
+			"x = 1 + 2\nputs x\n",
+			"def add(a, b)\n  a + b\nend\n",
+			"if x == :sym\n  @count = @count + 1\nelse\n  puts \"no\"\nend\n",
+			"[1, 2, 3].each do |i|\n  puts i\nend\nwhile x < 10\n  x = x + 1\nend\n",
+		},
+		parse: rbParse,
+	}
+}
+
+func rbParse(t *tracer, input string) bool {
+	t.hit("rb.enter")
+	c := &cursor{s: input, t: t}
+	if !rbStatements(c, nil) {
+		return false
+	}
+	rbSkipAll(c)
+	if !c.eof() {
+		t.hit("rb.err.trailing")
+		return false
+	}
+	t.hit("rb.accept")
+	return true
+}
+
+// rbSkipAll consumes spaces, newlines, and # comments.
+func rbSkipAll(c *cursor) {
+	for {
+		if c.skip(func(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == ';' }) > 0 {
+			continue
+		}
+		if c.peek() == '#' {
+			c.t.hit("rb.comment")
+			c.skip(func(b byte) bool { return b != '\n' })
+			continue
+		}
+		return
+	}
+}
+
+// rbStatements parses statements until one of the given terminator words
+// (or end of input when terminators is nil). The terminator itself is not
+// consumed.
+func rbStatements(c *cursor, terminators []string) bool {
+	t := c.t
+	if terminators != nil {
+		c.depth++
+		t.bucket("rb.depth", c.depth)
+		defer func() { c.depth-- }()
+	}
+	stmts := 0
+	defer func() { t.bucket("rb.stmts", stmts) }()
+	for {
+		rbSkipAll(c)
+		if c.eof() {
+			if terminators != nil {
+				t.hit("rb.err.missing-end")
+				return false
+			}
+			return true
+		}
+		for _, term := range terminators {
+			if peekWord(c, term) {
+				return true
+			}
+		}
+		if !rbStatement(c) {
+			return false
+		}
+		stmts++
+		// Statements are separated by newline or ';'.
+		c.skip(isSpace)
+		if c.peek() == '#' {
+			t.hit("rb.comment")
+			c.skip(func(b byte) bool { return b != '\n' })
+		}
+		if !c.eof() && c.peek() != '\n' && c.peek() != ';' {
+			sawTerm := false
+			for _, term := range terminators {
+				if peekWord(c, term) {
+					sawTerm = true
+				}
+			}
+			if !sawTerm {
+				t.hit("rb.err.separator")
+				return false
+			}
+		}
+	}
+}
+
+func rbStatement(c *cursor) bool {
+	t := c.t
+	switch {
+	case matchWord(c, "def"):
+		t.hit("rb.stmt.def")
+		c.skip(isSpace)
+		if !rbMethodName(c) {
+			t.hit("rb.err.def-name")
+			return false
+		}
+		c.skip(isSpace)
+		if c.eat('(') {
+			t.hit("rb.def.params")
+			c.skip(isSpace)
+			if !c.eat(')') {
+				for {
+					c.skip(isSpace)
+					if !rbName(c) {
+						t.hit("rb.err.param")
+						return false
+					}
+					c.skip(isSpace)
+					if c.eat(',') {
+						continue
+					}
+					if c.eat(')') {
+						break
+					}
+					t.hit("rb.err.param-list")
+					return false
+				}
+			}
+		}
+		if !rbStatements(c, []string{"end"}) {
+			return false
+		}
+		matchWord(c, "end")
+		t.hit("rb.def.end")
+		return true
+	case matchWord(c, "if"), matchWord(c, "unless"):
+		t.hit("rb.stmt.if")
+		c.skip(isSpace)
+		if !rbExpr(c) {
+			return false
+		}
+		c.skip(isSpace)
+		matchWord(c, "then")
+		for {
+			if !rbStatements(c, []string{"end", "else", "elsif"}) {
+				return false
+			}
+			if matchWord(c, "elsif") {
+				t.hit("rb.stmt.elsif")
+				c.skip(isSpace)
+				if !rbExpr(c) {
+					return false
+				}
+				c.skip(isSpace)
+				matchWord(c, "then")
+				continue
+			}
+			break
+		}
+		if matchWord(c, "else") {
+			t.hit("rb.stmt.else")
+			if !rbStatements(c, []string{"end"}) {
+				return false
+			}
+		}
+		if !matchWord(c, "end") {
+			t.hit("rb.err.if-end")
+			return false
+		}
+		t.hit("rb.if.end")
+		return true
+	case matchWord(c, "while"), matchWord(c, "until"):
+		t.hit("rb.stmt.while")
+		c.skip(isSpace)
+		if !rbExpr(c) {
+			return false
+		}
+		c.skip(isSpace)
+		matchWord(c, "do")
+		if !rbStatements(c, []string{"end"}) {
+			return false
+		}
+		matchWord(c, "end")
+		t.hit("rb.while.end")
+		return true
+	case matchWord(c, "return"):
+		t.hit("rb.stmt.return")
+		c.skip(isSpace)
+		if !c.eof() && c.peek() != '\n' && c.peek() != ';' && c.peek() != '#' {
+			return rbExpr(c)
+		}
+		return true
+	default:
+		// Expression statement, possibly an assignment.
+		if !rbExpr(c) {
+			return false
+		}
+		save := c.i
+		c.skip(isSpace)
+		if c.peek() == '=' && c.peekAt(1) != '=' {
+			c.i++
+			t.hit("rb.stmt.assign")
+			c.skip(isSpace)
+			return rbExpr(c)
+		}
+		c.i = save
+		t.hit("rb.stmt.expr")
+		return true
+	}
+}
+
+// --- expressions ---
+
+func rbExpr(c *cursor) bool { return rbOr(c) }
+
+func rbOr(c *cursor) bool {
+	if !rbAnd(c) {
+		return false
+	}
+	for {
+		save := c.i
+		c.skip(isSpace)
+		if c.lit("||") || matchWord(c, "or") {
+			c.t.hit("rb.expr.or")
+			c.skip(isSpace)
+			if !rbAnd(c) {
+				return false
+			}
+			continue
+		}
+		c.i = save
+		return true
+	}
+}
+
+func rbAnd(c *cursor) bool {
+	if !rbNot(c) {
+		return false
+	}
+	for {
+		save := c.i
+		c.skip(isSpace)
+		if c.lit("&&") || matchWord(c, "and") {
+			c.t.hit("rb.expr.and")
+			c.skip(isSpace)
+			if !rbNot(c) {
+				return false
+			}
+			continue
+		}
+		c.i = save
+		return true
+	}
+}
+
+func rbNot(c *cursor) bool {
+	c.skip(isSpace)
+	if c.peek() == '!' && c.peekAt(1) != '=' {
+		c.i++
+		c.t.hit("rb.expr.not")
+		return rbNot(c)
+	}
+	if matchWord(c, "not") {
+		c.t.hit("rb.expr.not-word")
+		c.skip(isSpace)
+		return rbNot(c)
+	}
+	return rbCompare(c)
+}
+
+func rbCompare(c *cursor) bool {
+	if !rbArith(c) {
+		return false
+	}
+	save := c.i
+	c.skip(isSpace)
+	for _, op := range []string{"<=>", "==", "!=", "<=", ">=", "<", ">", "=~"} {
+		if c.lit(op) {
+			c.t.hit("rb.expr.cmp." + op)
+			c.skip(isSpace)
+			return rbArith(c)
+		}
+	}
+	c.i = save
+	return true
+}
+
+func rbArith(c *cursor) bool {
+	if !rbTerm(c) {
+		return false
+	}
+	for {
+		save := c.i
+		c.skip(isSpace)
+		if c.eat('+') {
+			c.t.hit("rb.expr.add")
+		} else if c.peek() == '-' && c.peekAt(1) != '=' {
+			c.i++
+			c.t.hit("rb.expr.sub")
+		} else {
+			c.i = save
+			return true
+		}
+		c.skip(isSpace)
+		if !rbTerm(c) {
+			return false
+		}
+	}
+}
+
+func rbTerm(c *cursor) bool {
+	if !rbUnary(c) {
+		return false
+	}
+	for {
+		save := c.i
+		c.skip(isSpace)
+		switch {
+		case c.lit("**"):
+			c.t.hit("rb.expr.pow")
+		case c.peek() == '*':
+			c.i++
+			c.t.hit("rb.expr.mul")
+		case c.peek() == '/':
+			c.i++
+			c.t.hit("rb.expr.div")
+		case c.peek() == '%':
+			c.i++
+			c.t.hit("rb.expr.mod")
+		default:
+			c.i = save
+			return true
+		}
+		c.skip(isSpace)
+		if !rbUnary(c) {
+			return false
+		}
+	}
+}
+
+func rbUnary(c *cursor) bool {
+	c.skip(isSpace)
+	if c.peek() == '-' && isDigit(c.peekAt(1)) {
+		c.i++
+		c.t.hit("rb.expr.neg")
+	}
+	return rbPostfix(c)
+}
+
+func rbPostfix(c *cursor) bool {
+	t := c.t
+	if !rbAtom(c) {
+		return false
+	}
+	for {
+		switch {
+		case c.peek() == '.':
+			c.i++
+			t.hit("rb.expr.method")
+			if !rbMethodName(c) {
+				t.hit("rb.err.method-name")
+				return false
+			}
+			if c.eat('(') {
+				if !rbArgs(c, ')') {
+					return false
+				}
+			}
+			// Optional block: do |x| ... end  or { |x| ... }
+			save := c.i
+			c.skip(isSpace)
+			if matchWord(c, "do") {
+				t.hit("rb.block.do")
+				if !rbBlockBody(c, "end") {
+					return false
+				}
+			} else {
+				c.i = save
+			}
+		case c.peek() == '[':
+			c.i++
+			t.hit("rb.expr.index")
+			c.skip(isSpace)
+			if !rbExpr(c) {
+				return false
+			}
+			c.skip(isSpace)
+			if !c.eat(']') {
+				t.hit("rb.err.index-close")
+				return false
+			}
+		default:
+			return true
+		}
+	}
+}
+
+// rbBlockBody parses optional |params| then statements then the end word.
+func rbBlockBody(c *cursor, endWord string) bool {
+	t := c.t
+	c.skip(isSpace)
+	if c.eat('|') {
+		t.hit("rb.block.params")
+		for {
+			c.skip(isSpace)
+			if !rbName(c) {
+				t.hit("rb.err.block-param")
+				return false
+			}
+			c.skip(isSpace)
+			if c.eat(',') {
+				continue
+			}
+			if c.eat('|') {
+				break
+			}
+			t.hit("rb.err.block-params")
+			return false
+		}
+	}
+	if !rbStatements(c, []string{endWord}) {
+		return false
+	}
+	if !matchWord(c, endWord) {
+		t.hit("rb.err.block-end")
+		return false
+	}
+	t.hit("rb.block.end")
+	return true
+}
+
+func rbArgs(c *cursor, close byte) bool {
+	t := c.t
+	c.skip(isSpace)
+	if c.eat(close) {
+		return true
+	}
+	args := 0
+	for {
+		if !rbExpr(c) {
+			return false
+		}
+		args++
+		c.skip(isSpace)
+		if c.eat(',') {
+			c.skip(isSpace)
+			continue
+		}
+		if c.eat(close) {
+			t.bucket("rb.args", args)
+			return true
+		}
+		t.hit("rb.err.args-close")
+		return false
+	}
+}
+
+func rbAtom(c *cursor) bool {
+	t := c.t
+	c.skip(isSpace)
+	b := c.peek()
+	switch {
+	case c.eof():
+		t.hit("rb.err.missing-expr")
+		return false
+	case isDigit(b):
+		c.skip(isDigit)
+		if c.peek() == '.' && isDigit(c.peekAt(1)) {
+			c.i++
+			c.skip(isDigit)
+			t.hit("rb.atom.float")
+		} else {
+			t.hit("rb.atom.int")
+		}
+		return true
+	case b == '"' || b == '\'':
+		c.i++
+		for !c.eof() && c.peek() != b {
+			if c.peek() == '\\' {
+				c.i++
+				if c.eof() {
+					t.hit("rb.err.string-escape")
+					return false
+				}
+			}
+			c.i++
+		}
+		if !c.eat(b) {
+			t.hit("rb.err.string-open")
+			return false
+		}
+		t.hit("rb.atom.string")
+		return true
+	case b == ':':
+		c.i++
+		if !rbName(c) {
+			t.hit("rb.err.symbol")
+			return false
+		}
+		t.hit("rb.atom.symbol")
+		return true
+	case b == '@':
+		c.i++
+		if !rbName(c) {
+			t.hit("rb.err.ivar")
+			return false
+		}
+		t.hit("rb.atom.ivar")
+		return true
+	case b == '$':
+		c.i++
+		if !rbName(c) {
+			t.hit("rb.err.gvar")
+			return false
+		}
+		t.hit("rb.atom.gvar")
+		return true
+	case b == '(':
+		c.i++
+		t.hit("rb.atom.paren")
+		c.skip(isSpace)
+		if !rbExpr(c) {
+			return false
+		}
+		c.skip(isSpace)
+		if !c.eat(')') {
+			t.hit("rb.err.paren-close")
+			return false
+		}
+		return true
+	case b == '[':
+		c.i++
+		t.hit("rb.atom.array")
+		return rbArgs(c, ']')
+	case b == '{':
+		c.i++
+		t.hit("rb.atom.hash")
+		c.skip(isSpace)
+		if c.eat('}') {
+			return true
+		}
+		for {
+			c.skip(isSpace)
+			if !rbExpr(c) {
+				return false
+			}
+			c.skip(isSpace)
+			if !c.lit("=>") {
+				t.hit("rb.err.hash-arrow")
+				return false
+			}
+			c.skip(isSpace)
+			if !rbExpr(c) {
+				return false
+			}
+			c.skip(isSpace)
+			if c.eat(',') {
+				continue
+			}
+			if c.eat('}') {
+				return true
+			}
+			t.hit("rb.err.hash-close")
+			return false
+		}
+	case matchWord(c, "true") || matchWord(c, "false") || matchWord(c, "nil"):
+		t.hit("rb.atom.const")
+		return true
+	case isLetter(b):
+		if rbReserved(c) {
+			t.hit("rb.err.keyword-expr")
+			return false
+		}
+		rbName(c)
+		t.hit("rb.atom.name")
+		// Command-style call: name(args) or "puts expr".
+		if c.eat('(') {
+			t.hit("rb.call.parens")
+			return rbArgs(c, ')')
+		}
+		save := c.i
+		if c.skip(isSpace) > 0 && rbStartsArg(c.peek()) {
+			t.hit("rb.call.command")
+			return rbExpr(c)
+		}
+		c.i = save
+		return true
+	default:
+		t.hit("rb.err.atom")
+		return false
+	}
+}
+
+// rbStartsArg reports whether a byte can start a command-call argument
+// ("puts x", "puts :sym", "puts \"s\"").
+func rbStartsArg(b byte) bool {
+	return isDigit(b) || b == '"' || b == '\'' || b == ':' || b == '@' || b == '$' || b == '[' || isLetter(b)
+}
+
+func rbName(c *cursor) bool {
+	if !isLetter(c.peek()) {
+		return false
+	}
+	c.skip(isAlnum)
+	return true
+}
+
+// rbMethodName allows trailing ? or ! on method names.
+func rbMethodName(c *cursor) bool {
+	if !rbName(c) {
+		return false
+	}
+	if c.peek() == '?' || c.peek() == '!' {
+		c.i++
+	}
+	return true
+}
+
+// rbReserved reports whether the next word is a keyword that cannot start
+// an expression atom.
+func rbReserved(c *cursor) bool {
+	for _, w := range []string{"end", "else", "elsif", "then", "do", "def", "if", "unless", "while", "until", "return"} {
+		if peekWord(c, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// peekWord reports whether the next token is exactly the given keyword.
+func peekWord(c *cursor, w string) bool {
+	if len(c.s)-c.i < len(w) || c.s[c.i:c.i+len(w)] != w {
+		return false
+	}
+	return c.i+len(w) >= len(c.s) || !isAlnum(c.s[c.i+len(w)])
+}

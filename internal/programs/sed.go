@@ -1,0 +1,365 @@
+package programs
+
+// Sed returns a simulated GNU sed: it parses sed scripts — addresses,
+// substitution/transliteration commands, text commands, labels, branches,
+// and command blocks — accepting exactly the syntactically valid scripts.
+func Sed() Program {
+	return &base{
+		name: "sed",
+		reg:  newRegistry(),
+		seeds: []string{
+			"s/abc/xyz/g",
+			"1,5d\np\nq",
+			"/start/,/stop/s/a/b/\ny/abc/xyz/",
+		},
+		parse: sedParse,
+	}
+}
+
+func sedParse(t *tracer, input string) bool {
+	c := &cursor{s: input, t: t}
+	t.hit("sed.enter")
+	cmds := 0
+	for {
+		c.skip(isSpace)
+		if c.eof() {
+			t.hit("sed.eof")
+			t.bucket("sed.cmds", cmds)
+			return true
+		}
+		if c.eat('\n') || c.eat(';') {
+			t.hit("sed.separator")
+			continue
+		}
+		if !sedCommand(c, 0) {
+			t.hit("sed.err.command")
+			return false
+		}
+		cmds++
+		c.skip(isSpace)
+		if !c.eof() && c.peek() != '\n' && c.peek() != ';' && c.peek() != '}' {
+			t.hit("sed.err.trailing")
+			return false
+		}
+		if c.peek() == '}' {
+			t.hit("sed.err.unmatched-close")
+			return false
+		}
+	}
+}
+
+// sedCommand parses one optionally-addressed command. depth tracks block
+// nesting for '}' handling.
+func sedCommand(c *cursor, depth int) bool {
+	t := c.t
+	hasAddr := sedAddress(c)
+	if hasAddr {
+		t.hit("sed.addr.one")
+		c.skip(isSpace)
+		if c.eat(',') {
+			t.hit("sed.addr.range")
+			c.skip(isSpace)
+			if !sedAddress(c) {
+				t.hit("sed.err.addr2")
+				return false
+			}
+		}
+		c.skip(isSpace)
+		if c.eat('!') {
+			t.hit("sed.addr.negate")
+		}
+		c.skip(isSpace)
+	}
+	if c.eof() {
+		t.hit("sed.err.missing-cmd")
+		return false
+	}
+	switch cmd := c.peek(); cmd {
+	case 's':
+		c.i++
+		t.hit("sed.cmd.s")
+		return sedSubst(c)
+	case 'y':
+		c.i++
+		t.hit("sed.cmd.y")
+		return sedTranslit(c)
+	case 'd', 'p', 'q', '=', 'x', 'h', 'g', 'n', 'N', 'D', 'G', 'H', 'P':
+		c.i++
+		t.hit("sed.cmd.simple." + string(cmd))
+		return true
+	case 'a', 'i', 'c':
+		c.i++
+		t.hit("sed.cmd.text." + string(cmd))
+		return sedTextArg(c)
+	case 'b', 't':
+		c.i++
+		t.hit("sed.cmd.branch." + string(cmd))
+		c.skip(isSpace)
+		n := c.skip(isAlnum)
+		if n > 0 {
+			t.hit("sed.branch.label")
+		} else {
+			t.hit("sed.branch.nolabel")
+		}
+		return true
+	case ':':
+		c.i++
+		t.hit("sed.cmd.label")
+		if c.skip(isAlnum) == 0 {
+			t.hit("sed.err.empty-label")
+			return false
+		}
+		return true
+	case '{':
+		c.i++
+		t.hit("sed.cmd.block")
+		t.bucket("sed.block.depth", depth+1)
+		return sedBlock(c, depth+1)
+	case '#':
+		t.hit("sed.cmd.comment")
+		c.skip(func(b byte) bool { return b != '\n' })
+		return true
+	default:
+		t.hit("sed.err.unknown-cmd")
+		return false
+	}
+}
+
+// sedAddress parses an optional address: a line number, $, or /regex/.
+func sedAddress(c *cursor) bool {
+	t := c.t
+	switch {
+	case isDigit(c.peek()):
+		c.skip(isDigit)
+		t.hit("sed.addr.line")
+		if c.eat('~') {
+			t.hit("sed.addr.step")
+			if c.skip(isDigit) == 0 {
+				return false
+			}
+		}
+		return true
+	case c.peek() == '$':
+		c.i++
+		t.hit("sed.addr.last")
+		return true
+	case c.peek() == '/':
+		c.i++
+		t.hit("sed.addr.regex")
+		return sedRegexUntil(c, '/')
+	}
+	return false
+}
+
+// sedRegexUntil validates a regex body up to the delimiter.
+func sedRegexUntil(c *cursor, delim byte) bool {
+	t := c.t
+	n := 0
+	for !c.eof() {
+		b := c.peek()
+		switch {
+		case b == delim:
+			c.i++
+			if n == 0 {
+				t.hit("sed.re.empty")
+			} else {
+				t.hit("sed.re.ok")
+			}
+			t.bucket("sed.re.len", n)
+			return true
+		case b == '\\':
+			c.i++
+			if c.eof() || c.peek() == '\n' {
+				t.hit("sed.err.re.escape")
+				return false
+			}
+			t.hit("sed.re.escape")
+			c.i++
+		case b == '[':
+			c.i++
+			t.hit("sed.re.class")
+			if c.eat('^') {
+				t.hit("sed.re.class.negate")
+			}
+			if c.skip(func(x byte) bool { return x != ']' && x != '\n' }) == 0 {
+				t.hit("sed.err.re.class-empty")
+				return false
+			}
+			if !c.eat(']') {
+				t.hit("sed.err.re.class-open")
+				return false
+			}
+		case b == '*':
+			c.i++
+			if n == 0 {
+				t.hit("sed.err.re.dangling-star")
+				return false
+			}
+			t.hit("sed.re.star")
+			continue // star does not add a new atom
+		case b == '\n':
+			t.hit("sed.err.re.newline")
+			return false
+		default:
+			c.i++
+			t.hit("sed.re.char")
+		}
+		n++
+	}
+	t.hit("sed.err.re.unterminated")
+	return false
+}
+
+// sedSubst parses s/regex/replacement/flags with an arbitrary delimiter.
+func sedSubst(c *cursor) bool {
+	t := c.t
+	if c.eof() {
+		t.hit("sed.err.s.nodelim")
+		return false
+	}
+	delim := c.peek()
+	if isAlnum(delim) || delim == '\\' || delim == '\n' {
+		t.hit("sed.err.s.baddelim")
+		return false
+	}
+	if delim != '/' {
+		t.hit("sed.s.altdelim")
+	}
+	c.i++
+	if !sedRegexUntil(c, delim) {
+		return false
+	}
+	// Replacement: chars, \n escapes, & references.
+	for !c.eof() {
+		b := c.peek()
+		if b == delim {
+			c.i++
+			t.hit("sed.s.repl-done")
+			// Flags.
+			for !c.eof() {
+				switch f := c.peek(); f {
+				case 'g', 'p', 'i':
+					c.i++
+					t.hit("sed.s.flag." + string(f))
+				case '1', '2', '3', '4', '5', '6', '7', '8', '9':
+					c.i++
+					t.hit("sed.s.flag.count")
+				default:
+					return true
+				}
+			}
+			return true
+		}
+		if b == '\n' {
+			t.hit("sed.err.s.newline")
+			return false
+		}
+		if b == '\\' {
+			c.i++
+			if c.eof() {
+				t.hit("sed.err.s.escape")
+				return false
+			}
+			if isDigit(c.peek()) {
+				t.hit("sed.s.backref")
+			} else {
+				t.hit("sed.s.escape")
+			}
+			c.i++
+			continue
+		}
+		if b == '&' {
+			t.hit("sed.s.amp")
+		}
+		c.i++
+	}
+	t.hit("sed.err.s.unterminated")
+	return false
+}
+
+// sedTranslit parses y/set1/set2/ where both sets must have equal length.
+func sedTranslit(c *cursor) bool {
+	t := c.t
+	if c.eof() {
+		t.hit("sed.err.y.nodelim")
+		return false
+	}
+	delim := c.peek()
+	if isAlnum(delim) || delim == '\\' || delim == '\n' {
+		t.hit("sed.err.y.baddelim")
+		return false
+	}
+	c.i++
+	set1, ok := sedPlainUntil(c, delim)
+	if !ok {
+		t.hit("sed.err.y.set1")
+		return false
+	}
+	set2, ok := sedPlainUntil(c, delim)
+	if !ok {
+		t.hit("sed.err.y.set2")
+		return false
+	}
+	if set1 != set2 {
+		t.hit("sed.err.y.length")
+		return false
+	}
+	t.hit("sed.y.ok")
+	return true
+}
+
+func sedPlainUntil(c *cursor, delim byte) (int, bool) {
+	n := 0
+	for !c.eof() {
+		b := c.peek()
+		if b == delim {
+			c.i++
+			return n, true
+		}
+		if b == '\n' {
+			return 0, false
+		}
+		c.i++
+		n++
+	}
+	return 0, false
+}
+
+// sedTextArg parses the a/i/c text argument: "a text" or "a\" + next line.
+func sedTextArg(c *cursor) bool {
+	t := c.t
+	if c.eat('\\') {
+		if !c.eat('\n') {
+			t.hit("sed.err.text.backslash")
+			return false
+		}
+		t.hit("sed.text.multiline")
+	} else {
+		t.hit("sed.text.inline")
+	}
+	c.skip(isSpace)
+	c.skip(func(b byte) bool { return b != '\n' })
+	return true
+}
+
+// sedBlock parses commands until the matching '}'.
+func sedBlock(c *cursor, depth int) bool {
+	t := c.t
+	for {
+		c.skip(isSpace)
+		if c.eat('\n') || c.eat(';') {
+			continue
+		}
+		if c.eat('}') {
+			t.hit("sed.block.close")
+			return true
+		}
+		if c.eof() {
+			t.hit("sed.err.block.open")
+			return false
+		}
+		if !sedCommand(c, depth) {
+			return false
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package programs
+
+// XML returns a simulated XML parser in the spirit of libxml: arbitrary tag
+// names with matching end tags (checked with a stack — a context-sensitive
+// property), attributes with single or double quotes and no duplicate names
+// per element (the paper's §8.3 example of behaviour GLADE must learn to
+// avoid), entity references, comments, CDATA sections, processing
+// instructions, and an optional XML prolog.
+func XML() Program {
+	return &base{
+		name: "xml",
+		reg:  newRegistry(),
+		seeds: []string{
+			"<a>hi</a>",
+			`<?xml version="1.0"?><doc id="1"><item k='v'>x &amp; y</item><!-- c --></doc>`,
+			"<r><![CDATA[raw]]><p a=\"b\">t</p></r>",
+		},
+		parse: xmlProgParse,
+	}
+}
+
+func xmlProgParse(t *tracer, input string) bool {
+	c := &cursor{s: input, t: t}
+	t.hit("xml.enter")
+	// Optional prolog.
+	if c.lit("<?xml") {
+		t.hit("xml.prolog")
+		for !c.eof() && !(c.peek() == '?' && c.peekAt(1) == '>') {
+			c.i++
+		}
+		if !c.lit("?>") {
+			t.hit("xml.err.prolog-open")
+			return false
+		}
+	}
+	xmlSkipMisc(c)
+	// Exactly one root element.
+	name, ok := xmlElement(c, 0)
+	if !ok {
+		return false
+	}
+	_ = name
+	xmlSkipMisc(c)
+	if !c.eof() {
+		t.hit("xml.err.trailing")
+		return false
+	}
+	t.hit("xml.accept")
+	return true
+}
+
+// xmlSkipMisc consumes whitespace, comments, and PIs between top-level
+// constructs.
+func xmlSkipMisc(c *cursor) {
+	for {
+		if c.skip(func(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }) > 0 {
+			continue
+		}
+		if c.peek() == '<' && c.peekAt(1) == '!' && c.peekAt(2) == '-' {
+			if !xmlComment(c) {
+				return
+			}
+			continue
+		}
+		return
+	}
+}
+
+// xmlElement parses one element and returns its tag name.
+func xmlElement(c *cursor, depth int) (string, bool) {
+	t := c.t
+	t.bucket("xml.depth", depth)
+	if !c.eat('<') {
+		t.hit("xml.err.no-element")
+		return "", false
+	}
+	start := c.i
+	if c.skip(isXMLNameChar) == 0 {
+		t.hit("xml.err.tag-name")
+		return "", false
+	}
+	name := c.s[start:c.i]
+	t.hit("xml.elem.open")
+	seen := map[string]bool{}
+	for {
+		sp := c.skip(func(b byte) bool { return b == ' ' || b == '\t' || b == '\n' })
+		switch {
+		case c.lit("/>"):
+			t.hit("xml.elem.selfclose")
+			t.bucket("xml.attrs", len(seen))
+			return name, true
+		case c.eat('>'):
+			t.hit("xml.elem.openclose")
+			t.bucket("xml.attrs", len(seen))
+			if !xmlContent(c, name, depth) {
+				return "", false
+			}
+			return name, true
+		case c.eof():
+			t.hit("xml.err.tag-unterminated")
+			return "", false
+		default:
+			if sp == 0 {
+				t.hit("xml.err.attr-space")
+				return "", false
+			}
+			attr, ok := xmlAttr(c)
+			if !ok {
+				return "", false
+			}
+			if seen[attr] {
+				// Duplicate attribute names are a well-formedness error —
+				// the constraint the paper highlights as non-context-free.
+				t.hit("xml.err.attr-duplicate")
+				return "", false
+			}
+			seen[attr] = true
+		}
+	}
+}
+
+// xmlAttr parses name = "value" (single or double quoted), returning the
+// attribute name.
+func xmlAttr(c *cursor) (string, bool) {
+	t := c.t
+	start := c.i
+	if c.skip(isXMLNameChar) == 0 {
+		t.hit("xml.err.attr-name")
+		return "", false
+	}
+	name := c.s[start:c.i]
+	c.skip(isSpace)
+	if !c.eat('=') {
+		t.hit("xml.err.attr-eq")
+		return "", false
+	}
+	c.skip(isSpace)
+	quote := c.peek()
+	if quote != '"' && quote != '\'' {
+		t.hit("xml.err.attr-quote")
+		return "", false
+	}
+	if quote == '\'' {
+		t.hit("xml.attr.single-quote")
+	} else {
+		t.hit("xml.attr.double-quote")
+	}
+	c.i++
+	for !c.eof() && c.peek() != quote {
+		if c.peek() == '<' {
+			t.hit("xml.err.attr-lt")
+			return "", false
+		}
+		if c.peek() == '&' {
+			if !xmlEntity(c) {
+				return "", false
+			}
+			continue
+		}
+		c.i++
+	}
+	if !c.eat(quote) {
+		t.hit("xml.err.attr-unterminated")
+		return "", false
+	}
+	t.hit("xml.attr.ok")
+	return name, true
+}
+
+// xmlContent parses element content up to the matching </name>.
+func xmlContent(c *cursor, name string, depth int) bool {
+	t := c.t
+	children := 0
+	text := 0
+	for {
+		if c.eof() {
+			t.hit("xml.err.missing-close")
+			return false
+		}
+		b := c.peek()
+		switch {
+		case b == '<' && c.peekAt(1) == '/':
+			c.i += 2
+			start := c.i
+			if c.skip(isXMLNameChar) == 0 {
+				t.hit("xml.err.close-name")
+				return false
+			}
+			got := c.s[start:c.i]
+			c.skip(isSpace)
+			if !c.eat('>') {
+				t.hit("xml.err.close-gt")
+				return false
+			}
+			if got != name {
+				t.hit("xml.err.tag-mismatch")
+				return false
+			}
+			t.hit("xml.elem.close")
+			t.bucket("xml.children", children)
+			t.bucket("xml.textlen", text)
+			return true
+		case c.peek() == '<' && c.peekAt(1) == '!' && c.peekAt(2) == '-':
+			if !xmlComment(c) {
+				return false
+			}
+		case c.lit("<![CDATA["):
+			t.hit("xml.cdata.open")
+			for !c.eof() && !(c.peek() == ']' && c.peekAt(1) == ']' && c.peekAt(2) == '>') {
+				c.i++
+			}
+			if !c.lit("]]>") {
+				t.hit("xml.err.cdata-open")
+				return false
+			}
+			t.hit("xml.cdata.close")
+		case b == '<' && c.peekAt(1) == '?':
+			c.i += 2
+			t.hit("xml.pi.open")
+			if c.skip(isXMLNameChar) == 0 {
+				t.hit("xml.err.pi-target")
+				return false
+			}
+			for !c.eof() && !(c.peek() == '?' && c.peekAt(1) == '>') {
+				c.i++
+			}
+			if !c.lit("?>") {
+				t.hit("xml.err.pi-open")
+				return false
+			}
+			t.hit("xml.pi.close")
+		case b == '<':
+			if _, ok := xmlElement(c, depth+1); !ok {
+				return false
+			}
+			children++
+			t.hit("xml.content.child")
+		case b == '&':
+			if !xmlEntity(c) {
+				return false
+			}
+		case b == '>':
+			t.hit("xml.err.raw-gt") // strict: bare '>' in content rejected
+			return false
+		default:
+			c.i++
+			text++
+			t.hit("xml.content.text")
+		}
+	}
+}
+
+// xmlComment parses <!-- ... --> rejecting inner "--".
+func xmlComment(c *cursor) bool {
+	t := c.t
+	if !c.lit("<!--") {
+		t.hit("xml.err.comment-start")
+		return false
+	}
+	t.hit("xml.comment.open")
+	for !c.eof() {
+		if c.peek() == '-' && c.peekAt(1) == '-' {
+			if c.peekAt(2) == '>' {
+				c.i += 3
+				t.hit("xml.comment.close")
+				return true
+			}
+			t.hit("xml.err.comment-dashes")
+			return false
+		}
+		c.i++
+	}
+	t.hit("xml.err.comment-open")
+	return false
+}
+
+// xmlEntity parses &name; or &#digits;.
+func xmlEntity(c *cursor) bool {
+	t := c.t
+	c.i++ // '&'
+	if c.eat('#') {
+		if c.skip(isDigit) == 0 {
+			t.hit("xml.err.entity-number")
+			return false
+		}
+		if !c.eat(';') {
+			t.hit("xml.err.entity-semi")
+			return false
+		}
+		t.hit("xml.entity.numeric")
+		return true
+	}
+	start := c.i
+	if c.skip(isLower) == 0 {
+		t.hit("xml.err.entity-name")
+		return false
+	}
+	name := c.s[start:c.i]
+	if !c.eat(';') {
+		t.hit("xml.err.entity-semi")
+		return false
+	}
+	switch name {
+	case "amp", "lt", "gt", "quot", "apos":
+		t.hit("xml.entity.named")
+		return true
+	default:
+		t.hit("xml.err.entity-unknown")
+		return false
+	}
+}
+
+func isXMLNameChar(b byte) bool {
+	return isAlnum(b) || b == '-' || b == '.' || b == ':'
+}

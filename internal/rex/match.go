@@ -1,0 +1,155 @@
+package rex
+
+import "glade/internal/bytesets"
+
+// Matcher is a compiled regular expression supporting linear-time matching
+// via Thompson NFA simulation.
+type Matcher struct {
+	states []nstate
+	start  int
+	accept int
+}
+
+// nstate is one NFA state. Exactly one of the transition kinds is used:
+// byte-class edge (set, to) or up to two epsilon edges (eps).
+type nstate struct {
+	set  bytesets.Set
+	to   int
+	eps  [2]int
+	neps int
+	kind int8 // 0 = epsilon node, 1 = class edge
+}
+
+// Compile builds a Matcher for e using Thompson's construction.
+func Compile(e Expr) *Matcher {
+	m := &Matcher{}
+	m.accept = m.newEps()
+	m.start = m.compile(e, m.accept)
+	return m
+}
+
+func (m *Matcher) newEps() int {
+	m.states = append(m.states, nstate{kind: 0})
+	return len(m.states) - 1
+}
+
+func (m *Matcher) newClass(set bytesets.Set, to int) int {
+	m.states = append(m.states, nstate{kind: 1, set: set, to: to})
+	return len(m.states) - 1
+}
+
+func (m *Matcher) addEps(from, to int) {
+	st := &m.states[from]
+	if st.neps >= 2 {
+		panic("rex: epsilon fan-out exceeded")
+	}
+	st.eps[st.neps] = to
+	st.neps++
+}
+
+// compile returns the entry state of a fragment matching e and continuing
+// to state next.
+func (m *Matcher) compile(e Expr, next int) int {
+	switch e := e.(type) {
+	case *Lit:
+		entry := next
+		for i := len(e.S) - 1; i >= 0; i-- {
+			entry = m.newClass(bytesets.Of(e.S[i]), entry)
+		}
+		return entry
+	case *Class:
+		return m.newClass(e.Set, next)
+	case *Seq:
+		entry := next
+		for i := len(e.Kids) - 1; i >= 0; i-- {
+			entry = m.compile(e.Kids[i], entry)
+		}
+		return entry
+	case *Alt:
+		if len(e.Kids) == 0 {
+			return m.newEps() // dead state: no outgoing edges
+		}
+		// Build a binary tree of 2-way epsilon splits.
+		entries := make([]int, len(e.Kids))
+		for i, k := range e.Kids {
+			entries[i] = m.compile(k, next)
+		}
+		for len(entries) > 1 {
+			var merged []int
+			for i := 0; i < len(entries); i += 2 {
+				if i+1 == len(entries) {
+					merged = append(merged, entries[i])
+					continue
+				}
+				split := m.newEps()
+				m.addEps(split, entries[i])
+				m.addEps(split, entries[i+1])
+				merged = append(merged, split)
+			}
+			entries = merged
+		}
+		return entries[0]
+	case *Star:
+		loop := m.newEps()
+		body := m.compile(e.Kid, loop)
+		m.addEps(loop, body)
+		m.addEps(loop, next)
+		return loop
+	default:
+		panic("rex: unknown Expr")
+	}
+}
+
+// Match reports whether input ∈ L(e) for the compiled expression.
+func (m *Matcher) Match(input string) bool {
+	cur := make([]bool, len(m.states))
+	next := make([]bool, len(m.states))
+	var stack []int
+	addState := func(mark []bool, s int) {
+		if mark[s] {
+			return
+		}
+		mark[s] = true
+		stack = append(stack, s)
+		for len(stack) > 0 {
+			q := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			st := &m.states[q]
+			if st.kind == 0 {
+				for i := 0; i < st.neps; i++ {
+					if !mark[st.eps[i]] {
+						mark[st.eps[i]] = true
+						stack = append(stack, st.eps[i])
+					}
+				}
+			}
+		}
+	}
+	addState(cur, m.start)
+	for i := 0; i < len(input); i++ {
+		c := input[i]
+		any := false
+		for s := range next {
+			next[s] = false
+		}
+		for s, on := range cur {
+			if !on {
+				continue
+			}
+			st := &m.states[s]
+			if st.kind == 1 && st.set.Has(c) {
+				addState(next, st.to)
+				any = true
+			}
+		}
+		cur, next = next, cur
+		if !any {
+			return false
+		}
+	}
+	return cur[m.accept]
+}
+
+// Match is a convenience that compiles e and matches input once. For
+// repeated matching against the same expression, use Compile.
+func Match(e Expr, input string) bool { return Compile(e).Match(input) }

@@ -1,0 +1,316 @@
+// Package rex implements the regular-expression ASTs used by the GLADE
+// learner and the evaluation targets.
+//
+// Expressions are trees of literals, byte classes, concatenations,
+// alternations, and Kleene stars — exactly the operator vocabulary of the
+// paper's meta-grammar Cregex (§4.1). The package provides linear-time
+// matching via Thompson NFA simulation, uniform random sampling, and
+// printing. It deliberately does not depend on the standard regexp package:
+// the learner needs byte-exact semantics with no Unicode or syntax layer.
+package rex
+
+import (
+	"math/rand"
+	"strings"
+
+	"glade/internal/bytesets"
+)
+
+// Expr is a regular expression over bytes.
+//
+// The concrete types are *Lit, *Class, *Seq, *Alt, and *Star. The empty
+// string is Epsilon() (an empty *Lit); the empty language is represented by
+// an empty *Alt.
+type Expr interface {
+	// MinString returns some shortest member of the language, and false if
+	// the language is empty.
+	minLen() (int, bool)
+	isExpr()
+}
+
+// Lit matches exactly the literal byte string S.
+type Lit struct{ S string }
+
+// Class matches any single byte in Set. An empty Set matches nothing.
+type Class struct{ Set bytesets.Set }
+
+// Seq matches the concatenation of its children. An empty Seq matches the
+// empty string.
+type Seq struct{ Kids []Expr }
+
+// Alt matches any of its children. An empty Alt matches nothing (the empty
+// language ∅).
+type Alt struct{ Kids []Expr }
+
+// Star matches zero or more repetitions of Kid.
+type Star struct{ Kid Expr }
+
+func (*Lit) isExpr()   {}
+func (*Class) isExpr() {}
+func (*Seq) isExpr()   {}
+func (*Alt) isExpr()   {}
+func (*Star) isExpr()  {}
+
+// Epsilon returns an expression matching exactly the empty string.
+func Epsilon() Expr { return &Lit{} }
+
+// Literal returns an expression matching exactly s.
+func Literal(s string) Expr { return &Lit{S: s} }
+
+// OneOf returns an expression matching any byte of set.
+func OneOf(set bytesets.Set) Expr { return &Class{Set: set} }
+
+// Concat returns the concatenation of the given expressions, flattening
+// nested sequences and merging adjacent literals.
+func Concat(es ...Expr) Expr {
+	var kids []Expr
+	var push func(Expr)
+	push = func(e Expr) {
+		switch e := e.(type) {
+		case *Seq:
+			for _, k := range e.Kids {
+				push(k)
+			}
+		case *Lit:
+			if e.S == "" {
+				return
+			}
+			if len(kids) > 0 {
+				if last, ok := kids[len(kids)-1].(*Lit); ok {
+					kids[len(kids)-1] = &Lit{S: last.S + e.S}
+					return
+				}
+			}
+			kids = append(kids, e)
+		default:
+			kids = append(kids, e)
+		}
+	}
+	for _, e := range es {
+		push(e)
+	}
+	switch len(kids) {
+	case 0:
+		return Epsilon()
+	case 1:
+		return kids[0]
+	}
+	return &Seq{Kids: kids}
+}
+
+// Union returns the alternation of the given expressions, flattening nested
+// alternations.
+func Union(es ...Expr) Expr {
+	var kids []Expr
+	for _, e := range es {
+		if a, ok := e.(*Alt); ok {
+			kids = append(kids, a.Kids...)
+		} else {
+			kids = append(kids, e)
+		}
+	}
+	if len(kids) == 1 {
+		return kids[0]
+	}
+	return &Alt{Kids: kids}
+}
+
+// Rep returns the Kleene closure of e.
+func Rep(e Expr) Expr { return &Star{Kid: e} }
+
+func (e *Lit) minLen() (int, bool) { return len(e.S), true }
+
+func (e *Class) minLen() (int, bool) {
+	if e.Set.IsEmpty() {
+		return 0, false
+	}
+	return 1, true
+}
+
+func (e *Seq) minLen() (int, bool) {
+	total := 0
+	for _, k := range e.Kids {
+		n, ok := k.minLen()
+		if !ok {
+			return 0, false
+		}
+		total += n
+	}
+	return total, true
+}
+
+func (e *Alt) minLen() (int, bool) {
+	best, found := 0, false
+	for _, k := range e.Kids {
+		n, ok := k.minLen()
+		if ok && (!found || n < best) {
+			best, found = n, true
+		}
+	}
+	return best, found
+}
+
+func (e *Star) minLen() (int, bool) { return 0, true }
+
+// MinLen returns the length of a shortest string in L(e), and false if the
+// language is empty.
+func MinLen(e Expr) (int, bool) { return e.minLen() }
+
+// Empty reports whether L(e) = ∅.
+func Empty(e Expr) bool {
+	_, ok := e.minLen()
+	return !ok
+}
+
+// Nullable reports whether ε ∈ L(e).
+func Nullable(e Expr) bool {
+	switch e := e.(type) {
+	case *Lit:
+		return e.S == ""
+	case *Class:
+		return false
+	case *Seq:
+		for _, k := range e.Kids {
+			if !Nullable(k) {
+				return false
+			}
+		}
+		return true
+	case *Alt:
+		for _, k := range e.Kids {
+			if Nullable(k) {
+				return true
+			}
+		}
+		return false
+	case *Star:
+		return true
+	}
+	panic("rex: unknown Expr")
+}
+
+// String renders the expression with the paper's notation: + for
+// alternation, * for repetition, parentheses for grouping.
+func String(e Expr) string {
+	var b strings.Builder
+	write(&b, e, 0)
+	return b.String()
+}
+
+// precedence levels: 0 = alternation, 1 = concatenation, 2 = atom/star.
+func write(b *strings.Builder, e Expr, prec int) {
+	switch e := e.(type) {
+	case *Lit:
+		if e.S == "" {
+			b.WriteString("ε")
+			return
+		}
+		b.WriteString(escapeLit(e.S))
+	case *Class:
+		b.WriteString(e.Set.String())
+	case *Seq:
+		if prec > 1 {
+			b.WriteByte('(')
+		}
+		for _, k := range e.Kids {
+			write(b, k, 2)
+		}
+		if prec > 1 {
+			b.WriteByte(')')
+		}
+	case *Alt:
+		if len(e.Kids) == 0 {
+			b.WriteString("∅")
+			return
+		}
+		if prec > 0 {
+			b.WriteByte('(')
+		}
+		for i, k := range e.Kids {
+			if i > 0 {
+				b.WriteString(" + ")
+			}
+			write(b, k, 1)
+		}
+		if prec > 0 {
+			b.WriteByte(')')
+		}
+	case *Star:
+		write(b, e.Kid, 2)
+		b.WriteByte('*')
+	default:
+		panic("rex: unknown Expr")
+	}
+}
+
+func escapeLit(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\n':
+			b.WriteString(`\n`)
+		case c == '\t':
+			b.WriteString(`\t`)
+		case c == '\r':
+			b.WriteString(`\r`)
+		case strings.IndexByte(`+*()[]\`, c) >= 0:
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case c < 32 || c > 126:
+			const hex = "0123456789abcdef"
+			b.WriteString(`\x`)
+			b.WriteByte(hex[c>>4])
+			b.WriteByte(hex[c&15])
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// Sample draws a random string from L(e) using rng. Alternation branches
+// are chosen uniformly; each star iterates with probability continueP
+// (0 < continueP < 1). Sample panics if L(e) is empty.
+func Sample(e Expr, rng *rand.Rand, continueP float64) string {
+	var b strings.Builder
+	sample(&b, e, rng, continueP)
+	return b.String()
+}
+
+func sample(b *strings.Builder, e Expr, rng *rand.Rand, p float64) {
+	switch e := e.(type) {
+	case *Lit:
+		b.WriteString(e.S)
+	case *Class:
+		n := e.Set.Len()
+		if n == 0 {
+			panic("rex: Sample from empty class")
+		}
+		b.WriteByte(e.Set.Pick(rng.Intn(n)))
+	case *Seq:
+		for _, k := range e.Kids {
+			sample(b, k, rng, p)
+		}
+	case *Alt:
+		var nonEmpty []Expr
+		for _, k := range e.Kids {
+			if !Empty(k) {
+				nonEmpty = append(nonEmpty, k)
+			}
+		}
+		if len(nonEmpty) == 0 {
+			panic("rex: Sample from empty alternation")
+		}
+		sample(b, nonEmpty[rng.Intn(len(nonEmpty))], rng, p)
+	case *Star:
+		if Empty(e.Kid) {
+			return
+		}
+		for rng.Float64() < p {
+			sample(b, e.Kid, rng, p)
+		}
+	default:
+		panic("rex: unknown Expr")
+	}
+}

@@ -1,0 +1,254 @@
+package rex
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"glade/internal/bytesets"
+)
+
+func TestMatchLiteral(t *testing.T) {
+	e := Literal("abc")
+	if !Match(e, "abc") {
+		t.Fatal("literal does not match itself")
+	}
+	for _, s := range []string{"", "ab", "abcd", "abd", "xabc"} {
+		if Match(e, s) {
+			t.Fatalf("literal matched %q", s)
+		}
+	}
+}
+
+func TestMatchEpsilon(t *testing.T) {
+	if !Match(Epsilon(), "") {
+		t.Fatal("epsilon does not match empty string")
+	}
+	if Match(Epsilon(), "a") {
+		t.Fatal("epsilon matched non-empty string")
+	}
+}
+
+func TestMatchClass(t *testing.T) {
+	e := OneOf(bytesets.OfString("abc"))
+	for _, s := range []string{"a", "b", "c"} {
+		if !Match(e, s) {
+			t.Fatalf("class did not match %q", s)
+		}
+	}
+	for _, s := range []string{"", "d", "ab"} {
+		if Match(e, s) {
+			t.Fatalf("class matched %q", s)
+		}
+	}
+}
+
+func TestMatchEmptyLanguage(t *testing.T) {
+	empty := Union() // empty alternation = ∅
+	alt, ok := empty.(*Alt)
+	if !ok || len(alt.Kids) != 0 {
+		t.Fatalf("Union() = %#v, want empty Alt", empty)
+	}
+	for _, s := range []string{"", "a"} {
+		if Match(empty, s) {
+			t.Fatalf("empty language matched %q", s)
+		}
+	}
+	if !Empty(empty) {
+		t.Fatal("Empty(∅) = false")
+	}
+}
+
+func TestMatchStar(t *testing.T) {
+	e := Rep(Literal("ab"))
+	for _, s := range []string{"", "ab", "abab", "ababab"} {
+		if !Match(e, s) {
+			t.Fatalf("(ab)* did not match %q", s)
+		}
+	}
+	for _, s := range []string{"a", "aba", "ba"} {
+		if Match(e, s) {
+			t.Fatalf("(ab)* matched %q", s)
+		}
+	}
+}
+
+func TestMatchPaperXMLRegex(t *testing.T) {
+	// (<a>(h+i)*</a>)* — the regex synthesized at step R9 of Figure 2.
+	e := Rep(Concat(
+		Literal("<a>"),
+		Rep(Union(Literal("h"), Literal("i"))),
+		Literal("</a>"),
+	))
+	valid := []string{"", "<a></a>", "<a>hi</a>", "<a>ihih</a>", "<a>h</a><a>iii</a>"}
+	for _, s := range valid {
+		if !Match(e, s) {
+			t.Fatalf("did not match %q", s)
+		}
+	}
+	invalid := []string{"<a>", "<a>x</a>", "<a><a>hi</a></a>", "hi"}
+	for _, s := range invalid {
+		if Match(e, s) {
+			t.Fatalf("matched %q", s)
+		}
+	}
+}
+
+func TestConcatFlattening(t *testing.T) {
+	e := Concat(Literal("a"), Concat(Literal("b"), Literal("c")), Epsilon())
+	lit, ok := e.(*Lit)
+	if !ok || lit.S != "abc" {
+		t.Fatalf("Concat did not merge literals: %s", String(e))
+	}
+}
+
+func TestUnionFlattening(t *testing.T) {
+	e := Union(Literal("a"), Union(Literal("b"), Literal("c")))
+	alt, ok := e.(*Alt)
+	if !ok || len(alt.Kids) != 3 {
+		t.Fatalf("Union did not flatten: %s", String(e))
+	}
+}
+
+func TestNullable(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{Epsilon(), true},
+		{Literal("a"), false},
+		{Rep(Literal("a")), true},
+		{Concat(Rep(Literal("a")), Literal("b")), false},
+		{Concat(Rep(Literal("a")), Rep(Literal("b"))), true},
+		{Union(Literal("a"), Epsilon()), true},
+		{OneOf(bytesets.OfString("x")), false},
+	}
+	for _, c := range cases {
+		if got := Nullable(c.e); got != c.want {
+			t.Errorf("Nullable(%s) = %v, want %v", String(c.e), got, c.want)
+		}
+	}
+}
+
+func TestMinLen(t *testing.T) {
+	e := Union(Concat(Literal("ab"), Rep(Literal("c"))), Literal("wxyz"))
+	n, ok := MinLen(e)
+	if !ok || n != 2 {
+		t.Fatalf("MinLen = %d,%v want 2,true", n, ok)
+	}
+	if _, ok := MinLen(Union()); ok {
+		t.Fatal("MinLen(∅) reported non-empty")
+	}
+}
+
+func TestString(t *testing.T) {
+	e := Rep(Concat(Literal("<a>"), Rep(Union(Literal("h"), Literal("i"))), Literal("</a>")))
+	got := String(e)
+	want := "(<a>(h + i)*</a>)*"
+	if got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	got := String(Literal("a+b*c\n"))
+	if !strings.Contains(got, `\+`) || !strings.Contains(got, `\*`) || !strings.Contains(got, `\n`) {
+		t.Fatalf("String escaping wrong: %q", got)
+	}
+}
+
+// Property: every sampled string matches its source expression.
+func TestSampleMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 300; iter++ {
+		e := randomExpr(rng, 4)
+		if Empty(e) {
+			continue
+		}
+		m := Compile(e)
+		for k := 0; k < 10; k++ {
+			s := Sample(e, rng, 0.4)
+			if !m.Match(s) {
+				t.Fatalf("sample %q does not match %s", s, String(e))
+			}
+		}
+	}
+}
+
+// Property: a string of length < MinLen never matches.
+func TestMinLenIsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 300; iter++ {
+		e := randomExpr(rng, 4)
+		n, ok := MinLen(e)
+		if !ok {
+			continue
+		}
+		m := Compile(e)
+		for l := 0; l < n; l++ {
+			s := strings.Repeat("a", l)
+			if m.Match(s) {
+				t.Fatalf("matched %q shorter than MinLen=%d for %s", s, n, String(e))
+			}
+		}
+		_ = m
+	}
+}
+
+// randomExpr generates a random expression over {a,b,c} with bounded depth.
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	if depth == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return Epsilon()
+		case 1:
+			return Literal(string(rune('a' + rng.Intn(3))))
+		default:
+			return OneOf(bytesets.OfString("ab"))
+		}
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return Literal(randLit(rng))
+	case 1:
+		return Concat(randomExpr(rng, depth-1), randomExpr(rng, depth-1))
+	case 2:
+		return Union(randomExpr(rng, depth-1), randomExpr(rng, depth-1))
+	case 3:
+		return Rep(randomExpr(rng, depth-1))
+	default:
+		return OneOf(bytesets.OfString(randLit(rng)))
+	}
+}
+
+func randLit(rng *rand.Rand) string {
+	n := rng.Intn(3) + 1
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(3))
+	}
+	return string(b)
+}
+
+// Property: Nullable(e) agrees with Match(e, "").
+func TestNullableAgreesWithMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 500; iter++ {
+		e := randomExpr(rng, 4)
+		if Nullable(e) != Match(e, "") {
+			t.Fatalf("Nullable disagreement on %s", String(e))
+		}
+	}
+}
+
+func BenchmarkMatchStar(b *testing.B) {
+	e := Rep(Concat(Literal("<a>"), Rep(Union(Literal("h"), Literal("i"))), Literal("</a>")))
+	m := Compile(e)
+	input := strings.Repeat("<a>hihihihi</a>", 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !m.Match(input) {
+			b.Fatal("no match")
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package targets
+
+import (
+	"glade/internal/bytesets"
+	"glade/internal/cfg"
+	"glade/internal/oracle"
+)
+
+// grepPlainCh is the set of ordinary (self-matching) characters: printable
+// ASCII except the BRE metacharacters. grepClassCh is the set of characters
+// allowed inside a bracket expression (everything printable except the
+// closing bracket), matching GNU grep's treatment of [, ., * and ^ as
+// literals inside a class.
+func grepPlainCh() bytesets.Set {
+	return bytesets.Printable().Diff(bytesets.OfString(`.[]*\^$`))
+}
+
+func grepClassCh() bytesets.Set {
+	return bytesets.Printable().Diff(bytesets.OfString(`]`))
+}
+
+// Grep models the regular-expression input language of GNU Grep (basic
+// regular expressions, the paper's simplified form A → ([...] + \(A\))*):
+//
+//	re     := concat ("\|" concat)*
+//	concat := (atom "*"*)*
+//	atom   := plain | "." | "[" cchar+ "]" | "\(" re "\)"
+func Grep() *Target {
+	g := cfg.New()
+	re := g.AddNT("RE")
+	concat := g.AddNT("Concat")
+	item := g.AddNT("Item")
+	stars := g.AddNT("Stars")
+	atom := g.AddNT("Atom")
+	cchars := g.AddNT("ClassChars")
+
+	g.Add(re, cfg.N(concat))
+	g.Add(re, cfg.N(concat), cfg.TByte('\\'), cfg.TByte('|'), cfg.N(re))
+	g.Add(concat)
+	g.Add(concat, cfg.N(item), cfg.N(concat))
+	g.Add(item, cfg.N(atom), cfg.N(stars))
+	g.Add(stars)
+	g.Add(stars, cfg.TByte('*'), cfg.N(stars))
+	g.Add(atom, cfg.T(grepPlainCh()))
+	g.Add(atom, cfg.TByte('.'))
+	g.Add(atom, cfg.TByte('['), cfg.T(grepClassCh()), cfg.N(cchars), cfg.TByte(']'))
+	g.Add(atom, cfg.Cat(cfg.Str(`\(`), cfg.One(cfg.N(re)), cfg.Str(`\)`))...)
+	g.Add(cchars)
+	g.Add(cchars, cfg.T(grepClassCh()), cfg.N(cchars))
+
+	return &Target{
+		Name:    "grep",
+		Grammar: g,
+		Oracle:  oracle.Func(grepValid),
+		SeedGen: grepSeed,
+		DocSeeds: []string{
+			`abc`,
+			`a*b\|c`,
+			`\(ab\)*[a-z]x`,
+			`[^0-9]*\(a\|b\)`,
+		},
+	}
+}
+
+// grepValid is a recursive-descent recognizer for exactly the grammar
+// above.
+func grepValid(s string) bool {
+	p := &grepParser{s: s}
+	if !p.alt(0) {
+		return false
+	}
+	return p.i == len(s)
+}
+
+type grepParser struct {
+	s string
+	i int
+}
+
+func (p *grepParser) peek() (byte, bool) {
+	if p.i < len(p.s) {
+		return p.s[p.i], true
+	}
+	return 0, false
+}
+
+// alt parses concat ("\|" concat)*.
+func (p *grepParser) alt(depth int) bool {
+	if !p.concat(depth) {
+		return false
+	}
+	for {
+		if p.i+1 < len(p.s) && p.s[p.i] == '\\' && p.s[p.i+1] == '|' {
+			p.i += 2
+			if !p.concat(depth) {
+				return false
+			}
+			continue
+		}
+		return true
+	}
+}
+
+// concat parses (atom "*"*)* — it stops (successfully) at "\|", "\)", or
+// end of input; a '*' with no preceding atom is an error.
+func (p *grepParser) concat(depth int) bool {
+	for {
+		c, ok := p.peek()
+		if !ok {
+			return true
+		}
+		switch {
+		case c == '*' || c == ']' || c == '^' || c == '$':
+			return false // not ordinary at this position in our grammar
+		case c == '\\':
+			if p.i+1 >= len(p.s) {
+				return false
+			}
+			switch p.s[p.i+1] {
+			case '|', ')':
+				return true // belongs to the caller
+			case '(':
+				p.i += 2
+				if !p.alt(depth + 1) {
+					return false
+				}
+				if !(p.i+1 < len(p.s) && p.s[p.i] == '\\' && p.s[p.i+1] == ')') {
+					return false
+				}
+				p.i += 2
+			default:
+				return false // unsupported escape
+			}
+		case c == '[':
+			if !p.class() {
+				return false
+			}
+		case c == '.' || isGrepPlain(c):
+			p.i++
+		default:
+			return false
+		}
+		for {
+			c, ok := p.peek()
+			if !ok || c != '*' {
+				break
+			}
+			p.i++
+		}
+	}
+}
+
+func (p *grepParser) class() bool {
+	p.i++ // consume '['
+	n := 0
+	for {
+		c, ok := p.peek()
+		if !ok {
+			return false
+		}
+		if c == ']' {
+			p.i++
+			return n >= 1
+		}
+		if !isGrepClassChar(c) {
+			return false
+		}
+		p.i++
+		n++
+	}
+}
+
+func isGrepPlain(c byte) bool {
+	if c < 32 || c > 126 {
+		return false
+	}
+	switch c {
+	case '.', '[', ']', '*', '\\', '^', '$':
+		return false
+	}
+	return true
+}
+
+func isGrepClassChar(c byte) bool {
+	return c >= 32 && c <= 126 && c != ']'
+}

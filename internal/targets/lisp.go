@@ -1,0 +1,202 @@
+package targets
+
+import (
+	"glade/internal/bytesets"
+	"glade/internal/cfg"
+	"glade/internal/oracle"
+)
+
+// Lisp models the simple Lisp parser of the paper's evaluation (based on
+// Norvig's lispy), including quoted strings, quote sugar, and comments:
+//
+//	sexp   := "(" ws sym more ")"
+//	more   := ws | ws item more
+//	item   := sym | string | "'" item | sexp
+//	sym    := [a-z0-9+*/<>=?!-]+
+//	string := '"' [a-z0-9 ()]* '"'
+//	ws     := (" " | "\n" | ";" [a-z0-9 ]* "\n")*
+//
+// Adjacent symbols without separating whitespace read as one symbol, so the
+// grammar's optional separators do not change the language.
+func Lisp() *Target {
+	g := cfg.New()
+	s := g.AddNT("Program")
+	sexp := g.AddNT("Sexp")
+	more := g.AddNT("More")
+	item := g.AddNT("Item")
+	sym := g.AddNT("Sym")
+	str := g.AddNT("String")
+	schars := g.AddNT("StringChars")
+	ws := g.AddNT("WS")
+	spc := g.AddNT("Space")
+	cchars := g.AddNT("CommentChars")
+
+	symCh := lispSymSet()
+	strCh := bytesets.Printable().Diff(bytesets.OfString(`"\`))
+	comCh := bytesets.Printable()
+
+	g.Add(s, cfg.N(sexp))
+	g.Add(sexp, cfg.TByte('('), cfg.N(ws), cfg.N(sym), cfg.N(more), cfg.TByte(')'))
+	g.Add(more, cfg.N(ws))
+	g.Add(more, cfg.N(ws), cfg.N(item), cfg.N(more))
+	g.Add(item, cfg.N(sym))
+	g.Add(item, cfg.N(str))
+	g.Add(item, cfg.TByte('\''), cfg.N(item))
+	g.Add(item, cfg.N(sexp))
+	g.Add(sym, cfg.T(symCh))
+	g.Add(sym, cfg.T(symCh), cfg.N(sym))
+	g.Add(str, cfg.TByte('"'), cfg.N(schars), cfg.TByte('"'))
+	g.Add(schars)
+	g.Add(schars, cfg.T(strCh), cfg.N(schars))
+	g.Add(ws)
+	g.Add(ws, cfg.N(spc), cfg.N(ws))
+	g.Add(spc, cfg.TByte(' '))
+	g.Add(spc, cfg.TByte('\n'))
+	g.Add(spc, cfg.TByte(';'), cfg.N(cchars), cfg.TByte('\n'))
+	g.Add(cchars)
+	g.Add(cchars, cfg.T(comCh), cfg.N(cchars))
+
+	return &Target{
+		Name:    "lisp",
+		Grammar: g,
+		Oracle:  oracle.Func(lispValid),
+		SeedGen: lispSeed,
+		DocSeeds: []string{
+			"(define x 10)",
+			"(+ 1 (* 2 3))",
+			"(print \"hello (world)\" 'sym)",
+			"(begin ; a comment\n (f x))",
+		},
+	}
+}
+
+func lispSymSet() bytesets.Set {
+	return bytesets.Range('a', 'z').
+		Union(bytesets.Range('0', '9')).
+		Union(bytesets.OfString("+*/<>=?!-"))
+}
+
+func lispValid(s string) bool {
+	p := &lispParser{s: s}
+	if !p.sexp() {
+		return false
+	}
+	return p.i == len(s)
+}
+
+type lispParser struct {
+	s string
+	i int
+}
+
+func (p *lispParser) eat(c byte) bool {
+	if p.i < len(p.s) && p.s[p.i] == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// skipWS consumes spaces, newlines, and ;-to-newline comments. It returns
+// false on a malformed comment (missing closing newline or bad byte).
+func (p *lispParser) skipWS() bool {
+	for p.i < len(p.s) {
+		switch p.s[p.i] {
+		case ' ', '\n':
+			p.i++
+		case ';':
+			p.i++
+			for p.i < len(p.s) && isLispCommentChar(p.s[p.i]) {
+				p.i++
+			}
+			if p.i >= len(p.s) || p.s[p.i] != '\n' {
+				return false
+			}
+			p.i++
+		default:
+			return true
+		}
+	}
+	return true
+}
+
+func (p *lispParser) sexp() bool {
+	if !p.eat('(') {
+		return false
+	}
+	if !p.skipWS() {
+		return false
+	}
+	if !p.sym() {
+		return false
+	}
+	for {
+		if !p.skipWS() {
+			return false
+		}
+		if p.eat(')') {
+			return true
+		}
+		if p.i >= len(p.s) {
+			return false
+		}
+		if !p.item() {
+			return false
+		}
+	}
+}
+
+func (p *lispParser) item() bool {
+	if p.i >= len(p.s) {
+		return false
+	}
+	switch c := p.s[p.i]; {
+	case c == '(':
+		return p.sexp()
+	case c == '"':
+		return p.str()
+	case c == '\'':
+		p.i++
+		return p.item()
+	case isLispSymChar(c):
+		return p.sym()
+	default:
+		return false
+	}
+}
+
+func (p *lispParser) sym() bool {
+	n := 0
+	for p.i < len(p.s) && isLispSymChar(p.s[p.i]) {
+		p.i++
+		n++
+	}
+	return n >= 1
+}
+
+func (p *lispParser) str() bool {
+	p.i++ // opening quote
+	for p.i < len(p.s) && isLispStrChar(p.s[p.i]) {
+		p.i++
+	}
+	return p.eat('"')
+}
+
+func isLispSymChar(c byte) bool {
+	if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' {
+		return true
+	}
+	switch c {
+	case '+', '*', '/', '<', '>', '=', '?', '!', '-':
+		return true
+	}
+	return false
+}
+
+func isLispStrChar(c byte) bool {
+	return c >= 32 && c <= 126 && c != '"' && c != '\\'
+}
+
+func isLispCommentChar(c byte) bool {
+	return c >= 32 && c <= 126
+}

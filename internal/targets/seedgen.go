@@ -1,0 +1,177 @@
+package targets
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// words is the shared vocabulary the realistic seed generators draw
+// identifiers from.
+var words = []string{
+	"a", "api", "app", "bar", "baz", "blog", "cdn", "com", "data", "dev",
+	"doc", "example", "file", "foo", "home", "img", "index", "item", "lib",
+	"list", "main", "net", "news", "org", "page", "print", "qux", "shop",
+	"site", "src", "test", "user", "web", "x", "y", "zip",
+}
+
+func word(rng *rand.Rand) string { return words[rng.Intn(len(words))] }
+
+func digits(rng *rand.Rand, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(byte('0' + rng.Intn(10)))
+	}
+	return b.String()
+}
+
+// urlSeed generates a realistic URL: scheme, optional www, dotted host,
+// known TLD, optional port, path, and query.
+func urlSeed(rng *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString([]string{"http", "https", "ftp"}[rng.Intn(3)])
+	b.WriteString("://")
+	if rng.Intn(3) == 0 {
+		b.WriteString("www.")
+	}
+	for i := rng.Intn(2); i >= 0; i-- {
+		b.WriteString(word(rng))
+		b.WriteByte('.')
+	}
+	b.WriteString([]string{"com", "org", "net", "io", "dev", "co"}[rng.Intn(6)])
+	if rng.Intn(4) == 0 {
+		b.WriteByte(':')
+		b.WriteString(digits(rng, 1+rng.Intn(4)))
+	}
+	for i := rng.Intn(3); i > 0; i-- {
+		b.WriteByte('/')
+		b.WriteString(word(rng))
+	}
+	if rng.Intn(3) == 0 {
+		b.WriteByte('/')
+	}
+	if rng.Intn(3) == 0 {
+		b.WriteByte('?')
+		b.WriteString(word(rng))
+		b.WriteByte('=')
+		b.WriteString(digits(rng, 1))
+		if rng.Intn(2) == 0 {
+			b.WriteByte('&')
+			b.WriteString(word(rng))
+			b.WriteByte('=')
+			b.WriteString(word(rng))
+		}
+	}
+	return b.String()
+}
+
+// grepSeed generates a realistic basic regular expression.
+func grepSeed(rng *rand.Rand) string {
+	var b strings.Builder
+	n := 1 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			b.WriteString(word(rng))
+		case 1:
+			b.WriteString("[a-z]")
+		case 2:
+			b.WriteString("[0-9]*")
+		case 3:
+			b.WriteString(".")
+		case 4:
+			b.WriteString(`\(`)
+			b.WriteString(word(rng))
+			if rng.Intn(2) == 0 {
+				b.WriteString(`\|`)
+				b.WriteString(word(rng))
+			}
+			b.WriteString(`\)`)
+			if rng.Intn(2) == 0 {
+				b.WriteByte('*')
+			}
+		default:
+			b.WriteString(word(rng))
+			b.WriteByte('*')
+		}
+	}
+	return b.String()
+}
+
+// lispSeed generates a realistic s-expression.
+func lispSeed(rng *rand.Rand) string {
+	ops := []string{"define", "lambda", "if", "car", "cons", "+", "*", "list", "print"}
+	var expr func(depth int) string
+	expr = func(depth int) string {
+		var parts []string
+		if rng.Intn(4) == 0 {
+			parts = append(parts, word(rng))
+		} else {
+			parts = append(parts, ops[rng.Intn(len(ops))])
+		}
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			switch {
+			case depth > 0 && rng.Intn(3) == 0:
+				parts = append(parts, expr(depth-1))
+			case rng.Intn(5) == 0:
+				parts = append(parts, `"`+word(rng)+`"`)
+			case rng.Intn(5) == 0:
+				parts = append(parts, "'"+word(rng))
+			case rng.Intn(3) == 0:
+				parts = append(parts, digits(rng, 1+rng.Intn(2)))
+			default:
+				parts = append(parts, word(rng))
+			}
+		}
+		return "(" + strings.Join(parts, " ") + ")"
+	}
+	s := expr(2)
+	if rng.Intn(6) == 0 {
+		s = strings.Replace(s, " ", " ; note\n ", 1)
+	}
+	return s
+}
+
+// xmlSeed generates a realistic XML document for the fixed-tag target.
+func xmlSeed(rng *rand.Rand) string {
+	var elem func(depth int) string
+	elem = func(depth int) string {
+		var b strings.Builder
+		b.WriteString("<a")
+		for i := rng.Intn(3); i > 0; i-- {
+			b.WriteByte(' ')
+			b.WriteString(word(rng))
+			b.WriteString(`="`)
+			if rng.Intn(2) == 0 {
+				b.WriteString(word(rng))
+			}
+			b.WriteByte('"')
+		}
+		if depth == 0 || rng.Intn(4) == 0 {
+			b.WriteString("/>")
+			return b.String()
+		}
+		b.WriteByte('>')
+		for i := 1 + rng.Intn(3); i > 0; i-- {
+			switch rng.Intn(6) {
+			case 0:
+				b.WriteString(elem(depth - 1))
+			case 1:
+				b.WriteString("<!-- " + word(rng) + " -->")
+			case 2:
+				b.WriteString("<![CDATA[" + word(rng) + "]]>")
+			case 3:
+				b.WriteString("<?" + word(rng) + " " + word(rng) + "?>")
+			default:
+				b.WriteString(word(rng))
+				if rng.Intn(3) == 0 {
+					b.WriteByte(' ')
+					b.WriteString(digits(rng, 1))
+				}
+			}
+		}
+		b.WriteString("</a>")
+		return b.String()
+	}
+	return elem(2)
+}

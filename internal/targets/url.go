@@ -1,0 +1,141 @@
+package targets
+
+import (
+	"strings"
+
+	"glade/internal/bytesets"
+	"glade/internal/cfg"
+	"glade/internal/oracle"
+)
+
+// urlHostCh and urlPathCh are the character classes of the Stack Overflow
+// URL regex the paper evaluates against [55], restricted to lowercase ASCII:
+//
+//	https?://(www\.)?[-a-z0-9@:%._+~#=]{1,256}\.[a-z]{2,6}([-a-z0-9@:%_+.~#?&/=]*)
+func urlHostCh() bytesets.Set {
+	return bytesets.Range('a', 'z').Union(bytesets.Range('0', '9')).
+		Union(bytesets.OfString("-@:%._+~#="))
+}
+
+func urlPathCh() bytesets.Set {
+	return bytesets.Range('a', 'z').Union(bytesets.Range('0', '9')).
+		Union(bytesets.OfString("-@:%_+.~#?&/="))
+}
+
+// URL models the paper's URL target. As in the regex, membership asks for
+// the existence of a split: a scheme, an optional "www.", a non-empty
+// liberal host part, a dot, a 2-6 letter TLD, and a liberal tail.
+func URL() *Target {
+	g := cfg.New()
+	s := g.AddNT("URL")
+	scheme := g.AddNT("Scheme")
+	optWWW := g.AddNT("OptWWW")
+	host := g.AddNT("Host")
+	tld := g.AddNT("TLD")
+	tail := g.AddNT("Tail")
+
+	g.Add(s, cfg.Cat(cfg.One(cfg.N(scheme)), cfg.Str("://"), cfg.One(cfg.N(optWWW)),
+		cfg.One(cfg.N(host)), cfg.Str("."), cfg.One(cfg.N(tld)), cfg.One(cfg.N(tail)))...)
+	g.AddString(scheme, "http")
+	g.AddString(scheme, "https")
+	g.AddString(scheme, "ftp")
+	g.Add(optWWW)
+	g.AddString(optWWW, "www.")
+	g.Add(host, cfg.T(urlHostCh()))
+	g.Add(host, cfg.T(urlHostCh()), cfg.N(host))
+	for n := 2; n <= 6; n++ {
+		syms := make([]cfg.Sym, n)
+		for i := range syms {
+			syms[i] = cfg.T(bytesets.Range('a', 'z'))
+		}
+		g.Add(tld, syms...)
+	}
+	g.Add(tail)
+	g.Add(tail, cfg.T(urlPathCh()), cfg.N(tail))
+
+	return &Target{
+		Name:    "url",
+		Grammar: g,
+		Oracle:  oracle.Func(urlValid),
+		SeedGen: urlSeed,
+		DocSeeds: []string{
+			"http://example.com",
+			"https://www.example.org/a/b?x=1&y=2",
+			"ftp://files.example-site.net/pub/file.txt",
+		},
+	}
+}
+
+// urlValid recognizes exactly the grammar's language: some dot splits the
+// string into scheme://(www.)? host ".", a 2-6 letter TLD, and a tail of
+// path characters.
+func urlValid(s string) bool {
+	rest, ok := cutScheme(s)
+	if !ok {
+		return false
+	}
+	if after, found := strings.CutPrefix(rest, "www."); found && urlMatchBody(after) {
+		return true
+	}
+	return urlMatchBody(rest)
+}
+
+// urlMatchBody checks host "." tld tail for some dot position.
+func urlMatchBody(s string) bool {
+	// Host chars are a subset of path chars except '?', '&', '/' — so scan
+	// dots left to right; host validity is prefix-monotone.
+	for dot := 1; dot < len(s); dot++ {
+		if s[dot] != '.' {
+			continue
+		}
+		if !allIn(s[:dot], isURLHostChar) {
+			break // host prefix invalid; longer prefixes stay invalid
+		}
+		// TLD: 2-6 lowercase letters.
+		for tldLen := 2; tldLen <= 6 && dot+1+tldLen <= len(s); tldLen++ {
+			tld := s[dot+1 : dot+1+tldLen]
+			if !allIn(tld, isTLDChar) {
+				break
+			}
+			if allIn(s[dot+1+tldLen:], isURLPathChar) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func allIn(s string, pred func(byte) bool) bool {
+	for i := 0; i < len(s); i++ {
+		if !pred(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func cutScheme(s string) (string, bool) {
+	for _, sch := range []string{"https://", "http://", "ftp://"} {
+		if strings.HasPrefix(s, sch) {
+			return s[len(sch):], true
+		}
+	}
+	return "", false
+}
+
+func isTLDChar(c byte) bool { return c >= 'a' && c <= 'z' }
+
+func isURLHostChar(c byte) bool {
+	if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' {
+		return true
+	}
+	switch c {
+	case '-', '@', ':', '%', '.', '_', '+', '~', '#', '=':
+		return true
+	}
+	return false
+}
+
+func isURLPathChar(c byte) bool {
+	return isURLHostChar(c) || c == '?' || c == '&' || c == '/'
+}

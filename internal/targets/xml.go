@@ -1,0 +1,216 @@
+package targets
+
+import (
+	"strings"
+
+	"glade/internal/bytesets"
+	"glade/internal/cfg"
+	"glade/internal/oracle"
+)
+
+// XML models the XML target of §8.2: all major XML constructs — attributes,
+// comments, CDATA sections, processing instructions, nested elements — with
+// a fixed tag name so the language stays context-free (as the paper does):
+//
+//	doc     := elem
+//	elem    := "<a" attrs sp ">" content "</a>" | "<a" attrs sp "/>"
+//	attrs   := (sp1 name "=" '"' val '"')*
+//	content := (textch | elem | comment | cdata | pi)*
+//	comment := "<!--" cch* "-->"       cdata := "<![CDATA[" cch* "]]>"
+//	pi      := "<?" name " " cch* "?>"
+//	name    := [a-z]+   val := [a-z0-9 ]*   textch := [a-z0-9 \n]   cch := [a-z0-9 ]
+func XML() *Target {
+	g := cfg.New()
+	doc := g.AddNT("Doc")
+	elem := g.AddNT("Elem")
+	attrs := g.AddNT("Attrs")
+	attr := g.AddNT("Attr")
+	name := g.AddNT("Name")
+	val := g.AddNT("Val")
+	sp := g.AddNT("SP")
+	sp1 := g.AddNT("SP1")
+	content := g.AddNT("Content")
+	comment := g.AddNT("Comment")
+	cdata := g.AddNT("CData")
+	pi := g.AddNT("PI")
+	cch := g.AddNT("PlainChars")
+
+	nameCh := bytesets.Range('a', 'z')
+	valCh := bytesets.Printable().Diff(bytesets.OfString(`"<&`))
+	textCh := bytesets.Printable().Diff(bytesets.OfString(`<>&`)).Union(bytesets.Of('\n'))
+	plainCh := bytesets.Printable().Diff(bytesets.OfString(`-]?`))
+
+	g.Add(doc, cfg.N(elem))
+	g.Add(elem, cfg.Cat(cfg.Str("<a"), cfg.One(cfg.N(attrs)), cfg.One(cfg.N(sp)), cfg.Str(">"),
+		cfg.One(cfg.N(content)), cfg.Str("</a>"))...)
+	g.Add(elem, cfg.Cat(cfg.Str("<a"), cfg.One(cfg.N(attrs)), cfg.One(cfg.N(sp)), cfg.Str("/>"))...)
+	g.Add(attrs)
+	g.Add(attrs, cfg.N(sp1), cfg.N(attr), cfg.N(attrs))
+	g.Add(attr, cfg.Cat(cfg.One(cfg.N(name)), cfg.Str(`="`), cfg.One(cfg.N(val)), cfg.Str(`"`))...)
+	g.Add(name, cfg.T(nameCh))
+	g.Add(name, cfg.T(nameCh), cfg.N(name))
+	g.Add(val)
+	g.Add(val, cfg.T(valCh), cfg.N(val))
+	g.Add(sp)
+	g.Add(sp, cfg.TByte(' '), cfg.N(sp))
+	g.Add(sp1, cfg.TByte(' '), cfg.N(sp))
+	g.Add(content)
+	g.Add(content, cfg.T(textCh), cfg.N(content))
+	g.Add(content, cfg.N(elem), cfg.N(content))
+	g.Add(content, cfg.N(comment), cfg.N(content))
+	g.Add(content, cfg.N(cdata), cfg.N(content))
+	g.Add(content, cfg.N(pi), cfg.N(content))
+	g.Add(comment, cfg.Cat(cfg.Str("<!--"), cfg.One(cfg.N(cch)), cfg.Str("-->"))...)
+	g.Add(cdata, cfg.Cat(cfg.Str("<![CDATA["), cfg.One(cfg.N(cch)), cfg.Str("]]>"))...)
+	g.Add(pi, cfg.Cat(cfg.Str("<?"), cfg.One(cfg.N(name)), cfg.Str(" "), cfg.One(cfg.N(cch)), cfg.Str("?>"))...)
+	g.Add(cch)
+	g.Add(cch, cfg.T(plainCh), cfg.N(cch))
+
+	return &Target{
+		Name:    "xml",
+		Grammar: g,
+		Oracle:  oracle.Func(xmlValid),
+		SeedGen: xmlSeed,
+		DocSeeds: []string{
+			"<a>hi</a>",
+			`<a id="x1" class="note">text <a/> more</a>`,
+			"<a><!-- remark --><![CDATA[raw data]]><?proc do it?></a>",
+		},
+	}
+}
+
+func xmlValid(s string) bool {
+	p := &xmlTargetParser{s: s}
+	if !p.elem() {
+		return false
+	}
+	return p.i == len(s)
+}
+
+type xmlTargetParser struct {
+	s string
+	i int
+}
+
+func (p *xmlTargetParser) has(prefix string) bool {
+	return strings.HasPrefix(p.s[p.i:], prefix)
+}
+
+func (p *xmlTargetParser) lit(prefix string) bool {
+	if p.has(prefix) {
+		p.i += len(prefix)
+		return true
+	}
+	return false
+}
+
+func (p *xmlTargetParser) elem() bool {
+	if !p.lit("<a") {
+		return false
+	}
+	// Attributes: runs of " name="val"" separated by at least one space.
+	for {
+		spaces := 0
+		for p.i < len(p.s) && p.s[p.i] == ' ' {
+			p.i++
+			spaces++
+		}
+		if p.lit("/>") {
+			return true
+		}
+		if p.lit(">") {
+			return p.content()
+		}
+		if spaces == 0 {
+			return false
+		}
+		if !p.attr() {
+			return false
+		}
+	}
+}
+
+func (p *xmlTargetParser) attr() bool {
+	n := 0
+	for p.i < len(p.s) && p.s[p.i] >= 'a' && p.s[p.i] <= 'z' {
+		p.i++
+		n++
+	}
+	if n == 0 || !p.lit(`="`) {
+		return false
+	}
+	for p.i < len(p.s) && isXMLValChar(p.s[p.i]) {
+		p.i++
+	}
+	return p.lit(`"`)
+}
+
+func (p *xmlTargetParser) content() bool {
+	for {
+		if p.i >= len(p.s) {
+			return false // missing close tag
+		}
+		c := p.s[p.i]
+		switch {
+		case p.has("</a>"):
+			p.i += 4
+			return true
+		case p.has("<!--"):
+			p.i += 4
+			if !p.scanPlainUntil("-->") {
+				return false
+			}
+		case p.has("<![CDATA["):
+			p.i += 9
+			if !p.scanPlainUntil("]]>") {
+				return false
+			}
+		case p.has("<?"):
+			p.i += 2
+			n := 0
+			for p.i < len(p.s) && p.s[p.i] >= 'a' && p.s[p.i] <= 'z' {
+				p.i++
+				n++
+			}
+			if n == 0 || !p.lit(" ") {
+				return false
+			}
+			if !p.scanPlainUntil("?>") {
+				return false
+			}
+		case c == '<':
+			if !p.elem() {
+				return false
+			}
+		case isXMLTextChar(c):
+			p.i++
+		default:
+			return false
+		}
+	}
+}
+
+// scanPlainUntil consumes plain chars then the terminator.
+func (p *xmlTargetParser) scanPlainUntil(term string) bool {
+	for {
+		if p.lit(term) {
+			return true
+		}
+		if p.i >= len(p.s) || !isXMLPlainChar(p.s[p.i]) {
+			return false
+		}
+		p.i++
+	}
+}
+
+func isXMLValChar(c byte) bool {
+	return c >= 32 && c <= 126 && c != '"' && c != '<' && c != '&'
+}
+
+func isXMLTextChar(c byte) bool {
+	return c == '\n' || c >= 32 && c <= 126 && c != '<' && c != '>' && c != '&'
+}
+
+func isXMLPlainChar(c byte) bool {
+	return c >= 32 && c <= 126 && c != '-' && c != ']' && c != '?'
+}
