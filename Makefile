@@ -1,0 +1,29 @@
+# Mirrors .github/workflows/ci.yml so contributors can run CI locally:
+#   make        -> build
+#   make ci     -> everything the workflow runs
+.PHONY: all build test lint bench ci
+
+all: build
+
+# Compile every package and command.
+build:
+	go build ./...
+
+# Run the full test suite with the race detector, as CI does.
+test:
+	go test -race ./...
+
+# Formatting and static checks (gofmt + go vet; no external linters).
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+	go vet ./...
+
+# One pass over every benchmark — the paper's figures at reduced scale plus
+# the parallel-engine speedup — as a smoke test. Full runs: cmd/glade-bench.
+bench:
+	go test -run=NONE -bench=. -benchtime=1x ./...
+
+ci: lint build test bench

@@ -4,11 +4,21 @@
 //
 // Usage:
 //
-//	glade-bench [-fig 4a|4b|4c|5|6|7a|7b|7c|8|ablations|all] [flags]
+//	glade-bench [-fig 4a|4b|4c|5|6|7a|7b|7c|8|ablations|speedup|all] [flags]
 //
 // The default flags match the paper's scale (50 seeds, 1000 evaluation
 // samples, 50,000 fuzzing samples, 300 s learner timeout); use -quick for a
 // reduced run that finishes in well under a minute.
+//
+// -fig speedup measures the concurrent batched oracle-query engine: it
+// learns the sed and xml programs at Workers=1 and Workers=N over an
+// oracle carrying a per-query delay (-qdelay) that simulates the
+// subprocess-execution cost of the paper's real setting, reports wall-clock
+// speedup and oracle throughput, and verifies the synthesized grammars are
+// byte-identical. -workers also parallelizes the oracle queries of every
+// other figure's learning runs; their grammars and scores are identical
+// either way, but the reported query counts grow with speculation, so the
+// default stays sequential.
 package main
 
 import (
@@ -28,11 +38,17 @@ func main() {
 	timeout := flag.Duration("timeout", 300*time.Second, "per-learner timeout")
 	quick := flag.Bool("quick", false, "reduced-scale run (seeds=10 eval=200 samples=4000)")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "concurrent oracle queries (0 or 1 = sequential; also the upper point of -fig speedup). Sequential by default so the query-count columns match the paper's cost model — speculative prefetching issues extra queries")
+	flag.DurationVar(&qdelay, "qdelay", 200*time.Microsecond, "simulated per-query program-execution cost in -fig speedup")
 	flag.Parse()
 
-	c := bench.Config{Seeds: *seeds, EvalSamples: *eval, FuzzSamples: *fuzzN, Timeout: *timeout, RandSeed: *seed}
+	c := bench.Config{Seeds: *seeds, EvalSamples: *eval, FuzzSamples: *fuzzN, Timeout: *timeout, RandSeed: *seed, Workers: *workers}
 	if *quick {
 		c.Seeds, c.EvalSamples, c.FuzzSamples = 10, 200, 4000
+	}
+	speedupWorkers = *workers
+	if speedupWorkers < 2 {
+		speedupWorkers = 8
 	}
 
 	run := func(name string, f func(bench.Config)) {
@@ -50,6 +66,25 @@ func main() {
 	run("7c", fig7c)
 	run("8", fig8)
 	run("ablations", ablations)
+	run("speedup", speedup)
+}
+
+// qdelay and speedupWorkers configure the speedup figure (set from flags).
+var (
+	qdelay         time.Duration
+	speedupWorkers int
+)
+
+func speedup(c bench.Config) {
+	fmt.Printf("== Speedup: concurrent oracle-query engine (qdelay=%v) ==\n", qdelay)
+	fmt.Printf("%-8s %7s %8s %8s %9s %9s %12s %9s\n",
+		"program", "workers", "time(s)", "speedup", "queries", "q/s", "mean-lat", "identical")
+	for _, r := range bench.Speedup(c, nil, []int{1, speedupWorkers}, qdelay) {
+		fmt.Printf("%-8s %7d %8.2f %7.2fx %9d %9.0f %12v %9v\n",
+			r.Program, r.Workers, r.Seconds, r.Speedup, r.Queries, r.QPS,
+			r.MeanLatency.Round(time.Microsecond), r.Identical)
+	}
+	fmt.Println()
 }
 
 var fig4Cache []bench.LearnerRow

@@ -28,6 +28,7 @@ func main() {
 	timeout := flag.Duration("timeout", 120*time.Second, "grammar-synthesis timeout")
 	grammarFile := flag.String("grammar", "", "load a pre-synthesized grammar (cfg.Marshal format, see `glade -o`) instead of learning")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "concurrent oracle queries during grammar synthesis (0 or 1 = sequential)")
 	flag.Parse()
 
 	p := programs.ByName(*name)
@@ -56,7 +57,7 @@ func main() {
 				os.Exit(1)
 			}
 		} else {
-			res, err := bench.LearnProgram(p, *timeout)
+			res, err := bench.LearnProgram(p, *timeout, *workers)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "glade-fuzz:", err)
 				os.Exit(1)

@@ -51,9 +51,10 @@ func main() {
 	noPhase2 := flag.Bool("no-phase2", false, "disable recursive merging (phase 2)")
 	noCharGen := flag.Bool("no-chargen", false, "disable character generalization")
 	trace := flag.Bool("trace", false, "print every generalization step")
+	workers := flag.Int("workers", 0, "concurrent oracle queries (0 or 1 = sequential; the grammar is identical either way)")
 	flag.Parse()
 
-	o, defaults, err := pickOracle(*targetName, *programName, *cmd)
+	o, defaults, err := pickOracle(*targetName, *programName, *cmd, *workers)
 	if err != nil {
 		fatal(err)
 	}
@@ -75,6 +76,7 @@ func main() {
 	opts.Timeout = *timeout
 	opts.Phase2 = !*noPhase2
 	opts.CharGen = !*noCharGen
+	opts.Workers = *workers
 	if *cmd != "" {
 		// External processes are expensive; restrict character
 		// generalization to bytes seen in the seeds plus common structure.
@@ -112,7 +114,7 @@ func main() {
 	}
 }
 
-func pickOracle(target, program, cmd string) (oracle.Oracle, []string, error) {
+func pickOracle(target, program, cmd string, workers int) (oracle.Oracle, []string, error) {
 	n := 0
 	for _, s := range []string{target, program, cmd} {
 		if s != "" {
@@ -136,8 +138,10 @@ func pickOracle(target, program, cmd string) (oracle.Oracle, []string, error) {
 		}
 		return oracle.Func(func(s string) bool { return p.Run(s).OK }), p.Seeds(), nil
 	default:
+		// The learner wraps its oracle in a cache itself; Exec's own bulk
+		// path fans subprocess runs out when -workers asks for concurrency.
 		argv := strings.Fields(cmd)
-		return oracle.NewCached(&oracle.Exec{Argv: argv}), nil, nil
+		return &oracle.Exec{Argv: argv, Workers: workers}, nil, nil
 	}
 }
 

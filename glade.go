@@ -23,6 +23,16 @@
 //	fmt.Println(res.Grammar)
 //	fz := glade.NewGrammarFuzzer(res.Grammar, seeds)
 //	input := fz.Next(rng)
+//
+// Oracle queries dominate learning cost — every candidate generalization is
+// one blackbox program run. Setting Options.Workers > 1 issues independent
+// checks as concurrent batched waves (the oracle must then be safe for
+// concurrent use); the synthesized grammar is byte-identical at any worker
+// count:
+//
+//	opts := glade.DefaultOptions()
+//	opts.Workers = 8
+//	res, err := glade.Learn(seeds, o, opts)
 package glade
 
 import (
@@ -40,10 +50,22 @@ type Oracle = oracle.Oracle
 // OracleFunc adapts a plain predicate to an Oracle.
 func OracleFunc(f func(string) bool) Oracle { return oracle.Func(f) }
 
+// BatchOracle is an Oracle with a concurrent bulk path; the learner uses it
+// to issue independent checks as one wave when Options.Workers > 1.
+type BatchOracle = oracle.BatchOracle
+
 // ExecOracle runs a command per query, feeding the input on stdin; the
 // input is valid when the command exits zero. This treats a real program
 // binary exactly as the paper does.
 func ExecOracle(argv ...string) Oracle { return &oracle.Exec{Argv: argv} }
+
+// ParallelOracle fans batched queries of a concurrency-safe oracle across
+// at most workers goroutines. Learn builds this stack itself when
+// Options.Workers > 1; the adapter is exported for callers that batch
+// queries outside of learning (evaluation, fuzz triage).
+func ParallelOracle(inner Oracle, workers int) BatchOracle {
+	return oracle.Parallel(inner, workers)
+}
 
 // Grammar is a context-free grammar with byte-class terminals. Its String
 // method renders BNF-like productions.

@@ -1,0 +1,3 @@
+module glade
+
+go 1.24

@@ -27,6 +27,11 @@ type Config struct {
 	FuzzSamples int
 	// RandSeed makes runs reproducible.
 	RandSeed int64
+	// Workers bounds concurrent oracle queries during learning (see
+	// core.Options.Workers). Zero or one learns sequentially, exactly as
+	// the paper's algorithm; the synthesized grammars are identical either
+	// way.
+	Workers int
 }
 
 // withDefaults fills in the paper's parameters.
@@ -88,6 +93,7 @@ func runLearner(c Config, tgt *targets.Target, learner string, seeds []string, r
 		opts := core.DefaultOptions()
 		opts.Phase2 = learner == "glade"
 		opts.Timeout = c.Timeout
+		opts.Workers = c.Workers
 		res, err := core.Learn(seeds, tgt.Oracle, opts)
 		if err != nil {
 			return row
@@ -191,6 +197,7 @@ func Fig4c(c Config, counts []int) []SeedSweepRow {
 		}
 		opts := core.DefaultOptions()
 		opts.Timeout = c.Timeout
+		opts.Workers = c.Workers
 		start := time.Now()
 		res, err := core.Learn(all[:n], tgt.Oracle, opts)
 		if err != nil {
@@ -212,6 +219,7 @@ func Fig5(c Config) map[string]string {
 	for _, tgt := range targets.All() {
 		opts := core.DefaultOptions()
 		opts.Timeout = c.Timeout
+		opts.Workers = c.Workers
 		res, err := core.Learn(tgt.DocSeeds, tgt.Oracle, opts)
 		if err != nil {
 			out[tgt.Name] = "error: " + err.Error()

@@ -34,13 +34,15 @@ type ProgramRow struct {
 var learnedGrammars = map[string]*core.Result{}
 
 // LearnProgram synthesizes (and caches) a grammar for the named program
-// from its bundled seeds.
-func LearnProgram(p programs.Program, timeout time.Duration) (*core.Result, error) {
+// from its bundled seeds. workers bounds concurrent oracle queries (see
+// core.Options.Workers); the synthesized grammar is identical at any value.
+func LearnProgram(p programs.Program, timeout time.Duration, workers int) (*core.Result, error) {
 	if res, ok := learnedGrammars[p.Name()]; ok {
 		return res, nil
 	}
 	opts := core.DefaultOptions()
 	opts.Timeout = timeout
+	opts.Workers = workers
 	o := oracle.Func(func(s string) bool { return p.Run(s).OK })
 	res, err := core.Learn(p.Seeds(), o, opts)
 	if err != nil {
@@ -59,7 +61,7 @@ func Fig6(c Config) ([]ProgramRow, error) {
 	c = c.withDefaults()
 	var rows []ProgramRow
 	for _, p := range programs.All() {
-		res, err := LearnProgram(p, c.Timeout)
+		res, err := LearnProgram(p, c.Timeout, c.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -102,7 +104,7 @@ func Fig7a(c Config, names []string) ([]CoverageRow, error) {
 	var rows []CoverageRow
 	for _, name := range names {
 		p := programs.ByName(name)
-		res, err := LearnProgram(p, c.Timeout)
+		res, err := LearnProgram(p, c.Timeout, c.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -224,7 +226,7 @@ func Fig7c(c Config, checkpointEvery int) ([]CurveRow, error) {
 		}
 	}
 	p := programs.ByName("python")
-	res, err := LearnProgram(p, c.Timeout)
+	res, err := LearnProgram(p, c.Timeout, c.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +254,7 @@ func Fig7c(c Config, checkpointEvery int) ([]CurveRow, error) {
 func Fig8(c Config) (string, error) {
 	c = c.withDefaults()
 	p := programs.ByName("xml")
-	res, err := LearnProgram(p, c.Timeout)
+	res, err := LearnProgram(p, c.Timeout, c.Workers)
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"time"
+
+	"glade/internal/cfg"
+	"glade/internal/core"
+	"glade/internal/metrics"
+	"glade/internal/oracle"
+	"glade/internal/programs"
+)
+
+// SpeedupRow is one (program, workers) measurement of the parallel
+// oracle-query engine.
+type SpeedupRow struct {
+	Program string
+	Workers int
+	// Seconds is the wall-clock learning time.
+	Seconds float64
+	// Speedup is the Workers=1 wall clock divided by this row's; 1.0 on
+	// the baseline row.
+	Speedup float64
+	// Queries is the number of underlying oracle queries issued (the
+	// speculative waves issue more than the sequential scan needs).
+	Queries int
+	// QPS is the oracle throughput observed below the worker pool.
+	QPS float64
+	// MeanLatency is the mean per-query latency of the underlying oracle.
+	MeanLatency time.Duration
+	// Identical reports whether the synthesized grammar is byte-identical
+	// to the baseline row's grammar — the engine's determinism guarantee.
+	// Only meaningful when neither run timed out: a timeout truncates the
+	// candidate scan at a wall-clock-dependent point at any worker count.
+	Identical bool
+	// TimedOut reports whether this row's learning run hit the timeout.
+	TimedOut bool
+}
+
+// Speedup measures wall-clock learning time at increasing worker counts on
+// the named §8.3 programs, learned from their bundled seeds. Each oracle
+// query sleeps for delay on top of running the simulated program,
+// reproducing the cost profile of the paper's real setting — one program
+// execution per membership query — where subprocess spawn time dominates.
+// With delay zero the in-process parsers answer in microseconds and the
+// engine's speedup reflects only multicore parsing.
+//
+// The grammars synthesized at every worker count are compared byte for
+// byte; Identical reports the engine's determinism guarantee holding.
+func Speedup(c Config, names []string, workerCounts []int, delay time.Duration) []SpeedupRow {
+	c = c.withDefaults()
+	if len(names) == 0 {
+		names = []string{"sed", "xml"}
+	}
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 8}
+	}
+	var rows []SpeedupRow
+	for _, name := range names {
+		p := programs.ByName(name)
+		if p == nil {
+			continue
+		}
+		o := oracle.Func(func(s string) bool {
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			return p.Run(s).OK
+		})
+		var baseSeconds float64
+		var baseGrammar string
+		for _, workers := range workerCounts {
+			timer := metrics.NewQueryTimer(o)
+			opts := core.DefaultOptions()
+			opts.Timeout = c.Timeout
+			opts.Workers = workers
+			start := time.Now()
+			res, err := core.Learn(p.Seeds(), timer, opts)
+			if err != nil {
+				continue
+			}
+			secs := time.Since(start).Seconds()
+			qs := timer.Snapshot()
+			g := cfg.Marshal(res.Grammar)
+			row := SpeedupRow{
+				Program:     name,
+				Workers:     workers,
+				Seconds:     secs,
+				Queries:     qs.Queries,
+				QPS:         qs.Throughput(),
+				MeanLatency: qs.MeanLatency(),
+				TimedOut:    res.Stats.TimedOut,
+			}
+			if baseGrammar == "" {
+				baseSeconds, baseGrammar = secs, g
+				row.Speedup = 1
+				row.Identical = true
+			} else {
+				row.Speedup = baseSeconds / secs
+				row.Identical = g == baseGrammar
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}

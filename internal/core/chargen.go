@@ -6,6 +6,11 @@ package core
 // σi by (σi + σ), validated by the single check γ·σ1…σi−1·σ·σi+1…σk·δ.
 // Each (position, byte) pair is considered exactly once.
 //
+// Every (position, byte) check result is consumed — there is no accept
+// point that cuts the scan short — so this phase parallelizes perfectly:
+// with Workers > 1, checks are prefetched in full-width waves through the
+// batched oracle with zero wasted speculation.
+//
 // Literals whose context was recorded during phase one are rewritten in
 // place: positions that generalized to more than one byte become character
 // classes.
@@ -26,25 +31,50 @@ func (l *learner) charGen(root *node) {
 		}
 		s := n.str
 		γ, δ := n.ctx.Left, n.ctx.Right
-		sets := make([][]byte, len(s))
-		anyWidened := false
+
+		// Flatten the (position, byte) candidates of this literal; the scan
+		// visits them in the seed's order (positions left to right, alphabet
+		// order within a position).
+		type cgCand struct {
+			pos int
+			σ   byte
+		}
+		cands := make([]cgCand, 0, len(s)*len(alphabet))
 		for i := 0; i < len(s); i++ {
-			set := []byte{s[i]}
 			for _, σ := range alphabet {
 				if σ == s[i] {
 					continue
 				}
+				cands = append(cands, cgCand{i, σ})
+			}
+		}
+
+		sets := make([][]byte, len(s))
+		for i := range sets {
+			sets[i] = []byte{s[i]}
+		}
+		anyWidened := false
+		w := l.newWaves(false)
+	scan:
+		for lo := 0; lo < len(cands); {
+			hi := min(lo+w.nextSize(), len(cands))
+			if w.speculate {
+				checks := make([]string, 0, hi-lo)
+				for _, c := range cands[lo:hi] {
+					checks = append(checks, γ+s[:c.pos]+string(c.σ)+s[c.pos+1:]+δ)
+				}
+				l.check.prefetch(checks)
+			}
+			for _, c := range cands[lo:hi] {
 				l.stats.CharGenChecks++
-				if l.passes(γ + s[:i] + string(σ) + s[i+1:] + δ) {
-					set = append(set, σ)
+				if l.passes(γ + s[:c.pos] + string(c.σ) + s[c.pos+1:] + δ) {
+					sets[c.pos] = append(sets[c.pos], c.σ)
+					anyWidened = true
 				}
 			}
-			sets[i] = set
-			if len(set) > 1 {
-				anyWidened = true
-			}
+			lo = hi
 			if l.expired() {
-				break
+				break scan
 			}
 		}
 		if !anyWidened {

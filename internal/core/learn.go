@@ -29,6 +29,18 @@ type Options struct {
 	// (longest α1 first, shortest α2 first) — an ablation knob showing the
 	// ordering drives generality; never useful in production.
 	ReverseOrdering bool
+	// Workers bounds the number of concurrent oracle queries. Values
+	// below 2 learn strictly sequentially, exactly as the paper's
+	// algorithm. When above 1, independent candidate checks within a
+	// generalization step are speculatively issued as batched waves
+	// through the oracle's bulk path (oracle.BatchOracle) ahead of the
+	// sequential §4.2 candidate scan; the scan itself — and therefore the
+	// chosen generalizations, the RandSeed-driven sampling, and the
+	// synthesized grammar — is byte-identical regardless of Workers,
+	// provided Timeout does not fire (a timed-out run truncates the scan
+	// at a wall-clock-dependent point at any worker count). The oracle
+	// must be safe for concurrent use when Workers > 1.
+	Workers int
 	// MergeSampleChecks is the number of extra sampled residuals per
 	// direction used to validate a phase-two merge, beyond the paper's
 	// doubled-seed residual. Sampling draws from the already-generalized
@@ -93,6 +105,16 @@ type checker struct {
 
 func (c checker) accepts(s string) bool { return c.cached.Accepts(s) }
 
+// prefetch issues a wave of independent checks through the cache's batched
+// bulk path, so the sequential decision scan that follows answers from
+// memory. Speculative: checks past the scan's accept point cost extra
+// underlying queries but never change any decision.
+func (c checker) prefetch(checks []string) {
+	if len(checks) > 1 {
+		c.cached.AcceptsBatch(checks)
+	}
+}
+
 // Learn synthesizes a context-free grammar approximating the language of
 // the oracle from the given seed inputs (Algorithm 1 plus the extensions of
 // §6). Every seed must be accepted by the oracle; a rejected seed is an
@@ -101,18 +123,31 @@ func Learn(seeds []string, o oracle.Oracle, opts Options) (*Result, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("core: no seed inputs")
 	}
-	counting := oracle.NewCounting(o)
-	cached := oracle.NewCached(counting)
-	for i, s := range seeds {
-		if !cached.Accepts(s) {
-			return nil, fmt.Errorf("core: seed %d (%q) is rejected by the oracle", i, s)
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	// The oracle stack: Cached (sharded memo + in-flight dedup) on top of a
+	// worker pool fanning batch waves out over the user's oracle. At
+	// Workers <= 1 the pool is omitted and every query is issued
+	// sequentially, exactly as the paper's algorithm. Underlying-query
+	// accounting comes from the cache's miss counter, so no counting
+	// wrapper is needed.
+	inner := o
+	if workers > 1 {
+		inner = oracle.Parallel(o, workers)
+	}
+	cached := oracle.NewCached(inner)
+	for i, ok := range oracle.AcceptsAll(cached, seeds) {
+		if !ok {
+			return nil, fmt.Errorf("core: seed %d (%q) is rejected by the oracle", i, seeds[i])
 		}
 	}
 	seed := opts.RandSeed
 	if seed == 0 {
 		seed = 1
 	}
-	l := &learner{opts: opts, check: checker{cached}, rng: rand.New(rand.NewSource(seed))}
+	l := &learner{opts: opts, check: checker{cached}, workers: workers, rng: rand.New(rand.NewSource(seed))}
 	if opts.Timeout > 0 {
 		l.deadline = time.Now().Add(opts.Timeout)
 	}
@@ -155,6 +190,5 @@ func Learn(seeds []string, o oracle.Oracle, opts Options) (*Result, error) {
 	l.stats.OracleQueries = misses
 	l.stats.CacheHits = hits
 	l.stats.Duration = time.Since(start)
-	_ = counting
 	return &Result{Grammar: g, Regex: rex.Union(kids...), Stats: l.stats}, nil
 }

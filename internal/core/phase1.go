@@ -14,6 +14,10 @@ type learner struct {
 	stats Stats
 	rng   *rand.Rand
 
+	// workers is the resolved Options.Workers (at least 1). Above 1 the
+	// candidate scans prefetch check waves through the oracle's bulk path.
+	workers int
+
 	// roots are the per-seed trees learned so far (including the tree
 	// currently being generalized); their alternation is the current
 	// language L̂i.
@@ -70,6 +74,41 @@ func (l *learner) passes(check string) bool {
 	return false
 }
 
+// waves sizes the chunks of an ordered candidate scan. In speculative mode
+// (Workers > 1) wave sizes ramp up from small — the §4.2 ordering usually
+// accepts an early candidate, so small first waves bound the queries wasted
+// past the accept point — doubling toward a cap that keeps every worker
+// busy through long failure runs. Scans whose every result is consumed
+// (character generalization) disable the ramp and issue full-width waves
+// immediately. In sequential mode waves degenerate to fixed chunks that
+// merely bound the deadline-check interval; no prefetch is issued, so the
+// query sequence is exactly the paper's.
+type waves struct {
+	cur, max  int
+	speculate bool
+}
+
+// seqChunk is the sequential-mode scan chunk between deadline checks.
+const seqChunk = 64
+
+func (l *learner) newWaves(ramp bool) *waves {
+	if l.workers > 1 {
+		if ramp {
+			return &waves{cur: max(2, l.workers/2), max: l.workers * 4, speculate: true}
+		}
+		full := l.workers * 8
+		return &waves{cur: full, max: full, speculate: true}
+	}
+	return &waves{cur: seqChunk, max: seqChunk}
+}
+
+// nextSize returns the next wave's candidate budget, ramping toward max.
+func (w *waves) nextSize() int {
+	s := w.cur
+	w.cur = min(w.cur*2, w.max)
+	return s
+}
+
 // logStep emits one trace line when the caller installed Options.Logf.
 func (l *learner) logStep(kind string, h *node) {
 	if l.opts.Logf == nil {
@@ -103,34 +142,92 @@ func (l *learner) phase1(seed string) *node {
 	return root
 }
 
+// repCand is one decomposition α = α1·α2·α3 of a repetition candidate.
+type repCand struct {
+	α1, α2, α3 string
+}
+
+// repIter lazily enumerates the decompositions α = α1·α2·α3 with α2 ≠ ε in
+// the §4.2 candidate order: shorter α1 first, then longer α2 first
+// (inverted by the ReverseOrdering ablation), skipping the full-span star
+// when the hole forbids it. There are O(|α|²) decompositions, so they are
+// produced on demand — the scan usually accepts an early candidate and a
+// long seed must not materialize the full list.
+type repIter struct {
+	α          string
+	noFullStar bool
+	reverse    bool
+	ii, jj     int
+}
+
+func newRepIter(α string, noFullStar, reverse bool) *repIter {
+	return &repIter{α: α, noFullStar: noFullStar, reverse: reverse, jj: len(α)}
+}
+
+func (it *repIter) next() (repCand, bool) {
+	n := len(it.α)
+	for it.ii < n {
+		i := it.ii // α1 = α[:i], shorter first (§4.2)
+		if it.reverse {
+			i = n - 1 - it.ii
+		}
+		for it.jj > i {
+			j := it.jj // α2 = α[i:j], longer first (§4.2)
+			if it.reverse {
+				j = n + i + 1 - it.jj
+			}
+			it.jj--
+			if it.noFullStar && i == 0 && j == n {
+				continue
+			}
+			return repCand{it.α[:i], it.α[i:j], it.α[j:]}, true
+		}
+		it.ii++
+		it.jj = n
+	}
+	return repCand{}, false
+}
+
 // generalizeRep performs one repetition generalization step on hole
 // h = [α]rep (§4.1): candidates α1([α2]alt)*[α3]rep for every decomposition
-// α = α1·α2·α3 with α2 ≠ ε, ordered by shorter α1 then longer α2 (§4.2),
-// with the plain literal α ranked last. Residuals are α1α3 and α1α2α2α3
-// (§4.3). It mutates h into the chosen structure and returns fresh holes.
+// α = α1·α2·α3 with α2 ≠ ε, ordered per §4.2, with the plain literal α
+// ranked last. Residuals are α1α3 and α1α2α2α3 (§4.3). Candidates are
+// scanned strictly in order — the wave machinery only prefetches the
+// upcoming residual checks through the batched oracle — so the chosen
+// structure is independent of Workers. It mutates h into the chosen
+// structure and returns fresh holes.
 func (l *learner) generalizeRep(h *node) []*node {
 	α := h.str
 	γ, δ := h.ctx.Left, h.ctx.Right
 	if !l.expired() {
-		for ii := 0; ii < len(α); ii++ {
-			i := ii // α1 = α[:i], shorter first (§4.2)
-			if l.opts.ReverseOrdering {
-				i = len(α) - 1 - ii
+		it := newRepIter(α, h.noFullStar, l.opts.ReverseOrdering)
+		w := l.newWaves(true)
+		var buf []repCand // reused wave buffer; memory stays O(wave), not O(|α|²)
+		for {
+			buf = buf[:0]
+			for size := w.nextSize(); len(buf) < size; {
+				c, ok := it.next()
+				if !ok {
+					break
+				}
+				buf = append(buf, c)
 			}
-			for jj := len(α); jj > i; jj-- {
-				j := jj // α2 = α[i:j], longer first (§4.2)
-				if l.opts.ReverseOrdering {
-					j = len(α) + i + 1 - jj
+			if len(buf) == 0 {
+				break
+			}
+			if w.speculate {
+				checks := make([]string, 0, 2*len(buf))
+				for _, c := range buf {
+					checks = append(checks, γ+c.α1+c.α3+δ, γ+c.α1+c.α2+c.α2+c.α3+δ)
 				}
-				if h.noFullStar && i == 0 && j == len(α) {
-					continue
-				}
-				α1, α2, α3 := α[:i], α[i:j], α[j:]
+				l.check.prefetch(checks)
+			}
+			for _, c := range buf {
 				l.stats.Candidates++
-				if !l.passes(γ+α1+α3+δ) || !l.passes(γ+α1+α2+α2+α3+δ) {
+				if !l.passes(γ+c.α1+c.α3+δ) || !l.passes(γ+c.α1+c.α2+c.α2+c.α3+δ) {
 					continue
 				}
-				return l.acceptRep(h, α1, α2, α3)
+				return l.acceptRep(h, c.α1, c.α2, c.α3)
 			}
 			if l.expired() {
 				break
@@ -184,26 +281,44 @@ func (l *learner) acceptRep(h *node, α1, α2, α3 string) []*node {
 // generalizeAlt performs one alternation generalization step on hole
 // h = [α]alt (§4.1): candidates ([α1]rep + [α2]alt) for every decomposition
 // α = α1·α2 with both parts nonempty, ordered by shorter α1 (§4.2).
-// Residuals are α1 and α2. The final candidate demotes the hole to [α]rep
-// (the production Talt ::= Trep of the meta-grammar).
+// Residuals are α1 and α2; as in generalizeRep, waves prefetch upcoming
+// checks without reordering the scan. The final candidate demotes the hole
+// to [α]rep (the production Talt ::= Trep of the meta-grammar).
 func (l *learner) generalizeAlt(h *node) []*node {
 	α := h.str
 	γ, δ := h.ctx.Left, h.ctx.Right
-	if !l.expired() {
-		for i := 1; i < len(α); i++ {
-			α1, α2 := α[:i], α[i:]
-			l.stats.Candidates++
-			if !l.passes(γ+α1+δ) || !l.passes(γ+α2+δ) {
-				continue
+	if !l.expired() && len(α) > 1 {
+		w := l.newWaves(true)
+		for lo, n := 0, len(α)-1; lo < n; {
+			hi := min(lo+w.nextSize(), n)
+			if w.speculate {
+				checks := make([]string, 0, 2*(hi-lo))
+				for k := lo; k < hi; k++ {
+					i := k + 1 // α1 = α[:i], shorter first (§4.2)
+					checks = append(checks, γ+α[:i]+δ, γ+α[i:]+δ)
+				}
+				l.check.prefetch(checks)
 			}
-			left := &node{kind: nHole, hole: hRep, str: α1, ctx: Context{γ, α2 + δ}, noFullStar: true}
-			right := &node{kind: nHole, hole: hAlt, str: α2, ctx: Context{γ + α1, δ}}
-			h.kind = nAlt
-			h.str = ""
-			h.kids = []*node{left, right}
-			l.matcherDirty = true
-			l.logStep("alt", h)
-			return []*node{left, right}
+			for k := lo; k < hi; k++ {
+				i := k + 1
+				α1, α2 := α[:i], α[i:]
+				l.stats.Candidates++
+				if !l.passes(γ+α1+δ) || !l.passes(γ+α2+δ) {
+					continue
+				}
+				left := &node{kind: nHole, hole: hRep, str: α1, ctx: Context{γ, α2 + δ}, noFullStar: true}
+				right := &node{kind: nHole, hole: hAlt, str: α2, ctx: Context{γ + α1, δ}}
+				h.kind = nAlt
+				h.str = ""
+				h.kids = []*node{left, right}
+				l.matcherDirty = true
+				l.logStep("alt", h)
+				return []*node{left, right}
+			}
+			lo = hi
+			if l.expired() {
+				break
+			}
 		}
 	}
 	// Final candidate: [α]alt becomes [α]rep and is reprocessed.

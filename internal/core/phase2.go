@@ -8,30 +8,63 @@ import "glade/internal/rex"
 // other (§5.3). Accepted merges are recorded in a union-find over star
 // nodes; the CFG translation then maps each merge class to one nonterminal,
 // which is exactly the paper's "equate A'i and A'j" construction.
+//
+// The doubled-seed residuals of upcoming pairs are deterministic, so with
+// Workers > 1 they are prefetched in waves through the batched oracle. The
+// RandSeed-driven sampled residuals (MergeSampleChecks) are issued strictly
+// sequentially from the scan, because each draw's very occurrence depends
+// on the preceding checks — prefetching them would desynchronize the rng
+// stream and break grammar determinism.
 func (l *learner) phase2(allStars []*node) *unionFind {
 	uf := newUnionFind(len(allStars))
+	type starPair struct{ i, j int }
+	pairs := make([]starPair, 0, len(allStars)*(len(allStars)-1)/2)
 	for i := 0; i < len(allStars); i++ {
 		for j := i + 1; j < len(allStars); j++ {
+			pairs = append(pairs, starPair{i, j})
+		}
+	}
+	w := l.newWaves(false)
+	for lo := 0; lo < len(pairs); {
+		hi := min(lo+w.nextSize(), len(pairs))
+		if w.speculate {
+			checks := make([]string, 0, 2*(hi-lo))
+			for _, p := range pairs[lo:hi] {
+				if uf.find(p.i) == uf.find(p.j) {
+					// Already equated when the wave was formed; the scan will
+					// almost surely skip it (merges accepted mid-wave may
+					// still equate more — prefetching those few is harmless).
+					continue
+				}
+				a, b := allStars[p.i], allStars[p.j]
+				checks = append(checks,
+					a.ctx.Left+b.bodySeed+b.bodySeed+a.ctx.Right,
+					b.ctx.Left+a.bodySeed+a.bodySeed+b.ctx.Right)
+			}
+			l.check.prefetch(checks)
+		}
+		for _, p := range pairs[lo:hi] {
 			if l.expired() {
 				return uf
 			}
 			l.stats.MergePairs++
-			if uf.find(i) == uf.find(j) {
+			if uf.find(p.i) == uf.find(p.j) {
 				// Already equated transitively; the merge candidate equals
 				// the current language, so it is trivially selected.
 				continue
 			}
-			a, b := allStars[i], allStars[j]
+			a, b := allStars[p.i], allStars[p.j]
 			l.stats.Candidates++
 			// Check L(P R' Q) ⊆ L*: residuals of R' in the context of a,
 			// and symmetrically. The paper's residual is the doubled body
 			// seed (§5.3); MergeSampleChecks adds residuals sampled from
 			// the generalized body, which also exercise character classes.
 			if l.mergeChecksPass(a, b) && l.mergeChecksPass(b, a) {
-				uf.union(i, j)
+				uf.union(p.i, p.j)
 				l.stats.Merged++
 			}
 		}
+		lo = hi
 	}
 	return uf
 }

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"glade/internal/oracle"
+)
+
+// QueryStats is a snapshot of a QueryTimer: how many oracle queries ran,
+// how long each took, and the aggregate throughput over the observed
+// window. It is how the parallel oracle engine's speedup is measured — at
+// Workers=N the per-query latency is unchanged while throughput scales.
+type QueryStats struct {
+	// Queries is the number of membership queries observed.
+	Queries int
+	// Batches is the number of bulk-path calls observed.
+	Batches int
+	// Busy is the cumulative query latency. For bulk calls the batch's
+	// wall time is attributed once, so under concurrency Busy can be far
+	// below Queries × mean single-query latency.
+	Busy time.Duration
+	// MinLatency and MaxLatency bound observed per-query latency; bulk
+	// calls contribute their per-item mean.
+	MinLatency, MaxLatency time.Duration
+	// Wall is the span from the first query's start to the last query's
+	// completion.
+	Wall time.Duration
+}
+
+// MeanLatency is the average per-query latency.
+func (s QueryStats) MeanLatency() time.Duration {
+	if s.Queries == 0 {
+		return 0
+	}
+	return s.Busy / time.Duration(s.Queries)
+}
+
+// Throughput is queries per second over the observed wall window.
+func (s QueryStats) Throughput() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Queries) / s.Wall.Seconds()
+}
+
+// String renders the snapshot for log lines.
+func (s QueryStats) String() string {
+	return fmt.Sprintf("%d queries in %v (mean %v, %.0f q/s)",
+		s.Queries, s.Wall.Round(time.Millisecond), s.MeanLatency().Round(time.Microsecond), s.Throughput())
+}
+
+// QueryTimer wraps an oracle and records per-query latency and throughput.
+// It implements both the single and bulk oracle paths and is safe for
+// concurrent use, so it can sit anywhere in the oracle stack — below the
+// worker pool it times individual program runs, above it it times whole
+// waves.
+type QueryTimer struct {
+	inner oracle.Oracle
+
+	mu       sync.Mutex
+	stats    QueryStats
+	started  bool
+	firstAt  time.Time
+	lastDone time.Time
+}
+
+// NewQueryTimer wraps inner with query timing.
+func NewQueryTimer(inner oracle.Oracle) *QueryTimer { return &QueryTimer{inner: inner} }
+
+// Accepts implements oracle.Oracle.
+func (q *QueryTimer) Accepts(input string) bool {
+	start := time.Now()
+	v := q.inner.Accepts(input)
+	q.record(start, time.Now(), 1, false)
+	return v
+}
+
+// AcceptsBatch implements oracle.BatchOracle, forwarding to the inner
+// oracle's bulk path when it has one.
+func (q *QueryTimer) AcceptsBatch(inputs []string) []bool {
+	start := time.Now()
+	out := oracle.AcceptsAll(q.inner, inputs)
+	q.record(start, time.Now(), len(inputs), true)
+	return out
+}
+
+func (q *QueryTimer) record(start, end time.Time, n int, batch bool) {
+	if n == 0 {
+		return
+	}
+	elapsed := end.Sub(start)
+	per := elapsed / time.Duration(n)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.started || start.Before(q.firstAt) {
+		q.firstAt = start
+		q.started = true
+	}
+	if end.After(q.lastDone) {
+		q.lastDone = end
+	}
+	s := &q.stats
+	s.Queries += n
+	if batch {
+		s.Batches++
+	}
+	s.Busy += elapsed
+	if s.MinLatency == 0 || per < s.MinLatency {
+		s.MinLatency = per
+	}
+	if per > s.MaxLatency {
+		s.MaxLatency = per
+	}
+}
+
+// Snapshot returns the statistics recorded so far.
+func (q *QueryTimer) Snapshot() QueryStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := q.stats
+	if q.started {
+		s.Wall = q.lastDone.Sub(q.firstAt)
+	}
+	return s
+}
+
+// Reset clears the recorded statistics.
+func (q *QueryTimer) Reset() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.stats = QueryStats{}
+	q.started = false
+	q.firstAt, q.lastDone = time.Time{}, time.Time{}
+}

@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"glade/internal/oracle"
+)
+
+func TestQueryTimerCounts(t *testing.T) {
+	q := NewQueryTimer(oracle.Func(func(s string) bool {
+		time.Sleep(time.Millisecond)
+		return s == "yes"
+	}))
+	if !q.Accepts("yes") || q.Accepts("no") {
+		t.Fatal("timer altered oracle answers")
+	}
+	q.AcceptsBatch([]string{"yes", "no", "yes"})
+	s := q.Snapshot()
+	if s.Queries != 5 {
+		t.Fatalf("Queries = %d, want 5", s.Queries)
+	}
+	if s.Batches != 1 {
+		t.Fatalf("Batches = %d, want 1", s.Batches)
+	}
+	if s.MeanLatency() < 500*time.Microsecond {
+		t.Fatalf("MeanLatency = %v, want ≥ 0.5ms", s.MeanLatency())
+	}
+	if s.Wall <= 0 || s.Throughput() <= 0 {
+		t.Fatalf("Wall/Throughput not recorded: %+v", s)
+	}
+	if s.MinLatency <= 0 || s.MaxLatency < s.MinLatency {
+		t.Fatalf("latency bounds wrong: %+v", s)
+	}
+	q.Reset()
+	if s := q.Snapshot(); s.Queries != 0 || s.Wall != 0 {
+		t.Fatalf("Reset left state: %+v", s)
+	}
+}
+
+// TestQueryTimerThroughputScales is the property the parallel engine is
+// built for: fanning a fixed-latency oracle across workers multiplies
+// throughput without touching per-query latency.
+func TestQueryTimerThroughputScales(t *testing.T) {
+	const delay = 2 * time.Millisecond
+	slow := oracle.Func(func(string) bool {
+		time.Sleep(delay)
+		return true
+	})
+	inputs := make([]string, 64)
+	for i := range inputs {
+		inputs[i] = string(rune('a' + i%26))
+	}
+
+	measure := func(workers int) QueryStats {
+		q := NewQueryTimer(slow)
+		oracle.Parallel(q, workers).AcceptsBatch(inputs)
+		return q.Snapshot()
+	}
+	seq := measure(1)
+	par := measure(8)
+	if par.Queries != seq.Queries {
+		t.Fatalf("query counts differ: %d vs %d", par.Queries, seq.Queries)
+	}
+	// 8 workers on a sleep-bound oracle: conservatively demand 2×.
+	if par.Throughput() < 2*seq.Throughput() {
+		t.Fatalf("throughput did not scale: seq %.0f q/s, par %.0f q/s",
+			seq.Throughput(), par.Throughput())
+	}
+}
+
+func TestQueryTimerConcurrent(t *testing.T) {
+	q := NewQueryTimer(oracle.Func(func(string) bool { return true }))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				q.Accepts("x")
+			}
+		}()
+	}
+	wg.Wait()
+	if s := q.Snapshot(); s.Queries != 800 {
+		t.Fatalf("Queries = %d, want 800", s.Queries)
+	}
+}

@@ -1,0 +1,87 @@
+package oracle
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is the worker-pool BatchOracle adapter: AcceptsBatch fans queries
+// out across a bounded number of goroutines, each calling the inner
+// oracle's Accepts. The inner oracle must be safe for concurrent use.
+type Pool struct {
+	inner   Oracle
+	workers int
+	ctx     context.Context
+}
+
+// Parallel adapts inner into a Pool with the given worker bound. Values of
+// workers below 1 are treated as 1 (sequential).
+func Parallel(inner Oracle, workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{inner: inner, workers: workers, ctx: context.Background()}
+}
+
+// WithContext returns a copy of the pool that stops dispatching new queries
+// once ctx is done. Queries never dispatched report false; callers that
+// care should check ctx.Err afterwards. Because those falses are
+// indistinguishable from genuine rejections, a context-bound pool must not
+// sit under a memoizing wrapper such as Cached — the cache would store the
+// cancellation artifacts permanently.
+func (p *Pool) WithContext(ctx context.Context) *Pool {
+	q := *p
+	q.ctx = ctx
+	return &q
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Accepts implements Oracle by delegating a single query to the inner
+// oracle.
+func (p *Pool) Accepts(input string) bool { return p.inner.Accepts(input) }
+
+// AcceptsBatch implements BatchOracle.
+func (p *Pool) AcceptsBatch(inputs []string) []bool {
+	return fanOut(p.inner, p.workers, inputs, p.ctx)
+}
+
+// fanOut answers inputs through o.Accepts using at most workers concurrent
+// goroutines, stopping early (remaining answers false) once ctx is done.
+// A nil ctx never cancels. It is the shared engine behind Pool and the
+// concurrent Exec bulk path.
+func fanOut(o Oracle, workers int, inputs []string, ctx context.Context) []bool {
+	out := make([]bool, len(inputs))
+	n := len(inputs)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i, in := range inputs {
+			if ctx != nil && ctx.Err() != nil {
+				break
+			}
+			out[i] = o.Accepts(in)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || (ctx != nil && ctx.Err() != nil) {
+					return
+				}
+				out[i] = o.Accepts(inputs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

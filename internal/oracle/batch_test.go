@@ -1,0 +1,230 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// hasA is the reference predicate the conformance suite checks against.
+func hasA(s string) bool { return strings.Contains(s, "a") }
+
+// conformanceInputs mixes members, non-members, and duplicates.
+var conformanceInputs = []string{
+	"abc", "xyz", "", "a", "zzz", "abc", "banana", "xyz", "qqq", "a",
+}
+
+// testBatchConformance is the shared conformance suite of the BatchOracle
+// contract: the bulk path must agree with Accepts elementwise, in input
+// order, including duplicates and the empty batch, and must be safe to
+// call concurrently with itself and with Accepts.
+func testBatchConformance(t *testing.T, name string, mk func() BatchOracle) {
+	t.Run(name+"/agrees-with-accepts", func(t *testing.T) {
+		o := mk()
+		got := o.AcceptsBatch(conformanceInputs)
+		if len(got) != len(conformanceInputs) {
+			t.Fatalf("AcceptsBatch returned %d results for %d inputs", len(got), len(conformanceInputs))
+		}
+		for i, in := range conformanceInputs {
+			if got[i] != hasA(in) {
+				t.Errorf("AcceptsBatch[%d] (%q) = %v, want %v", i, in, got[i], hasA(in))
+			}
+		}
+		for i, in := range conformanceInputs {
+			if o.Accepts(in) != got[i] {
+				t.Errorf("Accepts(%q) disagrees with AcceptsBatch[%d]", in, i)
+			}
+		}
+	})
+	t.Run(name+"/empty-batch", func(t *testing.T) {
+		if got := mk().AcceptsBatch(nil); len(got) != 0 {
+			t.Fatalf("AcceptsBatch(nil) = %v, want empty", got)
+		}
+	})
+	t.Run(name+"/concurrent", func(t *testing.T) {
+		o := mk()
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				inputs := make([]string, 20)
+				for i := range inputs {
+					inputs[i] = fmt.Sprintf("in-%d-%d%s", g, i, strings.Repeat("a", i%2))
+				}
+				got := o.AcceptsBatch(inputs)
+				for i, in := range inputs {
+					if got[i] != hasA(in) {
+						t.Errorf("concurrent AcceptsBatch(%q) = %v, want %v", in, got[i], hasA(in))
+					}
+				}
+				if o.Accepts("abc") != true {
+					t.Error("concurrent Accepts wrong")
+				}
+			}(g)
+		}
+		wg.Wait()
+	})
+}
+
+func TestBatchConformance(t *testing.T) {
+	mkInner := func() Oracle { return Func(hasA) }
+	testBatchConformance(t, "Pool", func() BatchOracle {
+		return Parallel(mkInner(), 4)
+	})
+	testBatchConformance(t, "Pool-seq", func() BatchOracle {
+		return Parallel(mkInner(), 1)
+	})
+	testBatchConformance(t, "Cached", func() BatchOracle {
+		return NewCached(mkInner())
+	})
+	testBatchConformance(t, "Cached-of-Pool", func() BatchOracle {
+		return NewCached(Parallel(mkInner(), 4))
+	})
+	testBatchConformance(t, "Counting", func() BatchOracle {
+		return NewCounting(mkInner())
+	})
+	testBatchConformance(t, "Counting-of-Pool", func() BatchOracle {
+		return NewCounting(Parallel(mkInner(), 4))
+	})
+	if !testing.Short() {
+		testBatchConformance(t, "Exec", func() BatchOracle {
+			return &Exec{Argv: []string{"grep", "-q", "a"}, Workers: 4}
+		})
+	}
+}
+
+func TestAcceptsAllFallback(t *testing.T) {
+	// A bare Func has no bulk path; AcceptsAll must fall back sequentially.
+	got := AcceptsAll(Func(hasA), conformanceInputs)
+	for i, in := range conformanceInputs {
+		if got[i] != hasA(in) {
+			t.Fatalf("AcceptsAll[%d] (%q) = %v, want %v", i, in, got[i], hasA(in))
+		}
+	}
+}
+
+// TestCachedInflightDedup exercises the race the single-mutex cache had:
+// two goroutines missing on the same key must issue exactly one underlying
+// query between them.
+func TestCachedInflightDedup(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	inner := Func(func(s string) bool {
+		calls.Add(1)
+		<-release // hold every underlying query open
+		return true
+	})
+	c := NewCached(inner)
+
+	const waiters = 16
+	var wg sync.WaitGroup
+	started := make(chan struct{}, waiters)
+	for g := 0; g < waiters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started <- struct{}{}
+			if !c.Accepts("same-key") {
+				t.Error("dedup returned wrong value")
+			}
+		}()
+	}
+	for g := 0; g < waiters; g++ {
+		<-started
+	}
+	close(release)
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("underlying queries = %d, want 1 (in-flight dedup)", n)
+	}
+	hits, misses := c.Stats()
+	if misses != 1 || hits != waiters-1 {
+		t.Fatalf("Stats = %d hits %d misses, want %d hits 1 miss", hits, misses, waiters-1)
+	}
+}
+
+// TestCachedBatchDedup checks that a batch with duplicates and overlap with
+// already-cached keys issues only the novel unique queries.
+func TestCachedBatchDedup(t *testing.T) {
+	var calls atomic.Int64
+	c := NewCached(Func(func(s string) bool {
+		calls.Add(1)
+		return hasA(s)
+	}))
+	c.Accepts("abc") // pre-cache one key
+	got := c.AcceptsBatch([]string{"abc", "new-a", "xyz", "new-a", "abc"})
+	want := []bool{true, true, false, true, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AcceptsBatch[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if n := calls.Load(); n != 3 { // abc, new-a, xyz — each exactly once
+		t.Fatalf("underlying queries = %d, want 3", n)
+	}
+	hits, misses := c.Stats()
+	if misses != 3 || hits != 3 {
+		t.Fatalf("Stats = %d hits %d misses, want 3 hits 3 misses", hits, misses)
+	}
+}
+
+// TestCachedStatsConcurrent checks hits+misses == total queries under a
+// concurrent mixed load — the accuracy guarantee Stats now makes.
+func TestCachedStatsConcurrent(t *testing.T) {
+	c := NewCached(Func(hasA))
+	const goroutines, per = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Accepts(fmt.Sprintf("key-%d", i%37))
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses := c.Stats()
+	if hits+misses != goroutines*per {
+		t.Fatalf("hits(%d)+misses(%d) = %d, want %d", hits, misses, hits+misses, goroutines*per)
+	}
+	if misses != 37 {
+		t.Fatalf("misses = %d, want 37 unique keys", misses)
+	}
+}
+
+func TestPoolContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	p := Parallel(Func(func(s string) bool {
+		if calls.Add(1) >= 4 {
+			cancel()
+		}
+		return true
+	}), 2).WithContext(ctx)
+	inputs := make([]string, 1000)
+	for i := range inputs {
+		inputs[i] = fmt.Sprintf("%d", i)
+	}
+	out := p.AcceptsBatch(inputs)
+	if len(out) != len(inputs) {
+		t.Fatalf("result length %d, want %d", len(out), len(inputs))
+	}
+	if n := calls.Load(); n >= 1000 {
+		t.Fatalf("cancellation did not stop dispatch: %d calls", n)
+	}
+}
+
+func TestCountingBatch(t *testing.T) {
+	c := NewCounting(Func(hasA))
+	c.AcceptsBatch([]string{"a", "b", "c"})
+	c.Accepts("d")
+	if c.Queries() != 4 {
+		t.Fatalf("Queries = %d, want 4", c.Queries())
+	}
+}

@@ -1,9 +1,17 @@
 // Package oracle defines the membership-oracle abstraction of §2: blackbox
 // access to a program answering "is this input valid?". It also provides the
-// wrappers the learner and the evaluation need — caching, query counting —
-// and an oracle that executes an external command, which is how the CLI
-// treats a real program binary exactly as the paper does (run the program,
-// valid iff it does not report an error).
+// wrappers the learner and the evaluation need — caching, query counting,
+// batching, worker-pool parallelism — and an oracle that executes an
+// external command, which is how the CLI treats a real program binary
+// exactly as the paper does (run the program, valid iff it does not report
+// an error).
+//
+// Oracle queries dominate GLADE's cost (§4.3): every candidate
+// generalization, merge check, and character-generalization probe is one
+// blackbox program run. The learner therefore issues independent checks as
+// waves through the BatchOracle bulk path; composing
+// Cached → Parallel → Counting → <program> turns each wave into bounded
+// concurrent program runs with per-key deduplication.
 package oracle
 
 import (
@@ -18,54 +26,210 @@ type Oracle interface {
 	Accepts(input string) bool
 }
 
+// BatchOracle is an Oracle with a bulk path: implementations may answer a
+// slice of membership queries concurrently. The returned slice is parallel
+// to inputs. Implementations must be safe for concurrent use.
+type BatchOracle interface {
+	Oracle
+	// AcceptsBatch answers every query, in input order.
+	AcceptsBatch(inputs []string) []bool
+}
+
+// AcceptsAll answers every query, using the bulk path when o provides one
+// and falling back to sequential Accepts calls otherwise. It is how callers
+// issue a wave of independent checks without caring what o is.
+func AcceptsAll(o Oracle, inputs []string) []bool {
+	if b, ok := o.(BatchOracle); ok {
+		return b.AcceptsBatch(inputs)
+	}
+	out := make([]bool, len(inputs))
+	for i, in := range inputs {
+		out[i] = o.Accepts(in)
+	}
+	return out
+}
+
 // Func adapts a plain function to an Oracle.
 type Func func(string) bool
 
 // Accepts implements Oracle.
 func (f Func) Accepts(input string) bool { return f(input) }
 
+// cacheShards is the number of lock stripes in Cached. Striping keeps
+// concurrent batch waves from serializing on one mutex; 64 stripes is
+// comfortably above any worker count this repository uses.
+const cacheShards = 64
+
+// inflightCall tracks one underlying query in progress, so that concurrent
+// misses on the same key wait for the first caller instead of duplicating
+// the (expensive) program run. val is written before done is closed.
+type inflightCall struct {
+	done chan struct{}
+	val  bool
+}
+
+// cacheShard is one lock stripe of Cached.
+type cacheShard struct {
+	mu       sync.Mutex
+	memo     map[string]bool
+	inflight map[string]*inflightCall
+	hits     int
+	miss     int
+}
+
 // Cached memoizes oracle answers. The learner issues many repeated queries
 // (identical checks recur across candidates), so callers typically wrap
-// their oracle in Cached before learning. Cached is safe for concurrent use.
+// their oracle in Cached before learning. Cached is safe for concurrent
+// use: the memo is sharded across lock stripes, and concurrent misses on
+// the same key are deduplicated — exactly one underlying query is issued
+// and every waiter receives its answer.
 type Cached struct {
-	inner Oracle
-	mu    sync.Mutex
-	memo  map[string]bool
-	hits  int
-	miss  int
+	inner  Oracle
+	shards [cacheShards]cacheShard
 }
 
 // NewCached wraps inner with memoization.
 func NewCached(inner Oracle) *Cached {
-	return &Cached{inner: inner, memo: map[string]bool{}}
+	c := &Cached{inner: inner}
+	for i := range c.shards {
+		c.shards[i].memo = map[string]bool{}
+		c.shards[i].inflight = map[string]*inflightCall{}
+	}
+	return c
 }
 
-// Accepts implements Oracle.
+// shard picks the lock stripe for a key (FNV-1a).
+func (c *Cached) shard(key string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h%cacheShards]
+}
+
+// Accepts implements Oracle. A miss issues exactly one underlying query per
+// key even under concurrency: later callers missing on the same key block
+// on the first caller's in-flight computation.
 func (c *Cached) Accepts(input string) bool {
-	c.mu.Lock()
-	if v, ok := c.memo[input]; ok {
-		c.hits++
-		c.mu.Unlock()
+	sh := c.shard(input)
+	sh.mu.Lock()
+	if v, ok := sh.memo[input]; ok {
+		sh.hits++
+		sh.mu.Unlock()
 		return v
 	}
-	c.miss++
-	c.mu.Unlock()
+	if call, ok := sh.inflight[input]; ok {
+		// Another goroutine is computing this key; its answer serves us too.
+		sh.hits++
+		sh.mu.Unlock()
+		<-call.done
+		return call.val
+	}
+	call := &inflightCall{done: make(chan struct{})}
+	sh.inflight[input] = call
+	sh.miss++
+	sh.mu.Unlock()
+
 	v := c.inner.Accepts(input)
-	c.mu.Lock()
-	c.memo[input] = v
-	c.mu.Unlock()
+
+	sh.mu.Lock()
+	sh.memo[input] = v
+	delete(sh.inflight, input)
+	sh.mu.Unlock()
+	call.val = v
+	close(call.done)
 	return v
 }
 
-// Stats returns (cache hits, underlying queries issued).
+// AcceptsBatch implements BatchOracle: cached keys answer immediately,
+// duplicates collapse, and the remaining unique misses are issued through
+// the inner oracle's bulk path (concurrently, when inner is a BatchOracle).
+func (c *Cached) AcceptsBatch(inputs []string) []bool {
+	out := make([]bool, len(inputs))
+	// indices groups result positions by key, collapsing duplicates.
+	indices := make(map[string][]int, len(inputs))
+	order := make([]string, 0, len(inputs))
+	for i, in := range inputs {
+		if _, seen := indices[in]; !seen {
+			order = append(order, in)
+		}
+		indices[in] = append(indices[in], i)
+	}
+
+	resolved := make(map[string]bool, len(order))
+	var owned []string                        // keys this call computes
+	waiting := make(map[string]*inflightCall) // keys another goroutine is computing
+	for _, key := range order {
+		sh := c.shard(key)
+		sh.mu.Lock()
+		if v, ok := sh.memo[key]; ok {
+			sh.hits += len(indices[key])
+			resolved[key] = v
+			sh.mu.Unlock()
+			continue
+		}
+		if call, ok := sh.inflight[key]; ok {
+			sh.hits += len(indices[key])
+			waiting[key] = call
+			sh.mu.Unlock()
+			continue
+		}
+		sh.inflight[key] = &inflightCall{done: make(chan struct{})}
+		sh.miss++
+		if extra := len(indices[key]) - 1; extra > 0 {
+			sh.hits += extra
+		}
+		owned = append(owned, key)
+		sh.mu.Unlock()
+	}
+
+	if len(owned) > 0 {
+		vals := AcceptsAll(c.inner, owned)
+		for i, key := range owned {
+			v := vals[i]
+			sh := c.shard(key)
+			sh.mu.Lock()
+			call := sh.inflight[key]
+			sh.memo[key] = v
+			delete(sh.inflight, key)
+			sh.mu.Unlock()
+			call.val = v
+			close(call.done)
+			resolved[key] = v
+		}
+	}
+	for key, call := range waiting {
+		<-call.done
+		resolved[key] = call.val
+	}
+
+	for key, idxs := range indices {
+		v := resolved[key]
+		for _, i := range idxs {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// Stats returns (cache hits, underlying queries issued). Deduplicated
+// concurrent misses count as hits: exactly one of them reached the inner
+// oracle.
 func (c *Cached) Stats() (hits, misses int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.miss
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		hits += sh.hits
+		misses += sh.miss
+		sh.mu.Unlock()
+	}
+	return hits, misses
 }
 
 // Counting counts queries to the underlying oracle; the evaluation reports
-// query budgets with it. Counting is safe for concurrent use.
+// query budgets with it. Counting is safe for concurrent use and forwards
+// the bulk path of its inner oracle.
 type Counting struct {
 	inner Oracle
 	mu    sync.Mutex
@@ -83,6 +247,15 @@ func (c *Counting) Accepts(input string) bool {
 	return c.inner.Accepts(input)
 }
 
+// AcceptsBatch implements BatchOracle, forwarding to the inner oracle's
+// bulk path when it has one.
+func (c *Counting) AcceptsBatch(inputs []string) []bool {
+	c.mu.Lock()
+	c.n += len(inputs)
+	c.mu.Unlock()
+	return AcceptsAll(c.inner, inputs)
+}
+
 // Queries returns the number of queries issued so far.
 func (c *Counting) Queries() int {
 	c.mu.Lock()
@@ -94,13 +267,17 @@ func (c *Counting) Queries() int {
 // input on stdin. The input is considered valid when the command exits with
 // status zero and, if ErrSubstring is non-empty, stderr does not contain it.
 // This mirrors the paper's setup of observing whether the program prints an
-// error message.
+// error message. Exec is safe for concurrent use; its bulk path fans
+// subprocess runs out across Workers concurrent processes.
 type Exec struct {
 	// Command and arguments, e.g. {"python3", "-"}.
 	Argv []string
 	// ErrSubstring, when non-empty, marks inputs invalid if stderr contains
 	// it even when the exit status is zero.
 	ErrSubstring string
+	// Workers bounds the concurrent subprocesses AcceptsBatch may spawn.
+	// Values below 1 mean sequential execution.
+	Workers int
 }
 
 // Accepts implements Oracle by running the command.
@@ -119,4 +296,10 @@ func (e *Exec) Accepts(input string) bool {
 		return false
 	}
 	return true
+}
+
+// AcceptsBatch implements BatchOracle, running up to Workers subprocesses
+// concurrently.
+func (e *Exec) AcceptsBatch(inputs []string) []bool {
+	return fanOut(e, e.Workers, inputs, nil)
 }

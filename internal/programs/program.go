@@ -11,7 +11,10 @@
 // boundary and the coverage signal matter — both are preserved.
 package programs
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // Result is the outcome of one program execution.
 type Result struct {
@@ -53,8 +56,11 @@ func ByName(name string) Program {
 }
 
 // registry interns coverage-point labels to dense ids, shared by all runs
-// of one program instance.
+// of one program instance. Runs may execute concurrently (the parallel
+// oracle fans program executions across workers), so the intern table is
+// mutex-protected.
 type registry struct {
+	mu     sync.Mutex
 	ids    map[string]int
 	labels []string
 }
@@ -62,6 +68,8 @@ type registry struct {
 func newRegistry() *registry { return &registry{ids: map[string]int{}} }
 
 func (r *registry) id(label string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if id, ok := r.ids[label]; ok {
 		return id
 	}
@@ -69,6 +77,12 @@ func (r *registry) id(label string) int {
 	r.ids[label] = id
 	r.labels = append(r.labels, label)
 	return id
+}
+
+func (r *registry) numPoints() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.labels)
 }
 
 // tracer records coverage for a single run.
@@ -124,7 +138,7 @@ type base struct {
 
 func (b *base) Name() string    { return b.name }
 func (b *base) Seeds() []string { return append([]string(nil), b.seeds...) }
-func (b *base) NumPoints() int  { return len(b.reg.labels) }
+func (b *base) NumPoints() int  { return b.reg.numPoints() }
 
 func (b *base) Run(input string) Result {
 	t := newTracer(b.reg)
