@@ -22,8 +22,11 @@ lint:
 	go vet ./...
 
 # One pass over every benchmark — the paper's figures at reduced scale plus
-# the parallel-engine speedup — as a smoke test. Full runs: cmd/glade-bench.
+# the parallel-engine speedup — as a smoke test, then a machine-readable
+# speedup emission so the repo accumulates BENCH_*.json trajectory
+# artifacts. Full runs: cmd/glade-bench.
 bench:
 	go test -run=NONE -bench=. -benchtime=1x ./...
+	go run ./cmd/glade-bench -quick -fig speedup -qdelay 50us -json BENCH_speedup.json
 
 ci: lint build test bench

@@ -39,8 +39,12 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced-scale run (seeds=10 eval=200 samples=4000)")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "concurrent oracle queries (0 or 1 = sequential; also the upper point of -fig speedup). Sequential by default so the query-count columns match the paper's cost model — speculative prefetching issues extra queries")
+	jsonOut := flag.String("json", "", "also write machine-readable results (program, queries, wall-clock, workers) to this file")
 	flag.DurationVar(&qdelay, "qdelay", 200*time.Microsecond, "simulated per-query program-execution cost in -fig speedup")
 	flag.Parse()
+	if *jsonOut != "" {
+		report = &jsonReport{Results: []jsonRow{}}
+	}
 
 	c := bench.Config{Seeds: *seeds, EvalSamples: *eval, FuzzSamples: *fuzzN, Timeout: *timeout, RandSeed: *seed, Workers: *workers}
 	if *quick {
@@ -67,6 +71,9 @@ func main() {
 	run("8", fig8)
 	run("ablations", ablations)
 	run("speedup", speedup)
+	if *jsonOut != "" {
+		writeReport(*jsonOut, c)
+	}
 }
 
 // qdelay and speedupWorkers configure the speedup figure (set from flags).
@@ -79,11 +86,13 @@ func speedup(c bench.Config) {
 	fmt.Printf("== Speedup: concurrent oracle-query engine (qdelay=%v) ==\n", qdelay)
 	fmt.Printf("%-8s %7s %8s %8s %9s %9s %12s %9s\n",
 		"program", "workers", "time(s)", "speedup", "queries", "q/s", "mean-lat", "identical")
-	for _, r := range bench.Speedup(c, nil, []int{1, speedupWorkers}, qdelay) {
+	rows := bench.Speedup(c, nil, []int{1, speedupWorkers}, qdelay)
+	for _, r := range rows {
 		fmt.Printf("%-8s %7d %8.2f %7.2fx %9d %9.0f %12v %9v\n",
 			r.Program, r.Workers, r.Seconds, r.Speedup, r.Queries, r.QPS,
 			r.MeanLatency.Round(time.Microsecond), r.Identical)
 	}
+	recordSpeedup(rows)
 	fmt.Println()
 }
 
@@ -92,6 +101,7 @@ var fig4Cache []bench.LearnerRow
 func fig4Rows(c bench.Config) []bench.LearnerRow {
 	if fig4Cache == nil {
 		fig4Cache = bench.Fig4(c)
+		recordFig4(fig4Cache)
 	}
 	return fig4Cache
 }
@@ -135,6 +145,7 @@ func fig6(c bench.Config) {
 	fmt.Println("== Figure 6: programs, seeds, and synthesis time ==")
 	rows, err := bench.Fig6(c)
 	fail(err)
+	recordFig6(rows)
 	fmt.Printf("%-11s %8s %10s %9s %9s %8s\n", "program", "points", "seed-lines", "time(s)", "queries", "gsize")
 	for _, r := range rows {
 		fmt.Printf("%-11s %8d %10d %9.2f %9d %8d\n", r.Program, r.Points, r.SeedLines, r.Seconds, r.Queries, r.GrammarSize)
@@ -185,7 +196,9 @@ func fig8(c bench.Config) {
 func ablations(c bench.Config) {
 	fmt.Println("== Ablations: design-choice variants ==")
 	fmt.Printf("%-6s %-17s %6s %6s %6s %9s %8s\n", "target", "variant", "P", "R", "F1", "queries", "time(s)")
-	for _, r := range bench.Ablations(c) {
+	ablationRows := bench.Ablations(c)
+	recordAblations(ablationRows)
+	for _, r := range ablationRows {
 		fmt.Printf("%-6s %-17s %6.3f %6.3f %6.3f %9d %8.2f\n",
 			r.Target, r.Variant, r.Precision, r.Recall, r.F1, r.Queries, r.Seconds)
 	}

@@ -1,0 +1,93 @@
+// Command glade-serve runs the grammar-learning-as-a-service daemon: a
+// JSON/HTTP API multiplexing many learn jobs and many fuzz-input consumers
+// over the concurrent oracle engine, with learned grammars persisted to a
+// disk-backed store that survives restarts.
+//
+//	glade-serve -addr :8080 -data ./glade-data -jobs 2 -workers 4
+//
+// A session:
+//
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	    -d '{"oracle":{"program":"sed"}}'            # → {"id":"...","state":"queued",...}
+//	curl -s localhost:8080/v1/jobs/<id>?watch=1      # NDJSON progress stream
+//	curl -s localhost:8080/v1/grammars/<id>          # the learned grammar
+//	curl -s -X POST 'localhost:8080/v1/grammars/<id>/generate?n=10&valid=1'
+//
+// See internal/service for the full API surface.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"glade/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "glade-data", "grammar store directory (created if absent, reloaded on restart)")
+	jobs := flag.Int("jobs", 2, "concurrently running learn jobs")
+	queue := flag.Int("queue", 256, "queued-job limit; submissions beyond it get 503")
+	workers := flag.Int("workers", 1, "default per-job concurrent oracle queries (job specs may override)")
+	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-job learning time bound")
+	oracleTimeout := flag.Duration("oracle-timeout", 10*time.Second, "default per-query timeout for exec oracles; a hanging target is killed and treated as rejecting")
+	quiet := flag.Bool("quiet", false, "suppress per-job log lines")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "glade-serve: ", log.LstdFlags)
+	cfg := service.Config{
+		DataDir:              *data,
+		MaxJobs:              *jobs,
+		QueueDepth:           *queue,
+		DefaultWorkers:       *workers,
+		MaxJobDuration:       *jobTimeout,
+		DefaultOracleTimeout: *oracleTimeout,
+	}
+	if !*quiet {
+		cfg.Logf = logger.Printf
+	}
+	srv, err := service.New(cfg)
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (data %s, jobs %d, workers %d)", *addr, *data, *jobs, *workers)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		logger.Printf("received %v, shutting down", s)
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			logger.Fatal(err)
+		}
+	}
+
+	// Stop accepting HTTP first (long watch streams get 10 s to drain),
+	// then wait for running learn jobs so no learned grammar is lost.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "glade-serve: shutdown: %v\n", err)
+	}
+	srv.Close()
+	logger.Printf("bye")
+}

@@ -48,13 +48,14 @@ func main() {
 	samples := flag.Int("samples", 0, "print this many samples from the synthesized grammar")
 	out := flag.String("o", "", "also write the grammar in cfg.Marshal format to this file")
 	timeout := flag.Duration("timeout", 60*time.Second, "learning timeout")
+	oracleTimeout := flag.Duration("oracle-timeout", 0, "per-query timeout for -cmd oracles; a hanging run is killed and treated as rejecting (0 = unbounded)")
 	noPhase2 := flag.Bool("no-phase2", false, "disable recursive merging (phase 2)")
 	noCharGen := flag.Bool("no-chargen", false, "disable character generalization")
 	trace := flag.Bool("trace", false, "print every generalization step")
 	workers := flag.Int("workers", 0, "concurrent oracle queries (0 or 1 = sequential; the grammar is identical either way)")
 	flag.Parse()
 
-	o, defaults, err := pickOracle(*targetName, *programName, *cmd, *workers)
+	o, defaults, err := pickOracle(*targetName, *programName, *cmd, *workers, *oracleTimeout)
 	if err != nil {
 		fatal(err)
 	}
@@ -114,7 +115,7 @@ func main() {
 	}
 }
 
-func pickOracle(target, program, cmd string, workers int) (oracle.Oracle, []string, error) {
+func pickOracle(target, program, cmd string, workers int, oracleTimeout time.Duration) (oracle.Oracle, []string, error) {
 	n := 0
 	for _, s := range []string{target, program, cmd} {
 		if s != "" {
@@ -141,7 +142,7 @@ func pickOracle(target, program, cmd string, workers int) (oracle.Oracle, []stri
 		// The learner wraps its oracle in a cache itself; Exec's own bulk
 		// path fans subprocess runs out when -workers asks for concurrency.
 		argv := strings.Fields(cmd)
-		return &oracle.Exec{Argv: argv, Workers: workers}, nil, nil
+		return &oracle.Exec{Argv: argv, Workers: workers, Timeout: oracleTimeout}, nil, nil
 	}
 }
 

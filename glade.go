@@ -56,8 +56,9 @@ type BatchOracle = oracle.BatchOracle
 
 // ExecOracle runs a command per query, feeding the input on stdin; the
 // input is valid when the command exits zero. This treats a real program
-// binary exactly as the paper does.
-func ExecOracle(argv ...string) Oracle { return &oracle.Exec{Argv: argv} }
+// binary exactly as the paper does. Set the returned Exec's Timeout to
+// bound each run (a hanging target is killed and treated as rejecting).
+func ExecOracle(argv ...string) *oracle.Exec { return &oracle.Exec{Argv: argv} }
 
 // ParallelOracle fans batched queries of a concurrency-safe oracle across
 // at most workers goroutines. Learn builds this stack itself when
@@ -80,6 +81,11 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 
 // Stats reports learner effort (queries, candidates, merges, time).
 type Stats = core.Stats
+
+// Progress is one phase-level progress event of a learning run; install a
+// callback via Options.Progress to observe a run as it advances (the
+// glade-serve daemon relays this stream to HTTP clients).
+type Progress = core.Progress
 
 // Result is the outcome of Learn: the synthesized grammar, the intermediate
 // regular expression, and statistics.

@@ -20,11 +20,17 @@ import (
 // Symbols are nonterminal names, Go-quoted byte-string literals ("ab\n"),
 // or character classes in set notation ({a-z0-9_}). Nonterminal names must
 // match [A-Za-z_][A-Za-z0-9_']*.
+//
+// Nonterminal blocks are emitted in first-mention order (breadth-first
+// from the start symbol, unreachable nonterminals after). Unmarshal interns
+// nonterminals by first mention, so this order is its fixed point: Marshal
+// after Unmarshal reproduces the text byte for byte — the property the
+// glade-serve grammar store relies on to re-serve stored bytes verbatim.
 func Marshal(g *Grammar) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "start %s\n", g.Names[g.Start])
-	for nt, prods := range g.Prods {
-		for _, p := range prods {
+	for _, nt := range mentionOrder(g) {
+		for _, p := range g.Prods[nt] {
 			fmt.Fprintf(&b, "%s ->", g.Names[nt])
 			i := 0
 			for i < len(p) {
@@ -52,6 +58,41 @@ func Marshal(g *Grammar) string {
 		}
 	}
 	return b.String()
+}
+
+// mentionOrder returns every nonterminal in the order its name first
+// appears when blocks are emitted in this very order — breadth-first from
+// the start symbol, then each unreachable nonterminal (in id order) with
+// its own breadth-first expansion, so a nonterminal first mentioned inside
+// an unreachable block still precedes later-id unreachables.
+func mentionOrder(g *Grammar) []int {
+	order := make([]int, 0, len(g.Prods))
+	seen := make([]bool, len(g.Prods))
+	add := func(nt int) {
+		if !seen[nt] {
+			seen[nt] = true
+			order = append(order, nt)
+		}
+	}
+	cursor := 0
+	expand := func() {
+		for ; cursor < len(order); cursor++ {
+			for _, p := range g.Prods[order[cursor]] {
+				for _, s := range p {
+					if s.IsNT() {
+						add(s.NT)
+					}
+				}
+			}
+		}
+	}
+	add(g.Start)
+	expand()
+	for nt := range g.Prods {
+		add(nt)
+		expand()
+	}
+	return order
 }
 
 func marshalClass(set bytesets.Set) string {

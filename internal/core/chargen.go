@@ -25,10 +25,11 @@ func (l *learner) charGen(root *node) {
 		}
 	})
 	alphabet := l.opts.GenAlphabet.Bytes()
-	for _, n := range lits {
+	for li, n := range lits {
 		if l.expired() {
 			return
 		}
+		l.emit(Progress{Phase: "chargen", Lit: li + 1, Lits: len(lits)})
 		s := n.str
 		γ, δ := n.ctx.Left, n.ctx.Right
 

@@ -53,6 +53,12 @@ type Options struct {
 	// Timeout bounds total learning time; zero means no bound. On timeout
 	// the learner finalizes the current language instead of failing.
 	Timeout time.Duration
+	// Progress, when non-nil, receives phase-level progress events (one per
+	// seed entering phase one, one per character-generalization literal,
+	// one per phase-two wave, and a terminal "done"). The callback runs
+	// synchronously on the learning goroutine, so it must be fast and must
+	// not call back into the learner.
+	Progress func(Progress)
 	// Logf, when non-nil, receives a Figure 2-style trace of every chosen
 	// generalization step.
 	Logf func(format string, args ...any)
@@ -72,20 +78,21 @@ func DefaultOptions() Options {
 	}
 }
 
-// Stats reports what the learner did.
+// Stats reports what the learner did. The JSON names are the glade-serve
+// wire format.
 type Stats struct {
-	Seeds           int // seeds provided
-	SeedsSkipped    int // seeds already in the language learned so far (§6.1)
-	Candidates      int // generalization candidates considered
-	Checks          int // check strings evaluated
-	DiscardedChecks int // checks discarded as members of L̂i
-	CharGenChecks   int // character-generalization checks
-	MergePairs      int // phase-two pairs examined
-	Merged          int // phase-two merges accepted
-	OracleQueries   int // de-duplicated queries reaching the oracle
-	CacheHits       int // queries answered by the cache
-	TimedOut        bool
-	Duration        time.Duration
+	Seeds           int           `json:"seeds"`            // seeds provided
+	SeedsSkipped    int           `json:"seeds_skipped"`    // seeds already in the language learned so far (§6.1)
+	Candidates      int           `json:"candidates"`       // generalization candidates considered
+	Checks          int           `json:"checks"`           // check strings evaluated
+	DiscardedChecks int           `json:"discarded_checks"` // checks discarded as members of L̂i
+	CharGenChecks   int           `json:"chargen_checks"`   // character-generalization checks
+	MergePairs      int           `json:"merge_pairs"`      // phase-two pairs examined
+	Merged          int           `json:"merged"`           // phase-two merges accepted
+	OracleQueries   int           `json:"queries"`          // de-duplicated queries reaching the oracle
+	CacheHits       int           `json:"cache_hits"`       // queries answered by the cache
+	TimedOut        bool          `json:"timed_out"`
+	Duration        time.Duration `json:"duration_ns"`
 }
 
 // Result is the outcome of Learn.
@@ -153,17 +160,21 @@ func Learn(seeds []string, o oracle.Oracle, opts Options) (*Result, error) {
 	}
 	start := time.Now()
 
+	l.emit(Progress{Phase: "seeds", Seeds: len(seeds)})
+
 	// Phase one (and character generalization) per seed, with the §6.1
 	// optimization: a seed already matched by the language learned from
 	// earlier seeds is skipped.
-	for _, seed := range seeds {
+	for i, seed := range seeds {
 		l.stats.Seeds++
 		if len(l.roots) > 0 && l.currentMatcher().Match(seed) {
 			l.stats.SeedsSkipped++
 			continue
 		}
+		l.emit(Progress{Phase: "phase1", Seed: i + 1, Seeds: len(seeds)})
 		root := l.phase1(seed)
 		if opts.CharGen {
+			l.emit(Progress{Phase: "chargen", Seed: i + 1, Seeds: len(seeds)})
 			l.charGen(root)
 		}
 	}
@@ -190,5 +201,6 @@ func Learn(seeds []string, o oracle.Oracle, opts Options) (*Result, error) {
 	l.stats.OracleQueries = misses
 	l.stats.CacheHits = hits
 	l.stats.Duration = time.Since(start)
+	l.emit(Progress{Phase: "done", Seeds: len(seeds)})
 	return &Result{Grammar: g, Regex: rex.Union(kids...), Stats: l.stats}, nil
 }

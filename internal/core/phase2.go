@@ -26,6 +26,7 @@ func (l *learner) phase2(allStars []*node) *unionFind {
 	}
 	w := l.newWaves(false)
 	for lo := 0; lo < len(pairs); {
+		l.emit(Progress{Phase: "phase2", Pairs: lo, TotalPairs: len(pairs)})
 		hi := min(lo+w.nextSize(), len(pairs))
 		if w.speculate {
 			checks := make([]string, 0, 2*(hi-lo))

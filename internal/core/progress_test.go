@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"glade/internal/bytesets"
+	"glade/internal/oracle"
+)
+
+// TestProgressEvents checks the shape of the phase-level progress stream:
+// phases appear in learning order, effort counters are monotone, and the
+// stream terminates with exactly one "done" event.
+func TestProgressEvents(t *testing.T) {
+	var events []Progress
+	opts := xmlOpts()
+	opts.Progress = func(p Progress) { events = append(events, p) }
+	res, err := Learn([]string{"<a>hi</a>", "xy"}, oXML, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 4 {
+		t.Fatalf("expected a multi-event stream, got %d events: %+v", len(events), events)
+	}
+	if events[0].Phase != "seeds" || events[0].Seeds != 2 {
+		t.Errorf("first event should be seeds/2, got %+v", events[0])
+	}
+	last := events[len(events)-1]
+	if last.Phase != "done" {
+		t.Errorf("last event should be done, got %+v", last)
+	}
+	if last.Queries != res.Stats.OracleQueries || last.Checks != res.Stats.Checks {
+		t.Errorf("done counters %d/%d != stats %d/%d",
+			last.Queries, last.Checks, res.Stats.OracleQueries, res.Stats.Checks)
+	}
+	order := map[string]int{"seeds": 0, "phase1": 1, "chargen": 1, "phase2": 2, "done": 3}
+	rank, checks, queries, done := -1, 0, 0, 0
+	for i, ev := range events {
+		r, ok := order[ev.Phase]
+		if !ok {
+			t.Fatalf("event %d: unknown phase %q", i, ev.Phase)
+		}
+		if r < rank {
+			t.Errorf("event %d: phase %q after a later phase", i, ev.Phase)
+		}
+		rank = max(rank, r)
+		if ev.Checks < checks || ev.Queries < queries {
+			t.Errorf("event %d: counters went backwards: %+v", i, ev)
+		}
+		checks, queries = ev.Checks, ev.Queries
+		if ev.Phase == "done" {
+			done++
+		}
+	}
+	if done != 1 {
+		t.Errorf("expected exactly one done event, got %d", done)
+	}
+}
+
+// TestProgressNilIsQuiet ensures learning without a callback emits nothing
+// and the hook adds no observable cost path.
+func TestProgressNilIsQuiet(t *testing.T) {
+	opts := DefaultOptions()
+	opts.GenAlphabet = bytesets.OfString("ab")
+	if _, err := Learn([]string{"ab"}, oracle.Func(func(string) bool { return true }), opts); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -15,9 +15,11 @@
 package oracle
 
 import (
+	"context"
 	"os/exec"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Oracle answers membership queries for the target language L*.
@@ -278,6 +280,10 @@ type Exec struct {
 	// Workers bounds the concurrent subprocesses AcceptsBatch may spawn.
 	// Values below 1 mean sequential execution.
 	Workers int
+	// Timeout bounds each query's subprocess run; zero means unbounded. A
+	// run that exceeds it is killed and the input treated as rejected, so a
+	// target that hangs on some candidate cannot wedge a learn job.
+	Timeout time.Duration
 }
 
 // Accepts implements Oracle by running the command.
@@ -285,10 +291,22 @@ func (e *Exec) Accepts(input string) bool {
 	if len(e.Argv) == 0 {
 		return false
 	}
-	cmd := exec.Command(e.Argv[0], e.Argv[1:]...)
+	ctx := context.Background()
+	if e.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.Timeout)
+		defer cancel()
+	}
+	cmd := exec.CommandContext(ctx, e.Argv[0], e.Argv[1:]...)
 	cmd.Stdin = strings.NewReader(input)
 	var stderr strings.Builder
 	cmd.Stderr = &stderr
+	// Grandchildren inheriting stderr can keep Wait blocked past the kill;
+	// WaitDelay closes the pipes shortly after cancellation so the deadline
+	// is honored regardless of what the target spawned.
+	if e.Timeout > 0 {
+		cmd.WaitDelay = e.Timeout/4 + 10*time.Millisecond
+	}
 	if err := cmd.Run(); err != nil {
 		return false
 	}

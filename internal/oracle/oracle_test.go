@@ -3,6 +3,7 @@ package oracle
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestFunc(t *testing.T) {
@@ -71,5 +72,40 @@ func TestExecReadsStdin(t *testing.T) {
 	}
 	if o.Accepts("nothing here") {
 		t.Fatal("grep oracle accepted non-matching input")
+	}
+}
+
+func TestExecTimeoutKillsHangingTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec oracle spawns processes")
+	}
+	// Without a timeout this would block for 30 s; the deadline must kill
+	// the process and report rejection quickly.
+	o := &Exec{Argv: []string{"sleep", "30"}, Timeout: 100 * time.Millisecond}
+	start := time.Now()
+	if o.Accepts("x") {
+		t.Fatal("timed-out run reported accepted")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout did not bound the run: took %v", elapsed)
+	}
+	// A fast run under the same timeout is unaffected.
+	fast := &Exec{Argv: []string{"true"}, Timeout: 5 * time.Second}
+	if !fast.Accepts("x") {
+		t.Fatal("fast run under timeout rejected")
+	}
+}
+
+func TestExecTimeoutInBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec oracle spawns processes")
+	}
+	o := &Exec{Argv: []string{"sh", "-c", "grep -q ok || sleep 30"}, Timeout: 150 * time.Millisecond, Workers: 4}
+	got := o.AcceptsBatch([]string{"ok", "hang", "ok", "hang"})
+	want := []bool{true, false, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("batch answer %d = %v, want %v", i, got[i], want[i])
+		}
 	}
 }

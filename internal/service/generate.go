@@ -1,0 +1,117 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"glade/internal/fuzz"
+)
+
+// maxValidFactor bounds the attempts a valid-only generate request may
+// spend per requested input before giving up on the remainder.
+const maxValidFactor = 20
+
+// fuzzerPool caches one grammar fuzzer per stored grammar. Building a
+// fuzzer parses every seed under the grammar (Earley — the expensive
+// part), so it happens once per grammar per process; generation itself is
+// cheap and runs concurrently, each request drawing a private rng from a
+// per-grammar sync.Pool. fuzz.Grammar is safe for concurrent Next calls
+// with distinct rngs: seed trees are deep-cloned before mutation and the
+// sampler is read-only after construction.
+type fuzzerPool struct {
+	store *Store
+
+	mu      sync.Mutex
+	entries map[string]*pooledFuzzer
+}
+
+type pooledFuzzer struct {
+	once sync.Once
+	fz   *fuzz.Grammar
+	err  error
+	rngs sync.Pool
+}
+
+func newFuzzerPool(store *Store) *fuzzerPool {
+	return &fuzzerPool{store: store, entries: map[string]*pooledFuzzer{}}
+}
+
+// rngSeq distinguishes rngs created by the pool; combined with the clock
+// it keeps every pooled rng's stream distinct.
+var rngSeq atomic.Int64
+
+func (p *fuzzerPool) entry(id string) (*pooledFuzzer, error) {
+	p.mu.Lock()
+	e, ok := p.entries[id]
+	if !ok {
+		e = &pooledFuzzer{}
+		e.rngs.New = func() any {
+			return rand.New(rand.NewSource(time.Now().UnixNano() ^ rngSeq.Add(1)<<20))
+		}
+		p.entries[id] = e
+	}
+	p.mu.Unlock()
+
+	e.once.Do(func() {
+		g, err := p.store.Grammar(id)
+		if err != nil {
+			e.err = err
+			return
+		}
+		meta, ok := p.store.Meta(id)
+		if !ok {
+			e.err = fmt.Errorf("service: no metadata for grammar %q", id)
+			return
+		}
+		e.fz = fuzz.NewGrammar(g, meta.Seeds)
+	})
+	if e.err != nil {
+		// Do not memoize the failure: a generate that raced a still-running
+		// learn job must succeed on retry once the grammar is stored. Only
+		// drop the entry we created — a fresh (possibly good) replacement
+		// may already be in the map.
+		p.mu.Lock()
+		if p.entries[id] == e {
+			delete(p.entries, id)
+		}
+		p.mu.Unlock()
+		return nil, e.err
+	}
+	return e, nil
+}
+
+// Generate returns n fuzz inputs drawn from the stored grammar's pooled
+// fuzzer. When accepts is non-nil only inputs it accepts are returned,
+// spending at most maxValidFactor attempts per requested input; attempts
+// reports how many candidates were drawn either way. The context is
+// checked between attempts — validation may run a subprocess per
+// candidate, so a disconnected client must stop the loop.
+func (p *fuzzerPool) Generate(ctx context.Context, id string, n int, accepts func(string) bool) (inputs []string, attempts int, err error) {
+	e, err := p.entry(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	rng := e.rngs.Get().(*rand.Rand)
+	defer e.rngs.Put(rng)
+	budget := n
+	if accepts != nil {
+		budget = n * maxValidFactor
+	}
+	inputs = make([]string, 0, n)
+	for len(inputs) < n && attempts < budget {
+		if err := ctx.Err(); err != nil {
+			return inputs, attempts, err
+		}
+		s := e.fz.Next(rng)
+		attempts++
+		if accepts != nil && !accepts(s) {
+			continue
+		}
+		inputs = append(inputs, s)
+	}
+	return inputs, attempts, nil
+}

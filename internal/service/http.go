@@ -1,0 +1,262 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"glade/internal/metrics"
+	"glade/internal/oracle"
+)
+
+// maxBodyBytes bounds request bodies; seed payloads are separately bounded
+// by Config.MaxSeedBytes.
+const maxBodyBytes = 8 << 20
+
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/grammars", s.handleListGrammars)
+	mux.HandleFunc("GET /v1/grammars/{id}", s.handleGrammar)
+	mux.HandleFunc("POST /v1/grammars/{id}/generate", s.handleGenerate)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit accepts a JobSpec and enqueues the learn job.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	j, err := s.Submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, errQueueFull) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status(false))
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status(false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+// handleJob serves one job: a JSON snapshot by default (?events=1 includes
+// the buffered progress stream), or — with ?watch=1 — an NDJSON stream of
+// progress events as they happen, terminated by the final job snapshot
+// once the job reaches a terminal state.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	if r.URL.Query().Get("watch") == "" {
+		writeJSON(w, http.StatusOK, j.status(r.URL.Query().Get("events") != ""))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	cursor := 0
+	for {
+		fresh, next, state, changed := j.watch(cursor)
+		cursor = next
+		for _, ev := range fresh {
+			_ = enc.Encode(ev)
+		}
+		if state == JobDone || state == JobFailed {
+			_ = enc.Encode(j.status(false))
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleListGrammars(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"grammars": s.store.List()})
+}
+
+// handleGrammar serves the stored grammar text (cfg.Marshal form, loadable
+// by cfg.Unmarshal and glade-fuzz -grammar); ?format=json wraps it with
+// its metadata.
+func (s *Server) handleGrammar(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	text, ok := s.store.Text(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no grammar %q", id)
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		meta, _ := s.store.Meta(id)
+		writeJSON(w, http.StatusOK, map[string]any{"meta": meta, "grammar": text})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, text)
+}
+
+// handleGenerate draws fuzz inputs from a stored grammar's pooled fuzzer.
+// Query parameters: n (count, default 10, max 10000); valid=1 filters
+// through the grammar's recorded oracle so only oracle-accepted inputs are
+// returned (bounded attempts — the response reports how many were drawn).
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	n := 10
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, "bad n %q", raw)
+			return
+		}
+		n = v
+	}
+	if n > 10000 {
+		writeError(w, http.StatusBadRequest, "n %d exceeds limit 10000", n)
+		return
+	}
+	var accepts func(string) bool
+	if r.URL.Query().Get("valid") != "" {
+		meta, ok := s.store.Meta(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no grammar %q", id)
+			return
+		}
+		o, _, err := meta.Spec.build(1, s.cfg.DefaultOracleTimeout)
+		if err != nil {
+			writeError(w, http.StatusConflict, "grammar %q has no usable oracle for validation: %v", id, err)
+			return
+		}
+		accepts = o.Accepts
+	}
+	inputs, attempts, err := s.fuzzers.Generate(r.Context(), id, n, accepts)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client disconnected mid-generation
+		}
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"grammar_id": id,
+		"inputs":     inputs,
+		"count":      len(inputs),
+		"attempts":   attempts,
+	})
+}
+
+// jobStats is one job's row in /v1/stats.
+type jobStats struct {
+	ID     string   `json:"id"`
+	State  JobState `json:"state"`
+	Oracle string   `json:"oracle"`
+	// Learner effort (set once the job is done).
+	Queries   int     `json:"queries,omitempty"`
+	CacheHits int     `json:"cache_hits,omitempty"`
+	Checks    int     `json:"checks,omitempty"`
+	Seconds   float64 `json:"seconds,omitempty"`
+	// Oracle-level timing from the per-job metrics.QueryTimer.
+	OracleQueries   int     `json:"oracle_queries,omitempty"`
+	OracleBatches   int     `json:"oracle_batches,omitempty"`
+	MeanLatencyMS   float64 `json:"mean_latency_ms,omitempty"`
+	ThroughputQPS   float64 `json:"throughput_qps,omitempty"`
+	OracleWallMS    float64 `json:"oracle_wall_ms,omitempty"`
+	OracleSummary   string  `json:"oracle_summary,omitempty"`
+	TimedOut        bool    `json:"timed_out,omitempty"`
+	GrammarStored   bool    `json:"grammar_stored,omitempty"`
+	ProgressPhase   string  `json:"progress_phase,omitempty"`
+	ProgressQueries int     `json:"progress_queries,omitempty"`
+}
+
+// handleStats surfaces per-job learner stats and metrics.QueryStats plus
+// server-level aggregates.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	rows := make([]jobStats, 0, len(jobs))
+	counts := map[JobState]int{}
+	var totalQueries int
+	for _, j := range jobs {
+		st := j.status(false)
+		qs, _ := j.queryStats()
+		row := jobStats{ID: st.ID, State: st.State, Oracle: st.Oracle}
+		if st.Progress != nil {
+			row.ProgressPhase = st.Progress.Phase
+			row.ProgressQueries = st.Progress.Queries
+		}
+		if st.Stats != nil {
+			row.Queries = st.Stats.OracleQueries
+			row.CacheHits = st.Stats.CacheHits
+			row.Checks = st.Stats.Checks
+			row.Seconds = st.Stats.Duration.Seconds()
+			row.TimedOut = st.Stats.TimedOut
+			row.GrammarStored = st.GrammarID != ""
+			totalQueries += st.Stats.OracleQueries
+		}
+		if qs.Queries > 0 {
+			row.OracleQueries = qs.Queries
+			row.OracleBatches = qs.Batches
+			row.MeanLatencyMS = float64(qs.MeanLatency().Microseconds()) / 1e3
+			row.ThroughputQPS = qs.Throughput()
+			row.OracleWallMS = float64(qs.Wall.Microseconds()) / 1e3
+			row.OracleSummary = qs.String()
+		}
+		counts[st.State]++
+		rows = append(rows, row)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"jobs":          rows,
+		"grammars":      len(s.store.List()),
+		"queued":        counts[JobQueued],
+		"running":       counts[JobRunning],
+		"done":          counts[JobDone],
+		"failed":        counts[JobFailed],
+		"total_queries": totalQueries,
+	})
+}
+
+// Interface assertions: the per-job timer must forward the oracle bulk
+// path or Workers>1 jobs would serialize under it.
+var _ oracle.BatchOracle = (*metrics.QueryTimer)(nil)

@@ -1,0 +1,318 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"glade/internal/bytesets"
+	"glade/internal/core"
+	"glade/internal/metrics"
+	"glade/internal/oracle"
+	"glade/internal/programs"
+	"glade/internal/targets"
+)
+
+// OracleSpec names the membership oracle a learn job runs against: exactly
+// one of a builtin §8.3 simulated program, a builtin §8.2 target language,
+// or an external command (input on stdin, valid iff exit status 0).
+type OracleSpec struct {
+	Program string   `json:"program,omitempty"`
+	Target  string   `json:"target,omitempty"`
+	Exec    []string `json:"exec,omitempty"`
+	// ErrSubstring marks exec inputs invalid when stderr contains it even
+	// on exit status 0 (the paper's "program prints an error" signal).
+	ErrSubstring string `json:"err_substring,omitempty"`
+	// TimeoutMS bounds each exec query; a hanging run is killed and treated
+	// as rejecting. Zero uses the server's default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// String renders the spec for metadata ("program:sed", "exec:python3 -").
+func (sp OracleSpec) String() string {
+	switch {
+	case sp.Program != "":
+		return "program:" + sp.Program
+	case sp.Target != "":
+		return "target:" + sp.Target
+	case len(sp.Exec) > 0:
+		return "exec:" + strings.Join(sp.Exec, " ")
+	}
+	return "none"
+}
+
+// build resolves the spec into an oracle plus the builtin's bundled seeds
+// (nil for exec oracles).
+func (sp OracleSpec) build(workers int, defaultTimeout time.Duration) (oracle.Oracle, []string, error) {
+	n := 0
+	if sp.Program != "" {
+		n++
+	}
+	if sp.Target != "" {
+		n++
+	}
+	if len(sp.Exec) > 0 {
+		n++
+	}
+	if n != 1 {
+		return nil, nil, fmt.Errorf("oracle spec must name exactly one of program, target, exec")
+	}
+	switch {
+	case sp.Program != "":
+		p := programs.ByName(sp.Program)
+		if p == nil {
+			return nil, nil, fmt.Errorf("unknown program %q", sp.Program)
+		}
+		return oracle.Func(func(s string) bool { return p.Run(s).OK }), p.Seeds(), nil
+	case sp.Target != "":
+		t := targets.ByName(sp.Target)
+		if t == nil {
+			return nil, nil, fmt.Errorf("unknown target %q", sp.Target)
+		}
+		return t.Oracle, t.DocSeeds, nil
+	default:
+		timeout := defaultTimeout
+		if sp.TimeoutMS > 0 {
+			timeout = time.Duration(sp.TimeoutMS) * time.Millisecond
+		}
+		return &oracle.Exec{Argv: sp.Exec, ErrSubstring: sp.ErrSubstring, Workers: workers, Timeout: timeout}, nil, nil
+	}
+}
+
+// JobOptions is the client-settable subset of core.Options. Pointer fields
+// distinguish "unset, use the default" from explicit false/zero.
+type JobOptions struct {
+	Phase2            *bool `json:"phase2,omitempty"`
+	CharGen           *bool `json:"chargen,omitempty"`
+	Workers           int   `json:"workers,omitempty"`
+	TimeoutMS         int   `json:"timeout_ms,omitempty"`
+	MergeSampleChecks *int  `json:"merge_sample_checks,omitempty"`
+	RandSeed          int64 `json:"rand_seed,omitempty"`
+}
+
+// JobSpec is the body of POST /v1/jobs. Empty Seeds with a builtin oracle
+// selects the builtin's bundled seeds.
+type JobSpec struct {
+	Seeds   []string    `json:"seeds,omitempty"`
+	Oracle  OracleSpec  `json:"oracle"`
+	Options *JobOptions `json:"options,omitempty"`
+}
+
+// resolveOptions maps the spec onto core.Options, starting from the
+// paper's defaults. Exec oracles restrict character generalization to the
+// bytes of the seeds plus common structural characters, exactly as
+// cmd/glade does — external processes are too expensive for a full
+// printable-ASCII sweep per literal position.
+func (spec JobSpec) resolveOptions(cfg Config, seeds []string) core.Options {
+	opts := core.DefaultOptions()
+	opts.Timeout = cfg.MaxJobDuration
+	opts.Workers = cfg.DefaultWorkers
+	if len(spec.Oracle.Exec) > 0 {
+		opts.GenAlphabet = bytesets.OfString(strings.Join(seeds, "")).
+			Union(bytesets.OfString(" \t\nabcxyz012<>()[]{}/\\\"'"))
+	}
+	jo := spec.Options
+	if jo == nil {
+		return opts
+	}
+	if jo.Phase2 != nil {
+		opts.Phase2 = *jo.Phase2
+	}
+	if jo.CharGen != nil {
+		opts.CharGen = *jo.CharGen
+	}
+	if jo.Workers > 0 {
+		opts.Workers = min(jo.Workers, cfg.MaxWorkers)
+	}
+	if jo.TimeoutMS > 0 {
+		t := time.Duration(jo.TimeoutMS) * time.Millisecond
+		if cfg.MaxJobDuration == 0 || t < cfg.MaxJobDuration {
+			opts.Timeout = t
+		}
+	}
+	if jo.MergeSampleChecks != nil {
+		opts.MergeSampleChecks = *jo.MergeSampleChecks
+	}
+	if jo.RandSeed != 0 {
+		opts.RandSeed = jo.RandSeed
+	}
+	return opts
+}
+
+// JobState is the lifecycle of a learn job.
+type JobState string
+
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Job is one learn job owned by the Manager. All mutable fields are
+// guarded by mu; changed is closed and replaced on every mutation so
+// watchers can block for "anything new" without polling.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	mu      sync.Mutex
+	changed chan struct{}
+	state   JobState
+	// events buffers progress for snapshots and watchers. Slots
+	// [0, len-1) hold the first events verbatim; once seq outgrows the
+	// buffer the tail slot is overwritten with the newest event, so the
+	// buffer is "head of the stream + latest". seq counts every event
+	// ever emitted and is the watcher cursor space.
+	events   []core.Progress
+	seq      int
+	err      string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	stats    core.Stats
+	queries  metrics.QueryStats
+	// seeds are the resolved seed inputs (spec seeds or builtin defaults);
+	// dropped once the job reaches a terminal state (the store keeps them
+	// in GrammarMeta), leaving seedCount for snapshots.
+	seeds     []string
+	seedCount int
+}
+
+func newJob(spec JobSpec) *Job {
+	return &Job{
+		ID:      newID(),
+		Spec:    spec,
+		changed: make(chan struct{}),
+		state:   JobQueued,
+		created: time.Now(),
+	}
+}
+
+// newID returns a 12-hex-digit random identifier.
+func newID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("service: crypto/rand failed: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// touch wakes every watcher. Callers hold j.mu.
+func (j *Job) touch() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// appendEvent records one learner progress event. maxEvents bounds memory:
+// char-gen on many seeds can emit thousands of literal events, so the
+// buffer keeps the head of the stream and overwrites the tail slot with
+// the newest event; watchers track seq, not buffer indices, so they keep
+// sampling the latest event after the buffer fills.
+const maxEvents = 512
+
+func (j *Job) appendEvent(p core.Progress) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.seq < maxEvents {
+		j.events = append(j.events, p)
+	} else {
+		j.events[len(j.events)-1] = p
+	}
+	j.seq++
+	j.touch()
+}
+
+// JobStatus is the wire form of a job snapshot.
+type JobStatus struct {
+	ID       string     `json:"id"`
+	State    JobState   `json:"state"`
+	Oracle   string     `json:"oracle"`
+	Seeds    int        `json:"seeds"`
+	Created  time.Time  `json:"created_at"`
+	Started  *time.Time `json:"started_at,omitempty"`
+	Finished *time.Time `json:"finished_at,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	// Progress is the most recent learner event (nil before the run
+	// starts); Events is the full buffered stream when requested.
+	Progress *core.Progress  `json:"progress,omitempty"`
+	Events   []core.Progress `json:"events,omitempty"`
+	// GrammarID is set once the job is done; the grammar then lives at
+	// /v1/grammars/{grammar_id}.
+	GrammarID string      `json:"grammar_id,omitempty"`
+	Stats     *core.Stats `json:"stats,omitempty"`
+}
+
+// status snapshots the job. withEvents includes the buffered event stream.
+func (j *Job) status(withEvents bool) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:      j.ID,
+		State:   j.state,
+		Oracle:  j.Spec.Oracle.String(),
+		Seeds:   j.seedCount,
+		Created: j.created,
+		Error:   j.err,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if n := len(j.events); n > 0 {
+		p := j.events[n-1]
+		st.Progress = &p
+		if withEvents {
+			st.Events = append([]core.Progress(nil), j.events...)
+		}
+	}
+	if j.state == JobDone {
+		st.GrammarID = j.ID
+		s := j.stats
+		st.Stats = &s
+	}
+	return st
+}
+
+// watch returns the events past cursor (a seq position), the advanced
+// cursor, the current state, and a channel closed on the next mutation.
+// While the buffer holds the whole stream delivery is exact; once it has
+// overflowed, watchers past the exact head receive the newest event only
+// (middles were dropped). Terminal states never mutate again.
+func (j *Job) watch(cursor int) ([]core.Progress, int, JobState, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var fresh []core.Progress
+	if j.seq <= len(j.events) {
+		// No overflow yet: buffer positions are seq positions.
+		if cursor < j.seq {
+			fresh = append(fresh, j.events[cursor:]...)
+			cursor = j.seq
+		}
+	} else {
+		head := len(j.events) - 1 // slots [0, head) are exact; tail is event seq-1
+		if cursor < head {
+			fresh = append(fresh, j.events[cursor:head]...)
+			cursor = head
+		}
+		if cursor < j.seq {
+			fresh = append(fresh, j.events[head])
+			cursor = j.seq
+		}
+	}
+	return fresh, cursor, j.state, j.changed
+}
+
+// queryStats returns the oracle-level timing snapshot recorded for the job.
+func (j *Job) queryStats() (metrics.QueryStats, JobState) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.queries, j.state
+}

@@ -1,0 +1,140 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"glade/internal/core"
+)
+
+// TestWatchAfterOverflow drives a job past the event-buffer bound and
+// checks watchers keep receiving the newest event (sampled) rather than
+// going silent until the terminal snapshot.
+func TestWatchAfterOverflow(t *testing.T) {
+	j := newJob(JobSpec{})
+	total := maxEvents + 300
+	for i := 0; i < total; i++ {
+		j.appendEvent(core.Progress{Phase: "chargen", Checks: i})
+	}
+
+	// A watcher that consumed everything buffered so far must still be
+	// offered each newer event as it lands.
+	fresh, cursor, _, _ := j.watch(0)
+	if len(fresh) != maxEvents || cursor != total {
+		t.Fatalf("first drain: %d events, cursor %d (want %d, %d)", len(fresh), cursor, maxEvents, total)
+	}
+	if got := fresh[len(fresh)-1].Checks; got != total-1 {
+		t.Fatalf("drain did not end with the newest event: checks=%d", got)
+	}
+	if head := fresh[maxEvents-2].Checks; head != maxEvents-2 {
+		t.Fatalf("exact head corrupted: checks=%d at slot %d", head, maxEvents-2)
+	}
+
+	j.appendEvent(core.Progress{Phase: "phase2", Checks: total})
+	fresh, cursor, _, _ = j.watch(cursor)
+	if len(fresh) != 1 || fresh[0].Checks != total {
+		t.Fatalf("post-overflow event not delivered: %+v", fresh)
+	}
+	if fresh2, _, _, _ := j.watch(cursor); len(fresh2) != 0 {
+		t.Fatalf("cursor at tip still yielded %d events", len(fresh2))
+	}
+}
+
+// TestGenerateRetryAfterEarlyRequest checks a generate that arrives before
+// the grammar exists does not poison the fuzzer pool for that id.
+func TestGenerateRetryAfterEarlyRequest(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := newFuzzerPool(store)
+	if _, _, err := pool.Generate(context.Background(), "early", 3, nil); err == nil {
+		t.Fatal("generate for a missing grammar succeeded")
+	}
+	g := mustGrammar(t, "start A\nA -> \"ab\"\n")
+	if err := store.Put(g, GrammarMeta{ID: "early", Seeds: []string{"ab"}, CreatedAt: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	inputs, _, err := pool.Generate(context.Background(), "early", 3, nil)
+	if err != nil {
+		t.Fatalf("generate after store still failing: %v", err)
+	}
+	if len(inputs) != 3 {
+		t.Fatalf("got %d inputs", len(inputs))
+	}
+}
+
+// TestGenerateRespectsContext checks a canceled request stops the
+// validity-filter loop instead of burning the full attempt budget.
+func TestGenerateRespectsContext(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := newFuzzerPool(store)
+	g := mustGrammar(t, "start A\nA -> \"ab\"\n")
+	if err := store.Put(g, GrammarMeta{ID: "g", Seeds: []string{"ab"}, CreatedAt: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	attemptsSeen := 0
+	reject := func(string) bool {
+		attemptsSeen++
+		if attemptsSeen == 3 {
+			cancel()
+		}
+		return false
+	}
+	_, attempts, err := pool.Generate(ctx, "g", 100, reject)
+	if err == nil {
+		t.Fatal("canceled generate returned nil error")
+	}
+	if attempts > 4 {
+		t.Fatalf("cancellation ignored: %d attempts", attempts)
+	}
+}
+
+// TestPruneKeepsActiveJobs checks ledger pruning evicts only finished jobs
+// and only beyond the history bound.
+func TestPruneKeepsActiveJobs(t *testing.T) {
+	s := &Server{jobs: map[string]*Job{}}
+	mk := func(state JobState) *Job {
+		j := newJob(JobSpec{})
+		j.state = state
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j)
+		return j
+	}
+	running := mk(JobRunning)
+	for i := 0; i < maxJobHistory+10; i++ {
+		mk(JobDone)
+	}
+	s.mu.Lock()
+	s.pruneLocked()
+	s.mu.Unlock()
+	if len(s.order) != maxJobHistory {
+		t.Fatalf("ledger size %d after prune, want %d", len(s.order), maxJobHistory)
+	}
+	if _, ok := s.jobs[running.ID]; !ok {
+		t.Fatal("running job was evicted")
+	}
+	if s.order[0] != running {
+		t.Fatal("running job lost its slot")
+	}
+}
+
+// TestWorkersClamped checks a job spec cannot demand unbounded oracle
+// concurrency.
+func TestWorkersClamped(t *testing.T) {
+	cfg := Config{DataDir: "x"}.withDefaults()
+	spec := JobSpec{Options: &JobOptions{Workers: 1 << 30}}
+	opts := spec.resolveOptions(cfg, []string{"s"})
+	if opts.Workers != cfg.MaxWorkers {
+		t.Fatalf("Workers = %d, want clamp at %d", opts.Workers, cfg.MaxWorkers)
+	}
+	spec.Options.Workers = 2
+	if got := spec.resolveOptions(cfg, []string{"s"}).Workers; got != 2 {
+		t.Fatalf("modest Workers mangled: %d", got)
+	}
+}

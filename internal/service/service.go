@@ -1,0 +1,339 @@
+// Package service implements glade-serve: a long-lived daemon that
+// multiplexes many grammar-learn jobs and many fuzz-input consumers over
+// the core/oracle engine, amortizing learning cost across requests the way
+// parser servers amortize compilation.
+//
+// The JSON/HTTP surface:
+//
+//	POST /v1/jobs                     submit a learn job (seeds + oracle spec)
+//	GET  /v1/jobs                     list jobs
+//	GET  /v1/jobs/{id}                job snapshot; ?events=1 for the full
+//	                                  progress stream, ?watch=1 to stream
+//	                                  NDJSON events until the job finishes
+//	GET  /v1/grammars                 list stored grammars
+//	GET  /v1/grammars/{id}            the grammar in cfg.Marshal text form
+//	POST /v1/grammars/{id}/generate   fuzz inputs from the stored grammar
+//	GET  /v1/stats                    per-job learner + oracle query stats
+//	GET  /healthz                     liveness
+//
+// Learned grammars persist to a disk-backed store and survive restarts;
+// generation requests draw from a per-grammar pooled fuzzer so concurrent
+// consumers scale.
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"glade/internal/core"
+	"glade/internal/metrics"
+	"glade/internal/oracle"
+)
+
+// Config configures a Server. The zero value is usable apart from DataDir,
+// which must name the grammar-store directory.
+type Config struct {
+	// DataDir is the grammar store's directory; created if absent.
+	DataDir string
+	// MaxJobs bounds concurrently running learn jobs (default 2). Queued
+	// jobs beyond it wait in submission order.
+	MaxJobs int
+	// QueueDepth bounds jobs waiting to run (default 256); submissions
+	// beyond it are rejected with 503.
+	QueueDepth int
+	// DefaultWorkers is the per-job oracle concurrency when the job spec
+	// does not set one (default 1, the paper's sequential algorithm).
+	DefaultWorkers int
+	// MaxWorkers clamps the per-job oracle concurrency a job spec may
+	// request (default 16) — wave sizes and subprocess fan-out scale with
+	// it, so it must not be client-controlled without bound.
+	MaxWorkers int
+	// MaxJobDuration bounds each job's learning time (default 5m). Job
+	// specs may shorten it but not exceed it.
+	MaxJobDuration time.Duration
+	// DefaultOracleTimeout bounds each exec-oracle query when the job spec
+	// does not set one (default 10s; a hanging target program is killed).
+	DefaultOracleTimeout time.Duration
+	// MaxSeedBytes bounds the total seed payload of one job (default 1MiB).
+	MaxSeedBytes int
+	// Logf, when non-nil, receives server log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.DefaultWorkers <= 0 {
+		c.DefaultWorkers = 1
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = 16
+	}
+	if c.DefaultWorkers > c.MaxWorkers {
+		c.DefaultWorkers = c.MaxWorkers
+	}
+	if c.MaxJobDuration <= 0 {
+		c.MaxJobDuration = 5 * time.Minute
+	}
+	if c.DefaultOracleTimeout <= 0 {
+		c.DefaultOracleTimeout = 10 * time.Second
+	}
+	if c.MaxSeedBytes <= 0 {
+		c.MaxSeedBytes = 1 << 20
+	}
+	return c
+}
+
+// Server is the glade-serve daemon: a grammar store, a bounded-concurrency
+// job manager, a pooled fuzz generator, and the HTTP handler tying them
+// together. Create with New, serve its Handler, Close on shutdown.
+type Server struct {
+	cfg     Config
+	store   *Store
+	fuzzers *fuzzerPool
+	handler http.Handler
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []*Job // submission order, for listing
+	queue chan *Job
+	wg    sync.WaitGroup
+	done  chan struct{}
+}
+
+// New opens the store under cfg.DataDir (loading grammars learned by
+// earlier incarnations) and starts cfg.MaxJobs scheduler workers.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	store, err := OpenStore(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		store:   store,
+		fuzzers: newFuzzerPool(store),
+		jobs:    map[string]*Job{},
+		queue:   make(chan *Job, cfg.QueueDepth),
+		done:    make(chan struct{}),
+	}
+	s.handler = s.routes()
+	for i := 0; i < cfg.MaxJobs; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	s.logf("store: %d grammars loaded from %s", len(store.List()), store.Dir())
+	return s, nil
+}
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Store exposes the grammar store (tests and tooling).
+func (s *Server) Store() *Store { return s.store }
+
+// Close stops accepting submissions and waits for running jobs to finish.
+// Jobs still queued race the shutdown drain: each is either run by a
+// worker or marked failed here. Close is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	select {
+	case <-s.done:
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	default:
+	}
+	close(s.done)
+	close(s.queue) // Submit holds s.mu around its send, so this is safe
+	s.mu.Unlock()
+	for j := range s.queue {
+		j.mu.Lock()
+		j.state = JobFailed
+		j.err = "server shut down before the job ran"
+		j.finished = time.Now()
+		j.seeds = nil
+		j.touch()
+		j.mu.Unlock()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Submit validates a job spec, resolves its seeds, and enqueues it.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	// Resolve the oracle now so an invalid spec fails the submission, not
+	// the job. The resolved oracle is rebuilt in run() — oracles are cheap
+	// to construct, and building late keeps Job free of live resources.
+	_, defaults, err := spec.Oracle.build(1, s.cfg.DefaultOracleTimeout)
+	if err != nil {
+		return nil, err
+	}
+	seeds := spec.Seeds
+	if len(seeds) == 0 {
+		seeds = defaults
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("no seeds: pass seeds or use a builtin oracle with bundled seeds")
+	}
+	total := 0
+	for _, seed := range seeds {
+		total += len(seed)
+	}
+	if total > s.cfg.MaxSeedBytes {
+		return nil, fmt.Errorf("seed payload %d bytes exceeds limit %d", total, s.cfg.MaxSeedBytes)
+	}
+	j := newJob(spec)
+	j.seeds = seeds
+	j.seedCount = len(seeds)
+
+	s.mu.Lock()
+	select {
+	case <-s.done:
+		s.mu.Unlock()
+		return nil, fmt.Errorf("server is shutting down")
+	default:
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		return nil, errQueueFull
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j)
+	s.pruneLocked()
+	s.mu.Unlock()
+	s.logf("job %s: queued (%s, %d seeds)", j.ID, spec.Oracle, len(seeds))
+	return j, nil
+}
+
+var errQueueFull = fmt.Errorf("job queue is full")
+
+// maxJobHistory bounds retained job records. Grammars and their metadata
+// live on in the store; only the in-memory job ledger is pruned.
+const maxJobHistory = 1024
+
+// pruneLocked evicts the oldest finished jobs once the ledger outgrows
+// maxJobHistory, so a long-lived daemon's memory stays bounded. Queued and
+// running jobs are never evicted. Callers hold s.mu; j.mu nests under it
+// (no path locks them in the opposite order).
+func (s *Server) pruneLocked() {
+	excess := len(s.order) - maxJobHistory
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, j := range s.order {
+		if excess > 0 {
+			j.mu.Lock()
+			terminal := j.state == JobDone || j.state == JobFailed
+			j.mu.Unlock()
+			if terminal {
+				delete(s.jobs, j.ID)
+				excess--
+				continue
+			}
+		}
+		kept = append(kept, j)
+	}
+	s.order = kept
+}
+
+// Job returns a submitted job by id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs lists jobs in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Job(nil), s.order...)
+}
+
+// worker drains the queue, running one job at a time; MaxJobs workers give
+// the service its bounded job concurrency.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.run(j)
+	}
+}
+
+// run executes one learn job on the core/oracle engine and persists the
+// resulting grammar.
+func (s *Server) run(j *Job) {
+	opts := j.Spec.resolveOptions(s.cfg, j.seeds)
+	o, _, err := j.Spec.Oracle.build(opts.Workers, s.cfg.DefaultOracleTimeout)
+	if err != nil {
+		// Validated at submission; only reachable if a builtin vanished.
+		s.finish(j, nil, err)
+		return
+	}
+	timer := metrics.NewQueryTimer(o)
+	opts.Progress = j.appendEvent
+
+	j.mu.Lock()
+	j.state = JobRunning
+	j.started = time.Now()
+	j.touch()
+	j.mu.Unlock()
+	s.logf("job %s: running (workers=%d timeout=%v)", j.ID, opts.Workers, opts.Timeout)
+
+	res, err := core.Learn(j.seeds, oracle.Oracle(timer), opts)
+
+	j.mu.Lock()
+	j.queries = timer.Snapshot()
+	j.mu.Unlock()
+	s.finish(j, res, err)
+}
+
+// finish moves a job to its terminal state, persisting the grammar on
+// success.
+func (s *Server) finish(j *Job, res *core.Result, err error) {
+	if err == nil {
+		meta := GrammarMeta{
+			ID:        j.ID,
+			Oracle:    j.Spec.Oracle.String(),
+			Spec:      j.Spec.Oracle,
+			Seeds:     j.seeds,
+			CreatedAt: time.Now().UTC(),
+			Queries:   res.Stats.OracleQueries,
+			Seconds:   res.Stats.Duration.Seconds(),
+			TimedOut:  res.Stats.TimedOut,
+		}
+		err = s.store.Put(res.Grammar, meta)
+	}
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.seeds = nil // persisted in GrammarMeta; no reason to hold them here
+	if err != nil {
+		j.state = JobFailed
+		j.err = err.Error()
+	} else {
+		j.state = JobDone
+		j.stats = res.Stats
+	}
+	j.touch()
+	j.mu.Unlock()
+	if err != nil {
+		s.logf("job %s: failed: %v", j.ID, err)
+	} else {
+		s.logf("job %s: done (%d queries, %.2fs)", j.ID, res.Stats.OracleQueries, res.Stats.Duration.Seconds())
+	}
+}

@@ -1,0 +1,206 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"glade/internal/cfg"
+)
+
+// GrammarMeta is the JSON metadata persisted beside each stored grammar.
+// Seeds are kept because rebuilding a grammar fuzzer after a restart needs
+// them (the fuzzer starts every input from a parsed seed tree).
+type GrammarMeta struct {
+	ID     string `json:"id"`
+	Oracle string `json:"oracle"` // human-readable spec, e.g. "program:sed"
+	// Spec is the full oracle spec, kept so validity-filtered generation
+	// can rebuild the oracle even after a restart.
+	Spec      OracleSpec `json:"oracle_spec"`
+	Seeds     []string   `json:"seeds"`
+	CreatedAt time.Time  `json:"created_at"`
+	// Learning effort, surfaced by /v1/stats and grammar listings.
+	Queries  int     `json:"queries"`
+	Seconds  float64 `json:"seconds"`
+	TimedOut bool    `json:"timed_out,omitempty"`
+}
+
+// Store is the disk-backed grammar store: a directory holding one
+// <id>.grammar file (cfg.Marshal text) and one <id>.json metadata file per
+// learned grammar. Everything is loaded at open, so the daemon serves
+// grammars learned by earlier incarnations; writes go through a temp-file
+// rename so a crash never leaves a half-written grammar behind.
+type Store struct {
+	dir string
+
+	mu    sync.RWMutex
+	metas map[string]*GrammarMeta
+	texts map[string]string
+	// grammars caches parsed grammars; populated lazily from texts.
+	grammars map[string]*cfg.Grammar
+}
+
+// OpenStore opens (creating if needed) the store rooted at dir and loads
+// every grammar already present. Entries whose grammar text no longer
+// parses, or which lack either file of the pair, are skipped with an error
+// on stderr rather than failing the open — one corrupt entry must not take
+// the daemon down.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("service: store directory is empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: create store: %w", err)
+	}
+	s := &Store{
+		dir:      dir,
+		metas:    map[string]*GrammarMeta{},
+		texts:    map[string]string{},
+		grammars: map[string]*cfg.Grammar{},
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: read store: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		id, ok := strings.CutSuffix(name, ".json")
+		if !ok {
+			continue
+		}
+		metaBytes, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		var meta GrammarMeta
+		if err := json.Unmarshal(metaBytes, &meta); err != nil || meta.ID != id {
+			fmt.Fprintf(os.Stderr, "service: store: skipping bad metadata %s\n", name)
+			continue
+		}
+		text, err := os.ReadFile(filepath.Join(dir, id+".grammar"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "service: store: %s has no grammar file\n", id)
+			continue
+		}
+		g, err := cfg.Unmarshal(string(text))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "service: store: skipping unparsable grammar %s: %v\n", id, err)
+			continue
+		}
+		s.metas[id] = &meta
+		s.texts[id] = string(text)
+		s.grammars[id] = g // validation already paid for the parse
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Put persists a learned grammar and its metadata, then publishes it to
+// readers. The grammar is stored in cfg.Marshal text form — the same bytes
+// GET /v1/grammars/{id} serves.
+func (s *Store) Put(g *cfg.Grammar, meta GrammarMeta) error {
+	if meta.ID == "" {
+		return fmt.Errorf("service: store: empty grammar id")
+	}
+	text := cfg.Marshal(g)
+	metaBytes, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeAtomic(filepath.Join(s.dir, meta.ID+".grammar"), []byte(text)); err != nil {
+		return err
+	}
+	if err := writeAtomic(filepath.Join(s.dir, meta.ID+".json"), append(metaBytes, '\n')); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := meta
+	s.metas[meta.ID] = &m
+	s.texts[meta.ID] = text
+	s.grammars[meta.ID] = g
+	return nil
+}
+
+// writeAtomic writes data via a temp file + rename so readers (and future
+// opens) never observe a torn file.
+func writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Text returns the stored cfg.Marshal text of a grammar.
+func (s *Store) Text(id string) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	text, ok := s.texts[id]
+	return text, ok
+}
+
+// Grammar returns the parsed grammar, caching the parse.
+func (s *Store) Grammar(id string) (*cfg.Grammar, error) {
+	s.mu.RLock()
+	g, ok := s.grammars[id]
+	text, haveText := s.texts[id]
+	s.mu.RUnlock()
+	if ok {
+		return g, nil
+	}
+	if !haveText {
+		return nil, fmt.Errorf("service: no grammar %q", id)
+	}
+	g, err := cfg.Unmarshal(text)
+	if err != nil {
+		return nil, fmt.Errorf("service: grammar %q: %w", id, err)
+	}
+	s.mu.Lock()
+	s.grammars[id] = g
+	s.mu.Unlock()
+	return g, nil
+}
+
+// Meta returns a grammar's metadata.
+func (s *Store) Meta(id string) (GrammarMeta, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.metas[id]
+	if !ok {
+		return GrammarMeta{}, false
+	}
+	return *m, true
+}
+
+// List returns every stored grammar's metadata, newest first.
+func (s *Store) List() []GrammarMeta {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]GrammarMeta, 0, len(s.metas))
+	for _, m := range s.metas {
+		out = append(out, *m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CreatedAt.Equal(out[j].CreatedAt) {
+			return out[i].ID < out[j].ID
+		}
+		return out[i].CreatedAt.After(out[j].CreatedAt)
+	})
+	return out
+}

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# End-to-end smoke of glade-serve, as run by CI: start the daemon on a
+# random port, submit a learn job against a builtin program, poll it to
+# completion, fetch the grammar, generate 10 validity-filtered inputs, and
+# assert every one was accepted by the oracle. Requires curl + jq.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PROGRAM="${1:-grep}"
+PORT=$(( (RANDOM % 20000) + 20000 ))
+DATA=$(mktemp -d)
+LOG="$DATA/serve.log"
+
+go build -o "$DATA/glade-serve" ./cmd/glade-serve
+"$DATA/glade-serve" -addr "127.0.0.1:$PORT" -data "$DATA/store" >"$LOG" 2>&1 &
+SERVE_PID=$!
+cleanup() {
+  kill "$SERVE_PID" 2>/dev/null || true
+  wait "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$DATA"
+}
+trap cleanup EXIT
+
+BASE="http://127.0.0.1:$PORT"
+for _ in $(seq 1 50); do
+  curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -sf "$BASE/healthz" >/dev/null || { echo "server never came up"; cat "$LOG"; exit 1; }
+
+echo "== submit learn job (program:$PROGRAM)"
+JOB=$(curl -sf -X POST "$BASE/v1/jobs" -d "{\"oracle\":{\"program\":\"$PROGRAM\"}}")
+ID=$(echo "$JOB" | jq -er .id)
+echo "job $ID"
+
+echo "== poll to completion"
+STATE=queued
+for _ in $(seq 1 300); do
+  STATE=$(curl -sf "$BASE/v1/jobs/$ID" | jq -er .state)
+  [ "$STATE" = done ] || [ "$STATE" = failed ] && break
+  sleep 1
+done
+if [ "$STATE" != done ]; then
+  echo "job ended in state $STATE"
+  curl -s "$BASE/v1/jobs/$ID" | jq .
+  cat "$LOG"
+  exit 1
+fi
+QUERIES=$(curl -sf "$BASE/v1/jobs/$ID" | jq -er .stats.queries)
+echo "done after $QUERIES oracle queries"
+[ "$QUERIES" -gt 0 ] || { echo "done job reports zero queries"; exit 1; }
+
+echo "== fetch grammar"
+GRAMMAR=$(curl -sf "$BASE/v1/grammars/$ID")
+echo "$GRAMMAR" | head -3
+[ -n "$GRAMMAR" ] || { echo "empty grammar"; exit 1; }
+
+echo "== generate 10 validated inputs"
+GEN=$(curl -sf -X POST "$BASE/v1/grammars/$ID/generate?n=10&valid=1")
+COUNT=$(echo "$GEN" | jq -er .count)
+ATTEMPTS=$(echo "$GEN" | jq -er .attempts)
+echo "$COUNT accepted inputs in $ATTEMPTS attempts"
+if [ "$COUNT" != 10 ]; then
+  echo "expected 10 validated inputs, got $COUNT"
+  echo "$GEN" | jq .
+  exit 1
+fi
+
+echo "== stats"
+curl -sf "$BASE/v1/stats" | jq '{done, grammars, total_queries}'
+echo "service smoke OK"
