@@ -3,7 +3,13 @@
 // over the concurrent oracle engine, with learned grammars persisted to a
 // disk-backed store that survives restarts.
 //
-//	glade-serve -addr :8080 -data ./glade-data -jobs 2 -workers 4
+//	glade-serve -data ./glade-data -jobs 2 -workers 4
+//
+// The server has no authentication, so it listens on loopback
+// (127.0.0.1:8080) by default; exec oracle specs — which run client-chosen
+// commands as subprocesses — are refused unless started with -allow-exec.
+// Only widen -addr or enable -allow-exec when every client that can reach
+// the port is trusted (e.g. behind an authenticating reverse proxy).
 //
 // A session:
 //
@@ -32,13 +38,15 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (loopback by default: the API has no authentication)")
 	data := flag.String("data", "glade-data", "grammar store directory (created if absent, reloaded on restart)")
 	jobs := flag.Int("jobs", 2, "concurrently running learn jobs")
 	queue := flag.Int("queue", 256, "queued-job limit; submissions beyond it get 503")
 	workers := flag.Int("workers", 1, "default per-job concurrent oracle queries (job specs may override)")
 	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-job learning time bound")
 	oracleTimeout := flag.Duration("oracle-timeout", 10*time.Second, "default per-query timeout for exec oracles; a hanging target is killed and treated as rejecting")
+	allowExec := flag.Bool("allow-exec", false, "permit exec oracle specs, letting API clients run arbitrary commands on this host; enable only when every client is trusted")
+	maxValidating := flag.Int("max-validating", 2, "concurrent validity-filtered generate requests (?valid=1); excess requests wait for a slot")
 	quiet := flag.Bool("quiet", false, "suppress per-job log lines")
 	flag.Parse()
 
@@ -50,6 +58,8 @@ func main() {
 		DefaultWorkers:       *workers,
 		MaxJobDuration:       *jobTimeout,
 		DefaultOracleTimeout: *oracleTimeout,
+		AllowExec:            *allowExec,
+		MaxValidating:        *maxValidating,
 	}
 	if !*quiet {
 		cfg.Logf = logger.Printf

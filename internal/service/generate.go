@@ -1,6 +1,7 @@
 package service
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"math/rand"
@@ -15,18 +16,27 @@ import (
 // spend per requested input before giving up on the remainder.
 const maxValidFactor = 20
 
-// fuzzerPool caches one grammar fuzzer per stored grammar. Building a
-// fuzzer parses every seed under the grammar (Earley — the expensive
-// part), so it happens once per grammar per process; generation itself is
-// cheap and runs concurrently, each request drawing a private rng from a
-// per-grammar sync.Pool. fuzz.Grammar is safe for concurrent Next calls
-// with distinct rngs: seed trees are deep-cloned before mutation and the
-// sampler is read-only after construction.
+// maxFuzzerEntries bounds the fuzzer cache: a long-lived daemon may serve
+// generation from far more grammars than it should hold parsed seed trees
+// for at once, so least-recently-used entries are evicted (mirroring how
+// maxJobHistory bounds the job ledger). An evicted grammar just pays the
+// seed-parsing cost again on its next generate.
+const maxFuzzerEntries = 64
+
+// fuzzerPool caches one grammar fuzzer per stored grammar, LRU-bounded at
+// maxFuzzerEntries. Building a fuzzer parses every seed under the grammar
+// (Earley — the expensive part), so it happens once per grammar per
+// residence in the cache; generation itself is cheap and runs
+// concurrently, each request drawing a private rng from a per-grammar
+// sync.Pool. fuzz.Grammar is safe for concurrent Next calls with distinct
+// rngs: seed trees are deep-cloned before mutation and the sampler is
+// read-only after construction.
 type fuzzerPool struct {
 	store *Store
 
 	mu      sync.Mutex
 	entries map[string]*pooledFuzzer
+	lru     *list.List // front = most recently used; values are grammar ids
 }
 
 type pooledFuzzer struct {
@@ -34,10 +44,11 @@ type pooledFuzzer struct {
 	fz   *fuzz.Grammar
 	err  error
 	rngs sync.Pool
+	elem *list.Element // position in fuzzerPool.lru; guarded by its mu
 }
 
 func newFuzzerPool(store *Store) *fuzzerPool {
-	return &fuzzerPool{store: store, entries: map[string]*pooledFuzzer{}}
+	return &fuzzerPool{store: store, entries: map[string]*pooledFuzzer{}, lru: list.New()}
 }
 
 // rngSeq distinguishes rngs created by the pool; combined with the clock
@@ -47,12 +58,23 @@ var rngSeq atomic.Int64
 func (p *fuzzerPool) entry(id string) (*pooledFuzzer, error) {
 	p.mu.Lock()
 	e, ok := p.entries[id]
-	if !ok {
+	if ok {
+		p.lru.MoveToFront(e.elem)
+	} else {
 		e = &pooledFuzzer{}
 		e.rngs.New = func() any {
 			return rand.New(rand.NewSource(time.Now().UnixNano() ^ rngSeq.Add(1)<<20))
 		}
+		e.elem = p.lru.PushFront(id)
 		p.entries[id] = e
+		// Evict the least-recently-used entries beyond the cap. In-flight
+		// Generate calls hold their own reference, so an evicted entry
+		// keeps working; it is simply rebuilt on its next use.
+		for p.lru.Len() > maxFuzzerEntries {
+			back := p.lru.Back()
+			p.lru.Remove(back)
+			delete(p.entries, back.Value.(string))
+		}
 	}
 	p.mu.Unlock()
 
@@ -77,6 +99,7 @@ func (p *fuzzerPool) entry(id string) (*pooledFuzzer, error) {
 		p.mu.Lock()
 		if p.entries[id] == e {
 			delete(p.entries, id)
+			p.lru.Remove(e.elem)
 		}
 		p.mu.Unlock()
 		return nil, e.err
@@ -85,16 +108,24 @@ func (p *fuzzerPool) entry(id string) (*pooledFuzzer, error) {
 }
 
 // Generate returns n fuzz inputs drawn from the stored grammar's pooled
-// fuzzer. When accepts is non-nil only inputs it accepts are returned,
-// spending at most maxValidFactor attempts per requested input; attempts
-// reports how many candidates were drawn either way. The context is
-// checked between attempts — validation may run a subprocess per
-// candidate, so a disconnected client must stop the loop.
-func (p *fuzzerPool) Generate(ctx context.Context, id string, n int, accepts func(string) bool) (inputs []string, attempts int, err error) {
+// fuzzer: entry resolution (possibly building the fuzzer) followed by
+// generate. Callers that must separate the potentially slow build from
+// deadline-bounded generation use entry + pooledFuzzer.generate directly.
+func (p *fuzzerPool) Generate(ctx context.Context, id string, n int, accepts func(string) bool) ([]string, int, error) {
 	e, err := p.entry(id)
 	if err != nil {
 		return nil, 0, err
 	}
+	return e.generate(ctx, n, accepts)
+}
+
+// generate draws n fuzz inputs from the built fuzzer. When accepts is
+// non-nil only inputs it accepts are returned, spending at most
+// maxValidFactor attempts per requested input; attempts reports how many
+// candidates were drawn either way. The context is checked between
+// attempts — validation may run a subprocess per candidate, so a
+// disconnected client must stop the loop.
+func (e *pooledFuzzer) generate(ctx context.Context, n int, accepts func(string) bool) (inputs []string, attempts int, err error) {
 	rng := e.rngs.Get().(*rand.Rand)
 	defer e.rngs.Put(rng)
 	budget := n

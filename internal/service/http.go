@@ -1,11 +1,13 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"glade/internal/metrics"
 	"glade/internal/oracle"
@@ -54,8 +56,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.Submit(spec)
 	if err != nil {
 		code := http.StatusBadRequest
-		if errors.Is(err, errQueueFull) {
+		switch {
+		case errors.Is(err, errQueueFull):
 			code = http.StatusServiceUnavailable
+		case errors.Is(err, errExecDisabled):
+			code = http.StatusForbidden
 		}
 		writeError(w, code, "%v", err)
 		return
@@ -139,12 +144,37 @@ func (s *Server) handleGrammar(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, text)
 }
 
+// Server-side bounds on validity-filtered generation (?valid=1): each
+// accepted input may cost up to maxValidFactor oracle runs, possibly
+// subprocesses, so unlike plain generation it is capped much lower, runs
+// under a deadline, and at most Config.MaxValidating requests validate
+// concurrently.
+const (
+	maxGenerateN      = 10000
+	maxValidGenerateN = 500
+	validGenerateTime = 2 * time.Minute
+)
+
 // handleGenerate draws fuzz inputs from a stored grammar's pooled fuzzer.
 // Query parameters: n (count, default 10, max 10000); valid=1 filters
 // through the grammar's recorded oracle so only oracle-accepted inputs are
-// returned (bounded attempts — the response reports how many were drawn).
+// returned (n capped at 500, bounded attempts and a server-side deadline —
+// the response reports how many candidates were drawn).
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	valid := false
+	if raw := r.URL.Query().Get("valid"); raw != "" {
+		v, err := strconv.ParseBool(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad valid %q", raw)
+			return
+		}
+		valid = v
+	}
+	limit := maxGenerateN
+	if valid {
+		limit = maxValidGenerateN
+	}
 	n := 10
 	if raw := r.URL.Query().Get("n"); raw != "" {
 		v, err := strconv.Atoi(raw)
@@ -154,31 +184,70 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
-	if n > 10000 {
-		writeError(w, http.StatusBadRequest, "n %d exceeds limit 10000", n)
+	if n > limit {
+		writeError(w, http.StatusBadRequest, "n %d exceeds limit %d", n, limit)
 		return
 	}
+	ctx := r.Context()
 	var accepts func(string) bool
-	if r.URL.Query().Get("valid") != "" {
+	if valid {
 		meta, ok := s.store.Meta(id)
 		if !ok {
 			writeError(w, http.StatusNotFound, "no grammar %q", id)
 			return
 		}
-		o, _, err := meta.Spec.build(1, s.cfg.DefaultOracleTimeout)
+		if len(meta.Spec.Exec) > 0 && !s.cfg.AllowExec {
+			writeError(w, http.StatusForbidden, "grammar %q validates through an exec oracle and %v", id, errExecDisabled)
+			return
+		}
+		// Validation queries are clamped to the server's default oracle
+		// timeout regardless of the recorded spec: exec queries run under
+		// their own context, so the request deadline below cannot cut one
+		// short, and a slot on the validating semaphore must not be held
+		// past the deadline by a single long query.
+		o, _, err := meta.Spec.build(1, s.cfg.DefaultOracleTimeout, s.cfg.DefaultOracleTimeout)
 		if err != nil {
 			writeError(w, http.StatusConflict, "grammar %q has no usable oracle for validation: %v", id, err)
 			return
 		}
 		accepts = o.Accepts
 	}
-	inputs, attempts, err := s.fuzzers.Generate(r.Context(), id, n, accepts)
+	// Resolve the fuzzer before any deadline or slot below: building one
+	// parses every seed (Earley, potentially slow and uncancellable). The
+	// entry is held directly so LRU churn during a semaphore wait cannot
+	// force a rebuild inside the deadline-bounded slot.
+	e, err := s.fuzzers.entry(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if valid {
+		// Validation may run a subprocess per candidate: bound the whole
+		// request with a deadline and take a slot on the server-wide
+		// validating semaphore so a handful of clients cannot fan out an
+		// unbounded number of oracle processes.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, validGenerateTime)
+		defer cancel()
+		select {
+		case s.validating <- struct{}{}:
+			defer func() { <-s.validating }()
+		case <-ctx.Done():
+			writeError(w, http.StatusServiceUnavailable, "validating generation is saturated; retry later")
+			return
+		}
+	}
+	inputs, attempts, err := e.generate(ctx, n, accepts)
 	if err != nil {
 		if r.Context().Err() != nil {
 			return // client disconnected mid-generation
 		}
-		writeError(w, http.StatusNotFound, "%v", err)
-		return
+		// The server-side deadline fired mid-validation: serve the inputs
+		// gathered so far (count < n tells the client it was truncated).
+		if !errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, http.StatusNotFound, "%v", err)
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"grammar_id": id,

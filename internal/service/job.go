@@ -45,8 +45,11 @@ func (sp OracleSpec) String() string {
 }
 
 // build resolves the spec into an oracle plus the builtin's bundled seeds
-// (nil for exec oracles).
-func (sp OracleSpec) build(workers int, defaultTimeout time.Duration) (oracle.Oracle, []string, error) {
+// (nil for exec oracles). maxTimeout, when positive, clamps the
+// client-chosen per-query exec timeout: oracle.Exec runs each query under
+// its own context, so an unbounded TimeoutMS would let one query outlive
+// every server-side bound (job duration, generate deadline).
+func (sp OracleSpec) build(workers int, defaultTimeout, maxTimeout time.Duration) (oracle.Oracle, []string, error) {
 	n := 0
 	if sp.Program != "" {
 		n++
@@ -77,6 +80,9 @@ func (sp OracleSpec) build(workers int, defaultTimeout time.Duration) (oracle.Or
 		timeout := defaultTimeout
 		if sp.TimeoutMS > 0 {
 			timeout = time.Duration(sp.TimeoutMS) * time.Millisecond
+		}
+		if maxTimeout > 0 && timeout > maxTimeout {
+			timeout = maxTimeout
 		}
 		return &oracle.Exec{Argv: sp.Exec, ErrSubstring: sp.ErrSubstring, Workers: workers, Timeout: timeout}, nil, nil
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"glade/internal/core"
+	"glade/internal/oracle"
 )
 
 // TestWatchAfterOverflow drives a job past the event-buffer bound and
@@ -44,7 +45,7 @@ func TestWatchAfterOverflow(t *testing.T) {
 // TestGenerateRetryAfterEarlyRequest checks a generate that arrives before
 // the grammar exists does not poison the fuzzer pool for that id.
 func TestGenerateRetryAfterEarlyRequest(t *testing.T) {
-	store, err := OpenStore(t.TempDir())
+	store, err := OpenStore(t.TempDir(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestGenerateRetryAfterEarlyRequest(t *testing.T) {
 // TestGenerateRespectsContext checks a canceled request stops the
 // validity-filter loop instead of burning the full attempt budget.
 func TestGenerateRespectsContext(t *testing.T) {
-	store, err := OpenStore(t.TempDir())
+	store, err := OpenStore(t.TempDir(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,5 +137,32 @@ func TestWorkersClamped(t *testing.T) {
 	spec.Options.Workers = 2
 	if got := spec.resolveOptions(cfg, []string{"s"}).Workers; got != 2 {
 		t.Fatalf("modest Workers mangled: %d", got)
+	}
+}
+
+// TestExecTimeoutClamped: the client-chosen exec per-query timeout must be
+// clamped by build's maxTimeout — oracle.Exec runs each query under its
+// own context, so an unbounded TimeoutMS would let one query outlive the
+// job duration or the generate deadline (and hold a validating slot).
+func TestExecTimeoutClamped(t *testing.T) {
+	cases := []struct {
+		timeoutMS  int
+		maxTimeout time.Duration
+		want       time.Duration
+	}{
+		{3600_000, 2 * time.Second, 2 * time.Second}, // huge request, clamped
+		{500, 2 * time.Second, 500 * time.Millisecond},
+		{0, 2 * time.Second, time.Second}, // default under the clamp
+		{3600_000, 0, 3600 * time.Second}, // no clamp requested
+	}
+	for _, tc := range cases {
+		sp := OracleSpec{Exec: []string{"true"}, TimeoutMS: tc.timeoutMS}
+		o, _, err := sp.build(1, time.Second, tc.maxTimeout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := o.(*oracle.Exec).Timeout; got != tc.want {
+			t.Errorf("timeoutMS=%d max=%v: got %v, want %v", tc.timeoutMS, tc.maxTimeout, got, tc.want)
+		}
 	}
 }

@@ -56,6 +56,18 @@ type Config struct {
 	// DefaultOracleTimeout bounds each exec-oracle query when the job spec
 	// does not set one (default 10s; a hanging target program is killed).
 	DefaultOracleTimeout time.Duration
+	// AllowExec permits exec oracle specs, which make the API run
+	// client-chosen argv as subprocesses — arbitrary command execution by
+	// design. Off by default: enable only when every client that can reach
+	// the listen address is trusted (the server has no authentication).
+	// When off, exec job submissions and validity-filtered generation from
+	// grammars recorded with an exec oracle are rejected with 403.
+	AllowExec bool
+	// MaxValidating bounds concurrent validity-filtered generate requests
+	// (?valid=1), each of which may run thousands of oracle subprocess
+	// invocations (default 2). Excess requests wait for a slot until the
+	// per-request deadline expires.
+	MaxValidating int
 	// MaxSeedBytes bounds the total seed payload of one job (default 1MiB).
 	MaxSeedBytes int
 	// Logf, when non-nil, receives server log lines.
@@ -84,6 +96,9 @@ func (c Config) withDefaults() Config {
 	if c.DefaultOracleTimeout <= 0 {
 		c.DefaultOracleTimeout = 10 * time.Second
 	}
+	if c.MaxValidating <= 0 {
+		c.MaxValidating = 2
+	}
 	if c.MaxSeedBytes <= 0 {
 		c.MaxSeedBytes = 1 << 20
 	}
@@ -98,6 +113,9 @@ type Server struct {
 	store   *Store
 	fuzzers *fuzzerPool
 	handler http.Handler
+	// validating is the semaphore bounding concurrent ?valid=1 generate
+	// requests (capacity cfg.MaxValidating).
+	validating chan struct{}
 
 	mu    sync.Mutex
 	jobs  map[string]*Job
@@ -111,17 +129,18 @@ type Server struct {
 // earlier incarnations) and starts cfg.MaxJobs scheduler workers.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	store, err := OpenStore(cfg.DataDir)
+	store, err := OpenStore(cfg.DataDir, cfg.Logf)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		store:   store,
-		fuzzers: newFuzzerPool(store),
-		jobs:    map[string]*Job{},
-		queue:   make(chan *Job, cfg.QueueDepth),
-		done:    make(chan struct{}),
+		cfg:        cfg,
+		store:      store,
+		fuzzers:    newFuzzerPool(store),
+		validating: make(chan struct{}, cfg.MaxValidating),
+		jobs:       map[string]*Job{},
+		queue:      make(chan *Job, cfg.QueueDepth),
+		done:       make(chan struct{}),
 	}
 	s.handler = s.routes()
 	for i := 0; i < cfg.MaxJobs; i++ {
@@ -173,10 +192,15 @@ func (s *Server) logf(format string, args ...any) {
 
 // Submit validates a job spec, resolves its seeds, and enqueues it.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if len(spec.Oracle.Exec) > 0 && !s.cfg.AllowExec {
+		return nil, errExecDisabled
+	}
 	// Resolve the oracle now so an invalid spec fails the submission, not
 	// the job. The resolved oracle is rebuilt in run() — oracles are cheap
 	// to construct, and building late keeps Job free of live resources.
-	_, defaults, err := spec.Oracle.build(1, s.cfg.DefaultOracleTimeout)
+	// A per-query timeout longer than the whole job is meaningless, so
+	// MaxJobDuration clamps the client-chosen exec timeout.
+	_, defaults, err := spec.Oracle.build(1, s.cfg.DefaultOracleTimeout, s.cfg.MaxJobDuration)
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +243,10 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	return j, nil
 }
 
-var errQueueFull = fmt.Errorf("job queue is full")
+var (
+	errQueueFull    = fmt.Errorf("job queue is full")
+	errExecDisabled = fmt.Errorf("exec oracles are disabled on this server; start glade-serve with -allow-exec to permit them")
+)
 
 // maxJobHistory bounds retained job records. Grammars and their metadata
 // live on in the store; only the in-memory job ledger is pruned.
@@ -279,7 +306,7 @@ func (s *Server) worker() {
 // resulting grammar.
 func (s *Server) run(j *Job) {
 	opts := j.Spec.resolveOptions(s.cfg, j.seeds)
-	o, _, err := j.Spec.Oracle.build(opts.Workers, s.cfg.DefaultOracleTimeout)
+	o, _, err := j.Spec.Oracle.build(opts.Workers, s.cfg.DefaultOracleTimeout, s.cfg.MaxJobDuration)
 	if err != nil {
 		// Validated at submission; only reachable if a builtin vanished.
 		s.finish(j, nil, err)

@@ -3,6 +3,7 @@ package service
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -208,7 +209,6 @@ func TestSubmitValidation(t *testing.T) {
 		{"no oracle", `{"seeds":["x"]}`},
 		{"two oracles", `{"oracle":{"program":"sed","target":"xml"}}`},
 		{"unknown program", `{"oracle":{"program":"nope"}}`},
-		{"exec without seeds", `{"oracle":{"exec":["true"]}}`},
 		{"unknown field", `{"oracle":{"program":"sed"},"bogus":1}`},
 	}
 	for _, tc := range cases {
@@ -221,6 +221,109 @@ func TestSubmitValidation(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s: got %d, want 400", tc.name, resp.StatusCode)
 		}
+	}
+}
+
+// TestExecGating: exec oracle specs run client-chosen commands on the
+// server, so without Config.AllowExec both submission and validity-
+// filtered generation from an exec-recorded grammar must be refused with
+// 403; with AllowExec the spec proceeds to normal validation.
+func TestExecGating(t *testing.T) {
+	srv, ts := testServer(t, t.TempDir())
+
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", JobSpec{Seeds: []string{"x"}, Oracle: OracleSpec{Exec: []string{"true"}}})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("exec submit without AllowExec: got %d, want 403 (%s)", resp.StatusCode, body)
+	}
+
+	// A grammar recorded with an exec oracle (e.g. stored by an earlier
+	// incarnation that allowed exec) must not validate through it either.
+	g := mustGrammar(t, "start A\nA -> \"a\"\n")
+	if err := srv.Store().Put(g, GrammarMeta{ID: "execgram", Spec: OracleSpec{Exec: []string{"true"}}, Seeds: []string{"a"}, CreatedAt: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/grammars/execgram/generate?valid=1", nil)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("valid=1 generate with exec oracle: got %d, want 403 (%s)", resp.StatusCode, body)
+	}
+	// Plain (unvalidated) generation never runs the oracle and stays open.
+	resp, body = postJSON(t, ts.URL+"/v1/grammars/execgram/generate?n=3", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("plain generate on exec-recorded grammar: got %d, want 200 (%s)", resp.StatusCode, body)
+	}
+
+	allow, err := New(Config{DataDir: t.TempDir(), AllowExec: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(allow.Handler())
+	t.Cleanup(func() { ts2.Close(); allow.Close() })
+	resp, body = postJSON(t, ts2.URL+"/v1/jobs", JobSpec{Oracle: OracleSpec{Exec: []string{"true"}}})
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "no seeds") {
+		t.Errorf("exec submit with AllowExec but no seeds: got %d, want 400 no-seeds (%s)", resp.StatusCode, body)
+	}
+}
+
+// TestValidGenerateCap: valid=1 may run an oracle subprocess per attempt,
+// so its n cap is much lower than plain generation's.
+func TestValidGenerateCap(t *testing.T) {
+	_, ts := testServer(t, t.TempDir())
+	resp, body := postJSON(t, ts.URL+"/v1/grammars/whatever/generate?n=501&valid=1", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("valid=1 n=501: got %d, want 400 (%s)", resp.StatusCode, body)
+	}
+	// The same n is fine without validation (404 only because the grammar
+	// does not exist, i.e. the cap check passed).
+	resp, _ = postJSON(t, ts.URL+"/v1/grammars/whatever/generate?n=501", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("plain n=501: got %d, want 404", resp.StatusCode)
+	}
+	// valid parses as a bool: valid=0 means plain generation (so the lower
+	// cap does not apply), and a non-boolean value is rejected.
+	resp, _ = postJSON(t, ts.URL+"/v1/grammars/whatever/generate?n=501&valid=0", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("valid=0 n=501: got %d, want 404 (plain path)", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/grammars/whatever/generate?valid=bogus", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("valid=bogus: got %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestFuzzerPoolEviction: the fuzzer cache must stay LRU-bounded so a
+// long-lived daemon's memory does not grow with every grammar ever used
+// for generation.
+func TestFuzzerPoolEviction(t *testing.T) {
+	store, err := OpenStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mustGrammar(t, "start A\nA -> \"a\"\n")
+	pool := newFuzzerPool(store)
+	n := maxFuzzerEntries + 8
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("g%03d", i)
+		if err := store.Put(g, GrammarMeta{ID: id, Seeds: []string{"a"}, CreatedAt: time.Now()}); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := pool.Generate(context.Background(), id, 1, nil); err != nil {
+			t.Fatalf("generate %s: %v", id, err)
+		}
+	}
+	pool.mu.Lock()
+	size, lruLen := len(pool.entries), pool.lru.Len()
+	_, oldestOK := pool.entries["g000"]
+	_, newestOK := pool.entries[fmt.Sprintf("g%03d", n-1)]
+	pool.mu.Unlock()
+	if size != maxFuzzerEntries || lruLen != size {
+		t.Fatalf("pool holds %d entries (lru %d), want %d", size, lruLen, maxFuzzerEntries)
+	}
+	if oldestOK || !newestOK {
+		t.Fatalf("LRU order wrong: oldest present=%v newest present=%v", oldestOK, newestOK)
+	}
+	// An evicted grammar is rebuilt transparently on its next use.
+	if inputs, _, err := pool.Generate(context.Background(), "g000", 1, nil); err != nil || len(inputs) != 1 {
+		t.Fatalf("regenerate after eviction: %v (%d inputs)", err, len(inputs))
 	}
 }
 

@@ -36,7 +36,8 @@ type GrammarMeta struct {
 // grammars learned by earlier incarnations; writes go through a temp-file
 // rename so a crash never leaves a half-written grammar behind.
 type Store struct {
-	dir string
+	dir  string
+	logf func(format string, args ...any)
 
 	mu    sync.RWMutex
 	metas map[string]*GrammarMeta
@@ -47,10 +48,10 @@ type Store struct {
 
 // OpenStore opens (creating if needed) the store rooted at dir and loads
 // every grammar already present. Entries whose grammar text no longer
-// parses, or which lack either file of the pair, are skipped with an error
-// on stderr rather than failing the open — one corrupt entry must not take
-// the daemon down.
-func OpenStore(dir string) (*Store, error) {
+// parses, or which lack either file of the pair, are skipped with a line
+// through logf (nil silences them, matching glade-serve -quiet) rather
+// than failing the open — one corrupt entry must not take the daemon down.
+func OpenStore(dir string, logf func(format string, args ...any)) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("service: store directory is empty")
 	}
@@ -59,6 +60,7 @@ func OpenStore(dir string) (*Store, error) {
 	}
 	s := &Store{
 		dir:      dir,
+		logf:     logf,
 		metas:    map[string]*GrammarMeta{},
 		texts:    map[string]string{},
 		grammars: map[string]*cfg.Grammar{},
@@ -75,21 +77,22 @@ func OpenStore(dir string) (*Store, error) {
 		}
 		metaBytes, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
+			s.skipf("store: skipping unreadable metadata %s: %v", name, err)
 			continue
 		}
 		var meta GrammarMeta
 		if err := json.Unmarshal(metaBytes, &meta); err != nil || meta.ID != id {
-			fmt.Fprintf(os.Stderr, "service: store: skipping bad metadata %s\n", name)
+			s.skipf("store: skipping bad metadata %s", name)
 			continue
 		}
 		text, err := os.ReadFile(filepath.Join(dir, id+".grammar"))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "service: store: %s has no grammar file\n", id)
+			s.skipf("store: %s has no grammar file", id)
 			continue
 		}
 		g, err := cfg.Unmarshal(string(text))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "service: store: skipping unparsable grammar %s: %v\n", id, err)
+			s.skipf("store: skipping unparsable grammar %s: %v", id, err)
 			continue
 		}
 		s.metas[id] = &meta
@@ -97,6 +100,13 @@ func OpenStore(dir string) (*Store, error) {
 		s.grammars[id] = g // validation already paid for the parse
 	}
 	return s, nil
+}
+
+// skipf logs one skipped-entry diagnostic; silent when no logger is set.
+func (s *Store) skipf(format string, args ...any) {
+	if s.logf != nil {
+		s.logf(format, args...)
+	}
 }
 
 // Dir returns the store's root directory.

@@ -20,7 +20,7 @@ func mustGrammar(t *testing.T, text string) *cfg.Grammar {
 
 func TestStoreRoundTripAndReload(t *testing.T) {
 	dir := t.TempDir()
-	s, err := OpenStore(dir)
+	s, err := OpenStore(dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestStoreRoundTripAndReload(t *testing.T) {
 
 	// A fresh open over the same directory sees the same grammar and
 	// metadata — the restart-survival contract.
-	s2, err := OpenStore(dir)
+	s2, err := OpenStore(dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestStoreRoundTripAndReload(t *testing.T) {
 
 func TestStoreSkipsCorruptEntries(t *testing.T) {
 	dir := t.TempDir()
-	s, err := OpenStore(dir)
+	s, err := OpenStore(dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestStoreSkipsCorruptEntries(t *testing.T) {
 	os.WriteFile(filepath.Join(dir, "bad.json"), []byte(`{"id":"bad"}`), 0o644)
 	os.WriteFile(filepath.Join(dir, "bad.grammar"), []byte("not a grammar"), 0o644)
 
-	s2, err := OpenStore(dir)
+	s2, err := OpenStore(dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestStoreSkipsCorruptEntries(t *testing.T) {
 }
 
 func TestStoreListOrder(t *testing.T) {
-	s, err := OpenStore(t.TempDir())
+	s, err := OpenStore(t.TempDir(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,24 +7,34 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PROGRAM="${1:-grep}"
-PORT=$(( (RANDOM % 20000) + 20000 ))
 DATA=$(mktemp -d)
 LOG="$DATA/serve.log"
+SERVE_PID=""
 
 go build -o "$DATA/glade-serve" ./cmd/glade-serve
-"$DATA/glade-serve" -addr "127.0.0.1:$PORT" -data "$DATA/store" >"$LOG" 2>&1 &
-SERVE_PID=$!
 cleanup() {
-  kill "$SERVE_PID" 2>/dev/null || true
-  wait "$SERVE_PID" 2>/dev/null || true
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  [ -n "$SERVE_PID" ] && wait "$SERVE_PID" 2>/dev/null || true
   rm -rf "$DATA"
 }
 trap cleanup EXIT
 
-BASE="http://127.0.0.1:$PORT"
-for _ in $(seq 1 50); do
-  curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
-  sleep 0.2
+# Pick a random port; if the daemon dies before answering /healthz (e.g.
+# the port was already taken on a shared runner), retry on a fresh one.
+BASE=""
+for _ in 1 2 3 4 5; do
+  PORT=$(( (RANDOM % 20000) + 20000 ))
+  BASE="http://127.0.0.1:$PORT"
+  "$DATA/glade-serve" -addr "127.0.0.1:$PORT" -data "$DATA/store" >"$LOG" 2>&1 &
+  SERVE_PID=$!
+  for _ in $(seq 1 50); do
+    curl -sf "$BASE/healthz" >/dev/null 2>&1 && break 2
+    kill -0 "$SERVE_PID" 2>/dev/null || break  # daemon exited: new port
+    sleep 0.2
+  done
+  kill "$SERVE_PID" 2>/dev/null || true
+  wait "$SERVE_PID" 2>/dev/null || true
+  SERVE_PID=""
 done
 curl -sf "$BASE/healthz" >/dev/null || { echo "server never came up"; cat "$LOG"; exit 1; }
 
@@ -36,7 +46,9 @@ echo "job $ID"
 echo "== poll to completion"
 STATE=queued
 for _ in $(seq 1 300); do
-  STATE=$(curl -sf "$BASE/v1/jobs/$ID" | jq -er .state)
+  # Tolerate transient poll failures (momentary connection refusal): retry
+  # until the budget runs out instead of letting set -e abort the script.
+  STATE=$(curl -sf "$BASE/v1/jobs/$ID" | jq -er .state) || { sleep 1; continue; }
   [ "$STATE" = done ] || [ "$STATE" = failed ] && break
   sleep 1
 done
