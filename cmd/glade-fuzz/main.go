@@ -1,34 +1,69 @@
-// Command glade-fuzz runs the §8.3 fuzzing experiment against one built-in
-// program: it synthesizes a grammar from the program's seeds, then compares
-// the grammar-based fuzzer with the naive and afl-style baselines on valid
-// incremental coverage.
+// Command glade-fuzz runs the §8.3 fuzzing experiments against one
+// built-in program.
+//
+// The default mode is the paper's one-shot comparison: synthesize a
+// grammar from the program's seeds, then compare the grammar-based fuzzer
+// with the naive and afl-style baselines on valid incremental coverage.
+// With -campaign it instead runs a long-lived fuzzing campaign
+// (internal/campaign): waves of grammar-fuzzed and mutated inputs, triaged
+// into a deduplicated corpus (accept/reject flips, new token shapes), with
+// a checkpointed JSON report.
 //
 // Usage:
 //
 //	glade-fuzz -program xml [-n 50000] [-fuzzer all|naive|afl|glade]
+//	           [-grammar g.txt] [-workers 8] [-timeout 120s] [-seed 1]
+//	glade-fuzz -campaign -program sed -duration 30s [-report campaign.json]
+//	           [-batch 64] [-refresh 0] [-grammar g.txt] [-workers 8]
+//
+// Flags:
+//
+//	-program   program under test: sed flex grep bison xml ruby python javascript
+//	-fuzzer    one-shot mode: which fuzzer(s) to run (all naive afl glade)
+//	-n         one-shot mode: samples per fuzzer
+//	-grammar   load a pre-synthesized grammar (cfg.Marshal format, see
+//	           `glade -o` or GET /v1/grammars/{id}) instead of learning
+//	-workers   concurrent oracle queries (grammar synthesis and campaign waves)
+//	-timeout   grammar-synthesis time bound
+//	-seed      random seed
+//	-campaign  run a fuzzing campaign instead of the one-shot comparison
+//	-duration  campaign runtime (0 = until interrupted)
+//	-report    campaign report path (checkpointed and final JSON)
+//	-batch     campaign inputs per wave
+//	-refresh   campaign grammar-refresh interval (0 = off)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"glade/internal/bench"
+	"glade/internal/campaign"
 	"glade/internal/cfg"
 	"glade/internal/fuzz"
+	"glade/internal/oracle"
 	"glade/internal/programs"
 )
 
 func main() {
 	name := flag.String("program", "xml", "program under test (sed flex grep bison xml ruby python javascript)")
-	n := flag.Int("n", 50000, "samples per fuzzer")
-	which := flag.String("fuzzer", "all", "fuzzer to run: all naive afl glade")
+	n := flag.Int("n", 50000, "samples per fuzzer (one-shot mode)")
+	which := flag.String("fuzzer", "all", "fuzzer to run: all naive afl glade (one-shot mode)")
 	timeout := flag.Duration("timeout", 120*time.Second, "grammar-synthesis timeout")
 	grammarFile := flag.String("grammar", "", "load a pre-synthesized grammar (cfg.Marshal format, see `glade -o`) instead of learning")
 	seed := flag.Int64("seed", 1, "random seed")
-	workers := flag.Int("workers", 0, "concurrent oracle queries during grammar synthesis (0 or 1 = sequential)")
+	workers := flag.Int("workers", 0, "concurrent oracle queries (0 or 1 = sequential)")
+	runCampaign := flag.Bool("campaign", false, "run a long-lived fuzzing campaign instead of the one-shot comparison")
+	duration := flag.Duration("duration", 30*time.Second, "campaign runtime (0 = until interrupted)")
+	report := flag.String("report", "campaign.json", "campaign report path (checkpointed JSON)")
+	batch := flag.Int("batch", 64, "campaign inputs per wave")
+	refresh := flag.Duration("refresh", 0, "campaign grammar-refresh interval (0 = off)")
 	flag.Parse()
 
 	p := programs.ByName(*name)
@@ -38,6 +73,35 @@ func main() {
 	}
 	seeds := p.Seeds()
 
+	// Both modes need the synthesized grammar (unless one was supplied).
+	loadGrammar := func() *cfg.Grammar {
+		if *grammarFile != "" {
+			data, err := os.ReadFile(*grammarFile)
+			var g *cfg.Grammar
+			if err == nil {
+				g, err = cfg.Unmarshal(string(data))
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "glade-fuzz:", err)
+				os.Exit(1)
+			}
+			return g
+		}
+		res, err := bench.LearnProgram(p, *timeout, *workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "glade-fuzz:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "# synthesized grammar: %d symbols, %d merges, %.2fs, %d queries\n",
+			res.Grammar.Size(), res.Stats.Merged, res.Stats.Duration.Seconds(), res.Stats.OracleQueries)
+		return res.Grammar
+	}
+
+	if *runCampaign {
+		runCampaignMode(p, loadGrammar(), seeds, *duration, *report, *batch, *refresh, *workers, *seed)
+		return
+	}
+
 	var fuzzers []fuzz.Fuzzer
 	if *which == "all" || *which == "naive" {
 		fuzzers = append(fuzzers, fuzz.NewNaive(seeds, nil))
@@ -46,27 +110,7 @@ func main() {
 		fuzzers = append(fuzzers, fuzz.NewAFL(seeds))
 	}
 	if *which == "all" || *which == "glade" {
-		var g *cfg.Grammar
-		if *grammarFile != "" {
-			data, err := os.ReadFile(*grammarFile)
-			if err == nil {
-				g, err = cfg.Unmarshal(string(data))
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "glade-fuzz:", err)
-				os.Exit(1)
-			}
-		} else {
-			res, err := bench.LearnProgram(p, *timeout, *workers)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "glade-fuzz:", err)
-				os.Exit(1)
-			}
-			fmt.Fprintf(os.Stderr, "# synthesized grammar: %d symbols, %d merges, %.2fs, %d queries\n",
-				res.Grammar.Size(), res.Stats.Merged, res.Stats.Duration.Seconds(), res.Stats.OracleQueries)
-			g = res.Grammar
-		}
-		fuzzers = append(fuzzers, fuzz.NewGrammar(g, seeds))
+		fuzzers = append(fuzzers, fuzz.NewGrammar(loadGrammar(), seeds))
 	}
 	if len(fuzzers) == 0 {
 		fmt.Fprintf(os.Stderr, "glade-fuzz: unknown fuzzer %q\n", *which)
@@ -85,5 +129,51 @@ func main() {
 			base = &b
 		}
 		fmt.Printf("%-8s %9d %8d %8d %11.2f\n", f.Name(), run.Samples, run.Valid, run.IncrCover, norm)
+	}
+}
+
+// runCampaignMode drives one fuzzing campaign against the program and
+// prints a bucket summary. SIGINT/SIGTERM end an unbounded campaign
+// gracefully (the final report is still written).
+func runCampaignMode(p programs.Program, g *cfg.Grammar, seeds []string,
+	duration time.Duration, report string, batch int, refresh time.Duration, workers int, seed int64) {
+	conf := campaign.Config{
+		Grammar:      g,
+		Seeds:        seeds,
+		Oracle:       oracle.Func(func(s string) bool { return p.Run(s).OK }),
+		Workers:      workers,
+		BatchSize:    batch,
+		Duration:     duration,
+		ReportPath:   report,
+		RefreshEvery: refresh,
+		RandSeed:     seed,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+		},
+	}
+	c, err := campaign.New(conf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "glade-fuzz:", err)
+		os.Exit(1)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := c.Run(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "glade-fuzz:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("campaign: %s  %.1fs  %d waves  %d inputs (%d accepted, %d rejected, %d dup)\n",
+		p.Name(), rep.ElapsedSeconds, rep.Waves, rep.Inputs, rep.Accepted, rep.Rejected, rep.Duplicates)
+	fmt.Printf("%-12s %8s\n", "bucket", "found")
+	for _, b := range campaign.Buckets() {
+		fmt.Printf("%-12s %8d\n", b, rep.Buckets[b])
+	}
+	fmt.Printf("oracle: %s\n", rep.Queries.String())
+	if rep.Refreshes > 0 {
+		fmt.Printf("refreshes: %d (grammar now %d symbols)\n", rep.Refreshes, rep.GrammarSymbols)
+	}
+	if report != "" {
+		fmt.Printf("report: %s\n", report)
 	}
 }

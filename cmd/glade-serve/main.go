@@ -18,6 +18,9 @@
 //	curl -s localhost:8080/v1/jobs/<id>?watch=1      # NDJSON progress stream
 //	curl -s localhost:8080/v1/grammars/<id>          # the learned grammar
 //	curl -s -X POST 'localhost:8080/v1/grammars/<id>/generate?n=10&valid=1'
+//	curl -s -X POST localhost:8080/v1/campaigns \
+//	    -d '{"grammar_id":"<id>","duration_ms":30000}'  # fuzzing campaign
+//	curl -s localhost:8080/v1/campaigns/<id>?watch=1    # NDJSON checkpoints
 //
 // See internal/service for the full API surface.
 package main
@@ -47,6 +50,8 @@ func main() {
 	oracleTimeout := flag.Duration("oracle-timeout", 10*time.Second, "default per-query timeout for exec oracles; a hanging target is killed and treated as rejecting")
 	allowExec := flag.Bool("allow-exec", false, "permit exec oracle specs, letting API clients run arbitrary commands on this host; enable only when every client is trusted")
 	maxValidating := flag.Int("max-validating", 2, "concurrent validity-filtered generate requests (?valid=1); excess requests wait for a slot")
+	campaigns := flag.Int("campaigns", 1, "concurrently running fuzzing campaigns; queued campaigns wait")
+	campaignTimeout := flag.Duration("campaign-timeout", 10*time.Minute, "upper bound on one campaign's duration (clamps the client-chosen duration_ms)")
 	quiet := flag.Bool("quiet", false, "suppress per-job log lines")
 	flag.Parse()
 
@@ -60,6 +65,8 @@ func main() {
 		DefaultOracleTimeout: *oracleTimeout,
 		AllowExec:            *allowExec,
 		MaxValidating:        *maxValidating,
+		MaxCampaigns:         *campaigns,
+		MaxCampaignDuration:  *campaignTimeout,
 	}
 	if !*quiet {
 		cfg.Logf = logger.Printf

@@ -1,0 +1,473 @@
+// Package campaign implements long-running grammar-fuzzing campaigns: the
+// §8.3 use of a GLADE-synthesized grammar as a fuzzer, extended from the
+// one-shot sample-count comparison of cmd/glade-fuzz into an engine that
+// drives a learned grammar against a membership oracle indefinitely.
+//
+// Each wave draws a batch of candidates — mostly grammar-fuzzed, a
+// configurable fraction naively mutated — deduplicates them against a
+// bounded seen-set, executes them through the concurrent oracle engine
+// (oracle.Parallel over a metrics.QueryTimer), and triages the verdicts
+// into a deduplicating corpus:
+//
+//	accept_flip  oracle accepts, grammar cannot parse (under-approximation)
+//	reject_flip  grammar-generated, oracle rejects (over-approximation)
+//	new_shape    accepted input with an unseen token shape
+//	crash        exec-oracle target died on a signal
+//	timeout      exec-oracle target hung until the per-query kill
+//
+// The engine checkpoints a JSON Report periodically (and finally), and can
+// periodically refresh its grammar by re-running core.Learn seeded with the
+// accept flips it found — the campaign's own discoveries widening the
+// generator that makes them.
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"glade/internal/bytesets"
+	"glade/internal/cfg"
+	"glade/internal/core"
+	"glade/internal/fuzz"
+	"glade/internal/metrics"
+	"glade/internal/oracle"
+)
+
+// Config configures a Campaign. Grammar, Seeds, and Oracle are required;
+// every other field has a usable default.
+type Config struct {
+	// Grammar is the synthesized grammar driving generation.
+	Grammar *cfg.Grammar
+	// Seeds are the example inputs the grammar was learned from; the
+	// grammar fuzzer starts every input from a parsed seed tree.
+	Seeds []string
+	// Oracle answers membership queries. When it is an *oracle.Exec the
+	// campaign records full verdicts, populating the crash and timeout
+	// buckets. It must be safe for concurrent use when Workers > 1.
+	Oracle oracle.Oracle
+	// Workers bounds concurrent oracle queries per wave (default 1).
+	Workers int
+	// BatchSize is the number of candidates per wave (default 64).
+	BatchSize int
+	// Duration bounds the campaign's runtime; zero runs until the Run
+	// context is cancelled.
+	Duration time.Duration
+	// MutateRatio is the fraction of each wave drawn from the naive
+	// byte-level mutator rather than the grammar fuzzer (default 0.25).
+	// Mutated inputs can leave L(Ĉ), which is what makes accept flips —
+	// and crashes — findable.
+	MutateRatio float64
+	// ReportPath, when non-empty, receives the checkpointed JSON report.
+	ReportPath string
+	// ReportEvery is the checkpoint and progress-callback interval
+	// (default 2s).
+	ReportEvery time.Duration
+	// RefreshEvery, when positive, re-runs core.Learn at this interval
+	// with the accept flips found since the last refresh as extra seeds,
+	// swapping in the widened grammar. The campaign pauses while the
+	// refresh learns.
+	RefreshEvery time.Duration
+	// RefreshTimeout bounds each refresh's learning time (default 30s).
+	RefreshTimeout time.Duration
+	// MaxRefreshSeeds bounds the accept flips fed to one refresh
+	// (default 8) — learning cost grows with seed count.
+	MaxRefreshSeeds int
+	// MaxBucket bounds retained corpus entries per bucket (default 100);
+	// bucket counts keep growing past it.
+	MaxBucket int
+	// RandSeed seeds the campaign's generators (default 1).
+	RandSeed int64
+	// Progress, when non-nil, receives report snapshots at the checkpoint
+	// cadence plus one final Done snapshot. It is called on the campaign
+	// goroutine and must not block.
+	Progress func(Report)
+	// Logf, when non-nil, receives campaign log lines.
+	Logf func(format string, args ...any)
+}
+
+func (conf Config) withDefaults() Config {
+	if conf.Workers < 1 {
+		conf.Workers = 1
+	}
+	if conf.BatchSize <= 0 {
+		conf.BatchSize = 64
+	}
+	if conf.MutateRatio <= 0 || conf.MutateRatio > 1 {
+		conf.MutateRatio = 0.25
+	}
+	if conf.ReportEvery <= 0 {
+		conf.ReportEvery = 2 * time.Second
+	}
+	if conf.RefreshTimeout <= 0 {
+		conf.RefreshTimeout = 30 * time.Second
+	}
+	if conf.MaxRefreshSeeds <= 0 {
+		conf.MaxRefreshSeeds = 8
+	}
+	if conf.MaxBucket <= 0 {
+		conf.MaxBucket = 100
+	}
+	if conf.RandSeed == 0 {
+		conf.RandSeed = 1
+	}
+	return conf
+}
+
+// Campaign is one long-running fuzzing campaign. Create with New, drive
+// with Run; Snapshot may be called concurrently while Run executes.
+type Campaign struct {
+	conf Config
+
+	// Generators and the flip-detection parser; refresh swaps them under
+	// mu, and nextWave/classify read them under mu.
+	grammar *cfg.Grammar
+	fuzzer  *fuzz.Grammar
+	parser  *cfg.Parser
+	naive   *fuzz.Naive
+
+	exec     *oracle.Exec     // non-nil when conf.Oracle is an exec oracle
+	verdicts *verdictRecorder // non-nil iff exec is
+	timer    *metrics.QueryTimer
+	pool     *oracle.Pool
+	rng      *rand.Rand
+	seen     *seenSet // executed-input dedup
+
+	mu     sync.Mutex
+	report Report // counter fields only; snapshotLocked fills the rest
+	corpus *corpus
+
+	lastCheckpoint    time.Time
+	lastRefresh       time.Time
+	flipsSinceRefresh int
+}
+
+// candidate is one wave slot: the input and where it came from, which
+// classification needs (grammar-generated inputs are in L(Ĉ) by
+// construction; mutated ones must be parsed to tell).
+type candidate struct {
+	input       string
+	fromGrammar bool
+}
+
+// verdictRecorder wraps an exec oracle, recording each query's full
+// verdict so wave classification can see crashes and timeouts behind the
+// boolean answers. It is safe for concurrent use (it sits under the
+// worker pool).
+type verdictRecorder struct {
+	ex *oracle.Exec
+
+	mu       sync.Mutex
+	verdicts map[string]oracle.Verdict
+}
+
+// Accepts implements oracle.Oracle, recording the verdict.
+func (v *verdictRecorder) Accepts(input string) bool {
+	vd := v.ex.Verdict(input)
+	v.mu.Lock()
+	v.verdicts[input] = vd
+	v.mu.Unlock()
+	return vd.Accepted
+}
+
+// take returns the verdicts recorded since the last take.
+func (v *verdictRecorder) take() map[string]oracle.Verdict {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := v.verdicts
+	v.verdicts = map[string]oracle.Verdict{}
+	return out
+}
+
+// New validates conf and builds the campaign: the grammar fuzzer over the
+// seeds, the naive mutator, the parser for flip detection, and the
+// concurrent oracle stack (verdict recorder when the oracle is an
+// *oracle.Exec, then the query timer, then the worker pool).
+func New(conf Config) (*Campaign, error) {
+	conf = conf.withDefaults()
+	if conf.Grammar == nil {
+		return nil, fmt.Errorf("campaign: Grammar is required")
+	}
+	if conf.Oracle == nil {
+		return nil, fmt.Errorf("campaign: Oracle is required")
+	}
+	if len(conf.Seeds) == 0 {
+		return nil, fmt.Errorf("campaign: at least one seed input is required")
+	}
+	c := &Campaign{
+		conf:    conf,
+		grammar: conf.Grammar,
+		fuzzer:  fuzz.NewGrammar(conf.Grammar, conf.Seeds),
+		parser:  cfg.NewParser(conf.Grammar),
+		naive:   fuzz.NewNaive(conf.Seeds, nil),
+		rng:     rand.New(rand.NewSource(conf.RandSeed)),
+		seen:    newSeenSet(1 << 16),
+		corpus:  newCorpus(conf.MaxBucket),
+	}
+	inner := conf.Oracle
+	if ex, ok := conf.Oracle.(*oracle.Exec); ok {
+		c.exec = ex
+		c.verdicts = &verdictRecorder{ex: ex, verdicts: map[string]oracle.Verdict{}}
+		inner = c.verdicts
+	}
+	c.timer = metrics.NewQueryTimer(inner)
+	c.pool = oracle.Parallel(c.timer, conf.Workers)
+	c.report.GrammarSymbols = conf.Grammar.Size()
+	return c, nil
+}
+
+// Run executes the campaign until its Duration elapses or ctx is
+// cancelled, whichever comes first, and returns the final report (which is
+// also checkpointed to Config.ReportPath when set). Cancellation is the
+// normal way an unbounded campaign ends; Run returns an error only when
+// the final report cannot be written.
+func (c *Campaign) Run(ctx context.Context) (*Report, error) {
+	if c.conf.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.conf.Duration)
+		defer cancel()
+	}
+	now := time.Now()
+	c.mu.Lock()
+	c.report.StartedAt = now
+	c.mu.Unlock()
+	c.lastCheckpoint = now
+	c.lastRefresh = now
+	c.logf("campaign: start (batch=%d workers=%d mutate=%.0f%%)",
+		c.conf.BatchSize, c.conf.Workers, 100*c.conf.MutateRatio)
+	// An immediate checkpoint gives watchers a line before the first wave
+	// lands and guarantees the report file exists from the very start.
+	c.checkpoint(false, true)
+
+	for ctx.Err() == nil {
+		wave := c.nextWave()
+		if len(wave) == 0 {
+			// Everything this wave was a duplicate. Yield briefly so a
+			// saturated (tiny-grammar) campaign does not spin hot.
+			select {
+			case <-ctx.Done():
+			case <-time.After(5 * time.Millisecond):
+			}
+			continue
+		}
+		inputs := make([]string, len(wave))
+		for i, cand := range wave {
+			inputs[i] = cand.input
+		}
+		answers := c.pool.WithContext(ctx).AcceptsBatch(inputs)
+		if ctx.Err() != nil {
+			// The wave was cut short; its false answers are cancellation
+			// artifacts, not verdicts. Discard and finish.
+			break
+		}
+		c.classify(wave, answers)
+		c.maybeRefresh(ctx)
+		c.checkpoint(false, false)
+	}
+
+	final := c.checkpoint(true, true)
+	c.logf("campaign: done (%d waves, %d inputs, %d interesting)",
+		final.Waves, final.Inputs, final.Interesting())
+	if c.conf.ReportPath != "" {
+		if err := final.WriteFile(c.conf.ReportPath); err != nil {
+			return &final, fmt.Errorf("campaign: write report: %w", err)
+		}
+	}
+	return &final, nil
+}
+
+// nextWave draws up to BatchSize fresh candidates, counting skipped
+// duplicates.
+func (c *Campaign) nextWave() []candidate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wave := make([]candidate, 0, c.conf.BatchSize)
+	dups := 0
+	for i := 0; i < c.conf.BatchSize; i++ {
+		var cand candidate
+		if c.rng.Float64() < c.conf.MutateRatio {
+			cand = candidate{input: c.naive.Next(c.rng)}
+		} else {
+			cand = candidate{input: c.fuzzer.Next(c.rng), fromGrammar: true}
+		}
+		if c.seen.contains(cand.input) {
+			dups++
+			continue
+		}
+		c.seen.add(cand.input)
+		wave = append(wave, cand)
+	}
+	c.report.Duplicates += dups
+	return wave
+}
+
+// classify triages one executed wave into the corpus and counters.
+func (c *Campaign) classify(wave []candidate, answers []bool) {
+	var verdicts map[string]oracle.Verdict
+	if c.verdicts != nil {
+		verdicts = c.verdicts.take()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.report.Waves++
+	for i, cand := range wave {
+		c.report.Inputs++
+		vd := verdicts[cand.input]
+		switch {
+		case vd.Crashed:
+			c.report.Rejected++
+			c.corpus.add(Entry{Input: cand.input, Bucket: BucketCrash, Wave: c.report.Waves})
+		case vd.TimedOut:
+			c.report.Rejected++
+			c.corpus.add(Entry{Input: cand.input, Bucket: BucketTimeout, Wave: c.report.Waves})
+		case answers[i]:
+			c.report.Accepted++
+			// Mutated inputs that the oracle accepts but the grammar cannot
+			// parse show where the grammar under-approximates; they are the
+			// refresh seeds. Parsing only accepted mutants keeps the Earley
+			// cost off the hot path.
+			if !cand.fromGrammar && !c.parser.Accepts(cand.input) {
+				if c.corpus.add(Entry{Input: cand.input, Bucket: BucketAcceptFlip, Wave: c.report.Waves}) {
+					c.flipsSinceRefresh++
+				}
+			}
+			if shape := shapeOf(cand.input); c.corpus.newShape(shape) {
+				c.corpus.add(Entry{Input: cand.input, Bucket: BucketShape, Shape: shape, Wave: c.report.Waves})
+			}
+		default:
+			c.report.Rejected++
+			if cand.fromGrammar {
+				c.corpus.add(Entry{Input: cand.input, Bucket: BucketRejectFlip, Wave: c.report.Waves})
+			}
+		}
+	}
+}
+
+// maybeRefresh re-learns the grammar when the refresh interval has elapsed
+// and new accept flips exist to learn from. The refreshed grammar swaps in
+// atomically for subsequent waves; on failure the old grammar stays.
+func (c *Campaign) maybeRefresh(ctx context.Context) {
+	if c.conf.RefreshEvery <= 0 || time.Since(c.lastRefresh) < c.conf.RefreshEvery {
+		return
+	}
+	c.lastRefresh = time.Now()
+	c.mu.Lock()
+	flips := c.corpus.recent(BucketAcceptFlip, c.conf.MaxRefreshSeeds)
+	fresh := c.flipsSinceRefresh
+	c.mu.Unlock()
+	if fresh == 0 || len(flips) == 0 {
+		return
+	}
+	seeds := append(append([]string(nil), c.conf.Seeds...), flips...)
+	opts := core.DefaultOptions()
+	opts.Workers = c.conf.Workers
+	opts.Timeout = c.conf.RefreshTimeout
+	opts.RandSeed = c.conf.RandSeed
+	if c.exec != nil {
+		// External processes are too expensive for a full printable-ASCII
+		// sweep per literal; restrict character generalization exactly as
+		// cmd/glade and glade-serve do.
+		opts.GenAlphabet = bytesets.OfString(strings.Join(seeds, "")).
+			Union(bytesets.OfString(" \t\nabcxyz012<>()[]{}/\\\"'"))
+	}
+	// The campaign deadline bounds the refresh too: core.Learn cannot be
+	// cancelled mid-run, but its Timeout finalizes gracefully, so clamping
+	// it to the time remaining keeps a Duration-bounded campaign bounded
+	// even when a refresh starts just before the deadline. A refresh with
+	// almost no time left is not worth starting at all.
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl)
+		if remaining < 2*time.Second {
+			return
+		}
+		if remaining < opts.Timeout {
+			opts.Timeout = remaining
+		}
+	}
+	if ctx.Err() != nil {
+		return
+	}
+	c.logf("campaign: refreshing grammar with %d accept flips", len(flips))
+	// Learning through the timer keeps refresh queries in the report's
+	// oracle stats. core.Learn adds its own cache and worker pool on top.
+	res, err := core.Learn(seeds, c.timer, opts)
+	if c.verdicts != nil {
+		// The learn queries flowed through the verdict recorder;
+		// classification never looks them up, so drop them rather than
+		// holding every unique learn query string until the next wave.
+		c.verdicts.take()
+	}
+	if err != nil {
+		c.logf("campaign: refresh failed, keeping current grammar: %v", err)
+		return
+	}
+	fuzzer := fuzz.NewGrammar(res.Grammar, seeds)
+	parser := cfg.NewParser(res.Grammar)
+	c.mu.Lock()
+	c.grammar = res.Grammar
+	c.fuzzer = fuzzer
+	c.parser = parser
+	c.flipsSinceRefresh = 0
+	c.report.Refreshes++
+	c.report.GrammarSymbols = res.Grammar.Size()
+	c.mu.Unlock()
+	c.logf("campaign: refreshed grammar (%d symbols, %.2fs)",
+		res.Grammar.Size(), res.Stats.Duration.Seconds())
+}
+
+// checkpoint, at the checkpoint cadence (or when forced), snapshots the
+// report, writes the report file, and invokes the Progress callback. Off
+// cadence it returns a zero Report without snapshotting — it runs after
+// every wave, and assembling a snapshot copies the whole retained corpus
+// under the mutex watchers contend on.
+func (c *Campaign) checkpoint(done, force bool) Report {
+	now := time.Now()
+	if !force && now.Sub(c.lastCheckpoint) < c.conf.ReportEvery {
+		return Report{}
+	}
+	c.lastCheckpoint = now
+	c.mu.Lock()
+	r := c.snapshotLocked(done, now)
+	c.mu.Unlock()
+	if c.conf.ReportPath != "" && !done { // the final write happens in Run
+		if err := r.WriteFile(c.conf.ReportPath); err != nil {
+			c.logf("campaign: checkpoint write failed: %v", err)
+		}
+	}
+	if c.conf.Progress != nil {
+		c.conf.Progress(r)
+	}
+	return r
+}
+
+// snapshotLocked assembles a full Report from the live counters. Callers
+// hold c.mu.
+func (c *Campaign) snapshotLocked(done bool, now time.Time) Report {
+	r := c.report
+	r.UpdatedAt = now
+	if !r.StartedAt.IsZero() {
+		r.ElapsedSeconds = now.Sub(r.StartedAt).Seconds()
+	}
+	r.Buckets = c.corpus.bucketCounts()
+	r.Corpus = append([]Entry(nil), c.corpus.entries...)
+	r.Queries = c.timer.Snapshot()
+	r.Done = done
+	return r
+}
+
+// Snapshot returns the campaign's current report; safe to call
+// concurrently with Run (the glade-serve watch stream polls it).
+func (c *Campaign) Snapshot() Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.snapshotLocked(false, time.Now())
+}
+
+func (c *Campaign) logf(format string, args ...any) {
+	if c.conf.Logf != nil {
+		c.conf.Logf(format, args...)
+	}
+}

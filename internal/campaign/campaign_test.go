@@ -1,0 +1,334 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"glade/internal/bench"
+	"glade/internal/oracle"
+	"glade/internal/programs"
+)
+
+// grepCampaignConfig learns (and caches, via bench) the grep grammar and
+// returns a campaign config against the builtin grep program — small
+// enough to learn in well under a second.
+func grepCampaignConfig(t *testing.T) Config {
+	t.Helper()
+	p := programs.ByName("grep")
+	res, err := bench.LearnProgram(p, 30*time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Grammar: res.Grammar,
+		Seeds:   p.Seeds(),
+		Oracle:  oracle.Func(func(s string) bool { return p.Run(s).OK }),
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil grammar accepted")
+	}
+	conf := grepCampaignConfig(t)
+	conf.Oracle = nil
+	if _, err := New(conf); err == nil {
+		t.Error("nil oracle accepted")
+	}
+	conf = grepCampaignConfig(t)
+	conf.Seeds = nil
+	if _, err := New(conf); err == nil {
+		t.Error("empty seeds accepted")
+	}
+}
+
+// TestCampaignRunsAndTriages runs a short campaign against the builtin
+// grep program and checks the core engine behaviors: waves execute, the
+// corpus fills with deduplicated bucketed entries, and the report's
+// counters are consistent.
+func TestCampaignRunsAndTriages(t *testing.T) {
+	conf := grepCampaignConfig(t)
+	conf.Duration = 2 * time.Second
+	conf.Workers = 4
+	conf.ReportEvery = 100 * time.Millisecond
+	var progressCalls int
+	conf.Progress = func(Report) { progressCalls++ }
+	c, err := New(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Done {
+		t.Error("final report not marked done")
+	}
+	if rep.Waves == 0 || rep.Inputs == 0 {
+		t.Fatalf("campaign did no work: %+v", rep)
+	}
+	if rep.Accepted+rep.Rejected != rep.Inputs {
+		t.Errorf("accepted %d + rejected %d != inputs %d", rep.Accepted, rep.Rejected, rep.Inputs)
+	}
+	if rep.Interesting() == 0 || len(rep.Corpus) == 0 {
+		t.Fatalf("no interesting inputs found: buckets %v", rep.Buckets)
+	}
+	if rep.Buckets[BucketShape] == 0 {
+		t.Errorf("no new-shape entries after %d accepted inputs", rep.Accepted)
+	}
+	if rep.Queries.Queries == 0 {
+		t.Error("query stats empty")
+	}
+	if progressCalls < 2 {
+		t.Errorf("progress called %d times, want >= 2", progressCalls)
+	}
+	// Corpus entries are unique per (bucket, input).
+	seen := map[string]bool{}
+	for _, e := range rep.Corpus {
+		key := string(e.Bucket) + "\x00" + e.Input
+		if seen[key] {
+			t.Errorf("duplicate corpus entry %q in %s", e.Input, e.Bucket)
+		}
+		seen[key] = true
+	}
+}
+
+// TestCampaignCheckpointReport checks the periodic report file: valid
+// JSON, atomic, and finally marked done.
+func TestCampaignCheckpointReport(t *testing.T) {
+	conf := grepCampaignConfig(t)
+	conf.Duration = time.Second
+	conf.ReportEvery = 50 * time.Millisecond
+	conf.ReportPath = filepath.Join(t.TempDir(), "sub", "report.json")
+	c, err := New(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(conf.ReportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	if !rep.Done || rep.Inputs == 0 || len(rep.Corpus) == 0 {
+		t.Fatalf("final report incomplete: done=%v inputs=%d corpus=%d", rep.Done, rep.Inputs, len(rep.Corpus))
+	}
+}
+
+// TestCampaignCancellation: an unbounded campaign must stop promptly when
+// its context is cancelled and still return a final report.
+func TestCampaignCancellation(t *testing.T) {
+	conf := grepCampaignConfig(t)
+	c, err := New(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan *Report, 1)
+	go func() {
+		rep, _ := c.Run(ctx)
+		done <- rep
+	}()
+	time.Sleep(200 * time.Millisecond)
+	cancel()
+	select {
+	case rep := <-done:
+		if !rep.Done {
+			t.Error("cancelled campaign's report not marked done")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("campaign did not stop after cancellation")
+	}
+}
+
+// TestCampaignSnapshotConcurrent polls Snapshot while the campaign runs
+// (the watch-stream access pattern); run under -race this is the
+// concurrency check.
+func TestCampaignSnapshotConcurrent(t *testing.T) {
+	conf := grepCampaignConfig(t)
+	conf.Duration = time.Second
+	conf.Workers = 4
+	c, err := New(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := c.Snapshot()
+				if s.Accepted+s.Rejected != s.Inputs {
+					t.Errorf("inconsistent snapshot: %+v", s)
+					return
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+	}()
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+}
+
+// TestCampaignExecVerdicts drives a campaign against a shell oracle that
+// accepts inputs containing "ok", crashes on inputs containing "boom", and
+// hangs on inputs containing "zzz" — the crash and timeout buckets must
+// fill through the exec verdict path.
+func TestCampaignExecVerdicts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	script := `in=$(cat); case "$in" in *boom*) kill -SEGV $$;; *zzz*) sleep 30;; *ok*) exit 0;; *) exit 1;; esac`
+	ex := &oracle.Exec{Argv: []string{"sh", "-c", script}, Timeout: 200 * time.Millisecond, Workers: 4}
+	// A tiny hand-built grammar whose language is ok, okok, okokok, ... —
+	// learning is not the point here, triage is.
+	res, err := bench.LearnProgram(programs.ByName("grep"), 30*time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := Config{
+		Grammar: res.Grammar,
+		// Seed the mutators with strings adjacent to the trigger words so a
+		// short campaign reliably hits all three behaviors.
+		Seeds:       []string{"ok", "okboomok", "okzzzok"},
+		Oracle:      ex,
+		Workers:     4,
+		BatchSize:   16,
+		Duration:    3 * time.Second,
+		MutateRatio: 0.9,
+	}
+	c, err := New(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Buckets[BucketCrash] == 0 {
+		t.Errorf("no crash entries: buckets %v (%d inputs)", rep.Buckets, rep.Inputs)
+	}
+	if rep.Buckets[BucketTimeout] == 0 {
+		t.Errorf("no timeout entries: buckets %v (%d inputs)", rep.Buckets, rep.Inputs)
+	}
+}
+
+// TestShapeOf pins the token-shape signature.
+func TestShapeOf(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"s/ab2/x/g", "a/a0/a/a"},
+		{"hello world", "a_a"},
+		{"<a>hi</a>", "<a>a</a>"},
+		{"  \t\n", "_"},
+		{"(())", "(())"},
+		{"abc123", "a0"},
+	}
+	for _, tc := range cases {
+		if got := shapeOf(tc.in); got != tc.want {
+			t.Errorf("shapeOf(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestSeenSetRotation: the dedup set must stay bounded while still
+// remembering recent keys.
+func TestSeenSetRotation(t *testing.T) {
+	s := newSeenSet(4)
+	for i := 0; i < 100; i++ {
+		k := string(rune('a' + i%26))
+		s.add(k)
+	}
+	if len(s.cur)+len(s.prev) > 8 {
+		t.Fatalf("seen set grew past 2x cap: %d", len(s.cur)+len(s.prev))
+	}
+	s = newSeenSet(100)
+	s.add("x")
+	if !s.contains("x") {
+		t.Fatal("fresh key forgotten")
+	}
+	if s.contains("y") {
+		t.Fatal("phantom key")
+	}
+}
+
+// TestCorpusBounds: counts grow without bound but retained entries cap at
+// maxPerBucket, and duplicates are rejected entirely.
+func TestCorpusBounds(t *testing.T) {
+	co := newCorpus(3)
+	for i := 0; i < 10; i++ {
+		co.add(Entry{Input: string(rune('a' + i)), Bucket: BucketRejectFlip})
+	}
+	if co.counts[BucketRejectFlip] != 10 {
+		t.Errorf("count = %d, want 10", co.counts[BucketRejectFlip])
+	}
+	if co.retained[BucketRejectFlip] != 3 || len(co.entries) != 3 {
+		t.Errorf("retained = %d entries = %d, want 3", co.retained[BucketRejectFlip], len(co.entries))
+	}
+	if co.add(Entry{Input: "a", Bucket: BucketRejectFlip}) {
+		t.Error("duplicate retained")
+	}
+	if co.counts[BucketRejectFlip] != 10 {
+		t.Error("duplicate counted")
+	}
+	// The same input in a different bucket is a distinct finding.
+	if got := co.counts[BucketCrash]; got != 0 {
+		t.Fatalf("crash count = %d", got)
+	}
+	co.add(Entry{Input: "a", Bucket: BucketCrash})
+	if co.counts[BucketCrash] != 1 {
+		t.Error("cross-bucket entry rejected")
+	}
+}
+
+// TestCampaignRefresh: with aggressive refresh settings against a target
+// whose language is wider than the learned grammar, the campaign must find
+// accept flips and complete at least one grammar refresh.
+func TestCampaignRefresh(t *testing.T) {
+	p := programs.ByName("grep")
+	// Learn from a deliberately narrow single seed so the true language is
+	// much wider than the grammar — mutants then produce accept flips.
+	res, err := bench.LearnProgram(p, 30*time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := Config{
+		Grammar:      res.Grammar,
+		Seeds:        p.Seeds(),
+		Oracle:       oracle.Func(func(s string) bool { return p.Run(s).OK }),
+		Workers:      4,
+		Duration:     4 * time.Second,
+		MutateRatio:  0.8, // hunt flips aggressively
+		RefreshEvery: 300 * time.Millisecond,
+	}
+	c, err := New(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Buckets[BucketAcceptFlip] == 0 {
+		t.Skipf("no accept flips found in this run; refresh untestable (buckets %v)", rep.Buckets)
+	}
+	if rep.Refreshes == 0 {
+		t.Errorf("accept flips found (%d) but no refresh ran", rep.Buckets[BucketAcceptFlip])
+	}
+	if rep.GrammarSymbols == 0 {
+		t.Error("grammar size missing from report")
+	}
+}

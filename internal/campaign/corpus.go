@@ -1,0 +1,187 @@
+package campaign
+
+import "strings"
+
+// Bucket classifies why a campaign input was deemed interesting. The
+// buckets mirror what a grammar tells a fuzzer beyond raw coverage: both
+// directions of disagreement between the synthesized language L(Ĉ) and the
+// program's true language L*, structural novelty among accepted inputs,
+// and the two abnormal-execution verdicts an exec oracle can report.
+type Bucket string
+
+const (
+	// BucketAcceptFlip marks an input the oracle accepted but the current
+	// grammar cannot parse — evidence the grammar under-approximates L*.
+	// Accept flips are the seeds grammar refresh feeds back into
+	// core.Learn.
+	BucketAcceptFlip Bucket = "accept_flip"
+	// BucketRejectFlip marks a grammar-generated input (so in L(Ĉ) by
+	// construction) that the oracle rejected — evidence the grammar
+	// over-approximates L*.
+	BucketRejectFlip Bucket = "reject_flip"
+	// BucketShape marks the first accepted input exhibiting a previously
+	// unseen token shape (see shapeOf) — structural diversity among valid
+	// inputs, the campaign analogue of new coverage.
+	BucketShape Bucket = "new_shape"
+	// BucketCrash marks an input on which the exec oracle's target died on
+	// a signal.
+	BucketCrash Bucket = "crash"
+	// BucketTimeout marks an input on which the exec oracle's target hung
+	// until the per-query timeout killed it.
+	BucketTimeout Bucket = "timeout"
+)
+
+// Buckets lists every bucket in report order.
+func Buckets() []Bucket {
+	return []Bucket{BucketAcceptFlip, BucketRejectFlip, BucketShape, BucketCrash, BucketTimeout}
+}
+
+// Entry is one retained interesting input.
+type Entry struct {
+	Input  string `json:"input"`
+	Bucket Bucket `json:"bucket"`
+	// Shape is the input's token shape (new_shape entries only).
+	Shape string `json:"shape,omitempty"`
+	// Wave is the campaign wave that found the input.
+	Wave int `json:"wave"`
+}
+
+// maxShapes bounds the token-shape intern table; once full, shape novelty
+// stops being tracked (the report's other buckets keep filling). The bound
+// keeps an indefinitely running campaign's memory flat.
+const maxShapes = 4096
+
+// shapeOf computes an input's token shape: letters collapse to 'a', digits
+// to '0', blanks to '_', runs of the same class collapse to one character,
+// and punctuation is kept verbatim. "s/ab2/x/g" → "a/a0/a/a". Two inputs
+// with the same shape exercise the same token structure, so only the first
+// is corpus-worthy.
+func shapeOf(input string) string {
+	var b strings.Builder
+	var prev byte
+	for i := 0; i < len(input); i++ {
+		ch := input[i]
+		var cls byte
+		switch {
+		case ch >= 'a' && ch <= 'z' || ch >= 'A' && ch <= 'Z':
+			cls = 'a'
+		case ch >= '0' && ch <= '9':
+			cls = '0'
+		case ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r':
+			cls = '_'
+		default:
+			cls = ch
+		}
+		if cls != prev || (cls != 'a' && cls != '0' && cls != '_') {
+			b.WriteByte(cls)
+		}
+		prev = cls
+	}
+	return b.String()
+}
+
+// seenSet is a bounded approximate membership set with two-generation
+// rotation: lookups consult both generations, inserts fill the current one,
+// and when the current generation reaches cap it becomes the previous
+// generation (dropping the old previous). Memory stays ≤ 2×cap entries
+// forever, at the cost of occasionally re-admitting an input last seen more
+// than a full generation ago — harmless for execution dedup.
+type seenSet struct {
+	cap       int
+	cur, prev map[string]struct{}
+}
+
+func newSeenSet(cap int) *seenSet {
+	return &seenSet{cap: cap, cur: make(map[string]struct{})}
+}
+
+func (s *seenSet) contains(k string) bool {
+	if _, ok := s.cur[k]; ok {
+		return true
+	}
+	_, ok := s.prev[k]
+	return ok
+}
+
+func (s *seenSet) add(k string) {
+	if len(s.cur) >= s.cap {
+		s.prev = s.cur
+		s.cur = make(map[string]struct{}, s.cap)
+	}
+	s.cur[k] = struct{}{}
+}
+
+// corpus accumulates interesting inputs, deduplicated and bounded: per
+// bucket at most maxPerBucket entries are retained (counts keep growing so
+// the report stays honest about volume), and a bounded seen set stops the
+// same input from re-entering after a dedup-set rotation.
+type corpus struct {
+	maxPerBucket int
+	counts       map[Bucket]int
+	retained     map[Bucket]int
+	entries      []Entry
+	seen         *seenSet
+	shapes       map[string]struct{}
+}
+
+func newCorpus(maxPerBucket int) *corpus {
+	return &corpus{
+		maxPerBucket: maxPerBucket,
+		counts:       map[Bucket]int{},
+		retained:     map[Bucket]int{},
+		seen:         newSeenSet(4 * maxPerBucket * len(Buckets())),
+		shapes:       map[string]struct{}{},
+	}
+}
+
+// newShape records the shape if unseen, reporting whether it was new.
+// Novelty tracking stops once the intern table is full.
+func (c *corpus) newShape(shape string) bool {
+	if _, ok := c.shapes[shape]; ok {
+		return false
+	}
+	if len(c.shapes) >= maxShapes {
+		return false
+	}
+	c.shapes[shape] = struct{}{}
+	return true
+}
+
+// add records an interesting input, returning whether it was retained
+// (false for duplicates and for buckets already at capacity; the bucket
+// count increments either way unless the input is a duplicate).
+func (c *corpus) add(e Entry) bool {
+	key := string(e.Bucket) + "\x00" + e.Input
+	if c.seen.contains(key) {
+		return false
+	}
+	c.seen.add(key)
+	c.counts[e.Bucket]++
+	if c.retained[e.Bucket] >= c.maxPerBucket {
+		return false
+	}
+	c.retained[e.Bucket]++
+	c.entries = append(c.entries, e)
+	return true
+}
+
+// bucketCounts copies the per-bucket totals.
+func (c *corpus) bucketCounts() map[Bucket]int {
+	out := make(map[Bucket]int, len(c.counts))
+	for b, n := range c.counts {
+		out[b] = n
+	}
+	return out
+}
+
+// recent returns up to n retained entries of the given bucket, newest
+// first.
+func (c *corpus) recent(b Bucket, n int) []string {
+	var out []string
+	for i := len(c.entries) - 1; i >= 0 && len(out) < n; i-- {
+		if c.entries[i].Bucket == b {
+			out = append(out, c.entries[i].Input)
+		}
+	}
+	return out
+}

@@ -12,21 +12,24 @@ import (
 // how long each took, and the aggregate throughput over the observed
 // window. It is how the parallel oracle engine's speedup is measured — at
 // Workers=N the per-query latency is unchanged while throughput scales.
+// The JSON names are the wire format of glade-serve /v1/stats rows and of
+// campaign checkpoint reports (durations marshal as nanoseconds).
 type QueryStats struct {
 	// Queries is the number of membership queries observed.
-	Queries int
+	Queries int `json:"queries"`
 	// Batches is the number of bulk-path calls observed.
-	Batches int
+	Batches int `json:"batches"`
 	// Busy is the cumulative query latency. For bulk calls the batch's
 	// wall time is attributed once, so under concurrency Busy can be far
 	// below Queries × mean single-query latency.
-	Busy time.Duration
+	Busy time.Duration `json:"busy_ns"`
 	// MinLatency and MaxLatency bound observed per-query latency; bulk
 	// calls contribute their per-item mean.
-	MinLatency, MaxLatency time.Duration
+	MinLatency time.Duration `json:"min_latency_ns"`
+	MaxLatency time.Duration `json:"max_latency_ns"`
 	// Wall is the span from the first query's start to the last query's
 	// completion.
-	Wall time.Duration
+	Wall time.Duration `json:"wall_ns"`
 }
 
 // MeanLatency is the average per-query latency.

@@ -16,6 +16,7 @@ package oracle
 
 import (
 	"context"
+	"errors"
 	"os/exec"
 	"strings"
 	"sync"
@@ -286,10 +287,32 @@ type Exec struct {
 	Timeout time.Duration
 }
 
+// Verdict is the detailed outcome of one Exec query. Accepts collapses it
+// to a bool for the membership-oracle interface; fuzzing campaigns keep
+// the full verdict, since a crash or a hang is far more interesting than
+// an ordinary rejection.
+type Verdict struct {
+	// Accepted reports whether the input was accepted: exit status zero
+	// and, when ErrSubstring is set, no error marker on stderr.
+	Accepted bool
+	// Crashed reports that the process died on a signal (SIGSEGV, SIGABRT,
+	// ...) rather than exiting — the classic fuzzing trophy.
+	Crashed bool
+	// TimedOut reports that the run exceeded Timeout and was killed.
+	TimedOut bool
+}
+
 // Accepts implements Oracle by running the command.
 func (e *Exec) Accepts(input string) bool {
+	return e.Verdict(input).Accepted
+}
+
+// Verdict runs the command on input and reports the detailed outcome:
+// acceptance, a signal-death crash, or a timeout kill. A crashed or
+// timed-out run is never accepted.
+func (e *Exec) Verdict(input string) Verdict {
 	if len(e.Argv) == 0 {
-		return false
+		return Verdict{}
 	}
 	ctx := context.Background()
 	if e.Timeout > 0 {
@@ -308,12 +331,22 @@ func (e *Exec) Accepts(input string) bool {
 		cmd.WaitDelay = e.Timeout/4 + 10*time.Millisecond
 	}
 	if err := cmd.Run(); err != nil {
-		return false
+		if ctx.Err() == context.DeadlineExceeded {
+			return Verdict{TimedOut: true}
+		}
+		// ExitCode is -1 when the process was terminated by a signal; the
+		// timeout kill is already accounted for above, so a remaining -1 is
+		// the target dying on its own (segfault, abort, ...).
+		var ee *exec.ExitError
+		if errors.As(err, &ee) && ee.ProcessState != nil && ee.ProcessState.ExitCode() == -1 {
+			return Verdict{Crashed: true}
+		}
+		return Verdict{}
 	}
 	if e.ErrSubstring != "" && strings.Contains(stderr.String(), e.ErrSubstring) {
-		return false
+		return Verdict{}
 	}
-	return true
+	return Verdict{Accepted: true}
 }
 
 // AcceptsBatch implements BatchOracle, running up to Workers subprocesses

@@ -109,3 +109,32 @@ func TestExecTimeoutInBatch(t *testing.T) {
 		}
 	}
 }
+
+func TestExecVerdict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec oracle spawns processes")
+	}
+	cases := []struct {
+		name string
+		o    *Exec
+		want Verdict
+	}{
+		{"accepted", &Exec{Argv: []string{"true"}}, Verdict{Accepted: true}},
+		{"rejected", &Exec{Argv: []string{"false"}}, Verdict{}},
+		{"empty argv", &Exec{}, Verdict{}},
+		{"timeout", &Exec{Argv: []string{"sleep", "30"}, Timeout: 100 * time.Millisecond}, Verdict{TimedOut: true}},
+		// A process killing itself with SIGSEGV is a crash, not a plain
+		// rejection — and not a timeout, since the deadline never fired.
+		{"crash", &Exec{Argv: []string{"sh", "-c", "kill -SEGV $$"}, Timeout: 10 * time.Second}, Verdict{Crashed: true}},
+		{"err substring", &Exec{Argv: []string{"sh", "-c", "echo parse error >&2"}, ErrSubstring: "error"}, Verdict{}},
+	}
+	for _, tc := range cases {
+		if got := tc.o.Verdict("x"); got != tc.want {
+			t.Errorf("%s: Verdict = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+	// Accepts must agree with Verdict().Accepted.
+	if (&Exec{Argv: []string{"sh", "-c", "kill -SEGV $$"}}).Accepts("x") {
+		t.Error("crashed run reported accepted")
+	}
+}

@@ -1,0 +1,563 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"glade/internal/campaign"
+	"glade/internal/core"
+)
+
+// CampaignSpec is the body of POST /v1/campaigns: a long-running fuzzing
+// campaign against either a stored grammar (GrammarID, using its recorded
+// oracle) or a fresh one (Oracle, learned before the campaign starts — the
+// learned grammar is stored under the campaign's id like a normal job's).
+// Exactly one of GrammarID and Oracle must be set.
+type CampaignSpec struct {
+	// GrammarID names a stored grammar; its recorded oracle spec answers
+	// the campaign's membership queries.
+	GrammarID string `json:"grammar_id,omitempty"`
+	// Oracle, when GrammarID is empty, is learned from before fuzzing —
+	// the campaign then runs against the freshly synthesized grammar.
+	Oracle *OracleSpec `json:"oracle,omitempty"`
+	// Seeds overrides the seed inputs (default: the stored grammar's
+	// recorded seeds, or the builtin oracle's bundled seeds).
+	Seeds []string `json:"seeds,omitempty"`
+	// DurationMS bounds the campaign (default 30s; clamped to the server's
+	// -campaign-timeout). HTTP campaigns are always bounded.
+	DurationMS int `json:"duration_ms,omitempty"`
+	// Workers bounds concurrent oracle queries (clamped to MaxWorkers).
+	Workers int `json:"workers,omitempty"`
+	// Batch is the campaign wave size (default 64, max 1024).
+	Batch int `json:"batch,omitempty"`
+	// MutateRatio is the naive-mutant fraction per wave (default 0.25).
+	MutateRatio float64 `json:"mutate_ratio,omitempty"`
+	// RefreshEveryMS, when positive, re-learns the grammar at this
+	// interval from discovered accept flips.
+	RefreshEveryMS int `json:"refresh_every_ms,omitempty"`
+	// RandSeed seeds the campaign's generators.
+	RandSeed int64 `json:"rand_seed,omitempty"`
+}
+
+// CampaignStatus is the wire form of a campaign snapshot; watch streams
+// emit one per progress checkpoint.
+type CampaignStatus struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// Phase is "learn" while a fresh grammar is being synthesized,
+	// "fuzz" while waves run.
+	Phase  string `json:"phase,omitempty"`
+	Oracle string `json:"oracle"`
+	// GrammarID is the grammar driving the campaign (the spec's, or the
+	// campaign's own id when it learned one).
+	GrammarID string     `json:"grammar_id,omitempty"`
+	Created   time.Time  `json:"created_at"`
+	Started   *time.Time `json:"started_at,omitempty"`
+	Finished  *time.Time `json:"finished_at,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	// Report is the latest checkpoint (final once State is done).
+	Report *campaign.Report `json:"report,omitempty"`
+}
+
+// CampaignRun is one campaign owned by the server. Mutable fields are
+// guarded by mu; changed is closed and replaced on every mutation so
+// watchers block for "anything new" without polling (the Job pattern).
+type CampaignRun struct {
+	ID   string
+	Spec CampaignSpec
+
+	mu        sync.Mutex
+	changed   chan struct{}
+	state     JobState
+	phase     string
+	oracle    string
+	grammarID string
+	err       string
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	report    campaign.Report
+	hasReport bool
+	seq       int // increments on every mutation; the watch cursor space
+}
+
+func newCampaignRun(spec CampaignSpec) *CampaignRun {
+	return &CampaignRun{
+		ID:      newID(),
+		Spec:    spec,
+		changed: make(chan struct{}),
+		state:   JobQueued,
+		created: time.Now(),
+	}
+}
+
+// touch wakes every watcher. Callers hold cr.mu.
+func (cr *CampaignRun) touch() {
+	cr.seq++
+	close(cr.changed)
+	cr.changed = make(chan struct{})
+}
+
+// status snapshots the campaign.
+func (cr *CampaignRun) status() CampaignStatus {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	return cr.statusLocked()
+}
+
+func (cr *CampaignRun) statusLocked() CampaignStatus {
+	st := CampaignStatus{
+		ID:        cr.ID,
+		State:     cr.state,
+		Phase:     cr.phase,
+		Oracle:    cr.oracle,
+		GrammarID: cr.grammarID,
+		Created:   cr.created,
+		Error:     cr.err,
+	}
+	if !cr.started.IsZero() {
+		t := cr.started
+		st.Started = &t
+	}
+	if !cr.finished.IsZero() {
+		t := cr.finished
+		st.Finished = &t
+	}
+	if cr.hasReport {
+		r := cr.report
+		st.Report = &r
+	}
+	return st
+}
+
+// watch returns the current snapshot, the advanced cursor, and a channel
+// closed on the next mutation; fresh reports whether the snapshot is newer
+// than the caller's cursor.
+func (cr *CampaignRun) watch(cursor int) (st CampaignStatus, next int, fresh bool, changed <-chan struct{}) {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	return cr.statusLocked(), cr.seq, cr.seq > cursor, cr.changed
+}
+
+// campaignRecord is the JSON persisted per campaign under
+// <DataDir>/campaigns/<id>.json: the status plus the spec, written at
+// every checkpoint and at completion so reports survive daemon restarts
+// (a record still marked running on load belongs to a campaign the
+// previous incarnation never finished; it is surfaced as failed with its
+// last checkpoint intact).
+type campaignRecord struct {
+	ID        string           `json:"id"`
+	State     JobState         `json:"state"`
+	Oracle    string           `json:"oracle"`
+	GrammarID string           `json:"grammar_id,omitempty"`
+	Created   time.Time        `json:"created_at"`
+	Started   time.Time        `json:"started_at,omitempty"`
+	Finished  time.Time        `json:"finished_at,omitempty"`
+	Error     string           `json:"error,omitempty"`
+	Spec      CampaignSpec     `json:"spec"`
+	Report    *campaign.Report `json:"report,omitempty"`
+}
+
+// campaignsDir is the per-store subdirectory holding campaign records.
+func (s *Server) campaignsDir() string { return filepath.Join(s.store.Dir(), "campaigns") }
+
+// persistCampaign writes the campaign's current record atomically; failures
+// are logged, not fatal (the in-memory run stays authoritative).
+func (s *Server) persistCampaign(cr *CampaignRun) {
+	cr.mu.Lock()
+	rec := campaignRecord{
+		ID:        cr.ID,
+		State:     cr.state,
+		Oracle:    cr.oracle,
+		GrammarID: cr.grammarID,
+		Created:   cr.created,
+		Started:   cr.started,
+		Finished:  cr.finished,
+		Error:     cr.err,
+		Spec:      cr.Spec,
+	}
+	if cr.hasReport {
+		r := cr.report
+		rec.Report = &r
+	}
+	cr.mu.Unlock()
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		s.logf("campaign %s: marshal record: %v", cr.ID, err)
+		return
+	}
+	dir := s.campaignsDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		s.logf("campaign %s: create campaigns dir: %v", cr.ID, err)
+		return
+	}
+	if err := writeAtomic(filepath.Join(dir, cr.ID+".json"), append(data, '\n')); err != nil {
+		s.logf("campaign %s: persist record: %v", cr.ID, err)
+	}
+}
+
+// loadCampaigns restores persisted campaign records at startup. Records
+// left in a non-terminal state by a previous incarnation are surfaced as
+// failed, keeping their last checkpointed report — the report survives the
+// restart even though the campaign itself did not.
+func (s *Server) loadCampaigns() {
+	entries, err := os.ReadDir(s.campaignsDir())
+	if err != nil {
+		return // no campaigns yet
+	}
+	loaded := 0
+	for _, e := range entries {
+		id, ok := strings.CutSuffix(e.Name(), ".json")
+		if !ok {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.campaignsDir(), e.Name()))
+		if err != nil {
+			s.logf("campaigns: skipping unreadable record %s: %v", e.Name(), err)
+			continue
+		}
+		var rec campaignRecord
+		if err := json.Unmarshal(data, &rec); err != nil || rec.ID != id {
+			s.logf("campaigns: skipping bad record %s", e.Name())
+			continue
+		}
+		cr := &CampaignRun{
+			ID:        rec.ID,
+			Spec:      rec.Spec,
+			changed:   make(chan struct{}),
+			state:     rec.State,
+			oracle:    rec.Oracle,
+			grammarID: rec.GrammarID,
+			err:       rec.Error,
+			created:   rec.Created,
+			started:   rec.Started,
+			finished:  rec.Finished,
+		}
+		if rec.Report != nil {
+			cr.report = *rec.Report
+			cr.hasReport = true
+		}
+		if cr.state != JobDone && cr.state != JobFailed {
+			cr.state = JobFailed
+			cr.err = "daemon restarted before the campaign finished"
+			if cr.finished.IsZero() {
+				cr.finished = time.Now()
+			}
+			s.persistCampaign(cr)
+		}
+		s.campaigns[cr.ID] = cr
+		s.campOrder = append(s.campOrder, cr)
+		loaded++
+	}
+	if loaded > 0 {
+		// Listings are submission-ordered; restored records sort by their
+		// original creation time.
+		sortCampaignsByCreated(s.campOrder)
+		s.logf("campaigns: %d records loaded from %s", loaded, s.campaignsDir())
+	}
+}
+
+// sortCampaignsByCreated orders runs oldest first (stable id tiebreak).
+func sortCampaignsByCreated(runs []*CampaignRun) {
+	sort.Slice(runs, func(i, j int) bool {
+		a, b := runs[i], runs[j]
+		if a.created.Equal(b.created) {
+			return a.ID < b.ID
+		}
+		return a.created.Before(b.created)
+	})
+}
+
+// SubmitCampaign validates a campaign spec, resolves its grammar source and
+// oracle, and enqueues it; campWorkers goroutines drain the queue with
+// Config.MaxCampaigns concurrency.
+func (s *Server) SubmitCampaign(spec CampaignSpec) (*CampaignRun, error) {
+	hasGrammar := spec.GrammarID != ""
+	hasOracle := spec.Oracle != nil
+	if hasGrammar == hasOracle {
+		return nil, fmt.Errorf("campaign spec must name exactly one of grammar_id, oracle")
+	}
+	if hasGrammar {
+		meta, ok := s.store.Meta(spec.GrammarID)
+		if !ok {
+			return nil, fmt.Errorf("%w: no grammar %q", errNotFound, spec.GrammarID)
+		}
+		if len(meta.Spec.Exec) > 0 && !s.cfg.AllowExec {
+			return nil, fmt.Errorf("grammar %q fuzzes through an exec oracle and %w", spec.GrammarID, errExecDisabled)
+		}
+		// Validate the recorded spec still resolves (a builtin could have
+		// been renamed across versions).
+		if _, _, err := meta.Spec.build(1, s.cfg.DefaultOracleTimeout, s.cfg.MaxJobDuration); err != nil {
+			return nil, fmt.Errorf("grammar %q has no usable oracle: %v", spec.GrammarID, err)
+		}
+	} else {
+		if len(spec.Oracle.Exec) > 0 && !s.cfg.AllowExec {
+			return nil, errExecDisabled
+		}
+		_, defaults, err := spec.Oracle.build(1, s.cfg.DefaultOracleTimeout, s.cfg.MaxJobDuration)
+		if err != nil {
+			return nil, err
+		}
+		if len(spec.Seeds) == 0 && len(defaults) == 0 {
+			return nil, fmt.Errorf("no seeds: pass seeds or use a builtin oracle with bundled seeds")
+		}
+	}
+	total := 0
+	for _, seed := range spec.Seeds {
+		total += len(seed)
+	}
+	if total > s.cfg.MaxSeedBytes {
+		return nil, fmt.Errorf("seed payload %d bytes exceeds limit %d", total, s.cfg.MaxSeedBytes)
+	}
+	if spec.Batch > maxCampaignBatch {
+		return nil, fmt.Errorf("batch %d exceeds limit %d", spec.Batch, maxCampaignBatch)
+	}
+
+	cr := newCampaignRun(spec)
+	cr.oracle = spec.oracleName()
+	if hasGrammar {
+		cr.grammarID = spec.GrammarID
+	}
+
+	s.mu.Lock()
+	select {
+	case <-s.done:
+		s.mu.Unlock()
+		return nil, fmt.Errorf("server is shutting down")
+	default:
+	}
+	select {
+	case s.campQueue <- cr:
+	default:
+		s.mu.Unlock()
+		return nil, errQueueFull
+	}
+	s.campaigns[cr.ID] = cr
+	s.campOrder = append(s.campOrder, cr)
+	s.mu.Unlock()
+	s.logf("campaign %s: queued (%s)", cr.ID, cr.oracle)
+	return cr, nil
+}
+
+// oracleName renders the campaign's oracle for status lines.
+func (spec CampaignSpec) oracleName() string {
+	if spec.Oracle != nil {
+		return spec.Oracle.String()
+	}
+	return "grammar:" + spec.GrammarID
+}
+
+// maxCampaignBatch bounds the client-chosen wave size; wave memory and
+// oracle fan-out scale with it.
+const maxCampaignBatch = 1024
+
+// Campaign returns a campaign by id.
+func (s *Server) Campaign(id string) (*CampaignRun, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cr, ok := s.campaigns[id]
+	return cr, ok
+}
+
+// Campaigns lists campaigns in submission order.
+func (s *Server) Campaigns() []*CampaignRun {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*CampaignRun(nil), s.campOrder...)
+}
+
+// campWorker drains the campaign queue; Config.MaxCampaigns workers bound
+// concurrently running campaigns.
+func (s *Server) campWorker() {
+	defer s.wg.Done()
+	for cr := range s.campQueue {
+		s.runCampaign(cr)
+	}
+}
+
+// runCampaign resolves the grammar (learning one first when the spec asks
+// for it), builds the engine, and drives it to completion, persisting the
+// record at every checkpoint.
+func (s *Server) runCampaign(cr *CampaignRun) {
+	setState := func(state JobState, phase string) {
+		cr.mu.Lock()
+		cr.state = state
+		cr.phase = phase
+		if state == JobRunning && cr.started.IsZero() {
+			cr.started = time.Now()
+		}
+		cr.touch()
+		cr.mu.Unlock()
+	}
+	fail := func(err error) {
+		cr.mu.Lock()
+		cr.state = JobFailed
+		cr.phase = ""
+		cr.err = err.Error()
+		cr.finished = time.Now()
+		cr.touch()
+		cr.mu.Unlock()
+		s.persistCampaign(cr)
+		s.logf("campaign %s: failed: %v", cr.ID, err)
+	}
+
+	// A campaign popped from the queue while Close drains it must not
+	// start fresh work — in particular not a learn phase, which cannot be
+	// cancelled once core.Learn is running (it is bounded by the job
+	// timeout, like a learn job's).
+	if s.baseCtx.Err() != nil {
+		fail(fmt.Errorf("server shut down before the campaign ran"))
+		return
+	}
+	spec := cr.Spec
+	conf, err := s.campaignConfig(cr, spec, setState)
+	if err != nil {
+		fail(err)
+		return
+	}
+	eng, err := campaign.New(conf)
+	if err != nil {
+		fail(err)
+		return
+	}
+	setState(JobRunning, "fuzz")
+	s.persistCampaign(cr)
+	s.logf("campaign %s: running (%s, %v, workers=%d)", cr.ID, cr.oracle, conf.Duration, conf.Workers)
+	rep, err := eng.Run(s.baseCtx)
+	if err != nil {
+		fail(err)
+		return
+	}
+	cr.mu.Lock()
+	cr.state = JobDone
+	cr.phase = ""
+	cr.finished = time.Now()
+	cr.report = *rep
+	cr.hasReport = true
+	cr.touch()
+	cr.mu.Unlock()
+	s.persistCampaign(cr)
+	s.logf("campaign %s: done (%d inputs, %d interesting)", cr.ID, rep.Inputs, rep.Interesting())
+}
+
+// campaignConfig assembles the engine config for a run: grammar + seeds +
+// oracle from either the store or a fresh learn, server-side clamps on
+// duration/workers/batch, and a progress hook that feeds watchers and the
+// persisted record.
+func (s *Server) campaignConfig(cr *CampaignRun, spec CampaignSpec, setState func(JobState, string)) (campaign.Config, error) {
+	var conf campaign.Config
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = s.cfg.DefaultWorkers
+	}
+	workers = min(workers, s.cfg.MaxWorkers)
+
+	if spec.GrammarID != "" {
+		g, err := s.store.Grammar(spec.GrammarID)
+		if err != nil {
+			return conf, err
+		}
+		meta, ok := s.store.Meta(spec.GrammarID)
+		if !ok {
+			return conf, fmt.Errorf("no metadata for grammar %q", spec.GrammarID)
+		}
+		o, _, err := meta.Spec.build(workers, s.cfg.DefaultOracleTimeout, s.cfg.MaxJobDuration)
+		if err != nil {
+			return conf, err
+		}
+		seeds := spec.Seeds
+		if len(seeds) == 0 {
+			seeds = meta.Seeds
+		}
+		conf.Grammar = g
+		conf.Seeds = seeds
+		conf.Oracle = o
+	} else {
+		// Learn a grammar first, exactly as a learn job would, then fuzz
+		// with it. The grammar is stored under the campaign's id so it is
+		// listable and generate-able like any other.
+		setState(JobRunning, "learn")
+		o, defaults, err := spec.Oracle.build(workers, s.cfg.DefaultOracleTimeout, s.cfg.MaxJobDuration)
+		if err != nil {
+			return conf, err
+		}
+		seeds := spec.Seeds
+		if len(seeds) == 0 {
+			seeds = defaults
+		}
+		jobSpec := JobSpec{Seeds: seeds, Oracle: *spec.Oracle}
+		opts := jobSpec.resolveOptions(s.cfg, seeds)
+		opts.Workers = workers
+		res, err := core.Learn(seeds, o, opts)
+		if err != nil {
+			return conf, err
+		}
+		meta := GrammarMeta{
+			ID:        cr.ID,
+			Oracle:    spec.Oracle.String(),
+			Spec:      *spec.Oracle,
+			Seeds:     seeds,
+			CreatedAt: time.Now().UTC(),
+			Queries:   res.Stats.OracleQueries,
+			Seconds:   res.Stats.Duration.Seconds(),
+			TimedOut:  res.Stats.TimedOut,
+		}
+		if err := s.store.Put(res.Grammar, meta); err != nil {
+			return conf, err
+		}
+		cr.mu.Lock()
+		cr.grammarID = cr.ID
+		cr.touch()
+		cr.mu.Unlock()
+		conf.Grammar = res.Grammar
+		conf.Seeds = seeds
+		conf.Oracle = o
+	}
+
+	duration := DefaultCampaignDuration
+	if spec.DurationMS > 0 {
+		duration = time.Duration(spec.DurationMS) * time.Millisecond
+	}
+	if duration > s.cfg.MaxCampaignDuration {
+		duration = s.cfg.MaxCampaignDuration
+	}
+	conf.Duration = duration
+	conf.Workers = workers
+	conf.BatchSize = spec.Batch
+	conf.MutateRatio = spec.MutateRatio
+	conf.RandSeed = spec.RandSeed
+	if spec.RefreshEveryMS > 0 {
+		conf.RefreshEvery = time.Duration(spec.RefreshEveryMS) * time.Millisecond
+		conf.RefreshTimeout = s.cfg.MaxJobDuration
+	}
+	conf.ReportEvery = campaignReportEvery
+	conf.Logf = s.cfg.Logf
+	conf.Progress = func(rep campaign.Report) {
+		cr.mu.Lock()
+		cr.report = rep
+		cr.hasReport = true
+		cr.touch()
+		cr.mu.Unlock()
+		// Checkpoint persistence rides the progress cadence, so a crashed
+		// or restarted daemon keeps the latest report.
+		s.persistCampaign(cr)
+	}
+	return conf, nil
+}
+
+// DefaultCampaignDuration is the campaign runtime when the spec does not
+// set one. HTTP-submitted campaigns are always duration-bounded.
+const DefaultCampaignDuration = 30 * time.Second
+
+// campaignReportEvery is the watch/persistence checkpoint cadence.
+const campaignReportEvery = time.Second
+
+// errNotFound tags submission errors caused by a missing referenced
+// resource, so the HTTP layer can answer 404 instead of 400.
+var errNotFound = fmt.Errorf("not found")

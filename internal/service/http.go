@@ -28,6 +28,9 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/grammars", s.handleListGrammars)
 	mux.HandleFunc("GET /v1/grammars/{id}", s.handleGrammar)
 	mux.HandleFunc("POST /v1/grammars/{id}/generate", s.handleGenerate)
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmitCampaign)
+	mux.HandleFunc("GET /v1/campaigns", s.handleListCampaigns)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaign)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
 }
@@ -257,6 +260,81 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleSubmitCampaign accepts a CampaignSpec and enqueues the campaign.
+func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
+	var spec CampaignSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad campaign spec: %v", err)
+		return
+	}
+	cr, err := s.SubmitCampaign(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		switch {
+		case errors.Is(err, errQueueFull):
+			code = http.StatusServiceUnavailable
+		case errors.Is(err, errExecDisabled):
+			code = http.StatusForbidden
+		case errors.Is(err, errNotFound):
+			code = http.StatusNotFound
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, cr.status())
+}
+
+func (s *Server) handleListCampaigns(w http.ResponseWriter, r *http.Request) {
+	runs := s.Campaigns()
+	out := make([]CampaignStatus, len(runs))
+	for i, cr := range runs {
+		out[i] = cr.status()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"campaigns": out})
+}
+
+// handleCampaign serves one campaign: a JSON snapshot (with the latest
+// checkpointed report) by default, or — with ?watch=1 — an NDJSON stream
+// of snapshots at the checkpoint cadence, terminated by the final snapshot
+// once the campaign reaches a terminal state.
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	cr, ok := s.Campaign(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	if r.URL.Query().Get("watch") == "" {
+		writeJSON(w, http.StatusOK, cr.status())
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	cursor := -1 // emit the current snapshot immediately
+	for {
+		st, next, fresh, changed := cr.watch(cursor)
+		cursor = next
+		if fresh {
+			_ = enc.Encode(st)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if st.State == JobDone || st.State == JobFailed {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
 // jobStats is one job's row in /v1/stats.
 type jobStats struct {
 	ID     string   `json:"id"`
@@ -315,14 +393,28 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		counts[st.State]++
 		rows = append(rows, row)
 	}
+	campaignCounts := map[JobState]int{}
+	var campaignInputs, campaignInteresting int
+	for _, cr := range s.Campaigns() {
+		st := cr.status()
+		campaignCounts[st.State]++
+		if st.Report != nil {
+			campaignInputs += st.Report.Inputs
+			campaignInteresting += st.Report.Interesting()
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"jobs":          rows,
-		"grammars":      len(s.store.List()),
-		"queued":        counts[JobQueued],
-		"running":       counts[JobRunning],
-		"done":          counts[JobDone],
-		"failed":        counts[JobFailed],
-		"total_queries": totalQueries,
+		"jobs":                 rows,
+		"grammars":             len(s.store.List()),
+		"queued":               counts[JobQueued],
+		"running":              counts[JobRunning],
+		"done":                 counts[JobDone],
+		"failed":               counts[JobFailed],
+		"total_queries":        totalQueries,
+		"campaigns":            len(s.Campaigns()),
+		"campaigns_running":    campaignCounts[JobRunning],
+		"campaign_inputs":      campaignInputs,
+		"campaign_interesting": campaignInteresting,
 	})
 }
 

@@ -152,10 +152,10 @@ func (spec JobSpec) resolveOptions(cfg Config, seeds []string) core.Options {
 type JobState string
 
 const (
-	JobQueued  JobState = "queued"
-	JobRunning JobState = "running"
-	JobDone    JobState = "done"
-	JobFailed  JobState = "failed"
+	JobQueued  JobState = "queued"  // accepted, waiting for a scheduler slot
+	JobRunning JobState = "running" // learning (or, for campaigns, fuzzing)
+	JobDone    JobState = "done"    // finished; the grammar or report is available
+	JobFailed  JobState = "failed"  // finished unsuccessfully; Error says why
 )
 
 // Job is one learn job owned by the Manager. All mutable fields are

@@ -13,15 +13,22 @@
 //	GET  /v1/grammars                 list stored grammars
 //	GET  /v1/grammars/{id}            the grammar in cfg.Marshal text form
 //	POST /v1/grammars/{id}/generate   fuzz inputs from the stored grammar
+//	POST /v1/campaigns                start a fuzzing campaign (stored
+//	                                  grammar, or learn-then-fuzz oracle)
+//	GET  /v1/campaigns                list campaigns
+//	GET  /v1/campaigns/{id}           campaign snapshot with latest report;
+//	                                  ?watch=1 streams NDJSON checkpoints
 //	GET  /v1/stats                    per-job learner + oracle query stats
 //	GET  /healthz                     liveness
 //
 // Learned grammars persist to a disk-backed store and survive restarts;
 // generation requests draw from a per-grammar pooled fuzzer so concurrent
-// consumers scale.
+// consumers scale; campaign reports checkpoint to disk so a restarted
+// daemon still serves every campaign's latest report.
 package service
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"sync"
@@ -68,6 +75,14 @@ type Config struct {
 	// invocations (default 2). Excess requests wait for a slot until the
 	// per-request deadline expires.
 	MaxValidating int
+	// MaxCampaigns bounds concurrently running fuzzing campaigns
+	// (default 1); queued campaigns wait in submission order. A campaign
+	// saturates its Workers-bounded oracle pool for its whole duration, so
+	// the default keeps one campaign from starving learn jobs.
+	MaxCampaigns int
+	// MaxCampaignDuration clamps the client-chosen campaign duration
+	// (default 10m). HTTP-submitted campaigns are always bounded.
+	MaxCampaignDuration time.Duration
 	// MaxSeedBytes bounds the total seed payload of one job (default 1MiB).
 	MaxSeedBytes int
 	// Logf, when non-nil, receives server log lines.
@@ -99,6 +114,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxValidating <= 0 {
 		c.MaxValidating = 2
 	}
+	if c.MaxCampaigns <= 0 {
+		c.MaxCampaigns = 1
+	}
+	if c.MaxCampaignDuration <= 0 {
+		c.MaxCampaignDuration = 10 * time.Minute
+	}
 	if c.MaxSeedBytes <= 0 {
 		c.MaxSeedBytes = 1 << 20
 	}
@@ -117,12 +138,19 @@ type Server struct {
 	// requests (capacity cfg.MaxValidating).
 	validating chan struct{}
 
-	mu    sync.Mutex
-	jobs  map[string]*Job
-	order []*Job // submission order, for listing
-	queue chan *Job
-	wg    sync.WaitGroup
-	done  chan struct{}
+	// baseCtx is cancelled by Close so running campaigns stop promptly.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	order     []*Job // submission order, for listing
+	queue     chan *Job
+	campaigns map[string]*CampaignRun
+	campOrder []*CampaignRun // submission order, for listing
+	campQueue chan *CampaignRun
+	wg        sync.WaitGroup
+	done      chan struct{}
 }
 
 // New opens the store under cfg.DataDir (loading grammars learned by
@@ -140,12 +168,20 @@ func New(cfg Config) (*Server, error) {
 		validating: make(chan struct{}, cfg.MaxValidating),
 		jobs:       map[string]*Job{},
 		queue:      make(chan *Job, cfg.QueueDepth),
+		campaigns:  map[string]*CampaignRun{},
+		campQueue:  make(chan *CampaignRun, cfg.QueueDepth),
 		done:       make(chan struct{}),
 	}
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	s.loadCampaigns()
 	s.handler = s.routes()
 	for i := 0; i < cfg.MaxJobs; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	for i := 0; i < cfg.MaxCampaigns; i++ {
+		s.wg.Add(1)
+		go s.campWorker()
 	}
 	s.logf("store: %d grammars loaded from %s", len(store.List()), store.Dir())
 	return s, nil
@@ -157,9 +193,10 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // Store exposes the grammar store (tests and tooling).
 func (s *Server) Store() *Store { return s.store }
 
-// Close stops accepting submissions and waits for running jobs to finish.
-// Jobs still queued race the shutdown drain: each is either run by a
-// worker or marked failed here. Close is idempotent.
+// Close stops accepting submissions, cancels running campaigns (their
+// final checkpoint persists), and waits for running jobs and campaigns to
+// finish. Work still queued races the shutdown drain: each item is either
+// run by a worker or marked failed here. Close is idempotent.
 func (s *Server) Close() {
 	s.mu.Lock()
 	select {
@@ -170,8 +207,15 @@ func (s *Server) Close() {
 	default:
 	}
 	close(s.done)
-	close(s.queue) // Submit holds s.mu around its send, so this is safe
+	close(s.queue)     // Submit holds s.mu around its send, so this is safe
+	close(s.campQueue) // likewise SubmitCampaign
 	s.mu.Unlock()
+	// Campaigns run until their duration elapses; cancelling the base
+	// context ends their fuzzing now (a cancelled campaign still finalizes
+	// and persists its report). A campaign mid learn-phase finishes that
+	// learn first, bounded by the job timeout — the same wait a running
+	// learn job imposes.
+	s.cancelBase()
 	for j := range s.queue {
 		j.mu.Lock()
 		j.state = JobFailed
@@ -180,6 +224,15 @@ func (s *Server) Close() {
 		j.seeds = nil
 		j.touch()
 		j.mu.Unlock()
+	}
+	for cr := range s.campQueue {
+		cr.mu.Lock()
+		cr.state = JobFailed
+		cr.err = "server shut down before the campaign ran"
+		cr.finished = time.Now()
+		cr.touch()
+		cr.mu.Unlock()
+		s.persistCampaign(cr)
 	}
 	s.wg.Wait()
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# campaign_smoke.sh — CI smoke for the fuzzing-campaign engine: run a
+# 30-second CLI campaign against the builtin sed program and assert the
+# checkpointed report is valid JSON with at least one corpus entry.
+#
+# Usage: scripts/campaign_smoke.sh [PROGRAM] [DURATION]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+program="${1:-sed}"
+duration="${2:-30s}"
+report="$(mktemp -d)/campaign-report.json"
+trap 'rm -rf "$(dirname "$report")"' EXIT
+
+echo "== campaign smoke: $duration campaign against $program =="
+go run ./cmd/glade-fuzz -campaign -program "$program" -duration "$duration" \
+    -workers 4 -report "$report"
+
+test -s "$report" || { echo "campaign_smoke: report file missing or empty" >&2; exit 1; }
+
+# Validate the report: parseable JSON, marked done, non-empty corpus.
+go run ./scripts/reportcheck "$report"
+echo "== campaign smoke passed =="

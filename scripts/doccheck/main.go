@@ -1,0 +1,125 @@
+// Command doccheck verifies that every exported identifier in the given
+// package directories carries a doc comment: package clause, exported
+// types, functions, methods, and exported const/var specs (a grouped decl's
+// comment covers its specs). CI runs it over the public facade and the
+// service/campaign packages; it exits non-zero listing every bare export.
+//
+// Usage:
+//
+//	go run ./scripts/doccheck DIR...
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck DIR...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		bad += checkDir(dir)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifiers lack doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses every non-test .go file in dir and reports undocumented
+// exports.
+func checkDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+		return 1
+	}
+	bad := 0
+	for _, pkg := range pkgs {
+		pkgDocumented := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				pkgDocumented = true
+			}
+		}
+		if !pkgDocumented {
+			fmt.Printf("%s: package %s has no package comment\n", dir, pkg.Name)
+			bad++
+		}
+		for name, f := range pkg.Files {
+			bad += checkFile(fset, filepath.Base(name), f)
+		}
+	}
+	return bad
+}
+
+// checkFile reports undocumented exported top-level declarations in f.
+func checkFile(fset *token.FileSet, name string, f *ast.File) int {
+	bad := 0
+	report := func(pos token.Pos, what string) {
+		fmt.Printf("%s:%d: %s has no doc comment\n", name, fset.Position(pos).Line, what)
+		bad++
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			what := "func " + d.Name.Name
+			if d.Recv != nil {
+				what = "method " + recvName(d.Recv) + "." + d.Name.Name
+			}
+			report(d.Pos(), what)
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+						report(sp.Pos(), "type "+sp.Name.Name)
+					}
+				case *ast.ValueSpec:
+					for _, id := range sp.Names {
+						// A doc comment on the grouped decl, the spec, or a
+						// trailing line comment all count.
+						if id.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+							report(id.Pos(), "const/var "+id.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return bad
+}
+
+// recvName renders a method receiver's type name.
+func recvName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return "?"
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return "?"
+		}
+	}
+}

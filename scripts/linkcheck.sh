@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# linkcheck.sh — verify that every relative markdown link in the repo's
+# documentation points at a file (or directory) that exists. External
+# http(s) links and pure #anchors are skipped: CI must not depend on the
+# network, and anchor drift is a rendering concern, not a broken path.
+#
+# Usage: scripts/linkcheck.sh [FILE.md ...]   (defaults to all tracked *.md)
+set -u
+
+cd "$(dirname "$0")/.."
+
+if [ "$#" -gt 0 ]; then
+    files=("$@")
+else
+    # All markdown files in the repo, excluding dependency/vendor dirs.
+    mapfile -t files < <(find . -name '*.md' -not -path './.git/*' -not -path './vendor/*' | sort)
+fi
+
+fail=0
+for f in "${files[@]}"; do
+    # Extract markdown link targets: [text](target). Reference-style links
+    # are rare here; inline links are the repo convention.
+    targets=$(grep -o '\[[^]]*\]([^)]*)' "$f" | sed 's/.*](\([^)]*\))/\1/')
+    while IFS= read -r target; do
+        [ -z "$target" ] && continue
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        # Strip an anchor suffix and any "title" part.
+        path="${target%%#*}"
+        path="${path%% *}"
+        [ -z "$path" ] && continue
+        base=$(dirname "$f")
+        if [ ! -e "$base/$path" ] && [ ! -e "$path" ]; then
+            echo "$f: broken link -> $target"
+            fail=1
+        fi
+    done <<< "$targets"
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "linkcheck: broken relative links found" >&2
+    exit 1
+fi
+echo "linkcheck: all relative markdown links resolve"

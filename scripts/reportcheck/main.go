@@ -1,0 +1,56 @@
+// Command reportcheck validates a campaign report file for CI: it must be
+// parseable JSON in the campaign.Report shape, marked done, with at least
+// one executed input and at least one retained corpus entry. Used by
+// scripts/campaign_smoke.sh so the smoke needs no jq/python dependency.
+//
+// Usage:
+//
+//	go run ./scripts/reportcheck REPORT.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"glade/internal/campaign"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: reportcheck REPORT.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reportcheck:", err)
+		os.Exit(1)
+	}
+	var rep campaign.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "reportcheck: report is not valid JSON: %v\n", err)
+		os.Exit(1)
+	}
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "reportcheck: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if !rep.Done {
+		fail("report not marked done")
+	}
+	if rep.Inputs == 0 {
+		fail("report shows zero executed inputs")
+	}
+	if len(rep.Corpus) == 0 {
+		fail("report corpus is empty")
+	}
+	if rep.Interesting() == 0 {
+		fail("every bucket count is zero despite %d corpus entries", len(rep.Corpus))
+	}
+	if rep.Accepted+rep.Rejected != rep.Inputs {
+		fail("inconsistent counters: accepted %d + rejected %d != inputs %d",
+			rep.Accepted, rep.Rejected, rep.Inputs)
+	}
+	fmt.Printf("reportcheck: ok — %d inputs, %d corpus entries, buckets %v\n",
+		rep.Inputs, len(rep.Corpus), rep.Buckets)
+}
