@@ -25,11 +25,15 @@ lint:
 	./scripts/linkcheck.sh
 
 # One pass over every benchmark — the paper's figures at reduced scale plus
-# the parallel-engine speedup — as a smoke test, then a machine-readable
-# speedup emission so the repo accumulates BENCH_*.json trajectory
-# artifacts. Full runs: cmd/glade-bench.
+# the parallel-engine speedup and the compiled-parser comparison — as a
+# smoke test, then machine-readable emissions so the repo accumulates
+# BENCH_*.json trajectory artifacts. parsecheck fails the run if the
+# compiled engine ever regresses below the map-based baseline. Full runs:
+# cmd/glade-bench.
 bench:
 	go test -run=NONE -bench=. -benchtime=1x ./...
 	go run ./cmd/glade-bench -quick -fig speedup -qdelay 50us -json BENCH_speedup.json
+	go run ./cmd/glade-bench -quick -fig parse -json BENCH_parse.json
+	go run ./scripts/parsecheck BENCH_parse.json
 
 ci: lint build test bench

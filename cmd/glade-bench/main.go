@@ -4,11 +4,19 @@
 //
 // Usage:
 //
-//	glade-bench [-fig 4a|4b|4c|5|6|7a|7b|7c|8|ablations|speedup|all] [flags]
+//	glade-bench [-fig 4a|4b|4c|5|6|7a|7b|7c|8|ablations|speedup|parse|all] [flags]
 //
 // The default flags match the paper's scale (50 seeds, 1000 evaluation
 // samples, 50,000 fuzzing samples, 300 s learner timeout); use -quick for a
 // reduced run that finishes in well under a minute.
+//
+// -fig parse measures the compiled-grammar engine (cfg.Compiled) against
+// the map-based Earley parser and pointer-walking sampler on grammars
+// learned from the sed and xml programs: membership throughput (MB/s and
+// ns/query), sampling throughput, allocations per operation, and the
+// old-vs-new ratio, with verdict agreement re-checked over the whole
+// corpus. With -json the rows land in BENCH_parse.json, which
+// scripts/parsecheck validates in CI.
 //
 // -fig speedup measures the concurrent batched oracle-query engine: it
 // learns the sed and xml programs at Workers=1 and Workers=N over an
@@ -31,7 +39,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4a 4b 4c 5 6 7a 7b 7c 8 ablations all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4a 4b 4c 5 6 7a 7b 7c 8 ablations speedup parse all")
 	seeds := flag.Int("seeds", 50, "seed inputs per target (Figure 4)")
 	eval := flag.Int("eval", 1000, "samples per precision/recall estimate")
 	fuzzN := flag.Int("samples", 50000, "samples per fuzzer (Figure 7)")
@@ -71,6 +79,7 @@ func main() {
 	run("8", fig8)
 	run("ablations", ablations)
 	run("speedup", speedup)
+	run("parse", parse)
 	if *jsonOut != "" {
 		writeReport(*jsonOut, c)
 	}
@@ -93,6 +102,21 @@ func speedup(c bench.Config) {
 			r.MeanLatency.Round(time.Microsecond), r.Identical)
 	}
 	recordSpeedup(rows)
+	fmt.Println()
+}
+
+func parse(c bench.Config) {
+	fmt.Println("== Parse: compiled-grammar engine vs map-based Earley ==")
+	rows, err := bench.Parse(c, nil)
+	fail(err)
+	fmt.Printf("%-8s %-9s %7s %10s %8s %10s %11s %9s %7s %6s\n",
+		"program", "engine", "inputs", "ns/accept", "MB/s", "allocs/op", "samples/s", "s-allocs", "ratio", "agree")
+	for _, r := range rows {
+		fmt.Printf("%-8s %-9s %7d %10.0f %8.2f %10.1f %11.0f %9.1f %6.2fx %6v\n",
+			r.Program, r.Engine, r.Inputs, r.NsPerAccept, r.MBps, r.AcceptAllocs,
+			r.SamplesPerSec, r.SampleAllocs, r.Ratio, r.Agree)
+	}
+	recordParse(rows)
 	fmt.Println()
 }
 

@@ -35,16 +35,28 @@ type jsonRow struct {
 	Target    string  `json:"target,omitempty"`
 	Learner   string  `json:"learner,omitempty"`
 	Variant   string  `json:"variant,omitempty"`
+	Engine    string  `json:"engine,omitempty"`
 	Workers   int     `json:"workers,omitempty"`
 	Queries   int     `json:"queries,omitempty"`
-	Seconds   float64 `json:"seconds"`
+	Inputs    int     `json:"inputs,omitempty"`
+	Seconds   float64 `json:"seconds,omitempty"`
 	Speedup   float64 `json:"speedup,omitempty"`
 	QPS       float64 `json:"qps,omitempty"`
 	Precision float64 `json:"precision,omitempty"`
 	Recall    float64 `json:"recall,omitempty"`
 	F1        float64 `json:"f1,omitempty"`
-	Identical *bool   `json:"identical,omitempty"`
-	TimedOut  bool    `json:"timed_out,omitempty"`
+	// Parse-figure fields: membership throughput (MB/s of input and mean
+	// ns per query), allocations per membership query and per sample,
+	// sampling throughput, and the old-vs-new membership ratio.
+	MBps          float64  `json:"mbps,omitempty"`
+	NsPerAccept   float64  `json:"ns_per_accept,omitempty"`
+	AllocsPerOp   *float64 `json:"allocs_per_op,omitempty"`
+	SamplesPerSec float64  `json:"samples_per_sec,omitempty"`
+	SampleAllocs  *float64 `json:"sample_allocs_per_op,omitempty"`
+	Ratio         float64  `json:"ratio,omitempty"`
+	Agree         *bool    `json:"agree,omitempty"`
+	Identical     *bool    `json:"identical,omitempty"`
+	TimedOut      bool     `json:"timed_out,omitempty"`
 }
 
 // report collects rows while figures run; nil (no -json flag) collects
@@ -64,6 +76,18 @@ func recordSpeedup(rows []bench.SpeedupRow) {
 			Figure: "speedup", Program: r.Program, Workers: r.Workers,
 			Queries: r.Queries, Seconds: r.Seconds, Speedup: r.Speedup,
 			QPS: r.QPS, Identical: &ident, TimedOut: r.TimedOut,
+		})
+	}
+}
+
+func recordParse(rows []bench.ParseRow) {
+	for _, r := range rows {
+		r := r
+		recordRows(jsonRow{
+			Figure: "parse", Program: r.Program, Engine: r.Engine,
+			Inputs: r.Inputs, MBps: r.MBps, NsPerAccept: r.NsPerAccept,
+			AllocsPerOp: &r.AcceptAllocs, SamplesPerSec: r.SamplesPerSec,
+			SampleAllocs: &r.SampleAllocs, Ratio: r.Ratio, Agree: &r.Agree,
 		})
 	}
 }

@@ -107,8 +107,24 @@ func NewParser(g *Grammar) *Parser { return cfg.NewParser(g) }
 type Sampler = cfg.Sampler
 
 // NewSampler builds a sampler with the given derivation-depth budget;
-// 24–32 suits the grammars in this repository.
+// DefaultSampleDepth suits the grammars in this repository.
 func NewSampler(g *Grammar, maxDepth int) *Sampler { return cfg.NewSampler(g, maxDepth) }
+
+// DefaultSampleDepth is the sampling depth budget used by Sample and the
+// grammar fuzzer; pass it to NewSampler unless you have a reason not to.
+const DefaultSampleDepth = cfg.DefaultSampleDepth
+
+// CompiledGrammar is a Grammar lowered into flat index tables for the
+// throughput workloads: concurrent batch membership (Accepts, AcceptsAll)
+// and low-allocation sampling (Sample). It is safe for concurrent use;
+// the one mutable knob, the MaxDepth sampling budget, must be set before
+// the value is shared across goroutines.
+type CompiledGrammar = cfg.Compiled
+
+// Compile lowers g into its compiled form. Compile once, share freely;
+// membership through the compiled engine is several times faster than
+// Parser and allocation-free at steady state.
+func Compile(g *Grammar) *CompiledGrammar { return cfg.Compile(g) }
 
 // Fuzzer generates test inputs, optionally steering on coverage feedback.
 type Fuzzer = fuzz.Fuzzer
@@ -126,6 +142,8 @@ func NewNaiveFuzzer(seeds []string, alphabet []byte) *fuzz.Naive {
 }
 
 // Sample draws one string from the grammar — a convenience for quick use.
+// Callers sampling in volume should Compile the grammar once and use its
+// Sample instead.
 func Sample(g *Grammar, rng *rand.Rand) string {
-	return cfg.NewSampler(g, 24).Sample(rng)
+	return cfg.NewSampler(g, DefaultSampleDepth).Sample(rng)
 }

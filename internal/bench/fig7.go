@@ -258,7 +258,7 @@ func Fig8(c Config) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	sm := cfg.NewSampler(res.Grammar, 30)
+	sm := cfg.NewSampler(res.Grammar, cfg.DefaultSampleDepth)
 	rng := rand.New(rand.NewSource(c.RandSeed))
 	// Prefer a sample that the program actually accepts and that shows some
 	// structure.

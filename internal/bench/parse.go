@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"glade/internal/cfg"
+	"glade/internal/fuzz"
+	"glade/internal/programs"
+)
+
+// ParseRow is one (program, engine) measurement of the parse benchmark:
+// membership and sampling throughput of the map-based Earley Parser
+// versus the compiled-grammar engine on a grammar learned from the named
+// program, over a mixed accept/reject corpus.
+type ParseRow struct {
+	Program string
+	// Engine is "parser" (the map-based Earley baseline) or "compiled".
+	Engine string
+	// Inputs is the corpus size; Bytes its total length.
+	Inputs int
+	Bytes  int
+	// NsPerAccept is the mean wall-clock per membership query; MBps the
+	// corresponding input throughput.
+	NsPerAccept float64
+	MBps        float64
+	// AcceptAllocs is the mean heap allocations per membership query.
+	AcceptAllocs float64
+	// SamplesPerSec is the sampling throughput; SampleAllocs the mean
+	// heap allocations per sampled string.
+	SamplesPerSec float64
+	SampleAllocs  float64
+	// Ratio is the baseline engine's NsPerAccept divided by this row's
+	// (1.0 on the baseline row) — the headline old-vs-new speedup.
+	Ratio float64
+	// Agree reports whether the two engines returned identical verdicts
+	// on every corpus input.
+	Agree bool
+}
+
+// parseMinDuration is how long each throughput measurement loops; long
+// enough to amortize pool warm-up, short enough that -quick stays quick.
+const parseMinDuration = 150 * time.Millisecond
+
+// Parse measures the compiled-grammar engine against the map-based
+// Parser/Sampler on grammars learned from the named §8.3 programs
+// (default sed and xml, the acceptance pair). The corpus mixes the
+// program's seeds, grammar samples (accepts), naive byte-level mutants,
+// and random strings over the grammar's alphabet (mostly rejects);
+// verdict agreement across the whole corpus is re-checked and reported
+// per row.
+func Parse(c Config, names []string) ([]ParseRow, error) {
+	c = c.withDefaults()
+	if len(names) == 0 {
+		names = []string{"sed", "xml"}
+	}
+	var rows []ParseRow
+	for _, name := range names {
+		p := programs.ByName(name)
+		if p == nil {
+			return nil, fmt.Errorf("bench: unknown program %q", name)
+		}
+		res, err := LearnProgram(p, c.Timeout, c.Workers)
+		if err != nil {
+			return nil, err
+		}
+		g := res.Grammar
+		if !g.Productive()[g.Start] {
+			// Sampling from an unproductive start panics by contract; a
+			// grammar this degenerate (every seed skipped under a tight
+			// timeout) is not benchmarkable, so fail loudly instead.
+			return nil, fmt.Errorf("bench: %s grammar has an unproductive start symbol; nothing to measure", name)
+		}
+		corpus := ParseCorpus(g, p.Seeds(), c.RandSeed)
+		bytes := 0
+		for _, s := range corpus {
+			bytes += len(s)
+		}
+
+		parser := cfg.NewParser(g)
+		comp := cfg.Compile(g)
+		agree := true
+		for _, s := range corpus {
+			if parser.Accepts(s) != comp.Accepts(s) {
+				agree = false
+				break
+			}
+		}
+
+		sm := cfg.NewSampler(g, cfg.DefaultSampleDepth)
+		base := ParseRow{Program: name, Engine: "parser", Inputs: len(corpus), Bytes: bytes, Agree: agree, Ratio: 1}
+		base.NsPerAccept, base.MBps = measureMembership(parser.Accepts, corpus, bytes)
+		base.AcceptAllocs = allocsPerMembership(parser.Accepts, corpus)
+		base.SamplesPerSec, base.SampleAllocs = measureSampling(func(rng *rand.Rand) string { return sm.Sample(rng) })
+
+		comprow := ParseRow{Program: name, Engine: "compiled", Inputs: len(corpus), Bytes: bytes, Agree: agree}
+		comprow.NsPerAccept, comprow.MBps = measureMembership(comp.Accepts, corpus, bytes)
+		comprow.AcceptAllocs = allocsPerMembership(comp.Accepts, corpus)
+		comprow.SamplesPerSec, comprow.SampleAllocs = measureSampling(func(rng *rand.Rand) string { return comp.Sample(rng) })
+		if comprow.NsPerAccept > 0 {
+			comprow.Ratio = base.NsPerAccept / comprow.NsPerAccept
+		}
+		rows = append(rows, base, comprow)
+	}
+	return rows, nil
+}
+
+// ParseCorpus builds the mixed accept/reject membership corpus for g: the
+// seeds, the empty string, grammar samples (accepts), naive byte-level
+// mutants of the seeds, and random strings over the grammar's terminal
+// alphabet (mostly rejects). It is the corpus behind both the parse
+// benchmark's CI gate and the compiled-engine differential test suite, so
+// the two always measure and verify the same input mix.
+func ParseCorpus(g *cfg.Grammar, seeds []string, randSeed int64) []string {
+	rng := rand.New(rand.NewSource(randSeed))
+	corpus := append([]string(nil), seeds...)
+	corpus = append(corpus, "")
+	if g.Productive()[g.Start] {
+		sm := cfg.NewSampler(g, cfg.DefaultSampleDepth)
+		for i := 0; i < 80; i++ {
+			corpus = append(corpus, sm.Sample(rng))
+		}
+	}
+	naive := fuzz.NewNaive(seeds, g.Terminals().Bytes())
+	for i := 0; i < 60; i++ {
+		corpus = append(corpus, naive.Next(rng))
+	}
+	alphabet := g.Terminals().Bytes()
+	if len(alphabet) == 0 {
+		alphabet = []byte("ab")
+	}
+	for i := 0; i < 40; i++ {
+		b := make([]byte, rng.Intn(24))
+		for j := range b {
+			b[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		corpus = append(corpus, string(b))
+	}
+	return corpus
+}
+
+// measureMembership loops whole corpus passes for at least
+// parseMinDuration and reports mean ns per query and MB/s of input.
+func measureMembership(accepts func(string) bool, corpus []string, bytes int) (nsPerOp, mbps float64) {
+	start := time.Now()
+	passes := 0
+	for time.Since(start) < parseMinDuration {
+		for _, s := range corpus {
+			accepts(s)
+		}
+		passes++
+	}
+	elapsed := time.Since(start).Seconds()
+	ops := passes * len(corpus)
+	if ops == 0 || elapsed == 0 {
+		return 0, 0
+	}
+	return elapsed * 1e9 / float64(ops), float64(passes*bytes) / (1 << 20) / elapsed
+}
+
+// allocsPerMembership reports mean heap allocations per membership query
+// over one corpus pass (testing.AllocsPerRun averages across runs).
+func allocsPerMembership(accepts func(string) bool, corpus []string) float64 {
+	perPass := testing.AllocsPerRun(3, func() {
+		for _, s := range corpus {
+			accepts(s)
+		}
+	})
+	return perPass / float64(len(corpus))
+}
+
+// measureSampling reports samples/s and allocations per sample.
+func measureSampling(sample func(rng *rand.Rand) string) (perSec, allocs float64) {
+	rng := rand.New(rand.NewSource(1))
+	start := time.Now()
+	ops := 0
+	for time.Since(start) < parseMinDuration {
+		for i := 0; i < 64; i++ {
+			sample(rng)
+		}
+		ops += 64
+	}
+	elapsed := time.Since(start).Seconds()
+	if ops == 0 || elapsed == 0 {
+		return 0, 0
+	}
+	rng2 := rand.New(rand.NewSource(2))
+	allocs = testing.AllocsPerRun(64, func() { sample(rng2) })
+	return float64(ops) / elapsed, allocs
+}

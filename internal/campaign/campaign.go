@@ -122,12 +122,14 @@ func (conf Config) withDefaults() Config {
 type Campaign struct {
 	conf Config
 
-	// Generators and the flip-detection parser; refresh swaps them under
-	// mu, and nextWave/classify read them under mu.
-	grammar *cfg.Grammar
-	fuzzer  *fuzz.Grammar
-	parser  *cfg.Parser
-	naive   *fuzz.Naive
+	// Generators and the flip-detection recognizer; refresh swaps them
+	// under mu, and nextWave/classify read them under mu. compiled is the
+	// fuzzer's own compiled-grammar engine (one cfg.Compile per grammar,
+	// shared between generation and triage membership).
+	grammar  *cfg.Grammar
+	fuzzer   *fuzz.Grammar
+	compiled *cfg.Compiled
+	naive    *fuzz.Naive
 
 	exec     *oracle.Exec     // non-nil when conf.Oracle is an exec oracle
 	verdicts *verdictRecorder // non-nil iff exec is
@@ -197,15 +199,16 @@ func New(conf Config) (*Campaign, error) {
 	if len(conf.Seeds) == 0 {
 		return nil, fmt.Errorf("campaign: at least one seed input is required")
 	}
+	fuzzer := fuzz.NewGrammar(conf.Grammar, conf.Seeds)
 	c := &Campaign{
-		conf:    conf,
-		grammar: conf.Grammar,
-		fuzzer:  fuzz.NewGrammar(conf.Grammar, conf.Seeds),
-		parser:  cfg.NewParser(conf.Grammar),
-		naive:   fuzz.NewNaive(conf.Seeds, nil),
-		rng:     rand.New(rand.NewSource(conf.RandSeed)),
-		seen:    newSeenSet(1 << 16),
-		corpus:  newCorpus(conf.MaxBucket),
+		conf:     conf,
+		grammar:  conf.Grammar,
+		fuzzer:   fuzzer,
+		compiled: fuzzer.Compiled(),
+		naive:    fuzz.NewNaive(conf.Seeds, nil),
+		rng:      rand.New(rand.NewSource(conf.RandSeed)),
+		seen:     newSeenSet(1 << 16),
+		corpus:   newCorpus(conf.MaxBucket),
 	}
 	inner := conf.Oracle
 	if ex, ok := conf.Oracle.(*oracle.Exec); ok {
@@ -263,7 +266,7 @@ func (c *Campaign) Run(ctx context.Context) (*Report, error) {
 			// artifacts, not verdicts. Discard and finish.
 			break
 		}
-		c.classify(wave, answers)
+		c.classify(wave, answers, c.triageParse(wave, answers))
 		c.maybeRefresh(ctx)
 		c.checkpoint(false, false)
 	}
@@ -304,8 +307,38 @@ func (c *Campaign) nextWave() []candidate {
 	return wave
 }
 
+// triageParse answers, for each wave slot, whether the grammar can parse
+// the candidate — the accept-flip check. Only oracle-accepted mutated
+// candidates need parsing (grammar-generated inputs are in L(Ĉ) by
+// construction), and the batch runs through the compiled recognizer's
+// worker pool before classify takes the mutex, so triage keeps pace with
+// the oracle query wave instead of parsing one candidate at a time on the
+// coordinator.
+func (c *Campaign) triageParse(wave []candidate, answers []bool) []bool {
+	var batch []string
+	var idx []int
+	for i, cand := range wave {
+		if answers[i] && !cand.fromGrammar {
+			batch = append(batch, cand.input)
+			idx = append(idx, i)
+		}
+	}
+	inGrammar := make([]bool, len(wave))
+	if len(batch) == 0 {
+		return inGrammar
+	}
+	c.mu.Lock()
+	compiled := c.compiled
+	c.mu.Unlock()
+	for j, ok := range compiled.AcceptsAll(batch, c.conf.Workers) {
+		inGrammar[idx[j]] = ok
+	}
+	return inGrammar
+}
+
 // classify triages one executed wave into the corpus and counters.
-func (c *Campaign) classify(wave []candidate, answers []bool) {
+// inGrammar is triageParse's verdict per wave slot.
+func (c *Campaign) classify(wave []candidate, answers []bool, inGrammar []bool) {
 	var verdicts map[string]oracle.Verdict
 	if c.verdicts != nil {
 		verdicts = c.verdicts.take()
@@ -327,9 +360,8 @@ func (c *Campaign) classify(wave []candidate, answers []bool) {
 			c.report.Accepted++
 			// Mutated inputs that the oracle accepts but the grammar cannot
 			// parse show where the grammar under-approximates; they are the
-			// refresh seeds. Parsing only accepted mutants keeps the Earley
-			// cost off the hot path.
-			if !cand.fromGrammar && !c.parser.Accepts(cand.input) {
+			// refresh seeds. triageParse already parsed exactly these.
+			if !cand.fromGrammar && !inGrammar[i] {
 				if c.corpus.add(Entry{Input: cand.input, Bucket: BucketAcceptFlip, Wave: c.report.Waves}) {
 					c.flipsSinceRefresh++
 				}
@@ -405,11 +437,10 @@ func (c *Campaign) maybeRefresh(ctx context.Context) {
 		return
 	}
 	fuzzer := fuzz.NewGrammar(res.Grammar, seeds)
-	parser := cfg.NewParser(res.Grammar)
 	c.mu.Lock()
 	c.grammar = res.Grammar
 	c.fuzzer = fuzzer
-	c.parser = parser
+	c.compiled = fuzzer.Compiled()
 	c.flipsSinceRefresh = 0
 	c.report.Refreshes++
 	c.report.GrammarSymbols = res.Grammar.Size()

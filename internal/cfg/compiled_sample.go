@@ -1,0 +1,127 @@
+package cfg
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// The compiled sampler draws from the same distribution as Sampler — the
+// uniform PCFG of §8.1 with the depth-bounded fallback — directly over the
+// flat IR's cost tables. Production choice consumes the rng identically to
+// Sampler (one Intn over the in-budget candidate count, in production
+// order, then one Intn per terminal byte), so a Compiled and a Sampler
+// seeded with the same rng emit byte-identical streams; the difference is
+// purely mechanical: no candidate slice is materialized per expansion, and
+// string assembly goes through a pooled byte buffer, so a steady-state
+// Sample allocates only the returned string.
+
+// sampleBufs pools the output buffers of Sample/SampleFrom across all
+// Compiled grammars.
+var sampleBufs = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// Sample draws one string from the start symbol. It panics if the start
+// symbol is unproductive. It is safe for concurrent use with distinct
+// rngs.
+func (c *Compiled) Sample(rng *rand.Rand) string {
+	return c.SampleFrom(rng, int(c.start))
+}
+
+// SampleFrom draws one string derived from nonterminal nt.
+func (c *Compiled) SampleFrom(rng *rand.Rand, nt int) string {
+	if c.minDepth[nt] == unboundedCost {
+		panic("cfg: sampling from unproductive nonterminal " + c.names[nt])
+	}
+	bp := sampleBufs.Get().(*[]byte)
+	buf := c.appendSample((*bp)[:0], rng, int32(nt), c.MaxDepth)
+	s := string(buf)
+	*bp = buf
+	sampleBufs.Put(bp)
+	return s
+}
+
+// pickProd chooses a production of nt uniformly among those whose
+// derivation cost fits the budget, falling back to the minimal-cost group
+// when none fits — Sampler's candidate rule, computed by counting over the
+// cost table instead of building a slice.
+func (c *Compiled) pickProd(rng *rand.Rand, nt int32, budget int) int32 {
+	lo, hi := c.ntProd[nt], c.ntProd[nt+1]
+	count := 0
+	for p := lo; p < hi; p++ {
+		if int(c.prodCost[p]) <= budget {
+			count++
+		}
+	}
+	if count == 0 {
+		best := int32(unboundedCost)
+		for p := lo; p < hi; p++ {
+			if c.prodCost[p] < best {
+				best = c.prodCost[p]
+			}
+		}
+		for p := lo; p < hi; p++ {
+			if c.prodCost[p] == best {
+				count++
+			}
+		}
+		k := rng.Intn(count)
+		for p := lo; ; p++ {
+			if c.prodCost[p] == best {
+				if k == 0 {
+					return p
+				}
+				k--
+			}
+		}
+	}
+	k := rng.Intn(count)
+	for p := lo; ; p++ {
+		if int(c.prodCost[p]) <= budget {
+			if k == 0 {
+				return p
+			}
+			k--
+		}
+	}
+}
+
+// appendSample expands nt under the budget, appending the produced bytes
+// to buf.
+func (c *Compiled) appendSample(buf []byte, rng *rand.Rand, nt int32, budget int) []byte {
+	p := c.pickProd(rng, nt, budget)
+	for i := c.prodOff[p]; i < c.prodOff[p+1]; i++ {
+		s := c.arena[i]
+		if s >= 0 {
+			buf = c.appendSample(buf, rng, s, budget-1)
+			continue
+		}
+		set := c.classes[^s]
+		buf = append(buf, set.Pick(rng.Intn(set.Len())))
+	}
+	return buf
+}
+
+// SampleDeriv draws a random derivation tree from nonterminal nt — the
+// grammar fuzzer's subtree-resampling primitive. The tree necessarily
+// allocates; Deriv.Prod is the production's index within nt, matching
+// Grammar.Prods[nt].
+func (c *Compiled) SampleDeriv(rng *rand.Rand, nt int) *Deriv {
+	if c.minDepth[nt] == unboundedCost {
+		panic("cfg: sampling from unproductive nonterminal " + c.names[nt])
+	}
+	return c.expandDeriv(rng, int32(nt), c.MaxDepth)
+}
+
+func (c *Compiled) expandDeriv(rng *rand.Rand, nt int32, budget int) *Deriv {
+	p := c.pickProd(rng, nt, budget)
+	d := &Deriv{NT: int(nt), Prod: int(p - c.ntProd[nt]), Parts: make([]DerivPart, c.prodLen(p))}
+	for i := c.prodOff[p]; i < c.prodOff[p+1]; i++ {
+		s := c.arena[i]
+		if s >= 0 {
+			d.Parts[i-c.prodOff[p]] = DerivPart{Child: c.expandDeriv(rng, s, budget-1)}
+			continue
+		}
+		set := c.classes[^s]
+		d.Parts[i-c.prodOff[p]] = DerivPart{Byte: set.Pick(rng.Intn(set.Len()))}
+	}
+	return d
+}

@@ -27,6 +27,14 @@ type Sampler struct {
 // Gram aliases Grammar so the Sampler struct reads naturally.
 type Gram = Grammar
 
+// DefaultSampleDepth is the sampling depth budget used throughout the
+// repository when a caller has no reason to choose otherwise: deep enough
+// that the depth-bounded fallback rarely engages on the grammars GLADE
+// learns, shallow enough that recursion-heavy grammars still terminate
+// quickly. The grammar fuzzer, the facade conveniences, and the bench
+// suite all share this value.
+const DefaultSampleDepth = 24
+
 const unbounded = int(^uint(0) >> 1)
 
 // NewSampler builds a sampler for g with the given depth budget (values

@@ -13,9 +13,9 @@ import (
 // choose a random tree node labeled A and replace it with a fresh sample
 // from PL(Ĉ,A).
 type Grammar struct {
-	g       *cfg.Grammar
-	sampler *cfg.Sampler
-	trees   []*cfg.Deriv
+	g        *cfg.Grammar
+	compiled *cfg.Compiled
+	trees    []*cfg.Deriv
 	// fallback seeds that did not parse under the grammar (possible when
 	// learning timed out); they are emitted unmodified occasionally.
 	unparsed []string
@@ -23,8 +23,14 @@ type Grammar struct {
 
 // NewGrammar builds the fuzzer. Seeds that fail to parse under g are kept
 // as unmutatable fallbacks; at least one seed must parse or be present.
+//
+// The fuzzer compiles g once (cfg.Compile) and runs every subtree
+// resample on the compiled tables; seed parsing stays on the chart
+// parser, which is what tree extraction needs anyway. The Compiled is
+// shared with callers (see Compiled) so a grammar's consumers — fuzzer,
+// campaign triage, service generation — build it exactly once.
 func NewGrammar(g *cfg.Grammar, seeds []string) *Grammar {
-	f := &Grammar{g: g, sampler: cfg.NewSampler(g, 24)}
+	f := &Grammar{g: g, compiled: cfg.Compile(g)}
 	parser := cfg.NewParser(g)
 	for _, s := range seeds {
 		if t, err := parser.Parse(s); err == nil {
@@ -38,6 +44,11 @@ func NewGrammar(g *cfg.Grammar, seeds []string) *Grammar {
 
 // Name implements Fuzzer.
 func (f *Grammar) Name() string { return "glade" }
+
+// Compiled returns the fuzzer's compiled grammar engine, for callers that
+// need membership checks against the same grammar (campaign triage batches
+// through its AcceptsAll).
+func (f *Grammar) Compiled() *cfg.Compiled { return f.compiled }
 
 // ParsedSeeds reports how many seeds parsed under the grammar.
 func (f *Grammar) ParsedSeeds() int { return len(f.trees) }
@@ -66,7 +77,7 @@ func (f *Grammar) Next(rng *rand.Rand) string {
 func (f *Grammar) mutate(rng *rand.Rand, root *cfg.Deriv) *cfg.Deriv {
 	nodes := root.Nodes(nil)
 	target := nodes[rng.Intn(len(nodes))]
-	fresh := f.sampler.SampleDeriv(rng, target.NT)
+	fresh := f.compiled.SampleDeriv(rng, target.NT)
 	if target == root {
 		return fresh
 	}

@@ -24,13 +24,15 @@ const maxValidFactor = 20
 const maxFuzzerEntries = 64
 
 // fuzzerPool caches one grammar fuzzer per stored grammar, LRU-bounded at
-// maxFuzzerEntries. Building a fuzzer parses every seed under the grammar
-// (Earley — the expensive part), so it happens once per grammar per
-// residence in the cache; generation itself is cheap and runs
-// concurrently, each request drawing a private rng from a per-grammar
-// sync.Pool. fuzz.Grammar is safe for concurrent Next calls with distinct
-// rngs: seed trees are deep-cloned before mutation and the sampler is
-// read-only after construction.
+// maxFuzzerEntries. Building a fuzzer compiles the grammar into its flat
+// IR (cfg.Compile) and parses every seed under it — the expensive part —
+// so it happens once per grammar per residence in the cache; the one
+// Compiled then serves both sampling and membership for that grammar.
+// Generation itself is cheap and runs concurrently, each request drawing
+// a private rng from a per-grammar sync.Pool. fuzz.Grammar is safe for
+// concurrent Next calls with distinct rngs: seed trees are deep-cloned
+// before mutation and the compiled engine is read-only after
+// construction, with per-call scratch state drawn from its own pool.
 type fuzzerPool struct {
 	store *Store
 

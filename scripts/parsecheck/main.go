@@ -1,0 +1,97 @@
+// Command parsecheck validates a BENCH_parse.json artifact for CI: the
+// file must be valid glade-bench -json output containing parse-figure
+// rows for both engines on every measured program, every row must report
+// verdict agreement between the engines, and the compiled engine must not
+// be slower than the map-based baseline (ratio >= 1). It mirrors
+// scripts/reportcheck so the parse-bench smoke needs no jq/python
+// dependency.
+//
+// Usage:
+//
+//	go run ./scripts/parsecheck BENCH_parse.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// parseRow mirrors the parse-figure fields of glade-bench's jsonRow.
+type parseRow struct {
+	Figure        string   `json:"figure"`
+	Program       string   `json:"program"`
+	Engine        string   `json:"engine"`
+	Inputs        int      `json:"inputs"`
+	MBps          float64  `json:"mbps"`
+	NsPerAccept   float64  `json:"ns_per_accept"`
+	AllocsPerOp   *float64 `json:"allocs_per_op"`
+	SamplesPerSec float64  `json:"samples_per_sec"`
+	Ratio         float64  `json:"ratio"`
+	Agree         *bool    `json:"agree"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: parsecheck BENCH_parse.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parsecheck:", err)
+		os.Exit(1)
+	}
+	var report struct {
+		Results []parseRow `json:"results"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		fmt.Fprintf(os.Stderr, "parsecheck: report is not valid JSON: %v\n", err)
+		os.Exit(1)
+	}
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "parsecheck: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	engines := map[string]map[string]parseRow{} // program -> engine -> row
+	for _, r := range report.Results {
+		if r.Figure != "parse" {
+			continue
+		}
+		if r.Program == "" || r.Engine == "" {
+			fail("parse row missing program or engine: %+v", r)
+		}
+		if engines[r.Program] == nil {
+			engines[r.Program] = map[string]parseRow{}
+		}
+		engines[r.Program][r.Engine] = r
+	}
+	if len(engines) == 0 {
+		fail("no parse-figure rows found")
+	}
+	for program, rows := range engines {
+		base, ok := rows["parser"]
+		if !ok {
+			fail("%s: no map-based baseline row", program)
+		}
+		comp, ok := rows["compiled"]
+		if !ok {
+			fail("%s: no compiled-engine row", program)
+		}
+		for _, r := range []parseRow{base, comp} {
+			if r.Inputs == 0 || r.NsPerAccept == 0 || r.SamplesPerSec == 0 {
+				fail("%s/%s: incomplete measurement: %+v", program, r.Engine, r)
+			}
+			if r.AllocsPerOp == nil {
+				fail("%s/%s: allocs/op not recorded", program, r.Engine)
+			}
+			if r.Agree == nil || !*r.Agree {
+				fail("%s/%s: engines disagreed on membership verdicts", program, r.Engine)
+			}
+		}
+		if comp.Ratio < 1 {
+			fail("%s: compiled membership is slower than the map-based baseline (%.2fx)", program, comp.Ratio)
+		}
+		fmt.Printf("parsecheck: %s ok — compiled %.2fx vs baseline, %.2f MB/s, %.1f allocs/op\n",
+			program, comp.Ratio, comp.MBps, *comp.AllocsPerOp)
+	}
+}
