@@ -13,15 +13,16 @@ build:
 test:
 	go test -race ./...
 
-# Formatting and static checks (gofmt + go vet + doc-comment and
-# markdown-link checks; no external linters).
+# Formatting and static checks (gofmt + go vet + doc-comment, API-lock,
+# and markdown-link checks; no external linters).
 lint:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
 	fi
 	go vet ./...
-	go run ./scripts/doccheck . internal/service internal/fuzz internal/campaign internal/oracle internal/metrics
+	go run ./scripts/doccheck . internal/service internal/fuzz internal/campaign internal/oracle internal/metrics internal/core
+	go run ./scripts/apilock
 	./scripts/linkcheck.sh
 
 # One pass over every benchmark — the paper's figures at reduced scale plus

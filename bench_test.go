@@ -7,6 +7,7 @@
 package glade
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -27,7 +28,7 @@ func benchConfig() bench.Config {
 // four target languages. Reported metrics are F1 scores scaled ×1000.
 func BenchmarkFig4aF1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := bench.Fig4(benchConfig())
+		rows := bench.Fig4(context.Background(), benchConfig())
 		if i == 0 {
 			for _, r := range rows {
 				b.ReportMetric(r.F1*1000, r.Target+"/"+r.Learner+"-mF1")
@@ -39,7 +40,7 @@ func BenchmarkFig4aF1(b *testing.B) {
 // BenchmarkFig4bTime reproduces Figure 4(b): learner running time (ms).
 func BenchmarkFig4bTime(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := bench.Fig4(benchConfig())
+		rows := bench.Fig4(context.Background(), benchConfig())
 		if i == 0 {
 			for _, r := range rows {
 				b.ReportMetric(r.Seconds*1000, r.Target+"/"+r.Learner+"-ms")
@@ -52,7 +53,7 @@ func BenchmarkFig4bTime(b *testing.B) {
 // versus the number of seed inputs.
 func BenchmarkFig4cSeeds(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := bench.Fig4c(benchConfig(), []int{5, 15, 25})
+		rows := bench.Fig4c(context.Background(), benchConfig(), []int{5, 15, 25})
 		if i == 0 {
 			for _, r := range rows {
 				b.ReportMetric(r.Precision*1000, sprintInt(r.Seeds)+"seeds-mP")
@@ -66,7 +67,7 @@ func BenchmarkFig4cSeeds(b *testing.B) {
 // seeds (reports grammar text length as a size proxy).
 func BenchmarkFig5Grammars(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out := bench.Fig5(benchConfig())
+		out := bench.Fig5(context.Background(), benchConfig())
 		if i == 0 {
 			for name, g := range out {
 				b.ReportMetric(float64(len(g)), name+"-gramlen")
@@ -80,7 +81,7 @@ func BenchmarkFig5Grammars(b *testing.B) {
 func BenchmarkFig6Synthesis(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		bench.ResetCache()
-		rows, err := bench.Fig6(benchConfig())
+		rows, err := bench.Fig6(context.Background(), benchConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -98,7 +99,7 @@ func BenchmarkFig6Synthesis(b *testing.B) {
 func BenchmarkFig7aCoverage(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		bench.ResetCache()
-		rows, err := bench.Fig7a(benchConfig(), []string{"sed", "xml", "python"})
+		rows, err := bench.Fig7a(context.Background(), benchConfig(), []string{"sed", "xml", "python"})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -117,7 +118,7 @@ func BenchmarkFig7bUpperBound(b *testing.B) {
 		bench.ResetCache()
 		c := benchConfig()
 		c.FuzzSamples = 1500
-		rows, err := bench.Fig7b(c)
+		rows, err := bench.Fig7b(context.Background(), c)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -136,7 +137,7 @@ func BenchmarkFig7bUpperBound(b *testing.B) {
 func BenchmarkFig7cCurve(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		bench.ResetCache()
-		rows, err := bench.Fig7c(benchConfig(), 1000)
+		rows, err := bench.Fig7c(context.Background(), benchConfig(), 1000)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -155,7 +156,7 @@ func BenchmarkFig7cCurve(b *testing.B) {
 func BenchmarkFig8Sample(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		bench.ResetCache()
-		s, err := bench.Fig8(benchConfig())
+		s, err := bench.Fig8(context.Background(), benchConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -173,7 +174,7 @@ func BenchmarkAblations(b *testing.B) {
 		c := benchConfig()
 		c.Seeds = 6
 		c.EvalSamples = 120
-		rows := bench.Ablations(c)
+		rows := bench.Ablations(context.Background(), c)
 		if i == 0 {
 			for _, r := range rows {
 				if r.Target == "xml" {
@@ -194,7 +195,7 @@ func BenchmarkAblations(b *testing.B) {
 // determinism guarantee).
 func BenchmarkParallelSpeedup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := bench.Speedup(benchConfig(), []string{"sed", "xml"}, []int{1, 8}, 100*time.Microsecond)
+		rows := bench.Speedup(context.Background(), benchConfig(), []string{"sed", "xml"}, []int{1, 8}, 100*time.Microsecond)
 		if i == 0 {
 			for _, r := range rows {
 				suffix := sprintInt(r.Workers) + "w"

@@ -30,9 +30,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"glade/internal/bench"
@@ -63,9 +66,14 @@ func main() {
 		speedupWorkers = 8
 	}
 
-	run := func(name string, f func(bench.Config)) {
+	// SIGINT/SIGTERM cancel the remaining learning runs; figures already
+	// computed still print.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	run := func(name string, f func(context.Context, bench.Config)) {
 		if *fig == name || *fig == "all" {
-			f(c)
+			f(ctx, c)
 		}
 	}
 	run("4a", fig4a)
@@ -91,11 +99,11 @@ var (
 	speedupWorkers int
 )
 
-func speedup(c bench.Config) {
+func speedup(ctx context.Context, c bench.Config) {
 	fmt.Printf("== Speedup: concurrent oracle-query engine (qdelay=%v) ==\n", qdelay)
 	fmt.Printf("%-8s %7s %8s %8s %9s %9s %12s %9s\n",
 		"program", "workers", "time(s)", "speedup", "queries", "q/s", "mean-lat", "identical")
-	rows := bench.Speedup(c, nil, []int{1, speedupWorkers}, qdelay)
+	rows := bench.Speedup(ctx, c, nil, []int{1, speedupWorkers}, qdelay)
 	for _, r := range rows {
 		fmt.Printf("%-8s %7d %8.2f %7.2fx %9d %9.0f %12v %9v\n",
 			r.Program, r.Workers, r.Seconds, r.Speedup, r.Queries, r.QPS,
@@ -105,9 +113,9 @@ func speedup(c bench.Config) {
 	fmt.Println()
 }
 
-func parse(c bench.Config) {
+func parse(ctx context.Context, c bench.Config) {
 	fmt.Println("== Parse: compiled-grammar engine vs map-based Earley ==")
-	rows, err := bench.Parse(c, nil)
+	rows, err := bench.Parse(ctx, c, nil)
 	fail(err)
 	fmt.Printf("%-8s %-9s %7s %10s %8s %10s %11s %9s %7s %6s\n",
 		"program", "engine", "inputs", "ns/accept", "MB/s", "allocs/op", "samples/s", "s-allocs", "ratio", "agree")
@@ -122,52 +130,52 @@ func parse(c bench.Config) {
 
 var fig4Cache []bench.LearnerRow
 
-func fig4Rows(c bench.Config) []bench.LearnerRow {
+func fig4Rows(ctx context.Context, c bench.Config) []bench.LearnerRow {
 	if fig4Cache == nil {
-		fig4Cache = bench.Fig4(c)
+		fig4Cache = bench.Fig4(ctx, c)
 		recordFig4(fig4Cache)
 	}
 	return fig4Cache
 }
 
-func fig4a(c bench.Config) {
+func fig4a(ctx context.Context, c bench.Config) {
 	fmt.Println("== Figure 4(a): F1 score per target and learner ==")
 	fmt.Printf("%-6s %-9s %6s %6s %6s\n", "target", "learner", "P", "R", "F1")
-	for _, r := range fig4Rows(c) {
+	for _, r := range fig4Rows(ctx, c) {
 		fmt.Printf("%-6s %-9s %6.3f %6.3f %6.3f\n", r.Target, r.Learner, r.Precision, r.Recall, r.F1)
 	}
 	fmt.Println()
 }
 
-func fig4b(c bench.Config) {
+func fig4b(ctx context.Context, c bench.Config) {
 	fmt.Println("== Figure 4(b): running time (seconds) ==")
 	fmt.Printf("%-6s %-9s %8s %s\n", "target", "learner", "time", "timeout")
-	for _, r := range fig4Rows(c) {
+	for _, r := range fig4Rows(ctx, c) {
 		fmt.Printf("%-6s %-9s %8.2f %v\n", r.Target, r.Learner, r.Seconds, r.TimedOut)
 	}
 	fmt.Println()
 }
 
-func fig4c(c bench.Config) {
+func fig4c(ctx context.Context, c bench.Config) {
 	fmt.Println("== Figure 4(c): GLADE on XML vs number of seed inputs ==")
 	fmt.Printf("%6s %9s %7s %8s\n", "seeds", "precision", "recall", "time(s)")
-	for _, r := range bench.Fig4c(c, nil) {
+	for _, r := range bench.Fig4c(ctx, c, nil) {
 		fmt.Printf("%6d %9.3f %7.3f %8.2f\n", r.Seeds, r.Precision, r.Recall, r.Seconds)
 	}
 	fmt.Println()
 }
 
-func fig5(c bench.Config) {
+func fig5(ctx context.Context, c bench.Config) {
 	fmt.Println("== Figure 5: synthesized grammars from documentation seeds ==")
-	out := bench.Fig5(c)
+	out := bench.Fig5(ctx, c)
 	for _, name := range []string{"url", "grep", "lisp", "xml"} {
 		fmt.Printf("--- %s ---\n%s\n", name, out[name])
 	}
 }
 
-func fig6(c bench.Config) {
+func fig6(ctx context.Context, c bench.Config) {
 	fmt.Println("== Figure 6: programs, seeds, and synthesis time ==")
-	rows, err := bench.Fig6(c)
+	rows, err := bench.Fig6(ctx, c)
 	fail(err)
 	recordFig6(rows)
 	fmt.Printf("%-11s %8s %10s %9s %9s %8s\n", "program", "points", "seed-lines", "time(s)", "queries", "gsize")
@@ -177,16 +185,16 @@ func fig6(c bench.Config) {
 	fmt.Println()
 }
 
-func fig7a(c bench.Config) {
+func fig7a(ctx context.Context, c bench.Config) {
 	fmt.Println("== Figure 7(a): valid normalized incremental coverage ==")
-	rows, err := bench.Fig7a(c, nil)
+	rows, err := bench.Fig7a(ctx, c, nil)
 	fail(err)
 	printCoverage(rows)
 }
 
-func fig7b(c bench.Config) {
+func fig7b(ctx context.Context, c bench.Config) {
 	fmt.Println("== Figure 7(b): versus proxy upper bound ==")
-	rows, err := bench.Fig7b(c)
+	rows, err := bench.Fig7b(ctx, c)
 	fail(err)
 	printCoverage(rows)
 }
@@ -199,9 +207,9 @@ func printCoverage(rows []bench.CoverageRow) {
 	fmt.Println()
 }
 
-func fig7c(c bench.Config) {
+func fig7c(ctx context.Context, c bench.Config) {
 	fmt.Println("== Figure 7(c): coverage over samples (python) ==")
-	rows, err := bench.Fig7c(c, 0)
+	rows, err := bench.Fig7c(ctx, c, 0)
 	fail(err)
 	fmt.Printf("%-8s %9s %7s\n", "fuzzer", "samples", "value")
 	for _, r := range rows {
@@ -210,17 +218,17 @@ func fig7c(c bench.Config) {
 	fmt.Println()
 }
 
-func fig8(c bench.Config) {
+func fig8(ctx context.Context, c bench.Config) {
 	fmt.Println("== Figure 8: a valid sample from the synthesized XML grammar ==")
-	s, err := bench.Fig8(c)
+	s, err := bench.Fig8(ctx, c)
 	fail(err)
 	fmt.Printf("%q\n\n", s)
 }
 
-func ablations(c bench.Config) {
+func ablations(ctx context.Context, c bench.Config) {
 	fmt.Println("== Ablations: design-choice variants ==")
 	fmt.Printf("%-6s %-17s %6s %6s %6s %9s %8s\n", "target", "variant", "P", "R", "F1", "queries", "time(s)")
-	ablationRows := bench.Ablations(c)
+	ablationRows := bench.Ablations(ctx, c)
 	recordAblations(ablationRows)
 	for _, r := range ablationRows {
 		fmt.Printf("%-6s %-17s %6.3f %6.3f %6.3f %9d %8.2f\n",

@@ -73,6 +73,11 @@ func main() {
 	}
 	seeds := p.Seeds()
 
+	// SIGINT/SIGTERM cancel the whole run: grammar synthesis aborts within
+	// one oracle wave, and a campaign finalizes its report.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	// Both modes need the synthesized grammar (unless one was supplied).
 	loadGrammar := func() *cfg.Grammar {
 		if *grammarFile != "" {
@@ -87,7 +92,7 @@ func main() {
 			}
 			return g
 		}
-		res, err := bench.LearnProgram(p, *timeout, *workers)
+		res, err := bench.LearnProgram(ctx, p, *timeout, *workers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "glade-fuzz:", err)
 			os.Exit(1)
@@ -98,7 +103,7 @@ func main() {
 	}
 
 	if *runCampaign {
-		runCampaignMode(p, loadGrammar(), seeds, *duration, *report, *batch, *refresh, *workers, *seed)
+		runCampaignMode(ctx, p, loadGrammar(), seeds, *duration, *report, *batch, *refresh, *workers, *seed)
 		return
 	}
 
@@ -133,9 +138,9 @@ func main() {
 }
 
 // runCampaignMode drives one fuzzing campaign against the program and
-// prints a bucket summary. SIGINT/SIGTERM end an unbounded campaign
-// gracefully (the final report is still written).
-func runCampaignMode(p programs.Program, g *cfg.Grammar, seeds []string,
+// prints a bucket summary. Cancelling ctx (SIGINT/SIGTERM) ends an
+// unbounded campaign gracefully (the final report is still written).
+func runCampaignMode(ctx context.Context, p programs.Program, g *cfg.Grammar, seeds []string,
 	duration time.Duration, report string, batch int, refresh time.Duration, workers int, seed int64) {
 	conf := campaign.Config{
 		Grammar:      g,
@@ -156,8 +161,6 @@ func runCampaignMode(p programs.Program, g *cfg.Grammar, seeds []string,
 		fmt.Fprintln(os.Stderr, "glade-fuzz:", err)
 		os.Exit(1)
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	rep, err := c.Run(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "glade-fuzz:", err)

@@ -16,11 +16,13 @@
 //	curl -s -X POST localhost:8080/v1/jobs \
 //	    -d '{"oracle":{"program":"sed"}}'            # → {"id":"...","state":"queued",...}
 //	curl -s localhost:8080/v1/jobs/<id>?watch=1      # NDJSON progress stream
+//	curl -s -X DELETE localhost:8080/v1/jobs/<id>    # cancel (state "canceled")
 //	curl -s localhost:8080/v1/grammars/<id>          # the learned grammar
 //	curl -s -X POST 'localhost:8080/v1/grammars/<id>/generate?n=10&valid=1'
 //	curl -s -X POST localhost:8080/v1/campaigns \
 //	    -d '{"grammar_id":"<id>","duration_ms":30000}'  # fuzzing campaign
 //	curl -s localhost:8080/v1/campaigns/<id>?watch=1    # NDJSON checkpoints
+//	curl -s -X DELETE localhost:8080/v1/campaigns/<id>  # cancel, report kept
 //
 // See internal/service for the full API surface.
 package main

@@ -19,11 +19,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"glade/internal/bytesets"
@@ -90,8 +94,15 @@ func main() {
 		}
 	}
 
-	res, err := core.Learn(seeds, o, opts)
+	// SIGINT/SIGTERM cancel the learn context: the run aborts within one
+	// oracle wave instead of running to the timeout.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := core.Learn(ctx, seeds, o, opts)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fatal(fmt.Errorf("interrupted: %w", err))
+		}
 		fatal(err)
 	}
 	fmt.Println(res.Grammar.Trim().String())
@@ -115,7 +126,7 @@ func main() {
 	}
 }
 
-func pickOracle(target, program, cmd string, workers int, oracleTimeout time.Duration) (oracle.Oracle, []string, error) {
+func pickOracle(target, program, cmd string, workers int, oracleTimeout time.Duration) (oracle.CheckOracle, []string, error) {
 	n := 0
 	for _, s := range []string{target, program, cmd} {
 		if s != "" {
@@ -131,7 +142,7 @@ func pickOracle(target, program, cmd string, workers int, oracleTimeout time.Dur
 		if t == nil {
 			return nil, nil, fmt.Errorf("unknown target %q", target)
 		}
-		return t.Oracle, t.DocSeeds, nil
+		return oracle.AsCheck(t.Oracle), t.DocSeeds, nil
 	case program != "":
 		p := programs.ByName(program)
 		if p == nil {

@@ -24,7 +24,7 @@ func main() {
 
 	// Synthesize the grammar from grep's bundled documentation seeds —
 	// the same learn step `glade -program grep` performs.
-	res, err := bench.LearnProgram(p, 30*time.Second, 4)
+	res, err := bench.LearnProgram(context.Background(), p, 30*time.Second, 4)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "campaign:", err)
 		os.Exit(1)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -40,7 +41,8 @@ func main() {
 	opts.Logf = func(format string, args ...any) { fmt.Printf("  "+format+"\n", args...) }
 
 	fmt.Println("Learning from seed \"<a>hi</a>\" (Figure 2 trace):")
-	res, err := glade.Learn([]string{"<a>hi</a>"}, glade.OracleFunc(valid), opts)
+	res, err := glade.LearnContext(context.Background(), []string{"<a>hi</a>"},
+		glade.AsCheckOracle(glade.OracleFunc(valid)), opts)
 	if err != nil {
 		panic(err)
 	}

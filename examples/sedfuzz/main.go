@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -19,7 +20,7 @@ func main() {
 	seeds := p.Seeds()
 	o := oracle.Func(func(s string) bool { return p.Run(s).OK })
 
-	res, err := glade.Learn(seeds, o, glade.DefaultOptions())
+	res, err := glade.LearnContext(context.Background(), seeds, o, glade.DefaultOptions())
 	if err != nil {
 		panic(err)
 	}

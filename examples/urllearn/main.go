@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -21,7 +22,7 @@ func main() {
 		fmt.Printf("  %s\n", s)
 	}
 
-	res, err := glade.Learn(seeds, tgt.Oracle, glade.DefaultOptions())
+	res, err := glade.LearnContext(context.Background(), seeds, glade.AsCheckOracle(tgt.Oracle), glade.DefaultOptions())
 	if err != nil {
 		panic(err)
 	}

@@ -3,7 +3,7 @@
 // Program Input Grammars" (PLDI 2017).
 //
 // Given a handful of valid example inputs and blackbox membership access to
-// a program (run it; valid iff it does not report an error), Learn
+// a program (run it; valid iff it does not report an error), LearnContext
 // synthesizes a context-free grammar approximating the program's input
 // language. The grammar can then drive a grammar-based fuzzer
 // (NewGrammarFuzzer) that generates mostly-valid, structurally diverse
@@ -16,13 +16,31 @@
 //	internal/oracle   membership oracles (functions, caching, exec)
 //	internal/fuzz     naive / afl-style / grammar-based fuzzers
 //
+// # The v2 API: contexts and verdicts
+//
+// The primary oracle contract is CheckOracle: Check(ctx, input) answers
+// with a Verdict — VerdictAccept, VerdictReject, VerdictCrash (the target
+// died on a signal), VerdictTimeout (the per-query deadline killed it) —
+// and an error that means the oracle itself failed, which aborts learning
+// instead of silently reading as a rejection. LearnContext threads the
+// context through every phase: cancel it and learning returns within one
+// oracle wave, wrapping ctx.Err().
+//
 // A minimal session:
 //
-//	o := glade.OracleFunc(isValidInput)
-//	res, err := glade.Learn([]string{"<a>hi</a>"}, o, glade.DefaultOptions())
+//	o := glade.CheckOracleFunc(func(ctx context.Context, s string) (glade.Verdict, error) {
+//		if isValidInput(s) {
+//			return glade.VerdictAccept, nil
+//		}
+//		return glade.VerdictReject, nil
+//	})
+//	res, err := glade.LearnContext(ctx, []string{"<a>hi</a>"}, o, glade.DefaultOptions())
 //	fmt.Println(res.Grammar)
 //	fz := glade.NewGrammarFuzzer(res.Grammar, seeds)
 //	input := fz.Next(rng)
+//
+// Plain boolean predicates still work — OracleFunc builds a v1 Oracle and
+// AsCheckOracle (or the deprecated Learn shim) adapts it.
 //
 // Oracle queries dominate learning cost — every candidate generalization is
 // one blackbox program run. Setting Options.Workers > 1 issues independent
@@ -32,11 +50,13 @@
 //
 //	opts := glade.DefaultOptions()
 //	opts.Workers = 8
-//	res, err := glade.Learn(seeds, o, opts)
+//	res, err := glade.LearnContext(ctx, seeds, o, opts)
 package glade
 
 import (
+	"context"
 	"math/rand"
+	"sync"
 
 	"glade/internal/cfg"
 	"glade/internal/core"
@@ -44,28 +64,91 @@ import (
 	"glade/internal/oracle"
 )
 
-// Oracle answers membership queries: does the program accept this input?
+// Verdict is the outcome of one membership query: the domain answer about
+// the input. Oracle failures travel as errors next to the Verdict, never
+// as a verdict.
+type Verdict = oracle.Verdict
+
+// The four verdicts. Only VerdictAccept means the input is in the
+// language; VerdictCrash and VerdictTimeout are rejections carrying the
+// extra signal fuzzing campaigns triage into their own buckets.
+const (
+	// VerdictReject: the target processed the input and reported it invalid.
+	VerdictReject = oracle.Reject
+	// VerdictAccept: the input is in the target's language.
+	VerdictAccept = oracle.Accept
+	// VerdictCrash: the target died on a signal rather than exiting.
+	VerdictCrash = oracle.Crash
+	// VerdictTimeout: the target exceeded the per-query deadline and was
+	// killed.
+	VerdictTimeout = oracle.Timeout
+)
+
+// CheckOracle is the v2 oracle contract: Check(ctx, input) answers one
+// membership query with a Verdict and an error (the error means the oracle
+// itself failed — cancellation, a missing binary — and aborts learning).
+type CheckOracle = oracle.CheckOracle
+
+// BatchCheckOracle is a CheckOracle with a concurrent bulk path; the
+// learner uses it to issue independent checks as one wave when
+// Options.Workers > 1.
+type BatchCheckOracle = oracle.BatchCheckOracle
+
+// CheckOracleFunc adapts a context-aware verdict function to a CheckOracle.
+func CheckOracleFunc(f func(ctx context.Context, input string) (Verdict, error)) CheckOracle {
+	return oracle.CheckFunc(f)
+}
+
+// AsCheckOracle adapts a v1 boolean Oracle to the CheckOracle contract
+// (true ↦ VerdictAccept, false ↦ VerdictReject; cancellation observed
+// between queries). Oracles that already implement CheckOracle pass
+// through unchanged.
+func AsCheckOracle(o Oracle) CheckOracle { return oracle.AsCheck(o) }
+
+// CheckAll answers every query: through o's bulk path when it provides
+// one, otherwise fanning Check calls across at most workers goroutines.
+// On a non-nil error the verdict slice must be discarded.
+func CheckAll(ctx context.Context, o CheckOracle, inputs []string, workers int) ([]Verdict, error) {
+	return oracle.CheckAll(ctx, o, inputs, workers)
+}
+
+// ParallelCheckOracle fans batched queries of a concurrency-safe
+// CheckOracle across at most workers goroutines. LearnContext builds this
+// stack itself when Options.Workers > 1; the adapter is exported for
+// callers that batch queries outside of learning (evaluation, fuzz
+// triage).
+func ParallelCheckOracle(inner CheckOracle, workers int) BatchCheckOracle {
+	return oracle.Parallel(inner, workers)
+}
+
+// Oracle answers boolean membership queries: does the program accept this
+// input? It remains the convenient contract for pure in-process
+// predicates; wrap with AsCheckOracle where a CheckOracle is required.
 type Oracle = oracle.Oracle
 
-// OracleFunc adapts a plain predicate to an Oracle.
+// OracleFunc adapts a plain predicate to an Oracle (which also satisfies
+// CheckOracle: true ↦ VerdictAccept, false ↦ VerdictReject).
 func OracleFunc(f func(string) bool) Oracle { return oracle.Func(f) }
 
-// BatchOracle is an Oracle with a concurrent bulk path; the learner uses it
-// to issue independent checks as one wave when Options.Workers > 1.
+// BatchOracle is an Oracle with a concurrent bulk path (v1 contract).
 type BatchOracle = oracle.BatchOracle
 
 // ExecOracle runs a command per query, feeding the input on stdin; the
 // input is valid when the command exits zero. This treats a real program
 // binary exactly as the paper does. Set the returned Exec's Timeout to
-// bound each run (a hanging target is killed and treated as rejecting).
+// bound each run (a hanging target is killed with VerdictTimeout); its
+// Check method reports signal deaths as VerdictCrash and a command that
+// cannot run at all as an error.
 func ExecOracle(argv ...string) *oracle.Exec { return &oracle.Exec{Argv: argv} }
 
 // ParallelOracle fans batched queries of a concurrency-safe oracle across
-// at most workers goroutines. Learn builds this stack itself when
-// Options.Workers > 1; the adapter is exported for callers that batch
-// queries outside of learning (evaluation, fuzz triage).
+// at most workers goroutines.
+//
+// Deprecated: use ParallelCheckOracle, which carries context cancellation
+// through the wave. This shim adapts boolean oracles and keeps the v1
+// return type.
 func ParallelOracle(inner Oracle, workers int) BatchOracle {
-	return oracle.Parallel(inner, workers)
+	return oracle.Parallel(oracle.AsCheck(inner), workers)
 }
 
 // Grammar is a context-free grammar with byte-class terminals. Its String
@@ -87,14 +170,25 @@ type Stats = core.Stats
 // glade-serve daemon relays this stream to HTTP clients).
 type Progress = core.Progress
 
-// Result is the outcome of Learn: the synthesized grammar, the intermediate
-// regular expression, and statistics.
+// Result is the outcome of learning: the synthesized grammar, the
+// intermediate regular expression, and statistics.
 type Result = core.Result
 
+// LearnContext synthesizes a grammar for the oracle's language from seed
+// inputs. Every seed must be accepted by the oracle. Cancelling ctx aborts
+// the run within one oracle wave, returning an error wrapping ctx.Err();
+// an oracle error (as opposed to a rejection verdict) aborts the same way.
+// Options.Timeout, by contrast, finalizes the language learned so far.
+func LearnContext(ctx context.Context, seeds []string, o CheckOracle, opts Options) (*Result, error) {
+	return core.Learn(ctx, seeds, o, opts)
+}
+
 // Learn synthesizes a grammar for the oracle's language from seed inputs.
-// Every seed must be accepted by the oracle.
+//
+// Deprecated: use LearnContext, which can be cancelled and distinguishes
+// oracle failure from rejection. Learn runs under context.Background().
 func Learn(seeds []string, o Oracle, opts Options) (*Result, error) {
-	return core.Learn(seeds, o, opts)
+	return core.Learn(context.Background(), seeds, oracle.AsCheck(o), opts)
 }
 
 // Parser recognizes and parses strings against a Grammar (Earley).
@@ -141,9 +235,36 @@ func NewNaiveFuzzer(seeds []string, alphabet []byte) *fuzz.Naive {
 	return fuzz.NewNaive(seeds, alphabet)
 }
 
+// sampleCache memoizes the compiled form of the grammar most recently
+// passed to Sample, so repeated convenience calls on the same grammar pay
+// the Compile cost once instead of per call. One slot suffices for the
+// helper's intended use; callers juggling many grammars should Compile
+// each themselves.
+var sampleCache struct {
+	sync.Mutex
+	g *Grammar
+	c *CompiledGrammar
+}
+
 // Sample draws one string from the grammar — a convenience for quick use.
-// Callers sampling in volume should Compile the grammar once and use its
-// Sample instead.
+// The first call on a grammar compiles it (cfg.Compile, linear in grammar
+// size) and caches the compiled form; subsequent calls on the same
+// *Grammar reuse it, so sampling in a loop costs one compile plus one
+// allocation per sample. The cache is keyed on the *Grammar pointer and
+// assumes the grammar is not mutated after its first Sample — a grammar
+// extended in place (AddNT/Add) keeps sampling its old language here;
+// Compile it yourself after mutations. The cache holds exactly one
+// grammar: alternating between grammars recompiles on every switch —
+// Compile once and use CompiledGrammar.Sample directly for that. The
+// drawn strings are identical to NewSampler(g, DefaultSampleDepth).Sample
+// for the same rng stream.
 func Sample(g *Grammar, rng *rand.Rand) string {
-	return cfg.NewSampler(g, DefaultSampleDepth).Sample(rng)
+	sampleCache.Lock()
+	c := sampleCache.c
+	if sampleCache.g != g {
+		c = cfg.Compile(g)
+		sampleCache.g, sampleCache.c = g, c
+	}
+	sampleCache.Unlock()
+	return c.Sample(rng)
 }

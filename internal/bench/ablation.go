@@ -1,11 +1,13 @@
 package bench
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
 	"glade/internal/core"
 	"glade/internal/metrics"
+	"glade/internal/oracle"
 	"glade/internal/targets"
 )
 
@@ -34,8 +36,9 @@ var AblationVariants = []struct {
 }
 
 // Ablations runs every variant on every target with the configured seed
-// budget, reporting quality and query cost.
-func Ablations(c Config) []AblationRow {
+// budget, reporting quality and query cost. ctx cancels the remaining
+// learning runs.
+func Ablations(ctx context.Context, c Config) []AblationRow {
 	c = c.withDefaults()
 	var rows []AblationRow
 	for _, tgt := range targets.All() {
@@ -46,7 +49,7 @@ func Ablations(c Config) []AblationRow {
 			opts.Timeout = c.Timeout
 			v.Apply(&opts)
 			start := time.Now()
-			res, err := core.Learn(seeds, tgt.Oracle, opts)
+			res, err := core.Learn(ctx, seeds, oracle.AsCheck(tgt.Oracle), opts)
 			if err != nil {
 				continue
 			}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -11,7 +12,7 @@ func smallConfig() Config {
 }
 
 func TestFig4Shape(t *testing.T) {
-	rows := Fig4(smallConfig())
+	rows := Fig4(context.Background(), smallConfig())
 	if len(rows) != 16 {
 		t.Fatalf("expected 16 rows, got %d", len(rows))
 	}
@@ -40,7 +41,7 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestFig4c(t *testing.T) {
-	rows := Fig4c(smallConfig(), []int{2, 5})
+	rows := Fig4c(context.Background(), smallConfig(), []int{2, 5})
 	if len(rows) != 2 {
 		t.Fatalf("expected 2 rows, got %d", len(rows))
 	}
@@ -52,7 +53,7 @@ func TestFig4c(t *testing.T) {
 }
 
 func TestFig5(t *testing.T) {
-	out := Fig5(smallConfig())
+	out := Fig5(context.Background(), smallConfig())
 	for _, tgt := range []string{"url", "grep", "lisp", "xml"} {
 		if !strings.Contains(out[tgt], "::=") {
 			t.Errorf("%s: no grammar rendered: %s", tgt, out[tgt])
@@ -63,7 +64,7 @@ func TestFig5(t *testing.T) {
 func TestFig6And7(t *testing.T) {
 	ResetCache()
 	c := smallConfig()
-	rows, err := Fig6(c)
+	rows, err := Fig6(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestFig6And7(t *testing.T) {
 			t.Errorf("incomplete row %+v", r)
 		}
 	}
-	cov, err := Fig7a(c, []string{"xml", "sed"})
+	cov, err := Fig7a(context.Background(), c, []string{"xml", "sed"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,14 +96,14 @@ func TestFig6And7(t *testing.T) {
 			t.Errorf("naive normalization broken: %+v", r)
 		}
 	}
-	curve, err := Fig7c(c, 500)
+	curve, err := Fig7c(context.Background(), c, 500)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(curve) != 9 {
 		t.Errorf("Fig7c rows = %d, want 9", len(curve))
 	}
-	sample, err := Fig8(c)
+	sample, err := Fig8(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestFig7b(t *testing.T) {
 	ResetCache()
 	c := smallConfig()
 	c.FuzzSamples = 800
-	rows, err := Fig7b(c)
+	rows, err := Fig7b(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestAblations(t *testing.T) {
 	c := smallConfig()
 	c.Seeds = 4
 	c.EvalSamples = 80
-	rows := Ablations(c)
+	rows := Ablations(context.Background(), c)
 	if len(rows) != 4*len(AblationVariants) {
 		t.Fatalf("ablation rows = %d", len(rows))
 	}

@@ -4,12 +4,14 @@
 package bench
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
 	"glade/internal/core"
 	"glade/internal/lstar"
 	"glade/internal/metrics"
+	"glade/internal/oracle"
 	"glade/internal/rpni"
 	"glade/internal/targets"
 )
@@ -70,20 +72,20 @@ var Learners = []string{"lstar", "rpni", "glade-p1", "glade"}
 
 // Fig4 reproduces Figures 4(a) and 4(b): F1 and running time of L-Star,
 // RPNI, GLADE without phase two ("glade-p1"), and GLADE on the four targets.
-func Fig4(c Config) []LearnerRow {
+func Fig4(ctx context.Context, c Config) []LearnerRow {
 	c = c.withDefaults()
 	var rows []LearnerRow
 	for _, tgt := range targets.All() {
 		rng := rand.New(rand.NewSource(c.RandSeed))
 		seeds := tgt.SampleSeeds(rng, c.Seeds)
 		for _, learner := range Learners {
-			rows = append(rows, runLearner(c, tgt, learner, seeds, rng))
+			rows = append(rows, runLearner(ctx, c, tgt, learner, seeds, rng))
 		}
 	}
 	return rows
 }
 
-func runLearner(c Config, tgt *targets.Target, learner string, seeds []string, rng *rand.Rand) LearnerRow {
+func runLearner(ctx context.Context, c Config, tgt *targets.Target, learner string, seeds []string, rng *rand.Rand) LearnerRow {
 	row := LearnerRow{Target: tgt.Name, Learner: learner}
 	truth := targetLang(tgt)
 	start := time.Now()
@@ -94,7 +96,7 @@ func runLearner(c Config, tgt *targets.Target, learner string, seeds []string, r
 		opts.Phase2 = learner == "glade"
 		opts.Timeout = c.Timeout
 		opts.Workers = c.Workers
-		res, err := core.Learn(seeds, tgt.Oracle, opts)
+		res, err := core.Learn(ctx, seeds, oracle.AsCheck(tgt.Oracle), opts)
 		if err != nil {
 			return row
 		}
@@ -182,7 +184,7 @@ type SeedSweepRow struct {
 
 // Fig4c reproduces Figure 4(c): GLADE precision, recall, and running time
 // on the XML target as the number of seed inputs grows.
-func Fig4c(c Config, counts []int) []SeedSweepRow {
+func Fig4c(ctx context.Context, c Config, counts []int) []SeedSweepRow {
 	c = c.withDefaults()
 	if len(counts) == 0 {
 		counts = []int{5, 15, 25, 35, 45}
@@ -199,7 +201,7 @@ func Fig4c(c Config, counts []int) []SeedSweepRow {
 		opts.Timeout = c.Timeout
 		opts.Workers = c.Workers
 		start := time.Now()
-		res, err := core.Learn(all[:n], tgt.Oracle, opts)
+		res, err := core.Learn(ctx, all[:n], oracle.AsCheck(tgt.Oracle), opts)
 		if err != nil {
 			continue
 		}
@@ -213,14 +215,14 @@ func Fig4c(c Config, counts []int) []SeedSweepRow {
 
 // Fig5 reproduces Figure 5: grammars synthesized from a few representative
 // (documentation) seeds per target, rendered as text.
-func Fig5(c Config) map[string]string {
+func Fig5(ctx context.Context, c Config) map[string]string {
 	c = c.withDefaults()
 	out := map[string]string{}
 	for _, tgt := range targets.All() {
 		opts := core.DefaultOptions()
 		opts.Timeout = c.Timeout
 		opts.Workers = c.Workers
-		res, err := core.Learn(tgt.DocSeeds, tgt.Oracle, opts)
+		res, err := core.Learn(ctx, tgt.DocSeeds, oracle.AsCheck(tgt.Oracle), opts)
 		if err != nil {
 			out[tgt.Name] = "error: " + err.Error()
 			continue

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"time"
@@ -36,7 +37,7 @@ var learnedGrammars = map[string]*core.Result{}
 // LearnProgram synthesizes (and caches) a grammar for the named program
 // from its bundled seeds. workers bounds concurrent oracle queries (see
 // core.Options.Workers); the synthesized grammar is identical at any value.
-func LearnProgram(p programs.Program, timeout time.Duration, workers int) (*core.Result, error) {
+func LearnProgram(ctx context.Context, p programs.Program, timeout time.Duration, workers int) (*core.Result, error) {
 	if res, ok := learnedGrammars[p.Name()]; ok {
 		return res, nil
 	}
@@ -44,7 +45,7 @@ func LearnProgram(p programs.Program, timeout time.Duration, workers int) (*core
 	opts.Timeout = timeout
 	opts.Workers = workers
 	o := oracle.Func(func(s string) bool { return p.Run(s).OK })
-	res, err := core.Learn(p.Seeds(), o, opts)
+	res, err := core.Learn(ctx, p.Seeds(), o, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -57,11 +58,11 @@ func ResetCache() { learnedGrammars = map[string]*core.Result{} }
 
 // Fig6 reproduces the Figure 6 table: program size proxy, seed size, and
 // GLADE synthesis time for each of the eight programs.
-func Fig6(c Config) ([]ProgramRow, error) {
+func Fig6(ctx context.Context, c Config) ([]ProgramRow, error) {
 	c = c.withDefaults()
 	var rows []ProgramRow
 	for _, p := range programs.All() {
-		res, err := LearnProgram(p, c.Timeout, c.Workers)
+		res, err := LearnProgram(ctx, p, c.Timeout, c.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -94,7 +95,7 @@ type CoverageRow struct {
 // Fig7a reproduces Figure 7(a): valid normalized incremental coverage of
 // the naive fuzzer (1.0 by construction), the afl-style fuzzer, and the
 // GLADE grammar fuzzer on all eight programs.
-func Fig7a(c Config, names []string) ([]CoverageRow, error) {
+func Fig7a(ctx context.Context, c Config, names []string) ([]CoverageRow, error) {
 	c = c.withDefaults()
 	if len(names) == 0 {
 		for _, p := range programs.All() {
@@ -104,7 +105,7 @@ func Fig7a(c Config, names []string) ([]CoverageRow, error) {
 	var rows []CoverageRow
 	for _, name := range names {
 		p := programs.ByName(name)
-		res, err := LearnProgram(p, c.Timeout, c.Workers)
+		res, err := LearnProgram(ctx, p, c.Timeout, c.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -131,10 +132,10 @@ func Fig7a(c Config, names []string) ([]CoverageRow, error) {
 // Fig7b reproduces Figure 7(b): the same metric with a proxy for the upper
 // bound — a handwritten grammar for grep and xml, and a bundled "test
 // suite" corpus for python, ruby, and javascript.
-func Fig7b(c Config) ([]CoverageRow, error) {
+func Fig7b(ctx context.Context, c Config) ([]CoverageRow, error) {
 	c = c.withDefaults()
 	names := []string{"grep", "xml", "ruby", "python", "javascript"}
-	rows, err := Fig7a(c, names)
+	rows, err := Fig7a(ctx, c, names)
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +218,7 @@ type CurveRow struct {
 }
 
 // Fig7c runs the three fuzzers on python with periodic checkpoints.
-func Fig7c(c Config, checkpointEvery int) ([]CurveRow, error) {
+func Fig7c(ctx context.Context, c Config, checkpointEvery int) ([]CurveRow, error) {
 	c = c.withDefaults()
 	if checkpointEvery <= 0 {
 		checkpointEvery = c.FuzzSamples / 10
@@ -226,7 +227,7 @@ func Fig7c(c Config, checkpointEvery int) ([]CurveRow, error) {
 		}
 	}
 	p := programs.ByName("python")
-	res, err := LearnProgram(p, c.Timeout, c.Workers)
+	res, err := LearnProgram(ctx, p, c.Timeout, c.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -251,10 +252,10 @@ func Fig7c(c Config, checkpointEvery int) ([]CurveRow, error) {
 
 // Fig8 reproduces Figure 8: one valid sample from the grammar synthesized
 // for the XML program.
-func Fig8(c Config) (string, error) {
+func Fig8(ctx context.Context, c Config) (string, error) {
 	c = c.withDefaults()
 	p := programs.ByName("xml")
-	res, err := LearnProgram(p, c.Timeout, c.Workers)
+	res, err := LearnProgram(ctx, p, c.Timeout, c.Workers)
 	if err != nil {
 		return "", err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -51,7 +52,7 @@ const parseMinDuration = 150 * time.Millisecond
 // and random strings over the grammar's alphabet (mostly rejects);
 // verdict agreement across the whole corpus is re-checked and reported
 // per row.
-func Parse(c Config, names []string) ([]ParseRow, error) {
+func Parse(ctx context.Context, c Config, names []string) ([]ParseRow, error) {
 	c = c.withDefaults()
 	if len(names) == 0 {
 		names = []string{"sed", "xml"}
@@ -62,7 +63,7 @@ func Parse(c Config, names []string) ([]ParseRow, error) {
 		if p == nil {
 			return nil, fmt.Errorf("bench: unknown program %q", name)
 		}
-		res, err := LearnProgram(p, c.Timeout, c.Workers)
+		res, err := LearnProgram(ctx, p, c.Timeout, c.Workers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"time"
 
 	"glade/internal/cfg"
@@ -46,7 +47,7 @@ type SpeedupRow struct {
 //
 // The grammars synthesized at every worker count are compared byte for
 // byte; Identical reports the engine's determinism guarantee holding.
-func Speedup(c Config, names []string, workerCounts []int, delay time.Duration) []SpeedupRow {
+func Speedup(ctx context.Context, c Config, names []string, workerCounts []int, delay time.Duration) []SpeedupRow {
 	c = c.withDefaults()
 	if len(names) == 0 {
 		names = []string{"sed", "xml"}
@@ -74,7 +75,7 @@ func Speedup(c Config, names []string, workerCounts []int, delay time.Duration) 
 			opts.Timeout = c.Timeout
 			opts.Workers = workers
 			start := time.Now()
-			res, err := core.Learn(p.Seeds(), timer, opts)
+			res, err := core.Learn(ctx, p.Seeds(), timer, opts)
 			if err != nil {
 				continue
 			}

@@ -6,14 +6,19 @@
 // Each wave draws a batch of candidates — mostly grammar-fuzzed, a
 // configurable fraction naively mutated — deduplicates them against a
 // bounded seen-set, executes them through the concurrent oracle engine
-// (oracle.Parallel over a metrics.QueryTimer), and triages the verdicts
-// into a deduplicating corpus:
+// (oracle.Parallel over a metrics.QueryTimer, on the v2 verdict path), and
+// triages each oracle.Verdict into a deduplicating corpus:
 //
 //	accept_flip  oracle accepts, grammar cannot parse (under-approximation)
 //	reject_flip  grammar-generated, oracle rejects (over-approximation)
 //	new_shape    accepted input with an unseen token shape
-//	crash        exec-oracle target died on a signal
-//	timeout      exec-oracle target hung until the per-query kill
+//	crash        target died on a signal (oracle.Crash)
+//	timeout      target hung until the per-query kill (oracle.Timeout)
+//
+// Any verdict-capable oracle populates the crash and timeout buckets —
+// oracle.Exec is merely the common case. An oracle error (the oracle
+// itself failing, distinct from rejecting an input) ends the campaign and
+// is surfaced from Run; cancelling the Run context ends it normally.
 //
 // The engine checkpoints a JSON Report periodically (and finally), and can
 // periodically refresh its grammar by re-running core.Learn seeded with the
@@ -45,10 +50,11 @@ type Config struct {
 	// Seeds are the example inputs the grammar was learned from; the
 	// grammar fuzzer starts every input from a parsed seed tree.
 	Seeds []string
-	// Oracle answers membership queries. When it is an *oracle.Exec the
-	// campaign records full verdicts, populating the crash and timeout
-	// buckets. It must be safe for concurrent use when Workers > 1.
-	Oracle oracle.Oracle
+	// Oracle answers membership queries on the v2 verdict path; Crash and
+	// Timeout verdicts populate their corpus buckets regardless of the
+	// oracle's concrete type. Wrap a plain boolean oracle with
+	// oracle.AsCheck. It must be safe for concurrent use when Workers > 1.
+	Oracle oracle.CheckOracle
 	// Workers bounds concurrent oracle queries per wave (default 1).
 	Workers int
 	// BatchSize is the number of candidates per wave (default 64).
@@ -131,12 +137,16 @@ type Campaign struct {
 	compiled *cfg.Compiled
 	naive    *fuzz.Naive
 
-	exec     *oracle.Exec     // non-nil when conf.Oracle is an exec oracle
-	verdicts *verdictRecorder // non-nil iff exec is
-	timer    *metrics.QueryTimer
-	pool     *oracle.Pool
-	rng      *rand.Rand
-	seen     *seenSet // executed-input dedup
+	// execOracle records whether the oracle runs external processes; the
+	// grammar-refresh path then restricts its character-generalization
+	// alphabet, since subprocess queries are too expensive for a full
+	// printable-ASCII sweep (a cost heuristic only — triage itself is
+	// oracle-agnostic).
+	execOracle bool
+	timer      *metrics.QueryTimer
+	pool       *oracle.Pool
+	rng        *rand.Rand
+	seen       *seenSet // executed-input dedup
 
 	mu     sync.Mutex
 	report Report // counter fields only; snapshotLocked fills the rest
@@ -155,39 +165,11 @@ type candidate struct {
 	fromGrammar bool
 }
 
-// verdictRecorder wraps an exec oracle, recording each query's full
-// verdict so wave classification can see crashes and timeouts behind the
-// boolean answers. It is safe for concurrent use (it sits under the
-// worker pool).
-type verdictRecorder struct {
-	ex *oracle.Exec
-
-	mu       sync.Mutex
-	verdicts map[string]oracle.Verdict
-}
-
-// Accepts implements oracle.Oracle, recording the verdict.
-func (v *verdictRecorder) Accepts(input string) bool {
-	vd := v.ex.Verdict(input)
-	v.mu.Lock()
-	v.verdicts[input] = vd
-	v.mu.Unlock()
-	return vd.Accepted
-}
-
-// take returns the verdicts recorded since the last take.
-func (v *verdictRecorder) take() map[string]oracle.Verdict {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	out := v.verdicts
-	v.verdicts = map[string]oracle.Verdict{}
-	return out
-}
-
 // New validates conf and builds the campaign: the grammar fuzzer over the
 // seeds, the naive mutator, the parser for flip detection, and the
-// concurrent oracle stack (verdict recorder when the oracle is an
-// *oracle.Exec, then the query timer, then the worker pool).
+// concurrent oracle stack (the query timer under the worker pool). Wave
+// verdicts flow straight from the oracle's Check path — no recording
+// side-channel, no special-casing of exec oracles.
 func New(conf Config) (*Campaign, error) {
 	conf = conf.withDefaults()
 	if conf.Grammar == nil {
@@ -210,13 +192,8 @@ func New(conf Config) (*Campaign, error) {
 		seen:     newSeenSet(1 << 16),
 		corpus:   newCorpus(conf.MaxBucket),
 	}
-	inner := conf.Oracle
-	if ex, ok := conf.Oracle.(*oracle.Exec); ok {
-		c.exec = ex
-		c.verdicts = &verdictRecorder{ex: ex, verdicts: map[string]oracle.Verdict{}}
-		inner = c.verdicts
-	}
-	c.timer = metrics.NewQueryTimer(inner)
+	_, c.execOracle = conf.Oracle.(*oracle.Exec)
+	c.timer = metrics.NewQueryTimer(conf.Oracle)
 	c.pool = oracle.Parallel(c.timer, conf.Workers)
 	c.report.GrammarSymbols = conf.Grammar.Size()
 	return c, nil
@@ -225,8 +202,9 @@ func New(conf Config) (*Campaign, error) {
 // Run executes the campaign until its Duration elapses or ctx is
 // cancelled, whichever comes first, and returns the final report (which is
 // also checkpointed to Config.ReportPath when set). Cancellation is the
-// normal way an unbounded campaign ends; Run returns an error only when
-// the final report cannot be written.
+// normal way an unbounded campaign ends. Run returns an error — alongside
+// the finalized report — when the oracle itself fails mid-campaign or the
+// final report cannot be written.
 func (c *Campaign) Run(ctx context.Context) (*Report, error) {
 	if c.conf.Duration > 0 {
 		var cancel context.CancelFunc
@@ -245,6 +223,7 @@ func (c *Campaign) Run(ctx context.Context) (*Report, error) {
 	// lands and guarantees the report file exists from the very start.
 	c.checkpoint(false, true)
 
+	var oracleErr error
 	for ctx.Err() == nil {
 		wave := c.nextWave()
 		if len(wave) == 0 {
@@ -260,13 +239,19 @@ func (c *Campaign) Run(ctx context.Context) (*Report, error) {
 		for i, cand := range wave {
 			inputs[i] = cand.input
 		}
-		answers := c.pool.WithContext(ctx).AcceptsBatch(inputs)
-		if ctx.Err() != nil {
-			// The wave was cut short; its false answers are cancellation
-			// artifacts, not verdicts. Discard and finish.
+		verdicts, err := c.pool.CheckBatch(ctx, inputs)
+		if err != nil {
+			if ctx.Err() != nil {
+				// The wave was cut short by cancellation; its partial
+				// verdicts are artifacts. Discard and finish normally.
+				break
+			}
+			// The oracle itself failed (not a rejection): finalize the
+			// report gathered so far and surface the failure.
+			oracleErr = err
 			break
 		}
-		c.classify(wave, answers, c.triageParse(wave, answers))
+		c.classify(wave, verdicts, c.triageParse(wave, verdicts))
 		c.maybeRefresh(ctx)
 		c.checkpoint(false, false)
 	}
@@ -278,6 +263,9 @@ func (c *Campaign) Run(ctx context.Context) (*Report, error) {
 		if err := final.WriteFile(c.conf.ReportPath); err != nil {
 			return &final, fmt.Errorf("campaign: write report: %w", err)
 		}
+	}
+	if oracleErr != nil {
+		return &final, fmt.Errorf("campaign: oracle failed: %w", oracleErr)
 	}
 	return &final, nil
 }
@@ -314,11 +302,11 @@ func (c *Campaign) nextWave() []candidate {
 // worker pool before classify takes the mutex, so triage keeps pace with
 // the oracle query wave instead of parsing one candidate at a time on the
 // coordinator.
-func (c *Campaign) triageParse(wave []candidate, answers []bool) []bool {
+func (c *Campaign) triageParse(wave []candidate, verdicts []oracle.Verdict) []bool {
 	var batch []string
 	var idx []int
 	for i, cand := range wave {
-		if answers[i] && !cand.fromGrammar {
+		if verdicts[i] == oracle.Accept && !cand.fromGrammar {
 			batch = append(batch, cand.input)
 			idx = append(idx, i)
 		}
@@ -336,27 +324,24 @@ func (c *Campaign) triageParse(wave []candidate, answers []bool) []bool {
 	return inGrammar
 }
 
-// classify triages one executed wave into the corpus and counters.
-// inGrammar is triageParse's verdict per wave slot.
-func (c *Campaign) classify(wave []candidate, answers []bool, inGrammar []bool) {
-	var verdicts map[string]oracle.Verdict
-	if c.verdicts != nil {
-		verdicts = c.verdicts.take()
-	}
+// classify triages one executed wave into the corpus and counters, keyed
+// directly on each slot's oracle.Verdict — any verdict-capable oracle
+// populates the crash and timeout buckets. inGrammar is triageParse's
+// answer per wave slot.
+func (c *Campaign) classify(wave []candidate, verdicts []oracle.Verdict, inGrammar []bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.report.Waves++
 	for i, cand := range wave {
 		c.report.Inputs++
-		vd := verdicts[cand.input]
-		switch {
-		case vd.Crashed:
+		switch verdicts[i] {
+		case oracle.Crash:
 			c.report.Rejected++
 			c.corpus.add(Entry{Input: cand.input, Bucket: BucketCrash, Wave: c.report.Waves})
-		case vd.TimedOut:
+		case oracle.Timeout:
 			c.report.Rejected++
 			c.corpus.add(Entry{Input: cand.input, Bucket: BucketTimeout, Wave: c.report.Waves})
-		case answers[i]:
+		case oracle.Accept:
 			c.report.Accepted++
 			// Mutated inputs that the oracle accepts but the grammar cannot
 			// parse show where the grammar under-approximates; they are the
@@ -398,18 +383,18 @@ func (c *Campaign) maybeRefresh(ctx context.Context) {
 	opts.Workers = c.conf.Workers
 	opts.Timeout = c.conf.RefreshTimeout
 	opts.RandSeed = c.conf.RandSeed
-	if c.exec != nil {
+	if c.execOracle {
 		// External processes are too expensive for a full printable-ASCII
 		// sweep per literal; restrict character generalization exactly as
 		// cmd/glade and glade-serve do.
 		opts.GenAlphabet = bytesets.OfString(strings.Join(seeds, "")).
 			Union(bytesets.OfString(" \t\nabcxyz012<>()[]{}/\\\"'"))
 	}
-	// The campaign deadline bounds the refresh too: core.Learn cannot be
-	// cancelled mid-run, but its Timeout finalizes gracefully, so clamping
-	// it to the time remaining keeps a Duration-bounded campaign bounded
-	// even when a refresh starts just before the deadline. A refresh with
-	// almost no time left is not worth starting at all.
+	// The campaign context cancels the refresh learn directly now; the
+	// soft-timeout clamp remains so a refresh starting just before a
+	// Duration deadline finalizes gracefully instead of being aborted with
+	// its work discarded. A refresh with almost no time left is not worth
+	// starting at all.
 	if dl, ok := ctx.Deadline(); ok {
 		remaining := time.Until(dl)
 		if remaining < 2*time.Second {
@@ -425,13 +410,7 @@ func (c *Campaign) maybeRefresh(ctx context.Context) {
 	c.logf("campaign: refreshing grammar with %d accept flips", len(flips))
 	// Learning through the timer keeps refresh queries in the report's
 	// oracle stats. core.Learn adds its own cache and worker pool on top.
-	res, err := core.Learn(seeds, c.timer, opts)
-	if c.verdicts != nil {
-		// The learn queries flowed through the verdict recorder;
-		// classification never looks them up, so drop them rather than
-		// holding every unique learn query string until the next wave.
-		c.verdicts.take()
-	}
+	res, err := core.Learn(ctx, seeds, c.timer, opts)
 	if err != nil {
 		c.logf("campaign: refresh failed, keeping current grammar: %v", err)
 		return

@@ -19,7 +19,7 @@ import (
 func grepCampaignConfig(t *testing.T) Config {
 	t.Helper()
 	p := programs.ByName("grep")
-	res, err := bench.LearnProgram(p, 30*time.Second, 0)
+	res, err := bench.LearnProgram(context.Background(), p, 30*time.Second, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestCampaignExecVerdicts(t *testing.T) {
 	ex := &oracle.Exec{Argv: []string{"sh", "-c", script}, Timeout: 200 * time.Millisecond, Workers: 4}
 	// A tiny hand-built grammar whose language is ok, okok, okokok, ... —
 	// learning is not the point here, triage is.
-	res, err := bench.LearnProgram(programs.ByName("grep"), 30*time.Second, 0)
+	res, err := bench.LearnProgram(context.Background(), programs.ByName("grep"), 30*time.Second, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +301,7 @@ func TestCampaignRefresh(t *testing.T) {
 	p := programs.ByName("grep")
 	// Learn from a deliberately narrow single seed so the true language is
 	// much wider than the grammar — mutants then produce accept flips.
-	res, err := bench.LearnProgram(p, 30*time.Second, 0)
+	res, err := bench.LearnProgram(context.Background(), p, 30*time.Second, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

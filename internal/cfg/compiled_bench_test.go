@@ -8,6 +8,7 @@ package cfg_test
 //	go test -bench 'Accepts|Sample' -benchmem ./internal/cfg/
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -41,7 +42,7 @@ func learnedBenchGrammar(tb testing.TB, name string) *benchGrammar {
 	opts := core.DefaultOptions()
 	opts.Timeout = 60 * time.Second
 	opts.Workers = 4
-	res, err := core.Learn(p.Seeds(), oracle.Func(func(s string) bool { return p.Run(s).OK }), opts)
+	res, err := core.Learn(context.Background(), p.Seeds(), oracle.Func(func(s string) bool { return p.Run(s).OK }), opts)
 	bg := &benchGrammar{err: err}
 	if err == nil {
 		bg.g = res.Grammar

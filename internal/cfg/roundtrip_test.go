@@ -10,6 +10,7 @@ package cfg_test
 // (core imports cfg; cfg_test may import core without a cycle).
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -46,7 +47,7 @@ func TestMarshalRoundTripLearnedTargets(t *testing.T) {
 	for _, tgt := range targets.All() {
 		opts := core.DefaultOptions()
 		opts.Timeout = 30 * time.Second
-		res, err := core.Learn(tgt.DocSeeds, tgt.Oracle, opts)
+		res, err := core.Learn(context.Background(), tgt.DocSeeds, oracle.AsCheck(tgt.Oracle), opts)
 		if err != nil {
 			t.Fatalf("%s: %v", tgt.Name, err)
 		}
@@ -71,7 +72,7 @@ func TestMarshalRoundTripLearnedPrograms(t *testing.T) {
 			opts := core.DefaultOptions()
 			opts.Timeout = 60 * time.Second
 			opts.Workers = 4
-			res, err := core.Learn(p.Seeds(), oracle.Func(func(s string) bool { return p.Run(s).OK }), opts)
+			res, err := core.Learn(context.Background(), p.Seeds(), oracle.Func(func(s string) bool { return p.Run(s).OK }), opts)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -26,7 +26,7 @@ func (l *learner) charGen(root *node) {
 	})
 	alphabet := l.opts.GenAlphabet.Bytes()
 	for li, n := range lits {
-		if l.expired() {
+		if l.stopped() {
 			return
 		}
 		l.emit(Progress{Phase: "chargen", Lit: li + 1, Lits: len(lits)})
@@ -64,7 +64,7 @@ func (l *learner) charGen(root *node) {
 				for _, c := range cands[lo:hi] {
 					checks = append(checks, γ+s[:c.pos]+string(c.σ)+s[c.pos+1:]+δ)
 				}
-				l.check.prefetch(checks)
+				l.prefetch(checks)
 			}
 			for _, c := range cands[lo:hi] {
 				l.stats.CharGenChecks++
@@ -74,7 +74,7 @@ func (l *learner) charGen(root *node) {
 				}
 			}
 			lo = hi
-			if l.expired() {
+			if l.stopped() {
 				break scan
 			}
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -68,7 +69,7 @@ func TestRunningExamplePhase1(t *testing.T) {
 	opts := xmlOpts()
 	opts.CharGen = false
 	opts.Phase2 = false
-	res, err := Learn([]string{"<a>hi</a>"}, oXML, opts)
+	res, err := Learn(context.Background(), []string{"<a>hi</a>"}, oXML, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestRunningExampleTrace(t *testing.T) {
 	opts.Logf = func(format string, args ...any) {
 		trace = append(trace, fmt.Sprintf(format, args...))
 	}
-	if _, err := Learn([]string{"<a>hi</a>"}, oXML, opts); err != nil {
+	if _, err := Learn(context.Background(), []string{"<a>hi</a>"}, oXML, opts); err != nil {
 		t.Fatal(err)
 	}
 	joined := strings.Join(trace, "\n")
@@ -114,7 +115,7 @@ func TestRunningExampleTrace(t *testing.T) {
 func TestRunningExampleCharGen(t *testing.T) {
 	opts := xmlOpts()
 	opts.Phase2 = false
-	res, err := Learn([]string{"<a>hi</a>"}, oXML, opts)
+	res, err := Learn(context.Background(), []string{"<a>hi</a>"}, oXML, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestRunningExampleCharGen(t *testing.T) {
 // TestRunningExamplePhase2 reproduces §5/§6.2 end to end: the final grammar
 // must equal L(CXML) — nested tags accepted, imbalance rejected.
 func TestRunningExamplePhase2(t *testing.T) {
-	res, err := Learn([]string{"<a>hi</a>"}, oXML, xmlOpts())
+	res, err := Learn(context.Background(), []string{"<a>hi</a>"}, oXML, xmlOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestRunningExamplePhase2(t *testing.T) {
 // TestPrecisionOnXML: every string sampled from the synthesized grammar
 // must be valid — the grammar is a subset of L(CXML).
 func TestPrecisionOnXML(t *testing.T) {
-	res, err := Learn([]string{"<a>hi</a>"}, oXML, xmlOpts())
+	res, err := Learn(context.Background(), []string{"<a>hi</a>"}, oXML, xmlOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestPrecisionOnXML(t *testing.T) {
 func TestP1VariantHasNoRecursion(t *testing.T) {
 	opts := xmlOpts()
 	opts.Phase2 = false
-	res, err := Learn([]string{"<a>hi</a>"}, oXML, opts)
+	res, err := Learn(context.Background(), []string{"<a>hi</a>"}, oXML, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestP1VariantHasNoRecursion(t *testing.T) {
 func TestCharGenOffKeepsSeedLetters(t *testing.T) {
 	opts := xmlOpts()
 	opts.CharGen = false
-	res, err := Learn([]string{"<a>hi</a>"}, oXML, opts)
+	res, err := Learn(context.Background(), []string{"<a>hi</a>"}, oXML, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,10 +210,10 @@ func TestCharGenOffKeepsSeedLetters(t *testing.T) {
 }
 
 func TestRejectedSeedIsError(t *testing.T) {
-	if _, err := Learn([]string{"<a>"}, oXML, xmlOpts()); err == nil {
+	if _, err := Learn(context.Background(), []string{"<a>"}, oXML, xmlOpts()); err == nil {
 		t.Fatal("invalid seed accepted")
 	}
-	if _, err := Learn(nil, oXML, xmlOpts()); err == nil {
+	if _, err := Learn(context.Background(), nil, oXML, xmlOpts()); err == nil {
 		t.Fatal("empty seed set accepted")
 	}
 }
@@ -220,7 +221,7 @@ func TestRejectedSeedIsError(t *testing.T) {
 // TestMultiSeedSkip: a second seed already covered by the first tree is
 // skipped (§6.1).
 func TestMultiSeedSkip(t *testing.T) {
-	res, err := Learn([]string{"<a>hi</a>", "<a>hh</a>", "<a>ii</a>"}, oXML, xmlOpts())
+	res, err := Learn(context.Background(), []string{"<a>hi</a>", "<a>hh</a>", "<a>ii</a>"}, oXML, xmlOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +249,7 @@ func TestMultiSeedUnion(t *testing.T) {
 	})
 	opts := DefaultOptions()
 	opts.GenAlphabet = bytesets.OfString("ab()[]")
-	res, err := Learn([]string{"(aa)", "[bb]"}, o, opts)
+	res, err := Learn(context.Background(), []string{"(aa)", "[bb]"}, o, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestPhase2OvergeneralizationLimitation(t *testing.T) {
 	})
 	opts := DefaultOptions()
 	opts.GenAlphabet = bytesets.OfString("ab")
-	res, err := Learn([]string{"aa", "bb"}, o, opts)
+	res, err := Learn(context.Background(), []string{"aa", "bb"}, o, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +314,7 @@ func TestDyck(t *testing.T) {
 	})
 	opts := DefaultOptions()
 	opts.GenAlphabet = bytesets.OfString("()")
-	res, err := Learn([]string{"(())"}, o, opts)
+	res, err := Learn(context.Background(), []string{"(())"}, o, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,7 +343,7 @@ func TestDyck(t *testing.T) {
 func TestTimeoutReturnsPartialResult(t *testing.T) {
 	opts := xmlOpts()
 	opts.Timeout = 1 // one nanosecond: expires immediately
-	res, err := Learn([]string{"<a>hi</a>"}, oXML, opts)
+	res, err := Learn(context.Background(), []string{"<a>hi</a>"}, oXML, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,7 +360,7 @@ func TestTimeoutReturnsPartialResult(t *testing.T) {
 // whatever the oracle, the seed remains in the learned language.
 func TestSeedAlwaysInLanguage(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
-	oracles := []oracle.Oracle{
+	oracles := []oracle.Func{
 		oXML,
 		oracle.Func(func(s string) bool { return len(s)%2 == 0 }),
 		oracle.Func(func(s string) bool { return !strings.Contains(s, "zz") }),
@@ -373,7 +374,7 @@ func TestSeedAlwaysInLanguage(t *testing.T) {
 			if !o.Accepts(seed) {
 				continue
 			}
-			res, err := Learn([]string{seed}, o, opts)
+			res, err := Learn(context.Background(), []string{seed}, o, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -396,7 +397,7 @@ func randomSeed(rng *rand.Rand) string {
 
 // TestStatsPopulated sanity-checks the counters.
 func TestStatsPopulated(t *testing.T) {
-	res, err := Learn([]string{"<a>hi</a>"}, oXML, xmlOpts())
+	res, err := Learn(context.Background(), []string{"<a>hi</a>"}, oXML, xmlOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"glade/internal/cfg"
+	"glade/internal/oracle"
+	"glade/internal/programs"
+)
+
+// TestGoldenGrammars is the migration guarantee of the context/verdict
+// plumbing: the grammars learned for sed and xml at Workers 1 and 8 must be
+// byte-identical to the ones the pre-migration engine synthesized (the
+// committed testdata goldens). Any drift means the v2 oracle stack changed
+// a decision the §4.2 scan makes, which the API redesign must never do.
+func TestGoldenGrammars(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full program learning")
+	}
+	for _, name := range []string{"sed", "xml"} {
+		p := programs.ByName(name)
+		if p == nil {
+			t.Fatalf("program %q missing", name)
+		}
+		o := oracle.Func(func(s string) bool { return p.Run(s).OK })
+		seeds := p.Seeds()
+		if len(seeds) > 4 {
+			seeds = seeds[:4] // matches the committed goldens
+		}
+		for _, workers := range []int{1, 8} {
+			golden := filepath.Join("testdata", fmt.Sprintf("golden_%s_w%d.grammar", name, workers))
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden: %v", err)
+			}
+			opts := DefaultOptions()
+			opts.Workers = workers
+			res, err := Learn(context.Background(), seeds, o, opts)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if got := cfg.Marshal(res.Grammar); got != string(want) {
+				t.Errorf("%s workers=%d: grammar drifted from the pre-migration golden (%s)", name, workers, golden)
+			}
+		}
+	}
+}

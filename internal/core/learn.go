@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -33,7 +34,7 @@ type Options struct {
 	// below 2 learn strictly sequentially, exactly as the paper's
 	// algorithm. When above 1, independent candidate checks within a
 	// generalization step are speculatively issued as batched waves
-	// through the oracle's bulk path (oracle.BatchOracle) ahead of the
+	// through the oracle's bulk path (oracle.BatchCheckOracle) ahead of the
 	// sequential §4.2 candidate scan; the scan itself — and therefore the
 	// chosen generalizations, the RandSeed-driven sampling, and the
 	// synthesized grammar — is byte-identical regardless of Workers,
@@ -105,28 +106,19 @@ type Result struct {
 	Stats Stats
 }
 
-// checker is the learner's view of the oracle.
-type checker struct {
-	cached *oracle.Cached
-}
-
-func (c checker) accepts(s string) bool { return c.cached.Accepts(s) }
-
-// prefetch issues a wave of independent checks through the cache's batched
-// bulk path, so the sequential decision scan that follows answers from
-// memory. Speculative: checks past the scan's accept point cost extra
-// underlying queries but never change any decision.
-func (c checker) prefetch(checks []string) {
-	if len(checks) > 1 {
-		c.cached.AcceptsBatch(checks)
-	}
-}
-
 // Learn synthesizes a context-free grammar approximating the language of
 // the oracle from the given seed inputs (Algorithm 1 plus the extensions of
 // §6). Every seed must be accepted by the oracle; a rejected seed is an
 // error, since the algorithm's invariants assume Ein ⊆ L*.
-func Learn(seeds []string, o oracle.Oracle, opts Options) (*Result, error) {
+//
+// ctx cancels the run: cancellation is observed between oracle waves and
+// inside the batched fan-out, so Learn returns promptly — within one wave
+// of oracle queries — wrapping ctx.Err(). An oracle error (the oracle
+// itself failed, as opposed to rejecting an input) likewise aborts the run
+// and is surfaced; it is never silently treated as a rejection. Unlike
+// Options.Timeout, which finalizes the language learned so far, both abort
+// paths discard the partial result.
+func Learn(ctx context.Context, seeds []string, o oracle.CheckOracle, opts Options) (*Result, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("core: no seed inputs")
 	}
@@ -145,16 +137,20 @@ func Learn(seeds []string, o oracle.Oracle, opts Options) (*Result, error) {
 		inner = oracle.Parallel(o, workers)
 	}
 	cached := oracle.NewCached(inner)
-	for i, ok := range oracle.AcceptsAll(cached, seeds) {
-		if !ok {
-			return nil, fmt.Errorf("core: seed %d (%q) is rejected by the oracle", i, seeds[i])
+	verdicts, err := cached.CheckBatch(ctx, seeds)
+	if err != nil {
+		return nil, fmt.Errorf("core: checking seeds: %w", err)
+	}
+	for i, v := range verdicts {
+		if v != oracle.Accept {
+			return nil, fmt.Errorf("core: seed %d (%q) is rejected by the oracle (%v)", i, seeds[i], v)
 		}
 	}
 	seed := opts.RandSeed
 	if seed == 0 {
 		seed = 1
 	}
-	l := &learner{opts: opts, check: checker{cached}, workers: workers, rng: rand.New(rand.NewSource(seed))}
+	l := &learner{ctx: ctx, opts: opts, cached: cached, workers: workers, rng: rand.New(rand.NewSource(seed))}
 	if opts.Timeout > 0 {
 		l.deadline = time.Now().Add(opts.Timeout)
 	}
@@ -186,6 +182,16 @@ func Learn(seeds []string, o oracle.Oracle, opts Options) (*Result, error) {
 		uf = l.phase2(allStars)
 	} else {
 		uf = newUnionFind(len(allStars))
+	}
+
+	// An aborted run (cancellation or oracle failure) must not hand back a
+	// grammar synthesized from artifact rejections; the soft Timeout is the
+	// graceful-finalize path, these two are not.
+	if l.oracleErr != nil {
+		return nil, fmt.Errorf("core: learning aborted: %w", l.oracleErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: learning aborted: %w", err)
 	}
 
 	g := toCFG(l.roots, allStars, uf)

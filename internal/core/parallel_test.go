@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -38,9 +39,9 @@ func figure1XML(s string) bool {
 // learnFingerprint runs Learn and renders everything the caller could
 // observe about the synthesized language: the grammar and the intermediate
 // regular expression.
-func learnFingerprint(t *testing.T, seeds []string, o oracle.Oracle, opts Options) string {
+func learnFingerprint(t *testing.T, seeds []string, o oracle.CheckOracle, opts Options) string {
 	t.Helper()
-	res, err := Learn(seeds, o, opts)
+	res, err := Learn(context.Background(), seeds, o, opts)
 	if err != nil {
 		t.Fatalf("Learn(Workers=%d): %v", opts.Workers, err)
 	}
@@ -100,7 +101,7 @@ func TestParallelDeterminismPrograms(t *testing.T) {
 func TestParallelStatsConsistent(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Workers = 8
-	res, err := Learn([]string{"<a>hi</a>"}, oracle.Func(figure1XML), opts)
+	res, err := Learn(context.Background(), []string{"<a>hi</a>"}, oracle.Func(figure1XML), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,22 +1,32 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
+	"glade/internal/oracle"
 	"glade/internal/rex"
 )
 
 // learner holds the mutable state of one Learn invocation.
 type learner struct {
-	opts  Options
-	check checker
-	stats Stats
-	rng   *rand.Rand
+	ctx    context.Context
+	opts   Options
+	cached *oracle.Cached
+	stats  Stats
+	rng    *rand.Rand
 
 	// workers is the resolved Options.Workers (at least 1). Above 1 the
 	// candidate scans prefetch check waves through the oracle's bulk path.
 	workers int
+
+	// oracleErr is the first oracle failure or ctx cancellation observed.
+	// Once set, every subsequent check answers false without querying, the
+	// scans wind down at their next stopped() poll, and Learn surfaces the
+	// error instead of a grammar. The learner runs single-threaded (waves
+	// fan out below the cache), so no lock is needed.
+	oracleErr error
 
 	// roots are the per-seed trees learned so far (including the tree
 	// currently being generalized); their alternation is the current
@@ -30,6 +40,39 @@ type learner struct {
 	step     int
 }
 
+// accepts answers one membership check through the cache, mapping the
+// verdict to the boolean the scans decide on (Crash and Timeout are
+// rejections, as in the paper's "program reports an error" reading). An
+// oracle error or cancellation trips oracleErr and reads as false — the
+// scan stops generalizing at its next stopped() poll and Learn returns the
+// error, so the artifact false never reaches a synthesized grammar.
+func (l *learner) accepts(s string) bool {
+	if l.oracleErr != nil {
+		return false
+	}
+	v, err := l.cached.Check(l.ctx, s)
+	if err != nil {
+		l.oracleErr = err
+		return false
+	}
+	return v == oracle.Accept
+}
+
+// prefetch issues a wave of independent checks through the cache's batched
+// bulk path, so the sequential decision scan that follows answers from
+// memory. Speculative: checks past the scan's accept point cost extra
+// underlying queries but never change any decision. Cancellation and
+// oracle failures inside the wave trip oracleErr; nothing is cached on
+// that path, so the failure cannot poison later answers.
+func (l *learner) prefetch(checks []string) {
+	if l.oracleErr != nil || len(checks) <= 1 {
+		return
+	}
+	if _, err := l.cached.CheckBatch(l.ctx, checks); err != nil {
+		l.oracleErr = err
+	}
+}
+
 // expired reports whether the learning deadline has passed; once true, the
 // learner stops proposing generalizations and finalizes what it has.
 func (l *learner) expired() bool {
@@ -41,6 +84,21 @@ func (l *learner) expired() bool {
 		return true
 	}
 	return false
+}
+
+// stopped reports whether the learner must stop proposing generalizations:
+// the run was cancelled, the oracle failed, or the soft deadline passed.
+// The scans poll it between candidate waves, which bounds how much work a
+// cancellation can leave in flight to one wave.
+func (l *learner) stopped() bool {
+	if l.oracleErr != nil {
+		return true
+	}
+	if err := l.ctx.Err(); err != nil {
+		l.oracleErr = err
+		return true
+	}
+	return l.expired()
 }
 
 // currentMatcher returns a matcher for L̂i (holes read as literals),
@@ -64,7 +122,7 @@ func (l *learner) currentMatcher() *rex.Matcher {
 // cheaper than recompiling a matcher.
 func (l *learner) passes(check string) bool {
 	l.stats.Checks++
-	if l.check.accepts(check) {
+	if l.accepts(check) {
 		return true
 	}
 	if l.opts.DiscardMemberChecks && l.currentMatcher().Match(check) {
@@ -199,7 +257,7 @@ func (it *repIter) next() (repCand, bool) {
 func (l *learner) generalizeRep(h *node) []*node {
 	α := h.str
 	γ, δ := h.ctx.Left, h.ctx.Right
-	if !l.expired() {
+	if !l.stopped() {
 		it := newRepIter(α, h.noFullStar, l.opts.ReverseOrdering)
 		w := l.newWaves(true)
 		var buf []repCand // reused wave buffer; memory stays O(wave), not O(|α|²)
@@ -220,7 +278,7 @@ func (l *learner) generalizeRep(h *node) []*node {
 				for _, c := range buf {
 					checks = append(checks, γ+c.α1+c.α3+δ, γ+c.α1+c.α2+c.α2+c.α3+δ)
 				}
-				l.check.prefetch(checks)
+				l.prefetch(checks)
 			}
 			for _, c := range buf {
 				l.stats.Candidates++
@@ -229,7 +287,7 @@ func (l *learner) generalizeRep(h *node) []*node {
 				}
 				return l.acceptRep(h, c.α1, c.α2, c.α3)
 			}
-			if l.expired() {
+			if l.stopped() {
 				break
 			}
 		}
@@ -287,7 +345,7 @@ func (l *learner) acceptRep(h *node, α1, α2, α3 string) []*node {
 func (l *learner) generalizeAlt(h *node) []*node {
 	α := h.str
 	γ, δ := h.ctx.Left, h.ctx.Right
-	if !l.expired() && len(α) > 1 {
+	if !l.stopped() && len(α) > 1 {
 		w := l.newWaves(true)
 		for lo, n := 0, len(α)-1; lo < n; {
 			hi := min(lo+w.nextSize(), n)
@@ -297,7 +355,7 @@ func (l *learner) generalizeAlt(h *node) []*node {
 					i := k + 1 // α1 = α[:i], shorter first (§4.2)
 					checks = append(checks, γ+α[:i]+δ, γ+α[i:]+δ)
 				}
-				l.check.prefetch(checks)
+				l.prefetch(checks)
 			}
 			for k := lo; k < hi; k++ {
 				i := k + 1
@@ -316,7 +374,7 @@ func (l *learner) generalizeAlt(h *node) []*node {
 				return []*node{left, right}
 			}
 			lo = hi
-			if l.expired() {
+			if l.stopped() {
 				break
 			}
 		}

@@ -42,10 +42,10 @@ func (l *learner) phase2(allStars []*node) *unionFind {
 					a.ctx.Left+b.bodySeed+b.bodySeed+a.ctx.Right,
 					b.ctx.Left+a.bodySeed+a.bodySeed+b.ctx.Right)
 			}
-			l.check.prefetch(checks)
+			l.prefetch(checks)
 		}
 		for _, p := range pairs[lo:hi] {
-			if l.expired() {
+			if l.stopped() {
 				return uf
 			}
 			l.stats.MergePairs++

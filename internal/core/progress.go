@@ -38,6 +38,6 @@ func (l *learner) emit(p Progress) {
 		return
 	}
 	p.Checks = l.stats.Checks
-	_, p.Queries = l.check.cached.Stats()
+	_, p.Queries = l.cached.Stats()
 	l.opts.Progress(p)
 }

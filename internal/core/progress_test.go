@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"glade/internal/bytesets"
@@ -14,7 +15,7 @@ func TestProgressEvents(t *testing.T) {
 	var events []Progress
 	opts := xmlOpts()
 	opts.Progress = func(p Progress) { events = append(events, p) }
-	res, err := Learn([]string{"<a>hi</a>", "xy"}, oXML, opts)
+	res, err := Learn(context.Background(), []string{"<a>hi</a>", "xy"}, oXML, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestProgressEvents(t *testing.T) {
 func TestProgressNilIsQuiet(t *testing.T) {
 	opts := DefaultOptions()
 	opts.GenAlphabet = bytesets.OfString("ab")
-	if _, err := Learn([]string{"ab"}, oracle.Func(func(string) bool { return true }), opts); err != nil {
+	if _, err := Learn(context.Background(), []string{"ab"}, oracle.Func(func(string) bool { return true }), opts); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -94,7 +95,7 @@ func xmlGrammar(t *testing.T) (*cfg.Grammar, []string) {
 	})
 	opts := core.DefaultOptions()
 	opts.GenAlphabet = bytesets.Range('a', 'z').Union(bytesets.OfString("</>"))
-	res, err := core.Learn([]string{"<a>hi</a>"}, o, opts)
+	res, err := core.Learn(context.Background(), []string{"<a>hi</a>"}, o, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -55,12 +56,14 @@ func (s QueryStats) String() string {
 }
 
 // QueryTimer wraps an oracle and records per-query latency and throughput.
-// It implements both the single and bulk oracle paths and is safe for
-// concurrent use, so it can sit anywhere in the oracle stack — below the
-// worker pool it times individual program runs, above it it times whole
-// waves.
+// It implements both the single and bulk paths of the v2 CheckOracle
+// contract (plus the legacy boolean shims) and is safe for concurrent use,
+// so it can sit anywhere in the oracle stack — below the worker pool it
+// times individual program runs, above it it times whole waves. Queries
+// that end in an oracle error are still timed: the wall clock they burned
+// is real.
 type QueryTimer struct {
-	inner oracle.Oracle
+	inner oracle.CheckOracle
 
 	mu       sync.Mutex
 	stats    QueryStats
@@ -70,22 +73,43 @@ type QueryTimer struct {
 }
 
 // NewQueryTimer wraps inner with query timing.
-func NewQueryTimer(inner oracle.Oracle) *QueryTimer { return &QueryTimer{inner: inner} }
+func NewQueryTimer(inner oracle.CheckOracle) *QueryTimer { return &QueryTimer{inner: inner} }
 
-// Accepts implements oracle.Oracle.
-func (q *QueryTimer) Accepts(input string) bool {
+// Check implements oracle.CheckOracle.
+func (q *QueryTimer) Check(ctx context.Context, input string) (oracle.Verdict, error) {
 	start := time.Now()
-	v := q.inner.Accepts(input)
+	v, err := q.inner.Check(ctx, input)
 	q.record(start, time.Now(), 1, false)
-	return v
+	return v, err
 }
 
-// AcceptsBatch implements oracle.BatchOracle, forwarding to the inner
+// CheckBatch implements oracle.BatchCheckOracle, forwarding to the inner
 // oracle's bulk path when it has one.
-func (q *QueryTimer) AcceptsBatch(inputs []string) []bool {
+func (q *QueryTimer) CheckBatch(ctx context.Context, inputs []string) ([]oracle.Verdict, error) {
 	start := time.Now()
-	out := oracle.AcceptsAll(q.inner, inputs)
+	out, err := oracle.CheckAll(ctx, q.inner, inputs, 1)
 	q.record(start, time.Now(), len(inputs), true)
+	return out, err
+}
+
+// Accepts implements the legacy oracle.Oracle contract; errors read as
+// rejection.
+func (q *QueryTimer) Accepts(input string) bool {
+	v, err := q.Check(context.Background(), input)
+	return err == nil && v == oracle.Accept
+}
+
+// AcceptsBatch implements the legacy oracle.BatchOracle contract; a batch
+// error reads as all-rejected.
+func (q *QueryTimer) AcceptsBatch(inputs []string) []bool {
+	vs, err := q.CheckBatch(context.Background(), inputs)
+	out := make([]bool, len(inputs))
+	if err != nil {
+		return out
+	}
+	for i, v := range vs {
+		out[i] = v == oracle.Accept
+	}
 	return out
 }
 

@@ -6,82 +6,109 @@ import (
 	"sync/atomic"
 )
 
-// Pool is the worker-pool BatchOracle adapter: AcceptsBatch fans queries
+// Pool is the worker-pool BatchCheckOracle adapter: CheckBatch fans queries
 // out across a bounded number of goroutines, each calling the inner
-// oracle's Accepts. The inner oracle must be safe for concurrent use.
+// oracle's Check. The inner oracle must be safe for concurrent use.
+// Cancellation is checked inside the fan-out: once ctx is done no further
+// queries are dispatched and CheckBatch returns ctx.Err().
 type Pool struct {
-	inner   Oracle
+	inner   CheckOracle
 	workers int
-	ctx     context.Context
 }
 
 // Parallel adapts inner into a Pool with the given worker bound. Values of
 // workers below 1 are treated as 1 (sequential).
-func Parallel(inner Oracle, workers int) *Pool {
+func Parallel(inner CheckOracle, workers int) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
-	return &Pool{inner: inner, workers: workers, ctx: context.Background()}
-}
-
-// WithContext returns a copy of the pool that stops dispatching new queries
-// once ctx is done. Queries never dispatched report false; callers that
-// care should check ctx.Err afterwards. Because those falses are
-// indistinguishable from genuine rejections, a context-bound pool must not
-// sit under a memoizing wrapper such as Cached — the cache would store the
-// cancellation artifacts permanently.
-func (p *Pool) WithContext(ctx context.Context) *Pool {
-	q := *p
-	q.ctx = ctx
-	return &q
+	return &Pool{inner: inner, workers: workers}
 }
 
 // Workers returns the pool's concurrency bound.
 func (p *Pool) Workers() int { return p.workers }
 
-// Accepts implements Oracle by delegating a single query to the inner
+// Check implements CheckOracle by delegating a single query to the inner
 // oracle.
-func (p *Pool) Accepts(input string) bool { return p.inner.Accepts(input) }
-
-// AcceptsBatch implements BatchOracle.
-func (p *Pool) AcceptsBatch(inputs []string) []bool {
-	return fanOut(p.inner, p.workers, inputs, p.ctx)
+func (p *Pool) Check(ctx context.Context, input string) (Verdict, error) {
+	return p.inner.Check(ctx, input)
 }
 
-// fanOut answers inputs through o.Accepts using at most workers concurrent
-// goroutines, stopping early (remaining answers false) once ctx is done.
-// A nil ctx never cancels. It is the shared engine behind Pool and the
-// concurrent Exec bulk path.
-func fanOut(o Oracle, workers int, inputs []string, ctx context.Context) []bool {
-	out := make([]bool, len(inputs))
+// CheckBatch implements BatchCheckOracle.
+func (p *Pool) CheckBatch(ctx context.Context, inputs []string) ([]Verdict, error) {
+	return fanOut(ctx, p.inner, p.workers, inputs)
+}
+
+// Accepts implements the v1 Oracle contract; errors read as rejection.
+func (p *Pool) Accepts(input string) bool { return legacyAccepts(p, input) }
+
+// AcceptsBatch implements the v1 BatchOracle contract.
+func (p *Pool) AcceptsBatch(inputs []string) []bool { return legacyAcceptsBatch(p, inputs) }
+
+// fanOut answers inputs through o.Check using at most workers concurrent
+// goroutines. It stops dispatching once ctx is done or any query returns an
+// error, and reports the first error observed; on a non-nil error the
+// verdict slice is meaningless and must be discarded. It is the shared
+// engine behind Pool, the concurrent Exec bulk path, and CheckAll's
+// fallback for plain CheckOracles.
+func fanOut(ctx context.Context, o CheckOracle, workers int, inputs []string) ([]Verdict, error) {
+	out := make([]Verdict, len(inputs))
 	n := len(inputs)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i, in := range inputs {
-			if ctx != nil && ctx.Err() != nil {
-				break
+			if err := ctx.Err(); err != nil {
+				return out, err
 			}
-			out[i] = o.Accepts(in)
+			v, err := o.Check(ctx, in)
+			if err != nil {
+				return out, err
+			}
+			out[i] = v
 		}
-		return out
+		return out, nil
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		next     atomic.Int64
+		stopped  atomic.Bool
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		stopped.Store(true)
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
 	wg.Add(workers)
 	for g := 0; g < workers; g++ {
 		go func() {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || (ctx != nil && ctx.Err() != nil) {
+				if i >= n || stopped.Load() {
 					return
 				}
-				out[i] = o.Accepts(inputs[i])
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				v, err := o.Check(ctx, inputs[i])
+				if err != nil {
+					fail(err)
+					return
+				}
+				out[i] = v
 			}
 		}()
 	}
 	wg.Wait()
-	return out
+	errMu.Lock()
+	defer errMu.Unlock()
+	return out, firstErr
 }

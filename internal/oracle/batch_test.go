@@ -2,6 +2,7 @@ package oracle
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -17,31 +18,58 @@ var conformanceInputs = []string{
 	"abc", "xyz", "", "a", "zzz", "abc", "banana", "xyz", "qqq", "a",
 }
 
-// testBatchConformance is the shared conformance suite of the BatchOracle
-// contract: the bulk path must agree with Accepts elementwise, in input
-// order, including duplicates and the empty batch, and must be safe to
-// call concurrently with itself and with Accepts.
-func testBatchConformance(t *testing.T, name string, mk func() BatchOracle) {
-	t.Run(name+"/agrees-with-accepts", func(t *testing.T) {
+// testBatchConformance is the shared conformance suite of the batch-oracle
+// contracts: the bulk path must agree with the single path elementwise, in
+// input order, including duplicates and the empty batch, and must be safe
+// to call concurrently with itself and with single queries. Both the v2
+// CheckBatch path and the legacy AcceptsBatch shim are exercised.
+func testBatchConformance(t *testing.T, name string, mk func() BatchCheckOracle) {
+	ctx := context.Background()
+	t.Run(name+"/agrees-with-check", func(t *testing.T) {
 		o := mk()
-		got := o.AcceptsBatch(conformanceInputs)
-		if len(got) != len(conformanceInputs) {
-			t.Fatalf("AcceptsBatch returned %d results for %d inputs", len(got), len(conformanceInputs))
+		got, err := o.CheckBatch(ctx, conformanceInputs)
+		if err != nil {
+			t.Fatalf("CheckBatch: %v", err)
 		}
+		if len(got) != len(conformanceInputs) {
+			t.Fatalf("CheckBatch returned %d results for %d inputs", len(got), len(conformanceInputs))
+		}
+		for i, in := range conformanceInputs {
+			want := Reject
+			if hasA(in) {
+				want = Accept
+			}
+			if got[i] != want {
+				t.Errorf("CheckBatch[%d] (%q) = %v, want %v", i, in, got[i], want)
+			}
+		}
+		for i, in := range conformanceInputs {
+			v, err := o.Check(ctx, in)
+			if err != nil {
+				t.Fatalf("Check(%q): %v", in, err)
+			}
+			if v != got[i] {
+				t.Errorf("Check(%q) disagrees with CheckBatch[%d]", in, i)
+			}
+		}
+	})
+	t.Run(name+"/legacy-shim-agrees", func(t *testing.T) {
+		o := mk()
+		legacy, ok := any(o).(BatchOracle)
+		if !ok {
+			t.Fatalf("%T does not keep the legacy BatchOracle shim", o)
+		}
+		got := legacy.AcceptsBatch(conformanceInputs)
 		for i, in := range conformanceInputs {
 			if got[i] != hasA(in) {
 				t.Errorf("AcceptsBatch[%d] (%q) = %v, want %v", i, in, got[i], hasA(in))
 			}
 		}
-		for i, in := range conformanceInputs {
-			if o.Accepts(in) != got[i] {
-				t.Errorf("Accepts(%q) disagrees with AcceptsBatch[%d]", in, i)
-			}
-		}
 	})
 	t.Run(name+"/empty-batch", func(t *testing.T) {
-		if got := mk().AcceptsBatch(nil); len(got) != 0 {
-			t.Fatalf("AcceptsBatch(nil) = %v, want empty", got)
+		got, err := mk().CheckBatch(ctx, nil)
+		if err != nil || len(got) != 0 {
+			t.Fatalf("CheckBatch(nil) = %v, %v, want empty", got, err)
 		}
 	})
 	t.Run(name+"/concurrent", func(t *testing.T) {
@@ -55,14 +83,18 @@ func testBatchConformance(t *testing.T, name string, mk func() BatchOracle) {
 				for i := range inputs {
 					inputs[i] = fmt.Sprintf("in-%d-%d%s", g, i, strings.Repeat("a", i%2))
 				}
-				got := o.AcceptsBatch(inputs)
+				got, err := o.CheckBatch(ctx, inputs)
+				if err != nil {
+					t.Errorf("concurrent CheckBatch: %v", err)
+					return
+				}
 				for i, in := range inputs {
-					if got[i] != hasA(in) {
-						t.Errorf("concurrent AcceptsBatch(%q) = %v, want %v", in, got[i], hasA(in))
+					if got[i].Accepted() != hasA(in) {
+						t.Errorf("concurrent CheckBatch(%q) = %v, want %v", in, got[i], hasA(in))
 					}
 				}
-				if o.Accepts("abc") != true {
-					t.Error("concurrent Accepts wrong")
+				if v, err := o.Check(ctx, "abc"); err != nil || v != Accept {
+					t.Error("concurrent Check wrong")
 				}
 			}(g)
 		}
@@ -71,38 +103,62 @@ func testBatchConformance(t *testing.T, name string, mk func() BatchOracle) {
 }
 
 func TestBatchConformance(t *testing.T) {
-	mkInner := func() Oracle { return Func(hasA) }
-	testBatchConformance(t, "Pool", func() BatchOracle {
+	mkInner := func() CheckOracle { return Func(hasA) }
+	testBatchConformance(t, "Pool", func() BatchCheckOracle {
 		return Parallel(mkInner(), 4)
 	})
-	testBatchConformance(t, "Pool-seq", func() BatchOracle {
+	testBatchConformance(t, "Pool-seq", func() BatchCheckOracle {
 		return Parallel(mkInner(), 1)
 	})
-	testBatchConformance(t, "Cached", func() BatchOracle {
+	testBatchConformance(t, "Cached", func() BatchCheckOracle {
 		return NewCached(mkInner())
 	})
-	testBatchConformance(t, "Cached-of-Pool", func() BatchOracle {
+	testBatchConformance(t, "Cached-of-Pool", func() BatchCheckOracle {
 		return NewCached(Parallel(mkInner(), 4))
 	})
-	testBatchConformance(t, "Counting", func() BatchOracle {
+	testBatchConformance(t, "Counting", func() BatchCheckOracle {
 		return NewCounting(mkInner())
 	})
-	testBatchConformance(t, "Counting-of-Pool", func() BatchOracle {
+	testBatchConformance(t, "Counting-of-Pool", func() BatchCheckOracle {
 		return NewCounting(Parallel(mkInner(), 4))
 	})
 	if !testing.Short() {
-		testBatchConformance(t, "Exec", func() BatchOracle {
+		testBatchConformance(t, "Exec", func() BatchCheckOracle {
 			return &Exec{Argv: []string{"grep", "-q", "a"}, Workers: 4}
 		})
 	}
 }
 
 func TestAcceptsAllFallback(t *testing.T) {
-	// A bare Func has no bulk path; AcceptsAll must fall back sequentially.
-	got := AcceptsAll(Func(hasA), conformanceInputs)
-	for i, in := range conformanceInputs {
-		if got[i] != hasA(in) {
-			t.Fatalf("AcceptsAll[%d] (%q) = %v, want %v", i, in, got[i], hasA(in))
+	// A bare v1 oracle has no bulk path; AcceptsAll must fall back
+	// sequentially.
+	got := AcceptsAll(plainBool{yes: "a"}, []string{"a", "b", "a"})
+	want := []bool{true, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AcceptsAll[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCheckAllFanOut exercises CheckAll's worker fan-out fallback for plain
+// CheckOracles (no bulk path of their own).
+func TestCheckAllFanOut(t *testing.T) {
+	o := CheckFunc(func(ctx context.Context, s string) (Verdict, error) {
+		if hasA(s) {
+			return Accept, nil
+		}
+		return Reject, nil
+	})
+	for _, workers := range []int{1, 4} {
+		got, err := CheckAll(context.Background(), o, conformanceInputs, workers)
+		if err != nil {
+			t.Fatalf("CheckAll(workers=%d): %v", workers, err)
+		}
+		for i, in := range conformanceInputs {
+			if got[i].Accepted() != hasA(in) {
+				t.Fatalf("CheckAll(workers=%d)[%d] = %v, want %v", workers, i, got[i], hasA(in))
+			}
 		}
 	}
 }
@@ -148,6 +204,36 @@ func TestCachedInflightDedup(t *testing.T) {
 	}
 }
 
+// TestCachedInflightWaiterCancel checks that a caller waiting on another
+// goroutine's in-flight query honors its own ctx instead of blocking until
+// the owner finishes.
+func TestCachedInflightWaiterCancel(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	c := NewCached(Func(func(s string) bool {
+		<-release
+		return true
+	}))
+	owner := make(chan struct{})
+	go func() {
+		close(owner)
+		c.Accepts("slow-key")
+	}()
+	<-owner
+	// Give the owner a moment to register its in-flight call; then a waiter
+	// with an already-expired ctx must return promptly.
+	var err error
+	for i := 0; i < 100; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err = c.Check(ctx, "slow-key")
+		if errors.Is(err, context.Canceled) {
+			return
+		}
+	}
+	t.Fatalf("waiter never observed its cancelled ctx: last err = %v", err)
+}
+
 // TestCachedBatchDedup checks that a batch with duplicates and overlap with
 // already-cached keys issues only the novel unique queries.
 func TestCachedBatchDedup(t *testing.T) {
@@ -174,7 +260,7 @@ func TestCachedBatchDedup(t *testing.T) {
 }
 
 // TestCachedStatsConcurrent checks hits+misses == total queries under a
-// concurrent mixed load — the accuracy guarantee Stats now makes.
+// concurrent mixed load — the accuracy guarantee Stats makes.
 func TestCachedStatsConcurrent(t *testing.T) {
 	c := NewCached(Func(hasA))
 	const goroutines, per = 8, 200
@@ -198,6 +284,8 @@ func TestCachedStatsConcurrent(t *testing.T) {
 	}
 }
 
+// TestPoolContextCancel is the wave-cancellation contract: once ctx is
+// done, the pool stops dispatching and CheckBatch reports the ctx error.
 func TestPoolContextCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var calls atomic.Int64
@@ -206,17 +294,41 @@ func TestPoolContextCancel(t *testing.T) {
 			cancel()
 		}
 		return true
-	}), 2).WithContext(ctx)
+	}), 2)
 	inputs := make([]string, 1000)
 	for i := range inputs {
 		inputs[i] = fmt.Sprintf("%d", i)
 	}
-	out := p.AcceptsBatch(inputs)
-	if len(out) != len(inputs) {
-		t.Fatalf("result length %d, want %d", len(out), len(inputs))
+	_, err := p.CheckBatch(ctx, inputs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled CheckBatch err = %v, want context.Canceled", err)
 	}
 	if n := calls.Load(); n >= 1000 {
 		t.Fatalf("cancellation did not stop dispatch: %d calls", n)
+	}
+}
+
+// TestPoolErrorStopsDispatch checks the other fan-out stop condition: an
+// oracle error halts the wave and surfaces as the batch error.
+func TestPoolErrorStopsDispatch(t *testing.T) {
+	var calls atomic.Int64
+	boom := errors.New("oracle exploded")
+	p := Parallel(CheckFunc(func(ctx context.Context, s string) (Verdict, error) {
+		if calls.Add(1) == 5 {
+			return Reject, boom
+		}
+		return Accept, nil
+	}), 2)
+	inputs := make([]string, 1000)
+	for i := range inputs {
+		inputs[i] = fmt.Sprintf("%d", i)
+	}
+	_, err := p.CheckBatch(context.Background(), inputs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("failing CheckBatch err = %v, want the oracle error", err)
+	}
+	if n := calls.Load(); n >= 1000 {
+		t.Fatalf("error did not stop dispatch: %d calls", n)
 	}
 }
 

@@ -9,38 +9,139 @@
 // Oracle queries dominate GLADE's cost (§4.3): every candidate
 // generalization, merge check, and character-generalization probe is one
 // blackbox program run. The learner therefore issues independent checks as
-// waves through the BatchOracle bulk path; composing
+// waves through the batched bulk path; composing
 // Cached → Parallel → Counting → <program> turns each wave into bounded
 // concurrent program runs with per-key deduplication.
+//
+// # The v2 contract: verdicts and context
+//
+// CheckOracle is the primary interface: Check(ctx, input) answers one
+// membership query with a Verdict (Accept, Reject, Crash, Timeout) and an
+// error. The two channels carry different information:
+//
+//   - The Verdict is a domain answer about the input. Crash and Timeout are
+//     rejections that carry extra signal (the classic fuzzing trophies).
+//   - A non-nil error means the oracle itself failed to answer — the target
+//     binary could not be started, or ctx was cancelled before the query
+//     ran. Callers must not treat an error as a rejection: learning aborts
+//     and surfaces it, rather than silently synthesizing from garbage.
+//
+// The legacy boolean Oracle interface remains for simple pure predicates
+// (Func implements both); AsCheck and AsBool adapt between the worlds.
 package oracle
 
 import (
 	"context"
 	"errors"
+	"fmt"
 	"os/exec"
 	"strings"
 	"sync"
 	"time"
 )
 
-// Oracle answers membership queries for the target language L*.
+// Verdict is the outcome of one membership query: the domain answer about
+// the input (not about the oracle — oracle failures travel as errors next
+// to the Verdict).
+type Verdict uint8
+
+// The four verdicts. Only Accept means the input is in the language; Crash
+// and Timeout are rejections that carry extra signal — the target died on a
+// signal, or hung until the per-query deadline killed it — which fuzzing
+// campaigns triage into their own buckets.
+const (
+	// Reject: the target processed the input and reported it invalid.
+	Reject Verdict = iota
+	// Accept: the input is in the target's language.
+	Accept
+	// Crash: the target died on a signal (SIGSEGV, SIGABRT, ...) rather
+	// than exiting.
+	Crash
+	// Timeout: the target exceeded the per-query deadline and was killed.
+	Timeout
+)
+
+// Accepted reports whether the verdict is Accept — the collapse to the
+// boolean membership answer of §2.
+func (v Verdict) Accepted() bool { return v == Accept }
+
+// String renders the verdict ("accept", "reject", "crash", "timeout").
+func (v Verdict) String() string {
+	switch v {
+	case Accept:
+		return "accept"
+	case Crash:
+		return "crash"
+	case Timeout:
+		return "timeout"
+	default:
+		return "reject"
+	}
+}
+
+// CheckOracle answers membership queries for the target language L* with
+// full verdicts, deadline and cancellation support. It is the primary
+// oracle contract; the boolean Oracle remains as a convenience for pure
+// predicates.
+type CheckOracle interface {
+	// Check answers one membership query. The returned error is about the
+	// oracle, not the input: ctx cancellation or an oracle that could not
+	// run. Implementations must respect ctx promptly.
+	Check(ctx context.Context, input string) (Verdict, error)
+}
+
+// BatchCheckOracle is a CheckOracle with a bulk path: implementations may
+// answer a slice of membership queries concurrently. The returned slice is
+// parallel to inputs; on a non-nil error the slice contents are
+// meaningless and must be discarded. Implementations must be safe for
+// concurrent use.
+type BatchCheckOracle interface {
+	CheckOracle
+	// CheckBatch answers every query, in input order, stopping early on
+	// cancellation or oracle failure.
+	CheckBatch(ctx context.Context, inputs []string) ([]Verdict, error)
+}
+
+// CheckAll answers every query: through o's bulk path when it provides one
+// (the bulk path chooses its own concurrency), otherwise fanning Check
+// calls across at most workers goroutines (values below 2 run
+// sequentially). It is how callers issue a wave of independent checks
+// without caring what o is. On error the returned slice must be discarded.
+func CheckAll(ctx context.Context, o CheckOracle, inputs []string, workers int) ([]Verdict, error) {
+	if b, ok := o.(BatchCheckOracle); ok {
+		return b.CheckBatch(ctx, inputs)
+	}
+	return fanOut(ctx, o, workers, inputs)
+}
+
+// CheckFunc adapts a plain context-aware function to a CheckOracle.
+type CheckFunc func(ctx context.Context, input string) (Verdict, error)
+
+// Check implements CheckOracle.
+func (f CheckFunc) Check(ctx context.Context, input string) (Verdict, error) {
+	return f(ctx, input)
+}
+
+// Oracle answers boolean membership queries. It is the v1 contract, kept
+// for pure in-process predicates that cannot crash, hang, or fail; wrap
+// with AsCheck to use one where a CheckOracle is required.
 type Oracle interface {
 	// Accepts reports whether input ∈ L*.
 	Accepts(input string) bool
 }
 
-// BatchOracle is an Oracle with a bulk path: implementations may answer a
-// slice of membership queries concurrently. The returned slice is parallel
-// to inputs. Implementations must be safe for concurrent use.
+// BatchOracle is an Oracle with a bulk path (v1 contract). The returned
+// slice is parallel to inputs. Implementations must be safe for concurrent
+// use.
 type BatchOracle interface {
 	Oracle
 	// AcceptsBatch answers every query, in input order.
 	AcceptsBatch(inputs []string) []bool
 }
 
-// AcceptsAll answers every query, using the bulk path when o provides one
-// and falling back to sequential Accepts calls otherwise. It is how callers
-// issue a wave of independent checks without caring what o is.
+// AcceptsAll answers every boolean query, using the bulk path when o
+// provides one and falling back to sequential Accepts calls otherwise
+// (v1 contract).
 func AcceptsAll(o Oracle, inputs []string) []bool {
 	if b, ok := o.(BatchOracle); ok {
 		return b.AcceptsBatch(inputs)
@@ -52,11 +153,91 @@ func AcceptsAll(o Oracle, inputs []string) []bool {
 	return out
 }
 
-// Func adapts a plain function to an Oracle.
+// Func adapts a plain predicate to both oracle contracts: Accepts calls it
+// directly, Check maps true/false to Accept/Reject (after honoring ctx).
 type Func func(string) bool
 
 // Accepts implements Oracle.
 func (f Func) Accepts(input string) bool { return f(input) }
+
+// Check implements CheckOracle. The predicate itself cannot be interrupted,
+// so cancellation is only observed between queries.
+func (f Func) Check(ctx context.Context, input string) (Verdict, error) {
+	if err := ctx.Err(); err != nil {
+		return Reject, err
+	}
+	if f(input) {
+		return Accept, nil
+	}
+	return Reject, nil
+}
+
+// AsCheck adapts a v1 boolean oracle to the CheckOracle contract: true maps
+// to Accept, false to Reject, and cancellation is observed between queries
+// (a boolean oracle cannot be interrupted mid-query). When o already
+// implements CheckOracle it is returned unchanged.
+func AsCheck(o Oracle) CheckOracle {
+	if c, ok := o.(CheckOracle); ok {
+		return c
+	}
+	return boolAdapter{o}
+}
+
+// boolAdapter is AsCheck's wrapper for oracles that only speak booleans.
+type boolAdapter struct{ inner Oracle }
+
+// Check implements CheckOracle.
+func (a boolAdapter) Check(ctx context.Context, input string) (Verdict, error) {
+	if err := ctx.Err(); err != nil {
+		return Reject, err
+	}
+	if a.inner.Accepts(input) {
+		return Accept, nil
+	}
+	return Reject, nil
+}
+
+// AsBool adapts a CheckOracle to the v1 boolean contract: only Accept reads
+// as true; oracle errors read as false, losing the distinction — callers
+// that care about Crash/Timeout/error must stay on the Check path. When o
+// already implements Oracle it is returned unchanged.
+func AsBool(o CheckOracle) Oracle {
+	if b, ok := o.(Oracle); ok {
+		return b
+	}
+	return checkAdapter{o}
+}
+
+// checkAdapter is AsBool's wrapper for oracles that only speak verdicts.
+type checkAdapter struct{ inner CheckOracle }
+
+// Accepts implements Oracle.
+func (a checkAdapter) Accepts(input string) bool {
+	v, err := a.inner.Check(context.Background(), input)
+	return err == nil && v == Accept
+}
+
+// legacyAccepts is the shared v1 shim: collapse one Check answer to the
+// boolean contract, reading oracle errors as rejection.
+func legacyAccepts(o CheckOracle, input string) bool {
+	v, err := o.Check(context.Background(), input)
+	return err == nil && v == Accept
+}
+
+// legacyAcceptsBatch is the shared v1 bulk shim: a batch error reads as
+// all-rejected. Callers that must distinguish oracle failure (or cancel a
+// running wave) use CheckBatch.
+func legacyAcceptsBatch(o BatchCheckOracle, inputs []string) []bool {
+	vs, err := o.CheckBatch(context.Background(), inputs)
+	out := make([]bool, len(inputs))
+	if err != nil {
+		return out
+	}
+	for i, v := range vs {
+		out[i] = v == Accept
+	}
+	return out
+}
 
 // cacheShards is the number of lock stripes in Cached. Striping keeps
 // concurrent batch waves from serializing on one mutex; 64 stripes is
@@ -65,37 +246,44 @@ const cacheShards = 64
 
 // inflightCall tracks one underlying query in progress, so that concurrent
 // misses on the same key wait for the first caller instead of duplicating
-// the (expensive) program run. val is written before done is closed.
+// the (expensive) program run. val and err are written before done is
+// closed; an err outcome is not memoized (see Cached).
 type inflightCall struct {
 	done chan struct{}
-	val  bool
+	val  Verdict
+	err  error
 }
 
 // cacheShard is one lock stripe of Cached.
 type cacheShard struct {
 	mu       sync.Mutex
-	memo     map[string]bool
+	memo     map[string]Verdict
 	inflight map[string]*inflightCall
 	hits     int
 	miss     int
 }
 
-// Cached memoizes oracle answers. The learner issues many repeated queries
+// Cached memoizes oracle verdicts. The learner issues many repeated queries
 // (identical checks recur across candidates), so callers typically wrap
 // their oracle in Cached before learning. Cached is safe for concurrent
 // use: the memo is sharded across lock stripes, and concurrent misses on
 // the same key are deduplicated — exactly one underlying query is issued
 // and every waiter receives its answer.
+//
+// Only verdicts are memoized. A query that fails with an error (oracle
+// broken, ctx cancelled) is never cached: cancellation artifacts must not
+// poison the memo, so the same key asked again issues a fresh underlying
+// query.
 type Cached struct {
-	inner  Oracle
+	inner  CheckOracle
 	shards [cacheShards]cacheShard
 }
 
 // NewCached wraps inner with memoization.
-func NewCached(inner Oracle) *Cached {
+func NewCached(inner CheckOracle) *Cached {
 	c := &Cached{inner: inner}
 	for i := range c.shards {
-		c.shards[i].memo = map[string]bool{}
+		c.shards[i].memo = map[string]Verdict{}
 		c.shards[i].inflight = map[string]*inflightCall{}
 	}
 	return c
@@ -111,45 +299,54 @@ func (c *Cached) shard(key string) *cacheShard {
 	return &c.shards[h%cacheShards]
 }
 
-// Accepts implements Oracle. A miss issues exactly one underlying query per
-// key even under concurrency: later callers missing on the same key block
-// on the first caller's in-flight computation.
-func (c *Cached) Accepts(input string) bool {
+// Check implements CheckOracle. A miss issues exactly one underlying query
+// per key even under concurrency: later callers missing on the same key
+// block on the first caller's in-flight computation (or return early when
+// their own ctx is cancelled while waiting).
+func (c *Cached) Check(ctx context.Context, input string) (Verdict, error) {
 	sh := c.shard(input)
 	sh.mu.Lock()
 	if v, ok := sh.memo[input]; ok {
 		sh.hits++
 		sh.mu.Unlock()
-		return v
+		return v, nil
 	}
 	if call, ok := sh.inflight[input]; ok {
 		// Another goroutine is computing this key; its answer serves us too.
 		sh.hits++
 		sh.mu.Unlock()
-		<-call.done
-		return call.val
+		select {
+		case <-call.done:
+			return call.val, call.err
+		case <-ctx.Done():
+			return Reject, ctx.Err()
+		}
 	}
 	call := &inflightCall{done: make(chan struct{})}
 	sh.inflight[input] = call
 	sh.miss++
 	sh.mu.Unlock()
 
-	v := c.inner.Accepts(input)
+	v, err := c.inner.Check(ctx, input)
 
 	sh.mu.Lock()
-	sh.memo[input] = v
+	if err == nil {
+		sh.memo[input] = v
+	}
 	delete(sh.inflight, input)
 	sh.mu.Unlock()
-	call.val = v
+	call.val, call.err = v, err
 	close(call.done)
-	return v
+	return v, err
 }
 
-// AcceptsBatch implements BatchOracle: cached keys answer immediately,
+// CheckBatch implements BatchCheckOracle: cached keys answer immediately,
 // duplicates collapse, and the remaining unique misses are issued through
-// the inner oracle's bulk path (concurrently, when inner is a BatchOracle).
-func (c *Cached) AcceptsBatch(inputs []string) []bool {
-	out := make([]bool, len(inputs))
+// the inner oracle's bulk path (concurrently, when inner is a
+// BatchCheckOracle). On error nothing new is memoized and the returned
+// slice must be discarded.
+func (c *Cached) CheckBatch(ctx context.Context, inputs []string) ([]Verdict, error) {
+	out := make([]Verdict, len(inputs))
 	// indices groups result positions by key, collapsing duplicates.
 	indices := make(map[string][]int, len(inputs))
 	order := make([]string, 0, len(inputs))
@@ -160,7 +357,7 @@ func (c *Cached) AcceptsBatch(inputs []string) []bool {
 		indices[in] = append(indices[in], i)
 	}
 
-	resolved := make(map[string]bool, len(order))
+	resolved := make(map[string]Verdict, len(order))
 	var owned []string                        // keys this call computes
 	waiting := make(map[string]*inflightCall) // keys another goroutine is computing
 	for _, key := range order {
@@ -187,24 +384,46 @@ func (c *Cached) AcceptsBatch(inputs []string) []bool {
 		sh.mu.Unlock()
 	}
 
+	var batchErr error
 	if len(owned) > 0 {
-		vals := AcceptsAll(c.inner, owned)
+		vals, err := CheckAll(ctx, c.inner, owned, 1)
+		batchErr = err
 		for i, key := range owned {
-			v := vals[i]
 			sh := c.shard(key)
 			sh.mu.Lock()
 			call := sh.inflight[key]
-			sh.memo[key] = v
+			if err == nil {
+				sh.memo[key] = vals[i]
+			}
 			delete(sh.inflight, key)
 			sh.mu.Unlock()
-			call.val = v
+			if err == nil {
+				call.val = vals[i]
+				resolved[key] = vals[i]
+			} else {
+				call.err = err
+			}
 			close(call.done)
-			resolved[key] = v
 		}
 	}
 	for key, call := range waiting {
-		<-call.done
-		resolved[key] = call.val
+		select {
+		case <-call.done:
+			if call.err != nil {
+				if batchErr == nil {
+					batchErr = call.err
+				}
+				continue
+			}
+			resolved[key] = call.val
+		case <-ctx.Done():
+			if batchErr == nil {
+				batchErr = ctx.Err()
+			}
+		}
+	}
+	if batchErr != nil {
+		return out, batchErr
 	}
 
 	for key, idxs := range indices {
@@ -213,8 +432,15 @@ func (c *Cached) AcceptsBatch(inputs []string) []bool {
 			out[i] = v
 		}
 	}
-	return out
+	return out, nil
 }
+
+// Accepts implements the v1 Oracle contract on top of Check: errors read as
+// rejection. Callers that must distinguish oracle failure use Check.
+func (c *Cached) Accepts(input string) bool { return legacyAccepts(c, input) }
+
+// AcceptsBatch implements the v1 BatchOracle contract on top of CheckBatch.
+func (c *Cached) AcceptsBatch(inputs []string) []bool { return legacyAcceptsBatch(c, inputs) }
 
 // Stats returns (cache hits, underlying queries issued). Deduplicated
 // concurrent misses count as hits: exactly one of them reached the inner
@@ -234,30 +460,37 @@ func (c *Cached) Stats() (hits, misses int) {
 // query budgets with it. Counting is safe for concurrent use and forwards
 // the bulk path of its inner oracle.
 type Counting struct {
-	inner Oracle
+	inner CheckOracle
 	mu    sync.Mutex
 	n     int
 }
 
 // NewCounting wraps inner with query counting.
-func NewCounting(inner Oracle) *Counting { return &Counting{inner: inner} }
+func NewCounting(inner CheckOracle) *Counting { return &Counting{inner: inner} }
 
-// Accepts implements Oracle.
-func (c *Counting) Accepts(input string) bool {
+// Check implements CheckOracle.
+func (c *Counting) Check(ctx context.Context, input string) (Verdict, error) {
 	c.mu.Lock()
 	c.n++
 	c.mu.Unlock()
-	return c.inner.Accepts(input)
+	return c.inner.Check(ctx, input)
 }
 
-// AcceptsBatch implements BatchOracle, forwarding to the inner oracle's
+// CheckBatch implements BatchCheckOracle, forwarding to the inner oracle's
 // bulk path when it has one.
-func (c *Counting) AcceptsBatch(inputs []string) []bool {
+func (c *Counting) CheckBatch(ctx context.Context, inputs []string) ([]Verdict, error) {
 	c.mu.Lock()
 	c.n += len(inputs)
 	c.mu.Unlock()
-	return AcceptsAll(c.inner, inputs)
+	return CheckAll(ctx, c.inner, inputs, 1)
 }
+
+// Accepts implements the v1 Oracle contract on top of Check: errors read
+// as rejection.
+func (c *Counting) Accepts(input string) bool { return legacyAccepts(c, input) }
+
+// AcceptsBatch implements the v1 BatchOracle contract on top of CheckBatch.
+func (c *Counting) AcceptsBatch(inputs []string) []bool { return legacyAcceptsBatch(c, inputs) }
 
 // Queries returns the number of queries issued so far.
 func (c *Counting) Queries() int {
@@ -267,60 +500,51 @@ func (c *Counting) Queries() int {
 }
 
 // Exec is an oracle that runs an external command per query, feeding the
-// input on stdin. The input is considered valid when the command exits with
-// status zero and, if ErrSubstring is non-empty, stderr does not contain it.
-// This mirrors the paper's setup of observing whether the program prints an
+// input on stdin. The input is accepted when the command exits with status
+// zero and, if ErrSubstring is non-empty, stderr does not contain it. This
+// mirrors the paper's setup of observing whether the program prints an
 // error message. Exec is safe for concurrent use; its bulk path fans
 // subprocess runs out across Workers concurrent processes.
+//
+// Check is the canonical implementation: a signal death is Crash, a
+// per-query deadline kill is Timeout, a command that cannot be started at
+// all (missing binary, fork failure) is an oracle error — not a rejection.
 type Exec struct {
 	// Command and arguments, e.g. {"python3", "-"}.
 	Argv []string
 	// ErrSubstring, when non-empty, marks inputs invalid if stderr contains
 	// it even when the exit status is zero.
 	ErrSubstring string
-	// Workers bounds the concurrent subprocesses AcceptsBatch may spawn.
+	// Workers bounds the concurrent subprocesses CheckBatch may spawn.
 	// Values below 1 mean sequential execution.
 	Workers int
 	// Timeout bounds each query's subprocess run; zero means unbounded. A
-	// run that exceeds it is killed and the input treated as rejected, so a
-	// target that hangs on some candidate cannot wedge a learn job.
+	// run that exceeds it is killed and the query answers Timeout, so a
+	// target that hangs on some candidate cannot wedge a learn job. The
+	// caller's ctx bounds the run as well: whichever deadline is tighter
+	// wins, and a caller cancellation surfaces as an error, not a verdict.
 	Timeout time.Duration
 }
 
-// Verdict is the detailed outcome of one Exec query. Accepts collapses it
-// to a bool for the membership-oracle interface; fuzzing campaigns keep
-// the full verdict, since a crash or a hang is far more interesting than
-// an ordinary rejection.
-type Verdict struct {
-	// Accepted reports whether the input was accepted: exit status zero
-	// and, when ErrSubstring is set, no error marker on stderr.
-	Accepted bool
-	// Crashed reports that the process died on a signal (SIGSEGV, SIGABRT,
-	// ...) rather than exiting — the classic fuzzing trophy.
-	Crashed bool
-	// TimedOut reports that the run exceeded Timeout and was killed.
-	TimedOut bool
-}
+// errNoCommand reports an Exec with no Argv — an oracle that cannot answer.
+var errNoCommand = errors.New("oracle: exec oracle has no command")
 
-// Accepts implements Oracle by running the command.
-func (e *Exec) Accepts(input string) bool {
-	return e.Verdict(input).Accepted
-}
-
-// Verdict runs the command on input and reports the detailed outcome:
-// acceptance, a signal-death crash, or a timeout kill. A crashed or
-// timed-out run is never accepted.
-func (e *Exec) Verdict(input string) Verdict {
+// Check implements CheckOracle by running the command under ctx (and, when
+// Timeout is set, a per-query deadline nested inside it).
+func (e *Exec) Check(ctx context.Context, input string) (Verdict, error) {
 	if len(e.Argv) == 0 {
-		return Verdict{}
+		return Reject, errNoCommand
 	}
-	ctx := context.Background()
+	if err := ctx.Err(); err != nil {
+		return Reject, err
+	}
+	runCtx := ctx
 	if e.Timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, e.Timeout)
+		runCtx, cancel = context.WithTimeout(ctx, e.Timeout)
 		defer cancel()
 	}
-	cmd := exec.CommandContext(ctx, e.Argv[0], e.Argv[1:]...)
+	cmd := exec.CommandContext(runCtx, e.Argv[0], e.Argv[1:]...)
 	cmd.Stdin = strings.NewReader(input)
 	var stderr strings.Builder
 	cmd.Stderr = &stderr
@@ -331,26 +555,57 @@ func (e *Exec) Verdict(input string) Verdict {
 		cmd.WaitDelay = e.Timeout/4 + 10*time.Millisecond
 	}
 	if err := cmd.Run(); err != nil {
-		if ctx.Err() == context.DeadlineExceeded {
-			return Verdict{TimedOut: true}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			// The caller gave up (cancellation or its own deadline): the
+			// query has no answer, so this is an oracle-level error.
+			return Reject, ctxErr
 		}
-		// ExitCode is -1 when the process was terminated by a signal; the
-		// timeout kill is already accounted for above, so a remaining -1 is
-		// the target dying on its own (segfault, abort, ...).
+		if runCtx.Err() == context.DeadlineExceeded {
+			return Timeout, nil
+		}
 		var ee *exec.ExitError
-		if errors.As(err, &ee) && ee.ProcessState != nil && ee.ProcessState.ExitCode() == -1 {
-			return Verdict{Crashed: true}
+		if errors.As(err, &ee) && ee.ProcessState != nil {
+			// ExitCode is -1 when the process was terminated by a signal;
+			// the timeout kill is already accounted for above, so a
+			// remaining -1 is the target dying on its own (segfault, ...).
+			if ee.ProcessState.ExitCode() == -1 {
+				return Crash, nil
+			}
+			return Reject, nil
 		}
-		return Verdict{}
+		// The command never ran (missing binary, fork failure): the oracle
+		// is broken, which must not read as "input rejected".
+		return Reject, fmt.Errorf("oracle: exec %s: %w", e.Argv[0], err)
 	}
 	if e.ErrSubstring != "" && strings.Contains(stderr.String(), e.ErrSubstring) {
-		return Verdict{}
+		return Reject, nil
 	}
-	return Verdict{Accepted: true}
+	return Accept, nil
 }
 
-// AcceptsBatch implements BatchOracle, running up to Workers subprocesses
-// concurrently.
-func (e *Exec) AcceptsBatch(inputs []string) []bool {
-	return fanOut(e, e.Workers, inputs, nil)
+// CheckBatch implements BatchCheckOracle, running up to Workers
+// subprocesses concurrently under ctx.
+func (e *Exec) CheckBatch(ctx context.Context, inputs []string) ([]Verdict, error) {
+	return fanOut(ctx, e, e.Workers, inputs)
 }
+
+// Verdict runs the command on input and reports the verdict, treating an
+// oracle failure as Reject.
+//
+// Deprecated: use Check, which carries cancellation and distinguishes an
+// oracle failure from a rejection.
+func (e *Exec) Verdict(input string) Verdict {
+	v, err := e.Check(context.Background(), input)
+	if err != nil {
+		return Reject
+	}
+	return v
+}
+
+// Accepts implements the v1 Oracle contract by running the command; oracle
+// failures read as rejection.
+func (e *Exec) Accepts(input string) bool { return legacyAccepts(e, input) }
+
+// AcceptsBatch implements the v1 BatchOracle contract, running up to
+// Workers subprocesses concurrently.
+func (e *Exec) AcceptsBatch(inputs []string) []bool { return legacyAcceptsBatch(e, inputs) }

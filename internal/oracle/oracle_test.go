@@ -1,6 +1,8 @@
 package oracle
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -11,7 +13,73 @@ func TestFunc(t *testing.T) {
 	if !o.Accepts("ok then") || o.Accepts("nope") {
 		t.Fatal("Func adapter wrong")
 	}
+	v, err := o.Check(context.Background(), "ok then")
+	if err != nil || v != Accept {
+		t.Fatalf("Check = %v, %v, want accept", v, err)
+	}
+	if v, err := o.Check(context.Background(), "nope"); err != nil || v != Reject {
+		t.Fatalf("Check = %v, %v, want reject", v, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := o.Check(ctx, "ok"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Check on cancelled ctx err = %v, want context.Canceled", err)
+	}
 }
+
+func TestVerdictString(t *testing.T) {
+	cases := map[Verdict]string{Accept: "accept", Reject: "reject", Crash: "crash", Timeout: "timeout"}
+	for v, want := range cases {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), want)
+		}
+	}
+	if !Accept.Accepted() || Reject.Accepted() || Crash.Accepted() || Timeout.Accepted() {
+		t.Error("Accepted() wrong")
+	}
+}
+
+func TestAdapters(t *testing.T) {
+	// AsCheck on a plain v1 oracle maps booleans to verdicts.
+	v1 := plainBool{yes: "member"}
+	c := AsCheck(v1)
+	if v, err := c.Check(context.Background(), "member"); err != nil || v != Accept {
+		t.Fatalf("AsCheck accept = %v, %v", v, err)
+	}
+	if v, err := c.Check(context.Background(), "other"); err != nil || v != Reject {
+		t.Fatalf("AsCheck reject = %v, %v", v, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Check(ctx, "member"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AsCheck cancelled err = %v", err)
+	}
+	// AsCheck on something already implementing CheckOracle is the identity.
+	f := Func(func(s string) bool { return true })
+	if AsCheck(f).(Func) == nil {
+		t.Fatal("AsCheck did not pass a CheckOracle through")
+	}
+	// AsBool collapses verdicts; errors read as rejection.
+	cb := CheckFunc(func(ctx context.Context, s string) (Verdict, error) {
+		switch s {
+		case "in":
+			return Accept, nil
+		case "boom":
+			return Reject, errors.New("oracle broke")
+		}
+		return Crash, nil
+	})
+	b := AsBool(cb)
+	if !b.Accepts("in") || b.Accepts("out") || b.Accepts("boom") {
+		t.Fatal("AsBool collapse wrong")
+	}
+}
+
+// plainBool implements only the v1 Oracle interface, so AsCheck must wrap
+// it rather than pass it through.
+type plainBool struct{ yes string }
+
+func (p plainBool) Accepts(s string) bool { return s == p.yes }
 
 func TestCached(t *testing.T) {
 	calls := 0
@@ -30,6 +98,58 @@ func TestCached(t *testing.T) {
 	hits, misses := o.Stats()
 	if misses != 2 || hits != 8 {
 		t.Fatalf("Stats = %d hits %d misses", hits, misses)
+	}
+}
+
+// TestCachedErrorNotMemoized is the v2 cache contract: a query that fails
+// with an oracle error must not be cached, so the same key asked again
+// reaches the oracle — cancellation artifacts cannot poison the memo.
+func TestCachedErrorNotMemoized(t *testing.T) {
+	calls := 0
+	broken := true
+	c := NewCached(CheckFunc(func(ctx context.Context, s string) (Verdict, error) {
+		calls++
+		if broken {
+			return Reject, errors.New("oracle down")
+		}
+		return Accept, nil
+	}))
+	if _, err := c.Check(context.Background(), "k"); err == nil {
+		t.Fatal("expected error from broken oracle")
+	}
+	broken = false
+	v, err := c.Check(context.Background(), "k")
+	if err != nil || v != Accept {
+		t.Fatalf("retry after error = %v, %v, want accept", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("underlying calls = %d, want 2 (error not memoized)", calls)
+	}
+	// The successful verdict IS memoized.
+	if _, _ = c.Check(context.Background(), "k"); calls != 2 {
+		t.Fatalf("underlying calls = %d after hit, want 2", calls)
+	}
+}
+
+// TestCachedBatchErrorNotMemoized mirrors the single-query contract on the
+// bulk path: a failing batch memoizes nothing.
+func TestCachedBatchErrorNotMemoized(t *testing.T) {
+	calls := 0
+	broken := true
+	c := NewCached(CheckFunc(func(ctx context.Context, s string) (Verdict, error) {
+		calls++
+		if broken {
+			return Reject, errors.New("oracle down")
+		}
+		return Accept, nil
+	}))
+	if _, err := c.CheckBatch(context.Background(), []string{"a", "b"}); err == nil {
+		t.Fatal("expected batch error from broken oracle")
+	}
+	broken = false
+	vs, err := c.CheckBatch(context.Background(), []string{"a", "b"})
+	if err != nil || vs[0] != Accept || vs[1] != Accept {
+		t.Fatalf("retry after batch error = %v, %v", vs, err)
 	}
 }
 
@@ -59,6 +179,10 @@ func TestExecTrueFalse(t *testing.T) {
 	if empty.Accepts("x") {
 		t.Fatal("empty argv accepted")
 	}
+	// On the v2 path an empty argv is an oracle error, not a rejection.
+	if _, err := empty.Check(context.Background(), "x"); err == nil {
+		t.Fatal("empty argv Check returned no error")
+	}
 }
 
 func TestExecReadsStdin(t *testing.T) {
@@ -80,11 +204,12 @@ func TestExecTimeoutKillsHangingTarget(t *testing.T) {
 		t.Skip("exec oracle spawns processes")
 	}
 	// Without a timeout this would block for 30 s; the deadline must kill
-	// the process and report rejection quickly.
+	// the process and report a Timeout verdict quickly.
 	o := &Exec{Argv: []string{"sleep", "30"}, Timeout: 100 * time.Millisecond}
 	start := time.Now()
-	if o.Accepts("x") {
-		t.Fatal("timed-out run reported accepted")
+	v, err := o.Check(context.Background(), "x")
+	if err != nil || v != Timeout {
+		t.Fatalf("timed-out run = %v, %v, want timeout verdict", v, err)
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("timeout did not bound the run: took %v", elapsed)
@@ -101,16 +226,22 @@ func TestExecTimeoutInBatch(t *testing.T) {
 		t.Skip("exec oracle spawns processes")
 	}
 	o := &Exec{Argv: []string{"sh", "-c", "grep -q ok || sleep 30"}, Timeout: 150 * time.Millisecond, Workers: 4}
-	got := o.AcceptsBatch([]string{"ok", "hang", "ok", "hang"})
-	want := []bool{true, false, true, false}
+	got, err := o.CheckBatch(context.Background(), []string{"ok", "hang", "ok", "hang"})
+	if err != nil {
+		t.Fatalf("CheckBatch: %v", err)
+	}
+	want := []Verdict{Accept, Timeout, Accept, Timeout}
 	for i := range want {
 		if got[i] != want[i] {
-			t.Fatalf("batch answer %d = %v, want %v", i, got[i], want[i])
+			t.Fatalf("batch verdict %d = %v, want %v", i, got[i], want[i])
 		}
 	}
 }
 
-func TestExecVerdict(t *testing.T) {
+// TestExecCheckVerdicts pins the canonical verdict mapping of Exec.Check:
+// exit 0 accepts, nonzero rejects, signal death crashes, deadline kill
+// times out, and the error-substring convention rejects.
+func TestExecCheckVerdicts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("exec oracle spawns processes")
 	}
@@ -119,22 +250,66 @@ func TestExecVerdict(t *testing.T) {
 		o    *Exec
 		want Verdict
 	}{
-		{"accepted", &Exec{Argv: []string{"true"}}, Verdict{Accepted: true}},
-		{"rejected", &Exec{Argv: []string{"false"}}, Verdict{}},
-		{"empty argv", &Exec{}, Verdict{}},
-		{"timeout", &Exec{Argv: []string{"sleep", "30"}, Timeout: 100 * time.Millisecond}, Verdict{TimedOut: true}},
+		{"accepted", &Exec{Argv: []string{"true"}}, Accept},
+		{"rejected", &Exec{Argv: []string{"false"}}, Reject},
+		{"timeout", &Exec{Argv: []string{"sleep", "30"}, Timeout: 100 * time.Millisecond}, Timeout},
 		// A process killing itself with SIGSEGV is a crash, not a plain
 		// rejection — and not a timeout, since the deadline never fired.
-		{"crash", &Exec{Argv: []string{"sh", "-c", "kill -SEGV $$"}, Timeout: 10 * time.Second}, Verdict{Crashed: true}},
-		{"err substring", &Exec{Argv: []string{"sh", "-c", "echo parse error >&2"}, ErrSubstring: "error"}, Verdict{}},
+		{"crash", &Exec{Argv: []string{"sh", "-c", "kill -SEGV $$"}, Timeout: 10 * time.Second}, Crash},
+		{"err substring", &Exec{Argv: []string{"sh", "-c", "echo parse error >&2"}, ErrSubstring: "error"}, Reject},
 	}
 	for _, tc := range cases {
-		if got := tc.o.Verdict("x"); got != tc.want {
-			t.Errorf("%s: Verdict = %+v, want %+v", tc.name, got, tc.want)
+		got, err := tc.o.Check(context.Background(), "x")
+		if err != nil {
+			t.Errorf("%s: Check error: %v", tc.name, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: Check = %v, want %v", tc.name, got, tc.want)
+		}
+		// The deprecated Verdict shim must agree.
+		if shim := tc.o.Verdict("x"); shim != tc.want {
+			t.Errorf("%s: Verdict shim = %v, want %v", tc.name, shim, tc.want)
 		}
 	}
-	// Accepts must agree with Verdict().Accepted.
+	// Accepts must agree with the Check verdict.
 	if (&Exec{Argv: []string{"sh", "-c", "kill -SEGV $$"}}).Accepts("x") {
 		t.Error("crashed run reported accepted")
+	}
+}
+
+// TestExecMissingBinaryIsError is the heart of the v2 contract: an oracle
+// that cannot run at all must answer with an error, never a silent Reject.
+func TestExecMissingBinaryIsError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec oracle spawns processes")
+	}
+	o := &Exec{Argv: []string{"/no/such/binary-glade-test"}}
+	v, err := o.Check(context.Background(), "x")
+	if err == nil {
+		t.Fatalf("missing binary answered %v with no error", v)
+	}
+	// The legacy boolean view collapses the error to a rejection.
+	if o.Accepts("x") {
+		t.Fatal("missing binary reported accepted")
+	}
+}
+
+// TestExecCallerCancellation distinguishes the caller giving up (an error)
+// from the per-query deadline firing (a Timeout verdict).
+func TestExecCallerCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec oracle spawns processes")
+	}
+	o := &Exec{Argv: []string{"sleep", "30"}, Timeout: 10 * time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := o.Check(ctx, "x")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("caller-cancelled Check err = %v, want ctx deadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation did not bound the run: took %v", elapsed)
 	}
 }

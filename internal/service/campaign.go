@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -85,6 +86,11 @@ type CampaignRun struct {
 	report    campaign.Report
 	hasReport bool
 	seq       int // increments on every mutation; the watch cursor space
+	// cancel aborts the running campaign's context; set by runCampaign.
+	// cancelRequested records that a DELETE asked for it, so the engine's
+	// normal-cancellation exit maps to canceled rather than done.
+	cancel          func()
+	cancelRequested bool
 }
 
 func newCampaignRun(spec CampaignSpec) *CampaignRun {
@@ -243,7 +249,7 @@ func (s *Server) loadCampaigns() {
 			cr.report = *rec.Report
 			cr.hasReport = true
 		}
-		if cr.state != JobDone && cr.state != JobFailed {
+		if !cr.state.terminal() {
 			cr.state = JobFailed
 			cr.err = "daemon restarted before the campaign finished"
 			if cr.finished.IsZero() {
@@ -293,14 +299,14 @@ func (s *Server) SubmitCampaign(spec CampaignSpec) (*CampaignRun, error) {
 		}
 		// Validate the recorded spec still resolves (a builtin could have
 		// been renamed across versions).
-		if _, _, err := meta.Spec.build(1, s.cfg.DefaultOracleTimeout, s.cfg.MaxJobDuration); err != nil {
+		if _, _, err := meta.Spec.build(1, s.cfg.DefaultOracleTimeout); err != nil {
 			return nil, fmt.Errorf("grammar %q has no usable oracle: %v", spec.GrammarID, err)
 		}
 	} else {
 		if len(spec.Oracle.Exec) > 0 && !s.cfg.AllowExec {
 			return nil, errExecDisabled
 		}
-		_, defaults, err := spec.Oracle.build(1, s.cfg.DefaultOracleTimeout, s.cfg.MaxJobDuration)
+		_, defaults, err := spec.Oracle.build(1, s.cfg.DefaultOracleTimeout)
 		if err != nil {
 			return nil, err
 		}
@@ -387,6 +393,12 @@ func (s *Server) campWorker() {
 func (s *Server) runCampaign(cr *CampaignRun) {
 	setState := func(state JobState, phase string) {
 		cr.mu.Lock()
+		// Never resurrect a terminal state: a DELETE racing the worker's
+		// setup has already recorded (and persisted) canceled.
+		if cr.state.terminal() {
+			cr.mu.Unlock()
+			return
+		}
 		cr.state = state
 		cr.phase = phase
 		if state == JobRunning && cr.started.IsZero() {
@@ -408,16 +420,42 @@ func (s *Server) runCampaign(cr *CampaignRun) {
 	}
 
 	// A campaign popped from the queue while Close drains it must not
-	// start fresh work — in particular not a learn phase, which cannot be
-	// cancelled once core.Learn is running (it is bounded by the job
-	// timeout, like a learn job's).
+	// start fresh work.
 	if s.baseCtx.Err() != nil {
 		fail(fmt.Errorf("server shut down before the campaign ran"))
 		return
 	}
+	// A campaign cancelled while queued never starts.
+	cr.mu.Lock()
+	if cr.state.terminal() {
+		cr.mu.Unlock()
+		return
+	}
+	// The campaign context nests under baseCtx (shutdown still ends every
+	// campaign) and adds a per-run cancel for DELETE /v1/campaigns/{id};
+	// the learn phase and the waves both run under it. The hard deadline
+	// bounds the whole run — learn phase (soft-bounded by MaxJobDuration
+	// via resolveOptions) plus fuzzing (clamped to MaxCampaignDuration) —
+	// so even an exec oracle with an enormous per-query timeout cannot
+	// hold a campaign slot past the server's bounds.
+	hard := s.cfg.MaxJobDuration + s.cfg.MaxCampaignDuration + jobDeadlineGrace
+	ctx, cancel := context.WithTimeout(s.baseCtx, hard)
+	cr.cancel = cancel
+	cr.mu.Unlock()
+	defer cancel()
+
+	canceled := func() bool {
+		cr.mu.Lock()
+		defer cr.mu.Unlock()
+		return cr.cancelRequested
+	}
 	spec := cr.Spec
-	conf, err := s.campaignConfig(cr, spec, setState)
+	conf, err := s.campaignConfig(ctx, cr, spec, setState)
 	if err != nil {
+		if canceled() {
+			s.finishCampaignCanceled(cr)
+			return
+		}
 		fail(err)
 		return
 	}
@@ -429,28 +467,100 @@ func (s *Server) runCampaign(cr *CampaignRun) {
 	setState(JobRunning, "fuzz")
 	s.persistCampaign(cr)
 	s.logf("campaign %s: running (%s, %v, workers=%d)", cr.ID, cr.oracle, conf.Duration, conf.Workers)
-	rep, err := eng.Run(s.baseCtx)
-	if err != nil {
+	rep, err := eng.Run(ctx)
+	if err != nil && !canceled() {
 		fail(err)
 		return
 	}
 	cr.mu.Lock()
-	cr.state = JobDone
+	if cr.cancelRequested {
+		cr.state = JobCanceled
+		cr.err = "canceled by request"
+	} else {
+		cr.state = JobDone
+	}
 	cr.phase = ""
 	cr.finished = time.Now()
-	cr.report = *rep
-	cr.hasReport = true
+	if rep != nil {
+		cr.report = *rep
+		cr.hasReport = true
+	}
+	state := cr.state
 	cr.touch()
 	cr.mu.Unlock()
 	s.persistCampaign(cr)
-	s.logf("campaign %s: done (%d inputs, %d interesting)", cr.ID, rep.Inputs, rep.Interesting())
+	if state == JobCanceled {
+		s.logf("campaign %s: canceled", cr.ID)
+	} else {
+		s.logf("campaign %s: done (%d inputs, %d interesting)", cr.ID, rep.Inputs, rep.Interesting())
+	}
+}
+
+// finishCampaignCanceled moves a campaign whose learn phase was aborted by
+// a DELETE into the canceled state.
+func (s *Server) finishCampaignCanceled(cr *CampaignRun) {
+	cr.mu.Lock()
+	cr.state = JobCanceled
+	cr.phase = ""
+	cr.err = "canceled by request"
+	cr.finished = time.Now()
+	cr.touch()
+	cr.mu.Unlock()
+	s.persistCampaign(cr)
+	s.logf("campaign %s: canceled", cr.ID)
+}
+
+// CancelCampaign cancels a campaign by id: a queued campaign flips to
+// canceled immediately (the scheduler will skip it), a running one has its
+// context cancelled — the engine finalizes its report and the run lands in
+// canceled. Cancelling a campaign already in a terminal state reports
+// errAlreadyTerminal.
+func (s *Server) CancelCampaign(id string) (*CampaignRun, error) {
+	cr, ok := s.Campaign(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: no campaign %q", errNotFound, id)
+	}
+	cr.mu.Lock()
+	switch {
+	case cr.state.terminal():
+		cr.mu.Unlock()
+		return cr, errAlreadyTerminal
+	case cr.state == JobQueued:
+		cr.state = JobCanceled
+		cr.err = "canceled by request"
+		cr.finished = time.Now()
+		cr.cancelRequested = true
+		// A worker may have popped this campaign already and be setting it
+		// up; setState refuses to resurrect a terminal state, and when the
+		// run context exists, cancelling it aborts the setup (including a
+		// learn phase) within one oracle wave.
+		cancel := cr.cancel
+		cr.touch()
+		cr.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		s.persistCampaign(cr)
+		s.logf("campaign %s: canceled while queued", cr.ID)
+		return cr, nil
+	default: // running (learn or fuzz phase)
+		cr.cancelRequested = true
+		cancel := cr.cancel
+		cr.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		s.logf("campaign %s: cancellation requested", cr.ID)
+		return cr, nil
+	}
 }
 
 // campaignConfig assembles the engine config for a run: grammar + seeds +
-// oracle from either the store or a fresh learn, server-side clamps on
+// oracle from either the store or a fresh learn (run under ctx, so a
+// DELETE aborts even the learn phase), server-side clamps on
 // duration/workers/batch, and a progress hook that feeds watchers and the
 // persisted record.
-func (s *Server) campaignConfig(cr *CampaignRun, spec CampaignSpec, setState func(JobState, string)) (campaign.Config, error) {
+func (s *Server) campaignConfig(ctx context.Context, cr *CampaignRun, spec CampaignSpec, setState func(JobState, string)) (campaign.Config, error) {
 	var conf campaign.Config
 	workers := spec.Workers
 	if workers <= 0 {
@@ -467,7 +577,7 @@ func (s *Server) campaignConfig(cr *CampaignRun, spec CampaignSpec, setState fun
 		if !ok {
 			return conf, fmt.Errorf("no metadata for grammar %q", spec.GrammarID)
 		}
-		o, _, err := meta.Spec.build(workers, s.cfg.DefaultOracleTimeout, s.cfg.MaxJobDuration)
+		o, _, err := meta.Spec.build(workers, s.cfg.DefaultOracleTimeout)
 		if err != nil {
 			return conf, err
 		}
@@ -483,7 +593,7 @@ func (s *Server) campaignConfig(cr *CampaignRun, spec CampaignSpec, setState fun
 		// with it. The grammar is stored under the campaign's id so it is
 		// listable and generate-able like any other.
 		setState(JobRunning, "learn")
-		o, defaults, err := spec.Oracle.build(workers, s.cfg.DefaultOracleTimeout, s.cfg.MaxJobDuration)
+		o, defaults, err := spec.Oracle.build(workers, s.cfg.DefaultOracleTimeout)
 		if err != nil {
 			return conf, err
 		}
@@ -494,7 +604,7 @@ func (s *Server) campaignConfig(cr *CampaignRun, spec CampaignSpec, setState fun
 		jobSpec := JobSpec{Seeds: seeds, Oracle: *spec.Oracle}
 		opts := jobSpec.resolveOptions(s.cfg, seeds)
 		opts.Workers = workers
-		res, err := core.Learn(seeds, o, opts)
+		res, err := core.Learn(ctx, seeds, o, opts)
 		if err != nil {
 			return conf, err
 		}

@@ -1,0 +1,259 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// doDelete issues a DELETE and returns the response plus decoded body.
+func doDelete(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp, data
+}
+
+// slowJobSpec is a learn job whose exec oracle sleeps per query, so the
+// job reliably outlives the test's cancellation window: the restricted
+// exec-oracle alphabet still drives hundreds of sequential 50 ms queries.
+func slowJobSpec() JobSpec {
+	return JobSpec{
+		Seeds:  []string{"abcab"},
+		Oracle: OracleSpec{Exec: []string{"sh", "-c", "sleep 0.05"}},
+	}
+}
+
+// TestCancelRunningJob is the satellite acceptance path: DELETE on a
+// running learn job flips it to canceled promptly (the learner stops
+// within one oracle wave), frees the worker slot for the next queued job,
+// and the canceled state persists across a daemon restart.
+func TestCancelRunningJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec oracle spawns processes")
+	}
+	dir := t.TempDir()
+	srv, err := New(Config{DataDir: dir, MaxJobs: 1, MaxJobDuration: time.Minute, AllowExec: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", slowJobSpec())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var slow JobStatus
+	if err := json.Unmarshal(body, &slow); err != nil {
+		t.Fatal(err)
+	}
+	// A second (fast, builtin) job queues behind the slow one on the
+	// single worker.
+	resp, body = postJSON(t, ts.URL+"/v1/jobs", JobSpec{Oracle: OracleSpec{Program: "grep"}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit queued: %d %s", resp.StatusCode, body)
+	}
+	var queued JobStatus
+	if err := json.Unmarshal(body, &queued); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the slow job is actually running (not just queued).
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var st JobStatus
+		getJSON(t, ts.URL+"/v1/jobs/"+slow.ID, &st)
+		if st.State == JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slow job never started: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(200 * time.Millisecond) // let it get into a query wave
+
+	resp, body = doDelete(t, ts.URL+"/v1/jobs/"+slow.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: %d %s", resp.StatusCode, body)
+	}
+	canceledAt := time.Now()
+	st := waitDone(t, ts.URL, slow.ID)
+	if st.State != JobCanceled {
+		t.Fatalf("state after DELETE = %q (err %q), want canceled", st.State, st.Error)
+	}
+	// Promptness: the learn had hundreds of 50 ms queries left; observing
+	// the terminal state within a few seconds means cancellation stopped
+	// the oracle within a wave rather than draining the run.
+	if took := time.Since(canceledAt); took > 10*time.Second {
+		t.Fatalf("cancellation took %v, want prompt", took)
+	}
+	// The worker slot is free: the queued builtin job now runs to done.
+	if st := waitDone(t, ts.URL, queued.ID); st.State != JobDone {
+		t.Fatalf("queued job after cancel = %q (err %q), want done", st.State, st.Error)
+	}
+	// The canceled record is on disk.
+	if _, err := os.Stat(filepath.Join(dir, "jobs", slow.ID+".json")); err != nil {
+		t.Fatalf("canceled job record not persisted: %v", err)
+	}
+
+	// Restart: the canceled job is still visible, still canceled.
+	srv.Close()
+	srv2, err := New(Config{DataDir: dir, MaxJobs: 1, AllowExec: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	j, ok := srv2.Job(slow.ID)
+	if !ok {
+		t.Fatal("canceled job vanished after restart")
+	}
+	if got := j.status(false); got.State != JobCanceled {
+		t.Fatalf("state after restart = %q, want canceled", got.State)
+	}
+}
+
+// TestCancelQueuedJob checks a job cancelled before a worker picks it up
+// flips immediately and is skipped by the scheduler.
+func TestCancelQueuedJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec oracle spawns processes")
+	}
+	dir := t.TempDir()
+	srv, err := New(Config{DataDir: dir, MaxJobs: 1, MaxJobDuration: time.Minute, AllowExec: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	slow, err := srv.Submit(slowJobSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := srv.Submit(JobSpec{Oracle: OracleSpec{Program: "grep"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := doDelete(t, ts.URL+"/v1/jobs/"+queued.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE queued: %d %s", resp.StatusCode, body)
+	}
+	if st := queued.status(false); st.State != JobCanceled {
+		t.Fatalf("queued job state = %q, want canceled immediately", st.State)
+	}
+	// A second DELETE conflicts.
+	resp, _ = doDelete(t, ts.URL+"/v1/jobs/"+queued.ID)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("second DELETE: %d, want 409", resp.StatusCode)
+	}
+	// Unknown ids 404.
+	resp, _ = doDelete(t, ts.URL+"/v1/jobs/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE unknown: %d, want 404", resp.StatusCode)
+	}
+	// Unblock the worker.
+	doDelete(t, ts.URL+"/v1/jobs/"+slow.ID)
+	waitDone(t, ts.URL, slow.ID)
+}
+
+// TestCancelCampaign checks DELETE on a running campaign lands it in
+// canceled — with its finalized report kept — persists the state, and
+// keeps it across restart.
+func TestCancelCampaign(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := New(Config{DataDir: dir, MaxJobs: 1, MaxCampaigns: 1, MaxJobDuration: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A grammar to fuzz: learn grep quickly first.
+	job, err := srv.Submit(JobSpec{Oracle: OracleSpec{Program: "grep"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitDone(t, ts.URL, job.ID); st.State != JobDone {
+		t.Fatalf("learn job: %q (%s)", st.State, st.Error)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/campaigns", CampaignSpec{GrammarID: job.ID, DurationMS: 60_000})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit campaign: %d %s", resp.StatusCode, body)
+	}
+	var cst CampaignStatus
+	if err := json.Unmarshal(body, &cst); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		getJSON(t, ts.URL+"/v1/campaigns/"+cst.ID, &cst)
+		if cst.State == JobRunning && cst.Phase == "fuzz" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign never started fuzzing: %+v", cst)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, body = doDelete(t, ts.URL+"/v1/campaigns/"+cst.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE campaign: %d %s", resp.StatusCode, body)
+	}
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		getJSON(t, ts.URL+"/v1/campaigns/"+cst.ID, &cst)
+		if cst.State.terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign did not stop after DELETE: %+v", cst)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if cst.State != JobCanceled {
+		t.Fatalf("campaign state = %q (err %q), want canceled", cst.State, cst.Error)
+	}
+	if cst.Report == nil {
+		t.Fatal("canceled campaign lost its report")
+	}
+
+	// Restart: still canceled, report intact.
+	srv.Close()
+	srv2, err := New(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	cr, ok := srv2.Campaign(cst.ID)
+	if !ok {
+		t.Fatal("canceled campaign vanished after restart")
+	}
+	got := cr.status()
+	if got.State != JobCanceled || got.Report == nil {
+		t.Fatalf("after restart: state %q report %v", got.State, got.Report != nil)
+	}
+
+	// DELETE on the terminal campaign conflicts.
+	resp, _ = doDelete(t, ts.URL+"/v1/campaigns/"+cst.ID)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE terminal campaign: %d, want 409", resp.StatusCode)
+	}
+}

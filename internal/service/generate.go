@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"glade/internal/fuzz"
+	"glade/internal/oracle"
 )
 
 // maxValidFactor bounds the attempts a valid-only generate request may
@@ -113,25 +114,27 @@ func (p *fuzzerPool) entry(id string) (*pooledFuzzer, error) {
 // fuzzer: entry resolution (possibly building the fuzzer) followed by
 // generate. Callers that must separate the potentially slow build from
 // deadline-bounded generation use entry + pooledFuzzer.generate directly.
-func (p *fuzzerPool) Generate(ctx context.Context, id string, n int, accepts func(string) bool) ([]string, int, error) {
+func (p *fuzzerPool) Generate(ctx context.Context, id string, n int, check oracle.CheckOracle) ([]string, int, error) {
 	e, err := p.entry(id)
 	if err != nil {
 		return nil, 0, err
 	}
-	return e.generate(ctx, n, accepts)
+	return e.generate(ctx, n, check)
 }
 
-// generate draws n fuzz inputs from the built fuzzer. When accepts is
-// non-nil only inputs it accepts are returned, spending at most
+// generate draws n fuzz inputs from the built fuzzer. When check is
+// non-nil only inputs it accepts (verdict oracle.Accept — crashes and
+// timeouts do not count as valid) are returned, spending at most
 // maxValidFactor attempts per requested input; attempts reports how many
-// candidates were drawn either way. The context is checked between
-// attempts — validation may run a subprocess per candidate, so a
-// disconnected client must stop the loop.
-func (e *pooledFuzzer) generate(ctx context.Context, n int, accepts func(string) bool) (inputs []string, attempts int, err error) {
+// candidates were drawn either way. Validation queries run under ctx, so
+// a disconnected client or an expired server deadline stops a subprocess
+// mid-run, not just between candidates; an oracle failure aborts the loop
+// with its error.
+func (e *pooledFuzzer) generate(ctx context.Context, n int, check oracle.CheckOracle) (inputs []string, attempts int, err error) {
 	rng := e.rngs.Get().(*rand.Rand)
 	defer e.rngs.Put(rng)
 	budget := n
-	if accepts != nil {
+	if check != nil {
 		budget = n * maxValidFactor
 	}
 	inputs = make([]string, 0, n)
@@ -141,8 +144,14 @@ func (e *pooledFuzzer) generate(ctx context.Context, n int, accepts func(string)
 		}
 		s := e.fz.Next(rng)
 		attempts++
-		if accepts != nil && !accepts(s) {
-			continue
+		if check != nil {
+			v, err := check.Check(ctx, s)
+			if err != nil {
+				return inputs, attempts, err
+			}
+			if v != oracle.Accept {
+				continue
+			}
 		}
 		inputs = append(inputs, s)
 	}

@@ -25,14 +25,49 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/grammars", s.handleListGrammars)
 	mux.HandleFunc("GET /v1/grammars/{id}", s.handleGrammar)
 	mux.HandleFunc("POST /v1/grammars/{id}/generate", s.handleGenerate)
 	mux.HandleFunc("POST /v1/campaigns", s.handleSubmitCampaign)
 	mux.HandleFunc("GET /v1/campaigns", s.handleListCampaigns)
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaign)
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancelCampaign)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
+}
+
+// handleCancelJob cancels a learn job: 200 with the snapshot once the
+// cancellation is recorded (queued jobs flip immediately; running jobs
+// stop within one oracle wave), 404 for unknown ids, 409 when the job
+// already reached a terminal state.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j, err := s.CancelJob(r.PathValue("id"))
+	if err != nil {
+		code := http.StatusConflict
+		if errors.Is(err, errNotFound) {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status(false))
+}
+
+// handleCancelCampaign cancels a campaign, with the same status mapping as
+// handleCancelJob. The engine finalizes and persists its report before the
+// run lands in the canceled state.
+func (s *Server) handleCancelCampaign(w http.ResponseWriter, r *http.Request) {
+	cr, err := s.CancelCampaign(r.PathValue("id"))
+	if err != nil {
+		code := http.StatusConflict
+		if errors.Is(err, errNotFound) {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cr.status())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -106,7 +141,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		for _, ev := range fresh {
 			_ = enc.Encode(ev)
 		}
-		if state == JobDone || state == JobFailed {
+		if state.terminal() {
 			_ = enc.Encode(j.status(false))
 			if flusher != nil {
 				flusher.Flush()
@@ -192,7 +227,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx := r.Context()
-	var accepts func(string) bool
+	var check oracle.CheckOracle
 	if valid {
 		meta, ok := s.store.Meta(id)
 		if !ok {
@@ -203,17 +238,16 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusForbidden, "grammar %q validates through an exec oracle and %v", id, errExecDisabled)
 			return
 		}
-		// Validation queries are clamped to the server's default oracle
-		// timeout regardless of the recorded spec: exec queries run under
-		// their own context, so the request deadline below cannot cut one
-		// short, and a slot on the validating semaphore must not be held
-		// past the deadline by a single long query.
-		o, _, err := meta.Spec.build(1, s.cfg.DefaultOracleTimeout, s.cfg.DefaultOracleTimeout)
+		// Validation queries run under the request context (plus the
+		// per-query exec timeout), so the deadline below bounds every
+		// subprocess directly — no clamp needed, and a slot on the
+		// validating semaphore can never be held past the deadline.
+		o, _, err := meta.Spec.build(1, s.cfg.DefaultOracleTimeout)
 		if err != nil {
 			writeError(w, http.StatusConflict, "grammar %q has no usable oracle for validation: %v", id, err)
 			return
 		}
-		accepts = o.Accepts
+		check = o
 	}
 	// Resolve the fuzzer before any deadline or slot below: building one
 	// parses every seed (Earley, potentially slow and uncancellable). The
@@ -240,15 +274,16 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	inputs, attempts, err := e.generate(ctx, n, accepts)
+	inputs, attempts, err := e.generate(ctx, n, check)
 	if err != nil {
 		if r.Context().Err() != nil {
 			return // client disconnected mid-generation
 		}
 		// The server-side deadline fired mid-validation: serve the inputs
 		// gathered so far (count < n tells the client it was truncated).
+		// Any other error means the validation oracle itself failed.
 		if !errors.Is(err, context.DeadlineExceeded) {
-			writeError(w, http.StatusNotFound, "%v", err)
+			writeError(w, http.StatusBadGateway, "validation oracle failed: %v", err)
 			return
 		}
 	}
@@ -324,7 +359,7 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 				flusher.Flush()
 			}
 		}
-		if st.State == JobDone || st.State == JobFailed {
+		if st.State.terminal() {
 			return
 		}
 		select {
@@ -419,5 +454,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // Interface assertions: the per-job timer must forward the oracle bulk
-// path or Workers>1 jobs would serialize under it.
-var _ oracle.BatchOracle = (*metrics.QueryTimer)(nil)
+// path or Workers>1 jobs would serialize under it (both the v2 verdict
+// path and the legacy boolean shim).
+var (
+	_ oracle.BatchCheckOracle = (*metrics.QueryTimer)(nil)
+	_ oracle.BatchOracle      = (*metrics.QueryTimer)(nil)
+)

@@ -45,11 +45,11 @@ func (sp OracleSpec) String() string {
 }
 
 // build resolves the spec into an oracle plus the builtin's bundled seeds
-// (nil for exec oracles). maxTimeout, when positive, clamps the
-// client-chosen per-query exec timeout: oracle.Exec runs each query under
-// its own context, so an unbounded TimeoutMS would let one query outlive
-// every server-side bound (job duration, generate deadline).
-func (sp OracleSpec) build(workers int, defaultTimeout, maxTimeout time.Duration) (oracle.Oracle, []string, error) {
+// (nil for exec oracles). The client-chosen per-query exec timeout needs no
+// server-side clamp anymore: every query now runs under the caller's
+// context (the per-job deadline, the generate request deadline), so a
+// query can no longer outlive the operation that issued it.
+func (sp OracleSpec) build(workers int, defaultTimeout time.Duration) (oracle.CheckOracle, []string, error) {
 	n := 0
 	if sp.Program != "" {
 		n++
@@ -75,14 +75,11 @@ func (sp OracleSpec) build(workers int, defaultTimeout, maxTimeout time.Duration
 		if t == nil {
 			return nil, nil, fmt.Errorf("unknown target %q", sp.Target)
 		}
-		return t.Oracle, t.DocSeeds, nil
+		return oracle.AsCheck(t.Oracle), t.DocSeeds, nil
 	default:
 		timeout := defaultTimeout
 		if sp.TimeoutMS > 0 {
 			timeout = time.Duration(sp.TimeoutMS) * time.Millisecond
-		}
-		if maxTimeout > 0 && timeout > maxTimeout {
-			timeout = maxTimeout
 		}
 		return &oracle.Exec{Argv: sp.Exec, ErrSubstring: sp.ErrSubstring, Workers: workers, Timeout: timeout}, nil, nil
 	}
@@ -152,11 +149,17 @@ func (spec JobSpec) resolveOptions(cfg Config, seeds []string) core.Options {
 type JobState string
 
 const (
-	JobQueued  JobState = "queued"  // accepted, waiting for a scheduler slot
-	JobRunning JobState = "running" // learning (or, for campaigns, fuzzing)
-	JobDone    JobState = "done"    // finished; the grammar or report is available
-	JobFailed  JobState = "failed"  // finished unsuccessfully; Error says why
+	JobQueued   JobState = "queued"   // accepted, waiting for a scheduler slot
+	JobRunning  JobState = "running"  // learning (or, for campaigns, fuzzing)
+	JobDone     JobState = "done"     // finished; the grammar or report is available
+	JobFailed   JobState = "failed"   // finished unsuccessfully; Error says why
+	JobCanceled JobState = "canceled" // cancelled by DELETE before finishing; distinct from failed
 )
+
+// terminal reports whether the state is final (no further transitions).
+func (s JobState) terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
 
 // Job is one learn job owned by the Manager. All mutable fields are
 // guarded by mu; changed is closed and replaced on every mutation so
@@ -168,6 +171,12 @@ type Job struct {
 	mu      sync.Mutex
 	changed chan struct{}
 	state   JobState
+	// cancel aborts the running learn's context; set by run() for the
+	// duration of the learn. cancelRequested records that a DELETE asked
+	// for cancellation, so finish() maps the resulting context error to
+	// JobCanceled rather than JobFailed.
+	cancel          func()
+	cancelRequested bool
 	// events buffers progress for snapshots and watchers. Slots
 	// [0, len-1) hold the first events verbatim; once seq outgrows the
 	// buffer the tail slot is overwritten with the newest event, so the

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -80,13 +81,13 @@ func TestGenerateRespectsContext(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	attemptsSeen := 0
-	reject := func(string) bool {
+	reject := oracle.CheckFunc(func(context.Context, string) (oracle.Verdict, error) {
 		attemptsSeen++
 		if attemptsSeen == 3 {
 			cancel()
 		}
-		return false
-	}
+		return oracle.Reject, nil
+	})
 	_, attempts, err := pool.Generate(ctx, "g", 100, reject)
 	if err == nil {
 		t.Fatal("canceled generate returned nil error")
@@ -140,29 +141,31 @@ func TestWorkersClamped(t *testing.T) {
 	}
 }
 
-// TestExecTimeoutClamped: the client-chosen exec per-query timeout must be
-// clamped by build's maxTimeout — oracle.Exec runs each query under its
-// own context, so an unbounded TimeoutMS would let one query outlive the
-// job duration or the generate deadline (and hold a validating slot).
-func TestExecTimeoutClamped(t *testing.T) {
-	cases := []struct {
-		timeoutMS  int
-		maxTimeout time.Duration
-		want       time.Duration
-	}{
-		{3600_000, 2 * time.Second, 2 * time.Second}, // huge request, clamped
-		{500, 2 * time.Second, 500 * time.Millisecond},
-		{0, 2 * time.Second, time.Second}, // default under the clamp
-		{3600_000, 0, 3600 * time.Second}, // no clamp requested
+// TestExecTimeoutBoundedByContext replaces the old server-side clamp test:
+// the client-chosen per-query exec timeout no longer needs clamping,
+// because every query runs under the caller's context — here, a deadline
+// far shorter than the requested hour-long per-query timeout kills the
+// subprocess and surfaces the context error.
+func TestExecTimeoutBoundedByContext(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec oracle spawns processes")
 	}
-	for _, tc := range cases {
-		sp := OracleSpec{Exec: []string{"true"}, TimeoutMS: tc.timeoutMS}
-		o, _, err := sp.build(1, time.Second, tc.maxTimeout)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got := o.(*oracle.Exec).Timeout; got != tc.want {
-			t.Errorf("timeoutMS=%d max=%v: got %v, want %v", tc.timeoutMS, tc.maxTimeout, got, tc.want)
-		}
+	sp := OracleSpec{Exec: []string{"sleep", "30"}, TimeoutMS: 3600_000}
+	o, _, err := sp.build(1, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.(*oracle.Exec).Timeout; got != 3600*time.Second {
+		t.Fatalf("requested per-query timeout mangled: %v", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = o.Check(ctx, "x")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Check err = %v, want ctx deadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("context did not bound the query: %v", elapsed)
 	}
 }

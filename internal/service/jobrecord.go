@@ -1,0 +1,147 @@
+package service
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"glade/internal/core"
+)
+
+// jobRecord is the JSON persisted per terminal job under
+// <DataDir>/jobs/<id>.json. Only terminal states are written: queued and
+// running jobs are in-memory creatures that do not survive a restart, but
+// a finished — and in particular a canceled — job's outcome does, so
+// clients polling across a daemon restart still see what happened.
+type jobRecord struct {
+	ID       string      `json:"id"`
+	State    JobState    `json:"state"`
+	Oracle   string      `json:"oracle"`
+	Seeds    int         `json:"seeds"`
+	Created  time.Time   `json:"created_at"`
+	Started  time.Time   `json:"started_at,omitempty"`
+	Finished time.Time   `json:"finished_at,omitempty"`
+	Error    string      `json:"error,omitempty"`
+	Stats    *core.Stats `json:"stats,omitempty"`
+}
+
+// jobsDir is the per-store subdirectory holding terminal job records.
+func (s *Server) jobsDir() string { return filepath.Join(s.store.Dir(), "jobs") }
+
+// persistJob writes the job's terminal record atomically; failures are
+// logged, not fatal (the in-memory job stays authoritative). Callers must
+// not hold j.mu.
+func (s *Server) persistJob(j *Job) {
+	j.mu.Lock()
+	if !j.state.terminal() {
+		j.mu.Unlock()
+		return
+	}
+	rec := jobRecord{
+		ID:       j.ID,
+		State:    j.state,
+		Oracle:   j.Spec.Oracle.String(),
+		Seeds:    j.seedCount,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+		Error:    j.err,
+	}
+	if j.state == JobDone {
+		st := j.stats
+		rec.Stats = &st
+	}
+	j.mu.Unlock()
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		s.logf("job %s: marshal record: %v", j.ID, err)
+		return
+	}
+	dir := s.jobsDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		s.logf("job %s: create jobs dir: %v", j.ID, err)
+		return
+	}
+	if err := writeAtomic(filepath.Join(dir, j.ID+".json"), append(data, '\n')); err != nil {
+		s.logf("job %s: persist record: %v", j.ID, err)
+	}
+}
+
+// loadJobs restores persisted terminal job records at startup, so job
+// outcomes — done, failed, and canceled alike — survive daemon restarts
+// the way grammars and campaign reports do.
+func (s *Server) loadJobs() {
+	entries, err := os.ReadDir(s.jobsDir())
+	if err != nil {
+		return // no records yet
+	}
+	loaded := 0
+	for _, e := range entries {
+		id, ok := strings.CutSuffix(e.Name(), ".json")
+		if !ok {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.jobsDir(), e.Name()))
+		if err != nil {
+			s.logf("jobs: skipping unreadable record %s: %v", e.Name(), err)
+			continue
+		}
+		var rec jobRecord
+		if err := json.Unmarshal(data, &rec); err != nil || rec.ID != id || !rec.State.terminal() {
+			s.logf("jobs: skipping bad record %s", e.Name())
+			continue
+		}
+		j := &Job{
+			ID:        rec.ID,
+			changed:   make(chan struct{}),
+			state:     rec.State,
+			err:       rec.Error,
+			created:   rec.Created,
+			started:   rec.Started,
+			finished:  rec.Finished,
+			seedCount: rec.Seeds,
+		}
+		j.Spec.Oracle = specFromName(rec.Oracle)
+		if rec.Stats != nil {
+			j.stats = *rec.Stats
+		}
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j)
+		loaded++
+	}
+	if loaded > 0 {
+		// Listings are submission-ordered; restored records sort by their
+		// original creation time.
+		sort.Slice(s.order, func(i, k int) bool {
+			a, b := s.order[i], s.order[k]
+			if a.created.Equal(b.created) {
+				return a.ID < b.ID
+			}
+			return a.created.Before(b.created)
+		})
+		s.logf("jobs: %d records loaded from %s", loaded, s.jobsDir())
+	}
+}
+
+// specFromName reconstructs a display-only OracleSpec from the persisted
+// "kind:detail" string, so restored jobs render the same oracle column.
+// The spec is not runnable (exec argv quoting is lossy); restored jobs are
+// terminal and never rebuild their oracle.
+func specFromName(name string) OracleSpec {
+	kind, detail, ok := strings.Cut(name, ":")
+	if !ok {
+		return OracleSpec{}
+	}
+	switch kind {
+	case "program":
+		return OracleSpec{Program: detail}
+	case "target":
+		return OracleSpec{Target: detail}
+	case "exec":
+		return OracleSpec{Exec: strings.Fields(detail)}
+	}
+	return OracleSpec{}
+}

@@ -5,30 +5,36 @@
 //
 // The JSON/HTTP surface:
 //
-//	POST /v1/jobs                     submit a learn job (seeds + oracle spec)
-//	GET  /v1/jobs                     list jobs
-//	GET  /v1/jobs/{id}                job snapshot; ?events=1 for the full
-//	                                  progress stream, ?watch=1 to stream
-//	                                  NDJSON events until the job finishes
-//	GET  /v1/grammars                 list stored grammars
-//	GET  /v1/grammars/{id}            the grammar in cfg.Marshal text form
-//	POST /v1/grammars/{id}/generate   fuzz inputs from the stored grammar
-//	POST /v1/campaigns                start a fuzzing campaign (stored
-//	                                  grammar, or learn-then-fuzz oracle)
-//	GET  /v1/campaigns                list campaigns
-//	GET  /v1/campaigns/{id}           campaign snapshot with latest report;
-//	                                  ?watch=1 streams NDJSON checkpoints
-//	GET  /v1/stats                    per-job learner + oracle query stats
-//	GET  /healthz                     liveness
+//	POST   /v1/jobs                     submit a learn job (seeds + oracle spec)
+//	GET    /v1/jobs                     list jobs
+//	GET    /v1/jobs/{id}                job snapshot; ?events=1 for the full
+//	                                    progress stream, ?watch=1 to stream
+//	                                    NDJSON events until the job finishes
+//	DELETE /v1/jobs/{id}                cancel a queued or running job; a
+//	                                    running learn stops within one wave
+//	GET    /v1/grammars                 list stored grammars
+//	GET    /v1/grammars/{id}            the grammar in cfg.Marshal text form
+//	POST   /v1/grammars/{id}/generate   fuzz inputs from the stored grammar
+//	POST   /v1/campaigns                start a fuzzing campaign (stored
+//	                                    grammar, or learn-then-fuzz oracle)
+//	GET    /v1/campaigns                list campaigns
+//	GET    /v1/campaigns/{id}           campaign snapshot with latest report;
+//	                                    ?watch=1 streams NDJSON checkpoints
+//	DELETE /v1/campaigns/{id}           cancel a campaign (its report is
+//	                                    finalized and kept)
+//	GET    /v1/stats                    per-job learner + oracle query stats
+//	GET    /healthz                     liveness
 //
-// Learned grammars persist to a disk-backed store and survive restarts;
-// generation requests draw from a per-grammar pooled fuzzer so concurrent
-// consumers scale; campaign reports checkpoint to disk so a restarted
-// daemon still serves every campaign's latest report.
+// Cancellation lands work in the "canceled" state — distinct from
+// "failed" — and persists it, like every other terminal outcome: learned
+// grammars, terminal job records, and campaign reports all live in the
+// disk-backed store and survive restarts. Generation requests draw from a
+// per-grammar pooled fuzzer so concurrent consumers scale.
 package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -36,7 +42,6 @@ import (
 
 	"glade/internal/core"
 	"glade/internal/metrics"
-	"glade/internal/oracle"
 )
 
 // Config configures a Server. The zero value is usable apart from DataDir,
@@ -173,6 +178,7 @@ func New(cfg Config) (*Server, error) {
 		done:       make(chan struct{}),
 	}
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	s.loadJobs()
 	s.loadCampaigns()
 	s.handler = s.routes()
 	for i := 0; i < cfg.MaxJobs; i++ {
@@ -212,21 +218,29 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	// Campaigns run until their duration elapses; cancelling the base
 	// context ends their fuzzing now (a cancelled campaign still finalizes
-	// and persists its report). A campaign mid learn-phase finishes that
-	// learn first, bounded by the job timeout — the same wait a running
-	// learn job imposes.
+	// and persists its report), and aborts a campaign mid learn-phase too —
+	// core.Learn observes the cancellation within one oracle wave.
 	s.cancelBase()
 	for j := range s.queue {
 		j.mu.Lock()
+		if j.state.terminal() { // cancelled while queued; already recorded
+			j.mu.Unlock()
+			continue
+		}
 		j.state = JobFailed
 		j.err = "server shut down before the job ran"
 		j.finished = time.Now()
 		j.seeds = nil
 		j.touch()
 		j.mu.Unlock()
+		s.persistJob(j)
 	}
 	for cr := range s.campQueue {
 		cr.mu.Lock()
+		if cr.state.terminal() { // cancelled while queued; already recorded
+			cr.mu.Unlock()
+			continue
+		}
 		cr.state = JobFailed
 		cr.err = "server shut down before the campaign ran"
 		cr.finished = time.Now()
@@ -251,9 +265,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	// Resolve the oracle now so an invalid spec fails the submission, not
 	// the job. The resolved oracle is rebuilt in run() — oracles are cheap
 	// to construct, and building late keeps Job free of live resources.
-	// A per-query timeout longer than the whole job is meaningless, so
-	// MaxJobDuration clamps the client-chosen exec timeout.
-	_, defaults, err := spec.Oracle.build(1, s.cfg.DefaultOracleTimeout, s.cfg.MaxJobDuration)
+	_, defaults, err := spec.Oracle.build(1, s.cfg.DefaultOracleTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -307,8 +319,9 @@ const maxJobHistory = 1024
 
 // pruneLocked evicts the oldest finished jobs once the ledger outgrows
 // maxJobHistory, so a long-lived daemon's memory stays bounded. Queued and
-// running jobs are never evicted. Callers hold s.mu; j.mu nests under it
-// (no path locks them in the opposite order).
+// running jobs are never evicted; evicted terminal jobs keep their
+// persisted record on disk. Callers hold s.mu; j.mu nests under it (no
+// path locks them in the opposite order).
 func (s *Server) pruneLocked() {
 	excess := len(s.order) - maxJobHistory
 	if excess <= 0 {
@@ -318,7 +331,7 @@ func (s *Server) pruneLocked() {
 	for _, j := range s.order {
 		if excess > 0 {
 			j.mu.Lock()
-			terminal := j.state == JobDone || j.state == JobFailed
+			terminal := j.state.terminal()
 			j.mu.Unlock()
 			if terminal {
 				delete(s.jobs, j.ID)
@@ -355,11 +368,25 @@ func (s *Server) worker() {
 	}
 }
 
-// run executes one learn job on the core/oracle engine and persists the
-// resulting grammar.
+// jobDeadlineGrace is the headroom the hard per-job context deadline adds
+// over the soft learner timeout. The soft timeout (core.Options.Timeout)
+// finalizes the partial language gracefully; the context deadline is the
+// backstop that aborts a learn whose oracle wedged past the soft deadline.
+const jobDeadlineGrace = 30 * time.Second
+
+// run executes one learn job on the core/oracle engine under a per-job
+// context — cancelled by DELETE /v1/jobs/{id} and bounded by
+// context.WithTimeout — and persists the resulting grammar.
 func (s *Server) run(j *Job) {
+	j.mu.Lock()
+	if j.state.terminal() { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.mu.Unlock()
+
 	opts := j.Spec.resolveOptions(s.cfg, j.seeds)
-	o, _, err := j.Spec.Oracle.build(opts.Workers, s.cfg.DefaultOracleTimeout, s.cfg.MaxJobDuration)
+	o, _, err := j.Spec.Oracle.build(opts.Workers, s.cfg.DefaultOracleTimeout)
 	if err != nil {
 		// Validated at submission; only reachable if a builtin vanished.
 		s.finish(j, nil, err)
@@ -368,23 +395,46 @@ func (s *Server) run(j *Job) {
 	timer := metrics.NewQueryTimer(o)
 	opts.Progress = j.appendEvent
 
+	// The job context is deliberately NOT derived from baseCtx: shutdown
+	// waits for running learns (their grammars are worth keeping), while
+	// DELETE cancels exactly one job. The hard deadline enforces the job
+	// bound end to end — exec queries run under this context, so no
+	// client-chosen per-query timeout can outlive it.
+	hard := s.cfg.MaxJobDuration + jobDeadlineGrace
+	if opts.Timeout > 0 && opts.Timeout+jobDeadlineGrace < hard {
+		hard = opts.Timeout + jobDeadlineGrace
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), hard)
+	defer cancel()
+
 	j.mu.Lock()
+	// Re-check under the same lock that flips to running: a DELETE that
+	// landed while the oracle was being built has already recorded (and
+	// persisted) the canceled state, which must not be overwritten.
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return
+	}
 	j.state = JobRunning
 	j.started = time.Now()
+	j.cancel = cancel
 	j.touch()
 	j.mu.Unlock()
-	s.logf("job %s: running (workers=%d timeout=%v)", j.ID, opts.Workers, opts.Timeout)
+	s.logf("job %s: running (workers=%d timeout=%v hard=%v)", j.ID, opts.Workers, opts.Timeout, hard)
 
-	res, err := core.Learn(j.seeds, oracle.Oracle(timer), opts)
+	res, err := core.Learn(ctx, j.seeds, timer, opts)
 
 	j.mu.Lock()
 	j.queries = timer.Snapshot()
+	j.cancel = nil
 	j.mu.Unlock()
 	s.finish(j, res, err)
 }
 
 // finish moves a job to its terminal state, persisting the grammar on
-// success.
+// success and the terminal record either way. A context cancellation that
+// was requested over the API lands in JobCanceled; every other error in
+// JobFailed.
 func (s *Server) finish(j *Job, res *core.Result, err error) {
 	if err == nil {
 		meta := GrammarMeta{
@@ -402,18 +452,76 @@ func (s *Server) finish(j *Job, res *core.Result, err error) {
 	j.mu.Lock()
 	j.finished = time.Now()
 	j.seeds = nil // persisted in GrammarMeta; no reason to hold them here
-	if err != nil {
-		j.state = JobFailed
-		j.err = err.Error()
-	} else {
+	switch {
+	case err == nil:
 		j.state = JobDone
 		j.stats = res.Stats
+	case j.cancelRequested && errors.Is(err, context.Canceled):
+		j.state = JobCanceled
+		j.err = "canceled by request"
+	default:
+		j.state = JobFailed
+		j.err = err.Error()
 	}
+	state := j.state
 	j.touch()
 	j.mu.Unlock()
-	if err != nil {
-		s.logf("job %s: failed: %v", j.ID, err)
-	} else {
+	s.persistJob(j)
+	switch state {
+	case JobDone:
 		s.logf("job %s: done (%d queries, %.2fs)", j.ID, res.Stats.OracleQueries, res.Stats.Duration.Seconds())
+	case JobCanceled:
+		s.logf("job %s: canceled", j.ID)
+	default:
+		s.logf("job %s: failed: %v", j.ID, err)
 	}
 }
+
+// CancelJob cancels a job by id: a queued job flips to canceled
+// immediately (the scheduler will skip it), a running job has its context
+// cancelled and reaches canceled as soon as the learner unwinds — within
+// one oracle wave. Cancelling a job already in a terminal state reports
+// errAlreadyTerminal.
+func (s *Server) CancelJob(id string) (*Job, error) {
+	j, ok := s.Job(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: no job %q", errNotFound, id)
+	}
+	j.mu.Lock()
+	switch {
+	case j.state.terminal():
+		j.mu.Unlock()
+		return j, errAlreadyTerminal
+	case j.state == JobQueued:
+		j.state = JobCanceled
+		j.err = "canceled by request"
+		j.finished = time.Now()
+		j.seeds = nil
+		j.cancelRequested = true
+		// A worker may have popped this job already and be building its
+		// oracle; it re-checks the terminal state before running, and the
+		// cancel (when the context is already set up) stops it regardless.
+		cancel := j.cancel
+		j.touch()
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		s.persistJob(j)
+		s.logf("job %s: canceled while queued", j.ID)
+		return j, nil
+	default: // running
+		j.cancelRequested = true
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		s.logf("job %s: cancellation requested", j.ID)
+		return j, nil
+	}
+}
+
+// errAlreadyTerminal tags cancellations of work that already finished, so
+// the HTTP layer can answer 409 instead of 404/400.
+var errAlreadyTerminal = fmt.Errorf("already in a terminal state")

@@ -68,7 +68,7 @@ func waitDone(t *testing.T, base, id string) JobStatus {
 	for time.Now().Before(deadline) {
 		var st JobStatus
 		getJSON(t, base+"/v1/jobs/"+id, &st)
-		if st.State == JobDone || st.State == JobFailed {
+		if st.State.terminal() {
 			return st
 		}
 		time.Sleep(20 * time.Millisecond)
@@ -112,7 +112,7 @@ func TestEndToEndLearnServeGenerate(t *testing.T) {
 	p := programs.ByName("sed")
 	opts := core.DefaultOptions()
 	opts.Timeout = time.Minute
-	res, err := core.Learn(p.Seeds(), oracle.Func(func(s string) bool { return p.Run(s).OK }), opts)
+	res, err := core.Learn(context.Background(), p.Seeds(), oracle.Func(func(s string) bool { return p.Run(s).OK }), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

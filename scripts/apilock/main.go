@@ -1,0 +1,237 @@
+// Command apilock locks the public facade's API surface. It dumps every
+// exported declaration of the root glade package — functions, methods on
+// exported types, type declarations, consts, and vars, rendered as
+// signatures via go/ast — into docs/API.md, and in check mode fails when
+// the file on disk no longer matches, so facade changes are always
+// deliberate and reviewed next to their documentation.
+//
+// Usage:
+//
+//	go run ./scripts/apilock           # check docs/API.md against the code (CI)
+//	go run ./scripts/apilock -write    # regenerate docs/API.md
+//
+// The lock covers the facade only: internal packages are free to move, the
+// contract importers compile against is not.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+const (
+	pkgDir  = "."
+	outPath = "docs/API.md"
+)
+
+func main() {
+	write := flag.Bool("write", false, "regenerate "+outPath+" instead of checking it")
+	flag.Parse()
+
+	surface, err := dumpSurface(pkgDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apilock:", err)
+		os.Exit(2)
+	}
+	doc := render(surface)
+
+	if *write {
+		if err := os.WriteFile(outPath, []byte(doc), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "apilock:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("apilock: wrote %s (%d exported declarations)\n", outPath, len(surface))
+		return
+	}
+
+	onDisk, err := os.ReadFile(outPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apilock: %s missing (%v); run `go run ./scripts/apilock -write`\n", outPath, err)
+		os.Exit(1)
+	}
+	if string(onDisk) != doc {
+		fmt.Fprintf(os.Stderr, "apilock: %s is stale — the facade's exported API surface changed.\n", outPath)
+		fmt.Fprintf(os.Stderr, "apilock: run `go run ./scripts/apilock -write` and commit the result alongside the API change.\n")
+		diffHint(string(onDisk), doc)
+		os.Exit(1)
+	}
+	fmt.Printf("apilock: %s matches the facade (%d exported declarations)\n", outPath, len(surface))
+}
+
+// entry is one exported declaration: a sort key and its rendered form.
+type entry struct {
+	key  string
+	text string
+}
+
+// dumpSurface parses the package in dir and renders every exported
+// top-level declaration as a signature.
+func dumpSurface(dir string) ([]entry, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var entries []entry
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Name, "_test") {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				entries = append(entries, declEntries(fset, decl)...)
+			}
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].key != entries[j].key {
+			return entries[i].key < entries[j].key
+		}
+		return entries[i].text < entries[j].text
+	})
+	return entries, nil
+}
+
+// declEntries renders the exported parts of one top-level declaration.
+func declEntries(fset *token.FileSet, decl ast.Decl) []entry {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		key := d.Name.Name
+		if d.Recv != nil {
+			recv := recvTypeName(d.Recv)
+			if recv == "" || !ast.IsExported(recv) {
+				return nil
+			}
+			key = recv + "." + d.Name.Name
+		}
+		cp := *d
+		cp.Doc = nil
+		cp.Body = nil
+		return []entry{{key: key, text: renderNode(fset, &cp)}}
+	case *ast.GenDecl:
+		var out []entry
+		for _, spec := range d.Specs {
+			switch sp := spec.(type) {
+			case *ast.TypeSpec:
+				if !sp.Name.IsExported() {
+					continue
+				}
+				cp := *sp
+				cp.Doc = nil
+				cp.Comment = nil
+				out = append(out, entry{
+					key:  sp.Name.Name,
+					text: "type " + renderNode(fset, &cp),
+				})
+			case *ast.ValueSpec:
+				exported := false
+				for _, id := range sp.Names {
+					if id.IsExported() {
+						exported = true
+					}
+				}
+				if !exported {
+					continue
+				}
+				cp := *sp
+				cp.Doc = nil
+				cp.Comment = nil
+				kw := "var"
+				if d.Tok == token.CONST {
+					kw = "const"
+				}
+				out = append(out, entry{
+					key:  sp.Names[0].Name,
+					text: kw + " " + renderNode(fset, &cp),
+				})
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// recvTypeName unwraps a method receiver to its base type name.
+func recvTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// renderNode prints an AST node as Go source on one logical declaration.
+func renderNode(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.UseSpaces, Tabwidth: 8}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<!-- render error: %v -->", err)
+	}
+	return buf.String()
+}
+
+// render assembles the markdown document.
+func render(entries []entry) string {
+	var b strings.Builder
+	b.WriteString("# glade — public API surface\n\n")
+	b.WriteString("Generated by `go run ./scripts/apilock -write`; CI checks it with\n")
+	b.WriteString("`go run ./scripts/apilock`. Do not edit by hand — regenerate after\n")
+	b.WriteString("any deliberate facade change, and treat a CI failure here as \"the\n")
+	b.WriteString("public contract moved without its documentation\".\n\n")
+	b.WriteString("```go\n")
+	for _, e := range entries {
+		b.WriteString(e.text)
+		b.WriteString("\n\n")
+	}
+	b.WriteString("```\n")
+	return b.String()
+}
+
+// diffHint prints the first few lines that differ, enough to orient
+// without pulling in a diff dependency.
+func diffHint(old, new string) {
+	oldLines := strings.Split(old, "\n")
+	newLines := strings.Split(new, "\n")
+	shown := 0
+	for i := 0; i < len(oldLines) || i < len(newLines); i++ {
+		var a, b string
+		if i < len(oldLines) {
+			a = oldLines[i]
+		}
+		if i < len(newLines) {
+			b = newLines[i]
+		}
+		if a != b {
+			fmt.Fprintf(os.Stderr, "  line %d:\n    locked: %s\n    actual: %s\n", i+1, a, b)
+			shown++
+			if shown >= 5 {
+				fmt.Fprintln(os.Stderr, "  ...")
+				return
+			}
+		}
+	}
+}
