@@ -21,7 +21,7 @@ lint:
 		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
 	fi
 	go vet ./...
-	go run ./scripts/doccheck . internal/service internal/fuzz internal/campaign internal/oracle internal/metrics internal/core
+	go run ./scripts/doccheck . internal/service internal/fuzz internal/campaign internal/oracle internal/oracle/registry internal/metrics internal/core
 	go run ./scripts/apilock
 	./scripts/linkcheck.sh
 
@@ -29,12 +29,15 @@ lint:
 # the parallel-engine speedup and the compiled-parser comparison — as a
 # smoke test, then machine-readable emissions so the repo accumulates
 # BENCH_*.json trajectory artifacts. parsecheck fails the run if the
-# compiled engine ever regresses below the map-based baseline. Full runs:
-# cmd/glade-bench.
+# compiled engine ever regresses below the map-based baseline, and
+# oraclecheck if the in-process oracle registry loses its >=50x edge over
+# exec oracles. Full runs: cmd/glade-bench.
 bench:
 	go test -run=NONE -bench=. -benchtime=1x ./...
 	go run ./cmd/glade-bench -quick -fig speedup -qdelay 50us -json BENCH_speedup.json
 	go run ./cmd/glade-bench -quick -fig parse -json BENCH_parse.json
 	go run ./scripts/parsecheck BENCH_parse.json
+	go run ./cmd/glade-bench -quick -fig oracle -json BENCH_oracle.json
+	go run ./scripts/oraclecheck BENCH_oracle.json
 
 ci: lint build test bench

@@ -18,6 +18,13 @@
 // corpus. With -json the rows land in BENCH_parse.json, which
 // scripts/parsecheck validates in CI.
 //
+// -fig oracle measures the in-process oracle registry against an
+// equivalent external-command oracle: the same JSON-membership workload
+// runs through builtin:json and through this binary re-executed as a
+// stdin oracle (so both sides run the identical validator and the gap is
+// pure process overhead), at several worker counts. With -json the rows
+// land in BENCH_oracle.json, which scripts/oraclecheck validates in CI.
+//
 // -fig speedup measures the concurrent batched oracle-query engine: it
 // learns the sed and xml programs at Workers=1 and Workers=N over an
 // oracle carrying a per-query delay (-qdelay) that simulates the
@@ -33,16 +40,19 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"glade/internal/bench"
+	"glade/internal/oracle"
+	_ "glade/internal/oracle/registry" // named oracles for -fig oracle and -stdin-oracle
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4a 4b 4c 5 6 7a 7b 7c 8 ablations speedup parse all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4a 4b 4c 5 6 7a 7b 7c 8 ablations speedup parse oracle all")
 	seeds := flag.Int("seeds", 50, "seed inputs per target (Figure 4)")
 	eval := flag.Int("eval", 1000, "samples per precision/recall estimate")
 	fuzzN := flag.Int("samples", 50000, "samples per fuzzer (Figure 7)")
@@ -52,7 +62,12 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent oracle queries (0 or 1 = sequential; also the upper point of -fig speedup). Sequential by default so the query-count columns match the paper's cost model — speculative prefetching issues extra queries")
 	jsonOut := flag.String("json", "", "also write machine-readable results (program, queries, wall-clock, workers) to this file")
 	flag.DurationVar(&qdelay, "qdelay", 200*time.Microsecond, "simulated per-query program-execution cost in -fig speedup")
+	stdinOracle := flag.String("stdin-oracle", "", "internal: act as an exec oracle for the named builtin — read stdin, exit 0 iff it is a member (used by -fig oracle as its subprocess baseline)")
 	flag.Parse()
+	if *stdinOracle != "" {
+		runStdinOracle(*stdinOracle)
+		return
+	}
 	if *jsonOut != "" {
 		report = &jsonReport{Results: []jsonRow{}}
 	}
@@ -88,6 +103,7 @@ func main() {
 	run("ablations", ablations)
 	run("speedup", speedup)
 	run("parse", parse)
+	run("oracle", oracleFig)
 	if *jsonOut != "" {
 		writeReport(*jsonOut, c)
 	}
@@ -235,6 +251,50 @@ func ablations(ctx context.Context, c bench.Config) {
 			r.Target, r.Variant, r.Precision, r.Recall, r.F1, r.Queries, r.Seconds)
 	}
 	fmt.Println()
+}
+
+// oracleFig benchmarks the in-process oracle registry against an exec
+// oracle running the identical validator: this binary re-executed with
+// -stdin-oracle json. The speedup column is the whole point of the
+// registry — scripts/oraclecheck gates CI on it staying large.
+func oracleFig(ctx context.Context, c bench.Config) {
+	fmt.Println("== Oracle: in-process registry vs exec subprocess (builtin:json) ==")
+	self, err := os.Executable()
+	fail(err)
+	builtinQ, execQ := 20000, 60
+	rows, err := bench.OracleBench(ctx, "json", []string{self, "-stdin-oracle", "json"},
+		[]int{1, 4, 8}, builtinQ, execQ)
+	fail(err)
+	fmt.Printf("%-8s %7s %9s %9s %11s %9s\n", "mode", "workers", "queries", "time(s)", "q/s", "speedup")
+	for _, r := range rows {
+		speedup := ""
+		if r.Speedup > 0 {
+			speedup = fmt.Sprintf("%8.0fx", r.Speedup)
+		}
+		fmt.Printf("%-8s %7d %9d %9.3f %11.0f %9s\n",
+			r.Mode, r.Workers, r.Queries, r.Seconds, r.QPS, speedup)
+	}
+	recordOracle(rows)
+	fmt.Println()
+}
+
+// runStdinOracle is the hidden exec-oracle mode -fig oracle spawns: read
+// one input from stdin, run the named builtin on it in-process, and
+// answer through the exit status like any external membership oracle.
+func runStdinOracle(name string) {
+	reg, ok := oracle.LookupNamed(oracle.SpecBuiltin, name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "glade-bench: unknown builtin oracle %q\n", name)
+		os.Exit(2)
+	}
+	input, err := io.ReadAll(os.Stdin)
+	fail(err)
+	v, err := reg.New(0, 1).Check(context.Background(), string(input))
+	fail(err)
+	if v.Accepted() {
+		os.Exit(0)
+	}
+	os.Exit(1)
 }
 
 func fail(err error) {

@@ -36,6 +36,8 @@ type jsonRow struct {
 	Learner   string  `json:"learner,omitempty"`
 	Variant   string  `json:"variant,omitempty"`
 	Engine    string  `json:"engine,omitempty"`
+	Oracle    string  `json:"oracle,omitempty"`
+	Mode      string  `json:"mode,omitempty"`
 	Workers   int     `json:"workers,omitempty"`
 	Queries   int     `json:"queries,omitempty"`
 	Inputs    int     `json:"inputs,omitempty"`
@@ -76,6 +78,16 @@ func recordSpeedup(rows []bench.SpeedupRow) {
 			Figure: "speedup", Program: r.Program, Workers: r.Workers,
 			Queries: r.Queries, Seconds: r.Seconds, Speedup: r.Speedup,
 			QPS: r.QPS, Identical: &ident, TimedOut: r.TimedOut,
+		})
+	}
+}
+
+func recordOracle(rows []bench.OracleRow) {
+	for _, r := range rows {
+		recordRows(jsonRow{
+			Figure: "oracle", Oracle: r.Oracle, Mode: r.Mode,
+			Workers: r.Workers, Queries: r.Queries, Seconds: r.Seconds,
+			QPS: r.QPS, Speedup: r.Speedup,
 		})
 	}
 }

@@ -9,28 +9,40 @@
 // into a deduplicated corpus (accept/reject flips, new token shapes), with
 // a checkpointed JSON report.
 //
+// Campaign mode takes any oracle spec, not just the coverage programs:
+// -oracle builtin:json fuzzes the in-process JSON validator, and adding
+// -diff-oracle builtin:json-strict makes the campaign differential — every
+// input is checked against both oracles and disagreements are triaged into
+// the diff_accept / diff_reject corpus buckets.
+//
 // Usage:
 //
 //	glade-fuzz -program xml [-n 50000] [-fuzzer all|naive|afl|glade]
 //	           [-grammar g.txt] [-workers 8] [-timeout 120s] [-seed 1]
 //	glade-fuzz -campaign -program sed -duration 30s [-report campaign.json]
 //	           [-batch 64] [-refresh 0] [-grammar g.txt] [-workers 8]
+//	glade-fuzz -campaign -oracle builtin:json -diff-oracle builtin:json-strict \
+//	           -duration 30s
 //
 // Flags:
 //
-//	-program   program under test: sed flex grep bison xml ruby python javascript
-//	-fuzzer    one-shot mode: which fuzzer(s) to run (all naive afl glade)
-//	-n         one-shot mode: samples per fuzzer
-//	-grammar   load a pre-synthesized grammar (cfg.Marshal format, see
-//	           `glade -o` or GET /v1/grammars/{id}) instead of learning
-//	-workers   concurrent oracle queries (grammar synthesis and campaign waves)
-//	-timeout   grammar-synthesis time bound
-//	-seed      random seed
-//	-campaign  run a fuzzing campaign instead of the one-shot comparison
-//	-duration  campaign runtime (0 = until interrupted)
-//	-report    campaign report path (checkpointed and final JSON)
-//	-batch     campaign inputs per wave
-//	-refresh   campaign grammar-refresh interval (0 = off)
+//	-program     program under test: sed flex grep bison xml ruby python javascript
+//	-fuzzer      one-shot mode: which fuzzer(s) to run (all naive afl glade)
+//	-n           one-shot mode: samples per fuzzer
+//	-grammar     load a pre-synthesized grammar (cfg.Marshal format, see
+//	             `glade -o` or GET /v1/grammars/{id}) instead of learning
+//	-workers     concurrent oracle queries (grammar synthesis and campaign waves)
+//	-timeout     grammar-synthesis time bound
+//	-seed        random seed
+//	-campaign    run a fuzzing campaign instead of the one-shot comparison
+//	-oracle      campaign mode: oracle spec (builtin:NAME, program:NAME,
+//	             target:NAME, exec:CMD ARGS); default program:<-program>
+//	-diff-oracle campaign mode: second oracle spec; disagreements with
+//	             -oracle are triaged into diff_accept / diff_reject
+//	-duration    campaign runtime (0 = until interrupted)
+//	-report      campaign report path (checkpointed and final JSON)
+//	-batch       campaign inputs per wave
+//	-refresh     campaign grammar-refresh interval (0 = off)
 package main
 
 import (
@@ -46,8 +58,10 @@ import (
 	"glade/internal/bench"
 	"glade/internal/campaign"
 	"glade/internal/cfg"
+	"glade/internal/core"
 	"glade/internal/fuzz"
 	"glade/internal/oracle"
+	_ "glade/internal/oracle/registry" // named oracle specs resolve here
 	"glade/internal/programs"
 )
 
@@ -60,51 +74,46 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "concurrent oracle queries (0 or 1 = sequential)")
 	runCampaign := flag.Bool("campaign", false, "run a long-lived fuzzing campaign instead of the one-shot comparison")
+	oracleFlag := flag.String("oracle", "", "campaign mode: oracle spec (builtin:NAME, program:NAME, target:NAME, exec:CMD ARGS); default program:<-program>")
+	diffOracleFlag := flag.String("diff-oracle", "", "campaign mode: second oracle spec; disagreements with -oracle land in diff_accept/diff_reject")
 	duration := flag.Duration("duration", 30*time.Second, "campaign runtime (0 = until interrupted)")
 	report := flag.String("report", "campaign.json", "campaign report path (checkpointed JSON)")
 	batch := flag.Int("batch", 64, "campaign inputs per wave")
 	refresh := flag.Duration("refresh", 0, "campaign grammar-refresh interval (0 = off)")
 	flag.Parse()
 
-	p := programs.ByName(*name)
-	if p == nil {
-		fmt.Fprintf(os.Stderr, "glade-fuzz: unknown program %q\n", *name)
-		os.Exit(1)
-	}
-	seeds := p.Seeds()
-
 	// SIGINT/SIGTERM cancel the whole run: grammar synthesis aborts within
 	// one oracle wave, and a campaign finalizes its report.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// Both modes need the synthesized grammar (unless one was supplied).
+	if *runCampaign {
+		runCampaignMode(ctx, campaignArgs{
+			oracleSpec: *oracleFlag, diffSpec: *diffOracleFlag, program: *name,
+			grammarFile: *grammarFile, timeout: *timeout, workers: *workers,
+			duration: *duration, report: *report, batch: *batch,
+			refresh: *refresh, seed: *seed,
+		})
+		return
+	}
+
+	p := programs.ByName(*name)
+	if p == nil {
+		fatal(fmt.Errorf("unknown program %q", *name))
+	}
+	seeds := p.Seeds()
+
 	loadGrammar := func() *cfg.Grammar {
 		if *grammarFile != "" {
-			data, err := os.ReadFile(*grammarFile)
-			var g *cfg.Grammar
-			if err == nil {
-				g, err = cfg.Unmarshal(string(data))
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "glade-fuzz:", err)
-				os.Exit(1)
-			}
-			return g
+			return readGrammar(*grammarFile)
 		}
 		res, err := bench.LearnProgram(ctx, p, *timeout, *workers)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "glade-fuzz:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "# synthesized grammar: %d symbols, %d merges, %.2fs, %d queries\n",
 			res.Grammar.Size(), res.Stats.Merged, res.Stats.Duration.Seconds(), res.Stats.OracleQueries)
 		return res.Grammar
-	}
-
-	if *runCampaign {
-		runCampaignMode(ctx, p, loadGrammar(), seeds, *duration, *report, *batch, *refresh, *workers, *seed)
-		return
 	}
 
 	var fuzzers []fuzz.Fuzzer
@@ -118,8 +127,7 @@ func main() {
 		fuzzers = append(fuzzers, fuzz.NewGrammar(loadGrammar(), seeds))
 	}
 	if len(fuzzers) == 0 {
-		fmt.Fprintf(os.Stderr, "glade-fuzz: unknown fuzzer %q\n", *which)
-		os.Exit(1)
+		fatal(fmt.Errorf("unknown fuzzer %q", *which))
 	}
 
 	var base *fuzz.CoverageRun
@@ -137,46 +145,115 @@ func main() {
 	}
 }
 
-// runCampaignMode drives one fuzzing campaign against the program and
-// prints a bucket summary. Cancelling ctx (SIGINT/SIGTERM) ends an
-// unbounded campaign gracefully (the final report is still written).
-func runCampaignMode(ctx context.Context, p programs.Program, g *cfg.Grammar, seeds []string,
-	duration time.Duration, report string, batch int, refresh time.Duration, workers int, seed int64) {
+type campaignArgs struct {
+	oracleSpec, diffSpec, program, grammarFile, report string
+	timeout, duration, refresh                         time.Duration
+	workers, batch                                     int
+	seed                                               int64
+}
+
+// runCampaignMode drives one fuzzing campaign against the -oracle spec
+// (default: the -program coverage oracle) and prints a bucket summary.
+// Cancelling ctx (SIGINT/SIGTERM) ends an unbounded campaign gracefully
+// (the final report is still written).
+func runCampaignMode(ctx context.Context, a campaignArgs) {
+	specText := a.oracleSpec
+	if specText == "" {
+		specText = oracle.SpecProgram + ":" + a.program
+	}
+	spec, err := oracle.ParseSpec(specText)
+	if err != nil {
+		fatal(err)
+	}
+	opt := oracle.BuildOptions{Workers: a.workers}
+	o, seeds, err := spec.Build(opt)
+	if err != nil {
+		fatal(err)
+	}
+	if len(seeds) == 0 {
+		fatal(fmt.Errorf("oracle %s has no bundled seeds; use a named oracle (builtin/program/target)", spec))
+	}
+
 	conf := campaign.Config{
-		Grammar:      g,
 		Seeds:        seeds,
-		Oracle:       oracle.Func(func(s string) bool { return p.Run(s).OK }),
-		Workers:      workers,
-		BatchSize:    batch,
-		Duration:     duration,
-		ReportPath:   report,
-		RefreshEvery: refresh,
-		RandSeed:     seed,
+		Oracle:       o,
+		Workers:      a.workers,
+		BatchSize:    a.batch,
+		Duration:     a.duration,
+		ReportPath:   a.report,
+		RefreshEvery: a.refresh,
+		RandSeed:     a.seed,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
 		},
 	}
+	if a.diffSpec != "" {
+		diffSpec, err := oracle.ParseSpec(a.diffSpec)
+		if err != nil {
+			fatal(fmt.Errorf("diff oracle: %w", err))
+		}
+		diff, _, err := diffSpec.Build(opt)
+		if err != nil {
+			fatal(fmt.Errorf("diff oracle: %w", err))
+		}
+		conf.DiffOracle = diff
+		conf.DiffName = diffSpec.String()
+	}
+
+	if a.grammarFile != "" {
+		conf.Grammar = readGrammar(a.grammarFile)
+	} else {
+		opts := core.DefaultOptions()
+		opts.Timeout = a.timeout
+		opts.Workers = a.workers
+		res, err := core.Learn(ctx, seeds, o, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "# synthesized grammar: %d symbols, %d merges, %.2fs, %d queries\n",
+			res.Grammar.Size(), res.Stats.Merged, res.Stats.Duration.Seconds(), res.Stats.OracleQueries)
+		conf.Grammar = res.Grammar
+	}
+
 	c, err := campaign.New(conf)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "glade-fuzz:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	rep, err := c.Run(ctx)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "glade-fuzz:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Printf("campaign: %s  %.1fs  %d waves  %d inputs (%d accepted, %d rejected, %d dup)\n",
-		p.Name(), rep.ElapsedSeconds, rep.Waves, rep.Inputs, rep.Accepted, rep.Rejected, rep.Duplicates)
+		spec, rep.ElapsedSeconds, rep.Waves, rep.Inputs, rep.Accepted, rep.Rejected, rep.Duplicates)
 	fmt.Printf("%-12s %8s\n", "bucket", "found")
 	for _, b := range campaign.Buckets() {
 		fmt.Printf("%-12s %8d\n", b, rep.Buckets[b])
 	}
 	fmt.Printf("oracle: %s\n", rep.Queries.String())
+	if rep.DiffOracle != "" {
+		fmt.Printf("diff oracle: %s  %d disagreements\n", rep.DiffOracle, rep.DiffDisagreements)
+	}
 	if rep.Refreshes > 0 {
 		fmt.Printf("refreshes: %d (grammar now %d symbols)\n", rep.Refreshes, rep.GrammarSymbols)
 	}
-	if report != "" {
-		fmt.Printf("report: %s\n", report)
+	if a.report != "" {
+		fmt.Printf("report: %s\n", a.report)
 	}
+}
+
+func readGrammar(path string) *cfg.Grammar {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := cfg.Unmarshal(string(data))
+	if err != nil {
+		fatal(err)
+	}
+	return g
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "glade-fuzz:", err)
+	os.Exit(1)
 }

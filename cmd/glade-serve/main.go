@@ -8,19 +8,26 @@
 // The server has no authentication, so it listens on loopback
 // (127.0.0.1:8080) by default; exec oracle specs — which run client-chosen
 // commands as subprocesses — are refused unless started with -allow-exec.
-// Only widen -addr or enable -allow-exec when every client that can reach
-// the port is trusted (e.g. behind an authenticating reverse proxy).
+// Named oracle specs (builtin/program/target, listed by GET /v1/oracles)
+// run in-process and need no -allow-exec. Only widen -addr or enable
+// -allow-exec when every client that can reach the port is trusted (e.g.
+// behind an authenticating reverse proxy).
 //
 // A session:
 //
+//	curl -s localhost:8080/v1/oracles                # registered oracle specs
 //	curl -s -X POST localhost:8080/v1/jobs \
-//	    -d '{"oracle":{"program":"sed"}}'            # → {"id":"...","state":"queued",...}
+//	    -d '{"oracle":{"type":"program","name":"sed"}}'  # → {"id":"...","state":"queued",...}
 //	curl -s localhost:8080/v1/jobs/<id>?watch=1      # NDJSON progress stream
 //	curl -s -X DELETE localhost:8080/v1/jobs/<id>    # cancel (state "canceled")
 //	curl -s localhost:8080/v1/grammars/<id>          # the learned grammar
 //	curl -s -X POST 'localhost:8080/v1/grammars/<id>/generate?n=10&valid=1'
 //	curl -s -X POST localhost:8080/v1/campaigns \
 //	    -d '{"grammar_id":"<id>","duration_ms":30000}'  # fuzzing campaign
+//	curl -s -X POST localhost:8080/v1/campaigns \
+//	    -d '{"oracle":{"type":"builtin","name":"json"},
+//	         "diff_oracle":{"type":"builtin","name":"json-strict"},
+//	         "duration_ms":30000}'                      # differential campaign
 //	curl -s localhost:8080/v1/campaigns/<id>?watch=1    # NDJSON checkpoints
 //	curl -s -X DELETE localhost:8080/v1/campaigns/<id>  # cancel, report kept
 //

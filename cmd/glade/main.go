@@ -2,20 +2,27 @@
 // language from seed inputs and blackbox membership access, then optionally
 // samples new inputs from it.
 //
-// Oracles (choose one):
+// The membership oracle is selected with one -oracle spec:
 //
-//	-target url|grep|lisp|xml      a built-in §8.2 evaluation language
-//	-program sed|flex|grep|...     a built-in §8.3 simulated program
-//	-cmd 'prog args'               run an external command per query;
+//	-oracle builtin:json           a registered in-process oracle over a
+//	                               pure-Go target (json, json-strict, xml,
+//	                               url, regexp, mime, csv, semver, gosrc)
+//	-oracle program:sed            a built-in §8.3 simulated program
+//	-oracle target:xml             a built-in §8.2 evaluation language
+//	-oracle 'exec:prog args'       run an external command per query;
 //	                               input on stdin, valid iff exit status 0
 //
+// Bare names resolve against the registry (builtin first, then program,
+// then target), and any spec containing whitespace is treated as an exec
+// command, so -oracle json and -oracle 'python3 -' both work.
+//
 // Seeds come from -seed flags (repeatable) and/or files named as positional
-// arguments; with a built-in oracle, its bundled seeds are the default.
+// arguments; with a named oracle, its bundled seeds are the default.
 //
 // Example:
 //
-//	glade -target xml -samples 3
-//	glade -cmd 'python3 -c "import sys,json;json.load(sys.stdin)"' seeds/*.json
+//	glade -oracle target:xml -samples 3
+//	glade -oracle 'python3 -c "import sys,json;json.load(sys.stdin)"' seeds/*.json
 package main
 
 import (
@@ -34,8 +41,7 @@ import (
 	"glade/internal/cfg"
 	"glade/internal/core"
 	"glade/internal/oracle"
-	"glade/internal/programs"
-	"glade/internal/targets"
+	_ "glade/internal/oracle/registry" // named oracle specs resolve here
 )
 
 type seedList []string
@@ -45,21 +51,26 @@ func (s *seedList) Set(v string) error { *s = append(*s, v); return nil }
 
 func main() {
 	var seeds seedList
-	targetName := flag.String("target", "", "built-in target language (url grep lisp xml)")
-	programName := flag.String("program", "", "built-in simulated program (sed flex grep bison xml ruby python javascript)")
-	cmd := flag.String("cmd", "", "external oracle command (input on stdin, exit 0 = valid)")
+	oracleFlag := flag.String("oracle", "", "membership oracle spec: builtin:NAME, program:NAME, target:NAME, or exec:CMD ARGS (bare names resolve against the registry)")
 	flag.Var(&seeds, "seed", "seed input (repeatable)")
 	samples := flag.Int("samples", 0, "print this many samples from the synthesized grammar")
 	out := flag.String("o", "", "also write the grammar in cfg.Marshal format to this file")
 	timeout := flag.Duration("timeout", 60*time.Second, "learning timeout")
-	oracleTimeout := flag.Duration("oracle-timeout", 0, "per-query timeout for -cmd oracles; a hanging run is killed and treated as rejecting (0 = unbounded)")
+	oracleTimeout := flag.Duration("oracle-timeout", 0, "per-query timeout; a hanging query is killed and treated as rejecting (0 = unbounded)")
 	noPhase2 := flag.Bool("no-phase2", false, "disable recursive merging (phase 2)")
 	noCharGen := flag.Bool("no-chargen", false, "disable character generalization")
 	trace := flag.Bool("trace", false, "print every generalization step")
 	workers := flag.Int("workers", 0, "concurrent oracle queries (0 or 1 = sequential; the grammar is identical either way)")
 	flag.Parse()
 
-	o, defaults, err := pickOracle(*targetName, *programName, *cmd, *workers, *oracleTimeout)
+	if *oracleFlag == "" {
+		fatal(fmt.Errorf("no oracle: pass -oracle (e.g. -oracle builtin:json, -oracle target:xml, -oracle 'exec:python3 -')"))
+	}
+	spec, err := oracle.ParseSpec(*oracleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	o, defaults, err := spec.Build(oracle.BuildOptions{Workers: *workers, DefaultTimeout: *oracleTimeout})
 	if err != nil {
 		fatal(err)
 	}
@@ -82,7 +93,7 @@ func main() {
 	opts.Phase2 = !*noPhase2
 	opts.CharGen = !*noCharGen
 	opts.Workers = *workers
-	if *cmd != "" {
+	if spec.IsExec() {
 		// External processes are expensive; restrict character
 		// generalization to bytes seen in the seeds plus common structure.
 		opts.GenAlphabet = bytesets.OfString(strings.Join(seeds, "")).
@@ -123,37 +134,6 @@ func main() {
 		for i := 0; i < *samples; i++ {
 			fmt.Printf("sample %d: %q\n", i+1, sm.Sample(rng))
 		}
-	}
-}
-
-func pickOracle(target, program, cmd string, workers int, oracleTimeout time.Duration) (oracle.CheckOracle, []string, error) {
-	n := 0
-	for _, s := range []string{target, program, cmd} {
-		if s != "" {
-			n++
-		}
-	}
-	if n != 1 {
-		return nil, nil, fmt.Errorf("choose exactly one of -target, -program, -cmd")
-	}
-	switch {
-	case target != "":
-		t := targets.ByName(target)
-		if t == nil {
-			return nil, nil, fmt.Errorf("unknown target %q", target)
-		}
-		return oracle.AsCheck(t.Oracle), t.DocSeeds, nil
-	case program != "":
-		p := programs.ByName(program)
-		if p == nil {
-			return nil, nil, fmt.Errorf("unknown program %q", program)
-		}
-		return oracle.Func(func(s string) bool { return p.Run(s).OK }), p.Seeds(), nil
-	default:
-		// The learner wraps its oracle in a cache itself; Exec's own bulk
-		// path fans subprocess runs out when -workers asks for concurrency.
-		argv := strings.Fields(cmd)
-		return &oracle.Exec{Argv: argv, Workers: workers, Timeout: oracleTimeout}, nil, nil
 	}
 }
 

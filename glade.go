@@ -13,7 +13,8 @@
 //
 //	internal/core     the synthesis algorithm (phases 1, 2, char-gen)
 //	internal/cfg      grammars, Earley parsing, sampling
-//	internal/oracle   membership oracles (functions, caching, exec)
+//	internal/oracle   membership oracles (functions, caching, exec) and
+//	                  the named oracle-spec registry (OracleSpec)
 //	internal/fuzz     naive / afl-style / grammar-based fuzzers
 //
 // # The v2 API: contexts and verdicts
@@ -62,6 +63,7 @@ import (
 	"glade/internal/core"
 	"glade/internal/fuzz"
 	"glade/internal/oracle"
+	_ "glade/internal/oracle/registry" // named oracle specs resolve here
 )
 
 // Verdict is the outcome of one membership query: the domain answer about
@@ -132,6 +134,38 @@ func OracleFunc(f func(string) bool) Oracle { return oracle.Func(f) }
 
 // BatchOracle is an Oracle with a concurrent bulk path (v1 contract).
 type BatchOracle = oracle.BatchOracle
+
+// OracleSpec is the one oracle-construction description shared by the
+// CLIs (-oracle flags), the HTTP API, and stored grammar metadata:
+// {Type: "builtin"|"program"|"target", Name: ...} selects a registered
+// in-process oracle, {Type: "exec", Argv: ...} an external command.
+type OracleSpec = oracle.Spec
+
+// OracleBuildOptions parameterizes BuildOracle; the zero value is usable.
+type OracleBuildOptions = oracle.BuildOptions
+
+// OracleRegistration describes one named oracle in the process-wide
+// registry, as listed by RegisteredOracles.
+type OracleRegistration = oracle.Registration
+
+// ParseOracleSpec parses the CLI flag form of an OracleSpec:
+// "builtin:json", "program:sed", "target:xml", "exec:python3 -", or a
+// bare registered name.
+func ParseOracleSpec(s string) (OracleSpec, error) { return oracle.ParseSpec(s) }
+
+// BuildOracle resolves a spec into a CheckOracle plus the oracle's
+// bundled seed inputs (nil for exec specs). Named specs resolve against
+// the in-process registry — builtins over pure-Go targets
+// (encoding/json, net/url, go/parser, ...), the paper's §8.3 programs,
+// and the §8.2 evaluation languages — which importing this package
+// populates.
+func BuildOracle(sp OracleSpec, opt OracleBuildOptions) (CheckOracle, []string, error) {
+	return sp.Build(opt)
+}
+
+// RegisteredOracles lists every named oracle the registry knows,
+// builtins first, then programs, then targets.
+func RegisteredOracles() []OracleRegistration { return oracle.NamedOracles() }
 
 // ExecOracle runs a command per query, feeding the input on stdin; the
 // input is valid when the command exits zero. This treats a real program

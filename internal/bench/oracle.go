@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"glade/internal/oracle"
+)
+
+// OracleRow is one measurement of the oracle figure: queries per second
+// for one oracle at one worker count, plus the in-process-vs-exec speedup
+// where both modes were measured at that worker count.
+type OracleRow struct {
+	// Oracle is the spec that was measured ("builtin:json" or the exec
+	// command).
+	Oracle string
+	// Mode is "builtin" or "exec".
+	Mode string
+	// Workers is the concurrency the batch ran at (1 = sequential).
+	Workers int
+	// Queries is how many membership queries the measurement issued.
+	Queries int
+	// Seconds is the wall-clock time for those queries.
+	Seconds float64
+	// QPS is Queries / Seconds.
+	QPS float64
+	// Speedup is builtin QPS / exec QPS at the same worker count; set on
+	// the builtin rows only.
+	Speedup float64
+}
+
+// oracleBenchInputs builds the query corpus for the oracle figure from
+// the builtin's bundled seeds: the seeds themselves plus systematic
+// corruptions (truncations and single-byte edits), so the oracle sees the
+// accept/reject mix a learner's generalization checks produce.
+func oracleBenchInputs(seeds []string, n int) []string {
+	var corpus []string
+	for _, s := range seeds {
+		corpus = append(corpus, s)
+		for cut := 1; cut < len(s) && cut < 8; cut++ {
+			corpus = append(corpus, s[:len(s)-cut])
+		}
+		for i := 0; i < len(s) && i < 8; i++ {
+			b := []byte(s)
+			b[i] ^= 0x5a
+			corpus = append(corpus, string(b))
+		}
+	}
+	if len(corpus) == 0 {
+		corpus = []string{""}
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = corpus[i%len(corpus)]
+	}
+	return out
+}
+
+// OracleBench measures the same membership workload through the
+// in-process builtin oracle and through an equivalent external command
+// (execArgv — glade-bench passes its own binary re-executed in stdin-
+// oracle mode, so both sides run the very same validator and the gap is
+// pure process overhead). builtinQueries and execQueries size the two
+// workloads independently: the exec side is orders of magnitude slower,
+// so it gets a smaller batch while still timing enough processes to
+// average fork/exec jitter.
+func OracleBench(ctx context.Context, builtinName string, execArgv []string,
+	workersList []int, builtinQueries, execQueries int) ([]OracleRow, error) {
+	spec := oracle.Spec{Type: oracle.SpecBuiltin, Name: builtinName}
+	var rows []OracleRow
+	for _, w := range workersList {
+		inProc, seeds, err := spec.Build(oracle.BuildOptions{Workers: w})
+		if err != nil {
+			return nil, err
+		}
+		bRow, err := timeOracle(ctx, spec.String(), "builtin", inProc, w,
+			oracleBenchInputs(seeds, builtinQueries))
+		if err != nil {
+			return nil, err
+		}
+		ex := &oracle.Exec{Argv: execArgv, Workers: w}
+		eRow, err := timeOracle(ctx, (oracle.Spec{Type: oracle.SpecExec, Argv: execArgv}).String(),
+			"exec", ex, w, oracleBenchInputs(seeds, execQueries))
+		if err != nil {
+			return nil, err
+		}
+		if eRow.QPS > 0 {
+			bRow.Speedup = bRow.QPS / eRow.QPS
+		}
+		rows = append(rows, bRow, eRow)
+	}
+	return rows, nil
+}
+
+// timeOracle runs one batch through a worker pool and reports throughput.
+func timeOracle(ctx context.Context, name, mode string, o oracle.CheckOracle,
+	workers int, inputs []string) (OracleRow, error) {
+	pool := oracle.Parallel(o, workers)
+	start := time.Now()
+	if _, err := pool.CheckBatch(ctx, inputs); err != nil {
+		return OracleRow{}, fmt.Errorf("%s: %w", name, err)
+	}
+	secs := time.Since(start).Seconds()
+	row := OracleRow{
+		Oracle: name, Mode: mode, Workers: workers,
+		Queries: len(inputs), Seconds: secs,
+	}
+	if secs > 0 {
+		row.QPS = float64(len(inputs)) / secs
+	}
+	return row, nil
+}

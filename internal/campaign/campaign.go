@@ -20,6 +20,14 @@
 // itself failing, distinct from rejecting an input) ends the campaign and
 // is surfaced from Run; cancelling the Run context ends it normally.
 //
+// A campaign becomes differential by setting Config.DiffOracle: every wave
+// then also runs through the second oracle, and inputs on which the two
+// oracles' boolean answers disagree land in two more buckets —
+// diff_accept (primary accepts, diff rejects) and diff_reject (the
+// reverse). Generation and refresh stay driven by the primary; the diff
+// oracle is a pure comparator, turning a learned grammar into a
+// test-input generator for cross-implementation differential testing.
+//
 // The engine checkpoints a JSON Report periodically (and finally), and can
 // periodically refresh its grammar by re-running core.Learn seeded with the
 // accept flips it found — the campaign's own discoveries widening the
@@ -55,6 +63,13 @@ type Config struct {
 	// oracle's concrete type. Wrap a plain boolean oracle with
 	// oracle.AsCheck. It must be safe for concurrent use when Workers > 1.
 	Oracle oracle.CheckOracle
+	// DiffOracle, when non-nil, makes the campaign differential: every wave
+	// also runs through it, and inputs where its boolean answer disagrees
+	// with Oracle's are triaged into the diff_accept / diff_reject buckets.
+	// Like Oracle it must be safe for concurrent use when Workers > 1.
+	DiffOracle oracle.CheckOracle
+	// DiffName labels the diff oracle in reports ("builtin:json-strict").
+	DiffName string
 	// Workers bounds concurrent oracle queries per wave (default 1).
 	Workers int
 	// BatchSize is the number of candidates per wave (default 64).
@@ -145,8 +160,12 @@ type Campaign struct {
 	execOracle bool
 	timer      *metrics.QueryTimer
 	pool       *oracle.Pool
-	rng        *rand.Rand
-	seen       *seenSet // executed-input dedup
+	// diffTimer/diffPool are the second oracle stack of a differential
+	// campaign; nil otherwise.
+	diffTimer *metrics.QueryTimer
+	diffPool  *oracle.Pool
+	rng       *rand.Rand
+	seen      *seenSet // executed-input dedup
 
 	mu     sync.Mutex
 	report Report // counter fields only; snapshotLocked fills the rest
@@ -195,6 +214,14 @@ func New(conf Config) (*Campaign, error) {
 	_, c.execOracle = conf.Oracle.(*oracle.Exec)
 	c.timer = metrics.NewQueryTimer(conf.Oracle)
 	c.pool = oracle.Parallel(c.timer, conf.Workers)
+	if conf.DiffOracle != nil {
+		c.diffTimer = metrics.NewQueryTimer(conf.DiffOracle)
+		c.diffPool = oracle.Parallel(c.diffTimer, conf.Workers)
+		c.report.DiffOracle = conf.DiffName
+		if c.report.DiffOracle == "" {
+			c.report.DiffOracle = "diff"
+		}
+	}
 	c.report.GrammarSymbols = conf.Grammar.Size()
 	return c, nil
 }
@@ -251,7 +278,21 @@ func (c *Campaign) Run(ctx context.Context) (*Report, error) {
 			oracleErr = err
 			break
 		}
-		c.classify(wave, verdicts, c.triageParse(wave, verdicts))
+		var diffVerdicts []oracle.Verdict
+		if c.diffPool != nil {
+			diffVerdicts, err = c.diffPool.CheckBatch(ctx, inputs)
+			if err != nil {
+				if ctx.Err() != nil {
+					break
+				}
+				// A broken diff oracle ends the campaign like a broken
+				// primary: silently dropping the comparison would turn a
+				// differential report into a false "no disagreements".
+				oracleErr = fmt.Errorf("diff oracle: %w", err)
+				break
+			}
+		}
+		c.classify(wave, verdicts, diffVerdicts, c.triageParse(wave, verdicts))
 		c.maybeRefresh(ctx)
 		c.checkpoint(false, false)
 	}
@@ -326,14 +367,23 @@ func (c *Campaign) triageParse(wave []candidate, verdicts []oracle.Verdict) []bo
 
 // classify triages one executed wave into the corpus and counters, keyed
 // directly on each slot's oracle.Verdict — any verdict-capable oracle
-// populates the crash and timeout buckets. inGrammar is triageParse's
-// answer per wave slot.
-func (c *Campaign) classify(wave []candidate, verdicts []oracle.Verdict, inGrammar []bool) {
+// populates the crash and timeout buckets. diffVerdicts, non-nil only in
+// differential campaigns, is the second oracle's answer per slot;
+// inGrammar is triageParse's answer per wave slot.
+func (c *Campaign) classify(wave []candidate, verdicts, diffVerdicts []oracle.Verdict, inGrammar []bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.report.Waves++
 	for i, cand := range wave {
 		c.report.Inputs++
+		if diffVerdicts != nil && verdicts[i].Accepted() != diffVerdicts[i].Accepted() {
+			c.report.DiffDisagreements++
+			bucket := BucketDiffReject
+			if verdicts[i].Accepted() {
+				bucket = BucketDiffAccept
+			}
+			c.corpus.add(Entry{Input: cand.input, Bucket: bucket, Wave: c.report.Waves})
+		}
 		switch verdicts[i] {
 		case oracle.Crash:
 			c.report.Rejected++
@@ -464,6 +514,10 @@ func (c *Campaign) snapshotLocked(done bool, now time.Time) Report {
 	r.Buckets = c.corpus.bucketCounts()
 	r.Corpus = append([]Entry(nil), c.corpus.entries...)
 	r.Queries = c.timer.Snapshot()
+	if c.diffTimer != nil {
+		qs := c.diffTimer.Snapshot()
+		r.DiffQueries = &qs
+	}
 	r.Done = done
 	return r
 }

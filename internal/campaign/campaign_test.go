@@ -3,12 +3,15 @@ package campaign
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"glade/internal/bench"
+	"glade/internal/cfg"
 	"glade/internal/oracle"
 	"glade/internal/programs"
 )
@@ -223,6 +226,87 @@ func TestCampaignExecVerdicts(t *testing.T) {
 	}
 	if rep.Buckets[BucketTimeout] == 0 {
 		t.Errorf("no timeout entries: buckets %v (%d inputs)", rep.Buckets, rep.Inputs)
+	}
+}
+
+// TestCampaignDifferential runs a deterministic differential campaign:
+// the primary oracle accepts any non-empty run of 'a's, the diff oracle
+// only even-length runs, and the grammar generates runs of every length —
+// so odd-length samples are guaranteed disagreements. They must be
+// counted, triaged into diff_accept (primary accepts, diff rejects), and
+// the diff oracle's own query stats must land in the report.
+func TestCampaignDifferential(t *testing.T) {
+	g, err := cfg.Unmarshal("start A\nA -> \"a\"\nA -> \"a\" A\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	allAs := func(s string) bool {
+		for i := 0; i < len(s); i++ {
+			if s[i] != 'a' {
+				return false
+			}
+		}
+		return len(s) > 0
+	}
+	conf := Config{
+		Grammar:    g,
+		Seeds:      []string{"aa", "aaaa"},
+		Oracle:     oracle.Func(allAs),
+		DiffOracle: oracle.Func(func(s string) bool { return allAs(s) && len(s)%2 == 0 }),
+		DiffName:   "builtin:even-as",
+		Duration:   time.Second,
+		Workers:    2,
+		BatchSize:  32,
+	}
+	c, err := New(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DiffOracle != "builtin:even-as" {
+		t.Errorf("DiffOracle = %q", rep.DiffOracle)
+	}
+	if rep.DiffDisagreements == 0 {
+		t.Fatal("no disagreements despite guaranteed odd-length samples")
+	}
+	if rep.Buckets[BucketDiffAccept] == 0 {
+		t.Errorf("no diff_accept entries: buckets %v", rep.Buckets)
+	}
+	if rep.DiffQueries == nil || rep.DiffQueries.Queries == 0 {
+		t.Error("diff oracle query stats missing from report")
+	}
+	diffEntries := 0
+	for _, e := range rep.Corpus {
+		if e.Bucket == BucketDiffAccept {
+			diffEntries++
+			if len(e.Input)%2 == 0 || !allAs(e.Input) {
+				t.Errorf("diff_accept entry %q is not an odd-length a-run", e.Input)
+			}
+		}
+	}
+	if diffEntries == 0 {
+		t.Error("no diff_accept corpus entries retained")
+	}
+}
+
+// TestCampaignDiffOracleErrorAborts: a failing diff oracle must end the
+// campaign with an error — a silent "no disagreements" report would be a
+// false negative.
+func TestCampaignDiffOracleErrorAborts(t *testing.T) {
+	conf := grepCampaignConfig(t)
+	conf.DiffOracle = oracle.CheckFunc(func(context.Context, string) (oracle.Verdict, error) {
+		return oracle.Reject, errors.New("diff target unavailable")
+	})
+	c, err := New(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "diff oracle") {
+		t.Fatalf("Run err = %v, want wrapped diff oracle failure", err)
 	}
 }
 

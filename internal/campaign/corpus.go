@@ -29,11 +29,19 @@ const (
 	// BucketTimeout marks an input on which the exec oracle's target hung
 	// until the per-query timeout killed it.
 	BucketTimeout Bucket = "timeout"
+	// BucketDiffAccept marks a differential-campaign disagreement where the
+	// primary oracle accepted the input and the diff oracle did not — the
+	// primary's language is wider here (or the diff target has a bug).
+	BucketDiffAccept Bucket = "diff_accept"
+	// BucketDiffReject marks the opposite disagreement: the primary oracle
+	// rejected an input the diff oracle accepts.
+	BucketDiffReject Bucket = "diff_reject"
 )
 
 // Buckets lists every bucket in report order.
 func Buckets() []Bucket {
-	return []Bucket{BucketAcceptFlip, BucketRejectFlip, BucketShape, BucketCrash, BucketTimeout}
+	return []Bucket{BucketAcceptFlip, BucketRejectFlip, BucketShape, BucketCrash, BucketTimeout,
+		BucketDiffAccept, BucketDiffReject}
 }
 
 // Entry is one retained interesting input.

@@ -39,6 +39,13 @@ type Report struct {
 	GrammarSymbols int `json:"grammar_symbols"`
 	// Queries is the oracle-level timing snapshot (latency, throughput).
 	Queries metrics.QueryStats `json:"queries"`
+	// DiffOracle names the second oracle of a differential campaign (empty
+	// otherwise); DiffDisagreements counts inputs on which the two oracles'
+	// boolean answers differed, and DiffQueries is the diff oracle's own
+	// timing snapshot.
+	DiffOracle        string              `json:"diff_oracle,omitempty"`
+	DiffDisagreements int                 `json:"diff_disagreements,omitempty"`
+	DiffQueries       *metrics.QueryStats `json:"diff_queries,omitempty"`
 	// Done is false in periodic checkpoints and true in the final report.
 	Done bool `json:"done"`
 }

@@ -160,16 +160,33 @@ type Func func(string) bool
 // Accepts implements Oracle.
 func (f Func) Accepts(input string) bool { return f(input) }
 
-// Check implements CheckOracle. The predicate itself cannot be interrupted,
-// so cancellation is only observed between queries.
+// Check implements CheckOracle. A predicate panic is the in-process
+// analogue of a target dying on a signal, so it answers Crash instead of
+// unwinding into (and killing) the calling worker goroutine. The predicate
+// itself cannot be interrupted, so cancellation is only observed between
+// queries.
 func (f Func) Check(ctx context.Context, input string) (Verdict, error) {
 	if err := ctx.Err(); err != nil {
 		return Reject, err
 	}
-	if f(input) {
-		return Accept, nil
+	return Protect(f, input), nil
+}
+
+// Protect answers one boolean membership query with panic containment: a
+// predicate panic becomes Crash — the same trophy as a subprocess target
+// dying on a signal — rather than unwinding into the caller. Every
+// in-process adapter (Func, AsCheck, the builtin registry) answers through
+// it so the v2 verdict contract holds without a subprocess.
+func Protect(pred func(string) bool, input string) (v Verdict) {
+	defer func() {
+		if recover() != nil {
+			v = Crash
+		}
+	}()
+	if pred(input) {
+		return Accept
 	}
-	return Reject, nil
+	return Reject
 }
 
 // AsCheck adapts a v1 boolean oracle to the CheckOracle contract: true maps
@@ -186,15 +203,12 @@ func AsCheck(o Oracle) CheckOracle {
 // boolAdapter is AsCheck's wrapper for oracles that only speak booleans.
 type boolAdapter struct{ inner Oracle }
 
-// Check implements CheckOracle.
+// Check implements CheckOracle, containing predicate panics as Crash.
 func (a boolAdapter) Check(ctx context.Context, input string) (Verdict, error) {
 	if err := ctx.Err(); err != nil {
 		return Reject, err
 	}
-	if a.inner.Accepts(input) {
-		return Accept, nil
-	}
-	return Reject, nil
+	return Protect(a.inner.Accepts, input), nil
 }
 
 // AsBool adapts a CheckOracle to the v1 boolean contract: only Accept reads

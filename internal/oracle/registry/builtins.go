@@ -1,0 +1,162 @@
+package registry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"encoding/xml"
+	"go/parser"
+	"go/token"
+	"io"
+	"mime"
+	"net/url"
+	"regexp"
+	"strings"
+)
+
+// builtins returns every stdlib-backed oracle the registry ships. Each
+// seed list contains only inputs the oracle accepts (the registry test
+// enforces this) and doubles as the default seed set for learn requests
+// that name the builtin without providing seeds.
+//
+// The json seeds deliberately include top-level scalars: RFC 8259 (which
+// encoding/json implements) admits any value at the top level, while the
+// json-strict builtin keeps the older RFC 4627 object-or-array rule — so
+// a grammar learned from builtin:json generalizes into exactly the inputs
+// a differential campaign against builtin:json-strict flags.
+func builtins() []builtin {
+	return []builtin{
+		{
+			name: "json",
+			desc: "JSON text per RFC 8259 (encoding/json's json.Valid; any top-level value)",
+			fn:   func(s string) bool { return json.Valid([]byte(s)) },
+			seeds: []string{
+				`{"key": [1, 2.5, true, null], "s": "text"}`,
+				`[false, "two", 3e2]`,
+				`{"nested": {"a": [], "b": {}}}`,
+				`"top-level string"`,
+				`42`,
+			},
+		},
+		{
+			name: "json-strict",
+			desc: "strict JSON: RFC 4627 top-level object/array only, duplicate keys rejected, depth-limited (hand-rolled)",
+			fn:   strictJSONValid,
+			seeds: []string{
+				`{"key": [1, 2.5, true, null], "s": "text"}`,
+				`[false, "two", 3e2]`,
+				`{"nested": {"a": [], "b": {}}}`,
+			},
+		},
+		{
+			name: "xml",
+			desc: "well-formed XML with at least one element (encoding/xml strict token stream)",
+			fn:   xmlWellFormed,
+			seeds: []string{
+				`<note><to>you</to><from>me</from></note>`,
+				`<a x="1"><b/>text</a>`,
+				`<root>&amp;escaped</root>`,
+			},
+		},
+		{
+			name: "url",
+			desc: "absolute URL with a scheme (net/url's ParseRequestURI)",
+			fn:   urlValid,
+			seeds: []string{
+				`http://example.com/path?q=1`,
+				`https://go.dev/doc#top`,
+				`ftp://ftp.example.org:21/pub`,
+			},
+		},
+		{
+			name: "regexp",
+			desc: "RE2 regular expression syntax (regexp.Compile)",
+			fn:   func(s string) bool { _, err := regexp.Compile(s); return err == nil },
+			seeds: []string{
+				`a(b|c)*d`,
+				`[a-z]+[0-9]?`,
+				`^x{1,3}\.$`,
+			},
+		},
+		{
+			name: "mime",
+			desc: "MIME media type with optional parameters (mime.ParseMediaType)",
+			fn:   func(s string) bool { _, _, err := mime.ParseMediaType(s); return err == nil },
+			seeds: []string{
+				`text/html; charset=utf-8`,
+				`application/json`,
+				`multipart/form-data; boundary=xyz`,
+			},
+		},
+		{
+			name: "csv",
+			desc: "CSV with consistent field counts and at least one record (encoding/csv)",
+			fn:   csvValid,
+			seeds: []string{
+				"a,b,c\n1,2,3\n",
+				"name,\"quoted, field\"\nx,y\n",
+				"solo\n",
+			},
+		},
+		{
+			name: "semver",
+			desc: "semantic version per semver 2.0.0 (hand-rolled: core, pre-release, build metadata)",
+			fn:   semverValid,
+			seeds: []string{
+				`1.2.3`,
+				`0.1.0-alpha.1`,
+				`2.0.0-rc.1+build.5`,
+			},
+		},
+		{
+			name: "gosrc",
+			desc: "parsable Go source file (go/parser.ParseFile)",
+			fn:   gosrcValid,
+			seeds: []string{
+				"package p\n\nfunc add(a, b int) int { return a + b }\n",
+				"package p\n\nvar xs = []int{1, 2}\n",
+				"package p\n\ntype pair struct{ a, b string }\n",
+			},
+		},
+	}
+}
+
+// xmlWellFormed reports whether s tokenizes cleanly under the strict
+// decoder and contains at least one element (bare character data is not an
+// XML document).
+func xmlWellFormed(s string) bool {
+	dec := xml.NewDecoder(strings.NewReader(s))
+	dec.Strict = true
+	sawElement := false
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return sawElement
+		}
+		if err != nil {
+			return false
+		}
+		if _, ok := tok.(xml.StartElement); ok {
+			sawElement = true
+		}
+	}
+}
+
+// urlValid reports whether s is an absolute URL: ParseRequestURI accepts
+// it and it carries a scheme (relative request paths like "/x" do not).
+func urlValid(s string) bool {
+	u, err := url.ParseRequestURI(s)
+	return err == nil && u.Scheme != ""
+}
+
+// csvValid reports whether s parses as CSV — consistent field counts
+// (encoding/csv's default) — with at least one record.
+func csvValid(s string) bool {
+	records, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	return err == nil && len(records) > 0
+}
+
+// gosrcValid reports whether s parses as a Go source file.
+func gosrcValid(s string) bool {
+	_, err := parser.ParseFile(token.NewFileSet(), "input.go", s, 0)
+	return err == nil
+}

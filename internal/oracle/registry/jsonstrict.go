@@ -1,0 +1,247 @@
+package registry
+
+// strictJSONValid is the hand-rolled strict-JSON membership predicate
+// behind builtin:json-strict, deliberately stricter than encoding/json's
+// RFC 8259 reading on three points so that differential campaigns against
+// builtin:json have a real disagreement surface:
+//
+//   - the top-level value must be an object or array (RFC 4627);
+//   - duplicate keys within one object are rejected (RFC 8259 only says
+//     names "SHOULD" be unique — many strict parsers enforce it);
+//   - nesting beyond strictMaxDepth is rejected (defensive parsers bound
+//     recursion; encoding/json's validator does not).
+//
+// Within those bounds the grammar is standard JSON: the same numbers,
+// strings, escapes, and literals json.Valid accepts.
+func strictJSONValid(s string) bool {
+	p := &strictParser{s: s}
+	p.ws()
+	if p.pos >= len(p.s) || (p.s[p.pos] != '{' && p.s[p.pos] != '[') {
+		return false
+	}
+	if !p.value(0) {
+		return false
+	}
+	p.ws()
+	return p.pos == len(p.s)
+}
+
+// strictMaxDepth bounds object/array nesting in strictJSONValid.
+const strictMaxDepth = 32
+
+// strictParser is a recursive-descent validator over s; pos is the scan
+// position. Methods return false on the first violation.
+type strictParser struct {
+	s   string
+	pos int
+}
+
+// ws skips insignificant whitespace (the four characters JSON allows).
+func (p *strictParser) ws() {
+	for p.pos < len(p.s) {
+		switch p.s[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// value validates one JSON value at depth.
+func (p *strictParser) value(depth int) bool {
+	if depth > strictMaxDepth {
+		return false
+	}
+	p.ws()
+	if p.pos >= len(p.s) {
+		return false
+	}
+	switch c := p.s[p.pos]; {
+	case c == '{':
+		return p.object(depth)
+	case c == '[':
+		return p.array(depth)
+	case c == '"':
+		_, ok := p.stringLit()
+		return ok
+	case c == '-' || (c >= '0' && c <= '9'):
+		return p.number()
+	case c == 't':
+		return p.lit("true")
+	case c == 'f':
+		return p.lit("false")
+	case c == 'n':
+		return p.lit("null")
+	}
+	return false
+}
+
+// lit consumes an exact literal.
+func (p *strictParser) lit(want string) bool {
+	if len(p.s)-p.pos < len(want) || p.s[p.pos:p.pos+len(want)] != want {
+		return false
+	}
+	p.pos += len(want)
+	return true
+}
+
+// object validates {"k": v, ...}, rejecting duplicate keys. Keys compare
+// by raw escaped text, so "a" and "a" count as distinct keys — a
+// defensible strict reading that keeps the validator allocation-light.
+func (p *strictParser) object(depth int) bool {
+	p.pos++ // '{'
+	p.ws()
+	if p.pos < len(p.s) && p.s[p.pos] == '}' {
+		p.pos++
+		return true
+	}
+	seen := map[string]bool{}
+	for {
+		p.ws()
+		key, ok := p.stringLit()
+		if !ok || seen[key] {
+			return false
+		}
+		seen[key] = true
+		p.ws()
+		if p.pos >= len(p.s) || p.s[p.pos] != ':' {
+			return false
+		}
+		p.pos++
+		if !p.value(depth + 1) {
+			return false
+		}
+		p.ws()
+		if p.pos >= len(p.s) {
+			return false
+		}
+		switch p.s[p.pos] {
+		case ',':
+			p.pos++
+		case '}':
+			p.pos++
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// array validates [v, ...].
+func (p *strictParser) array(depth int) bool {
+	p.pos++ // '['
+	p.ws()
+	if p.pos < len(p.s) && p.s[p.pos] == ']' {
+		p.pos++
+		return true
+	}
+	for {
+		if !p.value(depth + 1) {
+			return false
+		}
+		p.ws()
+		if p.pos >= len(p.s) {
+			return false
+		}
+		switch p.s[p.pos] {
+		case ',':
+			p.pos++
+		case ']':
+			p.pos++
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// stringLit validates a string literal and returns its raw contents
+// (escapes unprocessed) for duplicate-key detection.
+func (p *strictParser) stringLit() (string, bool) {
+	if p.pos >= len(p.s) || p.s[p.pos] != '"' {
+		return "", false
+	}
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.s) {
+		c := p.s[p.pos]
+		switch {
+		case c == '"':
+			raw := p.s[start:p.pos]
+			p.pos++
+			return raw, true
+		case c == '\\':
+			p.pos++
+			if p.pos >= len(p.s) {
+				return "", false
+			}
+			switch p.s[p.pos] {
+			case '"', '\\', '/', 'b', 'f', 'n', 'r', 't':
+				p.pos++
+			case 'u':
+				p.pos++
+				for i := 0; i < 4; i++ {
+					if p.pos >= len(p.s) || !isHex(p.s[p.pos]) {
+						return "", false
+					}
+					p.pos++
+				}
+			default:
+				return "", false
+			}
+		case c < 0x20:
+			// Control characters must be escaped.
+			return "", false
+		default:
+			p.pos++
+		}
+	}
+	return "", false
+}
+
+// number validates a JSON number: -?int frac? exp?, no leading zeros.
+func (p *strictParser) number() bool {
+	if p.pos < len(p.s) && p.s[p.pos] == '-' {
+		p.pos++
+	}
+	// Integer part: "0" or a nonzero digit followed by digits.
+	switch {
+	case p.pos < len(p.s) && p.s[p.pos] == '0':
+		p.pos++
+	case p.pos < len(p.s) && p.s[p.pos] >= '1' && p.s[p.pos] <= '9':
+		for p.pos < len(p.s) && isDigit(p.s[p.pos]) {
+			p.pos++
+		}
+	default:
+		return false
+	}
+	if p.pos < len(p.s) && p.s[p.pos] == '.' {
+		p.pos++
+		if p.pos >= len(p.s) || !isDigit(p.s[p.pos]) {
+			return false
+		}
+		for p.pos < len(p.s) && isDigit(p.s[p.pos]) {
+			p.pos++
+		}
+	}
+	if p.pos < len(p.s) && (p.s[p.pos] == 'e' || p.s[p.pos] == 'E') {
+		p.pos++
+		if p.pos < len(p.s) && (p.s[p.pos] == '+' || p.s[p.pos] == '-') {
+			p.pos++
+		}
+		if p.pos >= len(p.s) || !isDigit(p.s[p.pos]) {
+			return false
+		}
+		for p.pos < len(p.s) && isDigit(p.s[p.pos]) {
+			p.pos++
+		}
+	}
+	return true
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}

@@ -1,0 +1,95 @@
+package registry
+
+import "strings"
+
+// semverValid is the membership predicate behind builtin:semver: a
+// hand-rolled validator for semver 2.0.0 (MAJOR.MINOR.PATCH with optional
+// -PRERELEASE and +BUILD), written locally because the repository takes no
+// external dependencies.
+func semverValid(s string) bool {
+	// Split off build metadata first ("+" cannot appear earlier).
+	if i := strings.IndexByte(s, '+'); i >= 0 {
+		if !buildValid(s[i+1:]) {
+			return false
+		}
+		s = s[:i]
+	}
+	// Then the pre-release part.
+	if i := strings.IndexByte(s, '-'); i >= 0 {
+		if !prereleaseValid(s[i+1:]) {
+			return false
+		}
+		s = s[:i]
+	}
+	parts := strings.Split(s, ".")
+	if len(parts) != 3 {
+		return false
+	}
+	for _, p := range parts {
+		if !numericNoLeadingZero(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// numericNoLeadingZero reports whether s is a non-empty digit string
+// without a leading zero (except "0" itself).
+func numericNoLeadingZero(s string) bool {
+	if s == "" || (len(s) > 1 && s[0] == '0') {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isDigit(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// prereleaseValid validates dot-separated pre-release identifiers:
+// non-empty, alphanumeric/hyphen only, and numeric identifiers carry no
+// leading zeros.
+func prereleaseValid(s string) bool {
+	for _, id := range strings.Split(s, ".") {
+		if id == "" || !identChars(id) {
+			return false
+		}
+		if allDigits(id) && !numericNoLeadingZero(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// buildValid validates dot-separated build-metadata identifiers:
+// non-empty, alphanumeric/hyphen only (leading zeros are allowed here).
+func buildValid(s string) bool {
+	for _, id := range strings.Split(s, ".") {
+		if id == "" || !identChars(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// identChars reports whether s contains only [0-9A-Za-z-].
+func identChars(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !isDigit(c) && !(c >= 'a' && c <= 'z') && !(c >= 'A' && c <= 'Z') && c != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+// allDigits reports whether s is entirely digits.
+func allDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isDigit(s[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -13,6 +13,7 @@ import (
 
 	"glade/internal/campaign"
 	"glade/internal/core"
+	"glade/internal/oracle"
 )
 
 // CampaignSpec is the body of POST /v1/campaigns: a long-running fuzzing
@@ -26,7 +27,12 @@ type CampaignSpec struct {
 	GrammarID string `json:"grammar_id,omitempty"`
 	// Oracle, when GrammarID is empty, is learned from before fuzzing —
 	// the campaign then runs against the freshly synthesized grammar.
-	Oracle *OracleSpec `json:"oracle,omitempty"`
+	Oracle *oracle.Spec `json:"oracle,omitempty"`
+	// DiffOracle, when set, makes the campaign differential: every wave is
+	// also checked against this second oracle, and inputs on which the two
+	// disagree are triaged into the diff_accept / diff_reject corpus
+	// buckets. Exec diff oracles are gated by -allow-exec like primaries.
+	DiffOracle *oracle.Spec `json:"diff_oracle,omitempty"`
 	// Seeds overrides the seed inputs (default: the stored grammar's
 	// recorded seeds, or the builtin oracle's bundled seeds).
 	Seeds []string `json:"seeds,omitempty"`
@@ -294,24 +300,32 @@ func (s *Server) SubmitCampaign(spec CampaignSpec) (*CampaignRun, error) {
 		if !ok {
 			return nil, fmt.Errorf("%w: no grammar %q", errNotFound, spec.GrammarID)
 		}
-		if len(meta.Spec.Exec) > 0 && !s.cfg.AllowExec {
+		if meta.Spec.IsExec() && !s.cfg.AllowExec {
 			return nil, fmt.Errorf("grammar %q fuzzes through an exec oracle and %w", spec.GrammarID, errExecDisabled)
 		}
 		// Validate the recorded spec still resolves (a builtin could have
 		// been renamed across versions).
-		if _, _, err := meta.Spec.build(1, s.cfg.DefaultOracleTimeout); err != nil {
+		if _, _, err := buildOracle(meta.Spec, 1, s.cfg.DefaultOracleTimeout); err != nil {
 			return nil, fmt.Errorf("grammar %q has no usable oracle: %v", spec.GrammarID, err)
 		}
 	} else {
-		if len(spec.Oracle.Exec) > 0 && !s.cfg.AllowExec {
+		if spec.Oracle.IsExec() && !s.cfg.AllowExec {
 			return nil, errExecDisabled
 		}
-		_, defaults, err := spec.Oracle.build(1, s.cfg.DefaultOracleTimeout)
+		_, defaults, err := buildOracle(*spec.Oracle, 1, s.cfg.DefaultOracleTimeout)
 		if err != nil {
 			return nil, err
 		}
 		if len(spec.Seeds) == 0 && len(defaults) == 0 {
 			return nil, fmt.Errorf("no seeds: pass seeds or use a builtin oracle with bundled seeds")
+		}
+	}
+	if spec.DiffOracle != nil {
+		if spec.DiffOracle.IsExec() && !s.cfg.AllowExec {
+			return nil, fmt.Errorf("diff oracle: %w", errExecDisabled)
+		}
+		if _, _, err := buildOracle(*spec.DiffOracle, 1, s.cfg.DefaultOracleTimeout); err != nil {
+			return nil, fmt.Errorf("diff oracle: %w", err)
 		}
 	}
 	total := 0
@@ -577,7 +591,7 @@ func (s *Server) campaignConfig(ctx context.Context, cr *CampaignRun, spec Campa
 		if !ok {
 			return conf, fmt.Errorf("no metadata for grammar %q", spec.GrammarID)
 		}
-		o, _, err := meta.Spec.build(workers, s.cfg.DefaultOracleTimeout)
+		o, _, err := buildOracle(meta.Spec, workers, s.cfg.DefaultOracleTimeout)
 		if err != nil {
 			return conf, err
 		}
@@ -593,7 +607,7 @@ func (s *Server) campaignConfig(ctx context.Context, cr *CampaignRun, spec Campa
 		// with it. The grammar is stored under the campaign's id so it is
 		// listable and generate-able like any other.
 		setState(JobRunning, "learn")
-		o, defaults, err := spec.Oracle.build(workers, s.cfg.DefaultOracleTimeout)
+		o, defaults, err := buildOracle(*spec.Oracle, workers, s.cfg.DefaultOracleTimeout)
 		if err != nil {
 			return conf, err
 		}
@@ -628,6 +642,15 @@ func (s *Server) campaignConfig(ctx context.Context, cr *CampaignRun, spec Campa
 		conf.Grammar = res.Grammar
 		conf.Seeds = seeds
 		conf.Oracle = o
+	}
+
+	if spec.DiffOracle != nil {
+		diff, _, err := buildOracle(*spec.DiffOracle, workers, s.cfg.DefaultOracleTimeout)
+		if err != nil {
+			return conf, fmt.Errorf("diff oracle: %w", err)
+		}
+		conf.DiffOracle = diff
+		conf.DiffName = spec.DiffOracle.String()
 	}
 
 	duration := DefaultCampaignDuration

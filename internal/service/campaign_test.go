@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"glade/internal/oracle"
 	"glade/internal/programs"
 )
 
@@ -23,7 +24,7 @@ func putGrepGrammar(t *testing.T, srv *Server, id string) {
 	meta := GrammarMeta{
 		ID:        id,
 		Oracle:    "program:grep",
-		Spec:      OracleSpec{Program: "grep"},
+		Spec:      oracle.Spec{Type: oracle.SpecProgram, Name: "grep"},
 		Seeds:     p.Seeds(),
 		CreatedAt: time.Now().UTC(),
 		Queries:   1,
@@ -143,7 +144,7 @@ func TestCampaignEndToEnd(t *testing.T) {
 func TestCampaignLearnThenFuzz(t *testing.T) {
 	_, ts := testServer(t, t.TempDir())
 	resp, body := postJSON(t, ts.URL+"/v1/campaigns", CampaignSpec{
-		Oracle:     &OracleSpec{Target: "url"},
+		Oracle:     &oracle.Spec{Type: oracle.SpecTarget, Name: "url"},
 		DurationMS: 1200,
 	})
 	if resp.StatusCode != http.StatusAccepted {
@@ -184,7 +185,7 @@ func TestCampaignValidation(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("empty spec: got %d, want 400", resp.StatusCode)
 	}
-	resp, _ = postJSON(t, ts.URL+"/v1/campaigns", CampaignSpec{GrammarID: "x", Oracle: &OracleSpec{Program: "sed"}})
+	resp, _ = postJSON(t, ts.URL+"/v1/campaigns", CampaignSpec{GrammarID: "x", Oracle: &oracle.Spec{Type: oracle.SpecProgram, Name: "sed"}})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("both sources: got %d, want 400", resp.StatusCode)
 	}
@@ -194,13 +195,13 @@ func TestCampaignValidation(t *testing.T) {
 		t.Errorf("missing grammar: got %d, want 404", resp.StatusCode)
 	}
 	// Exec oracle specs are gated exactly like learn jobs.
-	resp, _ = postJSON(t, ts.URL+"/v1/campaigns", CampaignSpec{Oracle: &OracleSpec{Exec: []string{"true"}}, Seeds: []string{"x"}})
+	resp, _ = postJSON(t, ts.URL+"/v1/campaigns", CampaignSpec{Oracle: &oracle.Spec{Type: oracle.SpecExec, Argv: []string{"true"}}, Seeds: []string{"x"}})
 	if resp.StatusCode != http.StatusForbidden {
 		t.Errorf("exec campaign without AllowExec: got %d, want 403", resp.StatusCode)
 	}
 	// ... and so are stored grammars recorded with an exec oracle.
 	g := mustGrammar(t, "start A\nA -> \"a\"\n")
-	if err := srv.Store().Put(g, GrammarMeta{ID: "execgram", Spec: OracleSpec{Exec: []string{"true"}}, Seeds: []string{"a"}, CreatedAt: time.Now()}); err != nil {
+	if err := srv.Store().Put(g, GrammarMeta{ID: "execgram", Spec: oracle.Spec{Type: oracle.SpecExec, Argv: []string{"true"}}, Seeds: []string{"a"}, CreatedAt: time.Now()}); err != nil {
 		t.Fatal(err)
 	}
 	resp, _ = postJSON(t, ts.URL+"/v1/campaigns", CampaignSpec{GrammarID: "execgram"})

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"glade/internal/oracle"
 )
 
 // doDelete issues a DELETE and returns the response plus decoded body.
@@ -33,7 +35,7 @@ func doDelete(t *testing.T, url string) (*http.Response, []byte) {
 func slowJobSpec() JobSpec {
 	return JobSpec{
 		Seeds:  []string{"abcab"},
-		Oracle: OracleSpec{Exec: []string{"sh", "-c", "sleep 0.05"}},
+		Oracle: oracle.Spec{Type: oracle.SpecExec, Argv: []string{"sh", "-c", "sleep 0.05"}},
 	}
 }
 
@@ -63,7 +65,7 @@ func TestCancelRunningJob(t *testing.T) {
 	}
 	// A second (fast, builtin) job queues behind the slow one on the
 	// single worker.
-	resp, body = postJSON(t, ts.URL+"/v1/jobs", JobSpec{Oracle: OracleSpec{Program: "grep"}})
+	resp, body = postJSON(t, ts.URL+"/v1/jobs", JobSpec{Oracle: oracle.Spec{Type: oracle.SpecProgram, Name: "grep"}})
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit queued: %d %s", resp.StatusCode, body)
 	}
@@ -146,7 +148,7 @@ func TestCancelQueuedJob(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	queued, err := srv.Submit(JobSpec{Oracle: OracleSpec{Program: "grep"}})
+	queued, err := srv.Submit(JobSpec{Oracle: oracle.Spec{Type: oracle.SpecProgram, Name: "grep"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +187,7 @@ func TestCancelCampaign(t *testing.T) {
 	defer ts.Close()
 
 	// A grammar to fuzz: learn grep quickly first.
-	job, err := srv.Submit(JobSpec{Oracle: OracleSpec{Program: "grep"}})
+	job, err := srv.Submit(JobSpec{Oracle: oracle.Spec{Type: oracle.SpecProgram, Name: "grep"}})
 	if err != nil {
 		t.Fatal(err)
 	}

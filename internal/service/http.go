@@ -33,8 +33,54 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns", s.handleListCampaigns)
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaign)
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancelCampaign)
+	mux.HandleFunc("GET /v1/oracles", s.handleListOracles)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
+}
+
+// oracleInfo is one row of GET /v1/oracles.
+type oracleInfo struct {
+	// Spec is the string a job or campaign oracle spec uses to select the
+	// oracle ("builtin:json"); Kind and Name are its parts.
+	Spec        string `json:"spec"`
+	Kind        string `json:"kind"`
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	// Seeds is the number of bundled seed inputs a spec-only submission
+	// learns from.
+	Seeds int `json:"seeds"`
+	// ExecGated reports whether using the oracle requires -allow-exec.
+	// Every registered oracle runs in-process, so only the synthetic
+	// "exec" row is gated.
+	ExecGated bool `json:"exec_gated"`
+}
+
+// handleListOracles lists every named oracle the server can build —
+// builtins, programs, and targets from the registry — plus a synthetic row
+// for exec specs, with whether each is exec-gated and whether this server
+// currently allows exec.
+func (s *Server) handleListOracles(w http.ResponseWriter, r *http.Request) {
+	regs := oracle.NamedOracles()
+	rows := make([]oracleInfo, 0, len(regs)+1)
+	for _, reg := range regs {
+		rows = append(rows, oracleInfo{
+			Spec:        reg.Kind + ":" + reg.Name,
+			Kind:        reg.Kind,
+			Name:        reg.Name,
+			Description: reg.Description,
+			Seeds:       len(reg.Seeds),
+		})
+	}
+	rows = append(rows, oracleInfo{
+		Spec:        "exec:CMD [ARGS...]",
+		Kind:        oracle.SpecExec,
+		Description: "external command oracle: input on stdin, valid iff exit status 0",
+		ExecGated:   true,
+	})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"oracles":      rows,
+		"exec_allowed": s.cfg.AllowExec,
+	})
 }
 
 // handleCancelJob cancels a learn job: 200 with the snapshot once the
@@ -234,7 +280,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusNotFound, "no grammar %q", id)
 			return
 		}
-		if len(meta.Spec.Exec) > 0 && !s.cfg.AllowExec {
+		if meta.Spec.IsExec() && !s.cfg.AllowExec {
 			writeError(w, http.StatusForbidden, "grammar %q validates through an exec oracle and %v", id, errExecDisabled)
 			return
 		}
@@ -242,7 +288,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		// per-query exec timeout), so the deadline below bounds every
 		// subprocess directly — no clamp needed, and a slot on the
 		// validating semaphore can never be held past the deadline.
-		o, _, err := meta.Spec.build(1, s.cfg.DefaultOracleTimeout)
+		o, _, err := buildOracle(meta.Spec, 1, s.cfg.DefaultOracleTimeout)
 		if err != nil {
 			writeError(w, http.StatusConflict, "grammar %q has no usable oracle for validation: %v", id, err)
 			return

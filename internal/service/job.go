@@ -3,7 +3,6 @@ package service
 import (
 	"crypto/rand"
 	"encoding/hex"
-	"fmt"
 	"strings"
 	"sync"
 	"time"
@@ -12,77 +11,16 @@ import (
 	"glade/internal/core"
 	"glade/internal/metrics"
 	"glade/internal/oracle"
-	"glade/internal/programs"
-	"glade/internal/targets"
+	// The registry fills oracle's named table: importing service is enough
+	// to make every builtin, program, and target spec resolvable.
+	_ "glade/internal/oracle/registry"
 )
 
-// OracleSpec names the membership oracle a learn job runs against: exactly
-// one of a builtin §8.3 simulated program, a builtin §8.2 target language,
-// or an external command (input on stdin, valid iff exit status 0).
-type OracleSpec struct {
-	Program string   `json:"program,omitempty"`
-	Target  string   `json:"target,omitempty"`
-	Exec    []string `json:"exec,omitempty"`
-	// ErrSubstring marks exec inputs invalid when stderr contains it even
-	// on exit status 0 (the paper's "program prints an error" signal).
-	ErrSubstring string `json:"err_substring,omitempty"`
-	// TimeoutMS bounds each exec query; a hanging run is killed and treated
-	// as rejecting. Zero uses the server's default.
-	TimeoutMS int `json:"timeout_ms,omitempty"`
-}
-
-// String renders the spec for metadata ("program:sed", "exec:python3 -").
-func (sp OracleSpec) String() string {
-	switch {
-	case sp.Program != "":
-		return "program:" + sp.Program
-	case sp.Target != "":
-		return "target:" + sp.Target
-	case len(sp.Exec) > 0:
-		return "exec:" + strings.Join(sp.Exec, " ")
-	}
-	return "none"
-}
-
-// build resolves the spec into an oracle plus the builtin's bundled seeds
-// (nil for exec oracles). The client-chosen per-query exec timeout needs no
-// server-side clamp anymore: every query now runs under the caller's
-// context (the per-job deadline, the generate request deadline), so a
-// query can no longer outlive the operation that issued it.
-func (sp OracleSpec) build(workers int, defaultTimeout time.Duration) (oracle.CheckOracle, []string, error) {
-	n := 0
-	if sp.Program != "" {
-		n++
-	}
-	if sp.Target != "" {
-		n++
-	}
-	if len(sp.Exec) > 0 {
-		n++
-	}
-	if n != 1 {
-		return nil, nil, fmt.Errorf("oracle spec must name exactly one of program, target, exec")
-	}
-	switch {
-	case sp.Program != "":
-		p := programs.ByName(sp.Program)
-		if p == nil {
-			return nil, nil, fmt.Errorf("unknown program %q", sp.Program)
-		}
-		return oracle.Func(func(s string) bool { return p.Run(s).OK }), p.Seeds(), nil
-	case sp.Target != "":
-		t := targets.ByName(sp.Target)
-		if t == nil {
-			return nil, nil, fmt.Errorf("unknown target %q", sp.Target)
-		}
-		return oracle.AsCheck(t.Oracle), t.DocSeeds, nil
-	default:
-		timeout := defaultTimeout
-		if sp.TimeoutMS > 0 {
-			timeout = time.Duration(sp.TimeoutMS) * time.Millisecond
-		}
-		return &oracle.Exec{Argv: sp.Exec, ErrSubstring: sp.ErrSubstring, Workers: workers, Timeout: timeout}, nil, nil
-	}
+// buildOracle resolves a spec against the server's defaults: the one
+// oracle-construction call every service path (jobs, campaigns, refresh,
+// validity-filtered generation) goes through.
+func buildOracle(sp oracle.Spec, workers int, defaultTimeout time.Duration) (oracle.CheckOracle, []string, error) {
+	return sp.Build(oracle.BuildOptions{Workers: workers, DefaultTimeout: defaultTimeout})
 }
 
 // JobOptions is the client-settable subset of core.Options. Pointer fields
@@ -96,11 +34,11 @@ type JobOptions struct {
 	RandSeed          int64 `json:"rand_seed,omitempty"`
 }
 
-// JobSpec is the body of POST /v1/jobs. Empty Seeds with a builtin oracle
-// selects the builtin's bundled seeds.
+// JobSpec is the body of POST /v1/jobs. Empty Seeds with a named oracle
+// (builtin, program, target) selects the oracle's bundled seeds.
 type JobSpec struct {
 	Seeds   []string    `json:"seeds,omitempty"`
-	Oracle  OracleSpec  `json:"oracle"`
+	Oracle  oracle.Spec `json:"oracle"`
 	Options *JobOptions `json:"options,omitempty"`
 }
 
@@ -108,12 +46,13 @@ type JobSpec struct {
 // paper's defaults. Exec oracles restrict character generalization to the
 // bytes of the seeds plus common structural characters, exactly as
 // cmd/glade does — external processes are too expensive for a full
-// printable-ASCII sweep per literal position.
+// printable-ASCII sweep per literal position; in-process oracles get the
+// full sweep.
 func (spec JobSpec) resolveOptions(cfg Config, seeds []string) core.Options {
 	opts := core.DefaultOptions()
 	opts.Timeout = cfg.MaxJobDuration
 	opts.Workers = cfg.DefaultWorkers
-	if len(spec.Oracle.Exec) > 0 {
+	if spec.Oracle.IsExec() {
 		opts.GenAlphabet = bytesets.OfString(strings.Join(seeds, "")).
 			Union(bytesets.OfString(" \t\nabcxyz012<>()[]{}/\\\"'"))
 	}

@@ -150,8 +150,8 @@ func TestExecTimeoutBoundedByContext(t *testing.T) {
 	if testing.Short() {
 		t.Skip("exec oracle spawns processes")
 	}
-	sp := OracleSpec{Exec: []string{"sleep", "30"}, TimeoutMS: 3600_000}
-	o, _, err := sp.build(1, time.Second)
+	sp := oracle.Spec{Type: oracle.SpecExec, Argv: []string{"sleep", "30"}, TimeoutMS: 3600_000}
+	o, _, err := buildOracle(sp, 1, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}

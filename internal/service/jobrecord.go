@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"glade/internal/core"
+	"glade/internal/oracle"
 )
 
 // jobRecord is the JSON persisted per terminal job under
@@ -126,22 +127,15 @@ func (s *Server) loadJobs() {
 	}
 }
 
-// specFromName reconstructs a display-only OracleSpec from the persisted
-// "kind:detail" string, so restored jobs render the same oracle column.
-// The spec is not runnable (exec argv quoting is lossy); restored jobs are
-// terminal and never rebuild their oracle.
-func specFromName(name string) OracleSpec {
-	kind, detail, ok := strings.Cut(name, ":")
-	if !ok {
-		return OracleSpec{}
+// specFromName reconstructs a display-only oracle.Spec from the persisted
+// "kind:detail" string (oracle.ParseSpec inverts Spec.String), so restored
+// jobs render the same oracle column. The spec is not guaranteed runnable
+// (exec argv quoting is lossy); restored jobs are terminal and never
+// rebuild their oracle.
+func specFromName(name string) oracle.Spec {
+	sp, err := oracle.ParseSpec(name)
+	if err != nil {
+		return oracle.Spec{}
 	}
-	switch kind {
-	case "program":
-		return OracleSpec{Program: detail}
-	case "target":
-		return OracleSpec{Target: detail}
-	case "exec":
-		return OracleSpec{Exec: strings.Fields(detail)}
-	}
-	return OracleSpec{}
+	return sp
 }

@@ -1,0 +1,159 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"glade/internal/oracle"
+)
+
+// oraclesResponse mirrors the GET /v1/oracles wire shape.
+type oraclesResponse struct {
+	Oracles []struct {
+		Spec        string `json:"spec"`
+		Kind        string `json:"kind"`
+		Name        string `json:"name"`
+		Description string `json:"description"`
+		Seeds       int    `json:"seeds"`
+		ExecGated   bool   `json:"exec_gated"`
+	} `json:"oracles"`
+	ExecAllowed bool `json:"exec_allowed"`
+}
+
+// TestListOracles checks GET /v1/oracles: every registered named oracle
+// appears ungated with a description, the synthetic exec row is flagged
+// exec_gated, and exec_allowed reflects the server config.
+func TestListOracles(t *testing.T) {
+	_, ts := testServer(t, t.TempDir())
+	var out oraclesResponse
+	resp := getJSON(t, ts.URL+"/v1/oracles", &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/oracles: %d", resp.StatusCode)
+	}
+	if out.ExecAllowed {
+		t.Error("exec_allowed true on a default (gated) server")
+	}
+	byKindName := map[string]bool{}
+	execRows := 0
+	for _, row := range out.Oracles {
+		if row.Kind == oracle.SpecExec {
+			execRows++
+			if !row.ExecGated {
+				t.Error("exec row not marked exec_gated")
+			}
+			continue
+		}
+		if row.ExecGated {
+			t.Errorf("named oracle %s marked exec_gated", row.Spec)
+		}
+		if row.Description == "" || row.Spec != row.Kind+":"+row.Name {
+			t.Errorf("malformed row: %+v", row)
+		}
+		byKindName[row.Spec] = true
+	}
+	if execRows != 1 {
+		t.Errorf("%d exec rows, want exactly 1", execRows)
+	}
+	for _, want := range []string{"builtin:json", "builtin:json-strict", "program:sed", "target:xml"} {
+		if !byKindName[want] {
+			t.Errorf("oracle %s missing from listing", want)
+		}
+	}
+	if len(byKindName) != len(oracle.NamedOracles()) {
+		t.Errorf("listing has %d named rows, registry has %d", len(byKindName), len(oracle.NamedOracles()))
+	}
+}
+
+// TestBuiltinJobWithoutAllowExec is the tentpole's gating contract from
+// the job side: a builtin oracle spec runs in-process, so a server
+// without -allow-exec accepts it (while TestExecGating pins that exec
+// specs still 403), and the job learns from the builtin's bundled seeds.
+func TestBuiltinJobWithoutAllowExec(t *testing.T) {
+	_, ts := testServer(t, t.TempDir())
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", JobSpec{Oracle: oracle.Spec{Type: oracle.SpecBuiltin, Name: "semver"}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("builtin job on gated server: %d %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	st = waitDone(t, ts.URL, st.ID)
+	if st.State != JobDone {
+		t.Fatalf("builtin job failed: %s", st.Error)
+	}
+	if st.Stats == nil || st.Stats.OracleQueries == 0 {
+		t.Fatalf("no oracle queries recorded: %+v", st)
+	}
+	// The stored metadata records the canonical spec, round-trippable
+	// through ParseSpec.
+	var wrapped struct {
+		Meta GrammarMeta `json:"meta"`
+	}
+	getJSON(t, ts.URL+"/v1/grammars/"+st.GrammarID+"?format=json", &wrapped)
+	if wrapped.Meta.Spec.Type != oracle.SpecBuiltin || wrapped.Meta.Spec.Name != "semver" {
+		t.Fatalf("stored spec mangled: %+v", wrapped.Meta.Spec)
+	}
+}
+
+// TestDifferentialCampaignHTTP submits a differential campaign over HTTP:
+// learn from builtin:json (whose seeds include top-level scalars), fuzz
+// with builtin:json-strict as the diff oracle, and require at least one
+// triaged disagreement — the acceptance scenario of the oracle registry.
+func TestDifferentialCampaignHTTP(t *testing.T) {
+	_, ts := testServer(t, t.TempDir())
+	resp, body := postJSON(t, ts.URL+"/v1/campaigns", CampaignSpec{
+		Oracle:     &oracle.Spec{Type: oracle.SpecBuiltin, Name: "json"},
+		DiffOracle: &oracle.Spec{Type: oracle.SpecBuiltin, Name: "json-strict"},
+		DurationMS: 3000,
+		Workers:    4,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var st CampaignStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	st = waitCampaignDone(t, ts.URL, st.ID)
+	if st.State != JobDone {
+		t.Fatalf("campaign failed: %s", st.Error)
+	}
+	rep := st.Report
+	if rep == nil || !rep.Done {
+		t.Fatalf("no finished report: %+v", st)
+	}
+	if rep.DiffOracle != "builtin:json-strict" {
+		t.Errorf("DiffOracle = %q", rep.DiffOracle)
+	}
+	if rep.DiffDisagreements == 0 {
+		t.Fatalf("no disagreements between json and json-strict: buckets %v (%d inputs)",
+			rep.Buckets, rep.Inputs)
+	}
+	if rep.Buckets["diff_accept"]+rep.Buckets["diff_reject"] == 0 {
+		t.Fatalf("disagreements not triaged into diff buckets: %v", rep.Buckets)
+	}
+	if rep.DiffQueries == nil || rep.DiffQueries.Queries == 0 {
+		t.Error("diff oracle query stats missing")
+	}
+
+	// A diff oracle alone follows the same exec gating as the primary.
+	resp, _ = postJSON(t, ts.URL+"/v1/campaigns", CampaignSpec{
+		Oracle:     &oracle.Spec{Type: oracle.SpecBuiltin, Name: "json"},
+		DiffOracle: &oracle.Spec{Type: oracle.SpecExec, Argv: []string{"true"}},
+		DurationMS: 1000,
+	})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("exec diff oracle without AllowExec: got %d, want 403", resp.StatusCode)
+	}
+	// An unknown diff oracle is a 400 at submit time, not a late failure.
+	resp, _ = postJSON(t, ts.URL+"/v1/campaigns", CampaignSpec{
+		Oracle:     &oracle.Spec{Type: oracle.SpecBuiltin, Name: "json"},
+		DiffOracle: &oracle.Spec{Type: oracle.SpecBuiltin, Name: "no-such"},
+		DurationMS: 1000,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown diff oracle: got %d, want 400", resp.StatusCode)
+	}
+}

@@ -22,6 +22,8 @@
 //	                                    ?watch=1 streams NDJSON checkpoints
 //	DELETE /v1/campaigns/{id}           cancel a campaign (its report is
 //	                                    finalized and kept)
+//	GET    /v1/oracles                  registered oracle specs (builtins,
+//	                                    programs, targets) and exec gating
 //	GET    /v1/stats                    per-job learner + oracle query stats
 //	GET    /healthz                     liveness
 //
@@ -259,13 +261,13 @@ func (s *Server) logf(format string, args ...any) {
 
 // Submit validates a job spec, resolves its seeds, and enqueues it.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
-	if len(spec.Oracle.Exec) > 0 && !s.cfg.AllowExec {
+	if spec.Oracle.IsExec() && !s.cfg.AllowExec {
 		return nil, errExecDisabled
 	}
 	// Resolve the oracle now so an invalid spec fails the submission, not
 	// the job. The resolved oracle is rebuilt in run() — oracles are cheap
 	// to construct, and building late keeps Job free of live resources.
-	_, defaults, err := spec.Oracle.build(1, s.cfg.DefaultOracleTimeout)
+	_, defaults, err := buildOracle(spec.Oracle, 1, s.cfg.DefaultOracleTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -386,7 +388,7 @@ func (s *Server) run(j *Job) {
 	j.mu.Unlock()
 
 	opts := j.Spec.resolveOptions(s.cfg, j.seeds)
-	o, _, err := j.Spec.Oracle.build(opts.Workers, s.cfg.DefaultOracleTimeout)
+	o, _, err := buildOracle(j.Spec.Oracle, opts.Workers, s.cfg.DefaultOracleTimeout)
 	if err != nil {
 		// Validated at submission; only reachable if a builtin vanished.
 		s.finish(j, nil, err)

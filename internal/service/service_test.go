@@ -85,7 +85,7 @@ func TestEndToEndLearnServeGenerate(t *testing.T) {
 	dir := t.TempDir()
 	_, ts := testServer(t, dir)
 
-	resp, body := postJSON(t, ts.URL+"/v1/jobs", JobSpec{Oracle: OracleSpec{Program: "sed"}})
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", JobSpec{Oracle: oracle.Spec{Type: oracle.SpecProgram, Name: "sed"}})
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit: %d %s", resp.StatusCode, body)
 	}
@@ -159,7 +159,7 @@ func TestEndToEndLearnServeGenerate(t *testing.T) {
 // carries phase-level events ending in the terminal snapshot.
 func TestWatchStreamsProgress(t *testing.T) {
 	_, ts := testServer(t, t.TempDir())
-	_, body := postJSON(t, ts.URL+"/v1/jobs", JobSpec{Oracle: OracleSpec{Target: "url"}})
+	_, body := postJSON(t, ts.URL+"/v1/jobs", JobSpec{Oracle: oracle.Spec{Type: oracle.SpecTarget, Name: "url"}})
 	var st JobStatus
 	if err := json.Unmarshal(body, &st); err != nil {
 		t.Fatal(err)
@@ -231,7 +231,7 @@ func TestSubmitValidation(t *testing.T) {
 func TestExecGating(t *testing.T) {
 	srv, ts := testServer(t, t.TempDir())
 
-	resp, body := postJSON(t, ts.URL+"/v1/jobs", JobSpec{Seeds: []string{"x"}, Oracle: OracleSpec{Exec: []string{"true"}}})
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", JobSpec{Seeds: []string{"x"}, Oracle: oracle.Spec{Type: oracle.SpecExec, Argv: []string{"true"}}})
 	if resp.StatusCode != http.StatusForbidden {
 		t.Errorf("exec submit without AllowExec: got %d, want 403 (%s)", resp.StatusCode, body)
 	}
@@ -239,7 +239,7 @@ func TestExecGating(t *testing.T) {
 	// A grammar recorded with an exec oracle (e.g. stored by an earlier
 	// incarnation that allowed exec) must not validate through it either.
 	g := mustGrammar(t, "start A\nA -> \"a\"\n")
-	if err := srv.Store().Put(g, GrammarMeta{ID: "execgram", Spec: OracleSpec{Exec: []string{"true"}}, Seeds: []string{"a"}, CreatedAt: time.Now()}); err != nil {
+	if err := srv.Store().Put(g, GrammarMeta{ID: "execgram", Spec: oracle.Spec{Type: oracle.SpecExec, Argv: []string{"true"}}, Seeds: []string{"a"}, CreatedAt: time.Now()}); err != nil {
 		t.Fatal(err)
 	}
 	resp, body = postJSON(t, ts.URL+"/v1/grammars/execgram/generate?valid=1", nil)
@@ -258,7 +258,7 @@ func TestExecGating(t *testing.T) {
 	}
 	ts2 := httptest.NewServer(allow.Handler())
 	t.Cleanup(func() { ts2.Close(); allow.Close() })
-	resp, body = postJSON(t, ts2.URL+"/v1/jobs", JobSpec{Oracle: OracleSpec{Exec: []string{"true"}}})
+	resp, body = postJSON(t, ts2.URL+"/v1/jobs", JobSpec{Oracle: oracle.Spec{Type: oracle.SpecExec, Argv: []string{"true"}}})
 	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "no seeds") {
 		t.Errorf("exec submit with AllowExec but no seeds: got %d, want 400 no-seeds (%s)", resp.StatusCode, body)
 	}
@@ -333,7 +333,7 @@ func TestStatsAndListings(t *testing.T) {
 	_, ts := testServer(t, t.TempDir())
 	ids := make([]string, 0, 2)
 	for _, target := range []string{"url", "lisp"} {
-		_, body := postJSON(t, ts.URL+"/v1/jobs", JobSpec{Oracle: OracleSpec{Target: target}})
+		_, body := postJSON(t, ts.URL+"/v1/jobs", JobSpec{Oracle: oracle.Spec{Type: oracle.SpecTarget, Name: target}})
 		var st JobStatus
 		if err := json.Unmarshal(body, &st); err != nil {
 			t.Fatal(err)
@@ -391,7 +391,7 @@ func TestStatsAndListings(t *testing.T) {
 // claims.
 func TestConcurrentGenerate(t *testing.T) {
 	srv, ts := testServer(t, t.TempDir())
-	_, body := postJSON(t, ts.URL+"/v1/jobs", JobSpec{Oracle: OracleSpec{Target: "url"}})
+	_, body := postJSON(t, ts.URL+"/v1/jobs", JobSpec{Oracle: oracle.Spec{Type: oracle.SpecTarget, Name: "url"}})
 	var st JobStatus
 	if err := json.Unmarshal(body, &st); err != nil {
 		t.Fatal(err)

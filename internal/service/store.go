@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"glade/internal/cfg"
+	"glade/internal/oracle"
 )
 
 // GrammarMeta is the JSON metadata persisted beside each stored grammar.
@@ -20,10 +21,12 @@ type GrammarMeta struct {
 	ID     string `json:"id"`
 	Oracle string `json:"oracle"` // human-readable spec, e.g. "program:sed"
 	// Spec is the full oracle spec, kept so validity-filtered generation
-	// can rebuild the oracle even after a restart.
-	Spec      OracleSpec `json:"oracle_spec"`
-	Seeds     []string   `json:"seeds"`
-	CreatedAt time.Time  `json:"created_at"`
+	// can rebuild the oracle even after a restart. Metadata written before
+	// the unified spec (legacy {"program": ...} keys) still decodes —
+	// oracle.Spec normalizes the old shape on load.
+	Spec      oracle.Spec `json:"oracle_spec"`
+	Seeds     []string    `json:"seeds"`
+	CreatedAt time.Time   `json:"created_at"`
 	// Learning effort, surfaced by /v1/stats and grammar listings.
 	Queries  int     `json:"queries"`
 	Seconds  float64 `json:"seconds"`

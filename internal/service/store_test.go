@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"glade/internal/cfg"
+	"glade/internal/oracle"
 )
 
 func mustGrammar(t *testing.T, text string) *cfg.Grammar {
@@ -28,7 +29,7 @@ func TestStoreRoundTripAndReload(t *testing.T) {
 	meta := GrammarMeta{
 		ID:        "abc123",
 		Oracle:    "program:sed",
-		Spec:      OracleSpec{Program: "sed"},
+		Spec:      oracle.Spec{Type: oracle.SpecProgram, Name: "sed"},
 		Seeds:     []string{"a1", "a"},
 		CreatedAt: time.Now().UTC().Truncate(time.Second),
 		Queries:   42,
@@ -56,7 +57,7 @@ func TestStoreRoundTripAndReload(t *testing.T) {
 		t.Fatalf("reloaded text mismatch (ok=%v)", ok)
 	}
 	m2, ok := s2.Meta("abc123")
-	if !ok || m2.Oracle != meta.Oracle || len(m2.Seeds) != 2 || m2.Queries != 42 || m2.Spec.Program != "sed" {
+	if !ok || m2.Oracle != meta.Oracle || len(m2.Seeds) != 2 || m2.Queries != 42 || m2.Spec.Name != "sed" {
 		t.Fatalf("reloaded metadata mismatch: %+v", m2)
 	}
 	g2, err := s2.Grammar("abc123")

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"glade/internal/core"
+	"glade/internal/oracle"
 )
 
 // TestWatchIncrementalDelivery pins the NDJSON ?watch=1 contract at the
@@ -20,7 +21,7 @@ func TestWatchIncrementalDelivery(t *testing.T) {
 
 	// Install a queued job directly in the ledger; the test plays the role
 	// of the scheduler worker.
-	j := newJob(JobSpec{Oracle: OracleSpec{Program: "grep"}})
+	j := newJob(JobSpec{Oracle: oracle.Spec{Type: oracle.SpecProgram, Name: "grep"}})
 	srv.mu.Lock()
 	srv.jobs[j.ID] = j
 	srv.order = append(srv.order, j)

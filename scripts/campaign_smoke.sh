@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # campaign_smoke.sh — CI smoke for the fuzzing-campaign engine: run a
 # 30-second CLI campaign against the builtin sed program and assert the
-# checkpointed report is valid JSON with at least one corpus entry.
+# checkpointed report is valid JSON with at least one corpus entry, then
+# run a short differential campaign (builtin:json vs builtin:json-strict)
+# and assert at least one oracle disagreement was triaged into the
+# diff_accept/diff_reject buckets.
 #
 # Usage: scripts/campaign_smoke.sh [PROGRAM] [DURATION]
 set -eu
@@ -10,8 +13,10 @@ cd "$(dirname "$0")/.."
 
 program="${1:-sed}"
 duration="${2:-30s}"
-report="$(mktemp -d)/campaign-report.json"
-trap 'rm -rf "$(dirname "$report")"' EXIT
+tmp="$(mktemp -d)"
+report="$tmp/campaign-report.json"
+diff_report="$tmp/diff-report.json"
+trap 'rm -rf "$tmp"' EXIT
 
 echo "== campaign smoke: $duration campaign against $program =="
 go run ./cmd/glade-fuzz -campaign -program "$program" -duration "$duration" \
@@ -21,4 +26,15 @@ test -s "$report" || { echo "campaign_smoke: report file missing or empty" >&2; 
 
 # Validate the report: parseable JSON, marked done, non-empty corpus.
 go run ./scripts/reportcheck "$report"
+
+echo "== differential campaign smoke: builtin:json vs builtin:json-strict =="
+go run ./cmd/glade-fuzz -campaign -oracle builtin:json -diff-oracle builtin:json-strict \
+    -duration 15s -workers 4 -report "$diff_report"
+
+test -s "$diff_report" || { echo "campaign_smoke: diff report missing or empty" >&2; exit 1; }
+
+# The lenient and strict JSON oracles disagree on top-level scalars, which
+# the json grammar generates, so a differential run must triage >= 1
+# disagreement.
+go run ./scripts/reportcheck -diff "$diff_report"
 echo "== campaign smoke passed =="

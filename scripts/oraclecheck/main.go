@@ -1,0 +1,99 @@
+// Command oraclecheck validates a BENCH_oracle.json artifact for CI: the
+// file must be valid glade-bench -json output containing oracle-figure
+// rows for both modes, it must include a Workers=1 measurement, and the
+// in-process builtin oracle must be at least 50x faster than the
+// equivalent exec oracle at every measured worker count — the headline
+// property of the oracle registry. It mirrors scripts/parsecheck so the
+// oracle-bench smoke needs no jq/python dependency.
+//
+// Usage:
+//
+//	go run ./scripts/oraclecheck BENCH_oracle.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// minSpeedup is the gate: in-process membership must beat spawning a
+// process per query by at least this factor (real runs show 3-4 orders
+// of magnitude; 50x leaves room for loaded CI machines).
+const minSpeedup = 50.0
+
+// oracleRow mirrors the oracle-figure fields of glade-bench's jsonRow.
+type oracleRow struct {
+	Figure  string  `json:"figure"`
+	Oracle  string  `json:"oracle"`
+	Mode    string  `json:"mode"`
+	Workers int     `json:"workers"`
+	Queries int     `json:"queries"`
+	QPS     float64 `json:"qps"`
+	Speedup float64 `json:"speedup"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: oraclecheck BENCH_oracle.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oraclecheck:", err)
+		os.Exit(1)
+	}
+	var report struct {
+		Results []oracleRow `json:"results"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		fmt.Fprintf(os.Stderr, "oraclecheck: report is not valid JSON: %v\n", err)
+		os.Exit(1)
+	}
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "oraclecheck: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	// qps[workers][mode] for every oracle-figure row.
+	qps := map[int]map[string]float64{}
+	for _, r := range report.Results {
+		if r.Figure != "oracle" {
+			continue
+		}
+		if r.Mode != "builtin" && r.Mode != "exec" {
+			fail("row for %q has mode %q, want builtin or exec", r.Oracle, r.Mode)
+		}
+		if r.Workers < 1 || r.Queries <= 0 || r.QPS <= 0 {
+			fail("%s row at workers=%d is degenerate: queries=%d qps=%.0f",
+				r.Mode, r.Workers, r.Queries, r.QPS)
+		}
+		if qps[r.Workers] == nil {
+			qps[r.Workers] = map[string]float64{}
+		}
+		if _, dup := qps[r.Workers][r.Mode]; dup {
+			fail("duplicate %s row at workers=%d", r.Mode, r.Workers)
+		}
+		qps[r.Workers][r.Mode] = r.QPS
+	}
+	if len(qps) == 0 {
+		fail("no oracle-figure rows (was glade-bench run with -fig oracle -json?)")
+	}
+	if qps[1] == nil {
+		fail("no Workers=1 measurement: the headline comparison is sequential")
+	}
+	checked := 0
+	for w, modes := range qps {
+		b, okB := modes["builtin"]
+		e, okE := modes["exec"]
+		if !okB || !okE {
+			fail("workers=%d measured only one mode (builtin=%v exec=%v)", w, okB, okE)
+		}
+		if ratio := b / e; ratio < minSpeedup {
+			fail("workers=%d: builtin %.0f q/s is only %.1fx exec %.0f q/s (gate: %.0fx)",
+				w, b, ratio, e, minSpeedup)
+		}
+		checked++
+	}
+	fmt.Printf("oraclecheck: ok (%d worker counts, workers=1 speedup %.0fx)\n",
+		checked, qps[1]["builtin"]/qps[1]["exec"])
+}

@@ -1,15 +1,19 @@
 // Command reportcheck validates a campaign report file for CI: it must be
 // parseable JSON in the campaign.Report shape, marked done, with at least
-// one executed input and at least one retained corpus entry. Used by
-// scripts/campaign_smoke.sh so the smoke needs no jq/python dependency.
+// one executed input and at least one retained corpus entry. With -diff
+// the report must additionally come from a differential campaign that
+// triaged at least one oracle disagreement into the diff_accept /
+// diff_reject buckets. Used by scripts/campaign_smoke.sh so the smoke
+// needs no jq/python dependency.
 //
 // Usage:
 //
-//	go run ./scripts/reportcheck REPORT.json
+//	go run ./scripts/reportcheck [-diff] REPORT.json
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
@@ -17,11 +21,13 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: reportcheck REPORT.json")
+	diff := flag.Bool("diff", false, "require a differential campaign with >= 1 triaged disagreement")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: reportcheck [-diff] REPORT.json")
 		os.Exit(2)
 	}
-	data, err := os.ReadFile(os.Args[1])
+	data, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reportcheck:", err)
 		os.Exit(1)
@@ -50,6 +56,18 @@ func main() {
 	if rep.Accepted+rep.Rejected != rep.Inputs {
 		fail("inconsistent counters: accepted %d + rejected %d != inputs %d",
 			rep.Accepted, rep.Rejected, rep.Inputs)
+	}
+	if *diff {
+		if rep.DiffOracle == "" {
+			fail("report is not from a differential campaign (no diff_oracle)")
+		}
+		if rep.DiffDisagreements == 0 {
+			fail("differential campaign triaged zero disagreements")
+		}
+		triaged := rep.Buckets[campaign.BucketDiffAccept] + rep.Buckets[campaign.BucketDiffReject]
+		if triaged == 0 {
+			fail("%d disagreements but empty diff_accept/diff_reject buckets", rep.DiffDisagreements)
+		}
 	}
 	fmt.Printf("reportcheck: ok — %d inputs, %d corpus entries, buckets %v\n",
 		rep.Inputs, len(rep.Corpus), rep.Buckets)

@@ -39,7 +39,7 @@ done
 curl -sf "$BASE/healthz" >/dev/null || { echo "server never came up"; cat "$LOG"; exit 1; }
 
 echo "== submit learn job (program:$PROGRAM)"
-JOB=$(curl -sf -X POST "$BASE/v1/jobs" -d "{\"oracle\":{\"program\":\"$PROGRAM\"}}")
+JOB=$(curl -sf -X POST "$BASE/v1/jobs" -d "{\"oracle\":{\"type\":\"program\",\"name\":\"$PROGRAM\"}}")
 ID=$(echo "$JOB" | jq -er .id)
 echo "job $ID"
 
