@@ -21,7 +21,7 @@ lint:
 		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
 	fi
 	go vet ./...
-	go run ./scripts/doccheck . internal/service internal/fuzz internal/campaign internal/oracle internal/oracle/registry internal/metrics internal/core
+	go run ./scripts/doccheck . internal/service internal/fuzz internal/campaign internal/oracle internal/oracle/registry internal/metrics internal/core internal/telemetry
 	go run ./scripts/apilock
 	./scripts/linkcheck.sh
 
@@ -31,7 +31,8 @@ lint:
 # BENCH_*.json trajectory artifacts. parsecheck fails the run if the
 # compiled engine ever regresses below the map-based baseline, and
 # oraclecheck if the in-process oracle registry loses its >=50x edge over
-# exec oracles. Full runs: cmd/glade-bench.
+# exec oracles, and telemetrycheck if the observability stack costs more
+# than a few percent of bare oracle dispatch. Full runs: cmd/glade-bench.
 bench:
 	go test -run=NONE -bench=. -benchtime=1x ./...
 	go run ./cmd/glade-bench -quick -fig speedup -qdelay 50us -json BENCH_speedup.json
@@ -39,5 +40,7 @@ bench:
 	go run ./scripts/parsecheck BENCH_parse.json
 	go run ./cmd/glade-bench -quick -fig oracle -json BENCH_oracle.json
 	go run ./scripts/oraclecheck BENCH_oracle.json
+	go run ./cmd/glade-bench -quick -fig telemetry -json BENCH_telemetry.json
+	go run ./scripts/telemetrycheck BENCH_telemetry.json
 
 ci: lint build test bench

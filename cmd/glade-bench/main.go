@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	glade-bench [-fig 4a|4b|4c|5|6|7a|7b|7c|8|ablations|speedup|parse|all] [flags]
+//	glade-bench [-fig 4a|4b|4c|5|6|7a|7b|7c|8|ablations|speedup|parse|oracle|telemetry|all] [flags]
 //
 // The default flags match the paper's scale (50 seeds, 1000 evaluation
 // samples, 50,000 fuzzing samples, 300 s learner timeout); use -quick for a
@@ -24,6 +24,14 @@
 // stdin oracle (so both sides run the identical validator and the gap is
 // pure process overhead), at several worker counts. With -json the rows
 // land in BENCH_oracle.json, which scripts/oraclecheck validates in CI.
+//
+// -fig telemetry measures the observability stack's cost on the oracle hot
+// path: the same builtin:json workload dispatched through a bare worker
+// pool and through the metrics.QueryTimer + telemetry histogram stack every
+// glade-serve job runs under, at several worker counts, min-of-repetitions.
+// With -json the rows land in BENCH_telemetry.json, which
+// scripts/telemetrycheck validates in CI (instrumentation must stay within
+// a few percent of bare dispatch).
 //
 // -fig speedup measures the concurrent batched oracle-query engine: it
 // learns the sed and xml programs at Workers=1 and Workers=N over an
@@ -52,7 +60,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4a 4b 4c 5 6 7a 7b 7c 8 ablations speedup parse oracle all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4a 4b 4c 5 6 7a 7b 7c 8 ablations speedup parse oracle telemetry all")
 	seeds := flag.Int("seeds", 50, "seed inputs per target (Figure 4)")
 	eval := flag.Int("eval", 1000, "samples per precision/recall estimate")
 	fuzzN := flag.Int("samples", 50000, "samples per fuzzer (Figure 7)")
@@ -104,6 +112,7 @@ func main() {
 	run("speedup", speedup)
 	run("parse", parse)
 	run("oracle", oracleFig)
+	run("telemetry", telemetryFig)
 	if *jsonOut != "" {
 		writeReport(*jsonOut, c)
 	}
@@ -275,6 +284,33 @@ func oracleFig(ctx context.Context, c bench.Config) {
 			r.Mode, r.Workers, r.Queries, r.Seconds, r.QPS, speedup)
 	}
 	recordOracle(rows)
+	fmt.Println()
+}
+
+// telemetryFig benchmarks the observability stack's cost on the oracle hot
+// path: the same builtin:json workload dispatched bare and through the
+// QueryTimer + histogram-mirror stack every service job runs under.
+// scripts/telemetrycheck gates CI on the overhead staying within a few
+// percent.
+func telemetryFig(ctx context.Context, c bench.Config) {
+	fmt.Println("== Telemetry: instrumented vs bare oracle dispatch (builtin:json) ==")
+	queries, reps := 24000, 7
+	if c.Seeds <= 10 { // -quick
+		queries, reps = 12000, 5
+	}
+	rows, err := bench.TelemetryBench(ctx, []int{1, 4}, queries, reps)
+	fail(err)
+	fmt.Printf("%-13s %7s %9s %9s %11s %10s %9s\n",
+		"mode", "workers", "queries", "time(s)", "q/s", "ns/query", "overhead")
+	for _, r := range rows {
+		overhead := ""
+		if r.Mode == "instrumented" {
+			overhead = fmt.Sprintf("%+8.2f%%", r.OverheadPct)
+		}
+		fmt.Printf("%-13s %7d %9d %9.3f %11.0f %10.0f %9s\n",
+			r.Mode, r.Workers, r.Queries, r.Seconds, r.QPS, r.NsPerQuery, overhead)
+	}
+	recordTelemetry(rows)
 	fmt.Println()
 }
 

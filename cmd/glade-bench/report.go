@@ -59,6 +59,10 @@ type jsonRow struct {
 	Agree         *bool    `json:"agree,omitempty"`
 	Identical     *bool    `json:"identical,omitempty"`
 	TimedOut      bool     `json:"timed_out,omitempty"`
+	// Telemetry-figure fields: per-query mean and the instrumented-vs-bare
+	// slowdown (pointer so a 0.00% measurement still lands in the JSON).
+	NsPerQuery  float64  `json:"ns_per_query,omitempty"`
+	OverheadPct *float64 `json:"overhead_pct,omitempty"`
 }
 
 // report collects rows while figures run; nil (no -json flag) collects
@@ -89,6 +93,21 @@ func recordOracle(rows []bench.OracleRow) {
 			Workers: r.Workers, Queries: r.Queries, Seconds: r.Seconds,
 			QPS: r.QPS, Speedup: r.Speedup,
 		})
+	}
+}
+
+func recordTelemetry(rows []bench.TelemetryRow) {
+	for _, r := range rows {
+		row := jsonRow{
+			Figure: "telemetry", Mode: r.Mode, Workers: r.Workers,
+			Queries: r.Queries, Seconds: r.Seconds, QPS: r.QPS,
+			NsPerQuery: r.NsPerQuery,
+		}
+		if r.Mode == "instrumented" {
+			o := r.OverheadPct
+			row.OverheadPct = &o
+		}
+		recordRows(row)
 	}
 }
 

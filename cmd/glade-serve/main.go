@@ -13,6 +13,12 @@
 // -allow-exec when every client that can reach the port is trusted (e.g.
 // behind an authenticating reverse proxy).
 //
+// Observability: GET /metrics serves Prometheus text exposition (oracle
+// latency histograms, HTTP and job/campaign lifecycle series); -debug-addr
+// starts a second, loopback-only listener carrying net/http/pprof (and a
+// /metrics alias) so profiling is never reachable through the public port;
+// -log-format/-log-level control the structured stderr log.
+//
 // A session:
 //
 //	curl -s localhost:8080/v1/oracles                # registered oracle specs
@@ -30,6 +36,7 @@
 //	         "duration_ms":30000}'                      # differential campaign
 //	curl -s localhost:8080/v1/campaigns/<id>?watch=1    # NDJSON checkpoints
 //	curl -s -X DELETE localhost:8080/v1/campaigns/<id>  # cancel, report kept
+//	curl -s localhost:8080/metrics                      # Prometheus exposition
 //
 // See internal/service for the full API surface.
 package main
@@ -39,8 +46,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -61,10 +70,35 @@ func main() {
 	maxValidating := flag.Int("max-validating", 2, "concurrent validity-filtered generate requests (?valid=1); excess requests wait for a slot")
 	campaigns := flag.Int("campaigns", 1, "concurrently running fuzzing campaigns; queued campaigns wait")
 	campaignTimeout := flag.Duration("campaign-timeout", 10*time.Minute, "upper bound on one campaign's duration (clamps the client-chosen duration_ms)")
-	quiet := flag.Bool("quiet", false, "suppress per-job log lines")
+	logFormat := flag.String("log-format", "text", `log output format: "text" or "json"`)
+	logLevel := flag.String("log-level", "info", `minimum log level: "debug", "info", "warn", or "error" (debug includes per-request HTTP lines)`)
+	debugAddr := flag.String("debug-addr", "", "optional debug listener with net/http/pprof and /metrics (e.g. 127.0.0.1:6060); keep it on loopback — it is never mounted on the public mux")
+	quiet := flag.Bool("quiet", false, "suppress per-job log lines (same as -log-level error)")
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "glade-serve: ", log.LstdFlags)
+	fatal := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "glade-serve: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fatal("bad -log-level %q: %v", *logLevel, err)
+	}
+	if *quiet {
+		level = slog.LevelError
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, hopts)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, hopts)
+	default:
+		fatal("bad -log-format %q: want text or json", *logFormat)
+	}
+	logger := slog.New(handler)
+
 	cfg := service.Config{
 		DataDir:              *data,
 		MaxJobs:              *jobs,
@@ -76,13 +110,37 @@ func main() {
 		MaxValidating:        *maxValidating,
 		MaxCampaigns:         *campaigns,
 		MaxCampaignDuration:  *campaignTimeout,
-	}
-	if !*quiet {
-		cfg.Logf = logger.Printf
+		Logger:               logger,
 	}
 	srv, err := service.New(cfg)
 	if err != nil {
-		logger.Fatal(err)
+		fatal("%v", err)
+	}
+
+	// The pprof surface rides a separate listener so the public API port
+	// never exposes profiling endpoints, whatever the mux grows later.
+	if *debugAddr != "" {
+		if host, _, err := net.SplitHostPort(*debugAddr); err == nil {
+			ip := net.ParseIP(host)
+			if host != "localhost" && (ip == nil || !ip.IsLoopback()) {
+				logger.Warn("debug listener is not on loopback; pprof exposes process internals", "addr", *debugAddr)
+			}
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/metrics", srv.Registry().Handler())
+		dbg := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		defer dbg.Close()
+		go func() {
+			logger.Info("debug listener", "addr", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{
@@ -92,7 +150,7 @@ func main() {
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s (data %s, jobs %d, workers %d)", *addr, *data, *jobs, *workers)
+		logger.Info("listening", "addr", *addr, "data", *data, "jobs", *jobs, "workers", *workers)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -100,10 +158,10 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		logger.Printf("received %v, shutting down", s)
+		logger.Info("shutting down", "signal", s.String())
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
-			logger.Fatal(err)
+			fatal("%v", err)
 		}
 	}
 
@@ -115,5 +173,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "glade-serve: shutdown: %v\n", err)
 	}
 	srv.Close()
-	logger.Printf("bye")
+	logger.Info("bye")
 }

@@ -42,6 +42,7 @@ import (
 	"glade/internal/core"
 	"glade/internal/oracle"
 	_ "glade/internal/oracle/registry" // named oracle specs resolve here
+	"glade/internal/telemetry"
 )
 
 type seedList []string
@@ -59,7 +60,8 @@ func main() {
 	oracleTimeout := flag.Duration("oracle-timeout", 0, "per-query timeout; a hanging query is killed and treated as rejecting (0 = unbounded)")
 	noPhase2 := flag.Bool("no-phase2", false, "disable recursive merging (phase 2)")
 	noCharGen := flag.Bool("no-chargen", false, "disable character generalization")
-	trace := flag.Bool("trace", false, "print every generalization step")
+	steps := flag.Bool("steps", false, "print every generalization step")
+	traceOut := flag.String("trace", "", "write the learner's phase-span trace to this file as NDJSON (one span per line: name, seed, start, duration_ns, attrs)")
 	workers := flag.Int("workers", 0, "concurrent oracle queries (0 or 1 = sequential; the grammar is identical either way)")
 	flag.Parse()
 
@@ -99,10 +101,19 @@ func main() {
 		opts.GenAlphabet = bytesets.OfString(strings.Join(seeds, "")).
 			Union(bytesets.OfString(" \t\nabcxyz012<>()[]{}/\\\"'"))
 	}
-	if *trace {
+	if *steps {
 		opts.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		traceFile = f
+		opts.Tracer = telemetry.NewNDJSONTracer(f)
 	}
 
 	// SIGINT/SIGTERM cancel the learn context: the run aborts within one
@@ -115,6 +126,12 @@ func main() {
 			fatal(fmt.Errorf("interrupted: %w", err))
 		}
 		fatal(err)
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "# phase trace written to %s\n", *traceOut)
 	}
 	fmt.Println(res.Grammar.Trim().String())
 	if *out != "" {

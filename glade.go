@@ -16,6 +16,7 @@
 //	internal/oracle   membership oracles (functions, caching, exec) and
 //	                  the named oracle-spec registry (OracleSpec)
 //	internal/fuzz     naive / afl-style / grammar-based fuzzers
+//	internal/telemetry metrics registry, phase tracing, Prometheus text
 //
 // # The v2 API: contexts and verdicts
 //
@@ -56,6 +57,7 @@ package glade
 
 import (
 	"context"
+	"io"
 	"math/rand"
 	"sync"
 
@@ -64,6 +66,7 @@ import (
 	"glade/internal/fuzz"
 	"glade/internal/oracle"
 	_ "glade/internal/oracle/registry" // named oracle specs resolve here
+	"glade/internal/telemetry"
 )
 
 // Verdict is the outcome of one membership query: the domain answer about
@@ -207,6 +210,32 @@ type Progress = core.Progress
 // Result is the outcome of learning: the synthesized grammar, the
 // intermediate regular expression, and statistics.
 type Result = core.Result
+
+// Span is one completed phase of a learning run: name, seed count, start
+// time, wall duration, and phase-specific attributes (queries, cache hits,
+// waves, speculation hit-rate). Spans of one run are contiguous — each
+// starts exactly where the previous ended — so their durations sum to the
+// run's wall time.
+type Span = telemetry.Span
+
+// Tracer receives the phase spans of a learning run; install one via
+// Options.Tracer. Emit is called once per completed phase, from the
+// learner's goroutine.
+type Tracer = telemetry.Tracer
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc = telemetry.TracerFunc
+
+// SpanRecorder is a Tracer that buffers spans in memory for later
+// inspection (Spans, PhaseSummary). Safe for concurrent use.
+type SpanRecorder = telemetry.SpanRecorder
+
+// NewNDJSONTracer returns a Tracer that writes each span as one JSON
+// object per line to w — the format `glade -trace out.ndjson` emits.
+// Safe for concurrent use; callers own closing w.
+func NewNDJSONTracer(w io.Writer) *telemetry.NDJSONTracer {
+	return telemetry.NewNDJSONTracer(w)
+}
 
 // LearnContext synthesizes a grammar for the oracle's language from seed
 // inputs. Every seed must be accepted by the oracle. Cancelling ctx aborts

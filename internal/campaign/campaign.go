@@ -48,6 +48,7 @@ import (
 	"glade/internal/fuzz"
 	"glade/internal/metrics"
 	"glade/internal/oracle"
+	"glade/internal/telemetry"
 )
 
 // Config configures a Campaign. Grammar, Seeds, and Oracle are required;
@@ -108,6 +109,10 @@ type Config struct {
 	Progress func(Report)
 	// Logf, when non-nil, receives campaign log lines.
 	Logf func(format string, args ...any)
+	// QueryHist, when non-nil, additionally receives every primary-oracle
+	// query latency (the embedding service mirrors campaign queries onto
+	// its shared per-source histogram this way).
+	QueryHist *telemetry.Histogram
 }
 
 func (conf Config) withDefaults() Config {
@@ -213,6 +218,9 @@ func New(conf Config) (*Campaign, error) {
 	}
 	_, c.execOracle = conf.Oracle.(*oracle.Exec)
 	c.timer = metrics.NewQueryTimer(conf.Oracle)
+	if conf.QueryHist != nil {
+		c.timer.Mirror(conf.QueryHist)
+	}
 	c.pool = oracle.Parallel(c.timer, conf.Workers)
 	if conf.DiffOracle != nil {
 		c.diffTimer = metrics.NewQueryTimer(conf.DiffOracle)

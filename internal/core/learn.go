@@ -10,6 +10,7 @@ import (
 	"glade/internal/cfg"
 	"glade/internal/oracle"
 	"glade/internal/rex"
+	"glade/internal/telemetry"
 )
 
 // Options configures the learner. The zero value is not useful; start from
@@ -60,6 +61,16 @@ type Options struct {
 	// synchronously on the learning goroutine, so it must be fast and must
 	// not call back into the learner.
 	Progress func(Progress)
+	// Tracer, when non-nil, receives one completed telemetry.Span per
+	// learner phase: "seeds" (validating the seed inputs), then "phase1"
+	// and "chargen" per generalized seed, "phase2", and "finalize". Spans
+	// are contiguous — each starts where the previous one ended — so their
+	// summed wall time equals the run's wall time. Span attributes carry
+	// the phase's deltas: checks, candidates, oracle queries, cache hits,
+	// speculative wave count, and speculation hit-rate. Emission happens
+	// synchronously on the learning goroutine; Tracer implementations must
+	// be fast and must not call back into the learner.
+	Tracer telemetry.Tracer
 	// Logf, when non-nil, receives a Figure 2-style trace of every chosen
 	// generalization step.
 	Logf func(format string, args ...any)
@@ -88,6 +99,7 @@ type Stats struct {
 	Checks          int           `json:"checks"`           // check strings evaluated
 	DiscardedChecks int           `json:"discarded_checks"` // checks discarded as members of L̂i
 	CharGenChecks   int           `json:"chargen_checks"`   // character-generalization checks
+	Waves           int           `json:"waves"`            // speculative prefetch waves issued (Workers > 1)
 	MergePairs      int           `json:"merge_pairs"`      // phase-two pairs examined
 	Merged          int           `json:"merged"`           // phase-two merges accepted
 	OracleQueries   int           `json:"queries"`          // de-duplicated queries reaching the oracle
@@ -137,6 +149,18 @@ func Learn(ctx context.Context, seeds []string, o oracle.CheckOracle, opts Optio
 		inner = oracle.Parallel(o, workers)
 	}
 	cached := oracle.NewCached(inner)
+	rngSeed := opts.RandSeed
+	if rngSeed == 0 {
+		rngSeed = 1
+	}
+	l := &learner{ctx: ctx, opts: opts, cached: cached, workers: workers, rng: rand.New(rand.NewSource(rngSeed))}
+	if opts.Timeout > 0 {
+		l.deadline = time.Now().Add(opts.Timeout)
+	}
+	start := time.Now()
+	l.spanClock = start
+
+	sm := l.markSpan()
 	verdicts, err := cached.CheckBatch(ctx, seeds)
 	if err != nil {
 		return nil, fmt.Errorf("core: checking seeds: %w", err)
@@ -146,15 +170,7 @@ func Learn(ctx context.Context, seeds []string, o oracle.CheckOracle, opts Optio
 			return nil, fmt.Errorf("core: seed %d (%q) is rejected by the oracle (%v)", i, seeds[i], v)
 		}
 	}
-	seed := opts.RandSeed
-	if seed == 0 {
-		seed = 1
-	}
-	l := &learner{ctx: ctx, opts: opts, cached: cached, workers: workers, rng: rand.New(rand.NewSource(seed))}
-	if opts.Timeout > 0 {
-		l.deadline = time.Now().Add(opts.Timeout)
-	}
-	start := time.Now()
+	l.endSpan("seeds", -1, sm)
 
 	l.emit(Progress{Phase: "seeds", Seeds: len(seeds)})
 
@@ -168,10 +184,14 @@ func Learn(ctx context.Context, seeds []string, o oracle.CheckOracle, opts Optio
 			continue
 		}
 		l.emit(Progress{Phase: "phase1", Seed: i + 1, Seeds: len(seeds)})
+		sm = l.markSpan()
 		root := l.phase1(seed)
+		l.endSpan("phase1", i, sm)
 		if opts.CharGen {
 			l.emit(Progress{Phase: "chargen", Seed: i + 1, Seeds: len(seeds)})
+			sm = l.markSpan()
 			l.charGen(root)
+			l.endSpan("chargen", i, sm)
 		}
 	}
 
@@ -179,7 +199,9 @@ func Learn(ctx context.Context, seeds []string, o oracle.CheckOracle, opts Optio
 	allStars := stars(l.roots)
 	var uf *unionFind
 	if opts.Phase2 {
+		sm = l.markSpan()
 		uf = l.phase2(allStars)
+		l.endSpan("phase2", -1, sm)
 	} else {
 		uf = newUnionFind(len(allStars))
 	}
@@ -194,6 +216,7 @@ func Learn(ctx context.Context, seeds []string, o oracle.CheckOracle, opts Optio
 		return nil, fmt.Errorf("core: learning aborted: %w", err)
 	}
 
+	sm = l.markSpan()
 	g := toCFG(l.roots, allStars, uf)
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("core: synthesized grammar invalid: %v", err)
@@ -203,6 +226,7 @@ func Learn(ctx context.Context, seeds []string, o oracle.CheckOracle, opts Optio
 	for i, r := range l.roots {
 		kids[i] = toRex(r)
 	}
+	l.endSpan("finalize", -1, sm)
 	hits, misses := cached.Stats()
 	l.stats.OracleQueries = misses
 	l.stats.CacheHits = hits

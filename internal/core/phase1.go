@@ -38,6 +38,11 @@ type learner struct {
 
 	deadline time.Time
 	step     int
+
+	// spanClock is the end time of the last emitted phase span; markSpan
+	// starts the next span there so spans tile the run without gaps. Zero
+	// until the first span closes (or when Options.Tracer is nil).
+	spanClock time.Time
 }
 
 // accepts answers one membership check through the cache, mapping the
@@ -68,6 +73,7 @@ func (l *learner) prefetch(checks []string) {
 	if l.oracleErr != nil || len(checks) <= 1 {
 		return
 	}
+	l.stats.Waves++
 	if _, err := l.cached.CheckBatch(l.ctx, checks); err != nil {
 		l.oracleErr = err
 	}

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"glade/internal/oracle"
+	"glade/internal/telemetry"
 )
 
 // QueryStats is a snapshot of a QueryTimer: how many oracle queries ran,
@@ -31,6 +33,13 @@ type QueryStats struct {
 	// Wall is the span from the first query's start to the last query's
 	// completion.
 	Wall time.Duration `json:"wall_ns"`
+	// P50Latency, P95Latency, and P99Latency are per-query latency
+	// quantiles estimated from a fixed-bucket histogram (see
+	// internal/telemetry); bulk calls contribute their per-item mean, the
+	// same convention as MinLatency/MaxLatency.
+	P50Latency time.Duration `json:"p50_latency_ns"`
+	P95Latency time.Duration `json:"p95_latency_ns"`
+	P99Latency time.Duration `json:"p99_latency_ns"`
 }
 
 // MeanLatency is the average per-query latency.
@@ -41,18 +50,30 @@ func (s QueryStats) MeanLatency() time.Duration {
 	return s.Busy / time.Duration(s.Queries)
 }
 
-// Throughput is queries per second over the observed wall window.
+// Throughput is queries per second over the observed wall window. Very
+// fast in-process batches can start and finish within the clock's
+// resolution, leaving Wall (and even Busy) at zero; rather than reporting a
+// nonsense 0 q/s for work that demonstrably ran, the denominator falls
+// back from Wall to Busy to a one-nanosecond floor.
 func (s QueryStats) Throughput() float64 {
-	if s.Wall <= 0 {
+	if s.Queries == 0 {
 		return 0
 	}
-	return float64(s.Queries) / s.Wall.Seconds()
+	window := s.Wall
+	if window <= 0 {
+		window = s.Busy
+	}
+	if window <= 0 {
+		window = time.Nanosecond
+	}
+	return float64(s.Queries) / window.Seconds()
 }
 
 // String renders the snapshot for log lines.
 func (s QueryStats) String() string {
-	return fmt.Sprintf("%d queries in %v (mean %v, %.0f q/s)",
-		s.Queries, s.Wall.Round(time.Millisecond), s.MeanLatency().Round(time.Microsecond), s.Throughput())
+	return fmt.Sprintf("%d queries in %v (mean %v, p99 %v, %.0f q/s)",
+		s.Queries, s.Wall.Round(time.Millisecond), s.MeanLatency().Round(time.Microsecond),
+		s.P99Latency.Round(time.Microsecond), s.Throughput())
 }
 
 // QueryTimer wraps an oracle and records per-query latency and throughput.
@@ -65,6 +86,13 @@ func (s QueryStats) String() string {
 type QueryTimer struct {
 	inner oracle.CheckOracle
 
+	// hist bins every per-query latency so Snapshot can report
+	// p50/p95/p99 alongside the mean; mirror, when set, receives the same
+	// observations so a shared telemetry registry (e.g. glade-serve's
+	// /metrics) sees them too.
+	hist   *telemetry.Histogram
+	mirror atomic.Pointer[telemetry.Histogram]
+
 	mu       sync.Mutex
 	stats    QueryStats
 	started  bool
@@ -73,7 +101,15 @@ type QueryTimer struct {
 }
 
 // NewQueryTimer wraps inner with query timing.
-func NewQueryTimer(inner oracle.CheckOracle) *QueryTimer { return &QueryTimer{inner: inner} }
+func NewQueryTimer(inner oracle.CheckOracle) *QueryTimer {
+	return &QueryTimer{inner: inner, hist: &telemetry.Histogram{}}
+}
+
+// Mirror registers h as a secondary latency sink: every per-query
+// observation recorded by the timer is also observed on h. Use it to feed a
+// registry-owned histogram (one per pool source) without double-timing the
+// oracle. A nil h removes the mirror.
+func (q *QueryTimer) Mirror(h *telemetry.Histogram) { q.mirror.Store(h) }
 
 // Check implements oracle.CheckOracle.
 func (q *QueryTimer) Check(ctx context.Context, input string) (oracle.Verdict, error) {
@@ -119,6 +155,12 @@ func (q *QueryTimer) record(start, end time.Time, n int, batch bool) {
 	}
 	elapsed := end.Sub(start)
 	per := elapsed / time.Duration(n)
+	// Histogram observations are atomic; keep them outside the mutex so
+	// the hot path adds no lock hold time.
+	q.hist.ObserveN(per, n)
+	if m := q.mirror.Load(); m != nil {
+		m.ObserveN(per, n)
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if !q.started || start.Before(q.firstAt) {
@@ -142,16 +184,25 @@ func (q *QueryTimer) record(start, end time.Time, n int, batch bool) {
 	}
 }
 
-// Snapshot returns the statistics recorded so far.
+// Snapshot returns the statistics recorded so far, including latency
+// quantiles derived from the timer's histogram.
 func (q *QueryTimer) Snapshot() QueryStats {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	s := q.stats
 	if q.started {
 		s.Wall = q.lastDone.Sub(q.firstAt)
 	}
+	q.mu.Unlock()
+	hs := q.hist.Snapshot()
+	s.P50Latency = hs.Quantile(0.50)
+	s.P95Latency = hs.Quantile(0.95)
+	s.P99Latency = hs.Quantile(0.99)
 	return s
 }
+
+// Histogram exposes the timer's latency histogram snapshot, for callers
+// that want the full bucket distribution rather than fixed quantiles.
+func (q *QueryTimer) Histogram() telemetry.HistogramSnapshot { return q.hist.Snapshot() }
 
 // Reset clears the recorded statistics.
 func (q *QueryTimer) Reset() {
@@ -160,4 +211,5 @@ func (q *QueryTimer) Reset() {
 	q.stats = QueryStats{}
 	q.started = false
 	q.firstAt, q.lastDone = time.Time{}, time.Time{}
+	q.hist.Reset()
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"glade/internal/oracle"
+	"glade/internal/telemetry"
 )
 
 func TestQueryTimerCounts(t *testing.T) {
@@ -67,6 +68,62 @@ func TestQueryTimerThroughputScales(t *testing.T) {
 	if par.Throughput() < 2*seq.Throughput() {
 		t.Fatalf("throughput did not scale: seq %.0f q/s, par %.0f q/s",
 			seq.Throughput(), par.Throughput())
+	}
+}
+
+// Regression: a batch so fast that start and end land on the same clock
+// tick used to report throughput as 0 q/s. The guard falls back from Wall
+// to Busy to a 1ns floor, so any completed query reports finite, nonzero
+// throughput.
+func TestQueryTimerSubMicrosecondBatchThroughput(t *testing.T) {
+	q := NewQueryTimer(oracle.Func(func(string) bool { return true }))
+	now := time.Now()
+	// Simulate an in-process batch whose wall time is below the clock's
+	// resolution: identical start and end timestamps.
+	q.record(now, now, 64, true)
+	s := q.Snapshot()
+	if s.Wall != 0 {
+		t.Fatalf("Wall = %v, want 0 for a zero-elapsed batch", s.Wall)
+	}
+	if got := s.Throughput(); got <= 0 {
+		t.Fatalf("Throughput = %v for 64 completed queries, want > 0", got)
+	}
+	// And with no queries at all, throughput must still read zero.
+	if got := (QueryStats{}).Throughput(); got != 0 {
+		t.Fatalf("empty Throughput = %v, want 0", got)
+	}
+}
+
+// The timer's histogram feeds p50/p95/p99 into every snapshot and mirrors
+// observations into an externally supplied histogram.
+func TestQueryTimerQuantilesAndMirror(t *testing.T) {
+	q := NewQueryTimer(oracle.Func(func(string) bool { return true }))
+	var mirror telemetry.Histogram
+	q.Mirror(&mirror)
+	base := time.Now()
+	for i := 0; i < 99; i++ {
+		q.record(base, base.Add(time.Millisecond), 1, false)
+	}
+	q.record(base, base.Add(time.Second), 1, false)
+	s := q.Snapshot()
+	if s.P50Latency < 500*time.Microsecond || s.P50Latency > 2500*time.Microsecond {
+		t.Errorf("P50 = %v, want ~1ms", s.P50Latency)
+	}
+	if s.P99Latency < s.P50Latency {
+		t.Errorf("P99 %v < P50 %v", s.P99Latency, s.P50Latency)
+	}
+	if s.P95Latency < s.P50Latency || s.P95Latency > s.P99Latency {
+		t.Errorf("P95 = %v outside [P50=%v, P99=%v]", s.P95Latency, s.P50Latency, s.P99Latency)
+	}
+	if ms := mirror.Snapshot(); ms.Count != 100 {
+		t.Errorf("mirror saw %d observations, want 100", ms.Count)
+	}
+	if hs := q.Histogram(); hs.Count != 100 || hs.Max != time.Second {
+		t.Errorf("histogram snapshot = count %d max %v", hs.Count, hs.Max)
+	}
+	q.Reset()
+	if hs := q.Histogram(); hs.Count != 0 {
+		t.Errorf("Reset left %d histogram observations", hs.Count)
 	}
 }
 

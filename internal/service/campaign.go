@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -97,6 +98,18 @@ type CampaignRun struct {
 	// normal-cancellation exit maps to canceled rather than done.
 	cancel          func()
 	cancelRequested bool
+	// reqID is the submitting HTTP request's ID ("" for direct
+	// SubmitCampaign calls); immutable after creation.
+	reqID string
+}
+
+// log returns the base logger with the campaign's identity attached.
+func (cr *CampaignRun) log(base *slog.Logger) *slog.Logger {
+	l := base.With("campaign", cr.ID)
+	if cr.reqID != "" {
+		l = l.With("req", cr.reqID)
+	}
+	return l
 }
 
 func newCampaignRun(spec CampaignSpec) *CampaignRun {
@@ -201,16 +214,16 @@ func (s *Server) persistCampaign(cr *CampaignRun) {
 	cr.mu.Unlock()
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
-		s.logf("campaign %s: marshal record: %v", cr.ID, err)
+		s.log.Warn("campaign record marshal failed", "campaign", cr.ID, "err", err)
 		return
 	}
 	dir := s.campaignsDir()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		s.logf("campaign %s: create campaigns dir: %v", cr.ID, err)
+		s.log.Warn("campaigns dir create failed", "campaign", cr.ID, "err", err)
 		return
 	}
 	if err := writeAtomic(filepath.Join(dir, cr.ID+".json"), append(data, '\n')); err != nil {
-		s.logf("campaign %s: persist record: %v", cr.ID, err)
+		s.log.Warn("campaign record persist failed", "campaign", cr.ID, "err", err)
 	}
 }
 
@@ -231,12 +244,12 @@ func (s *Server) loadCampaigns() {
 		}
 		data, err := os.ReadFile(filepath.Join(s.campaignsDir(), e.Name()))
 		if err != nil {
-			s.logf("campaigns: skipping unreadable record %s: %v", e.Name(), err)
+			s.log.Warn("skipping unreadable campaign record", "file", e.Name(), "err", err)
 			continue
 		}
 		var rec campaignRecord
 		if err := json.Unmarshal(data, &rec); err != nil || rec.ID != id {
-			s.logf("campaigns: skipping bad record %s", e.Name())
+			s.log.Warn("skipping bad campaign record", "file", e.Name())
 			continue
 		}
 		cr := &CampaignRun{
@@ -263,6 +276,8 @@ func (s *Server) loadCampaigns() {
 			}
 			s.persistCampaign(cr)
 		}
+		// Restored terminal outcomes count toward the lifecycle counters.
+		s.met.campaignFinished(cr.state)
 		s.campaigns[cr.ID] = cr
 		s.campOrder = append(s.campOrder, cr)
 		loaded++
@@ -271,7 +286,7 @@ func (s *Server) loadCampaigns() {
 		// Listings are submission-ordered; restored records sort by their
 		// original creation time.
 		sortCampaignsByCreated(s.campOrder)
-		s.logf("campaigns: %d records loaded from %s", loaded, s.campaignsDir())
+		s.log.Info("campaign records loaded", "count", loaded, "dir", s.campaignsDir())
 	}
 }
 
@@ -288,8 +303,9 @@ func sortCampaignsByCreated(runs []*CampaignRun) {
 
 // SubmitCampaign validates a campaign spec, resolves its grammar source and
 // oracle, and enqueues it; campWorkers goroutines drain the queue with
-// Config.MaxCampaigns concurrency.
-func (s *Server) SubmitCampaign(spec CampaignSpec) (*CampaignRun, error) {
+// Config.MaxCampaigns concurrency. ctx carries request-scoped metadata (the
+// HTTP request ID) only — it does not bound or cancel the campaign.
+func (s *Server) SubmitCampaign(ctx context.Context, spec CampaignSpec) (*CampaignRun, error) {
 	hasGrammar := spec.GrammarID != ""
 	hasOracle := spec.Oracle != nil
 	if hasGrammar == hasOracle {
@@ -341,6 +357,7 @@ func (s *Server) SubmitCampaign(spec CampaignSpec) (*CampaignRun, error) {
 
 	cr := newCampaignRun(spec)
 	cr.oracle = spec.oracleName()
+	cr.reqID = requestID(ctx)
 	if hasGrammar {
 		cr.grammarID = spec.GrammarID
 	}
@@ -361,7 +378,8 @@ func (s *Server) SubmitCampaign(spec CampaignSpec) (*CampaignRun, error) {
 	s.campaigns[cr.ID] = cr
 	s.campOrder = append(s.campOrder, cr)
 	s.mu.Unlock()
-	s.logf("campaign %s: queued (%s)", cr.ID, cr.oracle)
+	s.met.campaignsSubmitted.Inc()
+	cr.log(s.log).Info("campaign queued", "oracle", cr.oracle)
 	return cr, nil
 }
 
@@ -429,8 +447,9 @@ func (s *Server) runCampaign(cr *CampaignRun) {
 		cr.finished = time.Now()
 		cr.touch()
 		cr.mu.Unlock()
+		s.met.campaignFinished(JobFailed)
 		s.persistCampaign(cr)
-		s.logf("campaign %s: failed: %v", cr.ID, err)
+		cr.log(s.log).Warn("campaign failed", "err", err)
 	}
 
 	// A campaign popped from the queue while Close drains it must not
@@ -480,7 +499,8 @@ func (s *Server) runCampaign(cr *CampaignRun) {
 	}
 	setState(JobRunning, "fuzz")
 	s.persistCampaign(cr)
-	s.logf("campaign %s: running (%s, %v, workers=%d)", cr.ID, cr.oracle, conf.Duration, conf.Workers)
+	cr.log(s.log).Info("campaign running",
+		"oracle", cr.oracle, "duration", conf.Duration, "workers", conf.Workers)
 	rep, err := eng.Run(ctx)
 	if err != nil && !canceled() {
 		fail(err)
@@ -502,11 +522,13 @@ func (s *Server) runCampaign(cr *CampaignRun) {
 	state := cr.state
 	cr.touch()
 	cr.mu.Unlock()
+	s.met.campaignFinished(state)
 	s.persistCampaign(cr)
 	if state == JobCanceled {
-		s.logf("campaign %s: canceled", cr.ID)
+		cr.log(s.log).Info("campaign canceled")
 	} else {
-		s.logf("campaign %s: done (%d inputs, %d interesting)", cr.ID, rep.Inputs, rep.Interesting())
+		cr.log(s.log).Info("campaign done",
+			"inputs", rep.Inputs, "interesting", rep.Interesting())
 	}
 }
 
@@ -520,8 +542,9 @@ func (s *Server) finishCampaignCanceled(cr *CampaignRun) {
 	cr.finished = time.Now()
 	cr.touch()
 	cr.mu.Unlock()
+	s.met.campaignFinished(JobCanceled)
 	s.persistCampaign(cr)
-	s.logf("campaign %s: canceled", cr.ID)
+	cr.log(s.log).Info("campaign canceled")
 }
 
 // CancelCampaign cancels a campaign by id: a queued campaign flips to
@@ -554,8 +577,9 @@ func (s *Server) CancelCampaign(id string) (*CampaignRun, error) {
 		if cancel != nil {
 			cancel()
 		}
+		s.met.campaignFinished(JobCanceled)
 		s.persistCampaign(cr)
-		s.logf("campaign %s: canceled while queued", cr.ID)
+		cr.log(s.log).Info("campaign canceled while queued")
 		return cr, nil
 	default: // running (learn or fuzz phase)
 		cr.cancelRequested = true
@@ -564,7 +588,7 @@ func (s *Server) CancelCampaign(id string) (*CampaignRun, error) {
 		if cancel != nil {
 			cancel()
 		}
-		s.logf("campaign %s: cancellation requested", cr.ID)
+		cr.log(s.log).Info("campaign cancellation requested")
 		return cr, nil
 	}
 }
@@ -670,7 +694,11 @@ func (s *Server) campaignConfig(ctx context.Context, cr *CampaignRun, spec Campa
 		conf.RefreshTimeout = s.cfg.MaxJobDuration
 	}
 	conf.ReportEvery = campaignReportEvery
-	conf.Logf = s.cfg.Logf
+	engineLog := cr.log(s.log)
+	conf.Logf = func(format string, args ...any) {
+		engineLog.Debug(fmt.Sprintf(format, args...))
+	}
+	conf.QueryHist = s.met.oracleCampaign
 	conf.Progress = func(rep campaign.Report) {
 		cr.mu.Lock()
 		cr.report = rep

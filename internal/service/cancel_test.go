@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -144,11 +145,11 @@ func TestCancelQueuedJob(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	slow, err := srv.Submit(slowJobSpec())
+	slow, err := srv.Submit(context.Background(), slowJobSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
-	queued, err := srv.Submit(JobSpec{Oracle: oracle.Spec{Type: oracle.SpecProgram, Name: "grep"}})
+	queued, err := srv.Submit(context.Background(), JobSpec{Oracle: oracle.Spec{Type: oracle.SpecProgram, Name: "grep"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestCancelCampaign(t *testing.T) {
 	defer ts.Close()
 
 	// A grammar to fuzz: learn grep quickly first.
-	job, err := srv.Submit(JobSpec{Oracle: oracle.Spec{Type: oracle.SpecProgram, Name: "grep"}})
+	job, err := srv.Submit(context.Background(), JobSpec{Oracle: oracle.Spec{Type: oracle.SpecProgram, Name: "grep"}})
 	if err != nil {
 		t.Fatal(err)
 	}

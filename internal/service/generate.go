@@ -58,6 +58,13 @@ func newFuzzerPool(store *Store) *fuzzerPool {
 // it keeps every pooled rng's stream distinct.
 var rngSeq atomic.Int64
 
+// size reports the number of resident pool entries (a telemetry gauge).
+func (p *fuzzerPool) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.entries)
+}
+
 func (p *fuzzerPool) entry(id string) (*pooledFuzzer, error) {
 	p.mu.Lock()
 	e, ok := p.entries[id]

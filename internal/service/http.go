@@ -35,7 +35,8 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancelCampaign)
 	mux.HandleFunc("GET /v1/oracles", s.handleListOracles)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	return mux
+	mux.Handle("GET /metrics", s.reg.Handler())
+	return s.instrument(mux)
 }
 
 // oracleInfo is one row of GET /v1/oracles.
@@ -137,7 +138,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
 		return
 	}
-	j, err := s.Submit(spec)
+	j, err := s.Submit(r.Context(), spec)
 	if err != nil {
 		code := http.StatusBadRequest
 		switch {
@@ -293,7 +294,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusConflict, "grammar %q has no usable oracle for validation: %v", id, err)
 			return
 		}
-		check = o
+		check = timedOracle{inner: o, h: s.met.oracleGenerate}
 	}
 	// Resolve the fuzzer before any deadline or slot below: building one
 	// parses every seed (Earley, potentially slow and uncancellable). The
@@ -350,7 +351,7 @@ func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad campaign spec: %v", err)
 		return
 	}
-	cr, err := s.SubmitCampaign(spec)
+	cr, err := s.SubmitCampaign(r.Context(), spec)
 	if err != nil {
 		code := http.StatusBadRequest
 		switch {
@@ -430,6 +431,9 @@ type jobStats struct {
 	OracleQueries   int     `json:"oracle_queries,omitempty"`
 	OracleBatches   int     `json:"oracle_batches,omitempty"`
 	MeanLatencyMS   float64 `json:"mean_latency_ms,omitempty"`
+	P50LatencyMS    float64 `json:"p50_latency_ms,omitempty"`
+	P95LatencyMS    float64 `json:"p95_latency_ms,omitempty"`
+	P99LatencyMS    float64 `json:"p99_latency_ms,omitempty"`
 	ThroughputQPS   float64 `json:"throughput_qps,omitempty"`
 	OracleWallMS    float64 `json:"oracle_wall_ms,omitempty"`
 	OracleSummary   string  `json:"oracle_summary,omitempty"`
@@ -437,15 +441,19 @@ type jobStats struct {
 	GrammarStored   bool    `json:"grammar_stored,omitempty"`
 	ProgressPhase   string  `json:"progress_phase,omitempty"`
 	ProgressQueries int     `json:"progress_queries,omitempty"`
+	// PhaseNS is total learner wall time per phase, from the job's span
+	// trace (present once the learn has finished).
+	PhaseNS map[string]int64 `json:"phase_ns,omitempty"`
 }
 
 // handleStats surfaces per-job learner stats and metrics.QueryStats plus
-// server-level aggregates.
+// server-level aggregates. The top-level counters are derived from the
+// telemetry registry snapshot — the same numbers /metrics exposes, marshaled
+// once — under their historical keys; the raw snapshot rides along under
+// "telemetry".
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	jobs := s.Jobs()
 	rows := make([]jobStats, 0, len(jobs))
-	counts := map[JobState]int{}
-	var totalQueries int
 	for _, j := range jobs {
 		st := j.status(false)
 		qs, _ := j.queryStats()
@@ -461,41 +469,35 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			row.Seconds = st.Stats.Duration.Seconds()
 			row.TimedOut = st.Stats.TimedOut
 			row.GrammarStored = st.GrammarID != ""
-			totalQueries += st.Stats.OracleQueries
 		}
 		if qs.Queries > 0 {
 			row.OracleQueries = qs.Queries
 			row.OracleBatches = qs.Batches
 			row.MeanLatencyMS = float64(qs.MeanLatency().Microseconds()) / 1e3
+			row.P50LatencyMS = float64(qs.P50Latency.Microseconds()) / 1e3
+			row.P95LatencyMS = float64(qs.P95Latency.Microseconds()) / 1e3
+			row.P99LatencyMS = float64(qs.P99Latency.Microseconds()) / 1e3
 			row.ThroughputQPS = qs.Throughput()
 			row.OracleWallMS = float64(qs.Wall.Microseconds()) / 1e3
 			row.OracleSummary = qs.String()
 		}
-		counts[st.State]++
+		row.PhaseNS = j.phaseSummary()
 		rows = append(rows, row)
 	}
-	campaignCounts := map[JobState]int{}
-	var campaignInputs, campaignInteresting int
-	for _, cr := range s.Campaigns() {
-		st := cr.status()
-		campaignCounts[st.State]++
-		if st.Report != nil {
-			campaignInputs += st.Report.Inputs
-			campaignInteresting += st.Report.Interesting()
-		}
-	}
+	snap := s.reg.Snapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"jobs":                 rows,
-		"grammars":             len(s.store.List()),
-		"queued":               counts[JobQueued],
-		"running":              counts[JobRunning],
-		"done":                 counts[JobDone],
-		"failed":               counts[JobFailed],
-		"total_queries":        totalQueries,
+		"grammars":             int(snapValue(snap, "glade_store_grammars")),
+		"queued":               int(snapValue(snap, "glade_jobs_queued")),
+		"running":              int(snapValue(snap, "glade_jobs_running")),
+		"done":                 int(snapValue(snap, "glade_jobs_done_total")),
+		"failed":               int(snapValue(snap, "glade_jobs_failed_total")),
+		"total_queries":        int(snapValue(snap, "glade_oracle_queries_total")),
 		"campaigns":            len(s.Campaigns()),
-		"campaigns_running":    campaignCounts[JobRunning],
-		"campaign_inputs":      campaignInputs,
-		"campaign_interesting": campaignInteresting,
+		"campaigns_running":    int(snapValue(snap, "glade_campaigns_running")),
+		"campaign_inputs":      int(snapValue(snap, "glade_campaign_inputs")),
+		"campaign_interesting": int(snapValue(snap, "glade_campaign_interesting")),
+		"telemetry":            snap,
 	})
 }
 

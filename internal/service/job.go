@@ -3,6 +3,7 @@ package service
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"log/slog"
 	"strings"
 	"sync"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"glade/internal/core"
 	"glade/internal/metrics"
 	"glade/internal/oracle"
+	"glade/internal/telemetry"
 	// The registry fills oracle's named table: importing service is enough
 	// to make every builtin, program, and target spec resolvable.
 	_ "glade/internal/oracle/registry"
@@ -129,11 +131,28 @@ type Job struct {
 	finished time.Time
 	stats    core.Stats
 	queries  metrics.QueryStats
+	// spans are the learner's phase spans (core.Options.Tracer), recorded
+	// once the learn returns and persisted with the terminal record.
+	spans []telemetry.Span
 	// seeds are the resolved seed inputs (spec seeds or builtin defaults);
 	// dropped once the job reaches a terminal state (the store keeps them
 	// in GrammarMeta), leaving seedCount for snapshots.
 	seeds     []string
 	seedCount int
+	// reqID is the submitting HTTP request's ID ("" for direct Submit
+	// calls); immutable after creation, threaded through lifecycle logs.
+	reqID string
+}
+
+// log returns the base logger with the job's identity attached, so every
+// lifecycle line carries the job ID and — when the job arrived over HTTP —
+// the submitting request's ID.
+func (j *Job) log(base *slog.Logger) *slog.Logger {
+	l := base.With("job", j.ID)
+	if j.reqID != "" {
+		l = l.With("req", j.reqID)
+	}
+	return l
 }
 
 func newJob(spec JobSpec) *Job {
@@ -198,6 +217,9 @@ type JobStatus struct {
 	// /v1/grammars/{grammar_id}.
 	GrammarID string      `json:"grammar_id,omitempty"`
 	Stats     *core.Stats `json:"stats,omitempty"`
+	// Spans is the learner's phase-span trace (per-phase wall time and
+	// effort counters), included when events are requested.
+	Spans []telemetry.Span `json:"spans,omitempty"`
 }
 
 // status snapshots the job. withEvents includes the buffered event stream.
@@ -226,6 +248,9 @@ func (j *Job) status(withEvents bool) JobStatus {
 		if withEvents {
 			st.Events = append([]core.Progress(nil), j.events...)
 		}
+	}
+	if withEvents && len(j.spans) > 0 {
+		st.Spans = append([]telemetry.Span(nil), j.spans...)
 	}
 	if j.state == JobDone {
 		st.GrammarID = j.ID
@@ -269,4 +294,19 @@ func (j *Job) queryStats() (metrics.QueryStats, JobState) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.queries, j.state
+}
+
+// phaseSummary aggregates the job's phase spans: total wall nanoseconds
+// per phase name, nil while no spans are recorded.
+func (j *Job) phaseSummary() map[string]int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.spans) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, 4)
+	for _, sp := range j.spans {
+		out[sp.Name] += sp.DurationNS
+	}
+	return out
 }

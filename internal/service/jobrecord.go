@@ -10,6 +10,7 @@ import (
 
 	"glade/internal/core"
 	"glade/internal/oracle"
+	"glade/internal/telemetry"
 )
 
 // jobRecord is the JSON persisted per terminal job under
@@ -27,6 +28,9 @@ type jobRecord struct {
 	Finished time.Time   `json:"finished_at,omitempty"`
 	Error    string      `json:"error,omitempty"`
 	Stats    *core.Stats `json:"stats,omitempty"`
+	// Spans is the learner's phase trace, kept with the record so restored
+	// jobs still answer span queries after a restart.
+	Spans []telemetry.Span `json:"spans,omitempty"`
 }
 
 // jobsDir is the per-store subdirectory holding terminal job records.
@@ -55,19 +59,20 @@ func (s *Server) persistJob(j *Job) {
 		st := j.stats
 		rec.Stats = &st
 	}
+	rec.Spans = j.spans
 	j.mu.Unlock()
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
-		s.logf("job %s: marshal record: %v", j.ID, err)
+		s.log.Warn("job record marshal failed", "job", j.ID, "err", err)
 		return
 	}
 	dir := s.jobsDir()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		s.logf("job %s: create jobs dir: %v", j.ID, err)
+		s.log.Warn("jobs dir create failed", "job", j.ID, "err", err)
 		return
 	}
 	if err := writeAtomic(filepath.Join(dir, j.ID+".json"), append(data, '\n')); err != nil {
-		s.logf("job %s: persist record: %v", j.ID, err)
+		s.log.Warn("job record persist failed", "job", j.ID, "err", err)
 	}
 }
 
@@ -87,12 +92,12 @@ func (s *Server) loadJobs() {
 		}
 		data, err := os.ReadFile(filepath.Join(s.jobsDir(), e.Name()))
 		if err != nil {
-			s.logf("jobs: skipping unreadable record %s: %v", e.Name(), err)
+			s.log.Warn("skipping unreadable job record", "file", e.Name(), "err", err)
 			continue
 		}
 		var rec jobRecord
 		if err := json.Unmarshal(data, &rec); err != nil || rec.ID != id || !rec.State.terminal() {
-			s.logf("jobs: skipping bad record %s", e.Name())
+			s.log.Warn("skipping bad job record", "file", e.Name())
 			continue
 		}
 		j := &Job{
@@ -104,10 +109,18 @@ func (s *Server) loadJobs() {
 			started:   rec.Started,
 			finished:  rec.Finished,
 			seedCount: rec.Seeds,
+			spans:     rec.Spans,
 		}
 		j.Spec.Oracle = specFromName(rec.Oracle)
 		if rec.Stats != nil {
 			j.stats = *rec.Stats
+		}
+		// Restored terminal outcomes count toward the lifecycle counters, so
+		// a restart does not zero glade_jobs_done_total under a ledger that
+		// still lists the jobs.
+		s.met.jobFinished(rec.State)
+		if rec.Stats != nil {
+			s.met.oracleQueries.Add(uint64(rec.Stats.OracleQueries))
 		}
 		s.jobs[j.ID] = j
 		s.order = append(s.order, j)
@@ -123,7 +136,7 @@ func (s *Server) loadJobs() {
 			}
 			return a.created.Before(b.created)
 		})
-		s.logf("jobs: %d records loaded from %s", loaded, s.jobsDir())
+		s.log.Info("job records loaded", "count", loaded, "dir", s.jobsDir())
 	}
 }
 

@@ -38,12 +38,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
 	"glade/internal/core"
 	"glade/internal/metrics"
+	"glade/internal/telemetry"
 )
 
 // Config configures a Server. The zero value is usable apart from DataDir,
@@ -92,8 +94,21 @@ type Config struct {
 	MaxCampaignDuration time.Duration
 	// MaxSeedBytes bounds the total seed payload of one job (default 1MiB).
 	MaxSeedBytes int
-	// Logf, when non-nil, receives server log lines.
+	// Logf, when non-nil, receives server log lines. Superseded by Logger:
+	// when both are unset logging is off, and when only Logf is set it
+	// receives the structured records flattened to printf lines (info
+	// level and above), keeping pre-slog embedders working.
 	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives the server's structured logs:
+	// request lines at debug, job/campaign lifecycle at info, persistence
+	// problems at warn/error. See cmd/glade-serve's -log-format and
+	// -log-level flags.
+	Logger *slog.Logger
+	// Registry receives the server's metrics (HTTP, job/campaign
+	// lifecycle, oracle latency, pool gauges) and backs GET /metrics. Nil
+	// gets a private registry, so metrics always work; pass one to share
+	// series with other subsystems or expose them on a debug listener.
+	Registry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +156,9 @@ type Server struct {
 	store   *Store
 	fuzzers *fuzzerPool
 	handler http.Handler
+	log     *slog.Logger
+	reg     *telemetry.Registry
+	met     *serverMetrics
 	// validating is the semaphore bounding concurrent ?valid=1 generate
 	// requests (capacity cfg.MaxValidating).
 	validating chan struct{}
@@ -164,14 +182,24 @@ type Server struct {
 // earlier incarnations) and starts cfg.MaxJobs scheduler workers.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	store, err := OpenStore(cfg.DataDir, cfg.Logf)
+	logger := cfg.resolveLogger()
+	store, err := OpenStore(cfg.DataDir, func(format string, args ...any) {
+		logger.Warn(fmt.Sprintf(format, args...))
+	})
 	if err != nil {
 		return nil, err
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
 	}
 	s := &Server{
 		cfg:        cfg,
 		store:      store,
 		fuzzers:    newFuzzerPool(store),
+		log:        logger,
+		reg:        reg,
+		met:        newServerMetrics(reg),
 		validating: make(chan struct{}, cfg.MaxValidating),
 		jobs:       map[string]*Job{},
 		queue:      make(chan *Job, cfg.QueueDepth),
@@ -180,6 +208,7 @@ func New(cfg Config) (*Server, error) {
 		done:       make(chan struct{}),
 	}
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	s.registerGauges()
 	s.loadJobs()
 	s.loadCampaigns()
 	s.handler = s.routes()
@@ -191,9 +220,13 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.campWorker()
 	}
-	s.logf("store: %d grammars loaded from %s", len(store.List()), store.Dir())
+	s.log.Info("store loaded", "grammars", len(store.List()), "dir", store.Dir())
 	return s, nil
 }
+
+// Registry exposes the server's metrics registry, so embedders (and
+// cmd/glade-serve's debug listener) can mount or extend it.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
 // Handler returns the root HTTP handler.
 func (s *Server) Handler() http.Handler { return s.handler }
@@ -235,6 +268,7 @@ func (s *Server) Close() {
 		j.seeds = nil
 		j.touch()
 		j.mu.Unlock()
+		s.met.jobFinished(JobFailed)
 		s.persistJob(j)
 	}
 	for cr := range s.campQueue {
@@ -248,19 +282,17 @@ func (s *Server) Close() {
 		cr.finished = time.Now()
 		cr.touch()
 		cr.mu.Unlock()
+		s.met.campaignFinished(JobFailed)
 		s.persistCampaign(cr)
 	}
 	s.wg.Wait()
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
-	}
-}
-
-// Submit validates a job spec, resolves its seeds, and enqueues it.
-func (s *Server) Submit(spec JobSpec) (*Job, error) {
+// Submit validates a job spec, resolves its seeds, and enqueues it. ctx is
+// the submitting request's context: its request ID (when the submission
+// came over HTTP) is recorded on the job and threaded through every
+// lifecycle log line; the job's own execution is NOT bounded by ctx.
+func (s *Server) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 	if spec.Oracle.IsExec() && !s.cfg.AllowExec {
 		return nil, errExecDisabled
 	}
@@ -288,6 +320,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	j := newJob(spec)
 	j.seeds = seeds
 	j.seedCount = len(seeds)
+	j.reqID = requestID(ctx)
 
 	s.mu.Lock()
 	select {
@@ -306,7 +339,8 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	s.order = append(s.order, j)
 	s.pruneLocked()
 	s.mu.Unlock()
-	s.logf("job %s: queued (%s, %d seeds)", j.ID, spec.Oracle, len(seeds))
+	s.met.jobsSubmitted.Inc()
+	j.log(s.log).Info("job queued", "oracle", spec.Oracle.String(), "seeds", len(seeds))
 	return j, nil
 }
 
@@ -395,7 +429,13 @@ func (s *Server) run(j *Job) {
 		return
 	}
 	timer := metrics.NewQueryTimer(o)
+	// Per-query latencies mirror into the shared registry's job-source
+	// histogram, and phase spans are recorded for the job record, the API,
+	// and /v1/stats.
+	timer.Mirror(s.met.oracleJob)
+	spans := &telemetry.SpanRecorder{}
 	opts.Progress = j.appendEvent
+	opts.Tracer = spans
 
 	// The job context is deliberately NOT derived from baseCtx: shutdown
 	// waits for running learns (their grammars are worth keeping), while
@@ -422,12 +462,13 @@ func (s *Server) run(j *Job) {
 	j.cancel = cancel
 	j.touch()
 	j.mu.Unlock()
-	s.logf("job %s: running (workers=%d timeout=%v hard=%v)", j.ID, opts.Workers, opts.Timeout, hard)
+	j.log(s.log).Info("job running", "workers", opts.Workers, "timeout", opts.Timeout, "hard_deadline", hard)
 
 	res, err := core.Learn(ctx, j.seeds, timer, opts)
 
 	j.mu.Lock()
 	j.queries = timer.Snapshot()
+	j.spans = spans.Spans()
 	j.cancel = nil
 	j.mu.Unlock()
 	s.finish(j, res, err)
@@ -468,14 +509,18 @@ func (s *Server) finish(j *Job, res *core.Result, err error) {
 	state := j.state
 	j.touch()
 	j.mu.Unlock()
+	s.met.jobFinished(state)
 	s.persistJob(j)
 	switch state {
 	case JobDone:
-		s.logf("job %s: done (%d queries, %.2fs)", j.ID, res.Stats.OracleQueries, res.Stats.Duration.Seconds())
+		s.met.oracleQueries.Add(uint64(res.Stats.OracleQueries))
+		j.log(s.log).Info("job done",
+			"queries", res.Stats.OracleQueries,
+			"seconds", res.Stats.Duration.Seconds())
 	case JobCanceled:
-		s.logf("job %s: canceled", j.ID)
+		j.log(s.log).Info("job canceled")
 	default:
-		s.logf("job %s: failed: %v", j.ID, err)
+		j.log(s.log).Warn("job failed", "error", err)
 	}
 }
 
@@ -509,8 +554,9 @@ func (s *Server) CancelJob(id string) (*Job, error) {
 		if cancel != nil {
 			cancel()
 		}
+		s.met.jobFinished(JobCanceled)
 		s.persistJob(j)
-		s.logf("job %s: canceled while queued", j.ID)
+		j.log(s.log).Info("job canceled while queued")
 		return j, nil
 	default: // running
 		j.cancelRequested = true
@@ -519,7 +565,7 @@ func (s *Server) CancelJob(id string) (*Job, error) {
 		if cancel != nil {
 			cancel()
 		}
-		s.logf("job %s: cancellation requested", j.ID)
+		j.log(s.log).Info("job cancellation requested")
 		return j, nil
 	}
 }

@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Eight goroutines hammer one histogram with a known latency mix; the
+// totals must be exact and the estimated quantiles must land inside the
+// bucket-resolution bounds implied by the mix. Run under -race this also
+// proves the observation path is data-race free.
+func TestHistogramConcurrentHammer(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 10000
+	)
+	h := &Histogram{}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perG; i++ {
+				// 90% fast ops around 1µs, 10% slow ops around 1ms.
+				var d time.Duration
+				if rng.Intn(10) == 0 {
+					d = time.Millisecond + time.Duration(rng.Intn(1000))*time.Microsecond
+				} else {
+					d = time.Microsecond + time.Duration(rng.Intn(1000))*time.Nanosecond
+				}
+				h.Observe(d)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+
+	s := h.Snapshot()
+	if want := uint64(goroutines * perG); s.Count != want {
+		t.Fatalf("count = %d, want %d", s.Count, want)
+	}
+	var bucketTotal uint64
+	for _, n := range s.Buckets {
+		bucketTotal += n
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+	if s.Max < time.Millisecond || s.Max > 2*time.Millisecond {
+		t.Fatalf("max = %v, want ~1-2ms", s.Max)
+	}
+	// p50 sits in the fast mode (~1-2µs); bucket resolution bounds it to
+	// [1µs, 2.5µs]. p99 sits in the slow mode (~1-2ms).
+	if p50 := s.Quantile(0.50); p50 < time.Microsecond || p50 > 2500*time.Nanosecond {
+		t.Errorf("p50 = %v, want within [1µs, 2.5µs]", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < time.Millisecond || p99 > 2500*time.Microsecond {
+		t.Errorf("p99 = %v, want within [1ms, 2.5ms]", p99)
+	}
+	if mean := s.Mean(); mean <= 0 || mean > time.Millisecond {
+		t.Errorf("mean = %v, want positive and below 1ms", mean)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := &Histogram{}
+	if got := h.Snapshot().Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram p99 = %v, want 0", got)
+	}
+
+	h.Observe(3 * time.Microsecond)
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got > s.Max || got < time.Microsecond {
+		t.Errorf("single-sample p50 = %v, want within (1µs, max=%v]", got, s.Max)
+	}
+	if got := s.Quantile(1.0); got != s.Max {
+		t.Errorf("p100 = %v, want max %v", got, s.Max)
+	}
+
+	// Overflow bucket observations are clamped to the observed max.
+	h2 := &Histogram{}
+	h2.Observe(5 * time.Minute)
+	s2 := h2.Snapshot()
+	if got := s2.Quantile(0.99); got != 5*time.Minute {
+		t.Errorf("overflow p99 = %v, want clamped to max 5m", got)
+	}
+}
+
+func TestHistogramObserveN(t *testing.T) {
+	h := &Histogram{}
+	h.ObserveN(10*time.Microsecond, 100)
+	h.ObserveN(-time.Second, 1) // negative clamps to 0
+	h.ObserveN(time.Second, 0)  // n<=0 ignored
+	s := h.Snapshot()
+	if s.Count != 101 {
+		t.Fatalf("count = %d, want 101", s.Count)
+	}
+	if want := 1000 * time.Microsecond; s.Sum != want {
+		t.Errorf("sum = %v, want %v", s.Sum, want)
+	}
+	if s.Max != 10*time.Microsecond {
+		t.Errorf("max = %v, want 10µs", s.Max)
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(2.5)
+	g.Add(1.5)
+	g.Dec()
+	if g.Value() != 3 {
+		t.Errorf("gauge = %v, want 3", g.Value())
+	}
+}

@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): one # HELP / # TYPE header per family
+// followed by its samples, in registration order. Histogram samples are
+// emitted in seconds with cumulative _bucket{le=...} series plus _sum and
+// _count, as Prometheus expects.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	fams, children := r.collect()
+	for fi, fam := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", fam.name, escapeHelp(fam.help), fam.name, fam.kind); err != nil {
+			return err
+		}
+		for _, ch := range children[fi] {
+			if err := writeChild(w, fam, ch); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeChild(w io.Writer, fam *family, ch *child) error {
+	switch fam.kind {
+	case kindCounter:
+		return writeSample(w, fam.name, ch.key, "", float64(ch.c.Value()))
+	case kindGauge:
+		v := ch.g.Value()
+		if ch.fn != nil {
+			v = ch.fn()
+		}
+		return writeSample(w, fam.name, ch.key, "", v)
+	case kindHistogram:
+		s := ch.h.Snapshot()
+		var cum uint64
+		for i, n := range s.Buckets {
+			cum += n
+			le := "+Inf"
+			if i < len(DefaultBuckets) {
+				le = formatFloat(DefaultBuckets[i].Seconds())
+			}
+			leLabel := `le="` + le + `"`
+			key := ch.key
+			if key != "" {
+				key += "," + leLabel
+			} else {
+				key = leLabel
+			}
+			if err := writeSample(w, fam.name, key, "_bucket", float64(cum)); err != nil {
+				return err
+			}
+		}
+		if err := writeSample(w, fam.name, ch.key, "_sum", s.Sum.Seconds()); err != nil {
+			return err
+		}
+		return writeSample(w, fam.name, ch.key, "_count", float64(s.Count))
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, name, labels, suffix string, v float64) error {
+	var err error
+	if labels == "" {
+		_, err = fmt.Fprintf(w, "%s%s %s\n", name, suffix, formatFloat(v))
+	} else {
+		_, err = fmt.Fprintf(w, "%s%s{%s} %s\n", name, suffix, labels, formatFloat(v))
+	}
+	return err
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// shortest representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// Handler returns an http.Handler that serves the registry in the
+// Prometheus text exposition format, suitable for mounting at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Render to the response directly; exposition errors past the
+		// header are connection failures the client already sees.
+		_ = r.WritePrometheus(w)
+	})
+}

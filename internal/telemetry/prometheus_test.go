@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Golden test for the Prometheus text exposition: exact output, including
+// family headers, label rendering, cumulative buckets, and seconds units.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("glade_test_requests_total", "Requests served.",
+		L("route", "/v1/jobs"), L("class", "2xx")).Add(3)
+	reg.Gauge("glade_test_temp", "Current temperature.").Set(21.5)
+	reg.GaugeFunc("glade_test_queue_depth", "Computed queue depth.",
+		func() float64 { return 7 })
+	h := reg.Histogram("glade_test_latency_seconds", "Latency.")
+	h.Observe(time.Microsecond)
+	h.Observe(time.Microsecond)
+	h.Observe(2 * time.Millisecond)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+
+	want := `# HELP glade_test_requests_total Requests served.
+# TYPE glade_test_requests_total counter
+glade_test_requests_total{class="2xx",route="/v1/jobs"} 3
+# HELP glade_test_temp Current temperature.
+# TYPE glade_test_temp gauge
+glade_test_temp 21.5
+# HELP glade_test_queue_depth Computed queue depth.
+# TYPE glade_test_queue_depth gauge
+glade_test_queue_depth 7
+# HELP glade_test_latency_seconds Latency.
+# TYPE glade_test_latency_seconds histogram
+glade_test_latency_seconds_bucket{le="2.5e-07"} 0
+glade_test_latency_seconds_bucket{le="5e-07"} 0
+glade_test_latency_seconds_bucket{le="1e-06"} 2
+glade_test_latency_seconds_bucket{le="2.5e-06"} 2
+glade_test_latency_seconds_bucket{le="5e-06"} 2
+glade_test_latency_seconds_bucket{le="1e-05"} 2
+glade_test_latency_seconds_bucket{le="2.5e-05"} 2
+glade_test_latency_seconds_bucket{le="5e-05"} 2
+glade_test_latency_seconds_bucket{le="0.0001"} 2
+glade_test_latency_seconds_bucket{le="0.00025"} 2
+glade_test_latency_seconds_bucket{le="0.0005"} 2
+glade_test_latency_seconds_bucket{le="0.001"} 2
+glade_test_latency_seconds_bucket{le="0.0025"} 3
+glade_test_latency_seconds_bucket{le="0.005"} 3
+glade_test_latency_seconds_bucket{le="0.01"} 3
+glade_test_latency_seconds_bucket{le="0.025"} 3
+glade_test_latency_seconds_bucket{le="0.05"} 3
+glade_test_latency_seconds_bucket{le="0.1"} 3
+glade_test_latency_seconds_bucket{le="0.25"} 3
+glade_test_latency_seconds_bucket{le="0.5"} 3
+glade_test_latency_seconds_bucket{le="1"} 3
+glade_test_latency_seconds_bucket{le="2.5"} 3
+glade_test_latency_seconds_bucket{le="5"} 3
+glade_test_latency_seconds_bucket{le="10"} 3
+glade_test_latency_seconds_bucket{le="30"} 3
+glade_test_latency_seconds_bucket{le="+Inf"} 3
+glade_test_latency_seconds_sum 0.002002
+glade_test_latency_seconds_count 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("glade_test_esc_total", "Escaping.",
+		L("path", "a\\b\"c\nd")).Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := `glade_test_esc_total{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("exposition missing escaped sample %q in:\n%s", want, b.String())
+	}
+}
+
+func TestSnapshotShapes(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "c.", L("k", "v")).Add(2)
+	reg.Histogram("h_seconds", "h.").Observe(time.Millisecond)
+	snap := reg.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot len = %d, want 2", len(snap))
+	}
+	if snap[0].Type != "counter" || snap[0].Value != 2 || snap[0].Labels["k"] != "v" {
+		t.Errorf("counter point = %+v", snap[0])
+	}
+	hp := snap[1]
+	if hp.Type != "histogram" || hp.Count != 1 || hp.SumSeconds != 0.001 {
+		t.Errorf("histogram point = %+v", hp)
+	}
+	if hp.P50Seconds <= 0 || hp.P99Seconds < hp.P50Seconds || hp.MaxSeconds != 0.001 {
+		t.Errorf("histogram quantiles = %+v", hp)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("same_name", "first.")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	reg.Gauge("same_name", "second.")
+}
+
+func TestRegistryGetOrCreateReturnsSameInstrument(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "x.", L("r", "1"))
+	b := reg.Counter("x_total", "x.", L("r", "1"))
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	c := reg.Counter("x_total", "x.", L("r", "2"))
+	if a == c {
+		t.Error("distinct labels returned the same counter")
+	}
+}

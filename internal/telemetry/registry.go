@@ -1,0 +1,242 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is a single name/value pair attached to a metric.
+type Label struct {
+	// Name is the label key; it must be a valid Prometheus label name.
+	Name string
+	// Value is the label value; it is escaped on exposition.
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// metric kinds, mirrored in the Prometheus TYPE line and Snapshot output.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// Registry collects named metrics and renders them for exposition. The
+// zero value is not usable; call NewRegistry. Get-or-create lookups take a
+// mutex, so callers should resolve instruments once at startup and hold the
+// returned pointers rather than re-looking them up per observation.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// family is one metric name with its help text, kind, and every labeled
+// child, kept in first-registration order for deterministic exposition.
+type family struct {
+	name     string
+	help     string
+	kind     string
+	children []*child
+	byLabels map[string]*child
+}
+
+// child is one labelset's instrument within a family.
+type child struct {
+	labels []Label
+	key    string // rendered label string, "" for unlabeled
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+// Counter returns the counter registered under name with the given labels,
+// creating it on first use. Registering the same name with a different
+// metric kind panics: metric names are a program-wide contract.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	ch := r.child(name, help, kindCounter, labels)
+	return ch.c
+}
+
+// Gauge returns the gauge registered under name with the given labels,
+// creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	ch := r.child(name, help, kindGauge, labels)
+	return ch.g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at collection
+// time. fn must be safe to call from the exposition handler's goroutine.
+// Re-registering the same name and labels replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	ch := r.child(name, help, kindGauge, labels)
+	r.mu.Lock()
+	ch.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the latency histogram registered under name with the
+// given labels, creating it on first use.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	ch := r.child(name, help, kindHistogram, labels)
+	return ch.h
+}
+
+func (r *Registry) child(name, help, kind string, labels []Label) *child {
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.byName[name]
+	if fam == nil {
+		fam = &family{name: name, help: help, kind: kind, byLabels: map[string]*child{}}
+		r.byName[name] = fam
+		r.families = append(r.families, fam)
+	}
+	if fam.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s and %s", name, fam.kind, kind))
+	}
+	ch := fam.byLabels[key]
+	if ch == nil {
+		ch = &child{labels: append([]Label(nil), labels...), key: key}
+		switch kind {
+		case kindCounter:
+			ch.c = &Counter{}
+		case kindGauge:
+			ch.g = &Gauge{}
+		case kindHistogram:
+			ch.h = &Histogram{}
+		}
+		fam.byLabels[key] = ch
+		fam.children = append(fam.children, ch)
+	}
+	return ch
+}
+
+// renderLabels renders a labelset as it appears inside {...} in the
+// exposition format, sorted by label name so lookups are order-insensitive.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// MetricPoint is one metric sample in a Registry snapshot, shaped for JSON
+// APIs: counters and gauges carry Value; histograms carry Count, the sum in
+// seconds, and derived quantiles in seconds.
+type MetricPoint struct {
+	// Name is the metric family name.
+	Name string `json:"name"`
+	// Type is "counter", "gauge", or "histogram".
+	Type string `json:"type"`
+	// Labels holds the metric's label pairs, if any.
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is the current value for counters and gauges.
+	Value float64 `json:"value,omitempty"`
+	// Count is the observation count for histograms.
+	Count uint64 `json:"count,omitempty"`
+	// SumSeconds is the histogram's total observed time in seconds.
+	SumSeconds float64 `json:"sum_seconds,omitempty"`
+	// P50Seconds is the estimated median latency in seconds.
+	P50Seconds float64 `json:"p50_seconds,omitempty"`
+	// P95Seconds is the estimated 95th-percentile latency in seconds.
+	P95Seconds float64 `json:"p95_seconds,omitempty"`
+	// P99Seconds is the estimated 99th-percentile latency in seconds.
+	P99Seconds float64 `json:"p99_seconds,omitempty"`
+	// MaxSeconds is the largest single observation in seconds.
+	MaxSeconds float64 `json:"max_seconds,omitempty"`
+}
+
+// Snapshot returns the current value of every registered metric in
+// registration order. GaugeFunc gauges are evaluated during the call.
+func (r *Registry) Snapshot() []MetricPoint {
+	fams, children := r.collect()
+	var out []MetricPoint
+	for fi, fam := range fams {
+		for _, ch := range children[fi] {
+			p := MetricPoint{Name: fam.name, Type: fam.kind}
+			if len(ch.labels) > 0 {
+				p.Labels = make(map[string]string, len(ch.labels))
+				for _, l := range ch.labels {
+					p.Labels[l.Name] = l.Value
+				}
+			}
+			switch fam.kind {
+			case kindCounter:
+				p.Value = float64(ch.c.Value())
+			case kindGauge:
+				if ch.fn != nil {
+					p.Value = ch.fn()
+				} else {
+					p.Value = ch.g.Value()
+				}
+			case kindHistogram:
+				s := ch.h.Snapshot()
+				p.Count = s.Count
+				p.SumSeconds = s.Sum.Seconds()
+				p.P50Seconds = s.Quantile(0.50).Seconds()
+				p.P95Seconds = s.Quantile(0.95).Seconds()
+				p.P99Seconds = s.Quantile(0.99).Seconds()
+				p.MaxSeconds = s.Max.Seconds()
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// collect copies the family/child structure under the lock so exposition
+// can run GaugeFunc callbacks (which may take other locks) without holding
+// the registry mutex.
+func (r *Registry) collect() ([]*family, [][]*child) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := append([]*family(nil), r.families...)
+	children := make([][]*child, len(fams))
+	for i, fam := range fams {
+		children[i] = append([]*child(nil), fam.children...)
+	}
+	return fams, children
+}

@@ -1,0 +1,63 @@
+// Package telemetry is a dependency-free metrics and tracing layer for the
+// glade toolchain.
+//
+// It provides three instrument kinds — Counter, Gauge (including computed
+// GaugeFunc gauges), and fixed-bucket latency Histogram — collected in a
+// Registry that can render itself in the Prometheus text exposition format
+// (see WritePrometheus / Handler) or as a structured Snapshot for JSON APIs.
+// All instruments are safe for concurrent use and allocation-free on the
+// observation path: counters and gauges are single atomics, and a histogram
+// observation is three atomic adds plus a bucket lookup in a fixed table.
+//
+// The package also defines the Span / Tracer contract used by core.Learn to
+// report per-phase timing (see trace.go) and an HTTP middleware that
+// instruments a mux with request counts, status classes, and latency
+// histograms (see httpmw.go).
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n (which must be non-negative).
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Inc adds one to the gauge.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one from the gauge.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }

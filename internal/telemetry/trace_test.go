@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNDJSONTracerRoundTrip(t *testing.T) {
+	var b strings.Builder
+	tr := NewNDJSONTracer(&b)
+	start := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	tr.Emit(Span{Name: "phase1", Seed: 0, Start: start,
+		DurationNS: int64(150 * time.Millisecond),
+		Attrs:      map[string]float64{"queries": 42, "candidates": 7}})
+	tr.Emit(Span{Name: "phase2", Seed: -1, Start: start.Add(150 * time.Millisecond),
+		DurationNS: int64(20 * time.Millisecond)})
+
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	var spans []Span
+	for sc.Scan() {
+		var s Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", len(spans)+1, err)
+		}
+		spans = append(spans, s)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("got %d NDJSON lines, want 2", len(spans))
+	}
+	if spans[0].Name != "phase1" || spans[0].Attrs["queries"] != 42 {
+		t.Errorf("span 0 = %+v", spans[0])
+	}
+	if got := spans[0].End(); !got.Equal(start.Add(150 * time.Millisecond)) {
+		t.Errorf("span 0 end = %v", got)
+	}
+	if spans[1].Seed != -1 || spans[1].Duration() != 20*time.Millisecond {
+		t.Errorf("span 1 = %+v", spans[1])
+	}
+}
+
+func TestSpanRecorderSummary(t *testing.T) {
+	var r SpanRecorder
+	base := time.Now()
+	r.Emit(Span{Name: "phase1", Start: base, DurationNS: 100})
+	r.Emit(Span{Name: "phase1", Start: base, DurationNS: 50})
+	r.Emit(Span{Name: "phase2", Start: base, DurationNS: 30})
+	if got := len(r.Spans()); got != 3 {
+		t.Fatalf("recorded %d spans, want 3", got)
+	}
+	sum := r.PhaseSummary()
+	if sum["phase1"] != 150 || sum["phase2"] != 30 {
+		t.Errorf("summary = %v", sum)
+	}
+}
+
+func TestMultiTracerSkipsNil(t *testing.T) {
+	var a, b SpanRecorder
+	mt := MultiTracer(&a, nil, &b)
+	mt.Emit(Span{Name: "x"})
+	if len(a.Spans()) != 1 || len(b.Spans()) != 1 {
+		t.Errorf("fan-out failed: a=%d b=%d", len(a.Spans()), len(b.Spans()))
+	}
+}

@@ -80,4 +80,24 @@ fi
 
 echo "== stats"
 curl -sf "$BASE/v1/stats" | jq '{done, grammars, total_queries}'
+
+echo "== metrics"
+# The Prometheus endpoint must expose the core series, and the counters
+# must reflect the traffic this script just generated.
+METRICS=$(curl -sf "$BASE/metrics")
+for series in glade_jobs_submitted_total glade_jobs_done_total \
+  glade_oracle_queries_total glade_oracle_query_seconds_bucket \
+  glade_http_requests_total glade_http_request_seconds_bucket \
+  glade_store_grammars; do
+  echo "$METRICS" | grep -q "^$series" || {
+    echo "missing metric series $series"
+    echo "$METRICS" | head -40
+    exit 1
+  }
+done
+SUBMITTED=$(echo "$METRICS" | awk '$1 == "glade_jobs_submitted_total" {print int($2)}')
+[ "${SUBMITTED:-0}" -ge 1 ] || { echo "glade_jobs_submitted_total=$SUBMITTED, want >= 1"; exit 1; }
+ORACLE_Q=$(echo "$METRICS" | awk '$1 == "glade_oracle_queries_total" {print int($2)}')
+[ "${ORACLE_Q:-0}" -ge "$QUERIES" ] || { echo "glade_oracle_queries_total=$ORACLE_Q, want >= $QUERIES"; exit 1; }
+echo "metrics OK (submitted=$SUBMITTED oracle_queries=$ORACLE_Q)"
 echo "service smoke OK"

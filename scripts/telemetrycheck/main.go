@@ -1,0 +1,104 @@
+// Command telemetrycheck validates a BENCH_telemetry.json artifact for CI:
+// the file must be valid glade-bench -json output containing telemetry-
+// figure rows for both modes at each measured worker count, including a
+// Workers=1 measurement, and the instrumented oracle dispatch (the
+// metrics.QueryTimer + histogram stack every glade-serve job runs under)
+// must stay within maxOverheadPct of bare dispatch — observability must
+// not tax the hot path. It mirrors scripts/parsecheck and
+// scripts/oraclecheck so the bench smoke needs no jq/python dependency.
+//
+// Usage:
+//
+//	go run ./scripts/telemetrycheck BENCH_telemetry.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// maxOverheadPct is the gate: instrumentation adds ~100 ns of atomics per
+// query against a multi-microsecond parse, so real overhead is well under
+// 5%; the margin absorbs loaded CI machines.
+const maxOverheadPct = 5.0
+
+// telemetryRow mirrors the telemetry-figure fields of glade-bench's jsonRow.
+type telemetryRow struct {
+	Figure      string   `json:"figure"`
+	Mode        string   `json:"mode"`
+	Workers     int      `json:"workers"`
+	Queries     int      `json:"queries"`
+	QPS         float64  `json:"qps"`
+	OverheadPct *float64 `json:"overhead_pct"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: telemetrycheck BENCH_telemetry.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "telemetrycheck:", err)
+		os.Exit(1)
+	}
+	var report struct {
+		Results []telemetryRow `json:"results"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		fmt.Fprintf(os.Stderr, "telemetrycheck: report is not valid JSON: %v\n", err)
+		os.Exit(1)
+	}
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "telemetrycheck: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	// modes[workers][mode] for every telemetry-figure row.
+	modes := map[int]map[string]telemetryRow{}
+	for _, r := range report.Results {
+		if r.Figure != "telemetry" {
+			continue
+		}
+		if r.Mode != "bare" && r.Mode != "instrumented" {
+			fail("row has mode %q, want bare or instrumented", r.Mode)
+		}
+		if r.Workers < 1 || r.Queries <= 0 || r.QPS <= 0 {
+			fail("%s row at workers=%d is degenerate: queries=%d qps=%.0f",
+				r.Mode, r.Workers, r.Queries, r.QPS)
+		}
+		if modes[r.Workers] == nil {
+			modes[r.Workers] = map[string]telemetryRow{}
+		}
+		if _, dup := modes[r.Workers][r.Mode]; dup {
+			fail("duplicate %s row at workers=%d", r.Mode, r.Workers)
+		}
+		modes[r.Workers][r.Mode] = r
+	}
+	if len(modes) == 0 {
+		fail("no telemetry-figure rows (was glade-bench run with -fig telemetry -json?)")
+	}
+	if modes[1] == nil {
+		fail("no Workers=1 measurement: the headline comparison is sequential")
+	}
+	var worst float64
+	for w, byMode := range modes {
+		b, okB := byMode["bare"]
+		i, okI := byMode["instrumented"]
+		if !okB || !okI {
+			fail("workers=%d measured only one mode (bare=%v instrumented=%v)", w, okB, okI)
+		}
+		if i.OverheadPct == nil {
+			fail("instrumented row at workers=%d carries no overhead_pct", w)
+		}
+		if *i.OverheadPct > maxOverheadPct {
+			fail("workers=%d: instrumented dispatch is %.2f%% slower than bare (%.0f vs %.0f q/s; gate: %.0f%%)",
+				w, *i.OverheadPct, i.QPS, b.QPS, maxOverheadPct)
+		}
+		if *i.OverheadPct > worst {
+			worst = *i.OverheadPct
+		}
+	}
+	fmt.Printf("telemetrycheck: ok (%d worker counts, worst overhead %.2f%%)\n",
+		len(modes), worst)
+}
