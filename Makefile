@@ -1,7 +1,7 @@
 # Mirrors .github/workflows/ci.yml so contributors can run CI locally:
 #   make        -> build
 #   make ci     -> everything the workflow runs
-.PHONY: all build test lint bench ci
+.PHONY: all build test lint bench fuzz ci
 
 all: build
 
@@ -42,5 +42,14 @@ bench:
 	go run ./scripts/oraclecheck BENCH_oracle.json
 	go run ./cmd/glade-bench -quick -fig telemetry -json BENCH_telemetry.json
 	go run ./scripts/telemetrycheck BENCH_telemetry.json
+
+# Longer local runs of the native fuzz targets that lock down the
+# recognition ladder (differential verdicts across all rungs) and the
+# grammar wire format (Unmarshal/Marshal/Compile round trip). CI runs the
+# same targets at a 30s smoke budget; override with FUZZTIME=10m etc.
+FUZZTIME ?= 2m
+fuzz:
+	go test ./internal/cfg -run='^$$' -fuzz='^FuzzAcceptsDifferential$$' -fuzztime=$(FUZZTIME)
+	go test ./internal/cfg -run='^$$' -fuzz='^FuzzCompileRoundTrip$$' -fuzztime=$(FUZZTIME)
 
 ci: lint build test bench

@@ -139,15 +139,20 @@ func speedup(ctx context.Context, c bench.Config) {
 }
 
 func parse(ctx context.Context, c bench.Config) {
-	fmt.Println("== Parse: compiled-grammar engine vs map-based Earley ==")
+	fmt.Println("== Parse: recognition ladder vs map-based Earley ==")
 	rows, err := bench.Parse(ctx, c, nil)
 	fail(err)
-	fmt.Printf("%-8s %-9s %7s %10s %8s %10s %11s %9s %7s %6s\n",
-		"program", "engine", "inputs", "ns/accept", "MB/s", "allocs/op", "samples/s", "s-allocs", "ratio", "agree")
+	fmt.Printf("%-8s %-9s %7s %10s %8s %10s %11s %9s %7s %6s %11s\n",
+		"program", "engine", "inputs", "ns/accept", "MB/s", "allocs/op", "samples/s", "s-allocs", "ratio", "agree", "dfa/vm/earl")
 	for _, r := range rows {
-		fmt.Printf("%-8s %-9s %7d %10.0f %8.2f %10.1f %11.0f %9.1f %6.2fx %6v\n",
+		rungs := "-"
+		if r.Engine == "compiled" {
+			rungs = fmt.Sprintf("%.0f/%.0f/%.0f%%",
+				100*r.DFARejectRate, 100*r.VMShare, 100*r.EarleyShare)
+		}
+		fmt.Printf("%-8s %-9s %7d %10.0f %8.2f %10.1f %11.0f %9.1f %6.2fx %6v %11s\n",
 			r.Program, r.Engine, r.Inputs, r.NsPerAccept, r.MBps, r.AcceptAllocs,
-			r.SamplesPerSec, r.SampleAllocs, r.Ratio, r.Agree)
+			r.SamplesPerSec, r.SampleAllocs, r.Ratio, r.Agree && r.RungAgree, rungs)
 	}
 	recordParse(rows)
 	fmt.Println()

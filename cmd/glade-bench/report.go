@@ -57,6 +57,13 @@ type jsonRow struct {
 	SampleAllocs  *float64 `json:"sample_allocs_per_op,omitempty"`
 	Ratio         float64  `json:"ratio,omitempty"`
 	Agree         *bool    `json:"agree,omitempty"`
+	// Ladder fields (compiled rows): full per-rung verdict agreement and
+	// the corpus share each rung decided. Pointers so a 0% share (or a
+	// false agreement) still lands in the JSON for the CI gate.
+	RungAgree     *bool    `json:"rung_agree,omitempty"`
+	DFARejectRate *float64 `json:"dfa_reject_rate,omitempty"`
+	VMShare       *float64 `json:"vm_share,omitempty"`
+	EarleyShare   *float64 `json:"earley_share,omitempty"`
 	Identical     *bool    `json:"identical,omitempty"`
 	TimedOut      bool     `json:"timed_out,omitempty"`
 	// Telemetry-figure fields: per-query mean and the instrumented-vs-bare
@@ -114,12 +121,19 @@ func recordTelemetry(rows []bench.TelemetryRow) {
 func recordParse(rows []bench.ParseRow) {
 	for _, r := range rows {
 		r := r
-		recordRows(jsonRow{
+		row := jsonRow{
 			Figure: "parse", Program: r.Program, Engine: r.Engine,
 			Inputs: r.Inputs, MBps: r.MBps, NsPerAccept: r.NsPerAccept,
 			AllocsPerOp: &r.AcceptAllocs, SamplesPerSec: r.SamplesPerSec,
 			SampleAllocs: &r.SampleAllocs, Ratio: r.Ratio, Agree: &r.Agree,
-		})
+			RungAgree: &r.RungAgree,
+		}
+		if r.Engine == "compiled" {
+			row.DFARejectRate = &r.DFARejectRate
+			row.VMShare = &r.VMShare
+			row.EarleyShare = &r.EarleyShare
+		}
+		recordRows(row)
 	}
 }
 

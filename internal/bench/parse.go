@@ -13,12 +13,15 @@ import (
 )
 
 // ParseRow is one (program, engine) measurement of the parse benchmark:
-// membership and sampling throughput of the map-based Earley Parser
-// versus the compiled-grammar engine on a grammar learned from the named
+// membership and sampling throughput of the map-based Earley Parser, the
+// compiled Earley rung alone, and the full recognition ladder (DFA
+// prefilter → bytecode VM → Earley) on a grammar learned from the named
 // program, over a mixed accept/reject corpus.
 type ParseRow struct {
 	Program string
-	// Engine is "parser" (the map-based Earley baseline) or "compiled".
+	// Engine is "parser" (the map-based Earley baseline), "earley" (the
+	// compiled Earley rung alone — the pre-ladder compiled engine), or
+	// "compiled" (the full DFA → VM → Earley ladder).
 	Engine string
 	// Inputs is the corpus size; Bytes its total length.
 	Inputs int
@@ -30,15 +33,26 @@ type ParseRow struct {
 	// AcceptAllocs is the mean heap allocations per membership query.
 	AcceptAllocs float64
 	// SamplesPerSec is the sampling throughput; SampleAllocs the mean
-	// heap allocations per sampled string.
+	// heap allocations per sampled string (recognition-only rows leave
+	// both zero).
 	SamplesPerSec float64
 	SampleAllocs  float64
 	// Ratio is the baseline engine's NsPerAccept divided by this row's
 	// (1.0 on the baseline row) — the headline old-vs-new speedup.
 	Ratio float64
-	// Agree reports whether the two engines returned identical verdicts
-	// on every corpus input.
+	// Agree reports whether this engine returned the reference parser's
+	// verdict on every corpus input.
 	Agree bool
+	// RungAgree reports full per-rung verdict agreement on the corpus:
+	// the ladder, the Earley rung alone, and the prefilter's sound
+	// direction all match the reference parser.
+	RungAgree bool
+	// Per-rung corpus shares (compiled row): the fraction of inputs
+	// decided by the DFA prefilter (always rejects), the bytecode VM, and
+	// the Earley fallback.
+	DFARejectRate float64
+	VMShare       float64
+	EarleyShare   float64
 }
 
 // parseMinDuration is how long each throughput measurement loops; long
@@ -82,28 +96,52 @@ func Parse(ctx context.Context, c Config, names []string) ([]ParseRow, error) {
 
 		parser := cfg.NewParser(g)
 		comp := cfg.Compile(g)
-		agree := true
+
+		// One differential pass over the corpus: verdicts from the
+		// reference parser, the full ladder (with the deciding rung), and
+		// the Earley rung alone, plus the prefilter's sound direction.
+		agree, rungAgree := true, true
+		var rungCount [3]int
 		for _, s := range corpus {
-			if parser.Accepts(s) != comp.Accepts(s) {
-				agree = false
-				break
+			want := parser.Accepts(s)
+			got, rung := comp.AcceptsRung(s)
+			rungCount[rung]++
+			if got != want {
+				agree, rungAgree = false, false
+			}
+			if comp.AcceptsEarley(s) != want || (comp.PrefilterRejects(s) && want) {
+				rungAgree = false
 			}
 		}
+		share := func(r cfg.Rung) float64 { return float64(rungCount[r]) / float64(len(corpus)) }
 
 		sm := cfg.NewSampler(g, cfg.DefaultSampleDepth)
-		base := ParseRow{Program: name, Engine: "parser", Inputs: len(corpus), Bytes: bytes, Agree: agree, Ratio: 1}
+		base := ParseRow{Program: name, Engine: "parser", Inputs: len(corpus), Bytes: bytes,
+			Agree: true, RungAgree: rungAgree, Ratio: 1}
 		base.NsPerAccept, base.MBps = measureMembership(parser.Accepts, corpus, bytes)
 		base.AcceptAllocs = allocsPerMembership(parser.Accepts, corpus)
 		base.SamplesPerSec, base.SampleAllocs = measureSampling(func(rng *rand.Rand) string { return sm.Sample(rng) })
 
-		comprow := ParseRow{Program: name, Engine: "compiled", Inputs: len(corpus), Bytes: bytes, Agree: agree}
+		// The Earley rung alone is the engine the previous PR shipped as
+		// "compiled"; measuring it keeps the ladder's gain attributable.
+		earleyRow := ParseRow{Program: name, Engine: "earley", Inputs: len(corpus), Bytes: bytes,
+			Agree: rungAgree, RungAgree: rungAgree}
+		earleyRow.NsPerAccept, earleyRow.MBps = measureMembership(comp.AcceptsEarley, corpus, bytes)
+		earleyRow.AcceptAllocs = allocsPerMembership(comp.AcceptsEarley, corpus)
+		if earleyRow.NsPerAccept > 0 {
+			earleyRow.Ratio = base.NsPerAccept / earleyRow.NsPerAccept
+		}
+
+		comprow := ParseRow{Program: name, Engine: "compiled", Inputs: len(corpus), Bytes: bytes,
+			Agree: agree, RungAgree: rungAgree,
+			DFARejectRate: share(cfg.RungDFA), VMShare: share(cfg.RungVM), EarleyShare: share(cfg.RungEarley)}
 		comprow.NsPerAccept, comprow.MBps = measureMembership(comp.Accepts, corpus, bytes)
 		comprow.AcceptAllocs = allocsPerMembership(comp.Accepts, corpus)
 		comprow.SamplesPerSec, comprow.SampleAllocs = measureSampling(func(rng *rand.Rand) string { return comp.Sample(rng) })
 		if comprow.NsPerAccept > 0 {
 			comprow.Ratio = base.NsPerAccept / comprow.NsPerAccept
 		}
-		rows = append(rows, base, comprow)
+		rows = append(rows, base, earleyRow, comprow)
 	}
 	return rows, nil
 }

@@ -64,7 +64,15 @@ type Compiled struct {
 	// goroutines.
 	MaxDepth int
 
-	scratch sync.Pool // *earleyScratch
+	// The recognition ladder (see ladder.go): dfa is the reject-fast
+	// regular-approximation prefilter, vm the lowered bytecode program.
+	// Either may be nil when the grammar exceeds its construction budget
+	// (or, for vm, is left-recursive); Accepts skips missing rungs.
+	dfa *prefilter
+	vm  *vmProgram
+
+	scratch   sync.Pool // *earleyScratch
+	vmScratch sync.Pool // *vmScratch
 }
 
 // unboundedCost marks unproductive nonterminals in the int32 depth tables
@@ -108,6 +116,11 @@ func Compile(g *Grammar) *Compiled {
 	c.prodOff = append(c.prodOff, int32(len(c.arena)))
 	c.computeDepths()
 	c.computeFirst()
+	// Build the ladder's optional rungs last: the prefilter snapshots the
+	// byte-class tables before VM lowering interns its union and guard
+	// classes.
+	c.dfa = c.buildPrefilter()
+	c.vm = c.lowerVM()
 	return c
 }
 

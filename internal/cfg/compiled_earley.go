@@ -1,10 +1,5 @@
 package cfg
 
-import (
-	"sync"
-	"sync/atomic"
-)
-
 // The compiled recognizer is the same Earley algorithm as Parser (with the
 // Aycock–Horspool nullable shortcut), restructured for throughput:
 //
@@ -86,52 +81,6 @@ func (c *Compiled) putScratch(sc *earleyScratch) {
 		return
 	}
 	c.scratch.Put(sc)
-}
-
-// Accepts reports whether input ∈ L(g). It is safe for concurrent use.
-func (c *Compiled) Accepts(input string) bool {
-	sc := c.getScratch()
-	ok := c.run(sc, input)
-	c.putScratch(sc)
-	return ok
-}
-
-// AcceptsAll answers membership for every input using at most workers
-// concurrent goroutines, mirroring oracle.Parallel's bulk path. Values of
-// workers below 2 run sequentially (still reusing one scratch across the
-// whole batch). The result is index-aligned with inputs.
-func (c *Compiled) AcceptsAll(inputs []string, workers int) []bool {
-	out := make([]bool, len(inputs))
-	if workers > len(inputs) {
-		workers = len(inputs)
-	}
-	if workers <= 1 {
-		sc := c.getScratch()
-		for i, in := range inputs {
-			out[i] = c.run(sc, in)
-		}
-		c.putScratch(sc)
-		return out
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			sc := c.getScratch()
-			defer c.putScratch(sc)
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(inputs) {
-					return
-				}
-				out[i] = c.run(sc, inputs[i])
-			}
-		}()
-	}
-	wg.Wait()
-	return out
 }
 
 // run executes one recognition over the pooled scratch.

@@ -35,8 +35,18 @@ func assertEngineAgreement(t *testing.T, name string, g *cfg.Grammar, inputs []s
 	want := make([]bool, len(inputs))
 	for i, in := range inputs {
 		want[i] = parser.Accepts(in)
-		if got := comp.Accepts(in); got != want[i] {
-			t.Fatalf("%s: Compiled.Accepts(%q) = %v, Parser says %v", name, in, got, want[i])
+		got, rung := comp.AcceptsRung(in)
+		if got != want[i] {
+			t.Fatalf("%s: Compiled.Accepts(%q) = %v via %s rung, Parser says %v", name, in, got, rung, want[i])
+		}
+		// Every rung must agree with the map-based reference on its own:
+		// the Earley rung directly, the prefilter in its sound direction
+		// (a DFA rejection must never contradict an accept).
+		if e := comp.AcceptsEarley(in); e != want[i] {
+			t.Fatalf("%s: AcceptsEarley(%q) = %v, Parser says %v", name, in, e, want[i])
+		}
+		if comp.PrefilterRejects(in) && want[i] {
+			t.Fatalf("%s: DFA prefilter rejects %q, which the reference accepts", name, in)
 		}
 	}
 	for _, workers := range []int{1, 4} {

@@ -1,0 +1,168 @@
+package cfg_test
+
+// Native fuzz targets locking down the recognition ladder and the grammar
+// wire format:
+//
+//   - FuzzAcceptsDifferential feeds arbitrary inputs to every engine — the
+//     map-based Earley Parser (the reference), the full compiled ladder,
+//     the Earley rung alone, and the DFA prefilter in its sound
+//     direction — over the pinned learned sed/xml grammars plus the
+//     handcrafted pathological set, and fails on any disagreement.
+//   - FuzzCompileRoundTrip drives Unmarshal → Marshal → Unmarshal →
+//     Compile on arbitrary grammar text: parsing must never panic, the
+//     marshaled form must be a fixed point, and the two compiled ladders
+//     must agree with the reference parser on a deterministic probe set.
+//
+// The seed corpora live under testdata/fuzz/ and run as ordinary tests in
+// every `go test` invocation; `make fuzz` (and the CI fuzz-smoke job) run
+// the randomized exploration.
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"glade/internal/cfg"
+)
+
+// Input caps per grammar family: the map-based reference parser is
+// O(n²)-ish on ambiguous grammars, so the large learned goldens get a
+// tighter cap than the small handcrafted shapes — longer suffixes add
+// fuzz wall-clock, not ladder coverage.
+const (
+	maxFuzzInputGolden = 96
+	maxFuzzInputSmall  = 256
+)
+
+// fuzzEngine is one pre-built grammar with all engines constructed once
+// per process (fuzz workers re-execute the test binary, not the target).
+type fuzzEngine struct {
+	name   string
+	cap    int
+	parser *cfg.Parser
+	comp   *cfg.Compiled
+}
+
+func buildFuzzEngines(tb testing.TB) []*fuzzEngine {
+	var out []*fuzzEngine
+	add := func(name string, g *cfg.Grammar, cap int) {
+		out = append(out, &fuzzEngine{name: name, cap: cap, parser: cfg.NewParser(g), comp: cfg.Compile(g)})
+	}
+	for _, golden := range []string{"golden_sed_w1.grammar", "golden_xml_w1.grammar"} {
+		text, err := os.ReadFile(filepath.Join("..", "core", "testdata", golden))
+		if err != nil {
+			tb.Fatalf("golden grammar: %v", err)
+		}
+		g, err := cfg.Unmarshal(string(text))
+		if err != nil {
+			tb.Fatalf("golden grammar %s: %v", golden, err)
+		}
+		add(golden, g, maxFuzzInputGolden)
+	}
+	paths := pathologicalGrammars()
+	names := make([]string, 0, len(paths))
+	for name := range paths {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		add(name, paths[name], maxFuzzInputSmall)
+	}
+	return out
+}
+
+// checkLadderAgreement runs one input through every engine of e and fails
+// on any disagreement with the reference parser.
+func checkLadderAgreement(t *testing.T, e *fuzzEngine, input string) {
+	t.Helper()
+	want := e.parser.Accepts(input)
+	got, rung := e.comp.AcceptsRung(input)
+	if got != want {
+		t.Fatalf("%s: ladder says %v via %s rung, reference parser says %v for %q",
+			e.name, got, rung, want, input)
+	}
+	if earley := e.comp.AcceptsEarley(input); earley != want {
+		t.Fatalf("%s: Earley rung says %v, reference parser says %v for %q",
+			e.name, earley, want, input)
+	}
+	if e.comp.PrefilterRejects(input) && want {
+		t.Fatalf("%s: DFA prefilter rejects %q, which the reference accepts", e.name, input)
+	}
+}
+
+// FuzzAcceptsDifferential: arbitrary inputs, every grammar, every engine.
+func FuzzAcceptsDifferential(f *testing.F) {
+	engines := buildFuzzEngines(f)
+	for _, seed := range []string{
+		"", "a", "ab", "aaaa", "s/a/b/", "s/a/b/g", "s0a0b0",
+		"<item>hello</item>", "<a><b>x</b></a>", "<a></b>", "((", "(()())",
+		"\x00\xff<", "aab", "s/[a-z]*/X/p",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		for _, e := range engines {
+			in := input
+			if len(in) > e.cap {
+				in = in[:e.cap]
+			}
+			checkLadderAgreement(t, e, in)
+		}
+	})
+}
+
+// roundTripProbes are the deterministic membership probes the round-trip
+// target checks on both compilations of a fuzzed grammar.
+var roundTripProbes = []string{
+	"", "a", "b", "ab", "aa", "ba", "abc", "0", "1", "<x>", "((", "()",
+}
+
+// FuzzCompileRoundTrip: arbitrary grammar text must never panic the
+// unmarshaler, marshaling must reach a fixed point, and recompiling the
+// round-tripped grammar must preserve every probe verdict across the whole
+// ladder.
+func FuzzCompileRoundTrip(f *testing.F) {
+	for _, seed := range []string{
+		"start S\nS -> \"a\" S\nS ->\n",
+		"start S\nS -> S S\nS -> \"a\"\nS ->\n",
+		"start A\nA -> B\nB -> A\nA -> \"a\"\nB -> {b-d}\n",
+		"start S\nS -> \"(\" S \")\" S\nS ->\n",
+		"start S\nS -> {a-z} S\nS -> {0-9}\n",
+		"start S\n",
+		"not a grammar",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		if len(text) > 4096 {
+			return // bound Compile cost; long tails add no parser coverage
+		}
+		g, err := cfg.Unmarshal(text)
+		if err != nil {
+			return
+		}
+		m := cfg.Marshal(g)
+		g2, err := cfg.Unmarshal(m)
+		if err != nil {
+			t.Fatalf("re-unmarshal of marshaled grammar failed: %v\n%s", err, m)
+		}
+		if m2 := cfg.Marshal(g2); m2 != m {
+			t.Fatalf("marshal not a fixed point:\nfirst:\n%s\nsecond:\n%s", m, m2)
+		}
+		parser := cfg.NewParser(g)
+		c1, c2 := cfg.Compile(g), cfg.Compile(g2)
+		for _, in := range roundTripProbes {
+			want := parser.Accepts(in)
+			if got, rung := c1.AcceptsRung(in); got != want {
+				t.Fatalf("ladder says %v via %s rung, parser says %v for %q\n%s", got, rung, want, in, m)
+			}
+			if got, rung := c2.AcceptsRung(in); got != want {
+				t.Fatalf("round-tripped ladder says %v via %s rung, parser says %v for %q\n%s", got, rung, want, in, m)
+			}
+			if c1.PrefilterRejects(in) && want {
+				t.Fatalf("prefilter rejects %q, which the parser accepts\n%s", in, m)
+			}
+		}
+	})
+}

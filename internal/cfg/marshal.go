@@ -160,7 +160,10 @@ func Unmarshal(text string) (*Grammar, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		if rest, ok := strings.CutPrefix(line, "start "); ok {
+		// A "start" directive names the start symbol. A nonterminal may
+		// itself be named "start", so a line that is a production (it
+		// contains "->") is never treated as the directive.
+		if rest, ok := strings.CutPrefix(line, "start "); ok && !strings.Contains(rest, "->") {
 			startName = strings.TrimSpace(rest)
 			continue
 		}
@@ -180,6 +183,14 @@ func Unmarshal(text string) (*Grammar, error) {
 	}
 	if g.NumNT() == 0 {
 		return nil, fmt.Errorf("cfg: no productions")
+	}
+	// Names are interned on mention from both sides of '->'; reject any
+	// that violate the documented shape (empty, or digit-leading) now —
+	// such a grammar would marshal to text Unmarshal cannot re-parse.
+	for name := range names {
+		if !validName(name) {
+			return nil, fmt.Errorf("cfg: invalid nonterminal name %q", name)
+		}
 	}
 	if startName != "" {
 		id, ok := names[startName]
@@ -231,6 +242,24 @@ func parseSyms(rhs string, intern func(string) int) ([]Sym, error) {
 
 func isNameByte(c byte) bool {
 	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '\''
+}
+
+// validName reports whether name matches the documented nonterminal shape
+// [A-Za-z_][A-Za-z0-9_']*.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	c := name[0]
+	if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_') {
+		return false
+	}
+	for i := 1; i < len(name); i++ {
+		if !isNameByte(name[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // scanQuoted reads a Go-quoted string from the front of s and returns the

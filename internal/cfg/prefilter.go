@@ -1,0 +1,262 @@
+package cfg
+
+import "math/bits"
+
+// prefilter.go is the first rung of the recognition ladder: a DFA over a
+// regular over-approximation of the grammar's language, used as an O(n),
+// allocation-free reject-fast filter in front of the VM and Earley rungs.
+//
+// The approximation is the classic RTN collapse (Nederhof's basic
+// construction): treat every dotted position of the flat IR as an NFA
+// state, wire terminal symbols as byte-class transitions, and approximate
+// nonterminal symbols by ε-edges into every production of the callee plus
+// ε-edges from every production end of that callee back to *every*
+// position that follows an occurrence of it. Because call and return
+// edges are not matched up, the NFA's language is a superset of L(G):
+// whenever the DFA rejects, the input is certainly not in the language,
+// so Accepts can return false without running a general recognizer.
+// DFA acceptance means only "maybe" and hands off to the next rung.
+//
+// The subset construction runs over byte-equivalence classes (bytes that
+// no terminal class distinguishes share a DFA column) and is bounded by
+// state and work budgets; grammars whose approximation explodes simply
+// run without a prefilter.
+
+const (
+	// maxPrefilterNFAStates bounds the dotted-state NFA: grammars larger
+	// than this skip the prefilter (subset-construction bitsets would be
+	// proportionally wide).
+	maxPrefilterNFAStates = 1 << 16
+	// maxPrefilterDFAStates bounds the determinized automaton; the classic
+	// 2^n blow-up grammars hit this and fall back to filterless operation.
+	maxPrefilterDFAStates = 2048
+	// prefilterWorkBudget bounds total elementary construction steps so
+	// Compile stays cheap even on adversarial (e.g. fuzz-generated)
+	// grammars.
+	prefilterWorkBudget = 1 << 24
+)
+
+// prefilter is the built DFA: a flat transition table over byte-equivalence
+// classes. start == -1 encodes the empty approximation (reject everything).
+type prefilter struct {
+	width  int32      // number of byte-equivalence classes
+	start  int32      // start state, or -1 when even ε is rejected
+	cls    [256]int32 // byte -> equivalence class
+	delta  []int32    // state*width + class -> next state, -1 = dead
+	accept []bool     // per-state acceptance
+}
+
+// mayAccept reports whether input is in the DFA's (superset) language.
+// A false result proves input ∉ L(g); true means the next rung decides.
+// It is allocation-free and safe for concurrent use.
+func (d *prefilter) mayAccept(input string) bool {
+	st := d.start
+	if st < 0 {
+		return false
+	}
+	w := int(d.width)
+	delta := d.delta
+	for i := 0; i < len(input); i++ {
+		st = delta[int(st)*w+int(d.cls[input[i]])]
+		if st < 0 {
+			return false
+		}
+	}
+	return d.accept[st]
+}
+
+// buildPrefilter constructs the approximation DFA from the flat IR, or
+// returns nil when the grammar exceeds the state or work budgets.
+func (c *Compiled) buildPrefilter() *prefilter {
+	numStates := len(c.arena) + c.numProds()
+	if numStates > maxPrefilterNFAStates {
+		return nil
+	}
+	budget := prefilterWorkBudget
+
+	// NFA over dotted states, reusing the compiled recognizer's encoding:
+	// ds(p, dot) = prodOff[p] + p + dot, so ds+1 is "dot advanced by one".
+	symCls := make([]int32, numStates) // terminal class at the dot, or -1
+	eps := make([][]int32, numStates)  // ε-edges (call entries + returns)
+	acc := make([]bool, numStates)     // production ends of the start NT
+	afterNT := make([][]int32, c.NumNT())
+	for i := range symCls {
+		symCls[i] = -1
+	}
+	for p := 0; p < c.numProds(); p++ {
+		base := int(c.prodOff[p]) + p
+		n := c.prodLen(int32(p))
+		for dot := 0; dot < n; dot++ {
+			budget--
+			s := c.arena[int(c.prodOff[p])+dot]
+			ds := base + dot
+			if s < 0 {
+				symCls[ds] = ^s
+				continue
+			}
+			// Call edges into every production of s; the matching return
+			// edge is registered below once afterNT is complete.
+			for q := c.ntProd[s]; q < c.ntProd[s+1]; q++ {
+				eps[ds] = append(eps[ds], c.prodOff[q]+q)
+			}
+			afterNT[s] = append(afterNT[s], int32(ds+1))
+		}
+		if c.prodNT[p] == c.start {
+			acc[base+n] = true
+		}
+	}
+	if budget < 0 {
+		return nil
+	}
+	for p := 0; p < c.numProds(); p++ {
+		end := int(c.prodOff[p]) + p + c.prodLen(int32(p))
+		eps[end] = append(eps[end], afterNT[c.prodNT[p]]...)
+		budget -= len(afterNT[c.prodNT[p]])
+	}
+	if budget < 0 {
+		return nil
+	}
+
+	// Byte-equivalence classes: bytes with identical membership across all
+	// terminal classes share one DFA column.
+	d := &prefilter{start: -1}
+	keyLen := (len(c.classes) + 7) / 8
+	sigs := map[string]int32{}
+	var reps []byte // one representative byte per equivalence class
+	key := make([]byte, keyLen)
+	for b := 0; b < 256; b++ {
+		for i := range key {
+			key[i] = 0
+		}
+		for k, set := range c.classes {
+			if set.Has(byte(b)) {
+				key[k/8] |= 1 << (k % 8)
+			}
+		}
+		budget -= len(c.classes)
+		id, ok := sigs[string(key)]
+		if !ok {
+			id = int32(len(reps))
+			sigs[string(key)] = id
+			reps = append(reps, byte(b))
+		}
+		d.cls[b] = id
+	}
+	if budget < 0 {
+		return nil
+	}
+	d.width = int32(len(reps))
+
+	// Subset construction over bitsets of NFA states.
+	words := (numStates + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	closure := func(set []uint64, stack []int32) {
+		for len(stack) > 0 {
+			ds := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, t := range eps[ds] {
+				if set[t>>6]&(1<<(t&63)) == 0 {
+					set[t>>6] |= 1 << (t & 63)
+					stack = append(stack, t)
+				}
+			}
+		}
+	}
+	setKey := func(set []uint64) string {
+		b := make([]byte, 0, words*8)
+		for _, w := range set {
+			b = append(b, byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+				byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+		}
+		return string(b)
+	}
+
+	start := make([]uint64, words)
+	var stack []int32
+	for q := c.ntProd[c.start]; q < c.ntProd[c.start+1]; q++ {
+		ds := c.prodOff[q] + q
+		if start[ds>>6]&(1<<(ds&63)) == 0 {
+			start[ds>>6] |= 1 << (ds & 63)
+			stack = append(stack, ds)
+		}
+	}
+	closure(start, stack)
+	empty := true
+	for _, w := range start {
+		if w != 0 {
+			empty = false
+			break
+		}
+	}
+	if empty {
+		return d // start == -1: the empty language rejects everything
+	}
+
+	index := map[string]int32{setKey(start): 0}
+	sets := [][]uint64{start}
+	d.start = 0
+	for si := 0; si < len(sets); si++ {
+		set := sets[si]
+		accepting := false
+		row := make([]int32, d.width)
+		for e := int32(0); e < d.width; e++ {
+			row[e] = -1
+		}
+		// One pass over the members fills every column of this state's row.
+		next := make([][]uint64, d.width)
+		var nextStacks [][]int32
+		nextStacks = make([][]int32, d.width)
+		for wi, w := range set {
+			for w != 0 {
+				ds := int32(wi<<6 + bits.TrailingZeros64(w))
+				w &= w - 1
+				if acc[ds] {
+					accepting = true
+				}
+				k := symCls[ds]
+				if k < 0 {
+					continue
+				}
+				for e := int32(0); e < d.width; e++ {
+					budget--
+					if !c.classes[k].Has(reps[e]) {
+						continue
+					}
+					if next[e] == nil {
+						next[e] = make([]uint64, words)
+					}
+					t := ds + 1
+					if next[e][t>>6]&(1<<(t&63)) == 0 {
+						next[e][t>>6] |= 1 << (t & 63)
+						nextStacks[e] = append(nextStacks[e], t)
+					}
+				}
+			}
+		}
+		if budget < 0 {
+			return nil
+		}
+		d.accept = append(d.accept, accepting)
+		for e := int32(0); e < d.width; e++ {
+			if next[e] == nil {
+				continue
+			}
+			closure(next[e], nextStacks[e])
+			k := setKey(next[e])
+			id, ok := index[k]
+			if !ok {
+				if len(sets) >= maxPrefilterDFAStates {
+					return nil
+				}
+				id = int32(len(sets))
+				index[k] = id
+				sets = append(sets, next[e])
+			}
+			row[e] = id
+		}
+		d.delta = append(d.delta, row...)
+	}
+	return d
+}

@@ -1,0 +1,417 @@
+package cfg
+
+import "glade/internal/bytesets"
+
+// vm.go is the second rung of the recognition ladder: the compiled IR is
+// lowered to a compact bytecode program executed by a backtracking
+// recognizer VM. The VM explores leftmost derivations depth-first —
+// alternatives push choice points, nonterminals push continuation frames
+// onto a persistent (never-mutated) arena so restoring a choice point is
+// O(1) — and decides membership exactly when the search finishes within
+// its step budget. Inputs that exhaust the budget return vmUnknown and
+// fall through to the pooled Earley rung, which stays the reference.
+//
+// Lowering first normalizes each nonterminal's alternatives in three
+// language-preserving steps that matter enormously on learned grammars
+// (whose nonterminals carry long unit chains and many overlapping
+// one-byte alternatives — raw backtracking over those is exponential):
+//
+//   - unit closure: alternatives that are a bare nonterminal are replaced
+//     by that nonterminal's own (transitively resolved) alternatives, so
+//     unit cycles vanish instead of looping;
+//   - deduplication: byte-identical right-hand sides collapse to one;
+//   - single-terminal union: all alternatives that are exactly one
+//     terminal class merge into one alternative over the classes' union,
+//     cutting the per-byte branching factor to one.
+//
+// Every non-nullable alternative is guarded by its precomputed FIRST-byte
+// set, so the VM skips alternatives that cannot match the next input byte
+// in one instruction. Grammars that are left-recursive after
+// normalization (the depth-first search would not terminate), or whose
+// lowered program exceeds the code budget, are not lowered at all —
+// Compile leaves vm == nil and the ladder runs DFA → Earley.
+
+// VM opcodes. Operands live in vmInst.a / vmInst.b.
+const (
+	vmOpClass  int32 = iota // a: class index — consume one byte ∈ classes[a]
+	vmOpCall                // a: nonterminal — push continuation, enter its code
+	vmOpReturn              // pop continuation; at top level, accept iff input consumed
+	vmOpSplit               // a: pc — push a choice point resuming at a
+	vmOpGuard               // a: class, b: pc — unless next byte ∈ classes[a], go to b (b < 0: fail)
+	vmOpFail                // unconditional fail (nonterminal with no alternatives)
+)
+
+// vmInst is one VM instruction.
+type vmInst struct{ op, a, b int32 }
+
+// vmProgram is a lowered grammar: one contiguous code segment plus the
+// entry pc of every nonterminal (calls resolve through ntEntry, so
+// lowering needs no fixups).
+type vmProgram struct {
+	code    []vmInst
+	ntEntry []int32
+}
+
+const (
+	// vmMaxCode bounds the lowered program; unit closure can duplicate
+	// shared production bodies, so pathological grammars are refused
+	// rather than inflated.
+	vmMaxCode = 1 << 17
+	// vmStepsBase and vmStepsPerByte set the per-input step budget. The
+	// budget is the determinism escape hatch: a backtracking search that
+	// exceeds linear-with-headroom work bails to the Earley rung instead
+	// of going exponential.
+	vmStepsBase    = 4096
+	vmStepsPerByte = 256
+	// vmMaxFrames bounds the choice-point stack and the continuation
+	// arena (each ≤ 12 bytes/entry), independent of the step budget.
+	vmMaxFrames = 1 << 19
+	// vmMaxPooledFrames bounds what a pooled scratch may retain.
+	vmMaxPooledFrames = 1 << 16
+)
+
+// runVM verdicts.
+const (
+	vmReject int32 = iota
+	vmAccept
+	vmUnknown
+)
+
+// vmCont is one continuation frame: return to ret, then continue with the
+// parent chain. Frames are append-only within a run, so choice points can
+// reference them by index and restore in O(1).
+type vmCont struct{ ret, parent int32 }
+
+// vmFrame is one choice point: resume at pc with the saved position and
+// continuation chain.
+type vmFrame struct{ pc, pos, cont int32 }
+
+// vmScratch is the reusable per-run state of one VM execution.
+type vmScratch struct {
+	bt   []vmFrame
+	cont []vmCont
+}
+
+func (c *Compiled) getVMScratch() *vmScratch {
+	if sc, ok := c.vmScratch.Get().(*vmScratch); ok {
+		return sc
+	}
+	return &vmScratch{}
+}
+
+func (c *Compiled) putVMScratch(sc *vmScratch) {
+	if cap(sc.bt)+cap(sc.cont) > vmMaxPooledFrames {
+		return
+	}
+	c.vmScratch.Put(sc)
+}
+
+// runVM executes the lowered program on input and returns vmAccept,
+// vmReject, or vmUnknown when the step budget or a frame bound is hit.
+func (c *Compiled) runVM(sc *vmScratch, input string) int32 {
+	vm := c.vm
+	n := int32(len(input))
+	pc := vm.ntEntry[c.start]
+	pos := int32(0)
+	cont := int32(-1)
+	sc.bt = sc.bt[:0]
+	sc.cont = sc.cont[:0]
+	steps := vmStepsBase + vmStepsPerByte*int(n)
+	for {
+		steps--
+		if steps < 0 {
+			return vmUnknown
+		}
+		in := vm.code[pc]
+		switch in.op {
+		case vmOpClass:
+			if pos < n && c.classes[in.a].Has(input[pos]) {
+				pos++
+				pc++
+				continue
+			}
+		case vmOpGuard:
+			if pos < n && c.classes[in.a].Has(input[pos]) {
+				pc++
+				continue
+			}
+			if in.b >= 0 {
+				pc = in.b
+				continue
+			}
+		case vmOpSplit:
+			if len(sc.bt) >= vmMaxFrames {
+				return vmUnknown
+			}
+			sc.bt = append(sc.bt, vmFrame{pc: in.a, pos: pos, cont: cont})
+			pc++
+			continue
+		case vmOpCall:
+			if len(sc.cont) >= vmMaxFrames {
+				return vmUnknown
+			}
+			sc.cont = append(sc.cont, vmCont{ret: pc + 1, parent: cont})
+			cont = int32(len(sc.cont) - 1)
+			pc = vm.ntEntry[in.a]
+			continue
+		case vmOpReturn:
+			if cont >= 0 {
+				f := sc.cont[cont]
+				pc = f.ret
+				cont = f.parent
+				continue
+			}
+			if pos == n {
+				return vmAccept
+			}
+		case vmOpFail:
+			// fall through to backtrack
+		}
+		// Fail: restore the most recent choice point, or reject.
+		if len(sc.bt) == 0 {
+			return vmReject
+		}
+		f := sc.bt[len(sc.bt)-1]
+		sc.bt = sc.bt[:len(sc.bt)-1]
+		pc, pos, cont = f.pc, f.pos, f.cont
+	}
+}
+
+// vmAlt is one normalized alternative: the right-hand side in arena
+// encoding (≥ 0 nonterminal, < 0 ^class) and the FIRST-byte guard class
+// (-1 when the alternative derives ε and must always be tried).
+type vmAlt struct {
+	syms  []int32
+	guard int32
+}
+
+// lowerVM lowers the IR to bytecode, or returns nil when the grammar is
+// ineligible (left-recursive after normalization, or over the code
+// budget).
+func (c *Compiled) lowerVM() *vmProgram {
+	alts, ok := c.vmAlternatives()
+	if !ok {
+		return nil
+	}
+	reach := c.vmReachable(alts)
+	if c.vmLeftRecursive(alts, reach) {
+		return nil
+	}
+	vm := &vmProgram{ntEntry: make([]int32, c.NumNT())}
+	failPC := int32(-1)
+	for nt := range vm.ntEntry {
+		vm.ntEntry[nt] = -1
+	}
+	for nt := 0; nt < c.NumNT(); nt++ {
+		if !reach[nt] {
+			continue
+		}
+		as := alts[nt]
+		if len(as) == 0 {
+			if failPC < 0 {
+				failPC = int32(len(vm.code))
+				vm.code = append(vm.code, vmInst{op: vmOpFail})
+			}
+			vm.ntEntry[nt] = failPC
+			continue
+		}
+		vm.ntEntry[nt] = int32(len(vm.code))
+		for i, alt := range as {
+			last := i == len(as)-1
+			guardIdx, splitIdx := -1, -1
+			if alt.guard >= 0 {
+				guardIdx = len(vm.code)
+				vm.code = append(vm.code, vmInst{op: vmOpGuard, a: alt.guard, b: -1})
+			}
+			if !last {
+				splitIdx = len(vm.code)
+				vm.code = append(vm.code, vmInst{op: vmOpSplit})
+			}
+			for _, s := range alt.syms {
+				if s < 0 {
+					vm.code = append(vm.code, vmInst{op: vmOpClass, a: ^s})
+				} else {
+					vm.code = append(vm.code, vmInst{op: vmOpCall, a: s})
+				}
+			}
+			vm.code = append(vm.code, vmInst{op: vmOpReturn})
+			next := int32(len(vm.code))
+			if !last {
+				if guardIdx >= 0 {
+					vm.code[guardIdx].b = next
+				}
+				vm.code[splitIdx].a = next
+			}
+			if len(vm.code) > vmMaxCode {
+				return nil
+			}
+		}
+	}
+	return vm
+}
+
+// vmAlternatives builds the normalized per-nonterminal alternative lists:
+// unit closure, duplicate removal, single-terminal union. The bool result
+// is false when normalization exceeds the code budget.
+func (c *Compiled) vmAlternatives() ([][]vmAlt, bool) {
+	numNT := c.NumNT()
+	alts := make([][]vmAlt, numNT)
+	total := 0
+	for nt := 0; nt < numNT; nt++ {
+		// Unit closure: collect nt plus every nonterminal reachable via
+		// alternatives that are exactly one nonterminal symbol.
+		members := []int32{int32(nt)}
+		seen := map[int32]bool{int32(nt): true}
+		for i := 0; i < len(members); i++ {
+			m := members[i]
+			for p := c.ntProd[m]; p < c.ntProd[m+1]; p++ {
+				if c.prodLen(p) == 1 && c.arena[c.prodOff[p]] >= 0 {
+					t := c.arena[c.prodOff[p]]
+					if !seen[t] {
+						seen[t] = true
+						members = append(members, t)
+					}
+				}
+			}
+		}
+		// Gather the non-unit alternatives of the closure, deduplicated,
+		// with single-terminal alternatives pulled aside for the union.
+		var union bytesets.Set
+		haveUnion := false
+		dedup := map[string]bool{}
+		for _, m := range members {
+			for p := c.ntProd[m]; p < c.ntProd[m+1]; p++ {
+				syms := c.arena[c.prodOff[p]:c.prodOff[p+1]]
+				if len(syms) == 1 && syms[0] >= 0 {
+					continue // unit alternative, resolved by the closure
+				}
+				if len(syms) == 1 && syms[0] < 0 {
+					union = union.Union(c.classes[^syms[0]])
+					haveUnion = true
+					continue
+				}
+				key := symsKey(syms)
+				if dedup[key] {
+					continue
+				}
+				dedup[key] = true
+				guard := int32(-1)
+				if !c.prodNullable[p] {
+					guard = c.classIndex(c.prodFirst[p])
+				}
+				alts[nt] = append(alts[nt], vmAlt{syms: syms, guard: guard})
+				total += len(syms) + 2
+			}
+		}
+		if haveUnion {
+			ci := c.classIndex(union)
+			alts[nt] = append(alts[nt], vmAlt{syms: []int32{^ci}, guard: ci})
+			total += 3
+		}
+		if total > vmMaxCode {
+			return nil, false
+		}
+	}
+	return alts, true
+}
+
+// symsKey renders an arena slice as a map key for duplicate detection.
+func symsKey(syms []int32) string {
+	b := make([]byte, 0, len(syms)*4)
+	for _, s := range syms {
+		b = append(b, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+	}
+	return string(b)
+}
+
+// vmReachable marks the nonterminals reachable from the start symbol
+// through the normalized alternatives — the set the VM can ever call.
+func (c *Compiled) vmReachable(alts [][]vmAlt) []bool {
+	reach := make([]bool, c.NumNT())
+	reach[c.start] = true
+	stack := []int32{c.start}
+	for len(stack) > 0 {
+		nt := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, alt := range alts[nt] {
+			for _, s := range alt.syms {
+				if s >= 0 && !reach[s] {
+					reach[s] = true
+					stack = append(stack, s)
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// vmLeftRecursive reports whether any reachable nonterminal is
+// left-recursive under the normalized alternatives, counting nullable
+// prefixes (hidden left recursion): A → B if some alternative of A
+// reaches B after a possibly-empty sequence of nullable nonterminals.
+// A left-recursive grammar would send the depth-first search into an
+// unproductive loop, so such grammars keep the Earley rung instead.
+func (c *Compiled) vmLeftRecursive(alts [][]vmAlt, reach []bool) bool {
+	numNT := c.NumNT()
+	adj := make([][]int32, numNT)
+	for nt := 0; nt < numNT; nt++ {
+		if !reach[nt] {
+			continue
+		}
+		for _, alt := range alts[nt] {
+			for _, s := range alt.syms {
+				if s < 0 {
+					break // terminal: nothing further is a left corner
+				}
+				adj[nt] = append(adj[nt], s)
+				if !c.nullable[s] {
+					break
+				}
+			}
+		}
+	}
+	// Iterative three-color DFS for a cycle among reachable nonterminals.
+	color := make([]int8, numNT) // 0 white, 1 gray, 2 black
+	type frame struct {
+		nt   int32
+		next int
+	}
+	for root := 0; root < numNT; root++ {
+		if !reach[root] || color[root] != 0 {
+			continue
+		}
+		stack := []frame{{nt: int32(root)}}
+		color[root] = 1
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(adj[f.nt]) {
+				t := adj[f.nt][f.next]
+				f.next++
+				switch color[t] {
+				case 0:
+					color[t] = 1
+					stack = append(stack, frame{nt: t})
+				case 1:
+					return true
+				}
+				continue
+			}
+			color[f.nt] = 2
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return false
+}
+
+// classIndex interns set into the class table, reusing an existing entry
+// when one matches. Only called during Compile, before the Compiled is
+// shared.
+func (c *Compiled) classIndex(set bytesets.Set) int32 {
+	for i, s := range c.classes {
+		if s.Equal(set) {
+			return int32(i)
+		}
+	}
+	c.classes = append(c.classes, set)
+	return int32(len(c.classes) - 1)
+}

@@ -1,0 +1,240 @@
+package cfg_test
+
+// Rung-routing tests for the recognition ladder: each grammar shape must
+// take its intended rung (DFA reject, VM verdict, or Earley fallback),
+// asserted through the AcceptsRung introspection hook. The differential
+// suites in compiled_test.go pin the verdicts themselves; these tests pin
+// the routing — a silent fallback to Earley would keep verdicts correct
+// while quietly losing the ladder's speed, and a silently-dead prefilter
+// would stop reject-fast filtering.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"glade/internal/bytesets"
+	"glade/internal/cfg"
+)
+
+// wantRung asserts both the verdict and the rung that produced it.
+func wantRung(t *testing.T, c *cfg.Compiled, input string, want bool, rung cfg.Rung) {
+	t.Helper()
+	got, r := c.AcceptsRung(input)
+	if got != want || r != rung {
+		t.Fatalf("AcceptsRung(%q) = (%v, %s), want (%v, %s)", input, got, r, want, rung)
+	}
+}
+
+func TestVMRungRightRecursion(t *testing.T) {
+	g := cfg.New() // S -> a S | ε : the shape GLADE's repetitions learn
+	s := g.AddNT("S")
+	g.Add(s, cfg.TByte('a'), cfg.N(s))
+	g.Add(s)
+	c := cfg.Compile(g)
+	if !c.HasVM() || !c.HasPrefilter() {
+		t.Fatalf("HasVM=%v HasPrefilter=%v, want both", c.HasVM(), c.HasPrefilter())
+	}
+	wantRung(t, c, "", true, cfg.RungVM)
+	wantRung(t, c, "aaaa", true, cfg.RungVM)
+	wantRung(t, c, "b", false, cfg.RungDFA)
+}
+
+func TestVMRungUnitCycle(t *testing.T) {
+	g := cfg.New() // A -> B | a ; B -> A | b — unit closure resolves the cycle
+	a := g.AddNT("A")
+	b := g.AddNT("B")
+	g.Add(a, cfg.N(b))
+	g.Add(a, cfg.TByte('a'))
+	g.Add(b, cfg.N(a))
+	g.Add(b, cfg.TByte('b'))
+	c := cfg.Compile(g)
+	if !c.HasVM() {
+		t.Fatal("unit cycle should lower: closure removes the unit alternatives")
+	}
+	wantRung(t, c, "a", true, cfg.RungVM)
+	wantRung(t, c, "b", true, cfg.RungVM)
+	// L = {a,b} is finite and regular, so the approximation is exact and
+	// every reject is the DFA's.
+	wantRung(t, c, "ab", false, cfg.RungDFA)
+	wantRung(t, c, "", false, cfg.RungDFA)
+}
+
+func TestVMRungAmbiguousNullableFallsBack(t *testing.T) {
+	g := cfg.New() // S -> S S | a | ε — left-recursive, VM must refuse
+	s := g.AddNT("S")
+	g.Add(s, cfg.N(s), cfg.N(s))
+	g.Add(s, cfg.TByte('a'))
+	g.Add(s)
+	c := cfg.Compile(g)
+	if c.HasVM() {
+		t.Fatal("left-recursive grammar must not lower to the VM")
+	}
+	wantRung(t, c, "", true, cfg.RungEarley)
+	wantRung(t, c, "aaa", true, cfg.RungEarley)
+	wantRung(t, c, "b", false, cfg.RungDFA)
+}
+
+func TestVMRungHiddenLeftRecursionFallsBack(t *testing.T) {
+	g := cfg.New() // S -> A S b | c ; A -> ε — hidden: S's corner via nullable A
+	s := g.AddNT("S")
+	a := g.AddNT("A")
+	g.Add(s, cfg.N(a), cfg.N(s), cfg.TByte('b'))
+	g.Add(s, cfg.TByte('c'))
+	g.Add(a)
+	c := cfg.Compile(g)
+	if c.HasVM() {
+		t.Fatal("hidden left recursion must not lower to the VM")
+	}
+	wantRung(t, c, "cbb", true, cfg.RungEarley)
+}
+
+func TestVMRungEmptyLanguage(t *testing.T) {
+	g := cfg.New() // S with no productions
+	g.AddNT("S")
+	c := cfg.Compile(g)
+	if !c.HasPrefilter() || !c.HasVM() {
+		t.Fatalf("HasPrefilter=%v HasVM=%v, want both (trivially)", c.HasPrefilter(), c.HasVM())
+	}
+	// The approximation of the empty language is empty: everything dies
+	// on the first rung, including ε.
+	wantRung(t, c, "", false, cfg.RungDFA)
+	wantRung(t, c, "a", false, cfg.RungDFA)
+}
+
+func TestVMRungEpsilonOnly(t *testing.T) {
+	g := cfg.New() // S -> ε
+	s := g.AddNT("S")
+	g.Add(s)
+	c := cfg.Compile(g)
+	wantRung(t, c, "", true, cfg.RungVM)
+	wantRung(t, c, "a", false, cfg.RungDFA)
+}
+
+func TestVMRungDyck(t *testing.T) {
+	g := cfg.New() // S -> ( S ) S | ε — properly context-free, VM-friendly
+	s := g.AddNT("S")
+	g.Add(s, cfg.TByte('('), cfg.N(s), cfg.TByte(')'), cfg.N(s))
+	g.Add(s)
+	c := cfg.Compile(g)
+	if !c.HasVM() {
+		t.Fatal("dyck should lower to the VM")
+	}
+	wantRung(t, c, "", true, cfg.RungVM)
+	wantRung(t, c, "(()())", true, cfg.RungVM)
+}
+
+func TestVMBudgetExhaustionFallsBackToEarley(t *testing.T) {
+	// S -> A S b | A ; A -> aa | a. Rejecting a long all-a input needs
+	// every segmentation of a^n into A's to fail — exponential for the
+	// backtracking VM, so the step budget must trip and hand the input
+	// to the Earley rung. The DFA cannot reject it: the collapsed
+	// approximation forgets the pending b's.
+	g := cfg.New()
+	s := g.AddNT("S")
+	a := g.AddNT("A")
+	g.Add(s, cfg.N(a), cfg.N(s), cfg.TByte('b'))
+	g.Add(s, cfg.N(a))
+	g.AddString(a, "aa")
+	g.AddString(a, "a")
+	c := cfg.Compile(g)
+	if !c.HasVM() {
+		t.Fatal("grammar should lower to the VM")
+	}
+	in := strings.Repeat("a", 64)
+	if c.PrefilterRejects(in) {
+		t.Fatal("test premise broken: prefilter rejected the probe input")
+	}
+	wantRung(t, c, in, false, cfg.RungEarley)
+	// Short inputs stay within budget and keep the VM rung.
+	wantRung(t, c, "ab", false, cfg.RungVM)
+	wantRung(t, c, "aa", true, cfg.RungVM)
+}
+
+func TestVMCodeBudgetFallsBack(t *testing.T) {
+	// One production wider than the VM code budget: both optional rungs
+	// are refused (the NFA is over its state budget too) and everything
+	// runs on Earley.
+	g := cfg.New()
+	s := g.AddNT("S")
+	g.AddString(s, strings.Repeat("a", 1<<17+16))
+	c := cfg.Compile(g)
+	if c.HasVM() {
+		t.Fatal("oversized grammar must not lower to the VM")
+	}
+	if c.HasPrefilter() {
+		t.Fatal("oversized grammar must skip the prefilter")
+	}
+	wantRung(t, c, "aaa", false, cfg.RungEarley)
+}
+
+func TestVMNormalizationMergesOverlappingAlternatives(t *testing.T) {
+	// Duplicate productions, unit chains, and overlapping one-byte
+	// classes — the learned-grammar shape that is exponential for naive
+	// backtracking. Normalization must merge them so both verdicts stay
+	// within budget on the VM rung. The nesting alternative R -> S R makes
+	// the language properly context-free, so the prefilter's regular
+	// approximation has slack and rejects genuinely reach the VM.
+	g := cfg.New()
+	s := g.AddNT("S")
+	rep := g.AddNT("R")
+	alt := g.AddNT("Alt")
+	alt2 := g.AddNT("Alt2")
+	g.Add(s, cfg.TByte('<'), cfg.N(rep), cfg.TByte('>'))
+	g.Add(rep)
+	g.Add(rep, cfg.N(alt), cfg.N(rep))
+	g.Add(rep, cfg.N(s), cfg.N(rep))
+	g.Add(alt, cfg.T(bytesets.Range('a', 'm')))
+	g.Add(alt, cfg.T(bytesets.Range('a', 'm'))) // exact duplicate
+	g.Add(alt, cfg.T(bytesets.Range('g', 'z'))) // overlapping class
+	g.Add(alt, cfg.N(alt2))                     // unit chain
+	g.Add(alt2, cfg.T(bytesets.Of('0', '1')))
+	c := cfg.Compile(g)
+	if !c.HasVM() {
+		t.Fatal("grammar should lower to the VM")
+	}
+	// Unbalanced nesting: the collapsed approximation accepts (the inner
+	// "<m>" completes a start production), the VM must reject — without
+	// blowing the budget, which raw un-normalized alternatives would.
+	in := "<" + strings.Repeat("<m>", 40)
+	if c.PrefilterRejects(in) {
+		t.Fatal("test premise broken: prefilter rejected the probe")
+	}
+	wantRung(t, c, in, false, cfg.RungVM)
+	wantRung(t, c, "<a<01>z>", true, cfg.RungVM)
+}
+
+func TestPrefilterStateCapFallsBack(t *testing.T) {
+	// Strings over {a,b} whose 15th-from-last byte is 'a': the minimal
+	// DFA needs 2^15 states, far over the cap, so the prefilter is
+	// skipped while the VM still answers exactly.
+	g := cfg.New()
+	s := g.AddNT("S")
+	any := bytesets.Of('a', 'b')
+	prev := -1
+	for i := 0; i < 15; i++ {
+		nt := g.AddNT(fmt.Sprintf("T%d", i))
+		if prev >= 0 {
+			g.Add(prev, cfg.T(any), cfg.N(nt))
+		} else {
+			g.Add(s, cfg.TByte('a'), cfg.N(nt))
+		}
+		prev = nt
+	}
+	g.Add(prev)
+	g.Add(s, cfg.T(any), cfg.N(s))
+	c := cfg.Compile(g)
+	if c.HasPrefilter() {
+		t.Fatal("subset construction should exceed the state cap")
+	}
+	if !c.HasVM() {
+		t.Fatal("grammar should still lower to the VM")
+	}
+	wantRung(t, c, "a"+strings.Repeat("b", 14), true, cfg.RungVM)
+	parser := cfg.NewParser(g)
+	for _, in := range []string{"", "a", "abbbb", "a" + strings.Repeat("b", 20), strings.Repeat("ab", 16)} {
+		if got, _ := c.AcceptsRung(in); got != parser.Accepts(in) {
+			t.Fatalf("verdict mismatch on %q", in)
+		}
+	}
+}

@@ -17,6 +17,10 @@ import (
 // byte-identical to the ones the pre-migration engine synthesized (the
 // committed testdata goldens). Any drift means the v2 oracle stack changed
 // a decision the §4.2 scan makes, which the API redesign must never do.
+// The recognition ladder runs inside learning (phase-2 candidate checks go
+// through Compiled.Accepts), so passing also pins that the DFA/VM rungs do
+// not perturb a single learner decision; the ladder's own verdicts are
+// re-checked against the reference parser on the learned result below.
 func TestGoldenGrammars(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full program learning")
@@ -46,6 +50,33 @@ func TestGoldenGrammars(t *testing.T) {
 			if got := cfg.Marshal(res.Grammar); got != string(want) {
 				t.Errorf("%s workers=%d: grammar drifted from the pre-migration golden (%s)", name, workers, golden)
 			}
+			assertLadderSound(t, fmt.Sprintf("%s workers=%d", name, workers), res.Grammar, seeds)
+		}
+	}
+}
+
+// assertLadderSound checks the compiled recognition ladder against the
+// map-based reference parser on a small mixed corpus for the learned
+// grammar: identical verdicts overall, and — the prefilter's soundness
+// contract — no DFA rejection of an input the reference accepts.
+func assertLadderSound(t *testing.T, name string, g *cfg.Grammar, seeds []string) {
+	t.Helper()
+	parser := cfg.NewParser(g)
+	comp := cfg.Compile(g)
+	corpus := append([]string(nil), seeds...)
+	corpus = append(corpus, "", "x", "<<<", "s/a/b/", "<a>text</a>")
+	for _, s := range seeds {
+		if len(s) > 1 {
+			corpus = append(corpus, s[1:], s[:len(s)-1], s+s)
+		}
+	}
+	for _, in := range corpus {
+		want := parser.Accepts(in)
+		if got, rung := comp.AcceptsRung(in); got != want {
+			t.Errorf("%s: ladder says %v via %s rung, reference parser says %v for %q", name, got, rung, want, in)
+		}
+		if comp.PrefilterRejects(in) && want {
+			t.Errorf("%s: DFA prefilter rejects %q, which the reference parser accepts", name, in)
 		}
 	}
 }

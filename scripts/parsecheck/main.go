@@ -1,10 +1,20 @@
 // Command parsecheck validates a BENCH_parse.json artifact for CI: the
 // file must be valid glade-bench -json output containing parse-figure
-// rows for both engines on every measured program, every row must report
-// verdict agreement between the engines, and the compiled engine must not
-// be slower than the map-based baseline (ratio >= 1). It mirrors
-// scripts/reportcheck so the parse-bench smoke needs no jq/python
-// dependency.
+// rows for all three engines (the map-based parser baseline, the compiled
+// Earley rung alone, and the full recognition ladder) on every measured
+// program. The gates:
+//
+//   - every row reports verdict agreement with the reference parser, and
+//     the compiled row reports full per-rung agreement (ladder, Earley
+//     rung, and the prefilter's sound direction);
+//   - the DFA prefilter's reject rate is above 0% — a dead prefilter
+//     means the reject-fast rung silently stopped filtering;
+//   - the ladder is not slower than the map-based baseline (ratio >= 1)
+//     and not slower than its own Earley fallback rung (within a noise
+//     tolerance) — a ladder that loses to its fallback is misrouting.
+//
+// It mirrors scripts/reportcheck so the parse-bench smoke needs no
+// jq/python dependency.
 //
 // Usage:
 //
@@ -16,6 +26,10 @@ import (
 	"fmt"
 	"os"
 )
+
+// ladderSlack is how much slower than its own Earley rung the full ladder
+// may measure before the gate trips — headroom for timer noise only.
+const ladderSlack = 1.10
 
 // parseRow mirrors the parse-figure fields of glade-bench's jsonRow.
 type parseRow struct {
@@ -29,6 +43,10 @@ type parseRow struct {
 	SamplesPerSec float64  `json:"samples_per_sec"`
 	Ratio         float64  `json:"ratio"`
 	Agree         *bool    `json:"agree"`
+	RungAgree     *bool    `json:"rung_agree"`
+	DFARejectRate *float64 `json:"dfa_reject_rate"`
+	VMShare       *float64 `json:"vm_share"`
+	EarleyShare   *float64 `json:"earley_share"`
 }
 
 func main() {
@@ -73,25 +91,47 @@ func main() {
 		if !ok {
 			fail("%s: no map-based baseline row", program)
 		}
+		earley, ok := rows["earley"]
+		if !ok {
+			fail("%s: no Earley-rung row", program)
+		}
 		comp, ok := rows["compiled"]
 		if !ok {
-			fail("%s: no compiled-engine row", program)
+			fail("%s: no compiled-ladder row", program)
 		}
-		for _, r := range []parseRow{base, comp} {
-			if r.Inputs == 0 || r.NsPerAccept == 0 || r.SamplesPerSec == 0 {
+		for _, r := range []parseRow{base, earley, comp} {
+			if r.Inputs == 0 || r.NsPerAccept == 0 {
 				fail("%s/%s: incomplete measurement: %+v", program, r.Engine, r)
 			}
 			if r.AllocsPerOp == nil {
 				fail("%s/%s: allocs/op not recorded", program, r.Engine)
 			}
 			if r.Agree == nil || !*r.Agree {
-				fail("%s/%s: engines disagreed on membership verdicts", program, r.Engine)
+				fail("%s/%s: engine disagreed with the reference parser", program, r.Engine)
 			}
 		}
-		if comp.Ratio < 1 {
-			fail("%s: compiled membership is slower than the map-based baseline (%.2fx)", program, comp.Ratio)
+		// Sampling runs on the baseline and the compiled engine only.
+		if base.SamplesPerSec == 0 || comp.SamplesPerSec == 0 {
+			fail("%s: sampling throughput not measured", program)
 		}
-		fmt.Printf("parsecheck: %s ok — compiled %.2fx vs baseline, %.2f MB/s, %.1f allocs/op\n",
-			program, comp.Ratio, comp.MBps, *comp.AllocsPerOp)
+		if comp.RungAgree == nil || !*comp.RungAgree {
+			fail("%s: per-rung verdicts disagreed (ladder vs Earley rung vs prefilter)", program)
+		}
+		if comp.DFARejectRate == nil || comp.VMShare == nil || comp.EarleyShare == nil {
+			fail("%s: per-rung corpus shares not recorded", program)
+		}
+		if *comp.DFARejectRate <= 0 {
+			fail("%s: DFA prefilter rejected 0%% of the corpus — the reject-fast rung is dead", program)
+		}
+		if comp.Ratio < 1 {
+			fail("%s: ladder membership is slower than the map-based baseline (%.2fx)", program, comp.Ratio)
+		}
+		if comp.NsPerAccept > earley.NsPerAccept*ladderSlack {
+			fail("%s: ladder (%.0f ns/accept) is slower than its own Earley rung (%.0f ns/accept)",
+				program, comp.NsPerAccept, earley.NsPerAccept)
+		}
+		fmt.Printf("parsecheck: %s ok — ladder %.2fx vs baseline (earley rung %.2fx), %.2f MB/s, rungs dfa=%.0f%%/vm=%.0f%%/earley=%.0f%%\n",
+			program, comp.Ratio, earley.Ratio, comp.MBps,
+			100**comp.DFARejectRate, 100**comp.VMShare, 100**comp.EarleyShare)
 	}
 }
