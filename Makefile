@@ -1,7 +1,7 @@
 # Mirrors .github/workflows/ci.yml so contributors can run CI locally:
 #   make        -> build
 #   make ci     -> everything the workflow runs
-.PHONY: all build test lint bench fuzz ci
+.PHONY: all build test lint bench fuzz chaos ci
 
 all: build
 
@@ -31,8 +31,9 @@ lint:
 # BENCH_*.json trajectory artifacts. parsecheck fails the run if the
 # compiled engine ever regresses below the map-based baseline, and
 # oraclecheck if the in-process oracle registry loses its >=50x edge over
-# exec oracles, and telemetrycheck if the observability stack costs more
-# than a few percent of bare oracle dispatch. Full runs: cmd/glade-bench.
+# exec oracles, and telemetrycheck if the observability stack or the
+# resilient wrapper's no-fault fast path costs more than a few percent of
+# bare oracle dispatch. Full runs: cmd/glade-bench.
 bench:
 	go test -run=NONE -bench=. -benchtime=1x ./...
 	go run ./cmd/glade-bench -quick -fig speedup -qdelay 50us -json BENCH_speedup.json
@@ -52,4 +53,10 @@ fuzz:
 	go test ./internal/cfg -run='^$$' -fuzz='^FuzzAcceptsDifferential$$' -fuzztime=$(FUZZTIME)
 	go test ./internal/cfg -run='^$$' -fuzz='^FuzzCompileRoundTrip$$' -fuzztime=$(FUZZTIME)
 
-ci: lint build test bench
+# Chaos smoke for the fault-tolerant oracle stack: learn sed and xml
+# through a deterministic ~10% transient-fault injector and assert zero
+# aborts with byte-identical grammars (retries never change a verdict).
+chaos:
+	./scripts/chaos_smoke.sh
+
+ci: lint build test bench chaos

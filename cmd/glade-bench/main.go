@@ -292,13 +292,14 @@ func oracleFig(ctx context.Context, c bench.Config) {
 	fmt.Println()
 }
 
-// telemetryFig benchmarks the observability stack's cost on the oracle hot
-// path: the same builtin:json workload dispatched bare and through the
-// QueryTimer + histogram-mirror stack every service job runs under.
-// scripts/telemetrycheck gates CI on the overhead staying within a few
+// telemetryFig benchmarks the wrapper stacks' cost on the oracle hot
+// path: the same builtin:json workload dispatched bare, through the
+// QueryTimer + histogram-mirror stack every service job runs under, and
+// through the retry/breaker resilient wrapper's fault-free fast path.
+// scripts/telemetrycheck gates CI on both overheads staying within a few
 // percent.
 func telemetryFig(ctx context.Context, c bench.Config) {
-	fmt.Println("== Telemetry: instrumented vs bare oracle dispatch (builtin:json) ==")
+	fmt.Println("== Telemetry: instrumented/resilient vs bare oracle dispatch (builtin:json) ==")
 	queries, reps := 24000, 7
 	if c.Seeds <= 10 { // -quick
 		queries, reps = 12000, 5
@@ -309,7 +310,7 @@ func telemetryFig(ctx context.Context, c bench.Config) {
 		"mode", "workers", "queries", "time(s)", "q/s", "ns/query", "overhead")
 	for _, r := range rows {
 		overhead := ""
-		if r.Mode == "instrumented" {
+		if r.Mode == "instrumented" || r.Mode == "resilient" {
 			overhead = fmt.Sprintf("%+8.2f%%", r.OverheadPct)
 		}
 		fmt.Printf("%-13s %7d %9d %9.3f %11.0f %10.0f %9s\n",

@@ -110,7 +110,7 @@ func recordTelemetry(rows []bench.TelemetryRow) {
 			Queries: r.Queries, Seconds: r.Seconds, QPS: r.QPS,
 			NsPerQuery: r.NsPerQuery,
 		}
-		if r.Mode == "instrumented" {
+		if r.Mode == "instrumented" || r.Mode == "resilient" {
 			o := r.OverheadPct
 			row.OverheadPct = &o
 		}

@@ -80,6 +80,8 @@ func main() {
 	report := flag.String("report", "campaign.json", "campaign report path (checkpointed JSON)")
 	batch := flag.Int("batch", 64, "campaign inputs per wave")
 	refresh := flag.Duration("refresh", 0, "campaign grammar-refresh interval (0 = off)")
+	retries := flag.Int("retries", 0, "per-query retry budget for transient oracle failures; verdicts are never retried")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive transient oracle failures that open a circuit breaker (0 = no breaker)")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the whole run: grammar synthesis aborts within
@@ -93,6 +95,7 @@ func main() {
 			grammarFile: *grammarFile, timeout: *timeout, workers: *workers,
 			duration: *duration, report: *report, batch: *batch,
 			refresh: *refresh, seed: *seed,
+			retries: *retries, breakerThreshold: *breakerThreshold,
 		})
 		return
 	}
@@ -149,6 +152,7 @@ type campaignArgs struct {
 	oracleSpec, diffSpec, program, grammarFile, report string
 	timeout, duration, refresh                         time.Duration
 	workers, batch                                     int
+	retries, breakerThreshold                          int
 	seed                                               int64
 }
 
@@ -165,7 +169,11 @@ func runCampaignMode(ctx context.Context, a campaignArgs) {
 	if err != nil {
 		fatal(err)
 	}
-	opt := oracle.BuildOptions{Workers: a.workers}
+	opt := oracle.BuildOptions{
+		Workers: a.workers,
+		Retry:   oracle.RetryPolicy{MaxAttempts: a.retries + 1},
+		Breaker: oracle.BreakerPolicy{Threshold: a.breakerThreshold},
+	}
 	o, seeds, err := spec.Build(opt)
 	if err != nil {
 		fatal(err)

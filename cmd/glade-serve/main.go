@@ -70,6 +70,9 @@ func main() {
 	maxValidating := flag.Int("max-validating", 2, "concurrent validity-filtered generate requests (?valid=1); excess requests wait for a slot")
 	campaigns := flag.Int("campaigns", 1, "concurrently running fuzzing campaigns; queued campaigns wait")
 	campaignTimeout := flag.Duration("campaign-timeout", 10*time.Minute, "upper bound on one campaign's duration (clamps the client-chosen duration_ms)")
+	retries := flag.Int("retries", 0, "default per-query retry budget for transient oracle failures (job/campaign specs may override, clamped to -max-retries)")
+	maxRetries := flag.Int("max-retries", 8, "upper bound on the per-query retry budget a job or campaign spec may request")
+	breakerThreshold := flag.Int("breaker-threshold", 16, "consecutive transient oracle failures that open the per-oracle circuit breaker (negative disables)")
 	logFormat := flag.String("log-format", "text", `log output format: "text" or "json"`)
 	logLevel := flag.String("log-level", "info", `minimum log level: "debug", "info", "warn", or "error" (debug includes per-request HTTP lines)`)
 	debugAddr := flag.String("debug-addr", "", "optional debug listener with net/http/pprof and /metrics (e.g. 127.0.0.1:6060); keep it on loopback — it is never mounted on the public mux")
@@ -110,6 +113,9 @@ func main() {
 		MaxValidating:        *maxValidating,
 		MaxCampaigns:         *campaigns,
 		MaxCampaignDuration:  *campaignTimeout,
+		DefaultRetries:       *retries,
+		MaxRetries:           *maxRetries,
+		BreakerThreshold:     *breakerThreshold,
 		Logger:               logger,
 	}
 	srv, err := service.New(cfg)
@@ -165,12 +171,15 @@ func main() {
 		}
 	}
 
-	// Stop accepting HTTP first (long watch streams get 10 s to drain),
-	// then wait for running learn jobs so no learned grammar is lost.
+	// Drain first so GET /readyz flips to 503 and load balancers stop
+	// routing traffic here, then stop accepting HTTP (long watch streams
+	// get 10 s to finish), then wait for running learn jobs so no learned
+	// grammar is lost.
+	srv.Drain()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "glade-serve: shutdown: %v\n", err)
+		logger.Error("shutdown", "err", err)
 	}
 	srv.Close()
 	logger.Info("bye")

@@ -63,6 +63,8 @@ func main() {
 	steps := flag.Bool("steps", false, "print every generalization step")
 	traceOut := flag.String("trace", "", "write the learner's phase-span trace to this file as NDJSON (one span per line: name, seed, start, duration_ns, attrs)")
 	workers := flag.Int("workers", 0, "concurrent oracle queries (0 or 1 = sequential; the grammar is identical either way)")
+	retries := flag.Int("retries", 0, "per-query retry budget for transient oracle failures (fork failures, ENOMEM); verdicts are never retried, so the grammar is identical either way")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive transient oracle failures that open a circuit breaker (0 = no breaker)")
 	flag.Parse()
 
 	if *oracleFlag == "" {
@@ -72,7 +74,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	o, defaults, err := spec.Build(oracle.BuildOptions{Workers: *workers, DefaultTimeout: *oracleTimeout})
+	o, defaults, err := spec.Build(oracle.BuildOptions{
+		Workers:        *workers,
+		DefaultTimeout: *oracleTimeout,
+		Retry:          oracle.RetryPolicy{MaxAttempts: *retries + 1},
+		Breaker:        oracle.BreakerPolicy{Threshold: *breakerThreshold},
+	})
 	if err != nil {
 		fatal(err)
 	}

@@ -188,6 +188,62 @@ func ParallelOracle(inner Oracle, workers int) BatchOracle {
 	return oracle.Parallel(oracle.AsCheck(inner), workers)
 }
 
+// ResilientOracle wraps a CheckOracle with bounded retries for transient
+// failures and a per-oracle circuit breaker. Verdicts are never retried —
+// only errors are — so learning through it yields byte-identical grammars;
+// permanent errors (unknown binary, bad spec) abort on the first attempt.
+type ResilientOracle = oracle.Resilient
+
+// RetryPolicy bounds the retry loop of a ResilientOracle: total attempts
+// per query and the exponential full-jitter backoff between them.
+type RetryPolicy = oracle.RetryPolicy
+
+// BreakerPolicy configures a ResilientOracle's circuit breaker: the
+// consecutive-failure threshold that opens it and the cooldown before a
+// half-open probe.
+type BreakerPolicy = oracle.BreakerPolicy
+
+// ResilientOracleOptions configures NewResilientOracle; the zero value
+// retries nothing and never opens the breaker.
+type ResilientOracleOptions = oracle.ResilientOptions
+
+// NewResilientOracle wraps inner with the retry/breaker layer. The same
+// wrapper is what OracleBuildOptions.Retry/Breaker add inside BuildOracle.
+func NewResilientOracle(inner CheckOracle, opt ResilientOracleOptions) *ResilientOracle {
+	return oracle.NewResilient(inner, opt)
+}
+
+// FaultInjectingOracle deterministically injects transient errors,
+// latency, hangs, and panics into an oracle — chaos testing for anything
+// built on ResilientOracle.
+type FaultInjectingOracle = oracle.FaultInjector
+
+// FaultOptions sets the per-query fault rates (and seed) of a
+// FaultInjectingOracle. The schedule is a pure function of (seed, input,
+// per-input attempt), so runs are reproducible under any concurrency.
+type FaultOptions = oracle.FaultOptions
+
+// NewFaultInjectingOracle wraps inner with deterministic fault injection.
+func NewFaultInjectingOracle(inner CheckOracle, opt FaultOptions) *FaultInjectingOracle {
+	return oracle.NewFaultInjector(inner, opt)
+}
+
+// ErrOracleBreakerOpen is the sentinel inside errors returned while a
+// ResilientOracle's circuit breaker is rejecting queries; test with
+// errors.Is. It is itself a transient error.
+var ErrOracleBreakerOpen = oracle.ErrBreakerOpen
+
+// MarkTransientOracleError marks err as transient so a ResilientOracle
+// will retry it. Use it in custom CheckOracle implementations for
+// failures that are worth retrying (resource exhaustion, flaky IPC).
+func MarkTransientOracleError(err error) error { return oracle.MarkTransient(err) }
+
+// IsTransientOracleError reports whether err is worth retrying: marked
+// transient, a breaker rejection, or a retryable syscall failure
+// (EAGAIN, ENOMEM, ECONNRESET, ...). Context cancellation and deadline
+// expiry are never transient.
+func IsTransientOracleError(err error) bool { return oracle.IsTransient(err) }
+
 // Grammar is a context-free grammar with byte-class terminals. Its String
 // method renders BNF-like productions.
 type Grammar = cfg.Grammar

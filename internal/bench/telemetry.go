@@ -15,9 +15,10 @@ import (
 // throughput with and without the observability stack (metrics.QueryTimer
 // plus a mirrored telemetry.Histogram) in the query path.
 type TelemetryRow struct {
-	// Mode is "bare" (pool straight over the oracle) or "instrumented"
+	// Mode is "bare" (pool straight over the oracle), "instrumented"
 	// (pool over a QueryTimer mirroring onto a registry histogram — the
-	// exact stack a glade-serve job runs).
+	// exact stack a glade-serve job runs), or "resilient" (pool over the
+	// retry/breaker wrapper with no faults occurring — its fast path).
 	Mode string
 	// Workers is the pool concurrency the batch ran at.
 	Workers int
@@ -30,9 +31,9 @@ type TelemetryRow struct {
 	QPS float64
 	// NsPerQuery is the per-query mean in nanoseconds.
 	NsPerQuery float64
-	// OverheadPct, on instrumented rows, is the instrumentation slowdown in
-	// percent (negative = faster, noise). It is the smallest slowdown over
-	// the paired repetitions — each pair runs bare then instrumented
+	// OverheadPct, on instrumented and resilient rows, is the slowdown
+	// versus bare in percent (negative = faster, noise). It is the
+	// smallest slowdown over the paired repetitions — each tuple runs
 	// back-to-back under the same machine load, so the best pair is the
 	// noise-floor estimate of the stack's true cost.
 	OverheadPct float64
@@ -87,7 +88,7 @@ func TelemetryBench(ctx context.Context, workersList []int, queries, reps int) (
 	inputs := telemetryInputs(queries)
 	var rows []TelemetryRow
 	for _, w := range workersList {
-		bare, instr, overhead, err := telemetryTime(ctx, spec, w, inputs, reps)
+		t, err := telemetryTime(ctx, spec, w, inputs, reps)
 		if err != nil {
 			return nil, err
 		}
@@ -99,33 +100,52 @@ func TelemetryBench(ctx context.Context, workersList []int, queries, reps int) (
 			}
 			return r
 		}
-		bRow := mkRow("bare", bare)
-		iRow := mkRow("instrumented", instr)
-		iRow.OverheadPct = overhead
-		rows = append(rows, bRow, iRow)
+		bRow := mkRow("bare", t.bare)
+		iRow := mkRow("instrumented", t.instr)
+		iRow.OverheadPct = t.instrOverheadPct
+		rRow := mkRow("resilient", t.resil)
+		rRow.OverheadPct = t.resilOverheadPct
+		rows = append(rows, bRow, iRow, rRow)
 	}
 	return rows, nil
 }
 
-// telemetryTime runs reps interleaved bare/instrumented batch pairs
-// through the two pools. It returns each side's fastest wall-clock seconds
-// and the smallest per-pair slowdown in percent. Interleaving keeps
-// clock-frequency drift and cache warmth from landing on one side of the
-// comparison, and the per-pair minimum — each pair runs back-to-back under
-// the same machine load — is the noise-floor estimate of the true
-// instrumentation cost. The instrumented stack is the service's exact one:
-// pool → QueryTimer (stats + latency histogram) → mirror histogram (the
-// shared per-source registry instrument) → oracle.
+// telemetryTiming is telemetryTime's result: fastest seconds per stack
+// and the noise-floor overhead of each wrapped stack versus bare.
+type telemetryTiming struct {
+	bare, instr, resil                 float64
+	instrOverheadPct, resilOverheadPct float64
+}
+
+// telemetryTime runs reps interleaved bare/instrumented/resilient batch
+// tuples through the three pools. It returns each stack's fastest
+// wall-clock seconds and, for each wrapped stack, the smallest per-tuple
+// slowdown versus bare in percent. Interleaving keeps clock-frequency
+// drift and cache warmth from landing on one side of the comparison, and
+// the per-tuple minimum — each tuple runs back-to-back under the same
+// machine load — is the noise-floor estimate of the stack's true cost.
+// The instrumented stack is the service's exact one: pool → QueryTimer
+// (stats + latency histogram) → mirror histogram (the shared per-source
+// registry instrument) → oracle. The resilient stack is the fault-free
+// fast path of the retry/breaker wrapper as a job with -retries builds
+// it: pool → Resilient (retry budget + closed breaker, no faults ever
+// fire) → oracle.
 func telemetryTime(ctx context.Context, spec oracle.Spec, workers int,
-	inputs []string, reps int) (bare, instr, overheadPct float64, err error) {
+	inputs []string, reps int) (telemetryTiming, error) {
+	var t telemetryTiming
 	o, _, err := spec.Build(oracle.BuildOptions{Workers: workers})
 	if err != nil {
-		return 0, 0, 0, err
+		return t, err
 	}
 	timer := metrics.NewQueryTimer(o)
 	timer.Mirror(&telemetry.Histogram{})
+	res := oracle.NewResilient(o, oracle.ResilientOptions{
+		Retry:   oracle.RetryPolicy{MaxAttempts: 3},
+		Breaker: oracle.BreakerPolicy{Threshold: 16},
+	})
 	barePool := oracle.Parallel(o, workers)
 	instrPool := oracle.Parallel(timer, workers)
+	resilPool := oracle.Parallel(res, workers)
 	one := func(pool *oracle.Pool, mode string) (float64, error) {
 		start := time.Now()
 		if _, err := pool.CheckBatch(ctx, inputs); err != nil {
@@ -133,36 +153,50 @@ func telemetryTime(ctx context.Context, spec oracle.Spec, workers int,
 		}
 		return time.Since(start).Seconds(), nil
 	}
-	// Warm both stacks before timing anything.
-	if _, err := one(barePool, "bare"); err != nil {
-		return 0, 0, 0, err
+	// Warm every stack before timing anything.
+	for _, warm := range []struct {
+		pool *oracle.Pool
+		mode string
+	}{{barePool, "bare"}, {instrPool, "instrumented"}, {resilPool, "resilient"}} {
+		if _, err := one(warm.pool, warm.mode); err != nil {
+			return t, err
+		}
 	}
-	if _, err := one(instrPool, "instrumented"); err != nil {
-		return 0, 0, 0, err
-	}
-	bare, instr = -1, -1
+	t.bare, t.instr, t.resil = -1, -1, -1
 	first := true
 	for r := 0; r < reps; r++ {
 		b, err := one(barePool, "bare")
 		if err != nil {
-			return 0, 0, 0, err
+			return t, err
 		}
 		i, err := one(instrPool, "instrumented")
 		if err != nil {
-			return 0, 0, 0, err
+			return t, err
 		}
-		if bare < 0 || b < bare {
-			bare = b
+		rs, err := one(resilPool, "resilient")
+		if err != nil {
+			return t, err
 		}
-		if instr < 0 || i < instr {
-			instr = i
+		if t.bare < 0 || b < t.bare {
+			t.bare = b
+		}
+		if t.instr < 0 || i < t.instr {
+			t.instr = i
+		}
+		if t.resil < 0 || rs < t.resil {
+			t.resil = rs
 		}
 		if b > 0 {
-			if pct := (i - b) / b * 100; first || pct < overheadPct {
-				overheadPct = pct
-				first = false
+			iPct := (i - b) / b * 100
+			rPct := (rs - b) / b * 100
+			if first || iPct < t.instrOverheadPct {
+				t.instrOverheadPct = iPct
 			}
+			if first || rPct < t.resilOverheadPct {
+				t.resilOverheadPct = rPct
+			}
+			first = false
 		}
 	}
-	return bare, instr, overheadPct, nil
+	return t, nil
 }

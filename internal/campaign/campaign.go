@@ -36,6 +36,7 @@ package campaign
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -163,8 +164,11 @@ type Campaign struct {
 	// printable-ASCII sweep (a cost heuristic only — triage itself is
 	// oracle-agnostic).
 	execOracle bool
-	timer      *metrics.QueryTimer
-	pool       *oracle.Pool
+	// resilient is the oracle's Resilient layer when it has one; its
+	// retry/breaker counters are folded into report snapshots.
+	resilient *oracle.Resilient
+	timer     *metrics.QueryTimer
+	pool      *oracle.Pool
 	// diffTimer/diffPool are the second oracle stack of a differential
 	// campaign; nil otherwise.
 	diffTimer *metrics.QueryTimer
@@ -216,7 +220,12 @@ func New(conf Config) (*Campaign, error) {
 		seen:     newSeenSet(1 << 16),
 		corpus:   newCorpus(conf.MaxBucket),
 	}
-	_, c.execOracle = conf.Oracle.(*oracle.Exec)
+	// The cost heuristic and crash triage care about the base oracle, so
+	// look through resilience/chaos wrappers (oracle.Innermost); the
+	// Resilient layer itself, when present, feeds retry and breaker
+	// counters into the report.
+	_, c.execOracle = oracle.Innermost(conf.Oracle).(*oracle.Exec)
+	c.resilient = findResilient(conf.Oracle)
 	c.timer = metrics.NewQueryTimer(conf.Oracle)
 	if conf.QueryHist != nil {
 		c.timer.Mirror(conf.QueryHist)
@@ -281,8 +290,15 @@ func (c *Campaign) Run(ctx context.Context) (*Report, error) {
 				// verdicts are artifacts. Discard and finish normally.
 				break
 			}
-			// The oracle itself failed (not a rejection): finalize the
-			// report gathered so far and surface the failure.
+			if oracle.IsTransient(err) {
+				// A transient outage (retries exhausted, breaker open)
+				// drops this wave but must not finalize a long-running
+				// campaign: count it, pause, and keep fuzzing.
+				c.oracleOutage(ctx, err)
+				continue
+			}
+			// The oracle itself failed permanently (not a rejection):
+			// finalize the report gathered so far and surface the failure.
 			oracleErr = err
 			break
 		}
@@ -293,9 +309,15 @@ func (c *Campaign) Run(ctx context.Context) (*Report, error) {
 				if ctx.Err() != nil {
 					break
 				}
+				if oracle.IsTransient(err) {
+					// Dropping only the comparison would turn this wave
+					// into a false "no disagreements", so the whole wave
+					// is dropped, like a primary-oracle outage.
+					c.oracleOutage(ctx, fmt.Errorf("diff oracle: %w", err))
+					continue
+				}
 				// A broken diff oracle ends the campaign like a broken
-				// primary: silently dropping the comparison would turn a
-				// differential report into a false "no disagreements".
+				// primary.
 				oracleErr = fmt.Errorf("diff oracle: %w", err)
 				break
 			}
@@ -317,6 +339,49 @@ func (c *Campaign) Run(ctx context.Context) (*Report, error) {
 		return &final, fmt.Errorf("campaign: oracle failed: %w", oracleErr)
 	}
 	return &final, nil
+}
+
+// Outage pauses: how long the wave loop yields after a transient oracle
+// failure before trying the next wave. A breaker-open outage pauses
+// longer — the breaker will fail everything fast until its cooldown
+// elapses, so spinning waves against it is pure waste.
+const (
+	outagePause        = 250 * time.Millisecond
+	breakerOutagePause = time.Second
+)
+
+// oracleOutage records a dropped wave caused by a transient oracle
+// failure and pauses the loop (ctx-aware) before the next wave.
+func (c *Campaign) oracleOutage(ctx context.Context, err error) {
+	c.mu.Lock()
+	c.report.OracleOutages++
+	n := c.report.OracleOutages
+	c.mu.Unlock()
+	pause := outagePause
+	if errors.Is(err, oracle.ErrBreakerOpen) {
+		pause = breakerOutagePause
+	}
+	c.logf("campaign: transient oracle outage #%d (wave dropped, pausing %v): %v", n, pause, err)
+	select {
+	case <-ctx.Done():
+	case <-time.After(pause):
+	}
+}
+
+// findResilient walks the oracle's Unwrap chain looking for the
+// Resilient layer.
+func findResilient(o oracle.CheckOracle) *oracle.Resilient {
+	for o != nil {
+		if r, ok := o.(*oracle.Resilient); ok {
+			return r
+		}
+		u, ok := o.(interface{ Unwrap() oracle.CheckOracle })
+		if !ok {
+			return nil
+		}
+		o = u.Unwrap()
+	}
+	return nil
 }
 
 // nextWave draws up to BatchSize fresh candidates, counting skipped
@@ -525,6 +590,11 @@ func (c *Campaign) snapshotLocked(done bool, now time.Time) Report {
 	if c.diffTimer != nil {
 		qs := c.diffTimer.Snapshot()
 		r.DiffQueries = &qs
+	}
+	if c.resilient != nil {
+		st := c.resilient.Stats()
+		r.OracleRetries = st.Retries
+		r.BreakerOpens = st.BreakerOpens
 	}
 	r.Done = done
 	return r

@@ -46,6 +46,14 @@ type Report struct {
 	DiffOracle        string              `json:"diff_oracle,omitempty"`
 	DiffDisagreements int                 `json:"diff_disagreements,omitempty"`
 	DiffQueries       *metrics.QueryStats `json:"diff_queries,omitempty"`
+	// OracleOutages counts waves dropped because the oracle failed
+	// transiently (retries exhausted or breaker open); the campaign
+	// pauses and continues instead of finalizing. OracleRetries and
+	// BreakerOpens mirror the oracle's Resilient-layer counters when the
+	// oracle stack has one (zero otherwise).
+	OracleOutages int    `json:"oracle_outages,omitempty"`
+	OracleRetries uint64 `json:"oracle_retries,omitempty"`
+	BreakerOpens  uint64 `json:"breaker_opens,omitempty"`
 	// Done is false in periodic checkpoints and true in the final report.
 	Done bool `json:"done"`
 }

@@ -1,0 +1,104 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"glade/internal/oracle"
+)
+
+// TestCampaignSurvivesTransientOutage wraps the oracle so that a couple
+// of early waves fail transiently: the campaign must drop those waves,
+// count them in oracle_outages, and keep running to a normal finish
+// instead of finalizing on the first hiccup.
+func TestCampaignSurvivesTransientOutage(t *testing.T) {
+	conf := grepCampaignConfig(t)
+	inner := conf.Oracle
+	var calls atomic.Int64
+	conf.Oracle = oracle.CheckFunc(func(ctx context.Context, input string) (oracle.Verdict, error) {
+		// Fail calls 30..45: a mid-campaign outage. Each failed wave
+		// stops at its first error, so the window spans several waves.
+		if n := calls.Add(1); n >= 30 && n <= 45 {
+			return oracle.Reject, oracle.MarkTransient(errors.New("oracle briefly down"))
+		}
+		return inner.Check(ctx, input)
+	})
+	conf.Duration = 8 * time.Second
+	conf.Workers = 4
+	conf.BatchSize = 16
+	c, err := New(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run = %v; a transient outage must not finalize the campaign", err)
+	}
+	if !rep.Done {
+		t.Fatal("report not marked done")
+	}
+	if rep.OracleOutages == 0 {
+		t.Fatal("oracle_outages = 0, want > 0")
+	}
+	if rep.Waves < 2 || rep.Inputs == 0 {
+		t.Fatalf("campaign made no progress after the outage: waves=%d inputs=%d", rep.Waves, rep.Inputs)
+	}
+	if rep.Accepted+rep.Rejected != rep.Inputs {
+		t.Fatalf("accepted(%d)+rejected(%d) != inputs(%d) after dropped waves",
+			rep.Accepted, rep.Rejected, rep.Inputs)
+	}
+}
+
+// TestCampaignPermanentOracleErrorStillAborts pins the other side: a
+// permanent failure finalizes the report and surfaces the error.
+func TestCampaignPermanentOracleErrorStillAborts(t *testing.T) {
+	conf := grepCampaignConfig(t)
+	perm := errors.New("binary vanished")
+	conf.Oracle = oracle.CheckFunc(func(context.Context, string) (oracle.Verdict, error) {
+		return oracle.Reject, perm
+	})
+	conf.Duration = 30 * time.Second
+	c, err := New(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	rep, err := c.Run(context.Background())
+	if !errors.Is(err, perm) {
+		t.Fatalf("Run err = %v, want the permanent oracle error", err)
+	}
+	if rep == nil || !rep.Done {
+		t.Fatal("permanent failure must still finalize the report")
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("permanent failure did not abort promptly")
+	}
+}
+
+// TestCampaignReportsResilientCounters runs with a Resilient-wrapped
+// flaky oracle and checks the retry counters surface in the report.
+func TestCampaignReportsResilientCounters(t *testing.T) {
+	conf := grepCampaignConfig(t)
+	inj := oracle.NewFaultInjector(conf.Oracle, oracle.FaultOptions{Seed: 5, TransientRate: 0.05})
+	conf.Oracle = oracle.NewResilient(inj, oracle.ResilientOptions{
+		Retry: oracle.RetryPolicy{MaxAttempts: 6, BaseDelay: 100 * time.Microsecond, MaxDelay: time.Millisecond},
+	})
+	conf.Duration = time.Second
+	c, err := New(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OracleRetries == 0 {
+		t.Fatal("oracle_retries = 0, want > 0 under 5% fault injection")
+	}
+	if rep.OracleOutages != 0 {
+		t.Fatalf("oracle_outages = %d; retries should have absorbed every fault", rep.OracleOutages)
+	}
+}

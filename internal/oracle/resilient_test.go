@@ -1,0 +1,470 @@
+package oracle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"glade/internal/telemetry"
+)
+
+func TestIsTransientTaxonomy(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"marked", MarkTransient(errors.New("blip")), true},
+		{"wrapped marked", fmt.Errorf("outer: %w", MarkTransient(errors.New("blip"))), true},
+		{"breaker open", fmt.Errorf("gate: %w", ErrBreakerOpen), true},
+		{"plain", errors.New("bad config"), false},
+		{"ctx canceled", context.Canceled, false},
+		{"ctx deadline", context.DeadlineExceeded, false},
+		{"marked ctx stays permanent", MarkTransient(context.Canceled), false},
+	}
+	for _, tc := range cases {
+		if got := IsTransient(tc.err); got != tc.want {
+			t.Errorf("%s: IsTransient = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// failNTimes returns a CheckFunc failing the first n calls with a
+// transient error, then accepting, plus a pointer to the call counter.
+func failNTimes(n int) (CheckFunc, *atomic.Int64) {
+	var calls atomic.Int64
+	return func(ctx context.Context, input string) (Verdict, error) {
+		if calls.Add(1) <= int64(n) {
+			return Reject, MarkTransient(errors.New("transient blip"))
+		}
+		return Accept, nil
+	}, &calls
+}
+
+func TestResilientRetriesTransient(t *testing.T) {
+	inner, calls := failNTimes(2)
+	r := NewResilient(inner, ResilientOptions{
+		Retry: RetryPolicy{MaxAttempts: 4, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond},
+	})
+	v, err := r.Check(context.Background(), "x")
+	if err != nil || v != Accept {
+		t.Fatalf("Check = %v, %v; want Accept, nil", v, err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("inner calls = %d, want 3", got)
+	}
+	if st := r.Stats(); st.Retries != 2 {
+		t.Fatalf("Stats().Retries = %d, want 2", st.Retries)
+	}
+}
+
+func TestResilientExhaustsAttempts(t *testing.T) {
+	inner, calls := failNTimes(1000)
+	r := NewResilient(inner, ResilientOptions{
+		Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond},
+	})
+	_, err := r.Check(context.Background(), "x")
+	if err == nil || !strings.Contains(err.Error(), "3 attempts failed") {
+		t.Fatalf("err = %v, want 3-attempts-failed wrapper", err)
+	}
+	if !IsTransient(err) {
+		t.Fatalf("exhausted error should stay transient for upper layers: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("inner calls = %d, want 3", got)
+	}
+}
+
+func TestResilientPermanentNoRetry(t *testing.T) {
+	var calls atomic.Int64
+	perm := errors.New("executable file not found")
+	inner := CheckFunc(func(ctx context.Context, input string) (Verdict, error) {
+		calls.Add(1)
+		return Reject, perm
+	})
+	r := NewResilient(inner, ResilientOptions{Retry: RetryPolicy{MaxAttempts: 5, BaseDelay: time.Microsecond}})
+	_, err := r.Check(context.Background(), "x")
+	if !errors.Is(err, perm) {
+		t.Fatalf("err = %v, want the permanent error", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("inner calls = %d, want 1 (no retries on permanent errors)", got)
+	}
+	if st := r.Stats(); st.Retries != 0 {
+		t.Fatalf("Stats().Retries = %d, want 0", st.Retries)
+	}
+}
+
+// TestResilientNeverRetriesVerdict is the byte-identical-grammar
+// property: any domain verdict — including Crash and Timeout — returns
+// from the first attempt, so wrapping an oracle in Resilient can never
+// change the verdict stream the learner observes.
+func TestResilientNeverRetriesVerdict(t *testing.T) {
+	for _, verdict := range []Verdict{Reject, Accept, Crash, Timeout} {
+		var calls atomic.Int64
+		inner := CheckFunc(func(ctx context.Context, input string) (Verdict, error) {
+			calls.Add(1)
+			return verdict, nil
+		})
+		r := NewResilient(inner, ResilientOptions{
+			Retry:   RetryPolicy{MaxAttempts: 8, BaseDelay: time.Microsecond},
+			Breaker: BreakerPolicy{Threshold: 2, Cooldown: time.Millisecond},
+		})
+		v, err := r.Check(context.Background(), "in")
+		if err != nil || v != verdict {
+			t.Fatalf("verdict %v: Check = %v, %v", verdict, v, err)
+		}
+		if got := calls.Load(); got != 1 {
+			t.Fatalf("verdict %v: inner calls = %d, want exactly 1", verdict, got)
+		}
+	}
+}
+
+// TestResilientBreakerTripsOnceConcurrent hammers an always-failing
+// oracle from a concurrent CheckBatch and asserts the breaker opens
+// exactly once and short-circuits the bulk of the batch.
+func TestResilientBreakerTripsOnceConcurrent(t *testing.T) {
+	var calls atomic.Int64
+	inner := CheckFunc(func(ctx context.Context, input string) (Verdict, error) {
+		calls.Add(1)
+		return Reject, MarkTransient(errors.New("down"))
+	})
+	r := NewResilient(inner, ResilientOptions{
+		Breaker: BreakerPolicy{Threshold: 4, Cooldown: time.Hour},
+		Workers: 8,
+	})
+	inputs := make([]string, 256)
+	for i := range inputs {
+		inputs[i] = fmt.Sprintf("in-%d", i)
+	}
+	// fanOut stops at the first error, so drive the batch manually to
+	// guarantee every input is attempted even after failures.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(inputs); i += 8 {
+				r.Check(context.Background(), inputs[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := r.Stats()
+	if st.BreakerOpens != 1 {
+		t.Fatalf("BreakerOpens = %d, want exactly 1", st.BreakerOpens)
+	}
+	if st.State != "open" {
+		t.Fatalf("State = %q, want open", st.State)
+	}
+	// Once open, calls fail fast without reaching the inner oracle: far
+	// fewer inner calls than inputs. The bound is loose to tolerate
+	// scheduling; the exact guarantee is the single open transition.
+	if got := calls.Load(); got >= int64(len(inputs)) {
+		t.Fatalf("inner calls = %d, want < %d (breaker should shed load)", got, len(inputs))
+	}
+}
+
+// TestResilientHalfOpenSingleProbe trips the breaker, waits out the
+// cooldown, then fires concurrent calls: exactly one must reach the
+// inner oracle as the half-open probe while the rest fail fast, and the
+// probe's success must close the breaker.
+func TestResilientHalfOpenSingleProbe(t *testing.T) {
+	var inProbe atomic.Int64
+	release := make(chan struct{})
+	var healthy atomic.Bool
+	inner := CheckFunc(func(ctx context.Context, input string) (Verdict, error) {
+		if !healthy.Load() {
+			return Reject, MarkTransient(errors.New("down"))
+		}
+		inProbe.Add(1)
+		<-release
+		return Accept, nil
+	})
+	r := NewResilient(inner, ResilientOptions{
+		Breaker: BreakerPolicy{Threshold: 2, Cooldown: 10 * time.Millisecond},
+	})
+	ctx := context.Background()
+	r.Check(ctx, "a")
+	r.Check(ctx, "b")
+	if st := r.Stats(); st.State != "open" || st.BreakerOpens != 1 {
+		t.Fatalf("after trip: %+v", st)
+	}
+	healthy.Store(true)
+	time.Sleep(15 * time.Millisecond) // let the cooldown elapse
+
+	const goroutines = 16
+	errsCh := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := r.Check(ctx, "probe")
+			errsCh <- err
+		}()
+	}
+	// Wait until the probe is blocked inside the inner oracle, then let
+	// the losers finish: they must all see ErrBreakerOpen.
+	for inProbe.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond) // give losers time to hit the gate
+	close(release)
+	wg.Wait()
+	close(errsCh)
+	var ok, rejected int
+	for err := range errsCh {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrBreakerOpen):
+			rejected++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if ok != 1 || rejected != goroutines-1 {
+		t.Fatalf("ok = %d, rejected = %d; want 1 probe success and %d fast failures", ok, rejected, goroutines-1)
+	}
+	if got := inProbe.Load(); got != 1 {
+		t.Fatalf("inner probe calls = %d, want exactly 1", got)
+	}
+	if st := r.Stats(); st.State != "closed" {
+		t.Fatalf("probe success should close the breaker, state = %q", st.State)
+	}
+	if v, err := r.Check(ctx, "after"); err != nil || v != Accept {
+		t.Fatalf("after close: %v, %v", v, err)
+	}
+}
+
+func TestResilientBackoffRespectsDeadline(t *testing.T) {
+	inner, _ := failNTimes(1000)
+	r := NewResilient(inner, ResilientOptions{
+		Retry: RetryPolicy{MaxAttempts: 10, BaseDelay: 10 * time.Second, MaxDelay: 10 * time.Second},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := r.Check(ctx, "x")
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Check took %v; backoff ignored the deadline", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestResilientContainsPanic(t *testing.T) {
+	boom := CheckFunc(func(ctx context.Context, input string) (Verdict, error) {
+		panic("oracle bug")
+	})
+	r := NewResilient(boom, ResilientOptions{})
+	_, err := r.Check(context.Background(), "x")
+	if err == nil || !strings.Contains(err.Error(), "panic in oracle") {
+		t.Fatalf("err = %v, want contained panic", err)
+	}
+	if !IsTransient(err) {
+		t.Fatalf("contained panic should be transient: %v", err)
+	}
+}
+
+func TestResilientMetricsInstruments(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	met := NewResilientMetrics(reg, telemetry.L("source", "test"))
+	inner := CheckFunc(func(ctx context.Context, input string) (Verdict, error) {
+		return Reject, MarkTransient(errors.New("down"))
+	})
+	r := NewResilient(inner, ResilientOptions{
+		Retry:   RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond},
+		Breaker: BreakerPolicy{Threshold: 3, Cooldown: time.Hour},
+		Metrics: met,
+	})
+	r.Check(context.Background(), "x")
+	if got := met.Retries.Value(); got != 2 {
+		t.Fatalf("retries_total = %d, want 2", got)
+	}
+	if got := met.BreakerOpens.Value(); got != 1 {
+		t.Fatalf("breaker_opens_total = %d, want 1", got)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`glade_oracle_retries_total{source="test"} 2`,
+		`glade_oracle_breaker_opens_total{source="test"} 1`,
+		`glade_oracle_breaker_state{source="test"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestResilientBuildWiring(t *testing.T) {
+	// A spec built with retry options must come back wrapped, with the
+	// base oracle reachable through Innermost for exec detection.
+	sp := Spec{Type: SpecExec, Argv: []string{"/bin/true"}}
+	o, _, err := sp.Build(BuildOptions{Workers: 2, Retry: RetryPolicy{MaxAttempts: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := o.(*Resilient)
+	if !ok {
+		t.Fatalf("Build returned %T, want *Resilient", o)
+	}
+	if _, ok := Innermost(r).(*Exec); !ok {
+		t.Fatalf("Innermost = %T, want *Exec", Innermost(r))
+	}
+	// Without resilience options the oracle stays bare.
+	o2, _, err := sp.Build(BuildOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := o2.(*Exec); !ok {
+		t.Fatalf("bare Build returned %T, want *Exec", o2)
+	}
+}
+
+// TestResilientExecPermanentAbort pins the acceptance criterion that a
+// missing binary aborts promptly with the wrapped error even under an
+// aggressive retry policy.
+func TestResilientExecPermanentAbort(t *testing.T) {
+	sp := Spec{Type: SpecExec, Argv: []string{"/nonexistent/glade-test-binary"}}
+	o, _, err := sp.Build(BuildOptions{Retry: RetryPolicy{MaxAttempts: 8, BaseDelay: 100 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = o.Check(context.Background(), "x")
+	if err == nil || !strings.Contains(err.Error(), "/nonexistent/glade-test-binary") {
+		t.Fatalf("err = %v, want wrapped exec error", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("missing binary took %v to abort; should not retry", elapsed)
+	}
+	if st := o.(*Resilient).Stats(); st.Retries != 0 {
+		t.Fatalf("Retries = %d, want 0 for a permanent error", st.Retries)
+	}
+}
+
+func TestFaultInjectorDeterminism(t *testing.T) {
+	inputs := make([]string, 512)
+	for i := range inputs {
+		inputs[i] = fmt.Sprintf("input-%d", i)
+	}
+	schedule := func(seed int64) []bool {
+		inj := NewFaultInjector(Func(func(string) bool { return true }), FaultOptions{Seed: seed, TransientRate: 0.1})
+		out := make([]bool, 0, 2*len(inputs))
+		for rep := 0; rep < 2; rep++ { // second pass = attempt index 1
+			for _, in := range inputs {
+				_, err := inj.Check(context.Background(), in)
+				out = append(out, err != nil)
+			}
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	faults := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced a different fault schedule at call %d", i)
+		}
+		if a[i] {
+			faults++
+		}
+	}
+	if faults == 0 || faults == len(a) {
+		t.Fatalf("degenerate schedule: %d faults of %d calls", faults, len(a))
+	}
+	// ~10% rate over 1024 calls: expect roughly 102, allow wide slack.
+	if faults < 50 || faults > 200 {
+		t.Errorf("fault count %d far from the configured 10%% rate", faults)
+	}
+	c := schedule(43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatalf("different seeds produced identical schedules")
+	}
+}
+
+// TestFaultInjectorDeterminismConcurrent checks the schedule is keyed on
+// (input, attempt), not call order: a concurrent pass injects faults on
+// exactly the same (input, attempt) pairs as a sequential one.
+func TestFaultInjectorDeterminismConcurrent(t *testing.T) {
+	inputs := make([]string, 256)
+	for i := range inputs {
+		inputs[i] = fmt.Sprintf("input-%d", i)
+	}
+	run := func(workers int) map[string]bool {
+		inj := NewFaultInjector(Func(func(string) bool { return true }), FaultOptions{Seed: 7, TransientRate: 0.15})
+		var mu sync.Mutex
+		faulted := make(map[string]bool)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(inputs); i += workers {
+					_, err := inj.Check(context.Background(), inputs[i])
+					mu.Lock()
+					faulted[inputs[i]] = err != nil
+					mu.Unlock()
+				}
+			}(w)
+		}
+		wg.Wait()
+		return faulted
+	}
+	seq, conc := run(1), run(8)
+	for in, want := range seq {
+		if conc[in] != want {
+			t.Fatalf("input %q: concurrent schedule diverged from sequential", in)
+		}
+	}
+}
+
+func TestFaultInjectorHangHonorsCtx(t *testing.T) {
+	inj := NewFaultInjector(Func(func(string) bool { return true }), FaultOptions{Seed: 1, HangRate: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := inj.Check(ctx, "x")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("hang did not release on ctx")
+	}
+}
+
+// TestResilientSurvivesInjectedPanics pins that injector panics are
+// contained by the Resilient layer and retried into a success.
+func TestResilientSurvivesInjectedPanics(t *testing.T) {
+	inj := NewFaultInjector(Func(func(string) bool { return true }), FaultOptions{Seed: 3, PanicRate: 0.5})
+	r := NewResilient(inj, ResilientOptions{
+		Retry: RetryPolicy{MaxAttempts: 30, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond},
+	})
+	for i := 0; i < 64; i++ {
+		v, err := r.Check(context.Background(), fmt.Sprintf("in-%d", i))
+		if err != nil || v != Accept {
+			t.Fatalf("input %d: %v, %v", i, v, err)
+		}
+	}
+	if inj.Injected() == 0 {
+		t.Fatalf("no panics were injected at rate 0.5")
+	}
+}

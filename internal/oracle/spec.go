@@ -202,6 +202,33 @@ type BuildOptions struct {
 	// DefaultTimeout bounds each query when the spec sets no TimeoutMS;
 	// zero leaves queries bounded only by the caller's context.
 	DefaultTimeout time.Duration
+	// Retry, when MaxAttempts > 1, wraps the built oracle in a Resilient
+	// layer retrying transient errors with full-jitter backoff.
+	Retry RetryPolicy
+	// Breaker, when Threshold > 0, adds a per-oracle circuit breaker to
+	// the Resilient layer (implied even if Retry is zero).
+	Breaker BreakerPolicy
+	// ResilientMetrics, when non-nil, instruments the Resilient layer.
+	ResilientMetrics *ResilientMetrics
+}
+
+// resilient reports whether the options ask for the Resilient wrapper.
+func (opt BuildOptions) resilient() bool {
+	return opt.Retry.MaxAttempts > 1 || opt.Breaker.Threshold > 0
+}
+
+// wrap applies the Resilient layer to a freshly built oracle when the
+// options ask for one.
+func (opt BuildOptions) wrap(o CheckOracle) CheckOracle {
+	if !opt.resilient() {
+		return o
+	}
+	return NewResilient(o, ResilientOptions{
+		Retry:   opt.Retry,
+		Breaker: opt.Breaker,
+		Workers: opt.Workers,
+		Metrics: opt.ResilientMetrics,
+	})
 }
 
 // Build resolves the spec into a CheckOracle plus the oracle's bundled
@@ -219,13 +246,13 @@ func (sp Spec) Build(opt BuildOptions) (CheckOracle, []string, error) {
 		timeout = time.Duration(sp.TimeoutMS) * time.Millisecond
 	}
 	if sp.Type == SpecExec {
-		return &Exec{Argv: sp.Argv, ErrSubstring: sp.ErrSubstring, Workers: opt.Workers, Timeout: timeout}, nil, nil
+		return opt.wrap(&Exec{Argv: sp.Argv, ErrSubstring: sp.ErrSubstring, Workers: opt.Workers, Timeout: timeout}), nil, nil
 	}
 	reg, ok := LookupNamed(sp.Type, sp.Name)
 	if !ok {
 		return nil, nil, fmt.Errorf("unknown %s oracle %q%s", sp.Type, sp.Name, nameHint(sp.Type))
 	}
-	return reg.New(timeout, opt.Workers), reg.Seeds, nil
+	return opt.wrap(reg.New(timeout, opt.Workers)), reg.Seeds, nil
 }
 
 // Registration describes one named oracle in the process-wide table:

@@ -51,6 +51,10 @@ type CampaignSpec struct {
 	RefreshEveryMS int `json:"refresh_every_ms,omitempty"`
 	// RandSeed seeds the campaign's generators.
 	RandSeed int64 `json:"rand_seed,omitempty"`
+	// Retries is the per-query transient-failure retry budget for the
+	// campaign's oracles (nil uses the server default, clamped
+	// server-side to Config.MaxRetries).
+	Retries *int `json:"retries,omitempty"`
 }
 
 // CampaignStatus is the wire form of a campaign snapshot; watch streams
@@ -363,10 +367,15 @@ func (s *Server) SubmitCampaign(ctx context.Context, spec CampaignSpec) (*Campai
 	}
 
 	s.mu.Lock()
+	// Mirror Submit: once draining starts, no new campaigns are accepted.
+	if s.draining.Load() {
+		s.mu.Unlock()
+		return nil, errDraining
+	}
 	select {
 	case <-s.done:
 		s.mu.Unlock()
-		return nil, fmt.Errorf("server is shutting down")
+		return nil, errDraining
 	default:
 	}
 	select {
@@ -615,7 +624,7 @@ func (s *Server) campaignConfig(ctx context.Context, cr *CampaignRun, spec Campa
 		if !ok {
 			return conf, fmt.Errorf("no metadata for grammar %q", spec.GrammarID)
 		}
-		o, _, err := buildOracle(meta.Spec, workers, s.cfg.DefaultOracleTimeout)
+		o, _, err := s.buildResilientOracle(meta.Spec, workers, s.cfg.resolveRetries(spec.Retries), s.met.resilientCampaign)
 		if err != nil {
 			return conf, err
 		}
@@ -631,7 +640,7 @@ func (s *Server) campaignConfig(ctx context.Context, cr *CampaignRun, spec Campa
 		// with it. The grammar is stored under the campaign's id so it is
 		// listable and generate-able like any other.
 		setState(JobRunning, "learn")
-		o, defaults, err := buildOracle(*spec.Oracle, workers, s.cfg.DefaultOracleTimeout)
+		o, defaults, err := s.buildResilientOracle(*spec.Oracle, workers, s.cfg.resolveRetries(spec.Retries), s.met.resilientCampaign)
 		if err != nil {
 			return conf, err
 		}
@@ -669,7 +678,7 @@ func (s *Server) campaignConfig(ctx context.Context, cr *CampaignRun, spec Campa
 	}
 
 	if spec.DiffOracle != nil {
-		diff, _, err := buildOracle(*spec.DiffOracle, workers, s.cfg.DefaultOracleTimeout)
+		diff, _, err := s.buildResilientOracle(*spec.DiffOracle, workers, s.cfg.resolveRetries(spec.Retries), s.met.resilientCampaign)
 		if err != nil {
 			return conf, fmt.Errorf("diff oracle: %w", err)
 		}

@@ -22,6 +22,11 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
+	// Readiness is distinct from liveness: a draining server is still
+	// healthy (in-flight work finishes) but must stop receiving new
+	// traffic, so load balancers probe /readyz and liveness probes
+	// /healthz.
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -36,7 +41,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/oracles", s.handleListOracles)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.Handle("GET /metrics", s.reg.Handler())
-	return s.instrument(mux)
+	return s.recoverPanics(s.instrument(mux))
 }
 
 // oracleInfo is one row of GET /v1/oracles.
@@ -129,6 +134,33 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// Suggested client backoff, in seconds, for the saturation responses.
+// Queue-full and validation-saturation conditions clear as work drains;
+// draining never clears for this process, so clients get a longer hint
+// to find another instance.
+const (
+	retryAfterSaturated = 10
+	retryAfterDraining  = 30
+)
+
+// writeUnavailable writes a saturation/overload error (429 or 503) with a
+// Retry-After hint. Every saturation response the API emits goes through
+// here — the retry contract is that any 429/503 carries the header.
+func writeUnavailable(w http.ResponseWriter, code, retryAfterSeconds int, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	writeError(w, code, format, args...)
+}
+
+// handleReady serves GET /readyz: 200 while the server accepts new work,
+// 503 (with Retry-After) once draining has begun or the server is closed.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		writeUnavailable(w, http.StatusServiceUnavailable, retryAfterDraining, "draining; not accepting new work")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+}
+
 // handleSubmit accepts a JobSpec and enqueues the learn job.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
@@ -140,14 +172,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.Submit(r.Context(), spec)
 	if err != nil {
-		code := http.StatusBadRequest
 		switch {
 		case errors.Is(err, errQueueFull):
-			code = http.StatusServiceUnavailable
+			writeUnavailable(w, http.StatusServiceUnavailable, retryAfterSaturated, "%v", err)
+		case errors.Is(err, errDraining):
+			writeUnavailable(w, http.StatusServiceUnavailable, retryAfterDraining, "%v", err)
 		case errors.Is(err, errExecDisabled):
-			code = http.StatusForbidden
+			writeError(w, http.StatusForbidden, "%v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
 		}
-		writeError(w, code, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j.status(false))
@@ -289,7 +323,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		// per-query exec timeout), so the deadline below bounds every
 		// subprocess directly — no clamp needed, and a slot on the
 		// validating semaphore can never be held past the deadline.
-		o, _, err := buildOracle(meta.Spec, 1, s.cfg.DefaultOracleTimeout)
+		o, _, err := s.buildResilientOracle(meta.Spec, 1, s.cfg.resolveRetries(nil), s.met.resilientGenerate)
 		if err != nil {
 			writeError(w, http.StatusConflict, "grammar %q has no usable oracle for validation: %v", id, err)
 			return
@@ -317,7 +351,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		case s.validating <- struct{}{}:
 			defer func() { <-s.validating }()
 		case <-ctx.Done():
-			writeError(w, http.StatusServiceUnavailable, "validating generation is saturated; retry later")
+			writeUnavailable(w, http.StatusServiceUnavailable, retryAfterSaturated, "validating generation is saturated; retry later")
 			return
 		}
 	}
@@ -353,16 +387,18 @@ func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 	cr, err := s.SubmitCampaign(r.Context(), spec)
 	if err != nil {
-		code := http.StatusBadRequest
 		switch {
 		case errors.Is(err, errQueueFull):
-			code = http.StatusServiceUnavailable
+			writeUnavailable(w, http.StatusServiceUnavailable, retryAfterSaturated, "%v", err)
+		case errors.Is(err, errDraining):
+			writeUnavailable(w, http.StatusServiceUnavailable, retryAfterDraining, "%v", err)
 		case errors.Is(err, errExecDisabled):
-			code = http.StatusForbidden
+			writeError(w, http.StatusForbidden, "%v", err)
 		case errors.Is(err, errNotFound):
-			code = http.StatusNotFound
+			writeError(w, http.StatusNotFound, "%v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
 		}
-		writeError(w, code, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, cr.status())

@@ -18,11 +18,27 @@ import (
 	_ "glade/internal/oracle/registry"
 )
 
-// buildOracle resolves a spec against the server's defaults: the one
-// oracle-construction call every service path (jobs, campaigns, refresh,
-// validity-filtered generation) goes through.
+// buildOracle resolves a spec against the server's defaults with no
+// resilience layer — the cheap form the validation-only paths use (a
+// submission check never issues a query, so it needs no retry loop).
 func buildOracle(sp oracle.Spec, workers int, defaultTimeout time.Duration) (oracle.CheckOracle, []string, error) {
 	return sp.Build(oracle.BuildOptions{Workers: workers, DefaultTimeout: defaultTimeout})
+}
+
+// buildResilientOracle is the query-issuing form: the oracle every job,
+// campaign, and validity-filtered generation actually runs carries the
+// server's resilience layer — the clamped retry budget, the circuit
+// breaker, and the shared per-source telemetry instruments.
+func (s *Server) buildResilientOracle(sp oracle.Spec, workers, retries int, met *oracle.ResilientMetrics) (oracle.CheckOracle, []string, error) {
+	opt := oracle.BuildOptions{Workers: workers, DefaultTimeout: s.cfg.DefaultOracleTimeout}
+	if retries > 0 {
+		opt.Retry = oracle.RetryPolicy{MaxAttempts: retries + 1}
+	}
+	if s.cfg.BreakerThreshold > 0 {
+		opt.Breaker = oracle.BreakerPolicy{Threshold: s.cfg.BreakerThreshold}
+	}
+	opt.ResilientMetrics = met // used only when the options add the wrapper
+	return sp.Build(opt)
 }
 
 // JobOptions is the client-settable subset of core.Options. Pointer fields
@@ -34,6 +50,9 @@ type JobOptions struct {
 	TimeoutMS         int   `json:"timeout_ms,omitempty"`
 	MergeSampleChecks *int  `json:"merge_sample_checks,omitempty"`
 	RandSeed          int64 `json:"rand_seed,omitempty"`
+	// Retries is the per-query transient-failure retry budget (nil uses
+	// the server default, clamped server-side to Config.MaxRetries).
+	Retries *int `json:"retries,omitempty"`
 }
 
 // JobSpec is the body of POST /v1/jobs. Empty Seeds with a named oracle

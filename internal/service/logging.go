@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -99,5 +100,32 @@ func (s *Server) instrument(mux *http.ServeMux) http.Handler {
 		s.log.Debug("http request",
 			"req", id, "method", r.Method, "path", r.URL.Path,
 			"elapsed", time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// recoverPanics is the outermost middleware: a panicking handler must
+// take down one request, not the daemon. The panic is counted, logged
+// with its stack, and answered with a 500 (best-effort — if the handler
+// already streamed a body, the status is on the wire and the connection
+// just ends). http.ErrAbortHandler is re-raised: it is net/http's own
+// control-flow signal for aborting a response, not a bug.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			s.met.httpPanics.Inc()
+			s.log.Error("http handler panic",
+				"panic", fmt.Sprint(p),
+				"method", r.Method, "path", r.URL.Path,
+				"stack", string(debug.Stack()))
+			writeError(w, http.StatusInternalServerError, "internal error")
+		}()
+		next.ServeHTTP(w, r)
 	})
 }

@@ -1,0 +1,142 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestReadyzDrain pins the readiness-vs-liveness contract: /readyz answers
+// 200 while the server accepts work and flips to 503 with a Retry-After
+// hint once draining begins, while /healthz (liveness) stays 200 so
+// orchestrators do not kill a server that is merely finishing its jobs.
+// New submissions during the drain are refused with the same hint.
+func TestReadyzDrain(t *testing.T) {
+	srv, ts := testServer(t, t.TempDir())
+
+	resp := getJSON(t, ts.URL+"/readyz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ready server: /readyz = %d, want 200", resp.StatusCode)
+	}
+	if !srv.Ready() {
+		t.Fatal("Ready() = false before Drain")
+	}
+
+	srv.Drain()
+	if srv.Ready() {
+		t.Fatal("Ready() = true after Drain")
+	}
+	resp = getJSON(t, ts.URL+"/readyz", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining server: /readyz = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("draining /readyz carries no Retry-After header")
+	}
+	resp = getJSON(t, ts.URL+"/healthz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("draining server: /healthz = %d, want 200 (liveness is not readiness)", resp.StatusCode)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"oracle": map[string]any{"type": "builtin", "name": "json"},
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining = %d, want 503 (%s)", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("draining submit refusal carries no Retry-After header")
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/campaigns", map[string]any{
+		"oracle": map[string]any{"type": "builtin", "name": "json"},
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("campaign submit while draining = %d, want 503 (%s)", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("draining campaign refusal carries no Retry-After header")
+	}
+}
+
+// TestRecoverPanics pins the panic-containment middleware: a panicking
+// handler yields a 500 (not a dropped connection), increments the panic
+// counter, and http.ErrAbortHandler passes through untouched (it is the
+// stdlib's sanctioned abort signal and must keep its semantics).
+func TestRecoverPanics(t *testing.T) {
+	srv, err := New(Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	boom := srv.recoverPanics(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	}))
+	rec := httptest.NewRecorder()
+	boom.ServeHTTP(rec, httptest.NewRequest("GET", "/panic", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler = %d, want 500", rec.Code)
+	}
+	var sb strings.Builder
+	if err := srv.Registry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "glade_http_panics_total 1") {
+		t.Fatalf("panic counter not incremented; exposition:\n%s", sb.String())
+	}
+
+	abort := srv.recoverPanics(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	func() {
+		defer func() {
+			if p := recover(); p != http.ErrAbortHandler {
+				t.Fatalf("ErrAbortHandler was swallowed (recovered %v)", p)
+			}
+		}()
+		abort.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/abort", nil))
+	}()
+}
+
+// TestResolveRetries pins the server-side clamp on client-requested retry
+// budgets: nil uses the configured default, negatives floor at zero, and
+// nothing exceeds MaxRetries.
+func TestResolveRetries(t *testing.T) {
+	cfg := Config{DataDir: t.TempDir(), DefaultRetries: 2, MaxRetries: 4}.withDefaults()
+	intp := func(v int) *int { return &v }
+	cases := []struct {
+		name string
+		req  *int
+		want int
+	}{
+		{"nil uses default", nil, 2},
+		{"explicit zero disables", intp(0), 0},
+		{"in range passes through", intp(3), 3},
+		{"above max clamps", intp(100), 4},
+		{"negative floors at zero", intp(-7), 0},
+	}
+	for _, tc := range cases {
+		if got := cfg.resolveRetries(tc.req); got != tc.want {
+			t.Errorf("%s: resolveRetries = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+
+	// A default above the cap is itself clamped at config time.
+	high := Config{DataDir: t.TempDir(), DefaultRetries: 50, MaxRetries: 3}.withDefaults()
+	if got := high.resolveRetries(nil); got != 3 {
+		t.Errorf("default above max: resolveRetries(nil) = %d, want 3", got)
+	}
+}
+
+// TestRetryAfterHints pins the backoff constants every saturation response
+// advertises: both must be positive whole seconds, and a drain (the server
+// is going away) should hint a longer backoff than transient saturation.
+func TestRetryAfterHints(t *testing.T) {
+	if retryAfterSaturated <= 0 || retryAfterDraining <= 0 {
+		t.Fatal("Retry-After hints must be positive seconds")
+	}
+	if retryAfterDraining < retryAfterSaturated {
+		t.Fatal("draining should hint a longer backoff than transient saturation")
+	}
+}

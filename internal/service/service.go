@@ -41,6 +41,7 @@ import (
 	"log/slog"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"glade/internal/core"
@@ -94,6 +95,19 @@ type Config struct {
 	MaxCampaignDuration time.Duration
 	// MaxSeedBytes bounds the total seed payload of one job (default 1MiB).
 	MaxSeedBytes int
+	// DefaultRetries is the per-query transient-failure retry budget when
+	// a job or campaign spec does not set one (default 0: a transient
+	// oracle error fails the query on first occurrence, as before).
+	DefaultRetries int
+	// MaxRetries clamps the per-query retry budget a spec may request
+	// (default 8) — each retry can spawn another oracle subprocess, so it
+	// must not be client-controlled without bound.
+	MaxRetries int
+	// BreakerThreshold opens the per-oracle circuit breaker after this
+	// many consecutive transient failures, shedding load from an oracle
+	// that is down instead of hammering it (default 16; negative
+	// disables the breaker).
+	BreakerThreshold int
 	// Logf, when non-nil, receives server log lines. Superseded by Logger:
 	// when both are unset logging is off, and when only Logf is set it
 	// receives the structured records flattened to printf lines (info
@@ -145,7 +159,36 @@ func (c Config) withDefaults() Config {
 	if c.MaxSeedBytes <= 0 {
 		c.MaxSeedBytes = 1 << 20
 	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 8
+	}
+	if c.DefaultRetries < 0 {
+		c.DefaultRetries = 0
+	}
+	if c.DefaultRetries > c.MaxRetries {
+		c.DefaultRetries = c.MaxRetries
+	}
+	switch {
+	case c.BreakerThreshold < 0:
+		c.BreakerThreshold = 0
+	case c.BreakerThreshold == 0:
+		c.BreakerThreshold = 16
+	}
 	return c
+}
+
+// resolveRetries maps a client-requested retry budget onto the server's
+// clamps: nil means the server default; explicit requests clamp to
+// [0, MaxRetries].
+func (c Config) resolveRetries(req *int) int {
+	r := c.DefaultRetries
+	if req != nil {
+		r = *req
+	}
+	if r < 0 {
+		r = 0
+	}
+	return min(r, c.MaxRetries)
 }
 
 // Server is the glade-serve daemon: a grammar store, a bounded-concurrency
@@ -166,6 +209,12 @@ type Server struct {
 	// baseCtx is cancelled by Close so running campaigns stop promptly.
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
+
+	// draining flips once the server begins shutting down (Drain or
+	// Close): GET /readyz turns not-ready so load balancers stop routing
+	// new work here, while /healthz stays 200 for the process liveness
+	// probe and in-flight requests finish normally.
+	draining atomic.Bool
 
 	mu        sync.Mutex
 	jobs      map[string]*Job
@@ -234,11 +283,26 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // Store exposes the grammar store (tests and tooling).
 func (s *Server) Store() *Store { return s.store }
 
+// Drain marks the server not-ready without stopping work: GET /readyz
+// starts answering 503 so load balancers drain traffic away, while
+// running jobs, campaigns, and in-flight requests continue. Call before
+// http.Server.Shutdown for a graceful two-phase stop; Close implies it.
+func (s *Server) Drain() {
+	if !s.draining.Swap(true) {
+		s.log.Info("draining: readyz now reports not ready")
+	}
+}
+
+// Ready reports whether the server is accepting new work (not draining
+// or closed) — the condition behind GET /readyz.
+func (s *Server) Ready() bool { return !s.draining.Load() }
+
 // Close stops accepting submissions, cancels running campaigns (their
 // final checkpoint persists), and waits for running jobs and campaigns to
 // finish. Work still queued races the shutdown drain: each item is either
 // run by a worker or marked failed here. Close is idempotent.
 func (s *Server) Close() {
+	s.draining.Store(true)
 	s.mu.Lock()
 	select {
 	case <-s.done:
@@ -323,10 +387,16 @@ func (s *Server) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 	j.reqID = requestID(ctx)
 
 	s.mu.Lock()
+	// Refuse new work from the moment draining begins (Drain or Close):
+	// a queued job accepted now might be abandoned mid-shutdown.
+	if s.draining.Load() {
+		s.mu.Unlock()
+		return nil, errDraining
+	}
 	select {
 	case <-s.done:
 		s.mu.Unlock()
-		return nil, fmt.Errorf("server is shutting down")
+		return nil, errDraining
 	default:
 	}
 	select {
@@ -346,6 +416,7 @@ func (s *Server) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 
 var (
 	errQueueFull    = fmt.Errorf("job queue is full")
+	errDraining     = fmt.Errorf("server is shutting down")
 	errExecDisabled = fmt.Errorf("exec oracles are disabled on this server; start glade-serve with -allow-exec to permit them")
 )
 
@@ -422,7 +493,11 @@ func (s *Server) run(j *Job) {
 	j.mu.Unlock()
 
 	opts := j.Spec.resolveOptions(s.cfg, j.seeds)
-	o, _, err := buildOracle(j.Spec.Oracle, opts.Workers, s.cfg.DefaultOracleTimeout)
+	var reqRetries *int
+	if j.Spec.Options != nil {
+		reqRetries = j.Spec.Options.Retries
+	}
+	o, _, err := s.buildResilientOracle(j.Spec.Oracle, opts.Workers, s.cfg.resolveRetries(reqRetries), s.met.resilientJob)
 	if err != nil {
 		// Validated at submission; only reachable if a builtin vanished.
 		s.finish(j, nil, err)

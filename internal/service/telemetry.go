@@ -32,6 +32,17 @@ type serverMetrics struct {
 	oracleJob      *telemetry.Histogram
 	oracleCampaign *telemetry.Histogram
 	oracleGenerate *telemetry.Histogram
+
+	// Per-source resilience instruments (retries_total, breaker state and
+	// opens), shared by every oracle the source builds: breaker trips are
+	// per-oracle, but the exposition aggregates them per source.
+	resilientJob      *oracle.ResilientMetrics
+	resilientCampaign *oracle.ResilientMetrics
+	resilientGenerate *oracle.ResilientMetrics
+
+	// httpPanics counts handler panics contained by the recovery
+	// middleware — any nonzero value is a bug worth paging on.
+	httpPanics *telemetry.Counter
 }
 
 func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
@@ -61,6 +72,13 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		oracleJob:      histogram("job"),
 		oracleCampaign: histogram("campaign"),
 		oracleGenerate: histogram("generate"),
+
+		resilientJob:      oracle.NewResilientMetrics(reg, telemetry.L("source", "job")),
+		resilientCampaign: oracle.NewResilientMetrics(reg, telemetry.L("source", "campaign")),
+		resilientGenerate: oracle.NewResilientMetrics(reg, telemetry.L("source", "generate")),
+
+		httpPanics: reg.Counter("glade_http_panics_total",
+			"HTTP handler panics contained by the recovery middleware."),
 	}
 }
 

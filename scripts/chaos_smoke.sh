@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# chaos_smoke.sh — CI smoke for the fault-tolerant oracle stack: learn the
+# sed and xml grammars at Workers 1 and 8 through a deterministic ~10%
+# transient-fault injector wrapped in the Resilient retry/breaker layer,
+# and assert zero aborts, byte-identical grammars against the committed
+# goldens, retries recorded in the resilience metrics, and prompt abort on
+# a permanent failure (missing exec binary). All assertions live in
+# scripts/chaossmoke; this wrapper only pins the working directory.
+#
+# Usage: scripts/chaos_smoke.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== chaos smoke: learning under fault injection =="
+go run ./scripts/chaossmoke
+echo "== chaos smoke passed =="

@@ -1,0 +1,150 @@
+// Command chaossmoke is the CI chaos smoke for the fault-tolerant oracle
+// stack: it learns the sed and xml grammars through a FaultInjector that
+// fails ~10% of oracle queries with transient errors, wrapped in the
+// Resilient retry/breaker layer, and asserts that
+//
+//   - every learn completes with no abort at Workers 1 and 8,
+//   - each learned grammar is byte-identical to the committed golden
+//     (retries must never change a verdict, so injected faults cannot
+//     perturb a single learner decision),
+//   - retries actually happened (the injector really fired), and the
+//     resilience instruments are present in the Prometheus exposition,
+//   - a permanent failure (exec oracle whose binary does not exist) still
+//     aborts promptly with the wrapped error and zero retries.
+//
+// Usage:
+//
+//	go run ./scripts/chaossmoke
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"glade/internal/cfg"
+	"glade/internal/core"
+	"glade/internal/oracle"
+	"glade/internal/programs"
+	"glade/internal/telemetry"
+)
+
+// faultRate is the per-query probability of an injected transient fault.
+const faultRate = 0.10
+
+// maxAttempts bounds each query's retry loop. At a 10% fault rate the
+// chance a single query exhausts 8 attempts is 1e-8, so a smoke run of a
+// few hundred thousand queries aborts with probability ~1e-3 only if the
+// injector misbehaves — any abort is a real finding.
+const maxAttempts = 8
+
+func main() {
+	start := time.Now()
+	ctx := context.Background()
+	reg := telemetry.NewRegistry()
+	met := oracle.NewResilientMetrics(reg, telemetry.L("source", "chaos"))
+
+	var totalRetries uint64
+	for _, name := range []string{"sed", "xml"} {
+		p := programs.ByName(name)
+		if p == nil {
+			fatal("program %q missing", name)
+		}
+		seeds := p.Seeds()
+		if len(seeds) > 4 {
+			seeds = seeds[:4] // matches the committed goldens
+		}
+		for _, workers := range []int{1, 8} {
+			base := oracle.Func(func(s string) bool { return p.Run(s).OK })
+			inj := oracle.NewFaultInjector(base, oracle.FaultOptions{
+				Seed:          1,
+				TransientRate: faultRate,
+			})
+			res := oracle.NewResilient(inj, oracle.ResilientOptions{
+				Retry: oracle.RetryPolicy{
+					MaxAttempts: maxAttempts,
+					BaseDelay:   100 * time.Microsecond,
+					MaxDelay:    time.Millisecond,
+				},
+				// High enough that a 10% fault rate cannot plausibly
+				// produce the consecutive-failure run that opens it:
+				// retries reset the streak, so the smoke exercises the
+				// breaker's bookkeeping without ever tripping it.
+				Breaker: oracle.BreakerPolicy{Threshold: 32},
+				Workers: workers,
+				Metrics: met,
+			})
+			golden := filepath.Join("internal", "core", "testdata",
+				fmt.Sprintf("golden_%s_w%d.grammar", name, workers))
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				fatal("missing golden: %v", err)
+			}
+			opts := core.DefaultOptions()
+			opts.Workers = workers
+			lr, err := core.Learn(ctx, seeds, res, opts)
+			if err != nil {
+				fatal("%s workers=%d aborted under %.0f%% fault injection: %v",
+					name, workers, faultRate*100, err)
+			}
+			if got := cfg.Marshal(lr.Grammar); got != string(want) {
+				fatal("%s workers=%d: grammar drifted from %s under fault injection — a retry changed a verdict",
+					name, workers, golden)
+			}
+			st := res.Stats()
+			if st.Retries == 0 {
+				fatal("%s workers=%d: no retries recorded — the injector never fired", name, workers)
+			}
+			if st.BreakerOpens != 0 || st.State != "closed" {
+				fatal("%s workers=%d: breaker churned (opens=%d state=%s) under a fault rate that must not trip it",
+					name, workers, st.BreakerOpens, st.State)
+			}
+			totalRetries += st.Retries
+			fmt.Printf("chaos: %s workers=%d ok (%d queries, %d injected faults, %d retries, grammar identical)\n",
+				name, workers, lr.Stats.OracleQueries, inj.Injected(), st.Retries)
+		}
+	}
+
+	// The instruments the chaos runs fed must surface in the exposition.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		fatal("WritePrometheus: %v", err)
+	}
+	for _, series := range []string{
+		`glade_oracle_retries_total{source="chaos"}`,
+		`glade_oracle_breaker_opens_total{source="chaos"}`,
+		`glade_oracle_breaker_state{source="chaos"}`,
+	} {
+		if !strings.Contains(sb.String(), series) {
+			fatal("metrics exposition is missing %s", series)
+		}
+	}
+
+	// Permanent failures must not be retried into a hang: an exec oracle
+	// whose binary does not exist aborts on the first attempt.
+	missing := filepath.Join(os.TempDir(), "chaossmoke-no-such-binary")
+	perm := oracle.NewResilient(&oracle.Exec{Argv: []string{missing}}, oracle.ResilientOptions{
+		Retry: oracle.RetryPolicy{MaxAttempts: maxAttempts, BaseDelay: 50 * time.Millisecond},
+	})
+	permStart := time.Now()
+	if _, err := perm.Check(ctx, "x"); err == nil {
+		fatal("missing-binary exec oracle returned no error")
+	} else if elapsed := time.Since(permStart); elapsed > 2*time.Second {
+		fatal("permanent exec failure took %v — it was retried instead of aborting", elapsed)
+	}
+	if st := perm.Stats(); st.Retries != 0 {
+		fatal("permanent exec failure was retried %d times", st.Retries)
+	}
+	fmt.Printf("chaos: permanent exec failure aborted promptly with zero retries\n")
+
+	fmt.Printf("chaossmoke: ok (%d total retries across 4 learns, %.1fs)\n",
+		totalRetries, time.Since(start).Seconds())
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "chaossmoke: "+format+"\n", args...)
+	os.Exit(1)
+}

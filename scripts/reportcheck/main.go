@@ -1,10 +1,12 @@
 // Command reportcheck validates a campaign report file for CI: it must be
 // parseable JSON in the campaign.Report shape, marked done, with at least
-// one executed input and at least one retained corpus entry. With -diff
-// the report must additionally come from a differential campaign that
-// triaged at least one oracle disagreement into the diff_accept /
-// diff_reject buckets. Used by scripts/campaign_smoke.sh so the smoke
-// needs no jq/python dependency.
+// one executed input, at least one retained corpus entry, and internally
+// consistent resilience counters (oracle_outages / oracle_retries /
+// breaker_opens, present when the campaign ran behind the retry/breaker
+// wrapper). With -diff the report must additionally come from a
+// differential campaign that triaged at least one oracle disagreement
+// into the diff_accept / diff_reject buckets. Used by
+// scripts/campaign_smoke.sh so the smoke needs no jq/python dependency.
 //
 // Usage:
 //
@@ -57,6 +59,16 @@ func main() {
 		fail("inconsistent counters: accepted %d + rejected %d != inputs %d",
 			rep.Accepted, rep.Rejected, rep.Inputs)
 	}
+	// Resilience counters are optional (omitted when the campaign ran on a
+	// bare oracle) but must be sane when present: outages cannot be
+	// negative, and a breaker that opened implies the wrapper saw at least
+	// that many transient waves survive as outages.
+	if rep.OracleOutages < 0 {
+		fail("negative oracle_outages %d", rep.OracleOutages)
+	}
+	if rep.BreakerOpens > 0 && rep.OracleOutages == 0 {
+		fail("breaker opened %d times but zero oracle outages were recorded", rep.BreakerOpens)
+	}
 	if *diff {
 		if rep.DiffOracle == "" {
 			fail("report is not from a differential campaign (no diff_oracle)")
@@ -69,6 +81,11 @@ func main() {
 			fail("%d disagreements but empty diff_accept/diff_reject buckets", rep.DiffDisagreements)
 		}
 	}
-	fmt.Printf("reportcheck: ok — %d inputs, %d corpus entries, buckets %v\n",
-		rep.Inputs, len(rep.Corpus), rep.Buckets)
+	resilience := ""
+	if rep.OracleOutages > 0 || rep.OracleRetries > 0 || rep.BreakerOpens > 0 {
+		resilience = fmt.Sprintf(", %d outages / %d retries / %d breaker opens",
+			rep.OracleOutages, rep.OracleRetries, rep.BreakerOpens)
+	}
+	fmt.Printf("reportcheck: ok — %d inputs, %d corpus entries, buckets %v%s\n",
+		rep.Inputs, len(rep.Corpus), rep.Buckets, resilience)
 }

@@ -1,11 +1,13 @@
 // Command telemetrycheck validates a BENCH_telemetry.json artifact for CI:
 // the file must be valid glade-bench -json output containing telemetry-
-// figure rows for both modes at each measured worker count, including a
-// Workers=1 measurement, and the instrumented oracle dispatch (the
-// metrics.QueryTimer + histogram stack every glade-serve job runs under)
-// must stay within maxOverheadPct of bare dispatch — observability must
-// not tax the hot path. It mirrors scripts/parsecheck and
-// scripts/oraclecheck so the bench smoke needs no jq/python dependency.
+// figure rows for all three modes at each measured worker count, including
+// a Workers=1 measurement, and both wrapped oracle dispatch stacks — the
+// instrumented one (the metrics.QueryTimer + histogram stack every
+// glade-serve job runs under) and the resilient one (the retry/breaker
+// wrapper's fault-free fast path) — must stay within maxOverheadPct of
+// bare dispatch: neither observability nor fault tolerance may tax the hot
+// path. It mirrors scripts/parsecheck and scripts/oraclecheck so the bench
+// smoke needs no jq/python dependency.
 //
 // Usage:
 //
@@ -19,9 +21,14 @@ import (
 )
 
 // maxOverheadPct is the gate: instrumentation adds ~100 ns of atomics per
-// query against a multi-microsecond parse, so real overhead is well under
-// 5%; the margin absorbs loaded CI machines.
+// query against a multi-microsecond parse, and the resilient wrapper's
+// no-fault path adds two mutex acquisitions, so real overhead is well
+// under 5%; the margin absorbs loaded CI machines.
 const maxOverheadPct = 5.0
+
+// wrappedModes are the stacks measured against bare; each must carry an
+// overhead_pct within the gate at every worker count.
+var wrappedModes = []string{"instrumented", "resilient"}
 
 // telemetryRow mirrors the telemetry-figure fields of glade-bench's jsonRow.
 type telemetryRow struct {
@@ -60,8 +67,8 @@ func main() {
 		if r.Figure != "telemetry" {
 			continue
 		}
-		if r.Mode != "bare" && r.Mode != "instrumented" {
-			fail("row has mode %q, want bare or instrumented", r.Mode)
+		if r.Mode != "bare" && r.Mode != "instrumented" && r.Mode != "resilient" {
+			fail("row has mode %q, want bare, instrumented, or resilient", r.Mode)
 		}
 		if r.Workers < 1 || r.Queries <= 0 || r.QPS <= 0 {
 			fail("%s row at workers=%d is degenerate: queries=%d qps=%.0f",
@@ -84,19 +91,24 @@ func main() {
 	var worst float64
 	for w, byMode := range modes {
 		b, okB := byMode["bare"]
-		i, okI := byMode["instrumented"]
-		if !okB || !okI {
-			fail("workers=%d measured only one mode (bare=%v instrumented=%v)", w, okB, okI)
+		if !okB {
+			fail("workers=%d has no bare baseline row", w)
 		}
-		if i.OverheadPct == nil {
-			fail("instrumented row at workers=%d carries no overhead_pct", w)
-		}
-		if *i.OverheadPct > maxOverheadPct {
-			fail("workers=%d: instrumented dispatch is %.2f%% slower than bare (%.0f vs %.0f q/s; gate: %.0f%%)",
-				w, *i.OverheadPct, i.QPS, b.QPS, maxOverheadPct)
-		}
-		if *i.OverheadPct > worst {
-			worst = *i.OverheadPct
+		for _, mode := range wrappedModes {
+			i, okI := byMode[mode]
+			if !okI {
+				fail("workers=%d has no %s row", w, mode)
+			}
+			if i.OverheadPct == nil {
+				fail("%s row at workers=%d carries no overhead_pct", mode, w)
+			}
+			if *i.OverheadPct > maxOverheadPct {
+				fail("workers=%d: %s dispatch is %.2f%% slower than bare (%.0f vs %.0f q/s; gate: %.0f%%)",
+					w, mode, *i.OverheadPct, i.QPS, b.QPS, maxOverheadPct)
+			}
+			if *i.OverheadPct > worst {
+				worst = *i.OverheadPct
+			}
 		}
 	}
 	fmt.Printf("telemetrycheck: ok (%d worker counts, worst overhead %.2f%%)\n",
