@@ -21,7 +21,7 @@ lint:
 		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
 	fi
 	go vet ./...
-	go run ./scripts/doccheck . internal/service internal/fuzz internal/campaign internal/oracle internal/oracle/registry internal/metrics internal/core internal/telemetry
+	go run ./scripts/doccheck . internal/service internal/fuzz internal/campaign internal/oracle internal/oracle/registry internal/metrics internal/core internal/telemetry internal/cluster internal/loadgen
 	go run ./scripts/apilock
 	./scripts/linkcheck.sh
 
@@ -33,7 +33,9 @@ lint:
 # oraclecheck if the in-process oracle registry loses its >=50x edge over
 # exec oracles, and telemetrycheck if the observability stack or the
 # resilient wrapper's no-fault fast path costs more than a few percent of
-# bare oracle dispatch. Full runs: cmd/glade-bench.
+# bare oracle dispatch, and servecheck if the sharded serving stack's
+# batch-check path loses throughput, grows a fat latency tail, or errors
+# under closed-loop load. Full runs: cmd/glade-bench.
 bench:
 	go test -run=NONE -bench=. -benchtime=1x ./...
 	go run ./cmd/glade-bench -quick -fig speedup -qdelay 50us -json BENCH_speedup.json
@@ -43,6 +45,8 @@ bench:
 	go run ./scripts/oraclecheck BENCH_oracle.json
 	go run ./cmd/glade-bench -quick -fig telemetry -json BENCH_telemetry.json
 	go run ./scripts/telemetrycheck BENCH_telemetry.json
+	go run ./cmd/glade-bench -quick -fig serve -json BENCH_serve.json
+	go run ./scripts/servecheck BENCH_serve.json
 
 # Longer local runs of the native fuzz targets that lock down the
 # recognition ladder (differential verdicts across all rungs) and the

@@ -55,12 +55,13 @@ import (
 	"time"
 
 	"glade/internal/bench"
+	servebench "glade/internal/bench/serve"
 	"glade/internal/oracle"
 	_ "glade/internal/oracle/registry" // named oracles for -fig oracle and -stdin-oracle
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4a 4b 4c 5 6 7a 7b 7c 8 ablations speedup parse oracle telemetry all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4a 4b 4c 5 6 7a 7b 7c 8 ablations speedup parse oracle telemetry serve all")
 	seeds := flag.Int("seeds", 50, "seed inputs per target (Figure 4)")
 	eval := flag.Int("eval", 1000, "samples per precision/recall estimate")
 	fuzzN := flag.Int("samples", 50000, "samples per fuzzer (Figure 7)")
@@ -71,6 +72,8 @@ func main() {
 	jsonOut := flag.String("json", "", "also write machine-readable results (program, queries, wall-clock, workers) to this file")
 	flag.DurationVar(&qdelay, "qdelay", 200*time.Microsecond, "simulated per-query program-execution cost in -fig speedup")
 	stdinOracle := flag.String("stdin-oracle", "", "internal: act as an exec oracle for the named builtin — read stdin, exit 0 iff it is a member (used by -fig oracle as its subprocess baseline)")
+	flag.IntVar(&serveClients, "serve-clients", 8, "closed-loop client count for -fig serve")
+	flag.DurationVar(&serveDuration, "serve-duration", 3*time.Second, "load duration per cluster size for -fig serve (-quick halves it)")
 	flag.Parse()
 	if *stdinOracle != "" {
 		runStdinOracle(*stdinOracle)
@@ -83,6 +86,7 @@ func main() {
 	c := bench.Config{Seeds: *seeds, EvalSamples: *eval, FuzzSamples: *fuzzN, Timeout: *timeout, RandSeed: *seed, Workers: *workers}
 	if *quick {
 		c.Seeds, c.EvalSamples, c.FuzzSamples = 10, 200, 4000
+		serveDuration /= 2
 	}
 	speedupWorkers = *workers
 	if speedupWorkers < 2 {
@@ -113,6 +117,7 @@ func main() {
 	run("parse", parse)
 	run("oracle", oracleFig)
 	run("telemetry", telemetryFig)
+	run("serve", serveFig)
 	if *jsonOut != "" {
 		writeReport(*jsonOut, c)
 	}
@@ -317,6 +322,36 @@ func telemetryFig(ctx context.Context, c bench.Config) {
 			r.Mode, r.Workers, r.Queries, r.Seconds, r.QPS, r.NsPerQuery, overhead)
 	}
 	recordTelemetry(rows)
+	fmt.Println()
+}
+
+// serveClients and serveDuration configure the serve figure (set from
+// flags).
+var (
+	serveClients  int
+	serveDuration time.Duration
+)
+
+// serveFig load-tests glade-serve at 1 and 3 nodes: in-process clusters
+// wired through the consistent-hash router, driven by the closed-loop
+// generator with a placement-aware route function. scripts/servecheck
+// gates CI on the emitted BENCH_serve.json.
+func serveFig(ctx context.Context, c bench.Config) {
+	fmt.Printf("== Serve: sharded glade-serve under closed-loop load (%d clients, %v per size) ==\n",
+		serveClients, serveDuration)
+	rows, err := servebench.Serve(ctx, c, []int{1, 3}, serveClients, serveDuration)
+	fail(err)
+	fmt.Printf("%-6s %-9s %8s %7s %9s %9s %9s %9s %11s\n",
+		"nodes", "endpoint", "requests", "errors", "q/s", "p50(ms)", "p95(ms)", "p99(ms)", "inputs/s")
+	for _, r := range rows {
+		inputs := ""
+		if r.InputsPerSec > 0 {
+			inputs = fmt.Sprintf("%11.0f", r.InputsPerSec)
+		}
+		fmt.Printf("%-6d %-9s %8d %7d %9.0f %9.2f %9.2f %9.2f %11s\n",
+			r.Nodes, r.Endpoint, r.Requests, r.Errors, r.QPS, r.P50Ms, r.P95Ms, r.P99Ms, inputs)
+	}
+	recordServe(rows)
 	fmt.Println()
 }
 

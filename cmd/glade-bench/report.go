@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"glade/internal/bench"
+	servebench "glade/internal/bench/serve"
 )
 
 // jsonReport is the -json output: one machine-readable row per benchmark
@@ -70,6 +71,19 @@ type jsonRow struct {
 	// slowdown (pointer so a 0.00% measurement still lands in the JSON).
 	NsPerQuery  float64  `json:"ns_per_query,omitempty"`
 	OverheadPct *float64 `json:"overhead_pct,omitempty"`
+	// Serve-figure fields: cluster size, per-endpoint request/error counts
+	// and latency quantiles, and endpoint work throughput. Errors is a
+	// pointer so a clean zero-error run still lands in the JSON for
+	// scripts/servecheck to assert on.
+	Nodes        int     `json:"nodes,omitempty"`
+	Endpoint     string  `json:"endpoint,omitempty"`
+	Clients      int     `json:"clients,omitempty"`
+	Requests     int     `json:"requests,omitempty"`
+	Errors       *int    `json:"errors,omitempty"`
+	P50Ms        float64 `json:"p50_ms,omitempty"`
+	P95Ms        float64 `json:"p95_ms,omitempty"`
+	P99Ms        float64 `json:"p99_ms,omitempty"`
+	InputsPerSec float64 `json:"inputs_per_sec,omitempty"`
 }
 
 // report collects rows while figures run; nil (no -json flag) collects
@@ -115,6 +129,19 @@ func recordTelemetry(rows []bench.TelemetryRow) {
 			row.OverheadPct = &o
 		}
 		recordRows(row)
+	}
+}
+
+func recordServe(rows []servebench.ServeRow) {
+	for _, r := range rows {
+		e := r.Errors
+		recordRows(jsonRow{
+			Figure: "serve", Nodes: r.Nodes, Endpoint: r.Endpoint,
+			Clients: r.Clients, Requests: r.Requests, Errors: &e,
+			Seconds: r.Seconds, QPS: r.QPS,
+			P50Ms: r.P50Ms, P95Ms: r.P95Ms, P99Ms: r.P99Ms,
+			InputsPerSec: r.InputsPerSec,
+		})
 	}
 }
 

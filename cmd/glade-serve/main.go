@@ -52,9 +52,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"glade/internal/cluster"
 	"glade/internal/service"
 )
 
@@ -77,6 +79,8 @@ func main() {
 	logLevel := flag.String("log-level", "info", `minimum log level: "debug", "info", "warn", or "error" (debug includes per-request HTTP lines)`)
 	debugAddr := flag.String("debug-addr", "", "optional debug listener with net/http/pprof and /metrics (e.g. 127.0.0.1:6060); keep it on loopback — it is never mounted on the public mux")
 	quiet := flag.Bool("quiet", false, "suppress per-job log lines (same as -log-level error)")
+	peers := flag.String("peers", "", "comma-separated host:port list of every cluster member including this node; empty runs single-node")
+	self := flag.String("self", "", "this node's address as it appears in -peers (defaults to -addr); must match exactly for ownership routing")
 	flag.Parse()
 
 	fatal := func(format string, args ...any) {
@@ -123,6 +127,37 @@ func main() {
 		fatal("%v", err)
 	}
 
+	// Every deployment runs behind the cluster router — a single node is
+	// just a one-peer ring where every key is locally owned — so the code
+	// path (and the /v1/cluster endpoint) is identical at every scale.
+	selfAddr := *self
+	if selfAddr == "" {
+		selfAddr = *addr
+	}
+	peerList := []string{selfAddr}
+	if *peers != "" {
+		peerList = nil
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+	}
+	ring, err := cluster.NewRing(peerList, 0)
+	if err != nil {
+		fatal("%v", err)
+	}
+	prober := cluster.NewProber(selfAddr, ring.Peers(), 0, logger)
+	router, err := cluster.NewRouter(selfAddr, ring, prober, srv.Handler(), logger)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if len(ring.Peers()) > 1 {
+		prober.Start()
+		defer prober.Stop()
+		logger.Info("cluster mode", "self", selfAddr, "peers", ring.Peers())
+	}
+
 	// The pprof surface rides a separate listener so the public API port
 	// never exposes profiling endpoints, whatever the mux grows later.
 	if *debugAddr != "" {
@@ -151,7 +186,7 @@ func main() {
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           router,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)

@@ -1,0 +1,240 @@
+// Package servebench load-tests the glade-serve stack itself: it boots
+// in-process clusters wired through the consistent-hash router and drives
+// them with the closed-loop generator, producing the serve figure's rows.
+// It lives apart from internal/bench because it imports internal/service
+// (whose campaign tests import internal/bench — a cycle otherwise).
+package servebench
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"glade/internal/bench"
+	"glade/internal/cluster"
+	"glade/internal/core"
+	"glade/internal/loadgen"
+	"glade/internal/oracle"
+	"glade/internal/service"
+)
+
+// ServeRow is one line of the serve-mode load benchmark: an endpoint's
+// throughput and latency distribution at a given cluster size.
+type ServeRow struct {
+	// Nodes is the cluster size the row was measured against.
+	Nodes int
+	// Endpoint is "generate", "check", "stats", or "total" (the aggregate).
+	Endpoint string
+	// Clients is the closed-loop client count.
+	Clients int
+	// Requests and Errors count attempts and failures over the run.
+	Requests int
+	Errors   int
+	// Seconds is the measured wall time.
+	Seconds float64
+	// QPS is Requests / Seconds.
+	QPS float64
+	// Latency quantiles in milliseconds.
+	P50Ms float64
+	P95Ms float64
+	P99Ms float64
+	// InputsPerSec is work throughput: batch inputs/s for check, samples/s
+	// for generate (0 for stats and total).
+	InputsPerSec float64
+}
+
+// serveGrammars is how many grammar ids the load spreads across. Several
+// ids give the ring something to place — with one id a 3-node cluster
+// would concentrate all keyed work on a single owner.
+const serveGrammars = 6
+
+// Serve measures glade-serve under closed-loop load at each cluster size
+// in nodeCounts (e.g. {1, 3}): it learns the builtin JSON grammar once,
+// boots that many in-process nodes wired through the consistent-hash
+// router, stores the grammar under several ids (each on its ring owner),
+// and drives a generate/check/stats mix against them. The load generator
+// routes keyed requests straight to each id's owner — the production
+// analogy is a placement-aware load balancer — so the multi-node numbers
+// measure sharding, not proxy hops.
+func Serve(ctx context.Context, c bench.Config, nodeCounts []int, clients int, duration time.Duration) ([]ServeRow, error) {
+	if c.Timeout == 0 {
+		c.Timeout = 300 * time.Second
+	}
+	if clients <= 0 {
+		clients = 8
+	}
+	if duration <= 0 {
+		duration = 3 * time.Second
+	}
+
+	reg, ok := oracle.LookupNamed(oracle.SpecBuiltin, "json")
+	if !ok {
+		return nil, fmt.Errorf("servebench: builtin json oracle not registered")
+	}
+	opts := core.DefaultOptions()
+	opts.Timeout = c.Timeout
+	opts.Workers = c.Workers
+	res, err := core.Learn(ctx, reg.Seeds, reg.New(0, 1), opts)
+	if err != nil {
+		return nil, fmt.Errorf("servebench: learning json grammar: %w", err)
+	}
+
+	// The same ids are reused at every cluster size, so the 1-node and
+	// 3-node runs check and generate from identical grammars.
+	ids := make([]string, serveGrammars)
+	for i := range ids {
+		ids[i] = service.NewID()
+	}
+
+	var rows []ServeRow
+	for _, n := range nodeCounts {
+		r, err := serveOne(ctx, n, clients, duration, res, reg, ids)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
+// serveOne boots an n-node routed cluster, loads it, and tears it down.
+func serveOne(ctx context.Context, n, clients int, duration time.Duration, res *core.Result, reg oracle.Registration, ids []string) ([]ServeRow, error) {
+	nodes, ring, cleanup, err := startNodes(n)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	byAddr := map[string]*service.Server{}
+	targets := make([]string, len(nodes))
+	for i, nd := range nodes {
+		byAddr[nd.addr] = nd.srv
+		targets[i] = "http://" + nd.addr
+	}
+	meta := service.GrammarMeta{
+		Oracle:    "builtin:json",
+		Spec:      oracle.Spec{Type: oracle.SpecBuiltin, Name: "json"},
+		Seeds:     reg.Seeds,
+		CreatedAt: time.Now(),
+	}
+	for _, id := range ids {
+		meta.ID = id
+		if err := byAddr[ring.Owner(id)].Store().Put(res.Grammar, meta); err != nil {
+			return nil, fmt.Errorf("servebench: storing grammar %s: %w", id, err)
+		}
+	}
+
+	lr, err := loadgen.Run(ctx, loadgen.Config{
+		Targets:    targets,
+		GrammarIDs: ids,
+		Route:      func(id string) string { return "http://" + ring.Owner(id) },
+		Clients:    clients,
+		Duration:   duration,
+		Mix:        loadgen.Mix{Generate: 1, Check: 6, Stats: 1},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("servebench: loadgen against %d nodes: %w", n, err)
+	}
+
+	rows := make([]ServeRow, 0, len(lr.Endpoints)+1)
+	for _, ep := range lr.Endpoints {
+		rows = append(rows, ServeRow{
+			Nodes: n, Endpoint: ep.Endpoint, Clients: lr.Clients,
+			Requests: ep.Requests, Errors: ep.Errors, Seconds: lr.Seconds,
+			QPS: ep.QPS, P50Ms: ep.P50Ms, P95Ms: ep.P95Ms, P99Ms: ep.P99Ms,
+			InputsPerSec: ep.InputsPerSec,
+		})
+	}
+	rows = append(rows, ServeRow{
+		Nodes: n, Endpoint: "total", Clients: lr.Clients,
+		Requests: lr.Requests, Errors: lr.Errors, Seconds: lr.Seconds,
+		QPS: lr.QPS,
+	})
+	return rows, nil
+}
+
+// serveNode is one booted in-process node.
+type serveNode struct {
+	addr string
+	srv  *service.Server
+	hs   *http.Server
+}
+
+// startNodes boots n glade-serve nodes on loopback, each fronted by the
+// cluster router over a shared ring, exactly as the daemon wires them.
+// Listeners are opened before any node starts so every ring is built from
+// the full final membership.
+func startNodes(n int) (nodes []serveNode, ring *cluster.Ring, cleanup func(), err error) {
+	var lns []net.Listener
+	var probers []*cluster.Prober
+	var dirs []string
+	cleanup = func() {
+		for _, nd := range nodes {
+			nd.hs.Close()
+		}
+		for _, p := range probers {
+			p.Stop()
+		}
+		for _, nd := range nodes {
+			nd.srv.Close()
+		}
+		for _, d := range dirs {
+			os.RemoveAll(d)
+		}
+	}
+	fail := func(e error) ([]serveNode, *cluster.Ring, func(), error) {
+		cleanup()
+		for _, ln := range lns {
+			ln.Close()
+		}
+		return nil, nil, nil, e
+	}
+
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fail(err)
+		}
+		lns = append(lns, ln)
+		addrs[i] = ln.Addr().String()
+	}
+	ring, err = cluster.NewRing(addrs, 0)
+	if err != nil {
+		return fail(err)
+	}
+
+	logger := slog.New(slog.DiscardHandler)
+	for i := 0; i < n; i++ {
+		dir, err := os.MkdirTemp("", "glade-bench-serve-*")
+		if err != nil {
+			return fail(err)
+		}
+		dirs = append(dirs, dir)
+		srv, err := service.New(service.Config{
+			DataDir:        dir,
+			MaxJobs:        1,
+			MaxJobDuration: time.Minute,
+			Logger:         logger,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		prober := cluster.NewProber(addrs[i], addrs, 0, logger)
+		router, err := cluster.NewRouter(addrs[i], ring, prober, srv.Handler(), logger)
+		if err != nil {
+			srv.Close()
+			return fail(err)
+		}
+		probers = append(probers, prober)
+		prober.Start()
+		hs := &http.Server{Handler: router}
+		nodes = append(nodes, serveNode{addr: addrs[i], srv: srv, hs: hs})
+		go hs.Serve(lns[i])
+	}
+	return nodes, ring, cleanup, nil
+}

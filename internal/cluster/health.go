@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// PeerHealth is one peer's probe state, exposed by GET /v1/cluster.
+type PeerHealth struct {
+	Addr string `json:"addr"`
+	Self bool   `json:"self,omitempty"`
+	// Healthy reports the last probe's outcome. The local node is always
+	// healthy from its own point of view (it is answering the request).
+	Healthy bool `json:"healthy"`
+	// Failures counts consecutive failed probes (0 while healthy).
+	Failures int `json:"consecutive_failures,omitempty"`
+	// LastProbe is when the peer was last probed (zero for self).
+	LastProbe time.Time `json:"last_probe,omitempty"`
+	// Error is the last probe failure ("" while healthy).
+	Error string `json:"error,omitempty"`
+}
+
+// Prober health-checks every remote peer's /readyz on an interval and
+// answers Healthy for the router's failover decisions. A peer is assumed
+// healthy until its first failed probe (optimistic start: a cluster
+// booting in any order must not mark slow-starting peers dead forever —
+// the first real forward either works or fails fast and marks them down).
+// The router also reports proxy failures through MarkDown, so a dead peer
+// is shed at first contact instead of waiting out a probe interval.
+type Prober struct {
+	self     string
+	peers    []string
+	client   *http.Client
+	interval time.Duration
+	log      *slog.Logger
+
+	mu    sync.Mutex
+	state map[string]*peerState
+
+	stop   context.CancelFunc
+	stopWG sync.WaitGroup
+}
+
+type peerState struct {
+	healthy   bool
+	failures  int
+	lastProbe time.Time
+	lastErr   string
+}
+
+// probeTimeout bounds one /readyz probe (and is the proxy dial ceiling a
+// router failover tolerates before trying the next successor).
+const probeTimeout = 2 * time.Second
+
+// NewProber builds a prober for the remote members of peers (self is
+// skipped — a node does not probe itself). Probing starts when Start is
+// called; interval <= 0 defaults to 2s.
+func NewProber(self string, peers []string, interval time.Duration, logger *slog.Logger) *Prober {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	p := &Prober{
+		self:     self,
+		peers:    append([]string(nil), peers...),
+		client:   &http.Client{Timeout: probeTimeout},
+		interval: interval,
+		log:      logger,
+		state:    map[string]*peerState{},
+	}
+	for _, peer := range p.peers {
+		if peer != self {
+			p.state[peer] = &peerState{healthy: true}
+		}
+	}
+	return p
+}
+
+// Start launches the probe loop. Stop with Stop.
+func (p *Prober) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	p.stop = cancel
+	p.stopWG.Add(1)
+	go func() {
+		defer p.stopWG.Done()
+		ticker := time.NewTicker(p.interval)
+		defer ticker.Stop()
+		p.probeAll(ctx)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				p.probeAll(ctx)
+			}
+		}
+	}()
+}
+
+// Stop ends the probe loop and waits for it.
+func (p *Prober) Stop() {
+	if p.stop != nil {
+		p.stop()
+		p.stopWG.Wait()
+	}
+}
+
+// probeAll probes every remote peer once, sequentially — cluster sizes
+// here are single digits and the probe timeout bounds the sweep.
+func (p *Prober) probeAll(ctx context.Context) {
+	for peer := range p.state {
+		p.probe(ctx, peer)
+	}
+}
+
+// probe hits one peer's /readyz. Any response at all proves the process is
+// alive, but only 200 marks it ready for traffic — a draining peer (503)
+// must shed its keys to the successors just like a dead one.
+func (p *Prober) probe(ctx context.Context, peer string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+peer+"/readyz", nil)
+	if err != nil {
+		p.record(peer, fmt.Errorf("bad peer address: %w", err))
+		return
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.record(peer, err)
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		p.record(peer, fmt.Errorf("readyz: %s", resp.Status))
+		return
+	}
+	p.record(peer, nil)
+}
+
+// record folds one probe outcome into the peer's state.
+func (p *Prober) record(peer string, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.state[peer]
+	if !ok {
+		return
+	}
+	st.lastProbe = time.Now()
+	if err == nil {
+		if !st.healthy {
+			p.log.Info("peer recovered", "peer", peer)
+		}
+		st.healthy = true
+		st.failures = 0
+		st.lastErr = ""
+		return
+	}
+	st.failures++
+	st.lastErr = err.Error()
+	if st.healthy {
+		p.log.Warn("peer unhealthy", "peer", peer, "err", err)
+	}
+	st.healthy = false
+}
+
+// MarkDown records a router-observed failure (a proxy attempt that could
+// not reach the peer), so failover does not wait for the next probe tick.
+// The next successful probe brings the peer back.
+func (p *Prober) MarkDown(peer string, err error) {
+	p.record(peer, err)
+}
+
+// Healthy reports whether peer should receive traffic. Self is always
+// healthy; unknown peers are not.
+func (p *Prober) Healthy(peer string) bool {
+	if peer == p.self {
+		return true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.state[peer]
+	return ok && st.healthy
+}
+
+// Snapshot returns every peer's health, sorted by address (self included).
+func (p *Prober) Snapshot() []PeerHealth {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PeerHealth, 0, len(p.peers))
+	for _, peer := range p.peers {
+		if peer == p.self {
+			out = append(out, PeerHealth{Addr: peer, Self: true, Healthy: true})
+			continue
+		}
+		st := p.state[peer]
+		out = append(out, PeerHealth{
+			Addr:      peer,
+			Healthy:   st.healthy,
+			Failures:  st.failures,
+			LastProbe: st.lastProbe,
+			Error:     st.lastErr,
+		})
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+// Package cluster turns N shared-nothing glade-serve daemons into one
+// logical service. Placement is consistent hashing: every peer owns a set
+// of virtual nodes on a hash ring, a resource id (grammar id, job id,
+// campaign id) hashes to a ring position, and the next virtual node
+// clockwise names the owner. The Router serves locally-owned resources
+// from the wrapped service handler and transparently proxies non-owned
+// requests to the owner (chosen over 307 redirects so that dumb clients —
+// curl without -L, load generators, SDKs with redirect policies — see one
+// coherent API from any node); a Prober health-checks peers off /readyz so
+// a dead peer's keys fail over to the next ring position.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVnodes is the virtual-node count per peer. 64 vnodes keep the
+// per-peer share within a few percent of uniform for small clusters while
+// the ring stays tiny (N*64 points).
+const DefaultVnodes = 64
+
+// Ring is an immutable consistent-hash ring over a set of peers. Placement
+// is deterministic in the peer names alone — every node building a ring
+// from the same peer list routes every key identically, with no
+// coordination — and rebalance-friendly: adding or removing one peer moves
+// only the keys that hashed to its virtual nodes (~1/N of the space), not
+// the whole keyspace the way modulo placement would.
+type Ring struct {
+	peers  []string // sorted, unique
+	vnodes int
+	points []point // sorted by hash
+}
+
+// point is one virtual node: a ring position owned by a peer.
+type point struct {
+	hash uint64
+	peer int32 // index into peers
+}
+
+// NewRing builds a ring over peers with vnodes virtual nodes each
+// (DefaultVnodes when vnodes <= 0). Peer names are deduplicated and
+// sorted, so any permutation of the same membership yields an identical
+// ring. An empty peer list is an error — a ring with no owners cannot
+// place anything.
+func NewRing(peers []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	uniq := map[string]bool{}
+	var sorted []string
+	for _, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty peer name")
+		}
+		if !uniq[p] {
+			uniq[p] = true
+			sorted = append(sorted, p)
+		}
+	}
+	if len(sorted) == 0 {
+		return nil, fmt.Errorf("cluster: no peers")
+	}
+	sort.Strings(sorted)
+	r := &Ring{
+		peers:  sorted,
+		vnodes: vnodes,
+		points: make([]point, 0, len(sorted)*vnodes),
+	}
+	for i, peer := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{
+				hash: hashKey(fmt.Sprintf("%s#%d", peer, v)),
+				peer: int32(i),
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash == r.points[b].hash {
+			return r.points[a].peer < r.points[b].peer
+		}
+		return r.points[a].hash < r.points[b].hash
+	})
+	return r, nil
+}
+
+// hashKey is FNV-1a 64 with a splitmix64 finalizer — fast,
+// dependency-free, and stable across processes and architectures, which is
+// all ring placement needs (cryptographic strength buys nothing here).
+// Raw FNV on short, similar strings ("peer#0", "peer#1", ...) leaves the
+// high bits badly mixed and skews vnode placement several-fold; the
+// finalizer's avalanche restores a near-uniform spread.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Peers returns the ring's membership, sorted.
+func (r *Ring) Peers() []string {
+	return append([]string(nil), r.peers...)
+}
+
+// Vnodes returns the virtual-node count per peer.
+func (r *Ring) Vnodes() int { return r.vnodes }
+
+// Owner names the peer owning key — the first peer clockwise from the
+// key's ring position.
+func (r *Ring) Owner(key string) string {
+	return r.Owners(key, 1)[0]
+}
+
+// Owners returns up to n distinct peers in ring order from the key's
+// position: the owner first, then the failover successors a router walks
+// when the owner is unhealthy. n is clamped to the peer count.
+func (r *Ring) Owners(key string, n int) []string {
+	if n > len(r.peers) {
+		n = len(r.peers)
+	}
+	if n <= 0 {
+		n = 1
+	}
+	h := hashKey(key)
+	// First point at or after h, wrapping.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[int32]bool, n)
+	out := make([]string, 0, n)
+	for j := 0; j < len(r.points) && len(out) < n; j++ {
+		p := r.points[(i+j)%len(r.points)]
+		if seen[p.peer] {
+			continue
+		}
+		seen[p.peer] = true
+		out = append(out, r.peers[p.peer])
+	}
+	return out
+}

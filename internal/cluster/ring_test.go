@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keys returns n distinct synthetic resource ids.
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%012x", i*2654435761)
+	}
+	return out
+}
+
+// TestRingDeterministic verifies placement is a pure function of the
+// membership: rebuilding the ring — in any peer order — routes every key
+// identically, so nodes need no coordination to agree on owners.
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing([]string{"n1:80", "n2:80", "n3:80"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n3:80", "n1:80", "n2:80", "n1:80"}, 0) // permuted + duplicate
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner(%q) differs across equivalent rings: %q vs %q", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingBalance verifies the vnode ring spreads keys within ~20% of the
+// uniform share across 3 peers — the acceptance bound for placement skew.
+func TestRingBalance(t *testing.T) {
+	peers := []string{"n1:80", "n2:80", "n3:80"}
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 12000
+	for _, k := range keys(n) {
+		counts[r.Owner(k)]++
+	}
+	share := float64(n) / float64(len(peers))
+	for _, p := range peers {
+		got := float64(counts[p])
+		if got < share*0.8 || got > share*1.2 {
+			t.Fatalf("peer %s owns %d keys; want within 20%% of %.0f (all: %v)", p, counts[p], share, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement verifies the consistent-hashing contract: adding
+// or removing one peer moves only keys involving that peer — a key whose
+// owner is unrelated to the membership change keeps its owner.
+func TestRingMinimalMovement(t *testing.T) {
+	three, err := NewRing([]string{"n1:80", "n2:80", "n3:80"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := NewRing([]string{"n1:80", "n2:80", "n3:80", "n4:80"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := keys(12000)
+	moved := 0
+	for _, k := range ks {
+		before, after := three.Owner(k), four.Owner(k)
+		if before != after {
+			// Every movement on join must be TO the new peer; a key
+			// reassigned between old peers would violate consistency.
+			if after != "n4:80" {
+				t.Fatalf("key %q moved %q -> %q on join of n4", k, before, after)
+			}
+			moved++
+		}
+	}
+	// The new peer should take roughly 1/4 of the keyspace — allow wide
+	// slack, but catch both full reshuffles and no-op rings.
+	if moved < len(ks)/8 || moved > len(ks)/2 {
+		t.Fatalf("join moved %d/%d keys; want roughly 1/4", moved, len(ks))
+	}
+
+	// Removal is the mirror image: only keys owned by the removed peer move.
+	for _, k := range ks {
+		if four.Owner(k) != "n4:80" && three.Owner(k) != four.Owner(k) {
+			t.Fatalf("key %q not owned by n4 moved on leave", k)
+		}
+	}
+}
+
+// TestRingOwnersDistinct verifies the failover preference list: distinct
+// peers, owner first, covering the whole membership.
+func TestRingOwnersDistinct(t *testing.T) {
+	r, err := NewRing([]string{"n1:80", "n2:80", "n3:80"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(200) {
+		owners := r.Owners(k, 3)
+		if len(owners) != 3 {
+			t.Fatalf("owners(%q) = %v; want 3 distinct peers", k, owners)
+		}
+		if owners[0] != r.Owner(k) {
+			t.Fatalf("owners(%q)[0] = %q, Owner = %q", k, owners[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("owners(%q) repeats %q: %v", k, o, owners)
+			}
+			seen[o] = true
+		}
+	}
+}
+
+// TestRingErrors covers the constructor's rejection paths.
+func TestRingErrors(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a:1", ""}, 0); err == nil {
+		t.Fatal("empty peer name accepted")
+	}
+}

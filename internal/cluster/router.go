@@ -1,0 +1,313 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"glade/internal/service"
+)
+
+// Request headers the router adds to forwarded traffic.
+const (
+	// HopsHeader counts forwards a request has taken. A request arriving
+	// with MaxHops is served locally instead of being forwarded again, so
+	// transient membership or health disagreements between peers degrade to
+	// single-node behavior instead of looping.
+	HopsHeader = "X-Glade-Hops"
+	// NodeHeader is set on every response to the peer that produced it, so
+	// clients and smoke tests can see which node actually served a request.
+	NodeHeader = "X-Glade-Node"
+	// ViaHeader is appended by each forwarding node, recording the proxy
+	// path a response took.
+	ViaHeader = "X-Glade-Via"
+)
+
+// MaxHops bounds forwarding. Steady state needs one hop (entry node to
+// owner); failover while health views disagree can bounce once more.
+const MaxHops = 3
+
+// maxProxyBody bounds how much request body the router buffers for
+// forwarding (bodies are buffered so a failed proxy attempt can be retried
+// against the next owner). Matches the service's own body cap.
+const maxProxyBody = 8 << 20
+
+// Router fronts one node's service handler with consistent-hash ownership
+// routing: requests addressed to a resource id this node owns (or that
+// carry no id at all) are served locally; requests for ids owned by a peer
+// are transparently proxied to that peer, failing over along the ring's
+// successor list when the owner is unhealthy. POST /v1/jobs and
+// POST /v1/campaigns create resources whose ids do not exist yet, so the
+// entry node mints the id, picks the owner by hashing it, and forwards the
+// submission with the assigned-id header.
+type Router struct {
+	self   string
+	ring   *Ring
+	prober *Prober
+	local  http.Handler
+	log    *slog.Logger
+	client *http.Client
+}
+
+// NewRouter wraps local (a node's service handler) in ownership routing.
+// self must be this node's address as it appears in the ring's peer list.
+func NewRouter(self string, ring *Ring, prober *Prober, local http.Handler, logger *slog.Logger) (*Router, error) {
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	found := false
+	for _, p := range ring.Peers() {
+		if p == self {
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer list %v", self, ring.Peers())
+	}
+	return &Router{
+		self:   self,
+		ring:   ring,
+		prober: prober,
+		local:  local,
+		log:    logger,
+		client: &http.Client{
+			// No overall timeout: watch streams and validity-filtered
+			// generation legitimately run for minutes. Dead peers are caught
+			// by the dial timeout; a connected-but-slow peer is the owner
+			// doing real work, which forwarding must wait out.
+			Transport: &http.Transport{
+				DialContext:     (&net.Dialer{Timeout: probeTimeout}).DialContext,
+				MaxIdleConns:    32,
+				IdleConnTimeout: 90 * time.Second,
+			},
+		},
+	}, nil
+}
+
+// routeKey extracts the placement key for a request, and whether the
+// request creates a resource whose id must be minted first. Requests with
+// no key (listings, health, metrics, stats, oracles) are node-local:
+// listings deliberately show one node's view — cluster-wide scatter-gather
+// listings are future work.
+func routeKey(method, path string) (key string, mint bool) {
+	seg := strings.Split(strings.Trim(path, "/"), "/")
+	if len(seg) < 2 || seg[0] != "v1" {
+		return "", false
+	}
+	switch seg[1] {
+	case "jobs", "campaigns":
+		if len(seg) == 2 {
+			return "", method == http.MethodPost
+		}
+		if len(seg) == 3 {
+			return seg[2], false
+		}
+	case "grammars":
+		// /v1/grammars/{id} and /v1/grammars/{id}/{generate,check}.
+		if len(seg) == 3 || len(seg) == 4 {
+			return seg[2], false
+		}
+	}
+	return "", false
+}
+
+// ServeHTTP routes one request: cluster endpoint, local serve, or proxy to
+// the key's owner.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet && r.URL.Path == "/v1/cluster" {
+		rt.handleCluster(w, r)
+		return
+	}
+
+	key, mint := routeKey(r.Method, r.URL.Path)
+	if key == "" && mint {
+		// A forwarded creation already carries the entry node's assigned
+		// id — minting again here would re-route (and loop) the request.
+		key = r.Header.Get(service.AssignedIDHeader)
+		if key == "" {
+			key = service.NewID()
+			r.Header.Set(service.AssignedIDHeader, key)
+		}
+	}
+	if key == "" {
+		rt.serveLocal(w, r)
+		return
+	}
+
+	hops := 0
+	if raw := r.Header.Get(HopsHeader); raw != "" {
+		hops, _ = strconv.Atoi(raw)
+	}
+	if hops >= MaxHops {
+		// Forwarding loop (peers disagree about membership or health).
+		// Serve locally: for reads this can 404, but it cannot loop, and a
+		// consistent cluster never reaches this branch.
+		rt.log.Warn("hop limit reached; serving locally", "path", r.URL.Path, "hops", hops)
+		rt.serveLocal(w, r)
+		return
+	}
+
+	owners := rt.ring.Owners(key, len(rt.ring.Peers()))
+	rt.proxy(w, r, key, hops, rt.healthyFirst(owners))
+}
+
+// healthyFirst filters owners down to the currently-healthy ones; if the
+// prober thinks every owner is down (its view can be stale), the full list
+// is returned so the request still tries the owner before giving up.
+func (rt *Router) healthyFirst(owners []string) []string {
+	healthy := make([]string, 0, len(owners))
+	for _, p := range owners {
+		if rt.prober.Healthy(p) {
+			healthy = append(healthy, p)
+		}
+	}
+	if len(healthy) == 0 {
+		return owners
+	}
+	return healthy
+}
+
+// serveLocal hands the request to the wrapped service handler, stamping
+// the node header so the serving peer is visible to clients.
+func (rt *Router) serveLocal(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(NodeHeader, rt.self)
+	rt.local.ServeHTTP(w, r)
+}
+
+// proxy serves the request from the first reachable peer in targets
+// (ring preference order): self means serve locally, a remote peer is
+// tried over HTTP, and a failed attempt falls through to the next ring
+// successor. The body is buffered so a dead first choice can be retried.
+// Once a remote response arrives its status and headers are committed and
+// the body streams through with a flush per write, so NDJSON watch
+// streams stay live end to end.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, key string, hops int, targets []string) {
+	var body []byte
+	if r.Body != nil {
+		b, err := io.ReadAll(io.LimitReader(r.Body, maxProxyBody+1))
+		if err != nil {
+			writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("reading request body: %v", err))
+			return
+		}
+		if len(b) > maxProxyBody {
+			writeJSONError(w, http.StatusRequestEntityTooLarge, "request body exceeds proxy limit")
+			return
+		}
+		body = b
+	}
+
+	var lastErr error
+	for _, peer := range targets {
+		if peer == rt.self {
+			// Self is the most-preferred live candidate: either this node
+			// owns the key, or every preferred owner ahead of it on the
+			// ring is down and the key has failed over here.
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			rt.serveLocal(w, r)
+			return
+		}
+		req, err := http.NewRequestWithContext(r.Context(), r.Method,
+			"http://"+peer+r.URL.RequestURI(), bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		req.Header = r.Header.Clone()
+		req.Header.Set(HopsHeader, strconv.Itoa(hops+1))
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			// Nothing was written to the client yet, so failing over to the
+			// next owner is safe. Tell the prober so subsequent requests
+			// skip this peer without waiting for the next probe tick.
+			rt.prober.MarkDown(peer, err)
+			rt.log.Warn("proxy attempt failed", "peer", peer, "key", key, "err", err)
+			lastErr = err
+			continue
+		}
+		defer resp.Body.Close()
+		rt.relay(w, r, resp)
+		return
+	}
+	writeJSONError(w, http.StatusBadGateway,
+		fmt.Sprintf("no owner reachable for %q: %v", key, lastErr))
+}
+
+// relay copies a proxied response to the client, flushing after every
+// body write so streaming endpoints behave as if served directly.
+func (rt *Router) relay(w http.ResponseWriter, r *http.Request, resp *http.Response) {
+	h := w.Header()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			h.Add(k, v)
+		}
+	}
+	h.Add(ViaHeader, rt.self)
+	w.WriteHeader(resp.StatusCode)
+	fw := &flushWriter{w: w}
+	if f, ok := w.(http.Flusher); ok {
+		fw.f = f
+	}
+	if _, err := io.Copy(fw, resp.Body); err != nil && r.Context().Err() == nil {
+		rt.log.Warn("proxy copy interrupted", "err", err)
+	}
+}
+
+// flushWriter flushes after every write, keeping proxied NDJSON watch
+// streams unbuffered.
+type flushWriter struct {
+	w io.Writer
+	f http.Flusher
+}
+
+// Write writes p and flushes the underlying ResponseWriter.
+func (fw *flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	if fw.f != nil {
+		fw.f.Flush()
+	}
+	return n, err
+}
+
+// ClusterStatus is the GET /v1/cluster response body.
+type ClusterStatus struct {
+	// Self is the answering node's address.
+	Self string `json:"self"`
+	// Vnodes is the ring's virtual-node count per peer.
+	Vnodes int `json:"vnodes"`
+	// Peers is every ring member with its health as seen from Self.
+	Peers []PeerHealth `json:"peers"`
+}
+
+// handleCluster serves GET /v1/cluster: ring membership plus this node's
+// view of each peer's health. Each node answers with its own view — the
+// endpoint is deliberately local so it works during partitions.
+func (rt *Router) handleCluster(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(NodeHeader, rt.self)
+	writeJSONValue(w, http.StatusOK, ClusterStatus{
+		Self:   rt.self,
+		Vnodes: rt.ring.Vnodes(),
+		Peers:  rt.prober.Snapshot(),
+	})
+}
+
+// writeJSONValue writes v as an indented JSON response, matching the
+// service handlers' format.
+func writeJSONValue(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeJSONError writes a service-shaped {"error": msg} body.
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	writeJSONValue(w, code, map[string]string{"error": msg})
+}

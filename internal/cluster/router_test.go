@@ -1,0 +1,455 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"glade/internal/cfg"
+	"glade/internal/service"
+)
+
+// node is one in-process cluster member: a real service.Server behind a
+// Router on a real TCP listener (the ring routes by host:port, so
+// httptest's indirection is no help here).
+type node struct {
+	addr   string
+	srv    *service.Server
+	prober *Prober
+	hs     *http.Server
+}
+
+// startCluster boots n routed nodes that share one membership list.
+// Listeners are opened first so every node knows the full address set
+// before any ring is built.
+func startCluster(t *testing.T, n int) []*node {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	nodes := make([]*node, n)
+	for i, ln := range listeners {
+		srv, err := service.New(service.Config{DataDir: t.TempDir(), MaxJobs: 2, MaxJobDuration: time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ring, err := NewRing(addrs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prober := NewProber(addrs[i], addrs, 100*time.Millisecond, testLogger(i))
+		prober.Start()
+		router, err := NewRouter(addrs[i], ring, prober, srv.Handler(), testLogger(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := &http.Server{Handler: router}
+		go hs.Serve(ln)
+		nodes[i] = &node{addr: addrs[i], srv: srv, prober: prober, hs: hs}
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.hs.Close()
+			nd.prober.Stop()
+			nd.srv.Close()
+		}
+	})
+	return nodes
+}
+
+// byAddr finds the node serving addr.
+func byAddr(t *testing.T, nodes []*node, addr string) *node {
+	t.Helper()
+	for _, nd := range nodes {
+		if nd.addr == addr {
+			return nd
+		}
+	}
+	t.Fatalf("no node %s", addr)
+	return nil
+}
+
+// putGrammar stores a tiny grammar (L = "a"* digit) on nd under id.
+func putGrammar(t *testing.T, nd *node, id string) {
+	t.Helper()
+	g, err := cfg.Unmarshal("start A\nA -> \"a\" A\nA -> {0-9}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nd.srv.Store().Put(g, service.GrammarMeta{ID: id, CreatedAt: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// get fetches a URL and returns the response plus body.
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp, body
+}
+
+// post sends a JSON body and returns the response plus body.
+func post(t *testing.T, url string, v any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp, body
+}
+
+// ownedID returns a valid-format id whose ring owner is nodes[want].
+func ownedID(t *testing.T, nodes []*node, want int) string {
+	t.Helper()
+	addrs := make([]string, len(nodes))
+	for i, nd := range nodes {
+		addrs[i] = nd.addr
+	}
+	ring, err := NewRing(addrs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000; i++ {
+		id := fmt.Sprintf("%012x", i)
+		if ring.Owner(id) == nodes[want].addr {
+			return id
+		}
+	}
+	t.Fatal("no id owned by target node found")
+	return ""
+}
+
+// TestClusterEndpoint checks GET /v1/cluster reports the full membership
+// with every peer healthy, from each node's own viewpoint.
+func TestClusterEndpoint(t *testing.T) {
+	nodes := startCluster(t, 3)
+	for _, nd := range nodes {
+		resp, body := get(t, "http://"+nd.addr+"/v1/cluster")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cluster from %s: %d %s", nd.addr, resp.StatusCode, body)
+		}
+		var st ClusterStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("bad JSON: %v\n%s", err, body)
+		}
+		if st.Self != nd.addr || len(st.Peers) != 3 {
+			t.Fatalf("cluster status from %s: %+v", nd.addr, st)
+		}
+		for _, p := range st.Peers {
+			if !p.Healthy {
+				t.Fatalf("peer %s unhealthy at startup: %+v", p.Addr, st)
+			}
+		}
+	}
+}
+
+// TestOwnershipRouting stores a grammar on its ring owner and fetches it
+// through every node: the owner serves locally, the others proxy, and all
+// return the same bytes with the owner identified in the node header.
+func TestOwnershipRouting(t *testing.T) {
+	nodes := startCluster(t, 3)
+	id := ownedID(t, nodes, 1)
+	owner := nodes[1]
+	putGrammar(t, owner, id)
+
+	var want []byte
+	for i, nd := range nodes {
+		resp, body := get(t, "http://"+nd.addr+"/v1/grammars/"+id)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("get via node %d: %d %s", i, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get(NodeHeader); got != owner.addr {
+			t.Fatalf("get via node %d served by %q, want owner %q", i, got, owner.addr)
+		}
+		if nd != owner {
+			if via := resp.Header.Get(ViaHeader); via != nd.addr {
+				t.Fatalf("get via node %d: via header %q, want %q", i, via, nd.addr)
+			}
+		}
+		if want == nil {
+			want = body
+		} else if !bytes.Equal(body, want) {
+			t.Fatalf("grammar bytes differ via node %d", i)
+		}
+	}
+}
+
+// TestProxiedBatchCheck drives POST /v1/grammars/{id}/check through a
+// non-owner, exercising body-buffered proxying.
+func TestProxiedBatchCheck(t *testing.T) {
+	nodes := startCluster(t, 3)
+	id := ownedID(t, nodes, 2)
+	putGrammar(t, nodes[2], id)
+
+	resp, body := post(t, "http://"+nodes[0].addr+"/v1/grammars/"+id+"/check",
+		map[string]any{"inputs": []string{"a1", "nope"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied check: %d %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Verdicts []bool `json:"verdicts"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(out.Verdicts) != 2 || !out.Verdicts[0] || out.Verdicts[1] {
+		t.Fatalf("verdicts = %v", out.Verdicts)
+	}
+}
+
+// TestSubmitRoutesToOwner submits a job through one node and verifies the
+// entry node assigned an id, the id's ring owner ran the job, and the
+// result is fetchable through any node.
+func TestSubmitRoutesToOwner(t *testing.T) {
+	nodes := startCluster(t, 3)
+	resp, body := post(t, "http://"+nodes[0].addr+"/v1/jobs",
+		map[string]any{"oracle": map[string]any{"type": "program", "name": "sed"}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if !service.IsValidID(st.ID) {
+		t.Fatalf("bad assigned id %q", st.ID)
+	}
+	ownerAddr := resp.Header.Get(NodeHeader)
+	addrs := make([]string, len(nodes))
+	for i, nd := range nodes {
+		addrs[i] = nd.addr
+	}
+	ring, err := NewRing(addrs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ring.Owner(st.ID); ownerAddr != want {
+		t.Fatalf("job %s created on %s, ring owner is %s (entry %s, addrs %v, via %q, hdr %q)",
+			st.ID, ownerAddr, want, nodes[0].addr, addrs, resp.Header.Get(ViaHeader), resp.Header.Values(NodeHeader))
+	}
+	// The owner's server — and only the owner's — has the job.
+	owner := byAddr(t, nodes, ownerAddr)
+	if _, ok := owner.srv.Job(st.ID); !ok {
+		t.Fatalf("owner %s does not hold job %s", ownerAddr, st.ID)
+	}
+
+	// Wait for completion via a different node than the entry node.
+	other := nodes[0]
+	if other.addr == ownerAddr {
+		other = nodes[1]
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		resp, body = get(t, "http://"+other.addr+"/v1/jobs/"+st.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll: %d %s", resp.StatusCode, body)
+		}
+		var poll struct {
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(body, &poll); err != nil {
+			t.Fatal(err)
+		}
+		if poll.State == "done" {
+			break
+		}
+		if poll.State == "failed" || poll.State == "canceled" {
+			t.Fatalf("job ended %s: %s", poll.State, body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not finish: %s", st.ID, body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The learned grammar lives under the job id, so it too is fetchable
+	// from every node.
+	for i, nd := range nodes {
+		resp, body = get(t, "http://"+nd.addr+"/v1/grammars/"+st.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("grammar via node %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestFailover kills a key's owner and verifies requests for that key
+// fail over to the next peer on the ring instead of erroring.
+func TestFailover(t *testing.T) {
+	nodes := startCluster(t, 3)
+	id := ownedID(t, nodes, 1)
+	owner := nodes[1]
+
+	// Stage the grammar on the owner's first successor, as a replica
+	// would be; then kill the owner.
+	addrs := []string{nodes[0].addr, nodes[1].addr, nodes[2].addr}
+	ring, err := NewRing(addrs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	successors := ring.Owners(id, 3)
+	if successors[0] != owner.addr {
+		t.Fatalf("test setup: owner mismatch %v", successors)
+	}
+	backup := byAddr(t, nodes, successors[1])
+	putGrammar(t, backup, id)
+
+	owner.hs.Close()
+	owner.prober.Stop()
+	owner.srv.Close()
+
+	// Route via a node that is neither the dead owner nor the backup if
+	// possible; any live node works.
+	entry := nodes[0]
+	if entry == owner {
+		entry = nodes[2]
+	}
+	// First attempt may pay the MarkDown discovery; retry briefly.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, body := get(t, "http://"+entry.addr+"/v1/grammars/"+id)
+		if resp.StatusCode == http.StatusOK {
+			if got := resp.Header.Get(NodeHeader); got != backup.addr {
+				t.Fatalf("failover served by %q, want backup %q", got, backup.addr)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("failover did not converge: %d %s", resp.StatusCode, body)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// The dead peer shows unhealthy in the entry node's cluster view.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		var st ClusterStatus
+		_, body := get(t, "http://"+entry.addr+"/v1/cluster")
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		down := false
+		for _, p := range st.Peers {
+			if p.Addr == owner.addr && !p.Healthy {
+				down = true
+			}
+		}
+		if down {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dead peer never marked unhealthy: %s", body)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// TestHopLimit verifies a request arriving at the hop ceiling is served
+// locally instead of forwarded, so misrouted traffic cannot loop.
+func TestHopLimit(t *testing.T) {
+	nodes := startCluster(t, 3)
+	id := ownedID(t, nodes, 1)
+	nonOwner := nodes[0]
+	if nonOwner.addr == nodes[1].addr {
+		t.Fatal("setup")
+	}
+	req, err := http.NewRequest(http.MethodGet, "http://"+nonOwner.addr+"/v1/grammars/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(HopsHeader, fmt.Sprintf("%d", MaxHops))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// Served locally by the non-owner: the grammar is not there, so 404 —
+	// but crucially from this node, not forwarded.
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("hop-limited request: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(NodeHeader); got != nonOwner.addr {
+		t.Fatalf("hop-limited request served by %q, want local %q", got, nonOwner.addr)
+	}
+}
+
+// TestRouteKey pins the routing table: which requests are key-addressed,
+// which mint ids, and which stay node-local.
+func TestRouteKey(t *testing.T) {
+	cases := []struct {
+		method, path string
+		key          string
+		mint         bool
+	}{
+		{http.MethodPost, "/v1/jobs", "", true},
+		{http.MethodGet, "/v1/jobs", "", false},
+		{http.MethodGet, "/v1/jobs/abc123abc123", "abc123abc123", false},
+		{http.MethodDelete, "/v1/jobs/abc123abc123", "abc123abc123", false},
+		{http.MethodGet, "/v1/grammars", "", false},
+		{http.MethodGet, "/v1/grammars/deadbeef0000", "deadbeef0000", false},
+		{http.MethodPost, "/v1/grammars/deadbeef0000/generate", "deadbeef0000", false},
+		{http.MethodPost, "/v1/grammars/deadbeef0000/check", "deadbeef0000", false},
+		{http.MethodPost, "/v1/campaigns", "", true},
+		{http.MethodGet, "/v1/campaigns/abc123abc123", "abc123abc123", false},
+		{http.MethodGet, "/v1/stats", "", false},
+		{http.MethodGet, "/v1/oracles", "", false},
+		{http.MethodGet, "/healthz", "", false},
+		{http.MethodGet, "/metrics", "", false},
+	}
+	for _, c := range cases {
+		key, mint := routeKey(c.method, c.path)
+		if key != c.key || mint != c.mint {
+			t.Errorf("routeKey(%s %s) = (%q, %v), want (%q, %v)", c.method, c.path, key, mint, c.key, c.mint)
+		}
+	}
+}
+
+// TestSingleNodeRing verifies the degenerate one-peer cluster serves
+// everything locally — the always-wrapped router must cost nothing when
+// no peers are configured.
+func TestSingleNodeRing(t *testing.T) {
+	nodes := startCluster(t, 1)
+	putGrammar(t, nodes[0], "abcabcabcabc")
+	resp, body := get(t, "http://"+nodes[0].addr+"/v1/grammars/abcabcabcabc")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single node get: %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(NodeHeader); got != nodes[0].addr {
+		t.Fatalf("served by %q", got)
+	}
+	if strings.Contains(resp.Header.Get(ViaHeader), nodes[0].addr) {
+		t.Fatalf("single-node request was proxied")
+	}
+}
+
+// testLogger emits debug logs to stderr for router/prober debugging.
+func testLogger(i int) *slog.Logger {
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug})).With("node", i)
+}

@@ -1,0 +1,302 @@
+// Package loadgen is a closed-loop HTTP load generator for glade-serve:
+// a fixed number of clients each issue one request at a time (generate,
+// batch-check, or stats, drawn by weight) against a node set, recording
+// per-endpoint latency histograms. Closed-loop means offered load adapts
+// to service capacity — the generator measures sustainable throughput and
+// its latency distribution rather than queueing delay under overload.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"glade/internal/telemetry"
+)
+
+// Mix weighs the request types a client draws from. Zero values drop the
+// type; an all-zero mix defaults to check-only.
+type Mix struct {
+	// Generate weighs POST /v1/grammars/{id}/generate requests.
+	Generate int
+	// Check weighs POST /v1/grammars/{id}/check batch-membership requests.
+	Check int
+	// Stats weighs GET /v1/stats requests.
+	Stats int
+}
+
+// Config parameterizes one load-generation run.
+type Config struct {
+	// Targets are node base URLs ("http://127.0.0.1:8080"). Un-keyed
+	// requests (stats) round-robin across them.
+	Targets []string
+	// GrammarIDs are the stored grammars keyed requests draw from.
+	GrammarIDs []string
+	// Route maps a grammar id to the base URL that should receive its
+	// requests — a ring-aware client, like a production load balancer that
+	// understands placement. Nil round-robins keyed requests too, paying a
+	// proxy hop for every non-owner arrival.
+	Route func(grammarID string) string
+	// Clients is the closed-loop concurrency (default 4).
+	Clients int
+	// Duration bounds the run (default 3s).
+	Duration time.Duration
+	// Mix weighs the request types.
+	Mix Mix
+	// GenerateN is the sample count per generate request (default 10).
+	GenerateN int
+	// CheckBatch is the input count per batch-check request (default 32).
+	CheckBatch int
+}
+
+// EndpointStats aggregates one endpoint's requests over a run.
+type EndpointStats struct {
+	// Endpoint is "generate", "check", or "stats".
+	Endpoint string `json:"endpoint"`
+	// Requests and Errors count attempts and non-2xx/transport failures.
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"`
+	// QPS is Requests over the run's wall time.
+	QPS float64 `json:"qps"`
+	// Latency quantiles and mean, in milliseconds.
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	// InputsPerSec is endpoint-specific work throughput: batch inputs/s
+	// for check, samples/s for generate (0 for stats).
+	InputsPerSec float64 `json:"inputs_per_sec,omitempty"`
+}
+
+// Result is one run's aggregate outcome.
+type Result struct {
+	// Clients and Seconds echo the run shape.
+	Clients int     `json:"clients"`
+	Seconds float64 `json:"seconds"`
+	// Requests, Errors, and QPS aggregate across endpoints.
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	QPS      float64 `json:"qps"`
+	// Endpoints holds the per-endpoint breakdown.
+	Endpoints []EndpointStats `json:"endpoints"`
+}
+
+// endpointTrack is one endpoint's live instruments during a run.
+type endpointTrack struct {
+	name     string
+	requests atomic.Int64
+	errors   atomic.Int64
+	work     atomic.Int64 // inputs checked / samples generated
+	hist     *telemetry.Histogram
+}
+
+// Run drives the configured load until the duration elapses or ctx is
+// cancelled, whichever is first, and reports the aggregate.
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	if len(cfg.Targets) == 0 {
+		return Result{}, fmt.Errorf("loadgen: no targets")
+	}
+	if len(cfg.GrammarIDs) == 0 && (cfg.Mix.Generate > 0 || cfg.Mix.Check > 0) {
+		return Result{}, fmt.Errorf("loadgen: keyed request types need grammar ids")
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 3 * time.Second
+	}
+	if cfg.GenerateN <= 0 {
+		cfg.GenerateN = 10
+	}
+	if cfg.CheckBatch <= 0 {
+		cfg.CheckBatch = 32
+	}
+	if cfg.Mix.Generate <= 0 && cfg.Mix.Check <= 0 && cfg.Mix.Stats <= 0 {
+		cfg.Mix.Check = 1
+	}
+
+	// One shared client with an idle pool sized to the client count:
+	// the default 2-idle-conns-per-host cap would close and re-dial
+	// connections on every closed-loop iteration, measuring TCP churn
+	// instead of the service.
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Clients * 2,
+			MaxIdleConnsPerHost: cfg.Clients,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+
+	// The corpus for batch checks comes from the service itself: one
+	// generate call per grammar, so checks exercise realistic (mostly
+	// accepted) inputs rather than all-rejects that die in the DFA rung.
+	corpus := map[string][]string{}
+	for _, id := range cfg.GrammarIDs {
+		inputs, err := fetchCorpus(ctx, client, cfg.target(id, 0), id, cfg.CheckBatch)
+		if err != nil {
+			return Result{}, fmt.Errorf("loadgen: corpus for %s: %w", id, err)
+		}
+		corpus[id] = inputs
+	}
+
+	reg := telemetry.NewRegistry()
+	tracks := map[string]*endpointTrack{}
+	for _, name := range []string{"generate", "check", "stats"} {
+		tracks[name] = &endpointTrack{
+			name: name,
+			hist: reg.Histogram("loadgen_latency_seconds", "Request latency.", telemetry.L("endpoint", name)),
+		}
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; runCtx.Err() == nil; i++ {
+				cfg.step(runCtx, client, rng, i, corpus, tracks)
+			}
+		}(int64(c + 1))
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	res := Result{Clients: cfg.Clients, Seconds: elapsed}
+	for _, name := range []string{"generate", "check", "stats"} {
+		tr := tracks[name]
+		n := int(tr.requests.Load())
+		if n == 0 {
+			continue
+		}
+		snap := tr.hist.Snapshot()
+		res.Endpoints = append(res.Endpoints, EndpointStats{
+			Endpoint:     name,
+			Requests:     n,
+			Errors:       int(tr.errors.Load()),
+			QPS:          float64(n) / elapsed,
+			P50Ms:        ms(snap.Quantile(0.50)),
+			P95Ms:        ms(snap.Quantile(0.95)),
+			P99Ms:        ms(snap.Quantile(0.99)),
+			MeanMs:       ms(snap.Mean()),
+			InputsPerSec: float64(tr.work.Load()) / elapsed,
+		})
+		res.Requests += n
+		res.Errors += int(tr.errors.Load())
+	}
+	res.QPS = float64(res.Requests) / elapsed
+	return res, nil
+}
+
+// ms converts a duration to float milliseconds.
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+
+// target picks the base URL for a keyed request (Route when set, else
+// round-robin by i).
+func (cfg Config) target(grammarID string, i int) string {
+	if cfg.Route != nil && grammarID != "" {
+		return cfg.Route(grammarID)
+	}
+	return cfg.Targets[i%len(cfg.Targets)]
+}
+
+// step issues one request drawn from the mix and records its outcome.
+func (cfg Config) step(ctx context.Context, client *http.Client, rng *rand.Rand, i int, corpus map[string][]string, tracks map[string]*endpointTrack) {
+	total := cfg.Mix.Generate + cfg.Mix.Check + cfg.Mix.Stats
+	draw := rng.Intn(total)
+	var id string
+	if len(cfg.GrammarIDs) > 0 {
+		id = cfg.GrammarIDs[rng.Intn(len(cfg.GrammarIDs))]
+	}
+	switch {
+	case draw < cfg.Mix.Generate:
+		url := fmt.Sprintf("%s/v1/grammars/%s/generate?n=%d", cfg.target(id, i), id, cfg.GenerateN)
+		cfg.do(ctx, client, tracks["generate"], http.MethodPost, url, nil, cfg.GenerateN)
+	case draw < cfg.Mix.Generate+cfg.Mix.Check:
+		body, _ := json.Marshal(map[string]any{"inputs": corpus[id]})
+		url := cfg.target(id, i) + "/v1/grammars/" + id + "/check"
+		cfg.do(ctx, client, tracks["check"], http.MethodPost, url, body, len(corpus[id]))
+	default:
+		cfg.do(ctx, client, tracks["stats"], http.MethodGet, cfg.Targets[i%len(cfg.Targets)]+"/v1/stats", nil, 0)
+	}
+}
+
+// do runs one HTTP request, draining the body (keep-alive) and recording
+// latency, error status, and work units.
+func (cfg Config) do(ctx context.Context, client *http.Client, tr *endpointTrack, method, url string, body []byte, work int) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		tr.requests.Add(1)
+		tr.errors.Add(1)
+		return
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	elapsed := time.Since(start)
+	if ctx.Err() != nil && err != nil {
+		return // run ended mid-request; do not count the artifact
+	}
+	tr.requests.Add(1)
+	tr.hist.Observe(elapsed)
+	if err != nil {
+		tr.errors.Add(1)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		tr.errors.Add(1)
+		return
+	}
+	tr.work.Add(int64(work))
+}
+
+// fetchCorpus draws n inputs from a grammar's generate endpoint to use as
+// the batch-check payload.
+func fetchCorpus(ctx context.Context, client *http.Client, base, id string, n int) ([]string, error) {
+	url := fmt.Sprintf("%s/v1/grammars/%s/generate?n=%d", base, id, n)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("generate: %s: %s", resp.Status, data)
+	}
+	var out struct {
+		Inputs []string `json:"inputs"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Inputs) == 0 {
+		return nil, fmt.Errorf("generate returned no inputs")
+	}
+	return out.Inputs, nil
+}

@@ -1,0 +1,37 @@
+package service
+
+import "fmt"
+
+// AssignedIDHeader names the request header through which a cluster router
+// pre-assigns the id of a resource created by POST /v1/jobs or
+// POST /v1/campaigns. The entry node mints the id, hashes it to pick the
+// owning peer, and forwards the submission with this header so the owner
+// creates the resource under the id every node will route by. Requests
+// without the header (single-node deployments, direct clients) get a
+// server-generated id as always.
+const AssignedIDHeader = "X-Glade-Assigned-Id"
+
+// NewID returns a fresh resource id in the server's format — exported so a
+// cluster router can mint a job or campaign id before the resource exists
+// and route the creating POST to the id's owner.
+func NewID() string { return newID() }
+
+// IsValidID reports whether id is in the server-generated resource-id
+// format (12 lowercase hex digits). Assigned-id headers are validated with
+// it, so a client or forwarding peer cannot inject arbitrary ids.
+func IsValidID(id string) bool {
+	if len(id) != 12 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// errDuplicateID tags submissions whose pre-assigned id already names a
+// job or campaign on this node; the HTTP layer answers 409.
+var errDuplicateID = fmt.Errorf("id already in use")

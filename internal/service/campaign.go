@@ -310,6 +310,17 @@ func sortCampaignsByCreated(runs []*CampaignRun) {
 // Config.MaxCampaigns concurrency. ctx carries request-scoped metadata (the
 // HTTP request ID) only — it does not bound or cancel the campaign.
 func (s *Server) SubmitCampaign(ctx context.Context, spec CampaignSpec) (*CampaignRun, error) {
+	return s.SubmitCampaignWithID(ctx, spec, "")
+}
+
+// SubmitCampaignWithID is SubmitCampaign with a caller-chosen campaign
+// id — the cluster router's entry point, mirroring SubmitWithID. An empty
+// id gets a server-generated one; a non-empty id must be in the server
+// format and unused.
+func (s *Server) SubmitCampaignWithID(ctx context.Context, spec CampaignSpec, id string) (*CampaignRun, error) {
+	if id != "" && !IsValidID(id) {
+		return nil, fmt.Errorf("bad assigned id %q", id)
+	}
 	hasGrammar := spec.GrammarID != ""
 	hasOracle := spec.Oracle != nil
 	if hasGrammar == hasOracle {
@@ -360,6 +371,9 @@ func (s *Server) SubmitCampaign(ctx context.Context, spec CampaignSpec) (*Campai
 	}
 
 	cr := newCampaignRun(spec)
+	if id != "" {
+		cr.ID = id
+	}
 	cr.oracle = spec.oracleName()
 	cr.reqID = requestID(ctx)
 	if hasGrammar {
@@ -377,6 +391,10 @@ func (s *Server) SubmitCampaign(ctx context.Context, spec CampaignSpec) (*Campai
 		s.mu.Unlock()
 		return nil, errDraining
 	default:
+	}
+	if _, dup := s.campaigns[cr.ID]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: campaign %q", errDuplicateID, cr.ID)
 	}
 	select {
 	case s.campQueue <- cr:

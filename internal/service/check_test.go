@@ -1,0 +1,122 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// mustUnmarshal decodes JSON or fails the test with the raw body.
+func mustUnmarshal(t *testing.T, data []byte, out any) {
+	t.Helper()
+	if err := json.Unmarshal(data, out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, data)
+	}
+}
+
+// putTestGrammar stores a tiny grammar (L = "a"+ digits) for the check
+// endpoint tests.
+func putTestGrammar(t *testing.T, srv *Server, id string) {
+	t.Helper()
+	g := mustGrammar(t, "start A\nA -> \"a\" A\nA -> {0-9}\n")
+	if err := srv.Store().Put(g, GrammarMeta{ID: id, CreatedAt: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchCheck drives POST /v1/grammars/{id}/check: index-aligned
+// verdicts from the compiled ladder, accepted count, unknown-grammar 404,
+// and the count/size caps.
+func TestBatchCheck(t *testing.T) {
+	srv, ts := testServer(t, t.TempDir())
+	putTestGrammar(t, srv, "chk")
+
+	var out checkResponse
+	resp, body := postJSON(t, ts.URL+"/v1/grammars/chk/check", map[string]any{
+		"inputs": []string{"a1", "aaa7", "b", "", "a"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("check: %d %s", resp.StatusCode, body)
+	}
+	mustUnmarshal(t, body, &out)
+	want := []bool{true, true, false, false, false}
+	if out.Count != 5 || out.Accepted != 2 || len(out.Verdicts) != 5 {
+		t.Fatalf("bad response: %+v", out)
+	}
+	for i, v := range want {
+		if out.Verdicts[i] != v {
+			t.Fatalf("verdict[%d] = %v, want %v (%+v)", i, out.Verdicts[i], v, out)
+		}
+	}
+
+	// Unknown grammar.
+	resp, _ = postJSON(t, ts.URL+"/v1/grammars/nosuch/check", map[string]any{"inputs": []string{"a"}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown grammar: %d", resp.StatusCode)
+	}
+
+	// Empty input list.
+	resp, _ = postJSON(t, ts.URL+"/v1/grammars/chk/check", map[string]any{"inputs": []string{}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty inputs: %d", resp.StatusCode)
+	}
+
+	// Count cap.
+	many := make([]string, maxCheckInputs+1)
+	for i := range many {
+		many[i] = "a1"
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/grammars/chk/check", map[string]any{"inputs": many})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("count cap: %d", resp.StatusCode)
+	}
+
+	// Size cap (few inputs, huge bytes).
+	big := []string{strings.Repeat("a", maxCheckBytes/2), strings.Repeat("a", maxCheckBytes/2+2)}
+	resp, _ = postJSON(t, ts.URL+"/v1/grammars/chk/check", map[string]any{"inputs": big})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("size cap: %d", resp.StatusCode)
+	}
+
+	// Unknown fields are rejected like every other JSON body.
+	resp, _ = postJSON(t, ts.URL+"/v1/grammars/chk/check", map[string]any{"inputs": []string{"a1"}, "bogus": 1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: %d", resp.StatusCode)
+	}
+}
+
+// TestBatchCheckLargeBatchParallel exercises the worker fan-out path
+// (inputs/16 >= 2 workers) and checks the telemetry counter advances.
+func TestBatchCheckLargeBatchParallel(t *testing.T) {
+	srv, ts := testServer(t, t.TempDir())
+	putTestGrammar(t, srv, "par")
+	inputs := make([]string, 256)
+	wantAccept := 0
+	for i := range inputs {
+		if i%2 == 0 {
+			inputs[i] = "a5"
+			wantAccept++
+		} else {
+			inputs[i] = "nope"
+		}
+	}
+	var out checkResponse
+	resp, body := postJSON(t, ts.URL+"/v1/grammars/par/check", map[string]any{"inputs": inputs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("check: %d %s", resp.StatusCode, body)
+	}
+	mustUnmarshal(t, body, &out)
+	if out.Accepted != wantAccept || out.Count != len(inputs) {
+		t.Fatalf("parallel batch wrong: %+v", out)
+	}
+	for i, v := range out.Verdicts {
+		if v != (i%2 == 0) {
+			t.Fatalf("verdict[%d] = %v", i, v)
+		}
+	}
+	if got := srv.met.checkInputs.Value(); got < uint64(len(inputs)) {
+		t.Fatalf("check counter = %d, want >= %d", got, len(inputs))
+	}
+}

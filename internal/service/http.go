@@ -34,6 +34,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/grammars", s.handleListGrammars)
 	mux.HandleFunc("GET /v1/grammars/{id}", s.handleGrammar)
 	mux.HandleFunc("POST /v1/grammars/{id}/generate", s.handleGenerate)
+	mux.HandleFunc("POST /v1/grammars/{id}/check", s.handleCheck)
 	mux.HandleFunc("POST /v1/campaigns", s.handleSubmitCampaign)
 	mux.HandleFunc("GET /v1/campaigns", s.handleListCampaigns)
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaign)
@@ -170,7 +171,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
 		return
 	}
-	j, err := s.Submit(r.Context(), spec)
+	j, err := s.SubmitWithID(r.Context(), spec, r.Header.Get(AssignedIDHeader))
 	if err != nil {
 		switch {
 		case errors.Is(err, errQueueFull):
@@ -179,6 +180,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			writeUnavailable(w, http.StatusServiceUnavailable, retryAfterDraining, "%v", err)
 		case errors.Is(err, errExecDisabled):
 			writeError(w, http.StatusForbidden, "%v", err)
+		case errors.Is(err, errDuplicateID):
+			writeError(w, http.StatusConflict, "%v", err)
 		default:
 			writeError(w, http.StatusBadRequest, "%v", err)
 		}
@@ -385,7 +388,7 @@ func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad campaign spec: %v", err)
 		return
 	}
-	cr, err := s.SubmitCampaign(r.Context(), spec)
+	cr, err := s.SubmitCampaignWithID(r.Context(), spec, r.Header.Get(AssignedIDHeader))
 	if err != nil {
 		switch {
 		case errors.Is(err, errQueueFull):
@@ -396,6 +399,8 @@ func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusForbidden, "%v", err)
 		case errors.Is(err, errNotFound):
 			writeError(w, http.StatusNotFound, "%v", err)
+		case errors.Is(err, errDuplicateID):
+			writeError(w, http.StatusConflict, "%v", err)
 		default:
 			writeError(w, http.StatusBadRequest, "%v", err)
 		}

@@ -232,9 +232,7 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	logger := cfg.resolveLogger()
-	store, err := OpenStore(cfg.DataDir, func(format string, args ...any) {
-		logger.Warn(fmt.Sprintf(format, args...))
-	})
+	store, err := OpenStore(cfg.DataDir, logger)
 	if err != nil {
 		return nil, err
 	}
@@ -357,6 +355,18 @@ func (s *Server) Close() {
 // came over HTTP) is recorded on the job and threaded through every
 // lifecycle log line; the job's own execution is NOT bounded by ctx.
 func (s *Server) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
+	return s.SubmitWithID(ctx, spec, "")
+}
+
+// SubmitWithID is Submit with a caller-chosen job id — the cluster
+// router's entry point, which mints the id before forwarding so placement
+// is decided before the job exists. An empty id gets a server-generated
+// one; a non-empty id must be in the server format and unused, else the
+// submission fails (errDuplicateID maps to 409 over HTTP).
+func (s *Server) SubmitWithID(ctx context.Context, spec JobSpec, id string) (*Job, error) {
+	if id != "" && !IsValidID(id) {
+		return nil, fmt.Errorf("bad assigned id %q", id)
+	}
 	if spec.Oracle.IsExec() && !s.cfg.AllowExec {
 		return nil, errExecDisabled
 	}
@@ -382,6 +392,9 @@ func (s *Server) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 		return nil, fmt.Errorf("seed payload %d bytes exceeds limit %d", total, s.cfg.MaxSeedBytes)
 	}
 	j := newJob(spec)
+	if id != "" {
+		j.ID = id
+	}
 	j.seeds = seeds
 	j.seedCount = len(seeds)
 	j.reqID = requestID(ctx)
@@ -398,6 +411,10 @@ func (s *Server) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 		s.mu.Unlock()
 		return nil, errDraining
 	default:
+	}
+	if _, dup := s.jobs[j.ID]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: job %q", errDuplicateID, j.ID)
 	}
 	select {
 	case s.queue <- j:

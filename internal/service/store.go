@@ -1,8 +1,12 @@
 package service
 
 import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -31,85 +35,224 @@ type GrammarMeta struct {
 	Queries  int     `json:"queries"`
 	Seconds  float64 `json:"seconds"`
 	TimedOut bool    `json:"timed_out,omitempty"`
+	// GrammarSHA is the SHA-256 (hex) of the grammar's canonical marshaled
+	// text. Grammars are immutable, so the bytes live content-addressed at
+	// blobs/<sha>.grammar and every id with identical content shares one
+	// blob. Metadata written by pre-CAS layouts lacks this field; OpenStore
+	// migrates such entries in place.
+	GrammarSHA string `json:"grammar_sha256,omitempty"`
 }
 
-// Store is the disk-backed grammar store: a directory holding one
-// <id>.grammar file (cfg.Marshal text) and one <id>.json metadata file per
-// learned grammar. Everything is loaded at open, so the daemon serves
-// grammars learned by earlier incarnations; writes go through a temp-file
-// rename so a crash never leaves a half-written grammar behind.
-type Store struct {
-	dir  string
-	logf func(format string, args ...any)
+// blobsDirName is the subdirectory of the store root holding
+// content-addressed grammar blobs.
+const blobsDirName = "blobs"
 
-	mu    sync.RWMutex
+// maxCachedGrammars bounds the store's hot cache of parsed (and, on
+// demand, compiled) grammars. Entries are keyed by content hash, so two
+// ids storing identical grammars share one cache slot and one compiled
+// engine; least-recently-used entries are evicted and simply reload from
+// their blob on next use.
+const maxCachedGrammars = 128
+
+// cacheEntry is one resident grammar: its canonical text, the parsed
+// form, and — built lazily on first membership use — the compiled ladder.
+// Immutable after construction apart from the compile-once.
+type cacheEntry struct {
+	sha  string
+	text string
+	g    *cfg.Grammar
+
+	compileOnce sync.Once
+	compiled    *cfg.Compiled
+
+	elem *list.Element // position in Store.lru; guarded by Store.mu
+}
+
+// engine returns the entry's compiled recognition ladder, building it on
+// first use. Safe for concurrent callers.
+func (e *cacheEntry) engine() *cfg.Compiled {
+	e.compileOnce.Do(func() { e.compiled = cfg.Compile(e.g) })
+	return e.compiled
+}
+
+// Store is the disk-backed grammar store. Grammar bytes are immutable and
+// content-addressed: blobs/<sha256>.grammar holds the canonical
+// cfg.Marshal text, <id>.json metadata points at the hash, and identical
+// grammars stored under any number of ids share one blob. Metadata for
+// every grammar is loaded at open (so the daemon serves grammars learned
+// by earlier incarnations); grammar text is loaded — and parsed, and on
+// demand compiled — through an LRU hot cache keyed by content hash, so
+// repeat membership and generation traffic never re-reads or re-parses
+// from disk. Writes go through a temp-file rename so a crash never leaves
+// a half-written grammar behind; stale temp files from interrupted writes
+// are swept at open.
+type Store struct {
+	dir string
+	log *slog.Logger
+
+	mu    sync.Mutex
 	metas map[string]*GrammarMeta
-	texts map[string]string
-	// grammars caches parsed grammars; populated lazily from texts.
-	grammars map[string]*cfg.Grammar
+	cache map[string]*cacheEntry // keyed by content hash
+	lru   *list.List             // front = most recently used; values are hashes
 }
 
 // OpenStore opens (creating if needed) the store rooted at dir and loads
-// every grammar already present. Entries whose grammar text no longer
-// parses, or which lack either file of the pair, are skipped with a line
-// through logf (nil silences them, matching glade-serve -quiet) rather
-// than failing the open — one corrupt entry must not take the daemon down.
-func OpenStore(dir string, logf func(format string, args ...any)) (*Store, error) {
+// every grammar's metadata. Stores written by the pre-content-addressed
+// layout (<id>.grammar beside <id>.json) are migrated in place: the
+// grammar bytes move, byte-identical, into blobs/<sha>.grammar and the
+// metadata is rewritten to point at the hash. Entries whose grammar no
+// longer parses, or which lack their blob or metadata, are skipped with a
+// warning through logger (nil silences everything) rather than failing
+// the open — one corrupt entry must not take the daemon down.
+func OpenStore(dir string, logger *slog.Logger) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("service: store directory is empty")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, blobsDirName), 0o755); err != nil {
 		return nil, fmt.Errorf("service: create store: %w", err)
 	}
 	s := &Store{
-		dir:      dir,
-		logf:     logf,
-		metas:    map[string]*GrammarMeta{},
-		texts:    map[string]string{},
-		grammars: map[string]*cfg.Grammar{},
+		dir:   dir,
+		log:   logger,
+		metas: map[string]*GrammarMeta{},
+		cache: map[string]*cacheEntry{},
+		lru:   list.New(),
 	}
+	s.sweepTemp()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("service: read store: %w", err)
 	}
+	migrated := 0
 	for _, e := range entries {
 		name := e.Name()
 		id, ok := strings.CutSuffix(name, ".json")
-		if !ok {
+		if !ok || e.IsDir() {
 			continue
 		}
 		metaBytes, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
-			s.skipf("store: skipping unreadable metadata %s: %v", name, err)
+			s.log.Warn("store: skipping unreadable metadata", "file", name, "err", err)
 			continue
 		}
 		var meta GrammarMeta
 		if err := json.Unmarshal(metaBytes, &meta); err != nil || meta.ID != id {
-			s.skipf("store: skipping bad metadata %s", name)
+			s.log.Warn("store: skipping bad metadata", "file", name)
 			continue
 		}
-		text, err := os.ReadFile(filepath.Join(dir, id+".grammar"))
-		if err != nil {
-			s.skipf("store: %s has no grammar file", id)
-			continue
-		}
-		g, err := cfg.Unmarshal(string(text))
-		if err != nil {
-			s.skipf("store: skipping unparsable grammar %s: %v", id, err)
+		if meta.GrammarSHA == "" {
+			// Pre-CAS layout: grammar bytes live at <id>.grammar. Migrate
+			// them into the blob store, byte-identical, and point the
+			// metadata at the hash.
+			sha, err := s.migrate(&meta)
+			if err != nil {
+				s.log.Warn("store: skipping entry", "id", id, "err", err)
+				continue
+			}
+			meta.GrammarSHA = sha
+			migrated++
+		} else if _, err := os.Stat(s.blobPath(meta.GrammarSHA)); err != nil {
+			s.log.Warn("store: skipping entry with missing blob", "id", id, "sha", meta.GrammarSHA)
 			continue
 		}
 		s.metas[id] = &meta
-		s.texts[id] = string(text)
-		s.grammars[id] = g // validation already paid for the parse
+	}
+	if migrated > 0 {
+		s.log.Info("store: migrated legacy entries to content-addressed blobs", "count", migrated)
 	}
 	return s, nil
 }
 
-// skipf logs one skipped-entry diagnostic; silent when no logger is set.
-func (s *Store) skipf(format string, args ...any) {
-	if s.logf != nil {
-		s.logf(format, args...)
+// migrate moves one legacy <id>.grammar file into the blob store,
+// validating that it still parses, and rewrites the metadata to carry the
+// content hash. The grammar bytes are preserved exactly — the blob is the
+// old file's content, not a re-marshal — so migration is lossless.
+func (s *Store) migrate(meta *GrammarMeta) (string, error) {
+	legacy := filepath.Join(s.dir, meta.ID+".grammar")
+	text, err := os.ReadFile(legacy)
+	if err != nil {
+		return "", fmt.Errorf("no grammar file: %w", err)
 	}
+	if _, err := cfg.Unmarshal(string(text)); err != nil {
+		return "", fmt.Errorf("unparsable grammar: %w", err)
+	}
+	sha := contentSHA(text)
+	if err := s.ensureBlob(sha, text); err != nil {
+		return "", err
+	}
+	m := *meta
+	m.GrammarSHA = sha
+	metaBytes, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := writeAtomic(filepath.Join(s.dir, meta.ID+".json"), append(metaBytes, '\n')); err != nil {
+		return "", err
+	}
+	// The blob and the updated metadata are durable; the legacy file is
+	// now redundant. If the remove fails the entry still works — the next
+	// open just retries nothing (the metadata already carries the hash).
+	if err := os.Remove(legacy); err != nil {
+		s.log.Warn("store: could not remove migrated grammar file", "id", meta.ID, "err", err)
+	}
+	return sha, nil
+}
+
+// sweepTemp removes stale .tmp-* files left by writeAtomic calls that were
+// interrupted between create and rename — without it a crashy daemon's
+// data dir accumulates them forever. Swept at open across the store root
+// and its subdirectories (blobs, jobs, campaigns).
+func (s *Store) sweepTemp() {
+	dirs := []string{s.dir}
+	if entries, err := os.ReadDir(s.dir); err == nil {
+		for _, e := range entries {
+			if e.IsDir() {
+				dirs = append(dirs, filepath.Join(s.dir, e.Name()))
+			}
+		}
+	}
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasPrefix(e.Name(), ".tmp-") {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			if err := os.Remove(path); err != nil {
+				s.log.Warn("store: could not sweep temp file", "file", path, "err", err)
+				continue
+			}
+			s.log.Debug("store: swept stale temp file", "file", path)
+		}
+	}
+}
+
+// contentSHA returns the hex SHA-256 of the grammar bytes — the blob name.
+func contentSHA(text []byte) string {
+	sum := sha256.Sum256(text)
+	return hex.EncodeToString(sum[:])
+}
+
+// blobPath maps a content hash to its blob file.
+func (s *Store) blobPath(sha string) string {
+	return filepath.Join(s.dir, blobsDirName, sha+".grammar")
+}
+
+// ensureBlob writes the grammar bytes under their hash unless an identical
+// blob is already present — the dedup point: storing the same grammar
+// twice (under any ids) costs one blob.
+func (s *Store) ensureBlob(sha string, text []byte) error {
+	path := s.blobPath(sha)
+	if _, err := os.Stat(path); err == nil {
+		return nil // identical content already stored
+	}
+	return writeAtomic(path, text)
 }
 
 // Dir returns the store's root directory.
@@ -117,17 +260,20 @@ func (s *Store) Dir() string { return s.dir }
 
 // Put persists a learned grammar and its metadata, then publishes it to
 // readers. The grammar is stored in cfg.Marshal text form — the same bytes
-// GET /v1/grammars/{id} serves.
+// GET /v1/grammars/{id} serves — under its content hash; identical
+// grammars already stored are deduplicated to the existing blob.
 func (s *Store) Put(g *cfg.Grammar, meta GrammarMeta) error {
 	if meta.ID == "" {
 		return fmt.Errorf("service: store: empty grammar id")
 	}
 	text := cfg.Marshal(g)
+	sha := contentSHA([]byte(text))
+	meta.GrammarSHA = sha
 	metaBytes, err := json.MarshalIndent(meta, "", "  ")
 	if err != nil {
 		return err
 	}
-	if err := writeAtomic(filepath.Join(s.dir, meta.ID+".grammar"), []byte(text)); err != nil {
+	if err := s.ensureBlob(sha, []byte(text)); err != nil {
 		return err
 	}
 	if err := writeAtomic(filepath.Join(s.dir, meta.ID+".json"), append(metaBytes, '\n')); err != nil {
@@ -137,8 +283,9 @@ func (s *Store) Put(g *cfg.Grammar, meta GrammarMeta) error {
 	defer s.mu.Unlock()
 	m := meta
 	s.metas[meta.ID] = &m
-	s.texts[meta.ID] = text
-	s.grammars[meta.ID] = g
+	if _, ok := s.cache[sha]; !ok {
+		s.insertLocked(&cacheEntry{sha: sha, text: text, g: g})
+	}
 	return nil
 }
 
@@ -160,40 +307,95 @@ func writeAtomic(path string, data []byte) error {
 	return os.Rename(tmp.Name(), path)
 }
 
-// Text returns the stored cfg.Marshal text of a grammar.
-func (s *Store) Text(id string) (string, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	text, ok := s.texts[id]
-	return text, ok
+// insertLocked adds a cache entry and evicts beyond the cap. Callers hold
+// s.mu.
+func (s *Store) insertLocked(e *cacheEntry) {
+	e.elem = s.lru.PushFront(e.sha)
+	s.cache[e.sha] = e
+	for s.lru.Len() > maxCachedGrammars {
+		back := s.lru.Back()
+		s.lru.Remove(back)
+		delete(s.cache, back.Value.(string))
+	}
 }
 
-// Grammar returns the parsed grammar, caching the parse.
-func (s *Store) Grammar(id string) (*cfg.Grammar, error) {
-	s.mu.RLock()
-	g, ok := s.grammars[id]
-	text, haveText := s.texts[id]
-	s.mu.RUnlock()
-	if ok {
-		return g, nil
-	}
-	if !haveText {
+// entry resolves a grammar id to its resident cache entry, loading and
+// parsing the blob on a miss. The steady-state path — the one every
+// membership check, generation, and text fetch rides — is a metadata map
+// lookup plus an LRU bump: no disk, no parse, no allocation beyond the
+// bump.
+func (s *Store) entry(id string) (*cacheEntry, error) {
+	s.mu.Lock()
+	meta, ok := s.metas[id]
+	if !ok {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("service: no grammar %q", id)
 	}
-	g, err := cfg.Unmarshal(text)
+	sha := meta.GrammarSHA
+	if e, ok := s.cache[sha]; ok {
+		s.lru.MoveToFront(e.elem)
+		s.mu.Unlock()
+		return e, nil
+	}
+	s.mu.Unlock()
+
+	// Miss: load and parse outside the lock (a cold blob read must not
+	// stall hot lookups), then publish. A racing loader may have inserted
+	// the same hash meanwhile — use theirs, drop ours.
+	text, err := os.ReadFile(s.blobPath(sha))
 	if err != nil {
 		return nil, fmt.Errorf("service: grammar %q: %w", id, err)
 	}
+	g, err := cfg.Unmarshal(string(text))
+	if err != nil {
+		return nil, fmt.Errorf("service: grammar %q: %w", id, err)
+	}
+	e := &cacheEntry{sha: sha, text: string(text), g: g}
 	s.mu.Lock()
-	s.grammars[id] = g
-	s.mu.Unlock()
-	return g, nil
+	defer s.mu.Unlock()
+	if prior, ok := s.cache[sha]; ok {
+		s.lru.MoveToFront(prior.elem)
+		return prior, nil
+	}
+	s.insertLocked(e)
+	return e, nil
+}
+
+// Text returns the stored cfg.Marshal text of a grammar.
+func (s *Store) Text(id string) (string, bool) {
+	e, err := s.entry(id)
+	if err != nil {
+		return "", false
+	}
+	return e.text, true
+}
+
+// Grammar returns the parsed grammar, cached across calls (keyed by
+// content, so identical grammars under different ids share one parse).
+func (s *Store) Grammar(id string) (*cfg.Grammar, error) {
+	e, err := s.entry(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.g, nil
+}
+
+// Compiled returns the grammar's compiled recognition ladder, built once
+// per resident cache entry and shared by every id with identical content —
+// membership traffic (POST /v1/grammars/{id}/check) never re-parses or
+// re-compiles from disk at steady state.
+func (s *Store) Compiled(id string) (*cfg.Compiled, error) {
+	e, err := s.entry(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.engine(), nil
 }
 
 // Meta returns a grammar's metadata.
 func (s *Store) Meta(id string) (GrammarMeta, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	m, ok := s.metas[id]
 	if !ok {
 		return GrammarMeta{}, false
@@ -203,8 +405,8 @@ func (s *Store) Meta(id string) (GrammarMeta, bool) {
 
 // List returns every stored grammar's metadata, newest first.
 func (s *Store) List() []GrammarMeta {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]GrammarMeta, 0, len(s.metas))
 	for _, m := range s.metas {
 		out = append(out, *m)
@@ -216,4 +418,28 @@ func (s *Store) List() []GrammarMeta {
 		return out[i].CreatedAt.After(out[j].CreatedAt)
 	})
 	return out
+}
+
+// CacheLen reports resident hot-cache entries (a telemetry gauge).
+func (s *Store) CacheLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cache)
+}
+
+// BlobCount counts content-addressed blobs on disk. With deduplication it
+// can be smaller than the number of stored grammar ids; exposed as a
+// telemetry gauge and asserted by the dedup tests.
+func (s *Store) BlobCount() int {
+	entries, err := os.ReadDir(filepath.Join(s.dir, blobsDirName))
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".grammar") {
+			n++
+		}
+	}
+	return n
 }

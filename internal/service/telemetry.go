@@ -40,6 +40,10 @@ type serverMetrics struct {
 	resilientCampaign *oracle.ResilientMetrics
 	resilientGenerate *oracle.ResilientMetrics
 
+	// checkInputs counts inputs answered by POST /v1/grammars/{id}/check —
+	// the cheap batch-membership endpoint's unit of work.
+	checkInputs *telemetry.Counter
+
 	// httpPanics counts handler panics contained by the recovery
 	// middleware — any nonzero value is a bug worth paging on.
 	httpPanics *telemetry.Counter
@@ -76,6 +80,9 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		resilientJob:      oracle.NewResilientMetrics(reg, telemetry.L("source", "job")),
 		resilientCampaign: oracle.NewResilientMetrics(reg, telemetry.L("source", "campaign")),
 		resilientGenerate: oracle.NewResilientMetrics(reg, telemetry.L("source", "generate")),
+
+		checkInputs: reg.Counter("glade_check_inputs_total",
+			"Inputs answered by the batch membership endpoint."),
 
 		httpPanics: reg.Counter("glade_http_panics_total",
 			"HTTP handler panics contained by the recovery middleware."),
@@ -142,6 +149,12 @@ func (s *Server) registerGauges() {
 	s.reg.GaugeFunc("glade_campaigns_running", "Campaigns currently fuzzing (or learning their grammar).", campaignCount(JobRunning))
 	s.reg.GaugeFunc("glade_store_grammars", "Grammars in the disk-backed store.", func() float64 {
 		return float64(len(s.store.List()))
+	})
+	s.reg.GaugeFunc("glade_store_blobs", "Content-addressed grammar blobs on disk (deduplicated).", func() float64 {
+		return float64(s.store.BlobCount())
+	})
+	s.reg.GaugeFunc("glade_store_cache_entries", "Parsed grammars resident in the store's hot cache.", func() float64 {
+		return float64(s.store.CacheLen())
 	})
 	s.reg.GaugeFunc("glade_fuzzer_pool_entries", "Grammar fuzzers resident in the LRU pool.", func() float64 {
 		return float64(s.fuzzers.size())

@@ -1,0 +1,144 @@
+#!/usr/bin/env bash
+# End-to-end smoke of cluster mode, as run by CI: start three glade-serve
+# daemons joined by -peers, submit a learn job through one node, poll it
+# through another, fetch the grammar byte-identically from all three
+# (ownership routing proxies to wherever it lives), batch-check generated
+# inputs through a non-owner, then kill a peer and verify the survivors
+# mark it unhealthy and keep accepting jobs whose minted ids hash to the
+# dead node (ring failover). Requires curl + jq.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DATA=$(mktemp -d)
+PIDS=()
+
+go build -o "$DATA/glade-serve" ./cmd/glade-serve
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$DATA"
+}
+trap cleanup EXIT
+
+# Pick three random ports and boot the full peer set; if any node fails to
+# answer /healthz (e.g. a port was taken on a shared runner), tear the set
+# down and retry with fresh ports.
+ADDRS=()
+for attempt in 1 2 3 4 5; do
+  ADDRS=()
+  for i in 1 2 3; do
+    ADDRS+=("127.0.0.1:$(( (RANDOM % 20000) + 20000 ))")
+  done
+  PEERS=$(IFS=,; echo "${ADDRS[*]}")
+  PIDS=()
+  for i in 0 1 2; do
+    "$DATA/glade-serve" -addr "${ADDRS[$i]}" -data "$DATA/node$i" \
+      -peers "$PEERS" >"$DATA/node$i.log" 2>&1 &
+    PIDS+=($!)
+  done
+  UP=0
+  for addr in "${ADDRS[@]}"; do
+    for _ in $(seq 1 50); do
+      curl -sf "http://$addr/healthz" >/dev/null 2>&1 && { UP=$((UP+1)); break; }
+      sleep 0.2
+    done
+  done
+  [ "$UP" = 3 ] && break
+  for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  PIDS=()
+done
+[ "${#PIDS[@]}" = 3 ] || { echo "cluster never came up"; cat "$DATA"/node*.log; exit 1; }
+echo "== cluster up: ${ADDRS[*]}"
+
+echo "== /v1/cluster converges on full healthy membership"
+# A node that probed its peers before they finished binding holds the
+# failure until the next probe tick, so poll for convergence.
+NHEALTHY=0
+for _ in $(seq 1 30); do
+  STATUS=$(curl -sf "http://${ADDRS[0]}/v1/cluster")
+  NHEALTHY=$(echo "$STATUS" | jq -er '[.peers[] | select(.healthy)] | length')
+  [ "$NHEALTHY" = 3 ] && break
+  sleep 0.5
+done
+[ "$NHEALTHY" = 3 ] || {
+  echo "expected 3 healthy peers, got $NHEALTHY"; echo "$STATUS" | jq .; exit 1;
+}
+
+echo "== submit learn job (builtin:json) via node 0"
+HDRS="$DATA/submit.hdrs"
+JOB=$(curl -sf -D "$HDRS" -X POST "http://${ADDRS[0]}/v1/jobs" \
+  -d '{"oracle":{"type":"builtin","name":"json"}}')
+ID=$(echo "$JOB" | jq -er .id)
+OWNER=$(tr -d '\r' <"$HDRS" | awk 'tolower($1) == "x-glade-node:" {print $2}')
+echo "job $ID owned by $OWNER"
+[ -n "$OWNER" ] || { echo "no X-Glade-Node header on submit"; cat "$HDRS"; exit 1; }
+
+echo "== poll to completion via node 1"
+STATE=queued
+for _ in $(seq 1 120); do
+  STATE=$(curl -sf "http://${ADDRS[1]}/v1/jobs/$ID" | jq -er .state) || { sleep 1; continue; }
+  [ "$STATE" = done ] || [ "$STATE" = failed ] && break
+  sleep 1
+done
+[ "$STATE" = done ] || {
+  echo "job ended in state $STATE"; cat "$DATA"/node*.log | tail -40; exit 1;
+}
+
+echo "== grammar is byte-identical from every node"
+curl -sf "http://${ADDRS[0]}/v1/grammars/$ID" >"$DATA/g0"
+curl -sf "http://${ADDRS[1]}/v1/grammars/$ID" >"$DATA/g1"
+curl -sf "http://${ADDRS[2]}/v1/grammars/$ID" >"$DATA/g2"
+cmp -s "$DATA/g0" "$DATA/g1" && cmp -s "$DATA/g0" "$DATA/g2" || {
+  echo "grammar differs across nodes"; exit 1;
+}
+[ -s "$DATA/g0" ] || { echo "empty grammar"; exit 1; }
+
+echo "== batch-check generated inputs via a non-owner node"
+INPUTS=$(curl -sf -X POST "http://${ADDRS[2]}/v1/grammars/$ID/generate?n=5" | jq -c .inputs)
+CHECK=$(curl -sf -X POST "http://${ADDRS[1]}/v1/grammars/$ID/check" \
+  -d "{\"inputs\":$INPUTS}")
+ACCEPTED=$(echo "$CHECK" | jq -er .accepted)
+COUNT=$(echo "$CHECK" | jq -er .count)
+echo "$ACCEPTED/$COUNT inputs accepted"
+[ "$COUNT" = 5 ] || { echo "expected 5 verdicts"; echo "$CHECK" | jq .; exit 1; }
+
+echo "== kill a non-owner peer and verify failover"
+VICTIM_IDX=""
+for i in 0 1 2; do
+  [ "${ADDRS[$i]}" != "$OWNER" ] && { VICTIM_IDX=$i; break; }
+done
+SURVIVOR="$OWNER"
+kill "${PIDS[$VICTIM_IDX]}"
+wait "${PIDS[$VICTIM_IDX]}" 2>/dev/null || true
+PIDS[$VICTIM_IDX]=""
+echo "killed ${ADDRS[$VICTIM_IDX]}, driving via $SURVIVOR"
+
+# The grammar must stay fetchable through the surviving entry nodes.
+curl -sf "http://$SURVIVOR/v1/grammars/$ID" >"$DATA/g-after"
+cmp -s "$DATA/g0" "$DATA/g-after" || { echo "grammar changed after peer death"; exit 1; }
+
+# New submissions keep working even when the minted id hashes to the dead
+# peer: the router marks it down on the first failed proxy and fails the
+# key over to the next ring position. Several submissions make it
+# overwhelmingly likely at least one id lands on the dead node.
+for _ in 1 2 3 4; do
+  JID=$(curl -sf -X POST "http://$SURVIVOR/v1/jobs" \
+    -d '{"oracle":{"type":"builtin","name":"json"}}' | jq -er .id)
+  [ -n "$JID" ] || { echo "submit failed after peer death"; exit 1; }
+done
+echo "4 post-failure submissions accepted"
+
+# The survivors' health view must converge on the dead peer.
+DEAD_SEEN=""
+for _ in $(seq 1 30); do
+  UNHEALTHY=$(curl -sf "http://$SURVIVOR/v1/cluster" |
+    jq -er "[.peers[] | select(.addr == \"${ADDRS[$VICTIM_IDX]}\" and (.healthy | not))] | length")
+  [ "$UNHEALTHY" = 1 ] && { DEAD_SEEN=1; break; }
+  sleep 0.5
+done
+[ -n "$DEAD_SEEN" ] || { echo "dead peer never marked unhealthy"; exit 1; }
+echo "dead peer marked unhealthy in /v1/cluster"
+echo "cluster smoke OK"

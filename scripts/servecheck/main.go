@@ -1,0 +1,128 @@
+// Command servecheck validates a BENCH_serve.json artifact for CI: the
+// file must be valid glade-bench -json output containing serve-figure
+// rows for both the 1-node and 3-node cluster sizes. The gates:
+//
+//   - every endpoint (generate, check, stats) was exercised at every
+//     cluster size with QPS > 0 and an error rate below -max-errors;
+//   - batch-check p99 latency stays under -p99 at every cluster size —
+//     the endpoint exists to be the cheap high-QPS path, so a fat tail
+//     means the ladder or the store cache regressed;
+//   - 3-node batch-check work throughput (inputs/s) is at least
+//     -min-ratio of the 1-node figure. On real deployments each node has
+//     its own machine and the ratio should exceed 1; in CI every node
+//     shares the runner's cores, so scaling cannot materialize and the
+//     gate instead asserts that sharding overhead (ring routing, probers,
+//     extra servers) stays bounded. Raise -min-ratio above 1 when running
+//     against a genuinely multi-machine cluster.
+//
+// It mirrors scripts/parsecheck so the serve-bench smoke needs no
+// jq/python dependency.
+//
+// Usage:
+//
+//	go run ./scripts/servecheck [-min-ratio 0.75] [-p99 250] [-max-errors 0.01] BENCH_serve.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// serveRow mirrors the serve-figure fields of glade-bench's jsonRow.
+type serveRow struct {
+	Figure       string  `json:"figure"`
+	Nodes        int     `json:"nodes"`
+	Endpoint     string  `json:"endpoint"`
+	Clients      int     `json:"clients"`
+	Requests     int     `json:"requests"`
+	Errors       *int    `json:"errors"`
+	QPS          float64 `json:"qps"`
+	P99Ms        float64 `json:"p99_ms"`
+	InputsPerSec float64 `json:"inputs_per_sec"`
+}
+
+func main() {
+	minRatio := flag.Float64("min-ratio", 0.75, "minimum 3-node/1-node batch-check inputs/s ratio (below 1 tolerates shared-core CI; raise above 1 on real multi-machine clusters)")
+	p99Bound := flag.Float64("p99", 250, "maximum batch-check p99 latency in milliseconds")
+	maxErrors := flag.Float64("max-errors", 0.01, "maximum per-endpoint error rate")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: servecheck [flags] BENCH_serve.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "servecheck:", err)
+		os.Exit(1)
+	}
+	var report struct {
+		Results []serveRow `json:"results"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		fmt.Fprintf(os.Stderr, "servecheck: report is not valid JSON: %v\n", err)
+		os.Exit(1)
+	}
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "servecheck: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	rows := map[int]map[string]serveRow{} // nodes -> endpoint -> row
+	for _, r := range report.Results {
+		if r.Figure != "serve" {
+			continue
+		}
+		if r.Nodes == 0 || r.Endpoint == "" {
+			fail("serve row missing nodes or endpoint: %+v", r)
+		}
+		if rows[r.Nodes] == nil {
+			rows[r.Nodes] = map[string]serveRow{}
+		}
+		rows[r.Nodes][r.Endpoint] = r
+	}
+	if len(rows) == 0 {
+		fail("no serve-figure rows found")
+	}
+
+	for _, nodes := range []int{1, 3} {
+		byEp, ok := rows[nodes]
+		if !ok {
+			fail("no %d-node rows — both cluster sizes must be measured", nodes)
+		}
+		for _, ep := range []string{"generate", "check", "stats"} {
+			r, ok := byEp[ep]
+			if !ok {
+				fail("%d-node: endpoint %s was never exercised", nodes, ep)
+			}
+			if r.Requests == 0 || r.QPS <= 0 {
+				fail("%d-node %s: no throughput measured: %+v", nodes, ep, r)
+			}
+			if r.Errors == nil {
+				fail("%d-node %s: error count not recorded", nodes, ep)
+			}
+			if rate := float64(*r.Errors) / float64(r.Requests); rate > *maxErrors {
+				fail("%d-node %s: error rate %.1f%% exceeds %.1f%%",
+					nodes, ep, 100*rate, 100**maxErrors)
+			}
+		}
+		if p99 := byEp["check"].P99Ms; p99 > *p99Bound {
+			fail("%d-node check p99 %.1fms exceeds %.0fms", nodes, p99, *p99Bound)
+		}
+	}
+
+	one, three := rows[1]["check"], rows[3]["check"]
+	if one.InputsPerSec <= 0 || three.InputsPerSec <= 0 {
+		fail("batch-check inputs/s not recorded (1-node %.0f, 3-node %.0f)",
+			one.InputsPerSec, three.InputsPerSec)
+	}
+	ratio := three.InputsPerSec / one.InputsPerSec
+	if ratio < *minRatio {
+		fail("3-node batch-check throughput is %.2fx the 1-node figure (< %.2f): %.0f vs %.0f inputs/s",
+			ratio, *minRatio, three.InputsPerSec, one.InputsPerSec)
+	}
+	fmt.Printf("servecheck: ok — check %.0f q/s / %.0f inputs/s 1-node, %.0f q/s / %.0f inputs/s 3-node (ratio %.2f), p99 %.1f/%.1f ms\n",
+		one.QPS, one.InputsPerSec, three.QPS, three.InputsPerSec, ratio,
+		one.P99Ms, three.P99Ms)
+}
